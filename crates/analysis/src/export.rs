@@ -1,0 +1,68 @@
+//! CSV / JSON export of series for offline plotting.
+
+use crate::Series;
+
+/// Renders a series as CSV with header
+/// `x,label,n,mean,std_dev,min,max,ci95`.
+pub fn to_csv(series: &Series) -> String {
+    let mut out = String::from("x,label,n,mean,std_dev,min,max,ci95\n");
+    for p in &series.points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            p.x,
+            csv_escape(&series.label),
+            p.summary.n,
+            p.summary.mean,
+            p.summary.std_dev,
+            p.summary.min,
+            p.summary.max,
+            p.summary.ci95_half_width(),
+        ));
+    }
+    out
+}
+
+/// Renders any serializable experiment record as pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment records serialize")
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut s = Series::new("rounds", "faults");
+        s.push(10.0, &[1.0, 3.0]);
+        let csv = to_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("x,label"));
+        assert!(lines[1].starts_with("10,rounds,2,2,"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut s = Series::new("a,b", "x");
+        s.push(1.0, &[1.0]);
+        assert!(to_csv(&s).contains("\"a,b\""));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = Series::new("r", "x");
+        s.push(5.0, &[2.0]);
+        let json = to_json(&s);
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

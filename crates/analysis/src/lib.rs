@@ -1,0 +1,18 @@
+//! # ocp-analysis
+//!
+//! Experiment-harness substrate: summary statistics, labeled series (one per
+//! figure curve), ASCII tables and CSV/JSON export. Used by `ocp-bench`'s
+//! `repro` binary to regenerate the paper's Figure 5 and the derived tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use export::{to_csv, to_json};
+pub use series::{Series, SeriesPoint};
+pub use stats::Summary;
+pub use table::Table;

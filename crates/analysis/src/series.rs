@@ -1,0 +1,95 @@
+//! Labeled series — one per figure curve.
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One x-position of a series with its summarized trials.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept parameter (e.g. the number of faults `f`).
+    pub x: f64,
+    /// Summary of the measurements collected at this `x`.
+    pub summary: Summary,
+}
+
+/// A named curve: what one line of a paper figure plots.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label, e.g. `"rounds to form faulty blocks"`.
+    pub label: String,
+    /// Name of the swept parameter, e.g. `"faults"`.
+    pub x_label: String,
+    /// Points in sweep order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Self { label: label.into(), x_label: x_label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point summarizing `samples` at `x`.
+    pub fn push(&mut self, x: f64, samples: &[f64]) {
+        self.points.push(SeriesPoint { x, summary: Summary::of(samples) });
+    }
+
+    /// Mean values in sweep order.
+    pub fn means(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.summary.mean).collect()
+    }
+
+    /// Largest mean across the sweep; `None` when empty.
+    pub fn max_mean(&self) -> Option<f64> {
+        self.means().into_iter().reduce(f64::max)
+    }
+
+    /// True if means never decrease along the sweep (within `tol`).
+    pub fn is_monotone_nondecreasing(&self, tol: f64) -> bool {
+        self.means().windows(2).all(|w| w[1] >= w[0] - tol)
+    }
+
+    /// True if means never increase along the sweep (within `tol`).
+    pub fn is_monotone_nonincreasing(&self, tol: f64) -> bool {
+        self.means().windows(2).all(|w| w[1] <= w[0] + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_means() {
+        let mut s = Series::new("rounds", "faults");
+        s.push(10.0, &[1.0, 2.0, 3.0]);
+        s.push(20.0, &[4.0]);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.means(), vec![2.0, 4.0]);
+        assert_eq!(s.max_mean(), Some(4.0));
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let mut s = Series::new("up", "x");
+        for (x, v) in [(1.0, 1.0), (2.0, 2.0), (3.0, 2.5)] {
+            s.push(x, &[v]);
+        }
+        assert!(s.is_monotone_nondecreasing(0.0));
+        assert!(!s.is_monotone_nonincreasing(0.0));
+        // tolerance absorbs small dips
+        let mut dip = Series::new("dip", "x");
+        for (x, v) in [(1.0, 2.0), (2.0, 1.95)] {
+            dip.push(x, &[v]);
+        }
+        assert!(dip.is_monotone_nondecreasing(0.1));
+        assert!(!dip.is_monotone_nondecreasing(0.01));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("e", "x");
+        assert_eq!(s.max_mean(), None);
+        assert!(s.is_monotone_nondecreasing(0.0));
+    }
+}

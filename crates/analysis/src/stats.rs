@@ -1,0 +1,121 @@
+//! Summary statistics over repeated trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of a sample of trial measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 if fewer than 2 obs).
+    pub std_dev: f64,
+    /// Smallest observation (0 for an empty sample).
+    pub min: f64,
+    /// Largest observation (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// ```
+    /// use ocp_analysis::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!((s.min, s.max, s.n), (1.0, 3.0, 3));
+    /// ```
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Half-width of the ~95% confidence interval of the mean (normal
+    /// approximation, `1.96 * s / sqrt(n)`; 0 for n < 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Convenience: summarizes an iterator of measurements.
+pub fn summarize<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
+    let v: Vec<f64> = iter.into_iter().collect();
+    Summary::of(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(close(s.mean, 0.0));
+        assert!(close(s.ci95_half_width(), 0.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert!(close(s.mean, 42.0));
+        assert!(close(s.std_dev, 0.0));
+        assert!(close(s.min, 42.0));
+        assert!(close(s.max, 42.0));
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(close(s.mean, 5.0));
+        // sample std dev with n-1 = sqrt(32/7)
+        assert!(close(s.std_dev, (32.0f64 / 7.0).sqrt()));
+        assert!(close(s.min, 2.0));
+        assert!(close(s.max, 9.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = Summary::of(&many);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn summarize_iterator() {
+        let s = summarize((1..=5).map(|i| i as f64));
+        assert_eq!(s.n, 5);
+        assert!(close(s.mean, 3.0));
+    }
+}

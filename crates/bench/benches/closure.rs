@@ -1,0 +1,85 @@
+//! B4: geometric kernels — orthogonal convex closure and convexity checks,
+//! the verification oracles of Theorem 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocp_geometry::{is_orthogonally_convex, orthogonal_convex_closure, Region};
+use ocp_mesh::Coord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, extent: i32, seed: u64) -> Region {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Region::from_cells(
+        (0..n).map(|_| Coord::new(rng.gen_range(0..extent), rng.gen_range(0..extent))),
+    )
+}
+
+fn closure_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ortho_convex_closure");
+    for n in [10usize, 50, 200, 1000] {
+        let region = random_points(n, 64, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &region, |b, r| {
+            b.iter(|| black_box(orthogonal_convex_closure(r)));
+        });
+    }
+    group.finish();
+}
+
+fn convexity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convexity_check");
+    for n in [100usize, 1000, 5000] {
+        let region = orthogonal_convex_closure(&random_points(n, 128, 3));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(region.len()),
+            &region,
+            |b, r| {
+                b.iter(|| black_box(is_orthogonally_convex(r)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn shapes_closure(c: &mut Criterion) {
+    use ocp_geometry::shapes;
+    let mut group = c.benchmark_group("shape_closure");
+    let cases = [
+        ("l_shape", Region::from_cells(shapes::l_shape(30, 10))),
+        ("u_shape", Region::from_cells(shapes::u_shape(30, 10))),
+        ("h_shape", Region::from_cells(shapes::h_shape(31, 10))),
+        ("plus", Region::from_cells(shapes::plus_shape(15))),
+    ];
+    for (name, region) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &region, |b, r| {
+            b.iter(|| black_box(orthogonal_convex_closure(r)));
+        });
+    }
+    group.finish();
+}
+
+fn exact_partition_solver(c: &mut Criterion) {
+    use ocp_core::partition::optimal_partition;
+    let mut group = c.benchmark_group("optimal_partition");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 10] {
+        // Faults on a loose diagonal: feasibility interactions without
+        // trivial answers.
+        let faults = Region::from_cells(
+            (0..n as i32).map(|i| Coord::new(2 * i, 2 * i + (i % 2))),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &faults, |b, f| {
+            b.iter(|| black_box(optimal_partition(f, 12)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    closure_scaling,
+    convexity_check,
+    shapes_closure,
+    exact_partition_solver
+);
+criterion_main!(benches);

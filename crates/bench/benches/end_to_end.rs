@@ -1,0 +1,52 @@
+//! B6: end-to-end pipeline at the paper's scale, plus warm-start
+//! maintenance vs cold relabeling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocp_core::maintenance::relabel_after_fault;
+use ocp_core::prelude::*;
+use ocp_core::verify::verify;
+use ocp_mesh::{Coord, Topology};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_scale_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_scale");
+    group.sample_size(20);
+    let topology = Topology::mesh(100, 100);
+    let mut rng = SmallRng::seed_from_u64(2001);
+    let faults = uniform_faults(topology, 50, &mut rng);
+    let map = FaultMap::new(topology, faults);
+    group.bench_function("pipeline_100x100_f50", |b| {
+        b.iter(|| black_box(run_pipeline(&map, &PipelineConfig::default())));
+    });
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    group.bench_function("verify_100x100_f50", |b| {
+        b.iter(|| black_box(verify(&map, &out).is_ok()));
+    });
+    group.finish();
+}
+
+fn maintenance_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(20);
+    let topology = Topology::mesh(100, 100);
+    let mut rng = SmallRng::seed_from_u64(404);
+    let faults = uniform_faults(topology, 60, &mut rng);
+    let map = FaultMap::new(topology, faults);
+    let cfg = PipelineConfig::default();
+    let before = run_pipeline(&map, &cfg);
+    let new_fault = Coord::new(50, 50);
+    group.bench_function("warm_relabel", |b| {
+        b.iter(|| black_box(relabel_after_fault(&map, new_fault, &before, &cfg)));
+    });
+    let updated = map.with_additional_fault(new_fault);
+    group.bench_function("cold_relabel", |b| {
+        b.iter(|| black_box(run_pipeline(&updated, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, paper_scale_pipeline, maintenance_warm_vs_cold);
+criterion_main!(benches);

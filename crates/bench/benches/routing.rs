@@ -1,0 +1,93 @@
+//! B5: routing-layer costs — fault-tolerant route computation, ring
+//! construction, and the wormhole simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocp_core::prelude::*;
+use ocp_mesh::Topology;
+use ocp_routing::wormhole::{simulate, PacketSpec, WormholeConfig};
+use ocp_routing::{EnabledMap, FaultTolerantRouter};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_router(side: u32, f: usize, seed: u64) -> FaultTolerantRouter {
+    let topology = Topology::mesh(side, side);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = uniform_faults(topology, f, &mut rng);
+    let map = FaultMap::new(topology, faults);
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    FaultTolerantRouter::new(enabled, &regions)
+}
+
+fn route_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ft_route");
+    group.sample_size(30);
+    for f in [8usize, 32, 64] {
+        let router = build_router(32, f, 11);
+        let nodes = router.enabled().enabled_coords();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let pairs: Vec<_> = (0..64)
+            .map(|_| {
+                let p: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+                (*p[0], *p[1])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(f), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(s, d) in pairs {
+                    let _ = black_box(router.route(s, d));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn router_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_build_with_rings");
+    group.sample_size(20);
+    for f in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| black_box(build_router(32, f, 17)));
+        });
+    }
+    group.finish();
+}
+
+fn wormhole_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wormhole_sim");
+    group.sample_size(10);
+    let router = build_router(24, 16, 19);
+    let nodes = router.enabled().enabled_coords();
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut specs = Vec::new();
+    let mut i = 0u64;
+    while specs.len() < 100 {
+        let p: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+        if let Ok(path) = router.route(*p[0], *p[1]) {
+            if !path.is_empty() {
+                specs.push(PacketSpec::with_assignment(
+                    path,
+                    i / 4,
+                    &ocp_routing::cdg::assign_detour_vc,
+                ));
+                i += 1;
+            }
+        }
+    }
+    let cfg = WormholeConfig {
+        vcs: 2,
+        ..WormholeConfig::default()
+    };
+    group.bench_function("100_packets_24x24", |b| {
+        b.iter(|| black_box(simulate(&specs, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, route_computation, router_construction, wormhole_simulation);
+criterion_main!(benches);

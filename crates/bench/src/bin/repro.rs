@@ -1,0 +1,264 @@
+//! `repro` — regenerates every exhibit of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--trials N] [--seed S] [--out DIR] <command>
+//!
+//! Commands:
+//!   fig5a         rounds to form faulty blocks vs faults (mesh & torus)
+//!   fig5b         rounds to form disabled regions vs faults
+//!   fig5c         enabled ratio vs faults (mesh)
+//!   fig5d         enabled ratio vs faults (torus)
+//!   models        Def-2a vs Def-2b vs disabled-region cost table (E9)
+//!   routing       routing-model comparison + CDG + wormhole (E10)
+//!   verify        theorem-checking campaign (E8)
+//!   maintenance   warm vs cold relabeling rounds
+//!   partition     disabled regions vs exact optimal polygon cover (E11)
+//!   async         asynchronous execution vs lock-step fixpoint (E12)
+//!   example-sec3  the paper's Section 3 worked example, rendered
+//!   all           everything above
+//! ```
+//!
+//! Tables print to stdout; JSON records land in `--out` (default
+//! `results/`).
+
+use ocp_analysis::to_json;
+use ocp_bench::experiments::{
+    self, asynchrony, fig5, maintenance, models, partition_gap, routing_eval, verification,
+    Settings,
+};
+use std::path::PathBuf;
+
+struct Args {
+    settings: Settings,
+    out_dir: PathBuf,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut settings = Settings::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut command = String::from("all");
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings = Settings::quick(),
+            "--trials" => {
+                settings.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a number");
+            }
+            "--seed" => {
+                settings.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--side" => {
+                settings.side = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--side needs a number");
+            }
+            "--out" => {
+                out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
+            }
+            "--help" | "-h" => {
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|example-sec3|all>");
+                std::process::exit(0);
+            }
+            other => command = other.to_string(),
+        }
+    }
+    Args {
+        settings,
+        out_dir,
+        command,
+    }
+}
+
+fn save(out_dir: &PathBuf, name: &str, json: String) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write results");
+    println!("[saved {}]", path.display());
+}
+
+fn run_fig5(args: &Args, which: &str) {
+    println!(
+        "Figure 5 reproduction: {}x{} machine, f in {{10%..100%}} of side, {} trials",
+        args.settings.side, args.settings.side, args.settings.trials
+    );
+    let fig = fig5::run(&args.settings);
+    match which {
+        "fig5a" => {
+            let t = fig5::panel_table(&[&fig.rounds_fb_mesh, &fig.rounds_fb_torus]);
+            println!("{}", experiments::render_section("Fig 5(a): rounds to form faulty blocks", &t));
+        }
+        "fig5b" => {
+            let t = fig5::panel_table(&[&fig.rounds_dr_mesh, &fig.rounds_dr_torus]);
+            println!("{}", experiments::render_section("Fig 5(b): rounds to form disabled regions", &t));
+        }
+        "fig5c" => {
+            let t = fig5::panel_table(&[&fig.ratio_mesh]);
+            println!("{}", experiments::render_section("Fig 5(c): % enabled among unsafe-nonfaulty (mesh)", &t));
+        }
+        "fig5d" => {
+            let t = fig5::panel_table(&[&fig.ratio_torus]);
+            println!("{}", experiments::render_section("Fig 5(d): % enabled among unsafe-nonfaulty (torus)", &t));
+        }
+        _ => {
+            let ta = fig5::panel_table(&[&fig.rounds_fb_mesh, &fig.rounds_fb_torus]);
+            let tb = fig5::panel_table(&[&fig.rounds_dr_mesh, &fig.rounds_dr_torus]);
+            let tc = fig5::panel_table(&[&fig.ratio_mesh]);
+            let td = fig5::panel_table(&[&fig.ratio_torus]);
+            println!("{}", experiments::render_section("Fig 5(a): rounds to form faulty blocks", &ta));
+            println!("{}", experiments::render_section("Fig 5(b): rounds to form disabled regions", &tb));
+            println!("{}", experiments::render_section("Fig 5(c): % enabled (mesh)", &tc));
+            println!("{}", experiments::render_section("Fig 5(d): % enabled (torus)", &td));
+        }
+    }
+    save(&args.out_dir, "fig5", to_json(&fig));
+}
+
+fn run_models(args: &Args) {
+    let ab = models::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E9: nonfaulty nodes sacrificed per model (means)",
+            &models::table(&ab)
+        )
+    );
+    save(&args.out_dir, "models", to_json(&ab));
+}
+
+fn run_routing(args: &Args) {
+    let rows = routing_eval::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E10: routing under FB vs DR fault models (32x32 mesh)",
+            &routing_eval::table(&rows)
+        )
+    );
+    save(&args.out_dir, "routing", to_json(&rows));
+}
+
+fn run_verify(args: &Args) {
+    let report = verification::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section("E8: theorem verification campaign", &verification::table(&report))
+    );
+    for s in &report.samples {
+        println!("  VIOLATION: {s}");
+    }
+    save(&args.out_dir, "verify", to_json(&report));
+    if report.violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_maintenance(args: &Args) {
+    let result = maintenance::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "Maintenance: phase-1 rounds after one new fault",
+            &maintenance::table(&result)
+        )
+    );
+    save(&args.out_dir, "maintenance", to_json(&result));
+}
+
+fn run_partition(args: &Args) {
+    let rows = partition_gap::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E11: disabled regions vs exact optimal polygon cover (open problem)",
+            &partition_gap::table(&rows)
+        )
+    );
+    save(&args.out_dir, "partition", to_json(&rows));
+}
+
+fn run_async_exp(args: &Args) {
+    let rows = asynchrony::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E12: asynchronous execution vs lock-step fixpoint",
+            &asynchrony::table(&rows)
+        )
+    );
+    save(&args.out_dir, "async", to_json(&rows));
+}
+
+fn run_example_sec3() {
+    use ocp_core::prelude::*;
+    let fx = ocp_workloads::fixtures::sec3_example();
+    let map = FaultMap::new(fx.topology, fx.faults.iter().copied());
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    println!("\n== Section 3 worked example ==\n");
+    println!("{}", fx.description);
+    let render = |title: &str, s: String| println!("{title}:\n{s}");
+    render(
+        "faults (#)",
+        ocp_mesh::render(&out.safety, |c, _| if map.is_faulty(c) { '#' } else { '.' }),
+    );
+    render(
+        "unsafe after phase 1 (u)",
+        ocp_mesh::render(&out.safety, |c, s| match s {
+            SafetyState::Unsafe if map.is_faulty(c) => '#',
+            SafetyState::Unsafe => 'u',
+            SafetyState::Safe => '.',
+        }),
+    );
+    render(
+        "disabled after phase 2 (d)",
+        ocp_mesh::render(&out.activation, |c, a| match a {
+            ActivationState::Disabled if map.is_faulty(c) => '#',
+            ActivationState::Disabled => 'd',
+            ActivationState::Enabled => '.',
+        }),
+    );
+    println!(
+        "blocks: {}  regions: {}  rounds: {} + {}",
+        out.blocks.len(),
+        out.regions.len(),
+        out.safety_trace.rounds(),
+        out.enablement_trace.rounds()
+    );
+    ocp_core::verify::verify(&map, &out).expect("invariants");
+    println!("all Section 4 invariants verified");
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "fig5a" | "fig5b" | "fig5c" | "fig5d" | "fig5" => run_fig5(&args, &args.command),
+        "models" => run_models(&args),
+        "routing" => run_routing(&args),
+        "verify" => run_verify(&args),
+        "maintenance" => run_maintenance(&args),
+        "partition" => run_partition(&args),
+        "async" => run_async_exp(&args),
+        "example-sec3" => run_example_sec3(),
+        "all" => {
+            run_fig5(&args, "fig5");
+            run_models(&args);
+            run_routing(&args);
+            run_maintenance(&args);
+            run_partition(&args);
+            run_async_exp(&args);
+            run_verify(&args);
+            run_example_sec3();
+        }
+        other => {
+            eprintln!("unknown command: {other} (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Incremental maintenance experiment: warm-started relabeling after one
+//! additional fault vs relabeling from scratch ("faulty blocks can be
+//! easily established and maintained", Section 1).
+
+use super::Settings;
+use ocp_analysis::{Series, Table};
+use ocp_core::maintenance::relabel_after_fault;
+use ocp_core::prelude::*;
+use ocp_mesh::{Topology, TopologyKind};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Mean rounds for cold vs warm phase-1 runs per fault count.
+#[derive(Clone, Debug, Serialize)]
+pub struct MaintenanceResult {
+    /// Rounds of a from-scratch phase 1 after the new fault.
+    pub cold_rounds: Series,
+    /// Rounds of the warm-started phase 1.
+    pub warm_rounds: Series,
+}
+
+/// Runs the maintenance comparison on a mesh.
+pub fn run(settings: &Settings) -> MaintenanceResult {
+    let topology = Topology::new(TopologyKind::Mesh, settings.side, settings.side);
+    let fault_counts = [10usize, 30, 50, 70, 90];
+    let cfg = PipelineConfig::default();
+    let mut cold_rounds = Series::new("cold relabel rounds", "faults");
+    let mut warm_rounds = Series::new("warm relabel rounds", "faults");
+    for (fi, &f) in fault_counts.iter().enumerate() {
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        for trial in 0..settings.trials {
+            let seed = settings.seed ^ 0xAA17 ^ ((fi as u64) << 24) ^ trial as u64;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let faults = uniform_faults(topology, f, &mut rng);
+            let map = FaultMap::new(topology, faults);
+            let before = run_pipeline(&map, &cfg);
+            // New fault at a random healthy node.
+            let healthy: Vec<_> = topology
+                .coords()
+                .filter(|&c| !map.is_faulty(c))
+                .collect();
+            let &new_fault = healthy.choose(&mut rng).expect("healthy nodes exist");
+
+            let (updated, warm_out) = relabel_after_fault(&map, new_fault, &before, &cfg);
+            let cold_out = run_pipeline(&updated, &cfg);
+            cold.push(cold_out.safety_trace.rounds() as f64);
+            warm.push(warm_out.incremental_safety_trace.rounds() as f64);
+        }
+        cold_rounds.push(f as f64, &cold);
+        warm_rounds.push(f as f64, &warm);
+    }
+    MaintenanceResult {
+        cold_rounds,
+        warm_rounds,
+    }
+}
+
+/// Renders the comparison as a table.
+pub fn table(result: &MaintenanceResult) -> Table {
+    let mut t = Table::new(["faults", "cold rounds", "warm rounds"]);
+    for (i, p) in result.cold_rounds.points.iter().enumerate() {
+        t.push_row([
+            format!("{}", p.x),
+            format!("{:.2}", p.summary.mean),
+            format!("{:.2}", result.warm_rounds.points[i].summary.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_never_needs_more_rounds_on_average() {
+        let r = run(&Settings::quick());
+        for i in 0..r.cold_rounds.points.len() {
+            let cold = r.cold_rounds.points[i].summary.mean;
+            let warm = r.warm_rounds.points[i].summary.mean;
+            assert!(
+                warm <= cold + 1e-9,
+                "f={}: warm {warm} > cold {cold}",
+                r.cold_rounds.points[i].x
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Experiment implementations (one module per exhibit).
+
+pub mod asynchrony;
+pub mod fig5;
+pub mod maintenance;
+pub mod models;
+pub mod partition_gap;
+pub mod routing_eval;
+pub mod verification;
+
+use ocp_analysis::Table;
+
+/// Shared experiment settings.
+#[derive(Clone, Copy, Debug)]
+pub struct Settings {
+    /// Trials per parameter point.
+    pub trials: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Machine side length for the Figure 5 sweeps (paper: 100).
+    pub side: u32,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            trials: 30,
+            seed: 20010425, // IPPS 2001
+            side: 100,
+        }
+    }
+}
+
+/// Quick settings for smoke tests.
+impl Settings {
+    /// Smaller machine / fewer trials, for tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            trials: 5,
+            seed: 7,
+            side: 40,
+        }
+    }
+}
+
+/// Renders a table with a heading to a string.
+pub fn render_section(title: &str, table: &Table) -> String {
+    format!("\n== {title} ==\n\n{table}")
+}

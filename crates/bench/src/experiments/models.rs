@@ -1,0 +1,138 @@
+//! E9: model-quality ablation — how many nonfaulty nodes each fault model
+//! sacrifices, and how fragmented the fault regions are.
+
+use super::Settings;
+use ocp_analysis::{Series, Table};
+use ocp_core::prelude::*;
+use ocp_mesh::{Topology, TopologyKind};
+use ocp_workloads::{uniform_faults, SweepConfig};
+use serde::Serialize;
+
+/// Mean sacrificed-nonfaulty-node counts per fault count, per model.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelAblation {
+    /// Nonfaulty nodes inside Definition 2a blocks.
+    pub def2a_cost: Series,
+    /// Nonfaulty nodes inside Definition 2b blocks.
+    pub def2b_cost: Series,
+    /// Nonfaulty nodes still disabled after phase 2 (the paper's model).
+    pub dr_cost: Series,
+    /// Mean number of Definition 2b blocks.
+    pub block_count: Series,
+    /// Mean number of disabled regions.
+    pub region_count: Series,
+}
+
+/// Runs the ablation on a mesh of `settings.side`.
+pub fn run(settings: &Settings) -> ModelAblation {
+    let cfg = SweepConfig {
+        kind: TopologyKind::Mesh,
+        width: settings.side,
+        height: settings.side,
+        fault_counts: (1..=10).map(|i| (i * settings.side as usize) / 10).collect(),
+        trials: settings.trials,
+        base_seed: settings.seed ^ 0xE9,
+    };
+    let topology: Topology = cfg.topology();
+    let mut def2a_cost = Series::new("nonfaulty in Def-2a blocks", "faults");
+    let mut def2b_cost = Series::new("nonfaulty in Def-2b blocks", "faults");
+    let mut dr_cost = Series::new("nonfaulty in disabled regions", "faults");
+    let mut block_count = Series::new("Def-2b block count", "faults");
+    let mut region_count = Series::new("disabled region count", "faults");
+
+    for &f in &cfg.fault_counts {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut d = Vec::new();
+        let mut bc = Vec::new();
+        let mut rc = Vec::new();
+        for point in cfg.points().into_iter().filter(|p| p.faults == f) {
+            let mut rng = cfg.rng(point);
+            let faults = uniform_faults(topology, f, &mut rng);
+            let map = FaultMap::new(topology, faults);
+
+            let out_a = run_pipeline(
+                &map,
+                &PipelineConfig {
+                    rule: SafetyRule::TwoUnsafeNeighbors,
+                    ..PipelineConfig::default()
+                },
+            );
+            let sa = ModelStats::collect(&map, &out_a);
+            a.push(sa.unsafe_nonfaulty as f64);
+
+            let out_b = run_pipeline(&map, &PipelineConfig::default());
+            let sb = ModelStats::collect(&map, &out_b);
+            b.push(sb.unsafe_nonfaulty as f64);
+            d.push(sb.disabled_nonfaulty as f64);
+            bc.push(sb.block_count as f64);
+            rc.push(sb.region_count as f64);
+        }
+        def2a_cost.push(f as f64, &a);
+        def2b_cost.push(f as f64, &b);
+        dr_cost.push(f as f64, &d);
+        block_count.push(f as f64, &bc);
+        region_count.push(f as f64, &rc);
+    }
+    ModelAblation {
+        def2a_cost,
+        def2b_cost,
+        dr_cost,
+        block_count,
+        region_count,
+    }
+}
+
+/// Renders the ablation as one table.
+pub fn table(ablation: &ModelAblation) -> Table {
+    let mut t = Table::new([
+        "faults",
+        "Def2a cost",
+        "Def2b cost",
+        "DR cost",
+        "FB count",
+        "DR count",
+    ]);
+    for (i, p) in ablation.def2a_cost.points.iter().enumerate() {
+        t.push_row([
+            format!("{}", p.x),
+            format!("{:.1}", p.summary.mean),
+            format!("{:.1}", ablation.def2b_cost.points[i].summary.mean),
+            format!("{:.1}", ablation.dr_cost.points[i].summary.mean),
+            format!("{:.1}", ablation.block_count.points[i].summary.mean),
+            format!("{:.1}", ablation.region_count.points[i].summary.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ordering_matches_paper_claims() {
+        let ab = run(&Settings::quick());
+        // Section 3: Def 2b absorbs no more nonfaulty nodes than Def 2a,
+        // and the enabled/disabled rule reduces the cost further.
+        for i in 0..ab.def2a_cost.points.len() {
+            let a = ab.def2a_cost.points[i].summary.mean;
+            let b = ab.def2b_cost.points[i].summary.mean;
+            let d = ab.dr_cost.points[i].summary.mean;
+            assert!(b <= a + 1e-9, "f={}: 2b {b} > 2a {a}", ab.def2a_cost.points[i].x);
+            assert!(d <= b + 1e-9, "f={}: dr {d} > 2b {b}", ab.def2a_cost.points[i].x);
+        }
+        // The paper's headline: most of the cost is recovered.
+        let total_b: f64 = ab.def2b_cost.means().iter().sum();
+        let total_d: f64 = ab.dr_cost.means().iter().sum();
+        assert!(total_d < total_b * 0.5, "dr {total_d} vs 2b {total_b}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let ab = run(&Settings::quick());
+        let t = table(&ab);
+        assert_eq!(t.len(), 10);
+        assert!(t.to_string().contains("Def2a"));
+    }
+}

@@ -1,0 +1,118 @@
+//! E11: the open problem's optimality gap.
+//!
+//! The paper leaves open (conjectured NP-complete) the *minimum* cover of
+//! a faulty block's faults by orthogonal convex polygons. Our exact solver
+//! (`ocp_core::partition`) handles blocks with up to ~10 faults, which at
+//! the paper's densities is nearly all of them — so we can measure how far
+//! the distributed disabled-region construction is from optimal.
+
+use super::Settings;
+use ocp_analysis::Table;
+use ocp_core::partition::{optimality_gap, EXACT_FAULT_LIMIT};
+use ocp_core::prelude::*;
+use ocp_mesh::{Topology, TopologyKind};
+use ocp_workloads::{clustered_faults, uniform_faults};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Aggregate gap statistics for one workload family.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct GapRow {
+    /// Workload label.
+    pub workload: String,
+    /// Faulty blocks measured.
+    pub blocks: usize,
+    /// Blocks skipped (more faults than the exact solver's limit).
+    pub skipped: usize,
+    /// Total nonfaulty nodes in disabled regions across measured blocks.
+    pub dr_cost: usize,
+    /// Total nonfaulty nodes in the optimal partitions.
+    pub optimal_cost: usize,
+    /// Blocks where the distributed construction was strictly suboptimal.
+    pub suboptimal_blocks: usize,
+}
+
+/// Runs the gap measurement over uniform and clustered patterns.
+pub fn run(settings: &Settings) -> Vec<GapRow> {
+    let side = settings.side.min(48);
+    let topology = Topology::new(TopologyKind::Mesh, side, side);
+    let mut rows = Vec::new();
+    for (label, clustered) in [("uniform", false), ("clustered", true)] {
+        let mut row = GapRow {
+            workload: label.to_string(),
+            ..GapRow::default()
+        };
+        for trial in 0..settings.trials * 4 {
+            let mut rng = SmallRng::seed_from_u64(settings.seed ^ 0xE11 ^ trial as u64);
+            let f = (side as usize) / 2;
+            let faults = if clustered {
+                clustered_faults(topology, f, (f / 6).max(1), &mut rng)
+            } else {
+                uniform_faults(topology, f, &mut rng)
+            };
+            let map = FaultMap::new(topology, faults);
+            let out = run_pipeline(&map, &PipelineConfig::default());
+            let grouped = out.regions_per_block();
+            for (block, regions) in out.blocks.iter().zip(&grouped) {
+                match optimality_gap(block, regions, EXACT_FAULT_LIMIT) {
+                    Some(gap) => {
+                        row.blocks += 1;
+                        row.dr_cost += gap.dr_cost;
+                        row.optimal_cost += gap.optimal_cost;
+                        if gap.excess() > 0 {
+                            row.suboptimal_blocks += 1;
+                        }
+                    }
+                    None => row.skipped += 1,
+                }
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders the gap rows as a table.
+pub fn table(rows: &[GapRow]) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "blocks",
+        "skipped",
+        "DR cost",
+        "optimal",
+        "suboptimal blocks",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.workload.clone(),
+            r.blocks.to_string(),
+            r.skipped.to_string(),
+            r.dr_cost.to_string(),
+            r.optimal_cost.to_string(),
+            r.suboptimal_blocks.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_never_exceeds_dr_cost() {
+        let rows = run(&Settings::quick());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.blocks > 0, "{}: no blocks measured", r.workload);
+            assert!(
+                r.optimal_cost <= r.dr_cost,
+                "{}: optimal {} > DR {}",
+                r.workload,
+                r.optimal_cost,
+                r.dr_cost
+            );
+        }
+    }
+}

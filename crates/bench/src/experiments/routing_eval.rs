@@ -1,0 +1,189 @@
+//! E10: the routing payoff of the paper's fault model.
+//!
+//! On the same fault patterns, compare routing under the classical
+//! faulty-block model (all unsafe nodes disabled) and under the paper's
+//! disabled-region model: enabled node counts, delivery rate, path stretch,
+//! CDG acyclicity, and flit-level wormhole latency.
+
+use super::Settings;
+use ocp_analysis::Table;
+use ocp_core::prelude::*;
+use ocp_mesh::Topology;
+use ocp_routing::cdg::{assign_detour_vc, assign_single_vc, DependencyGraph};
+use ocp_routing::wormhole::{simulate, PacketSpec, WormholeConfig};
+use ocp_routing::{compare_models, EnabledMap, FaultTolerantRouter, Path};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One row of the routing evaluation.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoutingRow {
+    /// Number of injected faults.
+    pub faults: usize,
+    /// Enabled nodes: faulty-block model.
+    pub fb_enabled: f64,
+    /// Enabled nodes: disabled-region model.
+    pub dr_enabled: f64,
+    /// Delivery rate (delivered / attempted): FB model.
+    pub fb_delivery: f64,
+    /// Delivery rate: DR model.
+    pub dr_delivery: f64,
+    /// Mean stretch of delivered routes: FB model.
+    pub fb_stretch: f64,
+    /// Mean stretch: DR model.
+    pub dr_stretch: f64,
+    /// Fraction of sampled pairs with a *minimal* enabled path: FB model.
+    pub fb_minimal: f64,
+    /// Minimal routability: DR model.
+    pub dr_minimal: f64,
+    /// Back edges in the empirical CDG of DR-model routes on one VC.
+    pub cdg_cycles_1vc: usize,
+    /// Back edges with the detour-VC discipline.
+    pub cdg_cycles_2vc: usize,
+    /// Mean wormhole latency (cycles) under the DR model.
+    pub wormhole_latency: f64,
+    /// Whether the wormhole run deadlocked (2 VC detour discipline).
+    pub wormhole_deadlocked: bool,
+}
+
+/// Runs the routing evaluation on a 32×32 mesh across fault counts.
+pub fn run(settings: &Settings) -> Vec<RoutingRow> {
+    let side = 32u32;
+    let topology = Topology::mesh(side, side);
+    let fault_counts = [4usize, 8, 16, 24, 32];
+    let mut rows = Vec::new();
+    for (fi, &f) in fault_counts.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(settings.seed ^ (0xE10 + fi as u64));
+        let faults = uniform_faults(topology, f, &mut rng);
+        let map = FaultMap::new(topology, faults);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let cmp = compare_models(&out, 200, &mut rng);
+
+        // Collect DR-model routes for CDG and wormhole analysis.
+        let enabled = EnabledMap::from_outcome(&out);
+        let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        let nodes = enabled.enabled_coords();
+        let mut paths: Vec<Path> = Vec::new();
+        for _ in 0..150 {
+            let pick: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+            if let Ok(p) = router.route(*pick[0], *pick[1]) {
+                if !p.is_empty() {
+                    paths.push(p);
+                }
+            }
+        }
+        let g1 = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
+        let g2 = DependencyGraph::from_paths(paths.iter(), &assign_detour_vc);
+
+        // Wormhole: inject the same routes over time with the detour-VC
+        // discipline.
+        let specs: Vec<PacketSpec> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                PacketSpec::with_assignment(p.clone(), (i as u64 / 4) * 2, &assign_detour_vc)
+            })
+            .collect();
+        let stats = simulate(
+            &specs,
+            &WormholeConfig {
+                vcs: 2,
+                ..WormholeConfig::default()
+            },
+        );
+
+        // Minimal routability under each model (the paper's progressive/
+        // minimal-routing motivation).
+        let fb_enabled_map = EnabledMap::from_safety(&out);
+        let fb_minimal = ocp_routing::minimal_routability(&fb_enabled_map, 300, &mut rng);
+        let dr_minimal = ocp_routing::minimal_routability(&enabled, 300, &mut rng);
+
+        let rate = |m: &ocp_routing::metrics::ModelMetrics| {
+            if m.pairs == 0 {
+                1.0
+            } else {
+                m.delivered as f64 / m.pairs as f64
+            }
+        };
+        rows.push(RoutingRow {
+            faults: f,
+            fb_enabled: cmp.faulty_block.enabled_nodes as f64,
+            dr_enabled: cmp.disabled_region.enabled_nodes as f64,
+            fb_delivery: rate(&cmp.faulty_block),
+            dr_delivery: rate(&cmp.disabled_region),
+            fb_stretch: cmp.faulty_block.avg_stretch,
+            dr_stretch: cmp.disabled_region.avg_stretch,
+            fb_minimal,
+            dr_minimal,
+            cdg_cycles_1vc: g1.count_back_edges(),
+            cdg_cycles_2vc: g2.count_back_edges(),
+            wormhole_latency: stats.avg_latency,
+            wormhole_deadlocked: stats.deadlocked,
+        });
+    }
+    rows
+}
+
+/// Renders the evaluation as a table.
+pub fn table(rows: &[RoutingRow]) -> Table {
+    let mut t = Table::new([
+        "faults",
+        "FB enabled",
+        "DR enabled",
+        "FB deliv",
+        "DR deliv",
+        "FB stretch",
+        "DR stretch",
+        "FB minimal",
+        "DR minimal",
+        "CDG 1vc",
+        "CDG 2vc",
+        "WH latency",
+    ]);
+    for r in rows {
+        t.push_row([
+            format!("{}", r.faults),
+            format!("{:.0}", r.fb_enabled),
+            format!("{:.0}", r.dr_enabled),
+            format!("{:.2}", r.fb_delivery),
+            format!("{:.2}", r.dr_delivery),
+            format!("{:.3}", r.fb_stretch),
+            format!("{:.3}", r.dr_stretch),
+            format!("{:.3}", r.fb_minimal),
+            format!("{:.3}", r.dr_minimal),
+            format!("{}", r.cdg_cycles_1vc),
+            format!("{}", r.cdg_cycles_2vc),
+            format!("{:.1}", r.wormhole_latency),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dr_model_never_enables_fewer_nodes() {
+        let rows = run(&Settings::quick());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.dr_enabled >= r.fb_enabled,
+                "f={}: DR {} < FB {}",
+                r.faults,
+                r.dr_enabled,
+                r.fb_enabled
+            );
+            assert!(r.dr_delivery > 0.5, "f={}: delivery {}", r.faults, r.dr_delivery);
+            if r.dr_stretch > 0.0 {
+                assert!(r.dr_stretch >= 1.0);
+            }
+            assert!(!r.wormhole_deadlocked, "f={} deadlocked", r.faults);
+        }
+    }
+}

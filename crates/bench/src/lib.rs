@@ -1,0 +1,23 @@
+//! # ocp-bench
+//!
+//! Experiment definitions behind the `repro` binary. Each submodule of
+//! [`experiments`] regenerates one exhibit of the paper (see DESIGN.md's
+//! per-experiment index and EXPERIMENTS.md for measured results):
+//!
+//! * [`experiments::fig5`] — Figure 5 (a)–(d): rounds to form faulty blocks
+//!   and disabled regions, and the enabled-node ratio, vs the number of
+//!   faults on 100×100 mesh and torus machines.
+//! * [`experiments::models`] — derived table E9: nonfaulty nodes sacrificed
+//!   by Definition 2a blocks vs Definition 2b blocks vs disabled regions.
+//! * [`experiments::routing_eval`] — derived table E10: routability and
+//!   stretch under the faulty-block vs disabled-region models, plus CDG
+//!   acyclicity and wormhole latency.
+//! * [`experiments::verification`] — E8: machine-checking Theorems 1–2,
+//!   Lemma 1 and the Corollary over randomized fault patterns.
+//! * [`experiments::maintenance`] — incremental re-labeling cost after a
+//!   new fault (warm start) vs relabeling from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,55 @@
+//! End-to-end tests of the `repro` binary itself.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn example_sec3_prints_expected_structure() {
+    let out = repro()
+        .arg("example-sec3")
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Section 3 worked example"));
+    assert!(stdout.contains("blocks: 1  regions: 3"));
+    assert!(stdout.contains("all Section 4 invariants verified"));
+}
+
+#[test]
+fn quick_verify_campaign_passes_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("repro-test-{}", std::process::id()));
+    let out = repro()
+        .args(["--quick", "--out"])
+        .arg(&dir)
+        .arg("verify")
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("violations"));
+    let json = std::fs::read_to_string(dir.join("verify.json")).expect("json written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+    assert_eq!(parsed["violations"], 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = repro().arg("nonsense").output().expect("repro runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = repro().arg("--help").output().expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["fig5a", "models", "routing", "verify", "partition", "async"] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}

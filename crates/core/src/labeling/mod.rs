@@ -1,0 +1,18 @@
+//! The two distributed labeling phases of the paper.
+//!
+//! Phase 1 ([`safety`]) classifies nonfaulty nodes safe/unsafe and yields the
+//! rectangular faulty blocks; phase 2 ([`enablement`]) re-enables as many
+//! unsafe-but-nonfaulty nodes as possible, leaving minimal orthogonal convex
+//! disabled regions. Both are [`ocp_distsim::LockstepProtocol`]s and run on
+//! any of the three executors.
+
+pub mod distance;
+pub mod enablement;
+pub mod safety;
+
+/// Default round cap for a topology: generous multiple of the diameter (the
+/// protocols converge within the largest block diameter, which is at most
+/// the machine diameter).
+pub fn default_round_cap(topology: ocp_mesh::Topology) -> u32 {
+    2 * (topology.width() + topology.height()) + 8
+}

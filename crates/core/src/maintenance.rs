@@ -1,0 +1,213 @@
+//! Incremental maintenance of the labeling when new faults appear.
+//!
+//! The paper observes that faulty blocks "can be easily established and
+//! maintained through message exchanges among neighboring nodes". This
+//! module makes that concrete: when a node fails *after* the labels have
+//! converged, phase 1 can resume from the previous fixpoint — the
+//! safe/unsafe rule is monotone in the fault set, so every previously
+//! unsafe node stays unsafe and only the neighborhood of the new fault
+//! needs extra rounds. Phase 2 is *not* monotone in the fault set (a new
+//! fault can force previously enabled nodes back to disabled), so it is
+//! recomputed from the fresh safety grid, which is cheap.
+
+use crate::labeling::default_round_cap;
+use crate::labeling::enablement::compute_enablement;
+use crate::labeling::safety::{SafetyRule, SafetyState};
+use crate::pipeline::{PipelineConfig, PipelineOutcome};
+use crate::status::FaultMap;
+use ocp_distsim::{run, LockstepProtocol, NeighborStates, RunTrace};
+use ocp_mesh::{Coord, Grid, Topology};
+
+/// Phase-1 protocol warm-started from a previous fixpoint.
+struct WarmSafetyProtocol<'a> {
+    map: &'a FaultMap,
+    rule: SafetyRule,
+    previous: &'a Grid<SafetyState>,
+}
+
+impl LockstepProtocol for WarmSafetyProtocol<'_> {
+    type State = SafetyState;
+
+    fn topology(&self) -> Topology {
+        self.map.topology()
+    }
+
+    fn initial(&self, c: Coord) -> SafetyState {
+        if self.map.is_faulty(c) {
+            SafetyState::Unsafe
+        } else {
+            *self.previous.get(c)
+        }
+    }
+
+    fn ghost(&self) -> SafetyState {
+        SafetyState::Safe
+    }
+
+    fn participates(&self, c: Coord) -> bool {
+        !self.map.is_faulty(c)
+    }
+
+    fn step(
+        &self,
+        c: Coord,
+        current: SafetyState,
+        neighbors: &NeighborStates<SafetyState>,
+    ) -> SafetyState {
+        crate::labeling::safety::SafetyProtocol::new(self.map, self.rule)
+            .step(c, current, neighbors)
+    }
+}
+
+/// Result of an incremental re-labeling.
+#[derive(Clone, Debug)]
+pub struct MaintenanceOutcome {
+    /// The refreshed full outcome (blocks, regions, grids).
+    pub outcome: PipelineOutcome,
+    /// Rounds the warm-started phase 1 needed (compare against the
+    /// from-scratch `outcome.safety_trace` of a cold run).
+    pub incremental_safety_trace: RunTrace,
+}
+
+/// Re-labels after `new_fault` appears, warm-starting phase 1 from
+/// `previous`'s converged safety grid.
+///
+/// # Panics
+/// Panics if `previous` was computed under a different rule than
+/// `config.rule` or on a different machine than `map`.
+pub fn relabel_after_fault(
+    map: &FaultMap,
+    new_fault: Coord,
+    previous: &PipelineOutcome,
+    config: &PipelineConfig,
+) -> (FaultMap, MaintenanceOutcome) {
+    assert_eq!(previous.rule, config.rule, "rule changed between runs");
+    assert_eq!(
+        map.topology(),
+        previous.safety.topology(),
+        "machine changed between runs"
+    );
+    let updated = map.with_additional_fault(new_fault);
+    let cap = config
+        .max_rounds
+        .unwrap_or_else(|| default_round_cap(map.topology()));
+
+    let warm = WarmSafetyProtocol {
+        map: &updated,
+        rule: config.rule,
+        previous: &previous.safety,
+    };
+    let safety_run = run(&warm, config.executor, cap);
+    let blocks = crate::blocks::extract_blocks(&updated, &safety_run.states);
+    let enablement = compute_enablement(&updated, &safety_run.states, config.executor, cap);
+    let regions = crate::regions::extract_regions(&updated, &enablement.grid);
+
+    let outcome = PipelineOutcome {
+        rule: config.rule,
+        safety: safety_run.states,
+        activation: enablement.grid,
+        blocks,
+        regions,
+        safety_trace: safety_run.trace.clone(),
+        enablement_trace: enablement.trace,
+    };
+    (
+        updated,
+        MaintenanceOutcome {
+            outcome,
+            incremental_safety_trace: safety_run.trace,
+        },
+    )
+}
+
+/// Relabels after the node at `repaired` comes back to life.
+///
+/// Repair is not monotone for phase 1 (unsafe labels may need to *retract*),
+/// so the safe thing — and what this function does — is a cold rerun of the
+/// whole pipeline on the updated map. It exists for API symmetry with
+/// [`relabel_after_fault`] and to centralize the reasoning: do not warm-start
+/// safety labels across repairs.
+pub fn relabel_after_repair(
+    map: &FaultMap,
+    repaired: Coord,
+    config: &PipelineConfig,
+) -> (FaultMap, PipelineOutcome) {
+    let updated = map.with_repaired_node(repaired);
+    let outcome = crate::pipeline::run_pipeline(&updated, config);
+    (updated, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline;
+    use crate::verify::verify;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let t = Topology::mesh(14, 14);
+        let map = FaultMap::new(t, [c(3, 3), c(4, 4), c(10, 2)]);
+        let cfg = PipelineConfig::default();
+        let cold = run_pipeline(&map, &cfg);
+
+        let new_fault = c(4, 2);
+        let (updated, warm) = relabel_after_fault(&map, new_fault, &cold, &cfg);
+
+        let scratch_map = map.with_additional_fault(new_fault);
+        let scratch = run_pipeline(&scratch_map, &cfg);
+
+        assert_eq!(warm.outcome.safety, scratch.safety);
+        assert_eq!(warm.outcome.activation, scratch.activation);
+        assert_eq!(warm.outcome.blocks.len(), scratch.blocks.len());
+        verify(&updated, &warm.outcome).expect("warm outcome verifies");
+    }
+
+    #[test]
+    fn warm_start_is_no_slower_than_cold() {
+        let t = Topology::mesh(20, 20);
+        // A sizable diagonal cluster so the cold run needs several rounds.
+        let faults: Vec<Coord> = (0..5).map(|i| c(5 + i, 5 + i)).collect();
+        let cfg = PipelineConfig::default();
+        let map = FaultMap::new(t, faults);
+        let cold = run_pipeline(&map, &cfg);
+        assert!(cold.safety_trace.rounds() >= 2);
+
+        // A far-away isolated fault should cost ~0 incremental rounds.
+        let (_updated, warm) = relabel_after_fault(&map, c(17, 2), &cold, &cfg);
+        assert!(
+            warm.incremental_safety_trace.rounds() < cold.safety_trace.rounds(),
+            "incremental {} >= cold {}",
+            warm.incremental_safety_trace.rounds(),
+            cold.safety_trace.rounds()
+        );
+    }
+
+    #[test]
+    fn repair_shrinks_blocks_and_verifies() {
+        // A 2x2 diagonal block; repairing one fault leaves a lone fault.
+        let map = FaultMap::new(Topology::mesh(10, 10), [c(4, 4), c(5, 5)]);
+        let cfg = PipelineConfig::default();
+        let before = run_pipeline(&map, &cfg);
+        assert_eq!(before.blocks[0].len(), 4);
+
+        let (updated, after) = relabel_after_repair(&map, c(5, 5), &cfg);
+        assert_eq!(updated.fault_count(), 1);
+        assert_eq!(after.blocks.len(), 1);
+        assert_eq!(after.blocks[0].len(), 1);
+        verify(&updated, &after).expect("invariants after repair");
+    }
+
+    #[test]
+    fn adding_fault_inside_existing_block_is_free() {
+        let map = FaultMap::new(Topology::mesh(10, 10), [c(2, 2), c(3, 3)]);
+        let cfg = PipelineConfig::default();
+        let cold = run_pipeline(&map, &cfg);
+        // (2,3) is already unsafe; making it faulty changes no safety label.
+        let (_u, warm) = relabel_after_fault(&map, c(2, 3), &cold, &cfg);
+        assert_eq!(warm.incremental_safety_trace.rounds(), 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! The paper's open problem, made executable.
+//!
+//! Section 4 (and the conclusion) leave open: *"For a given faulty block,
+//! find a set of orthogonal convex polygons that covers all the faults in
+//! the block and contains a minimum number of nonfaulty nodes"* —
+//! conjectured NP-complete (D. Z. Chen, private communication in the
+//! paper).
+//!
+//! This module provides an **exact solver for small instances** by
+//! exhaustive search over set partitions of the fault cells: a candidate
+//! solution assigns each fault to a group; a group's polygon is the
+//! orthogonal convex closure of its faults (the smallest polygon covering
+//! them — Theorem 2's construction); a partition is *feasible* when the
+//! groups' polygons are pairwise at Manhattan distance ≥ 2 (the separation
+//! disabled regions themselves satisfy, so they remain distinct fault
+//! regions for routing). The cost is the total number of nonfaulty nodes
+//! across the polygons.
+//!
+//! The exact optimum lower-bounds the disabled-region decomposition, so
+//! [`optimality_gap`] quantifies how much the (conjectured-hard) optimum
+//! could still save over the paper's distributed construction — the
+//! experiment the paper could not run.
+
+use ocp_geometry::{orthogonal_convex_closure, Region};
+use serde::{Deserialize, Serialize};
+
+/// An exact solution of the open problem for one fault set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptimalPartition {
+    /// Fault groups of the optimal partition (each sorted).
+    pub groups: Vec<Vec<ocp_mesh::Coord>>,
+    /// The groups' polygons (orthogonal convex closures).
+    pub polygons: Vec<Region>,
+    /// Total nonfaulty nodes inside the polygons (the objective).
+    pub cost: usize,
+    /// Set partitions examined (search-effort telemetry).
+    pub partitions_examined: u64,
+}
+
+/// Default cap on the number of faults the exact solver accepts. Bell(10)
+/// = 115,975 partitions; with memoized subset closures that is fast, while
+/// Bell(13) is already two orders of magnitude more.
+pub const EXACT_FAULT_LIMIT: usize = 10;
+
+/// Exactly solves the minimum-nonfaulty-cover problem for `faults`.
+///
+/// Returns `None` when `faults` is larger than `limit` (exhaustive search
+/// would be intractable — the conjectured NP-completeness is the point of
+/// the open problem).
+///
+/// ```
+/// use ocp_core::partition::optimal_partition;
+/// use ocp_geometry::{Region, Coord};
+///
+/// // Four faults at the corners of a 3x3 square: one polygon would have
+/// // to fill all 5 interior cells, but four singleton polygons (pairwise
+/// // distance 2) cover the faults for free.
+/// let corners = Region::from_cells([
+///     Coord::new(0, 0), Coord::new(2, 0), Coord::new(0, 2), Coord::new(2, 2),
+/// ]);
+/// let best = optimal_partition(&corners, 8).unwrap();
+/// assert_eq!(best.cost, 0);
+/// assert_eq!(best.polygons.len(), 4);
+/// ```
+pub fn optimal_partition(faults: &Region, limit: usize) -> Option<OptimalPartition> {
+    let cells: Vec<ocp_mesh::Coord> = faults.iter().collect();
+    let n = cells.len();
+    if n == 0 {
+        return Some(OptimalPartition {
+            groups: Vec::new(),
+            polygons: Vec::new(),
+            cost: 0,
+            partitions_examined: 1,
+        });
+    }
+    if n > limit {
+        return None;
+    }
+
+    // Memoize the closure and cost of every fault subset (2^n of them).
+    let subsets = 1usize << n;
+    let mut closures: Vec<Option<Region>> = vec![None; subsets];
+    let mut costs: Vec<usize> = vec![0; subsets];
+    for mask in 1..subsets {
+        let group = Region::from_cells(
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| cells[i]),
+        );
+        let closure = orthogonal_convex_closure(&group);
+        costs[mask] = closure.len() - group.len();
+        closures[mask] = Some(closure);
+    }
+    // Pairwise compatibility of groups is checked lazily between closure
+    // regions (distance ≥ 2).
+    let compatible = |a: usize, b: usize| -> bool {
+        let (ca, cb) = (closures[a].as_ref().unwrap(), closures[b].as_ref().unwrap());
+        match ca.distance(cb) {
+            Some(d) => d >= 2,
+            None => true,
+        }
+    };
+
+    // Enumerate set partitions via restricted growth strings, pruning on
+    // cost. Groups are represented by their bitmasks.
+    let mut best_cost = usize::MAX;
+    let mut best_groups: Vec<usize> = Vec::new();
+    let mut examined: u64 = 0;
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        i: usize,
+        n: usize,
+        groups: &mut Vec<usize>,
+        running_cost: usize,
+        costs: &[usize],
+        compatible: &dyn Fn(usize, usize) -> bool,
+        best_cost: &mut usize,
+        best_groups: &mut Vec<usize>,
+        examined: &mut u64,
+    ) {
+        if running_cost >= *best_cost {
+            return; // prune: cost only grows
+        }
+        if i == n {
+            *examined += 1;
+            // Feasibility: pairwise separation of the groups' polygons.
+            for a in 0..groups.len() {
+                for b in a + 1..groups.len() {
+                    if !compatible(groups[a], groups[b]) {
+                        return;
+                    }
+                }
+            }
+            *best_cost = running_cost;
+            *best_groups = groups.clone();
+            return;
+        }
+        let bit = 1usize << i;
+        // Join an existing group...
+        for g in 0..groups.len() {
+            let old = groups[g];
+            let new = old | bit;
+            let delta = costs[new] - costs[old];
+            groups[g] = new;
+            recurse(
+                i + 1,
+                n,
+                groups,
+                running_cost + delta,
+                costs,
+                compatible,
+                best_cost,
+                best_groups,
+                examined,
+            );
+            groups[g] = old;
+        }
+        // ...or open a new one (restricted growth keeps partitions unique).
+        groups.push(bit);
+        recurse(
+            i + 1,
+            n,
+            groups,
+            running_cost + costs[bit],
+            costs,
+            compatible,
+            best_cost,
+            best_groups,
+            examined,
+        );
+        groups.pop();
+    }
+
+    let mut groups = Vec::new();
+    recurse(
+        0,
+        n,
+        &mut groups,
+        0,
+        &costs,
+        &compatible,
+        &mut best_cost,
+        &mut best_groups,
+        &mut examined,
+    );
+    // The all-singletons partition is always feasible? Not necessarily —
+    // two faults at distance 1 are one cell each but closer than 2. The
+    // whole-set single group is always feasible, so a solution exists.
+    debug_assert!(best_cost != usize::MAX);
+
+    // Normalize: a group's closure may be disconnected (faults sharing no
+    // line); each connected component is its own polygon, with identical
+    // total cost, and components of a closed set are automatically ≥ 2
+    // apart (distance-1 or colinear-distance-2 cells would have been
+    // merged by the closure). Splitting yields the canonical finest form.
+    let mut polygons: Vec<Region> = Vec::new();
+    let mut group_cells: Vec<Vec<ocp_mesh::Coord>> = Vec::new();
+    for &mask in &best_groups {
+        let group: Vec<ocp_mesh::Coord> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| cells[i])
+            .collect();
+        let closure = orthogonal_convex_closure(&Region::from_cells(group.iter().copied()));
+        for component in split_components(&closure) {
+            let members: Vec<ocp_mesh::Coord> = group
+                .iter()
+                .copied()
+                .filter(|&f| component.contains(f))
+                .collect();
+            debug_assert!(!members.is_empty());
+            polygons.push(component);
+            group_cells.push(members);
+        }
+    }
+    Some(OptimalPartition {
+        groups: group_cells,
+        polygons,
+        cost: best_cost,
+        partitions_examined: examined,
+    })
+}
+
+/// Connected components of a planar region (4-connectivity).
+fn split_components(region: &Region) -> Vec<Region> {
+    let mut remaining: std::collections::BTreeSet<ocp_mesh::Coord> = region.iter().collect();
+    let mut out = Vec::new();
+    while let Some(&start) = remaining.iter().next() {
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        remaining.remove(&start);
+        while let Some(c) = stack.pop() {
+            comp.push(c);
+            for nb in c.raw_neighbors() {
+                if remaining.remove(&nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        out.push(Region::from_cells(comp));
+    }
+    out
+}
+
+/// Gap between the disabled-region decomposition of one faulty block and
+/// the exact optimum for the same faults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptimalityGap {
+    /// Nonfaulty nodes inside the block's disabled regions.
+    pub dr_cost: usize,
+    /// Nonfaulty nodes in the optimal partition.
+    pub optimal_cost: usize,
+}
+
+impl OptimalityGap {
+    /// Absolute number of extra nonfaulty nodes the distributed
+    /// construction sacrifices over the optimum.
+    pub fn excess(&self) -> usize {
+        self.dr_cost - self.optimal_cost
+    }
+}
+
+/// Measures the gap for one block, given the disabled regions extracted
+/// from it. Returns `None` when the block exceeds the exact solver's fault
+/// limit or wraps a torus.
+pub fn optimality_gap(
+    block: &crate::blocks::FaultyBlock,
+    regions_of_block: &[&crate::regions::DisabledRegion],
+    limit: usize,
+) -> Option<OptimalityGap> {
+    // Work in planar coordinates so closures are meaningful on tori. For
+    // meshes (and torus blocks that didn't cross a seam) the embedding is
+    // the identity and the faults are already planar; translated seam
+    // blocks are skipped (rare, small-torus-only).
+    let planar = block.planar.as_ref()?;
+    if &block.cells != planar {
+        return None;
+    }
+    let dr_cost: usize = regions_of_block.iter().map(|r| r.nonfaulty_count()).sum();
+    let optimal = optimal_partition(&block.faults, limit)?;
+    debug_assert!(optimal.cost <= dr_cost, "optimum can never exceed the DR cost");
+    Some(OptimalityGap {
+        dr_cost,
+        optimal_cost: optimal.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Coord;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn region(raw: &[(i32, i32)]) -> Region {
+        Region::from_cells(raw.iter().map(|&(x, y)| c(x, y)))
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = optimal_partition(&Region::new(), 8).unwrap();
+        assert_eq!(empty.cost, 0);
+        let single = optimal_partition(&region(&[(3, 3)]), 8).unwrap();
+        assert_eq!(single.cost, 0);
+        assert_eq!(single.groups.len(), 1);
+    }
+
+    #[test]
+    fn far_apart_faults_split_for_free() {
+        let opt = optimal_partition(&region(&[(0, 0), (10, 10)]), 8).unwrap();
+        assert_eq!(opt.cost, 0);
+        assert_eq!(opt.groups.len(), 2);
+    }
+
+    #[test]
+    fn diagonal_pair_splits_into_singletons() {
+        // Distance 2: the two singleton polygons are feasible and free;
+        // grouping them would cost 2 (the 2x2 closure).
+        let opt = optimal_partition(&region(&[(0, 0), (1, 1)]), 8).unwrap();
+        assert_eq!(opt.cost, 0);
+        assert_eq!(opt.groups.len(), 2);
+    }
+
+    #[test]
+    fn adjacent_faults_must_stay_together() {
+        // Distance 1 singletons are infeasible (closures too close), so the
+        // only solution is one group — which costs nothing since the
+        // closure of a domino is the domino.
+        let opt = optimal_partition(&region(&[(0, 0), (1, 0)]), 8).unwrap();
+        assert_eq!(opt.groups.len(), 1);
+        assert_eq!(opt.cost, 0);
+    }
+
+    #[test]
+    fn section3_example_optimum_is_free() {
+        // Faults (1,3),(2,1),(3,2): three singletons pairwise distance
+        // 2-3 -> cost 0, like the disabled regions.
+        let opt = optimal_partition(&region(&[(1, 3), (2, 1), (3, 2)]), 8).unwrap();
+        assert_eq!(opt.cost, 0);
+        assert_eq!(opt.groups.len(), 3);
+    }
+
+    #[test]
+    fn optimum_beats_single_region_when_splitting_helps() {
+        // An L of faults plus one fault diagonal to its elbow: keeping all
+        // in one polygon forces closure fill; splitting the diagonal fault
+        // off is blocked by distance... construct a case with a real gap:
+        // faults at corners of a 3x3 square. One polygon costs
+        // closure = full plus shape? corners (0,0),(2,0),(0,2),(2,2):
+        // closure fills the whole 3x3 (cost 5). Optimal: each corner alone,
+        // pairwise distance 2 -> feasible, cost 0.
+        let corners = region(&[(0, 0), (2, 0), (0, 2), (2, 2)]);
+        let opt = optimal_partition(&corners, 8).unwrap();
+        assert_eq!(opt.cost, 0);
+        assert_eq!(opt.groups.len(), 4);
+        let single = orthogonal_convex_closure(&corners);
+        assert_eq!(single.len() - 4, 5); // one-polygon cost would be 5
+    }
+
+    #[test]
+    fn l_triomino_is_free() {
+        // (0,0),(1,0),(1,1): an L-triomino is already orthogonally convex,
+        // so keeping it whole costs nothing (and splitting is infeasible —
+        // the cells are adjacent).
+        let opt = optimal_partition(&region(&[(0, 0), (1, 0), (1, 1)]), 8).unwrap();
+        assert_eq!(opt.cost, 0);
+        assert_eq!(opt.groups.len(), 1);
+    }
+
+    #[test]
+    fn forced_grouping_with_cost() {
+        // A U of faults: every partition that severs the bottom bar leaves
+        // two polygons at distance 1 (infeasible), so the whole U must be
+        // one polygon, whose closure fills the 2-cell pocket. Optimum = 2.
+        let u = region(&[(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (2, 1), (2, 2)]);
+        let opt = optimal_partition(&u, 8).unwrap();
+        assert_eq!(opt.cost, 2);
+        assert_eq!(opt.groups.len(), 1);
+        assert_eq!(opt.polygons[0].len(), 9);
+    }
+
+    #[test]
+    fn over_limit_returns_none() {
+        let many = region(&[
+            (0, 0), (2, 0), (4, 0), (6, 0), (8, 0),
+            (0, 2), (2, 2), (4, 2), (6, 2), (8, 2), (10, 2),
+        ]);
+        assert!(optimal_partition(&many, 10).is_none());
+        assert!(optimal_partition(&many, 11).is_some());
+    }
+
+    #[test]
+    fn polygons_are_convex_and_cover_their_groups() {
+        let faults = region(&[(0, 0), (1, 1), (4, 0), (5, 2), (4, 4)]);
+        let opt = optimal_partition(&faults, 8).unwrap();
+        for (group, poly) in opt.groups.iter().zip(&opt.polygons) {
+            assert!(ocp_geometry::is_orthogonally_convex(poly));
+            for &f in group {
+                assert!(poly.contains(f));
+            }
+        }
+        // Total faults preserved.
+        let total: usize = opt.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, faults.len());
+    }
+
+    #[test]
+    fn dr_decomposition_gap_is_zero_on_simple_blocks() {
+        use crate::pipeline::{run_pipeline, PipelineConfig};
+        use crate::status::FaultMap;
+        use ocp_mesh::Topology;
+        let map = FaultMap::new(Topology::mesh(8, 8), [c(2, 2), c(3, 3), c(2, 4)]);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        assert_eq!(out.blocks.len(), 1);
+        let grouped = out.regions_per_block();
+        let gap = optimality_gap(&out.blocks[0], &grouped[0], 8).unwrap();
+        assert!(gap.optimal_cost <= gap.dr_cost);
+    }
+}

@@ -1,0 +1,154 @@
+//! The full two-phase flow: safety labeling → faulty blocks → enablement
+//! labeling → disabled regions.
+
+use crate::blocks::{extract_blocks, FaultyBlock};
+use crate::labeling::enablement::{compute_enablement, ActivationState};
+use crate::labeling::safety::{compute_safety, SafetyRule, SafetyState};
+use crate::labeling::default_round_cap;
+use crate::regions::{extract_regions, DisabledRegion};
+use crate::status::FaultMap;
+use ocp_distsim::{Executor, RunTrace};
+use ocp_mesh::Grid;
+
+/// How to run the pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Phase-1 rule. Defaults to Definition 2b, the rule the paper's
+    /// algorithm uses.
+    pub rule: SafetyRule,
+    /// Executor for both phases.
+    pub executor: Executor,
+    /// Round cap; `None` derives a generous cap from the topology diameter.
+    pub max_rounds: Option<u32>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            rule: SafetyRule::BothDimensions,
+            executor: Executor::Sequential,
+            max_rounds: None,
+        }
+    }
+}
+
+/// Everything the two phases produce.
+#[derive(Clone, Debug)]
+pub struct PipelineOutcome {
+    /// Phase-1 rule used.
+    pub rule: SafetyRule,
+    /// Converged safe/unsafe grid.
+    pub safety: Grid<SafetyState>,
+    /// Converged enabled/disabled grid.
+    pub activation: Grid<ActivationState>,
+    /// Faulty blocks (phase-1 components).
+    pub blocks: Vec<FaultyBlock>,
+    /// Disabled regions (phase-2 components) — the orthogonal convex
+    /// polygons the paper constructs.
+    pub regions: Vec<DisabledRegion>,
+    /// Distributed-run trace of phase 1 (Figure 5 (a) measures its rounds).
+    pub safety_trace: RunTrace,
+    /// Distributed-run trace of phase 2 (Figure 5 (b)).
+    pub enablement_trace: RunTrace,
+}
+
+impl PipelineOutcome {
+    /// Disabled regions grouped by the faulty block that contains them.
+    /// (Every disabled node was unsafe, so each region lies inside exactly
+    /// one block.) Regions that fall in no block — impossible for converged
+    /// runs — would be dropped.
+    pub fn regions_per_block(&self) -> Vec<Vec<&DisabledRegion>> {
+        let mut grouped: Vec<Vec<&DisabledRegion>> = vec![Vec::new(); self.blocks.len()];
+        for region in &self.regions {
+            if let Some(first) = region.cells.iter().next() {
+                if let Some(bi) = self.blocks.iter().position(|b| b.cells.contains(first)) {
+                    grouped[bi].push(region);
+                }
+            }
+        }
+        grouped
+    }
+}
+
+/// Runs phase 1 and phase 2 and extracts blocks and regions.
+pub fn run_pipeline(map: &FaultMap, config: &PipelineConfig) -> PipelineOutcome {
+    let cap = config
+        .max_rounds
+        .unwrap_or_else(|| default_round_cap(map.topology()));
+    let safety = compute_safety(map, config.rule, config.executor, cap);
+    let blocks = extract_blocks(map, &safety.grid);
+    let enablement = compute_enablement(map, &safety.grid, config.executor, cap);
+    let regions = extract_regions(map, &enablement.grid);
+    PipelineOutcome {
+        rule: config.rule,
+        safety: safety.grid,
+        activation: enablement.grid,
+        blocks,
+        regions,
+        safety_trace: safety.trace,
+        enablement_trace: enablement.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::{Coord, Topology};
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn default_config_is_paper_setting() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.rule, SafetyRule::BothDimensions);
+        assert_eq!(cfg.executor, Executor::Sequential);
+    }
+
+    #[test]
+    fn pipeline_converges_and_phases_chain() {
+        let map = FaultMap::new(Topology::mesh(10, 10), [c(3, 3), c(4, 4), c(8, 1)]);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        assert!(out.safety_trace.converged);
+        assert!(out.enablement_trace.converged);
+        // Disabled cells are a subset of unsafe cells.
+        for (coord, &a) in out.activation.iter() {
+            if a == ActivationState::Disabled {
+                assert_eq!(*out.safety.get(coord), SafetyState::Unsafe);
+            }
+        }
+    }
+
+    #[test]
+    fn regions_per_block_partitions_regions() {
+        let map = FaultMap::new(
+            Topology::mesh(16, 16),
+            [c(2, 2), c(3, 3), c(10, 10), c(12, 12), c(11, 11)],
+        );
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let grouped = out.regions_per_block();
+        let total: usize = grouped.iter().map(|g| g.len()).sum();
+        assert_eq!(total, out.regions.len());
+        // Every region inside its block.
+        for (bi, group) in grouped.iter().enumerate() {
+            for region in group {
+                assert!(out.blocks[bi].cells.is_superset(&region.cells));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_round_cap_respected() {
+        let map = FaultMap::new(Topology::mesh(6, 6), [c(2, 2), c(3, 3)]);
+        let out = run_pipeline(
+            &map,
+            &PipelineConfig {
+                max_rounds: Some(50),
+                ..PipelineConfig::default()
+            },
+        );
+        assert!(out.safety_trace.rounds_executed() <= 50);
+        assert!(out.safety_trace.converged);
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-run metrics — the quantities the paper's Figure 5 plots.
+
+use crate::labeling::enablement::ActivationState;
+use crate::labeling::safety::SafetyState;
+use crate::pipeline::PipelineOutcome;
+use crate::status::FaultMap;
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one pipeline run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Number of faulty nodes (`f`).
+    pub faults: usize,
+    /// Nonfaulty nodes labeled unsafe by phase 1 — the nodes the classical
+    /// faulty-block model sacrifices.
+    pub unsafe_nonfaulty: usize,
+    /// Of those, the nodes phase 2 re-enabled.
+    pub enabled_recovered: usize,
+    /// Nonfaulty nodes still disabled after phase 2.
+    pub disabled_nonfaulty: usize,
+    /// Faulty blocks formed.
+    pub block_count: usize,
+    /// Disabled regions formed.
+    pub region_count: usize,
+    /// Largest block diameter `max d(B)` (`None` if there are no blocks or
+    /// a block wraps a torus).
+    pub max_block_diameter: Option<u32>,
+    /// Rounds needed by phase 1 (Figure 5 (a)).
+    pub rounds_phase1: u32,
+    /// Rounds needed by phase 2 (Figure 5 (b)).
+    pub rounds_phase2: u32,
+}
+
+impl ModelStats {
+    /// Collects the metrics of a run.
+    pub fn collect(map: &FaultMap, outcome: &PipelineOutcome) -> Self {
+        let unsafe_nonfaulty = outcome
+            .safety
+            .iter()
+            .filter(|&(c, &s)| s == SafetyState::Unsafe && !map.is_faulty(c))
+            .count();
+        let disabled_nonfaulty = outcome
+            .activation
+            .iter()
+            .filter(|&(c, &a)| a == ActivationState::Disabled && !map.is_faulty(c))
+            .count();
+        let max_block_diameter = outcome.blocks.iter().filter_map(|b| b.diameter()).max();
+        Self {
+            faults: map.fault_count(),
+            unsafe_nonfaulty,
+            enabled_recovered: unsafe_nonfaulty - disabled_nonfaulty,
+            disabled_nonfaulty,
+            block_count: outcome.blocks.len(),
+            region_count: outcome.regions.len(),
+            max_block_diameter,
+            rounds_phase1: outcome.safety_trace.rounds(),
+            rounds_phase2: outcome.enablement_trace.rounds(),
+        }
+    }
+
+    /// Figure 5 (c)/(d)'s metric: the fraction of unsafe-but-nonfaulty nodes
+    /// that phase 2 re-enabled. `None` when no nonfaulty node was unsafe
+    /// (the ratio is undefined; the paper averages only over blocks that
+    /// have unsafe nonfaulty nodes).
+    pub fn enabled_ratio(&self) -> Option<f64> {
+        if self.unsafe_nonfaulty == 0 {
+            None
+        } else {
+            Some(self.enabled_recovered as f64 / self.unsafe_nonfaulty as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, PipelineConfig};
+    use ocp_mesh::{Coord, Topology};
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn section3_stats() {
+        let map = FaultMap::new(Topology::mesh(6, 6), [c(1, 3), c(2, 1), c(3, 2)]);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let s = ModelStats::collect(&map, &out);
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.unsafe_nonfaulty, 6); // 3x3 block minus 3 faults
+        assert_eq!(s.enabled_recovered, 6); // all re-enabled
+        assert_eq!(s.disabled_nonfaulty, 0);
+        assert_eq!(s.enabled_ratio(), Some(1.0));
+        assert_eq!(s.block_count, 1);
+        assert_eq!(s.region_count, 3);
+        assert_eq!(s.max_block_diameter, Some(4));
+        assert!(s.rounds_phase1 >= 1);
+    }
+
+    #[test]
+    fn ratio_undefined_without_unsafe_nonfaulty() {
+        let map = FaultMap::new(Topology::mesh(6, 6), [c(3, 3)]);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let s = ModelStats::collect(&map, &out);
+        assert_eq!(s.unsafe_nonfaulty, 0);
+        assert_eq!(s.enabled_ratio(), None);
+        assert_eq!(s.rounds_phase1, 0);
+        assert_eq!(s.rounds_phase2, 0);
+    }
+
+    #[test]
+    fn rounds_stay_far_below_mesh_diameter() {
+        // The paper states each phase needs about max d(B) rounds and that
+        // measured rounds are "much lower than the diameter of the mesh".
+        // The literal max d(B) bound can be exceeded by cascaded block
+        // merging (one block's growth triggering another merge), so the
+        // robust reproducible claims are: phase 2 is bounded by the largest
+        // block diameter, and both phases stay well under the machine
+        // diameter. (See EXPERIMENTS.md, "round-bound note".)
+        use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+        let t = Topology::mesh(24, 24);
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut all: Vec<Coord> = t.coords().collect();
+            all.shuffle(&mut rng);
+            let faults: Vec<Coord> = all.into_iter().take(40).collect();
+            let map = FaultMap::new(t, faults);
+            let out = run_pipeline(&map, &PipelineConfig::default());
+            let s = ModelStats::collect(&map, &out);
+            let d = s.max_block_diameter.unwrap_or(0);
+            assert!(
+                s.rounds_phase1 <= 2 * d.max(1),
+                "seed {seed}: phase1 {} > 2*d {}",
+                s.rounds_phase1,
+                d
+            );
+            assert!(
+                s.rounds_phase2 <= d.max(1),
+                "seed {seed}: phase2 {} > d {}",
+                s.rounds_phase2,
+                d
+            );
+            assert!(s.rounds_phase1 < t.diameter() / 2);
+            assert!(s.rounds_phase2 < t.diameter() / 2);
+        }
+    }
+}

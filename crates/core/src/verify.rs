@@ -1,0 +1,326 @@
+//! Machine-checking the paper's theorems on concrete outcomes.
+//!
+//! Every claim Section 4 proves is turned into an executable check over a
+//! converged [`PipelineOutcome`]:
+//!
+//! | Check | Paper claim |
+//! |---|---|
+//! | [`Violation::FaultNotCovered`] | faults are unsafe and disabled |
+//! | [`Violation::BlockNotRectangle`] | faulty blocks are rectangles (Section 3) |
+//! | [`Violation::BlocksTooClose`] | block distance ≥ 3 (Def 2a) / ≥ 2 (Def 2b) |
+//! | [`Violation::RegionNotConvex`] | Theorem 1 |
+//! | [`Violation::CornerNotFaulty`] | Lemma 1 |
+//! | [`Violation::RegionNotMinimal`] | Theorem 2 (region = orthogonal convex closure of its faults) |
+//! | [`Violation::CorollaryViolated`] | Corollary (regions of a block cost ≤ the block-wide minimal polygon) |
+//! | [`Violation::RegionsTooClose`] | disabled regions pairwise distance ≥ 2 |
+//! | [`Violation::RegionOutsideBlock`] | phase 2 only removes nodes, never adds |
+
+use crate::labeling::enablement::ActivationState;
+use crate::labeling::safety::{SafetyRule, SafetyState};
+use crate::pipeline::PipelineOutcome;
+use crate::status::FaultMap;
+use ocp_geometry::{corner_nodes, is_orthogonally_convex, orthogonal_convex_closure};
+use ocp_mesh::Coord;
+use std::fmt;
+
+/// One broken invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A faulty node ended up safe or enabled.
+    FaultNotCovered {
+        /// The fault in question.
+        fault: Coord,
+    },
+    /// A faulty block is not a full rectangle.
+    BlockNotRectangle {
+        /// Index into `outcome.blocks`.
+        block: usize,
+    },
+    /// Two faulty blocks are closer than the rule's bound.
+    BlocksTooClose {
+        /// Indices into `outcome.blocks`.
+        blocks: (usize, usize),
+        /// Observed distance.
+        distance: u32,
+        /// Required minimum.
+        required: u32,
+    },
+    /// A disabled region is not orthogonally convex (Theorem 1).
+    RegionNotConvex {
+        /// Index into `outcome.regions`.
+        region: usize,
+    },
+    /// A corner node of a disabled region is nonfaulty (Lemma 1).
+    CornerNotFaulty {
+        /// Index into `outcome.regions`.
+        region: usize,
+        /// The offending corner (planar coordinates).
+        corner: Coord,
+    },
+    /// A disabled region differs from the orthogonal convex closure of its
+    /// faults (Theorem 2: it must be the smallest such polygon).
+    RegionNotMinimal {
+        /// Index into `outcome.regions`.
+        region: usize,
+        /// Region size vs closure size.
+        sizes: (usize, usize),
+    },
+    /// The disabled regions of a block contain more nonfaulty nodes than
+    /// the smallest orthogonal convex polygon covering all its faults.
+    CorollaryViolated {
+        /// Index into `outcome.blocks`.
+        block: usize,
+        /// Nonfaulty nodes in the block's regions vs in the closure.
+        costs: (usize, usize),
+    },
+    /// Two disabled regions are closer than distance 2.
+    RegionsTooClose {
+        /// Indices into `outcome.regions`.
+        regions: (usize, usize),
+        /// Observed distance.
+        distance: u32,
+    },
+    /// A disabled node is outside every faulty block.
+    RegionOutsideBlock {
+        /// Index into `outcome.regions`.
+        region: usize,
+    },
+    /// A phase failed to converge within its round cap.
+    NotConverged {
+        /// `"safety"` or `"enablement"`.
+        phase: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// What a successful verification covered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Blocks whose rectangularity was checked planarly.
+    pub blocks_checked: usize,
+    /// Regions whose convexity/minimality was checked planarly.
+    pub regions_checked: usize,
+    /// Blocks that wrap all the way around a torus: no planar embedding
+    /// exists, so the (mesh-oriented) geometric claims are skipped for
+    /// them. Always 0 on meshes; only occurs at high relative fault
+    /// density on small tori.
+    pub wrapped_blocks: usize,
+    /// Regions skipped for the same reason.
+    pub wrapped_regions: usize,
+}
+
+/// Checks every Section 3/4 claim against a converged outcome. Returns all
+/// violations found (empty error never occurs — `Ok(report)` means
+/// verified, with the report saying what was covered).
+pub fn verify(map: &FaultMap, outcome: &PipelineOutcome) -> Result<VerifyReport, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let mut report = VerifyReport::default();
+
+    if !outcome.safety_trace.converged {
+        violations.push(Violation::NotConverged { phase: "safety" });
+    }
+    if !outcome.enablement_trace.converged {
+        violations.push(Violation::NotConverged { phase: "enablement" });
+    }
+
+    // Faults must be unsafe and disabled.
+    for fault in map.faults() {
+        if *outcome.safety.get(fault) != SafetyState::Unsafe
+            || *outcome.activation.get(fault) != ActivationState::Disabled
+        {
+            violations.push(Violation::FaultNotCovered { fault });
+        }
+    }
+
+    // Blocks: rectangles, pairwise distance.
+    for (i, block) in outcome.blocks.iter().enumerate() {
+        match &block.planar {
+            None => report.wrapped_blocks += 1,
+            Some(_) => {
+                report.blocks_checked += 1;
+                if !block.is_rectangle() {
+                    violations.push(Violation::BlockNotRectangle { block: i });
+                }
+            }
+        }
+    }
+    let required = match outcome.rule {
+        SafetyRule::TwoUnsafeNeighbors => 3,
+        SafetyRule::BothDimensions => 2,
+    };
+    let topology = map.topology();
+    for i in 0..outcome.blocks.len() {
+        for j in i + 1..outcome.blocks.len() {
+            let d = topo_distance(topology, &outcome.blocks[i].cells, &outcome.blocks[j].cells);
+            if d < required {
+                violations.push(Violation::BlocksTooClose {
+                    blocks: (i, j),
+                    distance: d,
+                    required,
+                });
+            }
+        }
+    }
+
+    // Regions: convexity, corner lemma, minimality, containment.
+    for (i, region) in outcome.regions.iter().enumerate() {
+        let (Some(planar), Some(planar_faults)) = (&region.planar, &region.planar_faults) else {
+            report.wrapped_regions += 1;
+            continue;
+        };
+        report.regions_checked += 1;
+        if !is_orthogonally_convex(planar) {
+            violations.push(Violation::RegionNotConvex { region: i });
+        }
+        for corner in corner_nodes(planar) {
+            if !planar_faults.contains(corner) {
+                violations.push(Violation::CornerNotFaulty { region: i, corner });
+            }
+        }
+        let closure = orthogonal_convex_closure(planar_faults);
+        if &closure != planar {
+            violations.push(Violation::RegionNotMinimal {
+                region: i,
+                sizes: (planar.len(), closure.len()),
+            });
+        }
+        let covered = outcome
+            .blocks
+            .iter()
+            .any(|b| b.cells.is_superset(&region.cells));
+        if !covered {
+            violations.push(Violation::RegionOutsideBlock { region: i });
+        }
+    }
+
+    // Regions pairwise distance ≥ 2.
+    for i in 0..outcome.regions.len() {
+        for j in i + 1..outcome.regions.len() {
+            let d = topo_distance(topology, &outcome.regions[i].cells, &outcome.regions[j].cells);
+            if d < 2 {
+                violations.push(Violation::RegionsTooClose {
+                    regions: (i, j),
+                    distance: d,
+                });
+            }
+        }
+    }
+
+    // Corollary, per block: nonfaulty cost of the block's regions vs the
+    // smallest orthogonal convex polygon covering all the block's faults.
+    for (bi, (block, group)) in outcome
+        .blocks
+        .iter()
+        .zip(outcome.regions_per_block())
+        .enumerate()
+    {
+        let Some(planar_block) = &block.planar else { continue };
+        // Map block faults into the block's planar embedding.
+        let mapping = ocp_geometry::Region::unwrap_mapping(
+            topology,
+            &block.cells.iter().collect::<Vec<_>>(),
+        );
+        let Some(mapping) = mapping else { continue };
+        let planar_faults =
+            ocp_geometry::Region::from_cells(block.faults.iter().map(|f| mapping[&f]));
+        let closure = orthogonal_convex_closure(&planar_faults);
+        debug_assert!(planar_block.is_superset(&closure));
+        let closure_cost = closure.len() - planar_faults.len();
+        let regions_cost: usize = group.iter().map(|r| r.nonfaulty_count()).sum();
+        if regions_cost > closure_cost {
+            violations.push(Violation::CorollaryViolated {
+                block: bi,
+                costs: (regions_cost, closure_cost),
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Topology-aware minimum distance between two cell sets.
+fn topo_distance(
+    topology: ocp_mesh::Topology,
+    a: &ocp_geometry::Region,
+    b: &ocp_geometry::Region,
+) -> u32 {
+    let mut best = u32::MAX;
+    for u in a.iter() {
+        for v in b.iter() {
+            best = best.min(topology.distance(u, v));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, PipelineConfig};
+    use ocp_mesh::Topology;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn check(t: Topology, faults: &[Coord], rule: SafetyRule) {
+        let map = FaultMap::new(t, faults.iter().copied());
+        let out = run_pipeline(
+            &map,
+            &PipelineConfig {
+                rule,
+                ..PipelineConfig::default()
+            },
+        );
+        if let Err(v) = verify(&map, &out) {
+            panic!("{rule:?} on {t:?} with {faults:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn paper_examples_verify() {
+        for rule in [SafetyRule::TwoUnsafeNeighbors, SafetyRule::BothDimensions] {
+            check(Topology::mesh(6, 6), &[c(1, 3), c(2, 1), c(3, 2)], rule);
+            check(Topology::mesh(8, 8), &[c(3, 3), c(4, 4)], rule);
+            check(Topology::mesh(8, 8), &[], rule);
+        }
+    }
+
+    #[test]
+    fn random_patterns_verify_mesh_and_torus() {
+        use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+        for t in [Topology::mesh(20, 20), Topology::torus(20, 20)] {
+            for rule in [SafetyRule::TwoUnsafeNeighbors, SafetyRule::BothDimensions] {
+                for seed in 0..10u64 {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut all: Vec<Coord> = t.coords().collect();
+                    all.shuffle(&mut rng);
+                    let faults: Vec<Coord> = all.into_iter().take(24).collect();
+                    check(t, &faults, rule);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_detects_tampered_outcome() {
+        let map = FaultMap::new(Topology::mesh(8, 8), [c(3, 3), c(4, 4)]);
+        let mut out = run_pipeline(&map, &PipelineConfig::default());
+        // Enable a faulty node by hand — verification must object.
+        out.activation.set(c(3, 3), ActivationState::Enabled);
+        out.safety.set(c(3, 3), SafetyState::Safe);
+        let errs = verify(&map, &out).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::FaultNotCovered { .. })));
+    }
+}

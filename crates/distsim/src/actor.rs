@@ -1,0 +1,149 @@
+//! Actor executor: one thread per node, one channel per link.
+//!
+//! This is the most literal rendering of the paper's model — each node is an
+//! independent process that can only talk to its mesh neighbors. Every round
+//! each node *sends* its status over all of its links, *receives* its
+//! neighbors' statuses, and applies the protocol's update rule. A
+//! coordinator thread performs the global "did anything change?" reduction
+//! that stands in for the paper's (implicit) convergence detection.
+//!
+//! Channels are unbounded and FIFO, so a node that races ahead into round
+//! `k + 1` cannot corrupt a slower neighbor's round `k`: the slower node
+//! simply pops the older message first. Non-participating (faulty) nodes run
+//! a degenerate loop that keeps re-sending their permanent initial status —
+//! the stand-in for neighbors' hardware fault detection.
+
+use crate::engine::{gather, messages_per_round, RunOutcome};
+use crate::{LockstepProtocol, RunTrace};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ocp_mesh::{Coord, Grid, Neighborhood, DIRECTIONS};
+
+pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutcome<P::State> {
+    let topology = protocol.topology();
+    let n = topology.len();
+
+    // Per-directed-link channels. If node u's neighbor in direction d is v,
+    // then u's outbox for d feeds v's inbox for d.opposite().
+    let mut outboxes: Vec<[Option<Sender<P::State>>; 4]> =
+        (0..n).map(|_| [None, None, None, None]).collect();
+    let mut inboxes: Vec<[Option<Receiver<P::State>>; 4]> =
+        (0..n).map(|_| [None, None, None, None]).collect();
+    for c in topology.coords() {
+        let ci = topology.index_of(c);
+        for dir in DIRECTIONS {
+            if let Some(v) = topology.neighbor(c, dir).coord() {
+                let (tx, rx) = unbounded();
+                outboxes[ci][dir.index()] = Some(tx);
+                inboxes[topology.index_of(v)][dir.opposite().index()] = Some(rx);
+            }
+        }
+    }
+
+    let (report_tx, report_rx) = unbounded::<bool>();
+    let mut control_txs = Vec::with_capacity(n);
+    let (result_tx, result_rx) = unbounded::<(Coord, P::State)>();
+
+    let mut changes_per_round: Vec<u32> = Vec::new();
+    let mut converged = false;
+
+    std::thread::scope(|scope| {
+        for c in topology.coords() {
+            let ci = topology.index_of(c);
+            let outbox = std::mem::take(&mut outboxes[ci]);
+            let inbox = std::mem::take(&mut inboxes[ci]);
+            let report = report_tx.clone();
+            let (ctl_tx, ctl_rx) = unbounded::<bool>();
+            control_txs.push(ctl_tx);
+            let results = result_tx.clone();
+            scope.spawn(move || node_worker(protocol, c, outbox, inbox, report, ctl_rx, results));
+        }
+
+        // Coordinator: count changed-flags, decide, broadcast.
+        loop {
+            let mut changed = 0u32;
+            for _ in 0..n {
+                if report_rx.recv().expect("node died before reporting") {
+                    changed += 1;
+                }
+            }
+            changes_per_round.push(changed);
+            let go = changed > 0 && (changes_per_round.len() as u32) < max_rounds;
+            if changed == 0 {
+                converged = true;
+            }
+            for tx in &control_txs {
+                tx.send(go).expect("node died before control");
+            }
+            if !go {
+                break;
+            }
+        }
+    });
+    drop(result_tx);
+
+    let mut buffer: Vec<Option<P::State>> = vec![None; n];
+    while let Ok((c, s)) = result_rx.recv() {
+        buffer[topology.index_of(c)] = Some(s);
+    }
+    let states = Grid::from_fn(topology, |c| {
+        buffer[topology.index_of(c)].expect("node did not report final state")
+    });
+
+    let messages_sent = messages_per_round(protocol) * changes_per_round.len() as u64;
+    RunOutcome {
+        states,
+        trace: RunTrace {
+            changes_per_round,
+            messages_sent,
+            converged,
+        },
+    }
+}
+
+fn node_worker<P: LockstepProtocol>(
+    protocol: &P,
+    c: Coord,
+    outbox: [Option<Sender<P::State>>; 4],
+    inbox: [Option<Receiver<P::State>>; 4],
+    report: Sender<bool>,
+    control: Receiver<bool>,
+    results: Sender<(Coord, P::State)>,
+) {
+    let mut state = protocol.initial(c);
+    let participates = protocol.participates(c);
+    let hood = Neighborhood::of(protocol.topology(), c);
+    loop {
+        // Send my status over every live link.
+        for tx in outbox.iter().flatten() {
+            tx.send(state).expect("neighbor died");
+        }
+        // Collect neighbor statuses (ghosts resolved by `gather` through the
+        // received-state table).
+        let mut received = [None; 4];
+        for (i, rx) in inbox.iter().enumerate() {
+            if let Some(rx) = rx {
+                received[i] = Some(rx.recv().expect("neighbor died"));
+            }
+        }
+        let mut changed = false;
+        if participates {
+            let ns = gather(protocol, c, |nc| {
+                // Find which direction nc sits in; channels are per-direction.
+                let dir = hood
+                    .iter()
+                    .find(|(_, nb)| nb.coord() == Some(nc))
+                    .map(|(d, _)| d)
+                    .expect("lookup of non-neighbor");
+                received[dir.index()].expect("no message from live neighbor")
+            });
+            let next = protocol.step(c, state, &ns);
+            changed = next != state;
+            state = next;
+        }
+        report.send(changed).expect("coordinator died");
+        if !control.recv().expect("coordinator died") {
+            break;
+        }
+    }
+    results.send((c, state)).expect("collector died");
+}

@@ -1,0 +1,268 @@
+//! Asynchronous (event-driven) execution with arbitrary message delays.
+//!
+//! The paper assumes synchronous lock-step rounds "to simplify our
+//! discussion". Real multicomputers are not synchronized, so it matters
+//! that the protocols are **confluent**: both labeling rules are monotone
+//! (a node's status moves in one direction only) and their update functions
+//! are order-insensitive joins of neighbor information, so any delivery
+//! schedule reaches the same fixpoint. This executor makes that claim
+//! executable: messages incur pseudo-random delays drawn from a seeded
+//! generator, nodes react to each delivery individually, and the engine
+//! reports the final states — which the cross-executor tests pin to the
+//! synchronous outcome.
+//!
+//! The executor is a deterministic discrete-event simulation (no threads):
+//! determinism keeps failures reproducible across runs and platforms.
+
+use crate::engine::gather;
+use crate::{LockstepProtocol, NeighborStates};
+use ocp_mesh::{Coord, Grid, Neighborhood, DIRECTIONS};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an asynchronous run.
+#[derive(Clone, Debug)]
+pub struct AsyncOutcome<S> {
+    /// Final per-node states (the protocol's fixpoint).
+    pub states: Grid<S>,
+    /// Point-to-point messages delivered.
+    pub messages_delivered: u64,
+    /// Virtual time of the last delivery.
+    pub virtual_time: u64,
+    /// True if the event queue drained (quiescence); false if the event cap
+    /// was hit.
+    pub converged: bool,
+}
+
+/// Simple deterministic xorshift generator for delay jitter (keeps this
+/// crate free of a `rand` dependency).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `1..=max`.
+    fn delay(&mut self, max: u64) -> u64 {
+        1 + self.next() % max.max(1)
+    }
+}
+
+/// Runs `protocol` asynchronously: every state change is broadcast to the
+/// node's neighbors with independent pseudo-random delays in
+/// `1..=max_delay` time units; each delivery triggers a local re-evaluation
+/// of the protocol's `step`.
+///
+/// Correctness requires the protocol to be *confluent* — its fixpoint
+/// independent of delivery order. Both of the paper's labeling rules are
+/// (they are monotone joins); a non-confluent protocol will still terminate
+/// but may diverge from the synchronous outcome.
+///
+/// Each node initially knows only its own state; neighbors' states are
+/// assumed at the protocol's initial values (the synchronous round-0
+/// knowledge — for the labeling protocols this encodes local fault
+/// detection). `max_events` caps runaway protocols.
+pub fn run_async<P: LockstepProtocol>(
+    protocol: &P,
+    seed: u64,
+    max_delay: u64,
+    max_events: u64,
+) -> AsyncOutcome<P::State> {
+    let topology = protocol.topology();
+    let mut rng = XorShift64::new(seed);
+
+    // Current state per node.
+    let mut states = Grid::from_fn(topology, |c| protocol.initial(c));
+    // Last state received from each neighbor direction (initialized to the
+    // neighbors' initial states; ghosts handled by `gather` at use time).
+    let mut known: Grid<[P::State; 4]> = Grid::from_fn(topology, |c| {
+        let hood = Neighborhood::of(topology, c);
+        let mut arr = [protocol.ghost(); 4];
+        for (dir, n) in hood.iter() {
+            if let Some(nc) = n.coord() {
+                arr[dir.index()] = protocol.initial(nc);
+            }
+        }
+        arr
+    });
+
+    // Event payloads live in a side table so the heap only orders
+    // `(time, sequence)` pairs — `State` need not be `Ord`.
+    // Payload = (receiver, direction the message arrives from, state).
+    let mut payloads: Vec<(Coord, usize, P::State)> = Vec::new();
+    let mut queue: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+    // Links are FIFO, as on real interconnects: a later message on the same
+    // directed link never arrives before an earlier one. Without this, a
+    // stale status could overwrite fresher knowledge and wedge the
+    // receiver short of the fixpoint. Keyed by (receiver, arrival dir).
+    let mut last_arrival: Grid<[u64; 4]> = Grid::filled(topology, [0; 4]);
+
+    let send_updates = |from: Coord,
+                            state: P::State,
+                            queue: &mut BinaryHeap<(Reverse<u64>, usize)>,
+                            payloads: &mut Vec<(Coord, usize, P::State)>,
+                            last_arrival: &mut Grid<[u64; 4]>,
+                            rng: &mut XorShift64,
+                            now: u64| {
+        for dir in DIRECTIONS {
+            if let Some(to) = topology.neighbor(from, dir).coord() {
+                // The receiver sees the message arriving from the
+                // opposite direction.
+                let arrival_dir = dir.opposite().index();
+                let floor = last_arrival.get(to)[arrival_dir] + 1;
+                let arrival = (now + rng.delay(max_delay)).max(floor);
+                last_arrival.get_mut(to)[arrival_dir] = arrival;
+                payloads.push((to, arrival_dir, state));
+                queue.push((Reverse(arrival), payloads.len() - 1));
+            }
+        }
+    };
+
+    // Every node announces its initial state once (fault detection
+    // included: non-participating nodes still announce).
+    for c in topology.coords() {
+        send_updates(c, *states.get(c), &mut queue, &mut payloads, &mut last_arrival, &mut rng, 0);
+    }
+
+    let mut messages_delivered: u64 = 0;
+    let mut virtual_time: u64 = 0;
+    let mut converged = true;
+    while let Some((Reverse(t), idx)) = queue.pop() {
+        let (to, arrival_dir, payload) = payloads[idx];
+        if messages_delivered >= max_events {
+            converged = false;
+            break;
+        }
+        messages_delivered += 1;
+        virtual_time = t;
+        known.get_mut(to)[arrival_dir] = payload;
+        if !protocol.participates(to) {
+            continue;
+        }
+        let snapshot = *known.get(to);
+        let neighbors: NeighborStates<P::State> = gather(protocol, to, |nc| {
+            // Find the direction of nc and read the last-known state.
+            let hood = Neighborhood::of(topology, to);
+            let dir = hood
+                .iter()
+                .find(|(_, n)| n.coord() == Some(nc))
+                .map(|(d, _)| d)
+                .expect("gather only asks about real neighbors");
+            snapshot[dir.index()]
+        });
+        let current = *states.get(to);
+        let next = protocol.step(to, current, &neighbors);
+        if next != current {
+            states.set(to, next);
+            send_updates(to, next, &mut queue, &mut payloads, &mut last_arrival, &mut rng, t);
+        }
+    }
+
+    AsyncOutcome {
+        states,
+        messages_delivered,
+        virtual_time,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, Executor};
+    use ocp_mesh::Topology;
+
+    /// Monotone max-flood (confluent).
+    struct MaxFlood {
+        topology: Topology,
+        seed_cell: Coord,
+    }
+
+    impl LockstepProtocol for MaxFlood {
+        type State = u32;
+        fn topology(&self) -> Topology {
+            self.topology
+        }
+        fn initial(&self, c: Coord) -> u32 {
+            if c == self.seed_cell {
+                999
+            } else {
+                (c.x + c.y) as u32 % 7
+            }
+        }
+        fn ghost(&self) -> u32 {
+            0
+        }
+        fn participates(&self, _c: Coord) -> bool {
+            true
+        }
+        fn step(&self, _c: Coord, cur: u32, n: &NeighborStates<u32>) -> u32 {
+            n.iter().map(|(_, s)| s).fold(cur, u32::max)
+        }
+    }
+
+    #[test]
+    fn async_reaches_synchronous_fixpoint() {
+        for t in [Topology::mesh(9, 7), Topology::torus(8, 8)] {
+            let p = MaxFlood { topology: t, seed_cell: Coord::new(1, 2) };
+            let sync = run(&p, Executor::Sequential, 200);
+            for seed in [1u64, 42, 12345] {
+                for max_delay in [1u64, 3, 17] {
+                    let a = run_async(&p, seed, max_delay, 10_000_000);
+                    assert!(a.converged);
+                    assert!(a
+                        .states
+                        .iter()
+                        .zip(sync.states.iter())
+                        .all(|((_, x), (_, y))| x == y),
+                        "async diverged: {t:?} seed={seed} delay={max_delay}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_delivers_at_least_initial_announcements() {
+        let t = Topology::mesh(4, 4);
+        let p = MaxFlood { topology: t, seed_cell: Coord::new(0, 0) };
+        let a = run_async(&p, 7, 5, 1_000_000);
+        // 4x4 mesh has 48 directed links; every node announces once.
+        assert!(a.messages_delivered >= 48);
+        assert!(a.virtual_time >= 1);
+    }
+
+    #[test]
+    fn event_cap_reports_non_convergence() {
+        let t = Topology::mesh(6, 6);
+        let p = MaxFlood { topology: t, seed_cell: Coord::new(5, 5) };
+        let a = run_async(&p, 3, 2, 10);
+        assert!(!a.converged);
+        assert_eq!(a.messages_delivered, 10);
+    }
+
+    #[test]
+    fn delay_one_behaves_like_rounds() {
+        // With unit delays, async delivery order is a valid synchronous
+        // schedule; the fixpoint matches (stronger smoke for determinism).
+        let t = Topology::mesh(5, 5);
+        let p = MaxFlood { topology: t, seed_cell: Coord::new(2, 2) };
+        let a1 = run_async(&p, 11, 1, 1_000_000);
+        let a2 = run_async(&p, 11, 1, 1_000_000);
+        assert!(a1
+            .states
+            .iter()
+            .zip(a2.states.iter())
+            .all(|((_, x), (_, y))| x == y));
+        assert_eq!(a1.messages_delivered, a2.messages_delivered);
+    }
+}

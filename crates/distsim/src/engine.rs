@@ -1,0 +1,119 @@
+//! Executor selection and shared engine plumbing.
+
+use crate::{LockstepProtocol, NeighborStates, RunTrace};
+use ocp_mesh::{Coord, Grid, Neighborhood};
+
+/// How to execute a [`LockstepProtocol`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Executor {
+    /// Deterministic single-threaded double-buffered execution.
+    Sequential,
+    /// Domain decomposition into horizontal strips; one OS thread per strip,
+    /// halo rows exchanged over crossbeam channels every round.
+    Sharded {
+        /// Number of strips/threads (clamped to the mesh height).
+        threads: usize,
+    },
+    /// One OS thread per node, one channel per link — the literal
+    /// message-passing reading of the paper. Only sensible for small
+    /// machines; [`run`] refuses topologies above 4096 nodes.
+    Actor,
+}
+
+/// Result of running a protocol to quiescence (or to the round cap).
+#[derive(Clone, Debug)]
+pub struct RunOutcome<S> {
+    /// Final per-node states.
+    pub states: Grid<S>,
+    /// Rounds, change counts and message totals.
+    pub trace: RunTrace,
+}
+
+/// Largest machine the actor executor will accept (threads = nodes).
+pub(crate) const MAX_ACTOR_NODES: usize = 4096;
+
+/// Runs `protocol` to quiescence with the chosen executor.
+///
+/// `max_rounds` caps execution for non-converging protocols; the paper's
+/// protocols converge within the largest block diameter, so callers
+/// typically pass a small multiple of the topology diameter. If the cap is
+/// hit, [`RunTrace::converged`] is false.
+///
+/// All executors produce byte-identical outcomes for deterministic
+/// protocols (verified by the cross-executor integration tests).
+///
+/// ```
+/// use ocp_distsim::{run, Executor, LockstepProtocol, NeighborStates};
+/// use ocp_mesh::{Coord, Topology};
+///
+/// /// Every node adopts the max value seen in its neighborhood.
+/// struct Flood(Topology);
+/// impl LockstepProtocol for Flood {
+///     type State = u32;
+///     fn topology(&self) -> Topology { self.0 }
+///     fn initial(&self, c: Coord) -> u32 { (c == Coord::new(0, 0)) as u32 }
+///     fn ghost(&self) -> u32 { 0 }
+///     fn participates(&self, _c: Coord) -> bool { true }
+///     fn step(&self, _c: Coord, cur: u32, n: &NeighborStates<u32>) -> u32 {
+///         n.iter().map(|(_, s)| s).fold(cur, u32::max)
+///     }
+/// }
+///
+/// let out = run(&Flood(Topology::mesh(4, 4)), Executor::Sequential, 100);
+/// assert!(out.trace.converged);
+/// assert_eq!(out.trace.rounds(), 6); // eccentricity of the corner
+/// assert!(out.states.iter().all(|(_, &s)| s == 1));
+/// ```
+///
+/// # Panics
+/// Panics if `Executor::Actor` is used on a machine larger than 4096 nodes,
+/// or `Executor::Sharded { threads: 0 }` is requested.
+pub fn run<P: LockstepProtocol>(protocol: &P, executor: Executor, max_rounds: u32) -> RunOutcome<P::State> {
+    match executor {
+        Executor::Sequential => crate::sequential::run(protocol, max_rounds),
+        Executor::Sharded { threads } => {
+            assert!(threads > 0, "sharded executor needs at least one thread");
+            crate::sharded::run(protocol, threads, max_rounds)
+        }
+        Executor::Actor => {
+            assert!(
+                protocol.topology().len() <= MAX_ACTOR_NODES,
+                "actor executor limited to {MAX_ACTOR_NODES} nodes ({} requested); \
+                 use Sequential or Sharded for larger machines",
+                protocol.topology().len()
+            );
+            crate::actor::run(protocol, max_rounds)
+        }
+    }
+}
+
+/// Collects the four neighbor states of `c`, resolving mesh ghosts to the
+/// protocol's ghost state and looking real neighbors up via `lookup`.
+pub(crate) fn gather<P: LockstepProtocol>(
+    protocol: &P,
+    c: Coord,
+    mut lookup: impl FnMut(Coord) -> P::State,
+) -> NeighborStates<P::State> {
+    let hood = Neighborhood::of(protocol.topology(), c);
+    let g = protocol.ghost();
+    let mut resolve = |n: ocp_mesh::Neighbor| match n.coord() {
+        Some(cc) => lookup(cc),
+        None => g,
+    };
+    NeighborStates::new([
+        resolve(hood.in_direction(ocp_mesh::Direction::West)),
+        resolve(hood.in_direction(ocp_mesh::Direction::East)),
+        resolve(hood.in_direction(ocp_mesh::Direction::South)),
+        resolve(hood.in_direction(ocp_mesh::Direction::North)),
+    ])
+}
+
+/// Status messages sent per exchange round: every participating node sends
+/// its state over each of its real links (ghost links carry nothing).
+pub(crate) fn messages_per_round<P: LockstepProtocol>(protocol: &P) -> u64 {
+    let t = protocol.topology();
+    t.coords()
+        .filter(|&c| protocol.participates(c))
+        .map(|c| Neighborhood::of(t, c).nodes().count() as u64)
+        .sum()
+}

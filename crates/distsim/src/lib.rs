@@ -1,0 +1,55 @@
+//! # ocp-distsim
+//!
+//! A distributed **synchronous lock-step** simulation engine for
+//! neighbor-exchange protocols on 2-D meshes and tori.
+//!
+//! The paper's algorithms (Section 3) are phrased as iterative protocols:
+//!
+//! > *"each node exchanges its status with its neighbors and changes its
+//! > status based on the collected neighbors' status … each iterative
+//! > algorithm is assumed to be synchronous and each round of exchange and
+//! > update is done in a lock-step mode … until there is no status change."*
+//!
+//! A protocol is described once, as a [`LockstepProtocol`] — per-node initial
+//! state, the ghost-node state for mesh boundaries, and a transition function
+//! from the four collected neighbor states. The engine then runs it to
+//! quiescence on one of three interchangeable executors:
+//!
+//! * [`Executor::Sequential`] — deterministic double-buffered reference
+//!   executor; fastest for large meshes and the one benchmarks sweep.
+//! * [`Executor::Sharded`] — real threads: the mesh is decomposed into
+//!   horizontal strips, one thread per strip, and each round the strips
+//!   exchange *halo rows* over crossbeam channels before stepping their
+//!   nodes; a coordinator reduces per-strip change counts to detect global
+//!   quiescence. This is the classic HPC domain-decomposition rendering of
+//!   the protocol.
+//! * [`Executor::Actor`] — the most literal rendering of the paper: **one
+//!   thread per node**, with a channel per link; every round each node sends
+//!   its status to its neighbors, receives theirs, and steps. Practical for
+//!   small meshes (tests, demos); the executor-equivalence tests pin all
+//!   three to identical results.
+//!
+//! Faulty nodes "just cease to work" (Section 2): they are modeled as
+//! non-participating nodes whose state never leaves its initial value —
+//! their neighbors observing that permanent value stands in for hardware
+//! fault detection.
+//!
+//! The engine reports a [`RunTrace`]: rounds to convergence (the metric of
+//! the paper's Figure 5 (a)/(b)), per-round change counts and message
+//! totals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+pub mod asynchronous;
+mod engine;
+mod protocol;
+mod sequential;
+mod sharded;
+mod trace;
+
+pub use asynchronous::{run_async, AsyncOutcome};
+pub use engine::{run, Executor, RunOutcome};
+pub use protocol::{LockstepProtocol, NeighborStates};
+pub use trace::RunTrace;

@@ -1,0 +1,116 @@
+//! The lock-step protocol abstraction.
+
+use ocp_mesh::{Coord, Direction, Topology, DIRECTIONS};
+
+/// The four neighbor states a node collects in one exchange round.
+///
+/// Every direction always has a resolved state: real neighbors contribute
+/// their current state (for faulty, i.e. non-participating nodes, that is
+/// their permanent initial state — the stand-in for fault detection), and
+/// mesh ghost neighbors contribute the protocol's
+/// [`ghost`](LockstepProtocol::ghost) state.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborStates<S> {
+    states: [S; 4],
+}
+
+impl<S: Copy> NeighborStates<S> {
+    /// Packs per-direction states (indexed by [`Direction::index`]).
+    #[inline]
+    pub fn new(states: [S; 4]) -> Self {
+        Self { states }
+    }
+
+    /// State received from the neighbor in `dir`.
+    #[inline]
+    pub fn get(&self, dir: Direction) -> S {
+        self.states[dir.index()]
+    }
+
+    /// Iterates `(direction, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Direction, S)> + '_ {
+        DIRECTIONS.into_iter().map(move |d| (d, self.get(d)))
+    }
+
+    /// Number of neighbors whose state satisfies `pred`.
+    pub fn count(&self, mut pred: impl FnMut(S) -> bool) -> usize {
+        self.states.iter().filter(|&&s| pred(s)).count()
+    }
+
+    /// True if a neighbor along the given X/Y dimension satisfies `pred` —
+    /// the per-dimension quantifier of Definition 2b.
+    pub fn any_in_dimension(
+        &self,
+        dim: ocp_mesh::Dimension,
+        mut pred: impl FnMut(S) -> bool,
+    ) -> bool {
+        DIRECTIONS
+            .into_iter()
+            .filter(|d| d.dimension() == dim)
+            .any(|d| pred(self.get(d)))
+    }
+}
+
+/// A synchronous neighbor-exchange protocol in the style of Section 3.
+///
+/// Implementations must be deterministic pure functions of the inputs: the
+/// engine relies on that to guarantee all three executors produce identical
+/// results, and the double-buffered executors evaluate `step` in arbitrary
+/// order within a round.
+pub trait LockstepProtocol: Sync {
+    /// Per-node status exchanged each round. Kept `Copy` and small — each
+    /// round ships one per link.
+    type State: Copy + PartialEq + Send + Sync + std::fmt::Debug;
+
+    /// The machine the protocol runs on.
+    fn topology(&self) -> Topology;
+
+    /// Initial state of the node at `c` (round 0, before any exchange).
+    fn initial(&self, c: Coord) -> Self::State;
+
+    /// Permanent state of the ghost boundary nodes of a mesh. (Never used
+    /// for tori, which have no boundary.)
+    fn ghost(&self) -> Self::State;
+
+    /// Whether the node at `c` participates in the protocol. Faulty nodes
+    /// return `false`: they cease work, never update, and their initial
+    /// state is what neighbors observe forever.
+    fn participates(&self, c: Coord) -> bool;
+
+    /// One lock-step update: the next state of the node at `c` given its
+    /// current state and the states collected from its four neighbors.
+    ///
+    /// Only called for participating nodes.
+    fn step(&self, c: Coord, current: Self::State, neighbors: &NeighborStates<Self::State>)
+        -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Dimension;
+
+    #[test]
+    fn neighbor_states_accessors() {
+        let ns = NeighborStates::new([1u8, 2, 3, 4]);
+        assert_eq!(ns.get(Direction::West), 1);
+        assert_eq!(ns.get(Direction::East), 2);
+        assert_eq!(ns.get(Direction::South), 3);
+        assert_eq!(ns.get(Direction::North), 4);
+        assert_eq!(ns.count(|s| s % 2 == 0), 2);
+        let dirs: Vec<_> = ns.iter().map(|(d, _)| d).collect();
+        assert_eq!(dirs, DIRECTIONS.to_vec());
+    }
+
+    #[test]
+    fn any_in_dimension_separates_axes() {
+        // Unsafe only to the West (x) and North (y).
+        let ns = NeighborStates::new([true, false, false, true]);
+        assert!(ns.any_in_dimension(Dimension::X, |s| s));
+        assert!(ns.any_in_dimension(Dimension::Y, |s| s));
+        // Unsafe only along x.
+        let ns = NeighborStates::new([true, true, false, false]);
+        assert!(ns.any_in_dimension(Dimension::X, |s| s));
+        assert!(!ns.any_in_dimension(Dimension::Y, |s| s));
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic double-buffered reference executor.
+
+use crate::engine::{gather, messages_per_round, RunOutcome};
+use crate::{LockstepProtocol, RunTrace};
+use ocp_mesh::Grid;
+
+/// Runs the protocol with a double-buffered sweep per round.
+pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutcome<P::State> {
+    let topology = protocol.topology();
+    let mut current = Grid::from_fn(topology, |c| protocol.initial(c));
+    let per_round = messages_per_round(protocol);
+
+    let mut changes_per_round = Vec::new();
+    let mut messages_sent = 0u64;
+    let mut converged = false;
+
+    while (changes_per_round.len() as u32) < max_rounds {
+        let mut changed = 0u32;
+        let next = Grid::from_fn(topology, |c| {
+            let state = *current.get(c);
+            if !protocol.participates(c) {
+                return state;
+            }
+            let neighbors = gather(protocol, c, |n| *current.get(n));
+            let next_state = protocol.step(c, state, &neighbors);
+            if next_state != state {
+                changed += 1;
+            }
+            next_state
+        });
+        messages_sent += per_round;
+        changes_per_round.push(changed);
+        current = next;
+        if changed == 0 {
+            converged = true;
+            break;
+        }
+    }
+
+    RunOutcome {
+        states: current,
+        trace: RunTrace {
+            changes_per_round,
+            messages_sent,
+            converged,
+        },
+    }
+}

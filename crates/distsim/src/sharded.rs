@@ -1,0 +1,241 @@
+//! Sharded executor: horizontal-strip domain decomposition with halo
+//! exchange over crossbeam channels.
+//!
+//! The mesh is cut into `threads` horizontal strips. Each strip is owned by
+//! one OS thread holding the states of its rows. Every round each strip:
+//!
+//! 1. sends its boundary rows to the neighboring strips (halo exchange),
+//! 2. receives the neighbors' boundary rows,
+//! 3. steps all of its nodes against the fresh halo,
+//! 4. reports its change count to the coordinator, which reduces the counts
+//!    and broadcasts "continue" or "stop".
+//!
+//! On a torus the top and bottom strips exchange halos with each other
+//! (vertical wraparound); horizontal wraparound stays inside a strip's own
+//! rows. On a mesh the outermost halos are the protocol's ghost rows.
+
+use crate::engine::{gather, messages_per_round, RunOutcome};
+use crate::{LockstepProtocol, RunTrace};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ocp_mesh::{Coord, Grid, TopologyKind};
+
+struct ShardPlan {
+    /// First global row of the strip.
+    start: usize,
+    /// One past the last global row.
+    end: usize,
+}
+
+pub(crate) fn run<P: LockstepProtocol>(
+    protocol: &P,
+    threads: usize,
+    max_rounds: u32,
+) -> RunOutcome<P::State> {
+    let topology = protocol.topology();
+    let height = topology.height() as usize;
+    let width = topology.width() as usize;
+    let shards = threads.min(height);
+    if shards <= 1 {
+        // One strip has no halo partners; the sequential sweep is identical.
+        return crate::sequential::run(protocol, max_rounds);
+    }
+    let wrap = topology.kind() == TopologyKind::Torus;
+
+    // Row partition: near-equal strips.
+    let plans: Vec<ShardPlan> = (0..shards)
+        .map(|i| ShardPlan {
+            start: i * height / shards,
+            end: (i + 1) * height / shards,
+        })
+        .collect();
+
+    // Directed halo channels. `to_above[i]` carries strip i's top row to the
+    // strip above it; that strip receives it as `from_below`.
+    let mut to_above: Vec<Option<Sender<Vec<P::State>>>> = (0..shards).map(|_| None).collect();
+    let mut to_below: Vec<Option<Sender<Vec<P::State>>>> = (0..shards).map(|_| None).collect();
+    let mut from_below: Vec<Option<Receiver<Vec<P::State>>>> = (0..shards).map(|_| None).collect();
+    let mut from_above: Vec<Option<Receiver<Vec<P::State>>>> = (0..shards).map(|_| None).collect();
+    for i in 0..shards {
+        let above = if i + 1 < shards {
+            Some(i + 1)
+        } else if wrap {
+            Some(0)
+        } else {
+            None
+        };
+        if let Some(j) = above {
+            let (tx, rx) = unbounded();
+            to_above[i] = Some(tx);
+            from_below[j] = Some(rx);
+            let (tx, rx) = unbounded();
+            to_below[j] = Some(tx);
+            from_above[i] = Some(rx);
+        }
+    }
+
+    // Coordination channels.
+    let (report_tx, report_rx) = unbounded::<u32>();
+    let mut control_txs = Vec::with_capacity(shards);
+    let mut control_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = unbounded::<bool>();
+        control_txs.push(tx);
+        control_rxs.push(rx);
+    }
+    let (result_tx, result_rx) = unbounded::<(usize, Vec<P::State>)>();
+
+    let per_round = messages_per_round(protocol);
+    let mut changes_per_round: Vec<u32> = Vec::new();
+    let mut converged = false;
+
+    std::thread::scope(|scope| {
+        for (i, plan) in plans.iter().enumerate() {
+            let to_above = to_above[i].take();
+            let to_below = to_below[i].take();
+            let from_below = from_below[i].take();
+            let from_above = from_above[i].take();
+            let report = report_tx.clone();
+            let control = control_rxs[i].clone();
+            let results = result_tx.clone();
+            let (start, end) = (plan.start, plan.end);
+            scope.spawn(move || {
+                shard_worker(
+                    protocol, start, end, width, height, to_above, to_below, from_below,
+                    from_above, report, control, results,
+                );
+            });
+        }
+
+        // Coordinator: reduce change counts, broadcast continue/stop.
+        loop {
+            let mut changed = 0u32;
+            for _ in 0..shards {
+                changed += report_rx.recv().expect("shard died before reporting");
+            }
+            changes_per_round.push(changed);
+            let go = changed > 0 && (changes_per_round.len() as u32) < max_rounds;
+            if changed == 0 {
+                converged = true;
+            }
+            for tx in &control_txs {
+                tx.send(go).expect("shard died before control");
+            }
+            if !go {
+                break;
+            }
+        }
+    });
+    drop(result_tx);
+
+    // Reassemble the final grid from the strips.
+    let mut rows: Vec<Option<Vec<P::State>>> = vec![None; height];
+    while let Ok((start, data)) = result_rx.recv() {
+        for (offset, row) in data.chunks(width).enumerate() {
+            rows[start + offset] = Some(row.to_vec());
+        }
+    }
+    let states = Grid::from_fn(topology, |c| {
+        rows[c.y as usize].as_ref().expect("missing shard row")[c.x as usize]
+    });
+
+    let messages_sent = per_round * changes_per_round.len() as u64;
+    RunOutcome {
+        states,
+        trace: RunTrace {
+            changes_per_round,
+            messages_sent,
+            converged,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<P: LockstepProtocol>(
+    protocol: &P,
+    start: usize,
+    end: usize,
+    width: usize,
+    height: usize,
+    to_above: Option<Sender<Vec<P::State>>>,
+    to_below: Option<Sender<Vec<P::State>>>,
+    from_below: Option<Receiver<Vec<P::State>>>,
+    from_above: Option<Receiver<Vec<P::State>>>,
+    report: Sender<u32>,
+    control: Receiver<bool>,
+    results: Sender<(usize, Vec<P::State>)>,
+) {
+    let rows = end - start;
+    let mut data: Vec<P::State> = Vec::with_capacity(rows * width);
+    for y in start..end {
+        for x in 0..width {
+            data.push(protocol.initial(Coord::new(x as i32, y as i32)));
+        }
+    }
+    let ghost_row: Vec<P::State> = vec![protocol.ghost(); width];
+    // Global row indices of the halos this strip reads.
+    let below_row = (start as i64 - 1).rem_euclid(height as i64) as usize;
+    let above_row = end % height;
+
+    loop {
+        // 1-2. Halo exchange. Send before receive: channels are unbounded,
+        // so this cannot deadlock, and FIFO order keeps rounds aligned.
+        if let Some(tx) = &to_above {
+            let top = &data[(rows - 1) * width..rows * width];
+            tx.send(top.to_vec()).expect("halo peer died");
+        }
+        if let Some(tx) = &to_below {
+            let bottom = &data[..width];
+            tx.send(bottom.to_vec()).expect("halo peer died");
+        }
+        let halo_below: Vec<P::State> = match &from_below {
+            Some(rx) => rx.recv().expect("halo peer died"),
+            None => ghost_row.clone(),
+        };
+        let halo_above: Vec<P::State> = match &from_above {
+            Some(rx) => rx.recv().expect("halo peer died"),
+            None => ghost_row.clone(),
+        };
+
+        // 3. Step every owned node against the snapshot.
+        let mut changed = 0u32;
+        let mut next = Vec::with_capacity(data.len());
+        for local_y in 0..rows {
+            let y = (start + local_y) as i32;
+            for x in 0..width {
+                let c = Coord::new(x as i32, y);
+                let state = data[local_y * width + x];
+                if !protocol.participates(c) {
+                    next.push(state);
+                    continue;
+                }
+                let lookup = |n: Coord| -> P::State {
+                    let ny = n.y as usize;
+                    if (start..end).contains(&ny) {
+                        data[(ny - start) * width + n.x as usize]
+                    } else if ny == below_row {
+                        halo_below[n.x as usize]
+                    } else if ny == above_row {
+                        halo_above[n.x as usize]
+                    } else {
+                        unreachable!("neighbor {n:?} outside strip {start}..{end} and halos")
+                    }
+                };
+                let ns = gather(protocol, c, lookup);
+                let new_state = protocol.step(c, state, &ns);
+                if new_state != state {
+                    changed += 1;
+                }
+                next.push(new_state);
+            }
+        }
+        data = next;
+
+        // 4. Reduce and wait for the verdict.
+        report.send(changed).expect("coordinator died");
+        let go = control.recv().expect("coordinator died");
+        if !go {
+            break;
+        }
+    }
+    results.send((start, data)).expect("collector died");
+}

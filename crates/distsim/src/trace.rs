@@ -1,0 +1,72 @@
+//! Execution traces: convergence rounds and message accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened during one protocol run.
+///
+/// The paper's Figure 5 (a)/(b) reports "the averages of the maximum numbers
+/// of rounds needed to determine" faulty blocks and disabled regions —
+/// [`RunTrace::rounds`] is exactly that per-run number.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Number of nodes that changed state in each executed round, including
+    /// the final all-quiet round that detects quiescence (its entry is 0)
+    /// unless the round cap was hit.
+    pub changes_per_round: Vec<u32>,
+    /// Total point-to-point status messages sent (one per live node per real
+    /// neighbor per executed round — ghost links carry nothing).
+    pub messages_sent: u64,
+    /// True if the run reached a round with no changes; false if it stopped
+    /// at the round cap.
+    pub converged: bool,
+}
+
+impl RunTrace {
+    /// Rounds *needed*: exchange rounds in which at least one node changed
+    /// state. A fault-free machine needs 0 rounds. (The trailing quiet round
+    /// only confirms convergence; the paper's `max d(B)` bound counts the
+    /// productive rounds.)
+    pub fn rounds(&self) -> u32 {
+        // Protocols are monotone, so changes occupy a prefix; count it
+        // defensively anyway.
+        self.changes_per_round.iter().filter(|&&c| c > 0).count() as u32
+    }
+
+    /// Rounds executed, including the final quiet round.
+    pub fn rounds_executed(&self) -> u32 {
+        self.changes_per_round.len() as u32
+    }
+
+    /// Total state changes across the run.
+    pub fn total_changes(&self) -> u64 {
+        self.changes_per_round.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_counts_productive_rounds_only() {
+        let t = RunTrace {
+            changes_per_round: vec![10, 4, 1, 0],
+            messages_sent: 160,
+            converged: true,
+        };
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.rounds_executed(), 4);
+        assert_eq!(t.total_changes(), 15);
+    }
+
+    #[test]
+    fn quiet_from_start() {
+        let t = RunTrace {
+            changes_per_round: vec![0],
+            messages_sent: 40,
+            converged: true,
+        };
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.rounds_executed(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Boundary cells and Definition 4 corner nodes.
+
+use crate::Region;
+use ocp_mesh::{Coord, Dimension, Direction, DIRECTIONS};
+
+/// Cells of the region with at least one axis-neighbor outside the region.
+pub fn boundary_cells(region: &Region) -> Vec<Coord> {
+    region
+        .iter()
+        .filter(|&c| c.raw_neighbors().iter().any(|n| !region.contains(*n)))
+        .collect()
+}
+
+/// Definition 4: a **corner node** of a region is a node that has, *along
+/// each dimension*, at least one neighbor outside the region.
+///
+/// Lemma 1 of the paper: in a disabled region, every corner node is faulty
+/// (otherwise the enabled/disabled rule would have enabled it).
+pub fn is_corner(region: &Region, c: Coord) -> bool {
+    if !region.contains(c) {
+        return false;
+    }
+    let mut outside = [false, false];
+    for dir in DIRECTIONS {
+        if !region.contains(c.step(dir)) {
+            let dim = match dir.dimension() {
+                Dimension::X => 0,
+                Dimension::Y => 1,
+            };
+            outside[dim] = true;
+        }
+    }
+    outside[0] && outside[1]
+}
+
+/// All corner nodes (Definition 4) of the region.
+pub fn corner_nodes(region: &Region) -> Vec<Coord> {
+    region.iter().filter(|&c| is_corner(region, c)).collect()
+}
+
+/// Cells *outside* the region that touch it (axis-adjacency): the immediate
+/// surrounding halo. For fault regions this is where routing's fault rings
+/// live (with diagonal contact handled separately by `ocp-routing`).
+pub fn halo(region: &Region) -> Vec<Coord> {
+    let mut out: Vec<Coord> = region
+        .iter()
+        .flat_map(|c| c.raw_neighbors())
+        .filter(|n| !region.contains(*n))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// One step of the quadrant argument of Lemma 2: among region cells in the
+/// quadrant anchored at `origin` and pointing in directions `(sx, sy)`
+/// (each `+1` or `-1`), finds the cell that is extremal first in `y`, then in
+/// `x` — the paper's `(x_max, y_max)` construction, which is always a corner
+/// node of the region.
+pub fn quadrant_extremal(region: &Region, origin: Coord, sx: i32, sy: i32) -> Option<Coord> {
+    debug_assert!(sx == 1 || sx == -1);
+    debug_assert!(sy == 1 || sy == -1);
+    let in_quadrant = |c: Coord| (c.x - origin.x) * sx >= 0 && (c.y - origin.y) * sy >= 0;
+    let cells: Vec<Coord> = region.iter().filter(|&c| in_quadrant(c)).collect();
+    let best_y = cells.iter().map(|c| c.y * sy).max()?;
+    cells
+        .into_iter()
+        .filter(|c| c.y * sy == best_y)
+        .max_by_key(|c| c.x * sx)
+}
+
+/// Directions pointing out of the region at `c` (empty for interior cells).
+pub fn exposed_directions(region: &Region, c: Coord) -> Vec<Direction> {
+    DIRECTIONS
+        .into_iter()
+        .filter(|&d| !region.contains(c.step(d)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn rect_region(a: (i32, i32), b: (i32, i32)) -> Region {
+        Region::from_rect(Rect::new(c(a.0, a.1), c(b.0, b.1)))
+    }
+
+    #[test]
+    fn rectangle_corners_are_exactly_four() {
+        let r = rect_region((0, 0), (3, 2));
+        let corners = corner_nodes(&r);
+        // Sorted by (x, y): coordinates order lexicographically on x first.
+        assert_eq!(corners, vec![c(0, 0), c(0, 2), c(3, 0), c(3, 2)]);
+    }
+
+    #[test]
+    fn single_cell_is_its_own_corner() {
+        let r = Region::from_cells([c(5, 5)]);
+        assert_eq!(corner_nodes(&r), vec![c(5, 5)]);
+        assert_eq!(boundary_cells(&r), vec![c(5, 5)]);
+    }
+
+    #[test]
+    fn interior_cells_are_not_boundary() {
+        let r = rect_region((0, 0), (4, 4));
+        let b = boundary_cells(&r);
+        assert!(!b.contains(&c(2, 2)));
+        assert_eq!(b.len(), 16); // perimeter of 5x5
+    }
+
+    #[test]
+    fn l_shape_corners() {
+        // L: vertical arm x=0 y=0..2, horizontal arm y=0 x=0..2.
+        let r = Region::from_cells([c(0, 0), c(0, 1), c(0, 2), c(1, 0), c(2, 0)]);
+        let corners = corner_nodes(&r);
+        // Tips and outer corner are corners; the inner elbow (0,0) has all
+        // its outside exposure... check explicitly:
+        assert!(corners.contains(&c(0, 2))); // top tip
+        assert!(corners.contains(&c(2, 0))); // right tip
+        // (0,0): west outside (x-dim), south outside (y-dim) -> corner.
+        assert!(corners.contains(&c(0, 0)));
+        // (1,0): west/east neighbors inside, so no x-dim exposure.
+        assert!(!corners.contains(&c(1, 0)));
+        // (0,1): north/south inside, no y-dim exposure.
+        assert!(!corners.contains(&c(0, 1)));
+    }
+
+    #[test]
+    fn is_corner_false_for_outside_cells() {
+        let r = rect_region((0, 0), (1, 1));
+        assert!(!is_corner(&r, c(5, 5)));
+    }
+
+    #[test]
+    fn halo_surrounds_region() {
+        let r = Region::from_cells([c(1, 1)]);
+        assert_eq!(halo(&r), vec![c(0, 1), c(1, 0), c(1, 2), c(2, 1)]);
+    }
+
+    #[test]
+    fn quadrant_extremal_is_a_corner() {
+        // Lemma 2's constructed extremal node must be a corner node.
+        let r = Region::from_cells([c(0, 0), c(0, 1), c(0, 2), c(1, 0), c(2, 0), c(1, 1)]);
+        for &cell in &[c(0, 0), c(1, 1)] {
+            for (sx, sy) in [(1, 1), (1, -1), (-1, 1), (-1, -1)] {
+                if let Some(e) = quadrant_extremal(&r, cell, sx, sy) {
+                    assert!(is_corner(&r, e), "extremal {e:?} not a corner");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_extremal_empty_quadrant() {
+        let r = Region::from_cells([c(0, 0)]);
+        assert_eq!(quadrant_extremal(&r, c(5, 5), 1, 1), None);
+        assert_eq!(quadrant_extremal(&r, c(0, 0), 1, 1), Some(c(0, 0)));
+    }
+
+    #[test]
+    fn exposed_directions_of_rect_edge_cell() {
+        let r = rect_region((0, 0), (2, 2));
+        assert_eq!(exposed_directions(&r, c(1, 0)), vec![Direction::South]);
+        assert_eq!(
+            exposed_directions(&r, c(0, 0)),
+            vec![Direction::West, Direction::South]
+        );
+        assert!(exposed_directions(&r, c(1, 1)).is_empty());
+    }
+}

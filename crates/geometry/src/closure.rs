@@ -1,0 +1,149 @@
+//! Orthogonal convex closure — the minimality oracle for Theorem 2.
+
+use crate::{Region, convex::is_orthogonally_convex};
+use ocp_mesh::Coord;
+
+/// The smallest orthogonally convex superset of `region`.
+///
+/// Computed as the fixpoint of alternating *row fill* (add every cell between
+/// the leftmost and rightmost occupied cell of each row) and *column fill*.
+/// Each fill step only adds cells forced by Definition 1, so the fixpoint is
+/// contained in every orthogonally convex superset — i.e. it is *the* minimum
+/// one (the family of orthogonally convex supersets is closed under
+/// intersection).
+///
+/// Theorem 2 of the paper states that every disabled region equals the
+/// closure of the faults it covers; `ocp-core`'s verifier checks exactly
+/// `dr == orthogonal_convex_closure(faults(dr))`.
+///
+/// ```
+/// use ocp_geometry::{orthogonal_convex_closure, Region, Coord};
+///
+/// // Two faults on the same row: the cell between them is forced in.
+/// let faults = Region::from_cells([Coord::new(0, 0), Coord::new(2, 0)]);
+/// let polygon = orthogonal_convex_closure(&faults);
+/// assert_eq!(polygon.len(), 3);
+/// assert!(polygon.contains(Coord::new(1, 0)));
+/// ```
+pub fn orthogonal_convex_closure(region: &Region) -> Region {
+    let mut current: Region = region.clone();
+    loop {
+        let mut next = Region::new();
+        let mut changed = false;
+
+        // Row fill.
+        for (y, xs) in current.rows() {
+            let (lo, hi) = (xs[0], *xs.last().expect("non-empty row"));
+            if (hi - lo + 1) as usize != xs.len() {
+                changed = true;
+            }
+            for x in lo..=hi {
+                next.insert(Coord::new(x, y));
+            }
+        }
+
+        // Column fill on the row-filled set.
+        let mut filled = Region::new();
+        for (x, ys) in next.cols() {
+            let (lo, hi) = (ys[0], *ys.last().expect("non-empty column"));
+            if (hi - lo + 1) as usize != ys.len() {
+                changed = true;
+            }
+            for y in lo..=hi {
+                filled.insert(Coord::new(x, y));
+            }
+        }
+
+        if !changed {
+            debug_assert!(is_orthogonally_convex(&filled));
+            return filled;
+        }
+        current = filled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shapes, Rect};
+
+    fn region(raw: &[(i32, i32)]) -> Region {
+        Region::from_cells(raw.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn closure_of_convex_region_is_identity() {
+        for cells in [
+            shapes::l_shape(4, 3),
+            shapes::t_shape(5, 3),
+            shapes::plus_shape(3),
+        ] {
+            let r = Region::from_cells(cells);
+            assert_eq!(orthogonal_convex_closure(&r), r);
+        }
+        let rect = Region::from_rect(Rect::new(Coord::new(0, 0), Coord::new(3, 3)));
+        assert_eq!(orthogonal_convex_closure(&rect), rect);
+    }
+
+    #[test]
+    fn closure_is_convex_and_contains_input() {
+        let r = region(&[(0, 0), (3, 0), (1, 2), (4, 4)]);
+        let c = orthogonal_convex_closure(&r);
+        assert!(is_orthogonally_convex(&c));
+        assert!(c.is_superset(&r));
+    }
+
+    #[test]
+    fn closure_fills_u_shape_pocket() {
+        let u = Region::from_cells(shapes::u_shape(4, 3));
+        let c = orthogonal_convex_closure(&u);
+        // Closing a U fills the pocket, yielding the full bounding rectangle.
+        assert_eq!(c, Region::from_rect(u.bbox().unwrap()));
+    }
+
+    #[test]
+    fn closure_of_diagonal_pair_is_itself() {
+        // Diagonal cells share no line, so they are already (vacuously)
+        // orthogonally convex — the closure does not connect them.
+        let r = region(&[(0, 0), (1, 1)]);
+        assert_eq!(orthogonal_convex_closure(&r), r);
+    }
+
+    #[test]
+    fn closure_requires_iteration_to_converge() {
+        // Row fill creates a new column gap, which the column fill must then
+        // close: a staircase of separated cells.
+        let r = region(&[(0, 0), (2, 0), (2, 2), (4, 2)]);
+        let c = orthogonal_convex_closure(&r);
+        assert!(is_orthogonally_convex(&c));
+        // Row 0 filled: (0..=2, 0). Row 2 filled: (2..=4, 2).
+        // Column 2 then fills (2, 1).
+        assert!(c.contains(Coord::new(1, 0)));
+        assert!(c.contains(Coord::new(3, 2)));
+        assert!(c.contains(Coord::new(2, 1)));
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let r = region(&[(0, 0), (5, 1), (2, 4), (3, 3), (0, 4)]);
+        let once = orthogonal_convex_closure(&r);
+        let twice = orthogonal_convex_closure(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn closure_is_monotone() {
+        let small = region(&[(0, 0), (2, 2)]);
+        let mut big = small.clone();
+        big.insert(Coord::new(2, 0));
+        let cs = orthogonal_convex_closure(&small);
+        let cb = orthogonal_convex_closure(&big);
+        assert!(cb.is_superset(&cs));
+    }
+
+    #[test]
+    fn closure_empty() {
+        assert_eq!(orthogonal_convex_closure(&Region::new()), Region::new());
+    }
+}

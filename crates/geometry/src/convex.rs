@@ -1,0 +1,108 @@
+//! Orthogonal convexity (Definition 1).
+
+use crate::Region;
+
+/// Tests Definition 1: for any horizontal or vertical line, if two cells on
+/// the line are in the region, every cell between them is too.
+///
+/// Equivalently: the occupied cells of every row form one contiguous run of
+/// x-coordinates, and of every column one contiguous run of y-coordinates.
+/// Note the definition does *not* require the region to be connected — two
+/// cells that share no row or column (e.g. a diagonal pair) vacuously
+/// satisfy it.
+pub fn is_orthogonally_convex(region: &Region) -> bool {
+    convexity_defect(region) == 0
+}
+
+/// Number of cells that would have to be added to make every row and column
+/// run contiguous. Zero iff the region is orthogonally convex; useful as a
+/// graded "how far from convex" measure in tests and diagnostics.
+pub fn convexity_defect(region: &Region) -> usize {
+    let mut missing = 0;
+    for xs in region.rows().values() {
+        missing += span_gap(xs);
+    }
+    for ys in region.cols().values() {
+        missing += span_gap(ys);
+    }
+    missing
+}
+
+/// Number of integers missing from the inclusive span of a sorted list.
+fn span_gap(sorted: &[i32]) -> usize {
+    match (sorted.first(), sorted.last()) {
+        (Some(&lo), Some(&hi)) => (hi - lo + 1) as usize - sorted.len(),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::Rect;
+    use ocp_mesh::Coord;
+
+    fn region(raw: &[(i32, i32)]) -> Region {
+        Region::from_cells(raw.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn rectangles_are_orthogonally_convex() {
+        let r = Region::from_rect(Rect::new(Coord::new(0, 0), Coord::new(4, 2)));
+        assert!(is_orthogonally_convex(&r));
+    }
+
+    #[test]
+    fn empty_and_singletons_are_convex() {
+        assert!(is_orthogonally_convex(&Region::new()));
+        assert!(is_orthogonally_convex(&region(&[(7, 7)])));
+    }
+
+    #[test]
+    fn paper_shape_classification() {
+        // Section 2: "T-shape, L-shape, and +-shape fault regions are
+        // orthogonal convex polygons, whereas U-shape and H-shape fault
+        // regions are non-orthogonal convex polygons."
+        assert!(is_orthogonally_convex(&Region::from_cells(shapes::l_shape(4, 3))));
+        assert!(is_orthogonally_convex(&Region::from_cells(shapes::t_shape(5, 3))));
+        assert!(is_orthogonally_convex(&Region::from_cells(shapes::plus_shape(3))));
+        assert!(!is_orthogonally_convex(&Region::from_cells(shapes::u_shape(4, 3))));
+        assert!(!is_orthogonally_convex(&Region::from_cells(shapes::h_shape(4, 3))));
+    }
+
+    #[test]
+    fn row_gap_detected() {
+        let r = region(&[(0, 0), (2, 0)]);
+        assert!(!is_orthogonally_convex(&r));
+        assert_eq!(convexity_defect(&r), 1);
+    }
+
+    #[test]
+    fn column_gap_detected() {
+        let r = region(&[(0, 0), (0, 3)]);
+        assert_eq!(convexity_defect(&r), 2);
+    }
+
+    #[test]
+    fn diagonal_pair_is_vacuously_convex() {
+        // No two cells share a row or column, so Definition 1 holds even
+        // though the region is disconnected.
+        let r = region(&[(0, 0), (1, 1)]);
+        assert!(is_orthogonally_convex(&r));
+        assert!(!r.is_connected());
+    }
+
+    #[test]
+    fn staircase_is_convex() {
+        let r = region(&[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]);
+        assert!(is_orthogonally_convex(&r));
+    }
+
+    #[test]
+    fn defect_counts_all_missing_cells() {
+        // U-shape: rows fine except the top row split in two.
+        let r = region(&[(0, 0), (1, 0), (2, 0), (0, 1), (2, 1)]);
+        assert_eq!(convexity_defect(&r), 1);
+    }
+}

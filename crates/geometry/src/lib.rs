@@ -1,0 +1,47 @@
+//! # ocp-geometry
+//!
+//! Rectilinear geometry substrate for the orthogonal-convex-polygon
+//! fault-model reproduction.
+//!
+//! The paper's central geometric object is the **orthogonal convex region**
+//! (Definition 1): a region such that for any horizontal or vertical line,
+//! if two nodes on the line are inside the region, every node between them
+//! is too. On the integer grid of a 2-D mesh this specializes the classical
+//! notion from Preparata & Shamos to axis-parallel lines only — T-, L- and
+//! +-shapes qualify; U- and H-shapes do not.
+//!
+//! Provided here:
+//!
+//! * [`Rect`] — inclusive axis-aligned rectangles (the classical faulty-block
+//!   shape), with the diameter and distance notions of Section 2.
+//! * [`Region`] — arbitrary finite cell sets with connectivity, row/column
+//!   interval views and membership queries.
+//! * [`is_orthogonally_convex`] / [`convexity_defect`] — Definition 1 checks.
+//! * [`orthogonal_convex_closure`] — the *smallest* orthogonally convex
+//!   superset of a cell set; Theorem 2 says every disabled region equals the
+//!   closure of the faults it covers, which makes this function the
+//!   verification oracle for minimality.
+//! * [`boundary`] — boundary cells, and the paper's Definition 4 **corner
+//!   nodes** (a node with at least one outside neighbor in each dimension);
+//!   Lemma 1 says corner nodes of a disabled region are always faulty.
+//! * [`shapes`] — generators for the named fault shapes of the literature
+//!   (L, T, U, H, +) used in tests and the fault atlas example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod closure;
+pub mod convex;
+pub mod rect;
+pub mod region;
+pub mod shapes;
+
+pub use boundary::{boundary_cells, corner_nodes, is_corner};
+pub use closure::orthogonal_convex_closure;
+pub use convex::{convexity_defect, is_orthogonally_convex};
+pub use rect::Rect;
+pub use region::Region;
+
+/// Convenience re-export: regions are sets of mesh coordinates.
+pub use ocp_mesh::Coord;

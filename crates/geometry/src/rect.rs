@@ -1,0 +1,216 @@
+//! Inclusive axis-aligned rectangles — the classical faulty-block shape.
+
+use ocp_mesh::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inclusive axis-aligned rectangle of grid cells.
+///
+/// `min` and `max` are both *inside* the rectangle; a single cell is the
+/// rectangle with `min == max`. Rectangles are the shape of faulty blocks:
+/// the paper (Section 3) notes that connected unsafe nodes always form
+/// disjoint rectangles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Smallest contained coordinate (south-west corner).
+    pub min: Coord,
+    /// Largest contained coordinate (north-east corner).
+    pub max: Coord,
+}
+
+impl Rect {
+    /// Rectangle spanning the two corners (in any order).
+    pub fn new(a: Coord, b: Coord) -> Self {
+        Self {
+            min: Coord::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Coord::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The single-cell rectangle `{c}`.
+    pub fn cell(c: Coord) -> Self {
+        Self { min: c, max: c }
+    }
+
+    /// Smallest rectangle containing every coordinate of `iter` (the
+    /// bounding box). Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Coord>>(iter: I) -> Option<Self> {
+        let mut it = iter.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::cell(first);
+        for c in it {
+            r.min.x = r.min.x.min(c.x);
+            r.min.y = r.min.y.min(c.y);
+            r.max.x = r.max.x.max(c.x);
+            r.max.y = r.max.y.max(c.y);
+        }
+        Some(r)
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(self) -> u32 {
+        (self.max.x - self.min.x) as u32 + 1
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn height(self) -> u32 {
+        (self.max.y - self.min.y) as u32 + 1
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn area(self) -> usize {
+        self.width() as usize * self.height() as usize
+    }
+
+    /// Diameter `d(B)` of a block: the largest Manhattan distance between
+    /// two of its cells, `(width - 1) + (height - 1)`. The paper bounds both
+    /// phases of the protocol by `max d(B)` rounds.
+    #[inline]
+    pub fn diameter(self) -> u32 {
+        (self.width() - 1) + (self.height() - 1)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, c: Coord) -> bool {
+        c.x >= self.min.x && c.x <= self.max.x && c.y >= self.min.y && c.y <= self.max.y
+    }
+
+    /// True if the rectangles share at least one cell.
+    pub fn intersects(self, other: Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Minimum Manhattan distance between a cell of `self` and a cell of
+    /// `other` — the block distance `d(A, B)` of Section 3 (0 if they
+    /// intersect). Under Definition 2a, distinct faulty blocks satisfy
+    /// `d(A, B) >= 3`; under Definition 2b, `d(A, B) >= 2`.
+    pub fn distance(self, other: Rect) -> u32 {
+        let dx = gap(self.min.x, self.max.x, other.min.x, other.max.x);
+        let dy = gap(self.min.y, self.max.y, other.min.y, other.max.y);
+        dx + dy
+    }
+
+    /// Iterates every cell, row-major.
+    pub fn cells(self) -> impl Iterator<Item = Coord> {
+        let (x0, x1, y0, y1) = (self.min.x, self.max.x, self.min.y, self.max.y);
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| Coord::new(x, y)))
+    }
+
+    /// Grows the rectangle by `margin` cells on every side.
+    pub fn inflate(self, margin: i32) -> Rect {
+        Rect {
+            min: Coord::new(self.min.x - margin, self.min.y - margin),
+            max: Coord::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+}
+
+/// 1-D gap between inclusive intervals `[a0, a1]` and `[b0, b1]`.
+fn gap(a0: i32, a1: i32, b0: i32, b1: i32) -> u32 {
+    if b0 > a1 {
+        (b0 - a1) as u32
+    } else if a0 > b1 {
+        (a0 - b1) as u32
+    } else {
+        0
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect[{:?}..{:?}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let r = Rect::new(c(3, 1), c(1, 4));
+        assert_eq!(r.min, c(1, 1));
+        assert_eq!(r.max, c(3, 4));
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 12);
+    }
+
+    #[test]
+    fn single_cell_geometry() {
+        let r = Rect::cell(c(5, 5));
+        assert_eq!(r.area(), 1);
+        assert_eq!(r.diameter(), 0);
+        assert!(r.contains(c(5, 5)));
+        assert!(!r.contains(c(5, 6)));
+    }
+
+    #[test]
+    fn diameter_is_max_internal_manhattan_distance() {
+        let r = Rect::new(c(0, 0), c(3, 2));
+        assert_eq!(r.diameter(), 5);
+        let max = r
+            .cells()
+            .flat_map(|a| r.cells().map(move |b| a.manhattan(b)))
+            .max()
+            .unwrap();
+        assert_eq!(max, r.diameter());
+    }
+
+    #[test]
+    fn bounding_box() {
+        let r = Rect::bounding([c(2, 7), c(5, 1), c(3, 3)]).unwrap();
+        assert_eq!(r, Rect::new(c(2, 1), c(5, 7)));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn intersection_detection() {
+        let a = Rect::new(c(0, 0), c(2, 2));
+        assert!(a.intersects(Rect::new(c(2, 2), c(4, 4))));
+        assert!(!a.intersects(Rect::new(c(3, 0), c(4, 2))));
+        assert!(a.intersects(a));
+    }
+
+    #[test]
+    fn distance_matches_pairwise_min() {
+        let a = Rect::new(c(0, 0), c(1, 1));
+        let b = Rect::new(c(4, 3), c(5, 5));
+        let brute = a
+            .cells()
+            .flat_map(|u| b.cells().map(move |v| u.manhattan(v)))
+            .min()
+            .unwrap();
+        assert_eq!(a.distance(b), brute);
+        assert_eq!(b.distance(a), brute);
+        assert_eq!(a.distance(a), 0);
+        // axis-aligned neighbors at distance 1
+        assert_eq!(a.distance(Rect::new(c(2, 0), c(3, 1))), 1);
+    }
+
+    #[test]
+    fn cells_enumeration_row_major() {
+        let r = Rect::new(c(1, 1), c(2, 2));
+        let got: Vec<_> = r.cells().collect();
+        assert_eq!(got, vec![c(1, 1), c(2, 1), c(1, 2), c(2, 2)]);
+        assert_eq!(got.len(), r.area());
+    }
+
+    #[test]
+    fn inflate_adds_margin() {
+        let r = Rect::cell(c(3, 3)).inflate(1);
+        assert_eq!(r, Rect::new(c(2, 2), c(4, 4)));
+        assert_eq!(r.area(), 9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Generators for the named fault-region shapes of the fault-tolerant
+//! routing literature (Section 1 cites H-, L-, T-, U- and +-shaped fault
+//! regions). All shapes are anchored with their bounding box at the origin
+//! and can be translated with [`translate`].
+
+use ocp_mesh::Coord;
+
+/// Translates a cell set by `(dx, dy)`.
+pub fn translate(cells: impl IntoIterator<Item = Coord>, dx: i32, dy: i32) -> Vec<Coord> {
+    cells
+        .into_iter()
+        .map(|c| Coord::new(c.x + dx, c.y + dy))
+        .collect()
+}
+
+/// L-shape: a vertical arm of height `arm` on the left column joined to a
+/// horizontal arm of width `arm` on the bottom row, both `thick` cells thick.
+/// Orthogonally convex.
+///
+/// # Panics
+/// Panics if `arm <= thick` or `thick == 0`.
+pub fn l_shape(arm: u32, thick: u32) -> Vec<Coord> {
+    assert!(thick > 0 && arm > thick, "need arm > thick > 0");
+    let mut cells = Vec::new();
+    for y in 0..arm as i32 {
+        for x in 0..thick as i32 {
+            cells.push(Coord::new(x, y));
+        }
+    }
+    for x in thick as i32..arm as i32 {
+        for y in 0..thick as i32 {
+            cells.push(Coord::new(x, y));
+        }
+    }
+    cells.sort();
+    cells
+}
+
+/// T-shape: a horizontal bar of width `width` on top, with a vertical stem
+/// of height `stem` descending from its middle, all 1 cell thick scaled by
+/// `stem`... more precisely the bar is `stem` rows tall and the stem is
+/// centered. Orthogonally convex.
+///
+/// # Panics
+/// Panics if `width < 3` or `stem == 0`.
+pub fn t_shape(width: u32, stem: u32) -> Vec<Coord> {
+    assert!(width >= 3 && stem > 0, "need width >= 3 and stem > 0");
+    let mut cells = Vec::new();
+    let top = (stem + stem) as i32 - 1;
+    // Bar occupies the top `stem` rows.
+    for y in stem as i32..=top {
+        for x in 0..width as i32 {
+            cells.push(Coord::new(x, y));
+        }
+    }
+    // Stem: middle column(s), bottom `stem` rows.
+    let mid = (width / 2) as i32;
+    for y in 0..stem as i32 {
+        cells.push(Coord::new(mid, y));
+    }
+    cells.sort();
+    cells
+}
+
+/// +-shape: a horizontal and a vertical bar of length `2 * arm + 1` crossing
+/// at the center. Orthogonally convex.
+pub fn plus_shape(arm: u32) -> Vec<Coord> {
+    let a = arm as i32;
+    let mut cells = Vec::new();
+    for d in -a..=a {
+        cells.push(Coord::new(a + d, a));
+        if d != 0 {
+            cells.push(Coord::new(a, a + d));
+        }
+    }
+    cells.sort();
+    cells
+}
+
+/// U-shape: two vertical arms of height `arm` joined by a bottom bar, with a
+/// pocket of width `gap` between the arms. **Not** orthogonally convex: a
+/// horizontal line through the arms crosses the pocket.
+///
+/// # Panics
+/// Panics if `arm < 2` or `gap == 0`.
+pub fn u_shape(arm: u32, gap: u32) -> Vec<Coord> {
+    assert!(arm >= 2 && gap > 0, "need arm >= 2 and gap > 0");
+    let right = gap as i32 + 1;
+    let mut cells = Vec::new();
+    for y in 0..arm as i32 {
+        cells.push(Coord::new(0, y));
+        cells.push(Coord::new(right, y));
+    }
+    for x in 1..right {
+        cells.push(Coord::new(x, 0));
+    }
+    cells.sort();
+    cells
+}
+
+/// H-shape: two vertical arms joined by a middle bar. **Not** orthogonally
+/// convex (vertical lines through the crossbar gap).
+///
+/// # Panics
+/// Panics if `arm < 3` or `gap == 0`.
+pub fn h_shape(arm: u32, gap: u32) -> Vec<Coord> {
+    assert!(arm >= 3 && gap > 0, "need arm >= 3 and gap > 0");
+    let right = gap as i32 + 1;
+    let mid = (arm / 2) as i32;
+    let mut cells = Vec::new();
+    for y in 0..arm as i32 {
+        cells.push(Coord::new(0, y));
+        cells.push(Coord::new(right, y));
+    }
+    for x in 1..right {
+        cells.push(Coord::new(x, mid));
+    }
+    cells.sort();
+    cells
+}
+
+/// Solid `w × h` rectangle at the origin.
+pub fn rectangle(w: u32, h: u32) -> Vec<Coord> {
+    assert!(w > 0 && h > 0);
+    let mut cells = Vec::new();
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            cells.push(Coord::new(x, y));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_orthogonally_convex, Region};
+
+    fn as_region(cells: Vec<Coord>) -> Region {
+        Region::from_cells(cells)
+    }
+
+    #[test]
+    fn shapes_are_connected() {
+        for cells in [
+            l_shape(5, 2),
+            t_shape(7, 2),
+            plus_shape(3),
+            u_shape(4, 2),
+            h_shape(5, 2),
+            rectangle(4, 3),
+        ] {
+            assert!(as_region(cells).is_connected());
+        }
+    }
+
+    #[test]
+    fn convexity_classification_matches_paper() {
+        assert!(is_orthogonally_convex(&as_region(l_shape(5, 2))));
+        assert!(is_orthogonally_convex(&as_region(t_shape(7, 2))));
+        assert!(is_orthogonally_convex(&as_region(plus_shape(3))));
+        assert!(!is_orthogonally_convex(&as_region(u_shape(4, 2))));
+        assert!(!is_orthogonally_convex(&as_region(h_shape(5, 2))));
+    }
+
+    #[test]
+    fn no_duplicate_cells() {
+        for cells in [
+            l_shape(5, 2),
+            t_shape(7, 3),
+            plus_shape(2),
+            u_shape(3, 1),
+            h_shape(4, 1),
+        ] {
+            let r = as_region(cells.clone());
+            assert_eq!(r.len(), cells.len(), "duplicates in {cells:?}");
+        }
+    }
+
+    #[test]
+    fn translate_shifts_bbox() {
+        let cells = translate(plus_shape(1), 10, 20);
+        let r = as_region(cells);
+        assert_eq!(r.bbox().unwrap().min, Coord::new(10, 20));
+    }
+
+    #[test]
+    fn plus_shape_size() {
+        // arm=2: two bars of 5 crossing, sharing the center.
+        assert_eq!(plus_shape(2).len(), 9);
+        assert_eq!(plus_shape(0).len(), 1);
+    }
+
+    #[test]
+    fn u_shape_has_pocket() {
+        let r = as_region(u_shape(3, 2));
+        // The pocket cells (1..=2, 1..=2) are outside the region.
+        assert!(!r.contains(Coord::new(1, 1)));
+        assert!(!r.contains(Coord::new(2, 2)));
+        assert!(r.contains(Coord::new(0, 2)));
+        assert!(r.contains(Coord::new(3, 2)));
+    }
+}

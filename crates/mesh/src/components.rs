@@ -1,0 +1,157 @@
+//! Connected components under 4-connectivity.
+//!
+//! The paper's faulty blocks ("connected unsafe nodes") and disabled regions
+//! ("connected disabled nodes") are connected components of a per-node
+//! predicate under mesh adjacency. Note that on a torus, adjacency wraps, so
+//! a region hugging opposite edges is one component.
+
+use crate::{Coord, Grid, Topology};
+
+/// One maximal 4-connected set of nodes satisfying a predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Member coordinates in row-major discovery order (sorted).
+    pub cells: Vec<Coord>,
+}
+
+impl Component {
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the component has no members (never produced by extraction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Membership test (binary search; `cells` is sorted).
+    pub fn contains(&self, c: Coord) -> bool {
+        self.cells.binary_search(&c).is_ok()
+    }
+}
+
+/// Extracts all 4-connected components of `{c : pred(c)}` over `topology`.
+///
+/// Adjacency is topology-aware: torus wraparound links connect components
+/// across the seam; mesh ghost nodes never satisfy the predicate (they are
+/// not real nodes). Components are returned with sorted cell lists, ordered
+/// by their smallest member.
+pub fn connected_components(
+    topology: Topology,
+    mut pred: impl FnMut(Coord) -> bool,
+) -> Vec<Component> {
+    let membership = Grid::from_fn(topology, &mut pred);
+    connected_components_grid(&membership, |&m| m)
+}
+
+/// Like [`connected_components`], but reads membership out of an existing
+/// grid via `pred` (avoids re-evaluating an expensive predicate).
+pub fn connected_components_grid<T>(
+    grid: &Grid<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Vec<Component> {
+    let topology = grid.topology();
+    let mut visited = vec![false; topology.len()];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in topology.coords() {
+        let si = topology.index_of(start);
+        if visited[si] || !pred(grid.get(start)) {
+            continue;
+        }
+        // Depth-first flood fill from `start`.
+        let mut cells = Vec::new();
+        visited[si] = true;
+        stack.push(start);
+        while let Some(c) = stack.pop() {
+            cells.push(c);
+            for n in crate::Neighborhood::of(topology, c).nodes() {
+                let ni = topology.index_of(n);
+                if !visited[ni] && pred(grid.get(n)) {
+                    visited[ni] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        cells.sort();
+        components.push(Component { cells });
+    }
+    components.sort_by_key(|comp| comp.cells[0]);
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords(raw: &[(i32, i32)]) -> Vec<Coord> {
+        raw.iter().map(|&(x, y)| Coord::new(x, y)).collect()
+    }
+
+    #[test]
+    fn empty_predicate_gives_no_components() {
+        let t = Topology::mesh(4, 4);
+        assert!(connected_components(t, |_| false).is_empty());
+    }
+
+    #[test]
+    fn full_grid_is_one_component() {
+        let t = Topology::mesh(4, 4);
+        let comps = connected_components(t, |_| true);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 16);
+    }
+
+    #[test]
+    fn diagonal_cells_are_separate_components() {
+        let t = Topology::mesh(4, 4);
+        let set = coords(&[(0, 0), (1, 1)]);
+        let comps = connected_components(t, |c| set.contains(&c));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 1);
+        assert_eq!(comps[1].len(), 1);
+    }
+
+    #[test]
+    fn l_shape_is_one_component() {
+        let t = Topology::mesh(5, 5);
+        let set = coords(&[(1, 1), (1, 2), (1, 3), (2, 1), (3, 1)]);
+        let comps = connected_components(t, |c| set.contains(&c));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+        assert!(comps[0].contains(Coord::new(1, 3)));
+        assert!(!comps[0].contains(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn torus_wraparound_merges_edge_components() {
+        // Cells in column 0 and column 4 of a 5-wide torus are adjacent.
+        let set = coords(&[(0, 2), (4, 2)]);
+        let torus = Topology::torus(5, 5);
+        assert_eq!(connected_components(torus, |c| set.contains(&c)).len(), 1);
+        let mesh = Topology::mesh(5, 5);
+        assert_eq!(connected_components(mesh, |c| set.contains(&c)).len(), 2);
+    }
+
+    #[test]
+    fn components_sorted_by_smallest_member() {
+        let t = Topology::mesh(6, 6);
+        let set = coords(&[(5, 5), (0, 0), (3, 2), (3, 3)]);
+        let comps = connected_components(t, |c| set.contains(&c));
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].cells, coords(&[(0, 0)]));
+        assert_eq!(comps[1].cells, coords(&[(3, 2), (3, 3)]));
+        assert_eq!(comps[2].cells, coords(&[(5, 5)]));
+    }
+
+    #[test]
+    fn grid_variant_matches_predicate_variant() {
+        let t = Topology::mesh(8, 8);
+        let g = Grid::from_fn(t, |c| (c.x * 7 + c.y * 3) % 4 == 0);
+        let a = connected_components(t, |c| *g.get(c));
+        let b = connected_components_grid(&g, |&m| m);
+        assert_eq!(a, b);
+    }
+}

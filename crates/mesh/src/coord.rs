@@ -1,0 +1,258 @@
+//! Node addresses, link directions and dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Address of a node in a 2-D mesh or torus.
+///
+/// Coordinates are signed so that the paper's *ghost* nodes — the extra
+/// boundary lines at `x = -1`, `x = width`, `y = -1` and `y = height` — are
+/// representable. All interior node addresses are non-negative.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column (first dimension in the paper's `(u_x, u_y)` notation).
+    pub x: i32,
+    /// Row (second dimension).
+    pub y: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate from its two components.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance `|u_x - v_x| + |u_y - v_y|` — the distance metric
+    /// used throughout the paper (Section 3) for meshes.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (king-move) distance; used when reasoning about fault rings,
+    /// which include diagonal contact.
+    #[inline]
+    pub fn chebyshev(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// The coordinate one step in `dir`, ignoring topology bounds.
+    #[inline]
+    pub fn step(self, dir: Direction) -> Coord {
+        let (dx, dy) = dir.offset();
+        Coord::new(self.x + dx, self.y + dy)
+    }
+
+    /// The four axis-neighbors, ignoring topology bounds.
+    #[inline]
+    pub fn raw_neighbors(self) -> [Coord; 4] {
+        [
+            self.step(Direction::West),
+            self.step(Direction::East),
+            self.step(Direction::South),
+            self.step(Direction::North),
+        ]
+    }
+
+    /// True if `other` is an axis neighbor (adjacent in exactly one
+    /// dimension, by exactly one).
+    #[inline]
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((x, y): (i32, i32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// One of the two dimensions of the mesh.
+///
+/// The safe/unsafe rule of Definition 2b is phrased per dimension: a
+/// nonfaulty node is unsafe iff it has an unsafe neighbor *in both
+/// dimensions*.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Horizontal (x) dimension.
+    X,
+    /// Vertical (y) dimension.
+    Y,
+}
+
+/// The four link directions of a node.
+///
+/// The numeric discriminants are used to index per-direction arrays such as
+/// neighbor-state vectors in the lock-step protocol engine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Direction {
+    /// Negative x.
+    West = 0,
+    /// Positive x.
+    East = 1,
+    /// Negative y.
+    South = 2,
+    /// Positive y.
+    North = 3,
+}
+
+/// All four directions in index order (`West`, `East`, `South`, `North`).
+pub const DIRECTIONS: [Direction; 4] = [
+    Direction::West,
+    Direction::East,
+    Direction::South,
+    Direction::North,
+];
+
+impl Direction {
+    /// `(dx, dy)` offset of one hop in this direction.
+    #[inline]
+    pub const fn offset(self) -> (i32, i32) {
+        match self {
+            Direction::West => (-1, 0),
+            Direction::East => (1, 0),
+            Direction::South => (0, -1),
+            Direction::North => (0, 1),
+        }
+    }
+
+    /// The opposite direction (the direction a received message came *from*).
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::West => Direction::East,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::North => Direction::South,
+        }
+    }
+
+    /// Dimension this direction moves along.
+    #[inline]
+    pub const fn dimension(self) -> Dimension {
+        match self {
+            Direction::West | Direction::East => Dimension::X,
+            Direction::South | Direction::North => Dimension::Y,
+        }
+    }
+
+    /// Array index (stable, `0..4`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Direction::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn from_index(i: usize) -> Direction {
+        DIRECTIONS[i]
+    }
+
+    /// Turn 90 degrees counter-clockwise (W→S→E→N→W).
+    #[inline]
+    pub const fn ccw(self) -> Direction {
+        match self {
+            Direction::West => Direction::South,
+            Direction::South => Direction::East,
+            Direction::East => Direction::North,
+            Direction::North => Direction::West,
+        }
+    }
+
+    /// Turn 90 degrees clockwise.
+    #[inline]
+    pub const fn cw(self) -> Direction {
+        self.ccw().opposite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_matches_paper_definition() {
+        let u = Coord::new(2, 5);
+        let v = Coord::new(7, 1);
+        assert_eq!(u.manhattan(v), 5 + 4);
+        assert_eq!(v.manhattan(u), 9);
+        assert_eq!(u.manhattan(u), 0);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        assert_eq!(Coord::new(0, 0).chebyshev(Coord::new(1, 1)), 1);
+        assert_eq!(Coord::new(0, 0).chebyshev(Coord::new(3, 1)), 3);
+    }
+
+    #[test]
+    fn adjacency_is_single_dimension_offset_one() {
+        let u = Coord::new(3, 3);
+        assert!(u.is_adjacent(Coord::new(2, 3)));
+        assert!(u.is_adjacent(Coord::new(3, 4)));
+        assert!(!u.is_adjacent(Coord::new(2, 2))); // diagonal
+        assert!(!u.is_adjacent(u));
+        assert!(!u.is_adjacent(Coord::new(5, 3)));
+    }
+
+    #[test]
+    fn direction_roundtrips() {
+        for d in DIRECTIONS {
+            assert_eq!(Direction::from_index(d.index()), d);
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.ccw().cw(), d);
+            assert_eq!(d.cw().ccw(), d);
+            // stepping there and back returns to start
+            let c = Coord::new(10, 10);
+            assert_eq!(c.step(d).step(d.opposite()), c);
+        }
+    }
+
+    #[test]
+    fn opposite_changes_sign_same_dimension() {
+        for d in DIRECTIONS {
+            assert_eq!(d.dimension(), d.opposite().dimension());
+            let (dx, dy) = d.offset();
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn ccw_cycles_through_all_directions() {
+        let mut seen = vec![Direction::West];
+        let mut d = Direction::West;
+        for _ in 0..3 {
+            d = d.ccw();
+            seen.push(d);
+        }
+        seen.sort_by_key(|d| d.index());
+        assert_eq!(seen, DIRECTIONS.to_vec());
+    }
+
+    #[test]
+    fn raw_neighbors_are_all_adjacent() {
+        let c = Coord::new(4, 7);
+        for n in c.raw_neighbors() {
+            assert!(c.is_adjacent(n));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Dense per-node storage.
+
+use crate::{Coord, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense row-major storage of one `T` per node of a [`Topology`].
+///
+/// All the labeling protocols keep their per-node state in `Grid`s; the
+/// lock-step engine double-buffers two of them. Indexing is by [`Coord`].
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid<T> {
+    topology: Topology,
+    cells: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// A grid with every cell set to `value`.
+    pub fn filled(topology: Topology, value: T) -> Self {
+        Self {
+            topology,
+            cells: vec![value; topology.len()],
+        }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Builds a grid by evaluating `f` at every node.
+    pub fn from_fn(topology: Topology, mut f: impl FnMut(Coord) -> T) -> Self {
+        let mut cells = Vec::with_capacity(topology.len());
+        for c in topology.coords() {
+            cells.push(f(c));
+        }
+        Self { topology, cells }
+    }
+
+    /// The topology this grid covers.
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared access to the cell at `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is not a real node of the topology.
+    #[inline]
+    pub fn get(&self, c: Coord) -> &T {
+        &self.cells[self.topology.index_of(c)]
+    }
+
+    /// `Some(&cell)` if `c` is a real node, `None` otherwise (e.g. ghosts).
+    #[inline]
+    pub fn try_get(&self, c: Coord) -> Option<&T> {
+        if self.topology.contains(c) {
+            Some(&self.cells[self.topology.index_of(c)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the cell at `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is not a real node of the topology.
+    #[inline]
+    pub fn get_mut(&mut self, c: Coord) -> &mut T {
+        let i = self.topology.index_of(c);
+        &mut self.cells[i]
+    }
+
+    /// Overwrites the cell at `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is not a real node of the topology.
+    #[inline]
+    pub fn set(&mut self, c: Coord, value: T) {
+        *self.get_mut(c) = value;
+    }
+
+    /// Iterates `(coord, &cell)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, &T)> {
+        let t = self.topology;
+        self.cells.iter().enumerate().map(move |(i, v)| (t.coord_of(i), v))
+    }
+
+    /// Coordinates whose cell satisfies `pred`.
+    pub fn coords_where<'a>(
+        &'a self,
+        mut pred: impl FnMut(&T) -> bool + 'a,
+    ) -> impl Iterator<Item = Coord> + 'a {
+        self.iter().filter_map(move |(c, v)| pred(v).then_some(c))
+    }
+
+    /// Counts cells satisfying `pred`.
+    pub fn count_where(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        self.cells.iter().filter(|v| pred(v)).count()
+    }
+
+    /// Applies `f` cell-wise, producing a grid of the results.
+    pub fn map<U>(&self, mut f: impl FnMut(Coord, &T) -> U) -> Grid<U> {
+        Grid {
+            topology: self.topology,
+            cells: self
+                .cells
+                .iter()
+                .enumerate()
+                .map(|(i, v)| f(self.topology.coord_of(i), v))
+                .collect(),
+        }
+    }
+
+    /// Raw row-major cell slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Raw mutable row-major cell slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.cells
+    }
+
+    /// One row of cells (`y` fixed), as a slice.
+    ///
+    /// # Panics
+    /// Panics if `y` is out of range.
+    pub fn row(&self, y: u32) -> &[T] {
+        assert!(y < self.topology.height(), "row {y} out of range");
+        let w = self.topology.width() as usize;
+        let start = y as usize * w;
+        &self.cells[start..start + w]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Grid<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Grid {}x{} {{", self.topology.width(), self.topology.height())?;
+        for y in (0..self.topology.height()).rev() {
+            write!(f, "  y={y:>3}:")?;
+            for v in self.row(y) {
+                write!(f, " {v:?}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Renders a grid as ASCII art, one `char` per cell, highest row first (so the
+/// picture matches the usual mathematical orientation with `y` growing up).
+pub fn render<T>(grid: &Grid<T>, mut cell: impl FnMut(Coord, &T) -> char) -> String {
+    let t = grid.topology();
+    let mut out = String::with_capacity((t.width() as usize + 1) * t.height() as usize);
+    for y in (0..t.height() as i32).rev() {
+        for x in 0..t.width() as i32 {
+            let c = Coord::new(x, y);
+            out.push(cell(c, grid.get(c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_set_get() {
+        let t = Topology::mesh(3, 2);
+        let mut g = Grid::filled(t, 0u8);
+        assert_eq!(g.len(), 6);
+        g.set(Coord::new(2, 1), 9);
+        assert_eq!(*g.get(Coord::new(2, 1)), 9);
+        assert_eq!(*g.get(Coord::new(0, 0)), 0);
+    }
+
+    #[test]
+    fn try_get_rejects_outside() {
+        let t = Topology::mesh(3, 3);
+        let g = Grid::filled(t, 1i32);
+        assert!(g.try_get(Coord::new(-1, 0)).is_none());
+        assert!(g.try_get(Coord::new(0, 3)).is_none());
+        assert_eq!(g.try_get(Coord::new(2, 2)), Some(&1));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Topology::mesh(4, 3);
+        let g = Grid::from_fn(t, |c| (c.x, c.y));
+        let collected: Vec<_> = g.iter().map(|(c, v)| (c, *v)).collect();
+        assert_eq!(collected[0], (Coord::new(0, 0), (0, 0)));
+        assert_eq!(collected[5], (Coord::new(1, 1), (1, 1)));
+        assert_eq!(collected.last().unwrap().0, Coord::new(3, 2));
+    }
+
+    #[test]
+    fn count_and_filter() {
+        let t = Topology::mesh(4, 4);
+        let g = Grid::from_fn(t, |c| c.x == c.y);
+        assert_eq!(g.count_where(|&d| d), 4);
+        let diag: Vec<_> = g.coords_where(|&d| d).collect();
+        assert_eq!(diag.len(), 4);
+        assert!(diag.contains(&Coord::new(3, 3)));
+    }
+
+    #[test]
+    fn map_preserves_positions() {
+        let t = Topology::mesh(3, 3);
+        let g = Grid::from_fn(t, |c| c.x + c.y);
+        let doubled = g.map(|_, v| v * 2);
+        assert_eq!(*doubled.get(Coord::new(2, 2)), 8);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Topology::mesh(3, 2);
+        let g = Grid::from_fn(t, |c| c.y * 10 + c.x);
+        assert_eq!(g.row(0), &[0, 1, 2]);
+        assert_eq!(g.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn render_orientation_top_row_is_max_y() {
+        let t = Topology::mesh(2, 2);
+        let g = Grid::from_fn(t, |c| c == Coord::new(0, 1));
+        let s = render(&g, |_, &marked| if marked { '#' } else { '.' });
+        assert_eq!(s, "#.\n..\n");
+    }
+}

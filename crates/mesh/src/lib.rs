@@ -1,0 +1,47 @@
+//! # ocp-mesh
+//!
+//! Topology substrate for the orthogonal-convex-polygon fault-model
+//! reproduction (Jie Wu, *A Distributed Formation of Orthogonal Convex
+//! Polygons in Mesh-Connected Multicomputers*, IPPS 2001).
+//!
+//! The paper operates on 2-D mesh-connected multicomputers: every node has an
+//! address `(x, y)` and links to the up-to-four nodes whose address differs by
+//! one in exactly one dimension. Two variants appear:
+//!
+//! * **Mesh** — no wraparound. To make border nodes behave like interior
+//!   nodes, the paper surrounds the mesh with four extra lines of *ghost*
+//!   nodes that are permanently safe/enabled but never participate in any
+//!   activity. [`Topology::neighbor`] surfaces those as [`Neighbor::Ghost`].
+//! * **Torus** — wraparound links; no boundary, hence no ghosts.
+//!
+//! The crate deliberately knows nothing about faults, labeling or routing —
+//! it only answers "who are my neighbors" and stores per-node data densely
+//! ([`Grid`]). Everything above (labeling protocols, geometry, routing) builds
+//! on these primitives.
+//!
+//! ```
+//! use ocp_mesh::{Topology, Coord, Direction};
+//!
+//! let mesh = Topology::mesh(4, 4);
+//! let c = Coord::new(0, 0);
+//! // West of the corner is a ghost node in a mesh ...
+//! assert!(mesh.neighbor(c, Direction::West).is_ghost());
+//! // ... and the wrapped node (3, 0) in a torus.
+//! let torus = Topology::torus(4, 4);
+//! assert_eq!(torus.neighbor(c, Direction::West).coord(), Some(Coord::new(3, 0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod components;
+mod coord;
+mod grid;
+mod neighbors;
+mod topology;
+
+pub use components::{connected_components, connected_components_grid, Component};
+pub use coord::{Coord, Dimension, Direction, DIRECTIONS};
+pub use grid::{render, Grid};
+pub use neighbors::{NeighborIter, Neighborhood};
+pub use topology::{Neighbor, Topology, TopologyKind};

@@ -1,0 +1,119 @@
+//! Neighborhood views over a topology.
+
+use crate::{Coord, Direction, Neighbor, Topology, DIRECTIONS};
+
+/// The (up to four) neighbors of one node, with per-direction access.
+///
+/// This is the "who do I exchange messages with" view a node program sees.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighborhood {
+    center: Coord,
+    neighbors: [Neighbor; 4],
+}
+
+impl Neighborhood {
+    /// Neighborhood of `c` in `topology`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    pub fn of(topology: Topology, c: Coord) -> Self {
+        let neighbors = [
+            topology.neighbor(c, Direction::West),
+            topology.neighbor(c, Direction::East),
+            topology.neighbor(c, Direction::South),
+            topology.neighbor(c, Direction::North),
+        ];
+        Self { center: c, neighbors }
+    }
+
+    /// The node whose neighborhood this is.
+    #[inline]
+    pub fn center(&self) -> Coord {
+        self.center
+    }
+
+    /// Neighbor in a specific direction.
+    #[inline]
+    pub fn in_direction(&self, dir: Direction) -> Neighbor {
+        self.neighbors[dir.index()]
+    }
+
+    /// Iterates `(direction, neighbor)` over all four directions.
+    pub fn iter(&self) -> NeighborIter<'_> {
+        NeighborIter { hood: self, next: 0 }
+    }
+
+    /// Real (non-ghost) neighbor coordinates.
+    pub fn nodes(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.neighbors.iter().filter_map(|n| n.coord())
+    }
+}
+
+/// Iterator over the four `(Direction, Neighbor)` pairs of a [`Neighborhood`].
+pub struct NeighborIter<'a> {
+    hood: &'a Neighborhood,
+    next: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (Direction, Neighbor);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= 4 {
+            return None;
+        }
+        let dir = DIRECTIONS[self.next];
+        self.next += 1;
+        Some((dir, self.hood.in_direction(dir)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_node_has_four_real_neighbors() {
+        let t = Topology::mesh(5, 5);
+        let h = Neighborhood::of(t, Coord::new(2, 2));
+        assert_eq!(h.nodes().count(), 4);
+        assert_eq!(h.iter().count(), 4);
+    }
+
+    #[test]
+    fn mesh_corner_has_two_real_two_ghost() {
+        let t = Topology::mesh(5, 5);
+        let h = Neighborhood::of(t, Coord::new(0, 0));
+        assert_eq!(h.nodes().count(), 2);
+        assert!(h.in_direction(Direction::West).is_ghost());
+        assert!(h.in_direction(Direction::South).is_ghost());
+        assert_eq!(h.in_direction(Direction::East).coord(), Some(Coord::new(1, 0)));
+        assert_eq!(h.in_direction(Direction::North).coord(), Some(Coord::new(0, 1)));
+    }
+
+    #[test]
+    fn torus_corner_has_four_real_neighbors() {
+        let t = Topology::torus(5, 5);
+        let h = Neighborhood::of(t, Coord::new(0, 0));
+        assert_eq!(h.nodes().count(), 4);
+        let mut nodes: Vec<_> = h.nodes().collect();
+        nodes.sort();
+        assert_eq!(
+            nodes,
+            vec![
+                Coord::new(0, 1),
+                Coord::new(0, 4),
+                Coord::new(1, 0),
+                Coord::new(4, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn iter_visits_directions_in_index_order() {
+        let t = Topology::mesh(3, 3);
+        let h = Neighborhood::of(t, Coord::new(1, 1));
+        let dirs: Vec<_> = h.iter().map(|(d, _)| d).collect();
+        assert_eq!(dirs, DIRECTIONS.to_vec());
+    }
+}

@@ -1,0 +1,323 @@
+//! Mesh and torus topologies.
+
+use crate::{Coord, Direction};
+use serde::{Deserialize, Serialize};
+
+/// Which interconnect variant a [`Topology`] models.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// 2-D mesh: border nodes have ghost neighbors (paper, Section 3: four
+    /// additional boundary lines of permanently-safe ghost nodes).
+    Mesh,
+    /// 2-D torus: wraparound links, no boundary and no ghost nodes.
+    Torus,
+}
+
+/// Result of asking for a node's neighbor in some direction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Neighbor {
+    /// A real node of the machine.
+    Node(Coord),
+    /// A ghost node on the artificial boundary lines of a mesh. Ghost nodes
+    /// are permanently safe and enabled but take part in no activity.
+    Ghost(Coord),
+}
+
+impl Neighbor {
+    /// The real node coordinate, if any.
+    #[inline]
+    pub fn coord(self) -> Option<Coord> {
+        match self {
+            Neighbor::Node(c) => Some(c),
+            Neighbor::Ghost(_) => None,
+        }
+    }
+
+    /// Coordinate including ghost positions.
+    #[inline]
+    pub fn raw_coord(self) -> Coord {
+        match self {
+            Neighbor::Node(c) | Neighbor::Ghost(c) => c,
+        }
+    }
+
+    /// True for [`Neighbor::Ghost`].
+    #[inline]
+    pub fn is_ghost(self) -> bool {
+        matches!(self, Neighbor::Ghost(_))
+    }
+}
+
+/// A `width × height` 2-D mesh or torus.
+///
+/// Interior nodes have addresses `(x, y)` with `0 <= x < width` and
+/// `0 <= y < height`. The paper uses square `n × n` machines but nothing in
+/// the algorithms requires that, so the implementation is rectangular.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    width: u32,
+    height: u32,
+}
+
+impl Topology {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn mesh(width: u32, height: u32) -> Self {
+        Self::new(TopologyKind::Mesh, width, height)
+    }
+
+    /// Creates a `width × height` torus.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn torus(width: u32, height: u32) -> Self {
+        Self::new(TopologyKind::Torus, width, height)
+    }
+
+    /// Creates a topology of the given kind.
+    pub fn new(kind: TopologyKind, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "topology dimensions must be positive");
+        Self { kind, width, height }
+    }
+
+    /// The interconnect variant.
+    #[inline]
+    pub fn kind(self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn height(self) -> u32 {
+        self.height
+    }
+
+    /// Total number of (real) nodes.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Always false (dimensions are positive).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Network diameter: `2(n-1)`-style for meshes, wraparound-halved for tori.
+    pub fn diameter(self) -> u32 {
+        match self.kind {
+            TopologyKind::Mesh => (self.width - 1) + (self.height - 1),
+            TopologyKind::Torus => self.width / 2 + self.height / 2,
+        }
+    }
+
+    /// True if `c` addresses a real node.
+    #[inline]
+    pub fn contains(self, c: Coord) -> bool {
+        c.x >= 0 && c.y >= 0 && (c.x as u32) < self.width && (c.y as u32) < self.height
+    }
+
+    /// True if `c` lies on one of the four ghost lines adjacent to a mesh's
+    /// boundary. Always false for tori.
+    pub fn is_ghost(self, c: Coord) -> bool {
+        if self.kind != TopologyKind::Mesh {
+            return false;
+        }
+        let on_x_line = c.x == -1 || c.x == self.width as i32;
+        let on_y_line = c.y == -1 || c.y == self.height as i32;
+        let x_in = c.x >= -1 && c.x <= self.width as i32;
+        let y_in = c.y >= -1 && c.y <= self.height as i32;
+        (on_x_line && y_in) || (on_y_line && x_in)
+    }
+
+    /// The neighbor of `c` in direction `dir`.
+    ///
+    /// For a torus the address wraps; for a mesh, stepping off the machine
+    /// lands on a ghost node.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    #[inline]
+    pub fn neighbor(self, c: Coord, dir: Direction) -> Neighbor {
+        debug_assert!(self.contains(c), "neighbor() of non-node {c:?}");
+        let raw = c.step(dir);
+        match self.kind {
+            TopologyKind::Mesh => {
+                if self.contains(raw) {
+                    Neighbor::Node(raw)
+                } else {
+                    Neighbor::Ghost(raw)
+                }
+            }
+            TopologyKind::Torus => Neighbor::Node(self.wrap(raw)),
+        }
+    }
+
+    /// Wraps a raw coordinate into torus range (identity for in-range).
+    pub fn wrap(self, c: Coord) -> Coord {
+        let w = self.width as i32;
+        let h = self.height as i32;
+        Coord::new(c.x.rem_euclid(w), c.y.rem_euclid(h))
+    }
+
+    /// Distance between two nodes: Manhattan for meshes, wraparound-aware for
+    /// tori (Section 3's `d(u, v)` generalized).
+    pub fn distance(self, u: Coord, v: Coord) -> u32 {
+        match self.kind {
+            TopologyKind::Mesh => u.manhattan(v),
+            TopologyKind::Torus => {
+                let dx = u.x.abs_diff(v.x);
+                let dy = u.y.abs_diff(v.y);
+                dx.min(self.width - dx) + dy.min(self.height - dy)
+            }
+        }
+    }
+
+    /// Iterates all real node coordinates in row-major order.
+    pub fn coords(self) -> impl Iterator<Item = Coord> {
+        let w = self.width as i32;
+        let h = self.height as i32;
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
+    }
+
+    /// Dense row-major index of a node (inverse of [`Topology::coord_of`]).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    #[inline]
+    pub fn index_of(self, c: Coord) -> usize {
+        debug_assert!(self.contains(c), "index_of() of non-node {c:?}");
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Node coordinate for a dense row-major index.
+    #[inline]
+    pub fn coord_of(self, index: usize) -> Coord {
+        let w = self.width as usize;
+        Coord::new((index % w) as i32, (index / w) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DIRECTIONS;
+
+    #[test]
+    fn mesh_interior_neighbors_are_nodes() {
+        let t = Topology::mesh(5, 5);
+        let c = Coord::new(2, 2);
+        for d in DIRECTIONS {
+            let n = t.neighbor(c, d);
+            assert!(!n.is_ghost());
+            assert!(c.is_adjacent(n.coord().unwrap()));
+        }
+    }
+
+    #[test]
+    fn mesh_border_has_ghosts() {
+        let t = Topology::mesh(5, 5);
+        assert!(t.neighbor(Coord::new(0, 2), Direction::West).is_ghost());
+        assert!(t.neighbor(Coord::new(4, 2), Direction::East).is_ghost());
+        assert!(t.neighbor(Coord::new(2, 0), Direction::South).is_ghost());
+        assert!(t.neighbor(Coord::new(2, 4), Direction::North).is_ghost());
+        // ghost coordinates sit on the added boundary lines
+        let g = t.neighbor(Coord::new(0, 2), Direction::West).raw_coord();
+        assert_eq!(g, Coord::new(-1, 2));
+        assert!(t.is_ghost(g));
+        assert!(!t.contains(g));
+    }
+
+    #[test]
+    fn ghost_predicate_covers_all_four_lines_and_corners() {
+        let t = Topology::mesh(3, 3);
+        assert!(t.is_ghost(Coord::new(-1, -1)));
+        assert!(t.is_ghost(Coord::new(3, 3)));
+        assert!(t.is_ghost(Coord::new(-1, 1)));
+        assert!(t.is_ghost(Coord::new(1, 3)));
+        assert!(!t.is_ghost(Coord::new(0, 0)));
+        assert!(!t.is_ghost(Coord::new(-2, 0)));
+        assert!(!t.is_ghost(Coord::new(4, 0)));
+    }
+
+    #[test]
+    fn torus_wraps_all_edges() {
+        let t = Topology::torus(4, 3);
+        assert_eq!(
+            t.neighbor(Coord::new(0, 0), Direction::West),
+            Neighbor::Node(Coord::new(3, 0))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(3, 2), Direction::East),
+            Neighbor::Node(Coord::new(0, 2))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(1, 0), Direction::South),
+            Neighbor::Node(Coord::new(1, 2))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(1, 2), Direction::North),
+            Neighbor::Node(Coord::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn torus_has_no_ghosts() {
+        let t = Topology::torus(4, 4);
+        for c in t.coords() {
+            for d in DIRECTIONS {
+                assert!(!t.neighbor(c, d).is_ghost());
+            }
+        }
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound() {
+        let t = Topology::torus(10, 10);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(9, 0)), 1);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(5, 5)), 10);
+        assert_eq!(t.distance(Coord::new(1, 1), Coord::new(8, 9)), 3 + 2);
+        let m = Topology::mesh(10, 10);
+        assert_eq!(m.distance(Coord::new(0, 0), Coord::new(9, 0)), 9);
+    }
+
+    #[test]
+    fn diameter() {
+        assert_eq!(Topology::mesh(100, 100).diameter(), 198);
+        assert_eq!(Topology::torus(100, 100).diameter(), 100);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let t = Topology::mesh(7, 3);
+        for (i, c) in t.coords().enumerate() {
+            assert_eq!(t.index_of(c), i);
+            assert_eq!(t.coord_of(i), c);
+        }
+        assert_eq!(t.coords().count(), t.len());
+    }
+
+    #[test]
+    fn wrap_handles_negatives() {
+        let t = Topology::torus(5, 5);
+        assert_eq!(t.wrap(Coord::new(-1, -1)), Coord::new(4, 4));
+        assert_eq!(t.wrap(Coord::new(5, 7)), Coord::new(0, 2));
+        assert_eq!(t.wrap(Coord::new(2, 3)), Coord::new(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = Topology::mesh(0, 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Empirical channel-dependency-graph (CDG) analysis.
+//!
+//! Dally & Seitz: a routing function is deadlock-free iff its channel
+//! dependency graph is acyclic. Here the CDG is built *empirically* from a
+//! set of concrete paths (every consecutive pair of channels a worm would
+//! hold simultaneously becomes a dependency edge), under a pluggable
+//! virtual-channel assignment. This lets the benchmarks show the classic
+//! picture: plain XY is acyclic on one VC, while ring-detour routing on a
+//! single VC creates cycles that an extra detour VC class removes.
+
+use crate::path::Path;
+use ocp_mesh::Coord;
+use std::collections::{HashMap, HashSet};
+
+/// One virtual channel of one directed link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Channel {
+    /// Link tail.
+    pub from: Coord,
+    /// Link head.
+    pub to: Coord,
+    /// Virtual-channel index.
+    pub vc: u8,
+}
+
+/// Assigns a virtual channel to each hop of a path. Receives the path and
+/// the hop index (0 = first link).
+pub type VcAssignment<'a> = dyn Fn(&Path, usize) -> u8 + 'a;
+
+/// Every hop on VC 0.
+pub fn assign_single_vc(_path: &Path, _hop: usize) -> u8 {
+    0
+}
+
+/// Minimal-progress hops on VC 0, detour hops (those that do not reduce the
+/// Manhattan distance to the destination) on VC 1 — a coarse rendering of
+/// the "escape channel" discipline fault-ring routing schemes use.
+pub fn assign_detour_vc(path: &Path, hop: usize) -> u8 {
+    let dst = path.dst();
+    let before = path.hops[hop].manhattan(dst);
+    let after = path.hops[hop + 1].manhattan(dst);
+    if after < before {
+        0
+    } else {
+        1
+    }
+}
+
+/// A channel dependency graph.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    edges: HashMap<Channel, HashSet<Channel>>,
+}
+
+impl DependencyGraph {
+    /// Builds the CDG of a path set under a VC assignment.
+    pub fn from_paths<'a, I>(paths: I, assign: &VcAssignment<'_>) -> Self
+    where
+        I: IntoIterator<Item = &'a Path>,
+    {
+        let mut graph = Self::default();
+        for path in paths {
+            let links: Vec<Channel> = path
+                .hops
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| Channel {
+                    from: w[0],
+                    to: w[1],
+                    vc: assign(path, i),
+                })
+                .collect();
+            for w in links.windows(2) {
+                graph.edges.entry(w[0]).or_default().insert(w[1]);
+                graph.edges.entry(w[1]).or_default();
+            }
+            // Make sure single-link paths still register their channel.
+            if links.len() == 1 {
+                graph.edges.entry(links[0]).or_default();
+            }
+        }
+        graph
+    }
+
+    /// Number of channels that appear in the graph.
+    pub fn channel_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// True if the graph has no directed cycle (Dally–Seitz criterion for
+    /// the observed dependencies).
+    pub fn is_acyclic(&self) -> bool {
+        self.count_back_edges() == 0
+    }
+
+    /// Number of back edges found by iterative DFS — a rough measure of
+    /// "how cyclic" the dependency structure is.
+    pub fn count_back_edges(&self) -> usize {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<Channel, Color> =
+            self.edges.keys().map(|&c| (c, Color::White)).collect();
+        let mut back_edges = 0;
+
+        for &start in self.edges.keys() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, child iterator
+            // position).
+            let mut stack: Vec<(Channel, Vec<Channel>, usize)> = Vec::new();
+            color.insert(start, Color::Gray);
+            let children: Vec<Channel> =
+                self.edges[&start].iter().copied().collect();
+            stack.push((start, children, 0));
+            while let Some((node, children, idx)) = stack.last_mut() {
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match color[&child] {
+                        Color::White => {
+                            color.insert(child, Color::Gray);
+                            let grand: Vec<Channel> =
+                                self.edges[&child].iter().copied().collect();
+                            stack.push((child, grand, 0));
+                        }
+                        Color::Gray => back_edges += 1,
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(*node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        back_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::EnabledMap;
+    use crate::xy;
+    use ocp_mesh::Topology;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn all_pairs_xy_paths(t: Topology) -> Vec<Path> {
+        let enabled = EnabledMap::all_enabled(t);
+        let mut paths = Vec::new();
+        for src in t.coords() {
+            for dst in t.coords() {
+                if src != dst {
+                    paths.push(xy::route(&enabled, src, dst).unwrap());
+                }
+            }
+        }
+        paths
+    }
+
+    #[test]
+    fn xy_on_mesh_is_acyclic_with_one_vc() {
+        let paths = all_pairs_xy_paths(Topology::mesh(5, 5));
+        let g = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
+        assert!(g.is_acyclic(), "XY on a mesh must be deadlock-free");
+        assert!(g.channel_count() > 0);
+    }
+
+    #[test]
+    fn xy_on_torus_is_cyclic_with_one_vc() {
+        // The classic result: wraparound rings create cyclic dependencies
+        // without extra VCs.
+        let paths = all_pairs_xy_paths(Topology::torus(5, 5));
+        let g = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
+        assert!(!g.is_acyclic(), "torus wraparound must create cycles");
+    }
+
+    #[test]
+    fn handcrafted_cycle_detected() {
+        // Four paths chasing each other around a 2x2 block.
+        let square = [c(0, 0), c(1, 0), c(1, 1), c(0, 1)];
+        let mut paths = Vec::new();
+        for i in 0..4 {
+            let a = square[i];
+            let b = square[(i + 1) % 4];
+            let d = square[(i + 2) % 4];
+            paths.push(Path { hops: vec![a, b, d] });
+        }
+        let g = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
+        assert!(!g.is_acyclic());
+        assert!(g.count_back_edges() >= 1);
+    }
+
+    #[test]
+    fn detour_vc_splits_channels() {
+        // A path that walks away from its destination uses VC 1 on those
+        // hops.
+        let p = Path {
+            hops: vec![c(0, 0), c(0, 1), c(1, 1), c(1, 0), c(2, 0)],
+        };
+        assert_eq!(assign_detour_vc(&p, 0), 1); // away
+        assert_eq!(assign_detour_vc(&p, 1), 0); // toward
+        assert_eq!(assign_detour_vc(&p, 3), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = DependencyGraph::default();
+        assert!(g.is_acyclic());
+        assert_eq!(g.channel_count(), 0);
+    }
+
+    #[test]
+    fn single_link_paths_register_channels() {
+        let p = Path { hops: vec![c(0, 0), c(1, 0)] };
+        let g = DependencyGraph::from_paths([&p], &assign_single_vc);
+        assert_eq!(g.channel_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_acyclic());
+    }
+}

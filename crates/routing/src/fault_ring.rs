@@ -1,0 +1,294 @@
+//! Fault rings: the cycle of enabled nodes hugging a fault region.
+//!
+//! Following Boppana–Chalasani, the ring of a fault region consists of the
+//! enabled nodes within **Chebyshev distance 1** of the region (row, column
+//! or diagonal contact). For a connected, orthogonally convex region away
+//! from the mesh boundary, those cells form a simple 4-connected cycle —
+//! which is exactly why the paper insists fault regions be orthogonally
+//! convex: messages can progress around the region without backtracking.
+//! Regions touching the mesh boundary have open rings ("fault chains") and
+//! are reported as [`RingShape::Chain`].
+
+use crate::path::EnabledMap;
+use ocp_geometry::Region;
+use ocp_mesh::{Coord, Topology, TopologyKind};
+use std::collections::BTreeSet;
+
+/// Ring topology around one fault region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingShape {
+    /// A simple cycle: consecutive cells (and last→first) are mesh links.
+    Cycle(Vec<Coord>),
+    /// The region touches the mesh boundary (or the halo is otherwise not a
+    /// single simple cycle); cells are the in-machine halo, unordered.
+    Chain(Vec<Coord>),
+}
+
+/// The fault ring of one region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRing {
+    /// Index of the region this ring surrounds (caller's region list).
+    pub region_index: usize,
+    /// The ring cells.
+    pub shape: RingShape,
+}
+
+impl FaultRing {
+    /// All ring cells regardless of shape.
+    pub fn cells(&self) -> &[Coord] {
+        match &self.shape {
+            RingShape::Cycle(v) | RingShape::Chain(v) => v,
+        }
+    }
+
+    /// True if the ring is a traversable cycle.
+    pub fn is_cycle(&self) -> bool {
+        matches!(self.shape, RingShape::Cycle(_))
+    }
+
+    /// Position of `c` on the cycle (`None` for chains or non-members).
+    pub fn position_of(&self, c: Coord) -> Option<usize> {
+        match &self.shape {
+            RingShape::Cycle(v) => v.iter().position(|&x| x == c),
+            RingShape::Chain(_) => None,
+        }
+    }
+
+    /// The cells walked from position `from` to position `to` along the
+    /// cycle in the given rotational direction (`clockwise` here simply
+    /// means decreasing index). The result starts at the cell *after*
+    /// `from` and ends at `to`; empty when `from == to`.
+    pub fn walk(&self, from: usize, to: usize, decreasing: bool) -> Vec<Coord> {
+        let RingShape::Cycle(v) = &self.shape else {
+            return Vec::new();
+        };
+        let n = v.len();
+        let mut out = Vec::new();
+        let mut i = from;
+        while i != to {
+            i = if decreasing { (i + n - 1) % n } else { (i + 1) % n };
+            out.push(v[i]);
+        }
+        out
+    }
+
+    /// The shorter of the two walks between two cycle positions.
+    pub fn shorter_walk(&self, from: usize, to: usize) -> Vec<Coord> {
+        let inc = self.walk(from, to, false);
+        let dec = self.walk(from, to, true);
+        if inc.len() <= dec.len() {
+            inc
+        } else {
+            dec
+        }
+    }
+}
+
+/// The in-machine cells at Chebyshev distance exactly 1 from `region`
+/// (topology-aware: wraps on tori). `None` entries in the 8-neighborhood
+/// that fall outside a mesh are recorded via the `touches_boundary` flag.
+fn chebyshev_halo(topology: Topology, region: &Region) -> (BTreeSet<Coord>, bool) {
+    let mut halo = BTreeSet::new();
+    let mut touches_boundary = false;
+    for c in region.iter() {
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let raw = Coord::new(c.x + dx, c.y + dy);
+                let resolved = match topology.kind() {
+                    TopologyKind::Mesh => {
+                        if topology.contains(raw) {
+                            raw
+                        } else {
+                            touches_boundary = true;
+                            continue;
+                        }
+                    }
+                    TopologyKind::Torus => topology.wrap(raw),
+                };
+                if !region.contains(resolved) {
+                    halo.insert(resolved);
+                }
+            }
+        }
+    }
+    (halo, touches_boundary)
+}
+
+/// Builds the fault ring of one region.
+///
+/// Every halo cell of a properly labeled fault region is enabled (regions
+/// are pairwise ≥ 2 apart); this is asserted in debug builds. If the halo
+/// is not a single simple cycle — the region touches a mesh boundary, or a
+/// degenerate small-torus interaction — a [`RingShape::Chain`] is returned.
+pub fn build_ring(enabled: &EnabledMap, region: &Region, region_index: usize) -> FaultRing {
+    let topology = enabled.topology();
+    let (halo, touches_boundary) = chebyshev_halo(topology, region);
+    debug_assert!(
+        halo.iter().all(|&c| enabled.is_enabled(c)),
+        "halo cell of region {region_index} is disabled — regions closer than the model guarantees"
+    );
+    let chain = |halo: &BTreeSet<Coord>| FaultRing {
+        region_index,
+        shape: RingShape::Chain(halo.iter().copied().collect()),
+    };
+    if touches_boundary || halo.is_empty() {
+        return chain(&halo);
+    }
+
+    // The halo must be 2-regular under mesh adjacency to be a simple cycle.
+    let neighbors_in_halo = |c: Coord| -> Vec<Coord> {
+        ocp_mesh::Neighborhood::of(topology, c)
+            .nodes()
+            .filter(|n| halo.contains(n))
+            .collect()
+    };
+    for &c in &halo {
+        if neighbors_in_halo(c).len() != 2 {
+            return chain(&halo);
+        }
+    }
+
+    // Walk the cycle.
+    let start = *halo.first().expect("halo nonempty");
+    let mut cycle = vec![start];
+    let mut prev = start;
+    let mut cur = neighbors_in_halo(start)[0];
+    while cur != start {
+        cycle.push(cur);
+        let nbrs = neighbors_in_halo(cur);
+        let next = if nbrs[0] == prev { nbrs[1] } else { nbrs[0] };
+        prev = cur;
+        cur = next;
+    }
+    if cycle.len() != halo.len() {
+        // Multiple disjoint cycles (cannot happen for orthogonally convex
+        // regions, which have no holes) — degrade gracefully.
+        return chain(&halo);
+    }
+    FaultRing {
+        region_index,
+        shape: RingShape::Cycle(cycle),
+    }
+}
+
+/// Builds the rings of all regions.
+pub fn build_rings(enabled: &EnabledMap, regions: &[Region]) -> Vec<FaultRing> {
+    regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| build_ring(enabled, r, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Grid;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn enabled_except(t: Topology, region: &Region) -> EnabledMap {
+        let grid = Grid::from_fn(t, |cc| !region.contains(cc));
+        EnabledMap::from_grid(grid)
+    }
+
+    #[test]
+    fn single_cell_ring_is_eight_cycle() {
+        let t = Topology::mesh(7, 7);
+        let region = Region::from_cells([c(3, 3)]);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(ring.is_cycle());
+        assert_eq!(ring.cells().len(), 8);
+        // consecutive cells are links
+        if let RingShape::Cycle(v) = &ring.shape {
+            for i in 0..v.len() {
+                let a = v[i];
+                let b = v[(i + 1) % v.len()];
+                assert!(a.is_adjacent(b), "{a} !~ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangle_ring_length() {
+        // 2x3 rectangle: ring = 2*(2+3) + 4 corners = 14 cells.
+        let t = Topology::mesh(10, 10);
+        let region = Region::from_rect(ocp_geometry::Rect::new(c(3, 3), c(4, 5)));
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(ring.is_cycle());
+        assert_eq!(ring.cells().len(), 14);
+    }
+
+    #[test]
+    fn l_shape_ring_is_cycle() {
+        let t = Topology::mesh(12, 12);
+        let cells = ocp_geometry::shapes::translate(ocp_geometry::shapes::l_shape(4, 2), 4, 4);
+        let region = Region::from_cells(cells);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(ring.is_cycle(), "L-shape halo should be one cycle");
+        // All ring cells are outside the region at Chebyshev distance 1.
+        for &rc in ring.cells() {
+            assert!(!region.contains(rc));
+            let d = region.iter().map(|q| q.chebyshev(rc)).min().unwrap();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn boundary_region_yields_chain() {
+        let t = Topology::mesh(8, 8);
+        let region = Region::from_cells([c(0, 4)]);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(!ring.is_cycle());
+        assert_eq!(ring.cells().len(), 5); // 8-neighborhood clipped at x=-1
+    }
+
+    #[test]
+    fn torus_boundary_region_still_cycles() {
+        let t = Topology::torus(8, 8);
+        let region = Region::from_cells([c(0, 4)]);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(ring.is_cycle(), "no boundary on a torus");
+        assert_eq!(ring.cells().len(), 8);
+        assert!(ring.cells().contains(&c(7, 4)));
+    }
+
+    #[test]
+    fn walk_directions_and_shorter() {
+        let t = Topology::mesh(7, 7);
+        let region = Region::from_cells([c(3, 3)]);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        let from = ring.position_of(c(2, 2)).unwrap();
+        let to = ring.position_of(c(4, 4)).unwrap();
+        let inc = ring.walk(from, to, false);
+        let dec = ring.walk(from, to, true);
+        assert_eq!(inc.len() + dec.len(), 8); // both ways around the 8-cycle
+        assert_eq!(ring.shorter_walk(from, to).len(), inc.len().min(dec.len()));
+        assert!(ring.walk(from, from, false).is_empty());
+        assert_eq!(inc.last(), Some(&c(4, 4)));
+        assert_eq!(dec.last(), Some(&c(4, 4)));
+    }
+
+    #[test]
+    fn u_shape_pocket_makes_chain_or_cycle_consistently() {
+        // A U-shaped (non-convex) region: the pocket cell is halo too; the
+        // builder must not produce an invalid cycle — either a valid single
+        // cycle or a chain fallback.
+        let t = Topology::mesh(12, 12);
+        let cells = ocp_geometry::shapes::translate(ocp_geometry::shapes::u_shape(3, 1), 4, 4);
+        let region = Region::from_cells(cells);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        if let RingShape::Cycle(v) = &ring.shape {
+            for i in 0..v.len() {
+                assert!(v[i].is_adjacent(v[(i + 1) % v.len()]));
+            }
+            let unique: BTreeSet<_> = v.iter().collect();
+            assert_eq!(unique.len(), v.len());
+        }
+    }
+}

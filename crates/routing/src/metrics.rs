@@ -1,0 +1,169 @@
+//! Model-quality comparison: faulty blocks vs disabled regions as the
+//! routing fault model (experiment E10).
+
+use crate::oracle::bfs_path;
+use crate::path::EnabledMap;
+use crate::router::FaultTolerantRouter;
+use ocp_core::prelude::*;
+use ocp_geometry::Region;
+use ocp_mesh::Coord;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Routing quality of one fault model on one labeled machine.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ModelMetrics {
+    /// Nodes allowed to participate in routing.
+    pub enabled_nodes: usize,
+    /// Sampled (src, dst) pairs attempted.
+    pub pairs: usize,
+    /// Pairs the fault-tolerant router delivered.
+    pub delivered: usize,
+    /// Pairs that failed because a fault region touches the boundary.
+    pub boundary_chain_failures: usize,
+    /// Pairs that failed for other reasons (livelock guard, partition).
+    pub other_failures: usize,
+    /// Mean stretch of delivered routes over the BFS-minimal length
+    /// (1.0 = optimal).
+    pub avg_stretch: f64,
+    /// Mean hops of delivered routes.
+    pub avg_hops: f64,
+}
+
+/// Side-by-side metrics of the two fault models on the same fault pattern.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelComparison {
+    /// Classical model: every unsafe node disabled (faulty blocks).
+    pub faulty_block: ModelMetrics,
+    /// The paper's model: only disabled-region nodes disabled.
+    pub disabled_region: ModelMetrics,
+}
+
+/// Measures both models over the same pipeline outcome, sampling
+/// `sample_pairs` random enabled (src, dst) pairs per model.
+pub fn compare_models<R: Rng>(
+    outcome: &PipelineOutcome,
+    sample_pairs: usize,
+    rng: &mut R,
+) -> ModelComparison {
+    let fb_enabled = EnabledMap::from_safety(outcome);
+    let fb_regions: Vec<Region> = outcome.blocks.iter().map(|b| b.cells.clone()).collect();
+    let dr_enabled = EnabledMap::from_outcome(outcome);
+    let dr_regions: Vec<Region> = outcome.regions.iter().map(|r| r.cells.clone()).collect();
+    ModelComparison {
+        faulty_block: measure(fb_enabled, &fb_regions, sample_pairs, rng),
+        disabled_region: measure(dr_enabled, &dr_regions, sample_pairs, rng),
+    }
+}
+
+fn measure<R: Rng>(
+    enabled: EnabledMap,
+    regions: &[Region],
+    sample_pairs: usize,
+    rng: &mut R,
+) -> ModelMetrics {
+    let router = FaultTolerantRouter::new(enabled.clone(), regions);
+    let nodes = enabled.enabled_coords();
+    let mut metrics = ModelMetrics {
+        enabled_nodes: nodes.len(),
+        ..ModelMetrics::default()
+    };
+    if nodes.len() < 2 {
+        return metrics;
+    }
+    let mut stretch_sum = 0.0;
+    let mut hop_sum = 0usize;
+    let mut stretch_count = 0usize;
+    for _ in 0..sample_pairs {
+        let pair: Vec<&Coord> = nodes.choose_multiple(rng, 2).collect();
+        let (src, dst) = (*pair[0], *pair[1]);
+        metrics.pairs += 1;
+        match router.route(src, dst) {
+            Ok(path) => {
+                metrics.delivered += 1;
+                hop_sum += path.len();
+                if let Ok(min) = bfs_path(&enabled, src, dst) {
+                    if !min.is_empty() {
+                        stretch_sum += path.len() as f64 / min.len() as f64;
+                        stretch_count += 1;
+                    }
+                }
+            }
+            Err(crate::path::RoutingError::BoundaryFaultChain) => {
+                metrics.boundary_chain_failures += 1;
+            }
+            Err(_) => metrics.other_failures += 1,
+        }
+    }
+    metrics.avg_stretch = if stretch_count == 0 {
+        0.0
+    } else {
+        stretch_sum / stretch_count as f64
+    };
+    metrics.avg_hops = if metrics.delivered == 0 {
+        0.0
+    } else {
+        hop_sum as f64 / metrics.delivered as f64
+    };
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Topology;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn disabled_region_model_enables_more_nodes() {
+        // A fault pattern where phase 2 recovers nodes: the Section 3
+        // example (recovers 6 nodes).
+        let map = FaultMap::new(Topology::mesh(10, 10), [c(3, 5), c(4, 3), c(5, 4)]);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(11);
+        let cmp = compare_models(&out, 60, &mut rng);
+        assert!(
+            cmp.disabled_region.enabled_nodes > cmp.faulty_block.enabled_nodes,
+            "DR model should enable more nodes: {:?}",
+            cmp
+        );
+        assert!(cmp.disabled_region.delivered > 0);
+        assert!(cmp.disabled_region.avg_stretch >= 1.0);
+    }
+
+    #[test]
+    fn fault_free_machine_routes_everything_minimally() {
+        let map = FaultMap::healthy(Topology::mesh(8, 8));
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cmp = compare_models(&out, 40, &mut rng);
+        for m in [&cmp.faulty_block, &cmp.disabled_region] {
+            assert_eq!(m.delivered, m.pairs);
+            assert_eq!(m.boundary_chain_failures, 0);
+            assert!((m.avg_stretch - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn metrics_counts_are_consistent() {
+        let map = FaultMap::new(
+            Topology::mesh(12, 12),
+            [c(5, 5), c(6, 6), c(0, 3), c(9, 9)],
+        );
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cmp = compare_models(&out, 50, &mut rng);
+        for m in [&cmp.faulty_block, &cmp.disabled_region] {
+            assert_eq!(
+                m.delivered + m.boundary_chain_failures + m.other_failures,
+                m.pairs
+            );
+        }
+    }
+}

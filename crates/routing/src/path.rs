@@ -1,0 +1,240 @@
+//! Paths, the enabled-node view, and routing errors.
+
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Grid, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The routing-relevant view of a labeled machine: which nodes may carry
+/// traffic. Only enabled nodes participate in routing (Section 3).
+#[derive(Clone, Debug)]
+pub struct EnabledMap {
+    grid: Grid<bool>,
+}
+
+impl EnabledMap {
+    /// Builds the view from a pipeline outcome's activation grid.
+    pub fn from_outcome(outcome: &PipelineOutcome) -> Self {
+        Self {
+            grid: outcome
+                .activation
+                .map(|_, &a| a == ActivationState::Enabled),
+        }
+    }
+
+    /// View in which **all unsafe nodes are disabled** — the classical
+    /// faulty-block model, used as the baseline in model comparisons.
+    pub fn from_safety(outcome: &PipelineOutcome) -> Self {
+        Self {
+            grid: outcome.safety.map(|_, &s| s == SafetyState::Safe),
+        }
+    }
+
+    /// A fully enabled machine (fault-free baseline).
+    pub fn all_enabled(topology: Topology) -> Self {
+        Self {
+            grid: Grid::filled(topology, true),
+        }
+    }
+
+    /// Direct construction from a boolean grid (true = enabled).
+    pub fn from_grid(grid: Grid<bool>) -> Self {
+        Self { grid }
+    }
+
+    /// The machine.
+    pub fn topology(&self) -> Topology {
+        self.grid.topology()
+    }
+
+    /// True if `c` is a real node and enabled.
+    pub fn is_enabled(&self, c: Coord) -> bool {
+        self.grid.try_get(c).copied().unwrap_or(false)
+    }
+
+    /// Number of enabled nodes.
+    pub fn enabled_count(&self) -> usize {
+        self.grid.count_where(|&e| e)
+    }
+
+    /// All enabled coordinates.
+    pub fn enabled_coords(&self) -> Vec<Coord> {
+        self.grid.coords_where(|&e| e).collect()
+    }
+}
+
+/// A hop-by-hop route.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Visited nodes, source first, destination last.
+    pub hops: Vec<Coord>,
+}
+
+impl Path {
+    /// A path starting at `src`.
+    pub fn new(src: Coord) -> Self {
+        Self { hops: vec![src] }
+    }
+
+    /// Number of links traversed.
+    pub fn len(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+
+    /// True for a single-node path.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Source node.
+    pub fn src(&self) -> Coord {
+        self.hops[0]
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> Coord {
+        *self.hops.last().expect("paths are never empty")
+    }
+
+    /// Hop ratio over the topology's minimal distance (1.0 = minimal).
+    /// `None` for zero-distance paths.
+    pub fn stretch(&self, topology: Topology) -> Option<f64> {
+        let d = topology.distance(self.src(), self.dst());
+        (d > 0).then(|| self.len() as f64 / d as f64)
+    }
+
+    /// Checks that consecutive hops are mesh links of `topology` and every
+    /// visited node is enabled.
+    pub fn validate(&self, enabled: &EnabledMap) -> Result<(), RoutingError> {
+        let t = enabled.topology();
+        for &c in &self.hops {
+            if !enabled.is_enabled(c) {
+                return Err(RoutingError::DisabledHop { node: c });
+            }
+        }
+        for w in self.hops.windows(2) {
+            let ok = ocp_mesh::DIRECTIONS
+                .into_iter()
+                .any(|d| t.neighbor(w[0], d).coord() == Some(w[1]));
+            if !ok {
+                return Err(RoutingError::NotALink { from: w[0], to: w[1] });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a route could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingError {
+    /// Source or destination is disabled.
+    EndpointDisabled {
+        /// The disabled endpoint.
+        node: Coord,
+    },
+    /// No enabled path exists at all (network partitioned by faults).
+    Unreachable,
+    /// The fault-tolerant router gave up (revisited a blocking state).
+    LivelockDetected,
+    /// The blocking fault region touches the mesh boundary, so it has no
+    /// cyclic fault ring (an open fault chain); this router does not
+    /// traverse chains.
+    BoundaryFaultChain,
+    /// A path hop visits a disabled node (validation failure).
+    DisabledHop {
+        /// The offending node.
+        node: Coord,
+    },
+    /// Two consecutive path nodes are not connected by a link.
+    NotALink {
+        /// Tail of the missing link.
+        from: Coord,
+        /// Head of the missing link.
+        to: Coord,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn path_basics() {
+        let mut p = Path::new(c(0, 0));
+        p.hops.extend([c(1, 0), c(1, 1)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.src(), c(0, 0));
+        assert_eq!(p.dst(), c(1, 1));
+        assert_eq!(p.stretch(Topology::mesh(4, 4)), Some(1.0));
+    }
+
+    #[test]
+    fn stretch_detects_detours() {
+        let mut p = Path::new(c(0, 0));
+        p.hops.extend([c(0, 1), c(1, 1), c(1, 0), c(2, 0)]);
+        assert_eq!(p.stretch(Topology::mesh(4, 4)), Some(2.0));
+        let single = Path::new(c(1, 1));
+        assert_eq!(single.stretch(Topology::mesh(4, 4)), None);
+    }
+
+    #[test]
+    fn validation_catches_teleports_and_disabled() {
+        let t = Topology::mesh(4, 4);
+        let enabled = EnabledMap::all_enabled(t);
+        let mut p = Path::new(c(0, 0));
+        p.hops.push(c(2, 0)); // not a link
+        assert!(matches!(
+            p.validate(&enabled),
+            Err(RoutingError::NotALink { .. })
+        ));
+
+        let mut grid = ocp_mesh::Grid::filled(t, true);
+        grid.set(c(1, 0), false);
+        let holed = EnabledMap::from_grid(grid);
+        let mut p = Path::new(c(0, 0));
+        p.hops.push(c(1, 0));
+        assert!(matches!(
+            p.validate(&holed),
+            Err(RoutingError::DisabledHop { .. })
+        ));
+    }
+
+    #[test]
+    fn torus_wrap_hop_is_a_link() {
+        let t = Topology::torus(4, 4);
+        let enabled = EnabledMap::all_enabled(t);
+        let mut p = Path::new(c(3, 0));
+        p.hops.push(c(0, 0));
+        assert!(p.validate(&enabled).is_ok());
+    }
+
+    #[test]
+    fn enabled_map_views_differ() {
+        use ocp_mesh::Topology;
+        // Section 3 example: DR model enables 6 more nodes than FB model.
+        let map = FaultMap::new(
+            Topology::mesh(6, 6),
+            [c(1, 3), c(2, 1), c(3, 2)],
+        );
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let dr = EnabledMap::from_outcome(&out);
+        let fb = EnabledMap::from_safety(&out);
+        assert_eq!(dr.enabled_count() - fb.enabled_count(), 6);
+        assert!(dr.is_enabled(c(2, 2)));
+        assert!(!fb.is_enabled(c(2, 2)));
+        assert!(!dr.is_enabled(c(1, 3)));
+        // Outside-machine coordinates are never enabled.
+        assert!(!dr.is_enabled(c(-1, 0)));
+    }
+}

@@ -1,0 +1,318 @@
+//! Fault-tolerant XY routing with fault-ring traversal.
+//!
+//! The routing strategy is the one the paper's fault model is designed for
+//! (extended e-cube in the spirit of Chalasani–Boppana): follow dimension-
+//! order routing; when the next XY hop is disabled, the message is sitting
+//! on the blocking region's fault ring (the hop before a disabled cell is
+//! always ring-adjacent to the region). Traverse the ring to the best
+//! *exit* — the ring cell closest to the destination from which XY routing
+//! can resume — then continue XY. Orthogonal convexity of the fault region
+//! is what guarantees such an exit exists and the traversal never has to
+//! enter the region's row/column "pockets".
+
+use crate::fault_ring::{build_rings, FaultRing};
+use crate::path::{EnabledMap, Path, RoutingError};
+use crate::xy::preferred_direction;
+use ocp_geometry::Region;
+use ocp_mesh::{Coord, Grid, Topology};
+use std::collections::HashSet;
+
+/// A router instance bound to one labeled machine state.
+pub struct FaultTolerantRouter {
+    enabled: EnabledMap,
+    rings: Vec<FaultRing>,
+    /// For each node: index of the ring group containing it, if disabled.
+    region_of: Grid<Option<usize>>,
+    /// Ring groups: fault regions merged when diagonally adjacent.
+    groups: Vec<Region>,
+}
+
+/// Chebyshev distance on the topology (wraparound-aware per dimension).
+fn topo_chebyshev(t: Topology, a: Coord, b: Coord) -> u32 {
+    let dx = a.x.abs_diff(b.x);
+    let dy = a.y.abs_diff(b.y);
+    match t.kind() {
+        ocp_mesh::TopologyKind::Mesh => dx.max(dy),
+        ocp_mesh::TopologyKind::Torus => {
+            dx.min(t.width() - dx).max(dy.min(t.height() - dy))
+        }
+    }
+}
+
+/// Merges fault regions that touch (Chebyshev distance ≤ 1) into ring
+/// groups. Regions two apart in Manhattan distance can still be diagonal
+/// neighbors, in which case their fault rings would interleave; merging is
+/// the standard fix (extended fault regions).
+#[allow(clippy::needless_range_loop)]
+fn merge_touching(t: Topology, regions: &[Region]) -> Vec<Region> {
+    let n = regions.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let touching = regions[i].iter().any(|a| {
+                regions[j].iter().any(|b| topo_chebyshev(t, a, b) <= 1)
+            });
+            if touching {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut grouped: std::collections::BTreeMap<usize, Region> = Default::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let entry = grouped.entry(root).or_default();
+        for c in regions[i].iter() {
+            entry.insert(c);
+        }
+    }
+    grouped.into_values().collect()
+}
+
+impl FaultTolerantRouter {
+    /// Builds a router for the machine view `enabled`, around the given
+    /// fault regions (typically the disabled regions of a pipeline outcome,
+    /// or the faulty blocks for the baseline model). Diagonally adjacent
+    /// regions are merged into one ring group, as their rings interleave.
+    ///
+    /// # Panics
+    /// Panics if a region cell is enabled, or region grids mismatch the
+    /// topology.
+    pub fn new(enabled: EnabledMap, regions: &[Region]) -> Self {
+        let topology = enabled.topology();
+        let groups = merge_touching(topology, regions);
+        let mut region_of = Grid::filled(topology, None);
+        for (i, group) in groups.iter().enumerate() {
+            for cell in group.iter() {
+                assert!(
+                    !enabled.is_enabled(cell),
+                    "fault-region cell {cell} is enabled"
+                );
+                region_of.set(cell, Some(i));
+            }
+        }
+        let rings = build_rings(&enabled, &groups);
+        Self {
+            enabled,
+            rings,
+            region_of,
+            groups,
+        }
+    }
+
+    /// The merged ring groups the router navigates around.
+    pub fn groups(&self) -> &[Region] {
+        &self.groups
+    }
+
+    /// The machine.
+    pub fn topology(&self) -> Topology {
+        self.enabled.topology()
+    }
+
+    /// The rings the router navigates.
+    pub fn rings(&self) -> &[FaultRing] {
+        &self.rings
+    }
+
+    /// The enabled view.
+    pub fn enabled(&self) -> &EnabledMap {
+        &self.enabled
+    }
+
+    /// Routes `src → dst`, detouring around fault regions on their rings.
+    pub fn route(&self, src: Coord, dst: Coord) -> Result<Path, RoutingError> {
+        let t = self.topology();
+        for endpoint in [src, dst] {
+            if !self.enabled.is_enabled(endpoint) {
+                return Err(RoutingError::EndpointDisabled { node: endpoint });
+            }
+        }
+        let mut path = Path::new(src);
+        let mut cur = src;
+        // Livelock guard: never traverse the same ring from the same entry
+        // cell twice.
+        let mut ring_entries: HashSet<(usize, Coord)> = HashSet::new();
+        let cap = (t.len() * 4).max(64);
+
+        while cur != dst {
+            if path.hops.len() > cap {
+                return Err(RoutingError::LivelockDetected);
+            }
+            let dir = preferred_direction(t, cur, dst).expect("cur != dst");
+            let next = t
+                .neighbor(cur, dir)
+                .coord()
+                .expect("XY never leaves the machine");
+            if self.enabled.is_enabled(next) {
+                path.hops.push(next);
+                cur = next;
+                continue;
+            }
+            // Blocked: identify the region and traverse its ring.
+            let region_idx = self
+                .region_of
+                .get(next)
+                .expect("disabled non-region cell blocks XY");
+            let ring = &self.rings[region_idx];
+            if !ring.is_cycle() {
+                return Err(RoutingError::BoundaryFaultChain);
+            }
+            if !ring_entries.insert((region_idx, cur)) {
+                return Err(RoutingError::LivelockDetected);
+            }
+            let here = ring
+                .position_of(cur)
+                .expect("blocked node is on the blocking region's ring");
+            let exit = self
+                .best_exit(ring, dst)
+                .ok_or(RoutingError::LivelockDetected)?;
+            let walk = ring.shorter_walk(here, exit);
+            for step in walk {
+                path.hops.push(step);
+            }
+            cur = *path.hops.last().expect("path never empty");
+        }
+        Ok(path)
+    }
+
+    /// The ring position whose cell minimizes remaining distance to `dst`
+    /// among cells from which the immediate XY hop is not blocked by the
+    /// same ring's region (or is the destination itself).
+    fn best_exit(&self, ring: &FaultRing, dst: Coord) -> Option<usize> {
+        let t = self.topology();
+        let cells = match &ring.shape {
+            crate::fault_ring::RingShape::Cycle(v) => v,
+            crate::fault_ring::RingShape::Chain(_) => return None,
+        };
+        cells
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| {
+                if c == dst {
+                    return true;
+                }
+                match preferred_direction(t, c, dst) {
+                    Some(d) => {
+                        let nxt = t.neighbor(c, d).coord().expect("XY stays inside");
+                        // Exit must immediately escape this region (other
+                        // regions are handled by subsequent traversals).
+                        self.region_of.get(nxt) != &Some(ring.region_index)
+                    }
+                    None => true,
+                }
+            })
+            .min_by_key(|(_, &c)| t.distance(c, dst))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_core::prelude::*;
+    use ocp_mesh::Topology;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    /// Router over the disabled regions of a labeled machine.
+    fn dr_router(t: Topology, faults: &[Coord]) -> FaultTolerantRouter {
+        let map = FaultMap::new(t, faults.iter().copied());
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let enabled = crate::path::EnabledMap::from_outcome(&out);
+        let regions: Vec<Region> = out.regions.iter().map(|r| r.cells.clone()).collect();
+        FaultTolerantRouter::new(enabled, &regions)
+    }
+
+    #[test]
+    fn unobstructed_routes_stay_minimal() {
+        let router = dr_router(Topology::mesh(10, 10), &[c(5, 5)]);
+        let p = router.route(c(0, 0), c(3, 0)).unwrap();
+        assert_eq!(p.len(), 3);
+        p.validate(router.enabled()).unwrap();
+    }
+
+    #[test]
+    fn detours_around_single_fault() {
+        let router = dr_router(Topology::mesh(9, 9), &[c(4, 4)]);
+        let p = router.route(c(0, 4), c(8, 4)).unwrap();
+        p.validate(router.enabled()).unwrap();
+        // Minimal possible detour around one cell costs 2 extra hops.
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn detours_around_block() {
+        // Diagonal faults -> 2x2 disabled block in the middle of row 4/5.
+        let router = dr_router(Topology::mesh(12, 12), &[c(5, 4), c(6, 5)]);
+        let p = router.route(c(0, 4), c(11, 4)).unwrap();
+        p.validate(router.enabled()).unwrap();
+        assert!(p.len() >= 11, "must detour");
+        assert!(p.len() <= 15, "detour should be tight, got {}", p.len());
+    }
+
+    #[test]
+    fn all_pairs_delivery_matches_bfs_reachability() {
+        let t = Topology::mesh(10, 10);
+        let faults = [c(4, 4), c(5, 5), c(4, 5), c(8, 2), c(2, 7)];
+        let router = dr_router(t, &faults);
+        let enabled = router.enabled().clone();
+        let nodes = enabled.enabled_coords();
+        let mut routed = 0usize;
+        let mut failures = 0usize;
+        for (i, &src) in nodes.iter().enumerate().step_by(7) {
+            for &dst in nodes.iter().skip(i % 3).step_by(11) {
+                let bfs = crate::oracle::bfs_path(&enabled, src, dst);
+                match (router.route(src, dst), bfs) {
+                    (Ok(p), Ok(q)) => {
+                        p.validate(&enabled).unwrap();
+                        assert!(p.len() >= q.len());
+                        routed += 1;
+                    }
+                    (Err(_), Ok(_)) => failures += 1,
+                    (_, Err(_)) => {} // genuinely unreachable
+                }
+            }
+        }
+        assert!(routed > 50, "sampled too few pairs");
+        assert_eq!(failures, 0, "router failed on reachable pairs");
+    }
+
+    #[test]
+    fn boundary_chain_is_reported() {
+        // Fault hugging the west edge: its ring is an open chain; routes
+        // blocked by it report BoundaryFaultChain.
+        let router = dr_router(Topology::mesh(8, 8), &[c(0, 4)]);
+        let err = router.route(c(0, 0), c(0, 7)).unwrap_err();
+        assert_eq!(err, RoutingError::BoundaryFaultChain);
+        // ...but unrelated routes still work.
+        assert!(router.route(c(3, 0), c(3, 7)).is_ok());
+    }
+
+    #[test]
+    fn torus_ring_traversal_works_at_seam() {
+        let router = dr_router(Topology::torus(10, 10), &[c(0, 5)]);
+        let p = router.route(c(8, 5), c(2, 5)).unwrap();
+        p.validate(router.enabled()).unwrap();
+        // Minimal distance is 4 through the seam; the fault adds a detour.
+        assert!(p.len() >= 4 && p.len() <= 8, "got {}", p.len());
+    }
+
+    #[test]
+    fn endpoint_in_region_rejected() {
+        let router = dr_router(Topology::mesh(8, 8), &[c(3, 3)]);
+        assert!(matches!(
+            router.route(c(3, 3), c(0, 0)),
+            Err(RoutingError::EndpointDisabled { .. })
+        ));
+    }
+}

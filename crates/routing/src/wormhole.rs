@@ -1,0 +1,368 @@
+//! Flit-level wormhole network simulation.
+//!
+//! Wormhole switching is the regime all the cited fault-tolerant routing
+//! work targets: a packet is a *worm* of flits that pipelines across
+//! consecutive links, holding every link its body spans; a blocked head
+//! stalls the whole worm in place, which is what makes deadlock a real
+//! danger and convex fault regions valuable.
+//!
+//! The model here is the standard lightweight one:
+//!
+//! * each directed link has `vcs` virtual channels, each able to carry one
+//!   worm segment (one flit in flight per link per VC);
+//! * per cycle, each worm's head tries to acquire the next link's VC; on
+//!   success every flit advances one hop, so the tail frees the oldest link
+//!   once the worm is at full span;
+//! * a head that reached the destination drains one flit per cycle;
+//! * arbitration is round-robin by packet id with a rotating offset;
+//! * a configurable quiet period with undelivered worms is reported as a
+//!   **deadlock** (watchdog), which the CDG analysis predicts.
+
+use crate::path::Path;
+use ocp_mesh::Coord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WormholeConfig {
+    /// Virtual channels per directed link.
+    pub vcs: u8,
+    /// Worm length in flits (= maximum links a worm spans).
+    pub packet_flits: usize,
+    /// Cycles without any flit movement (while worms are in flight) before
+    /// declaring deadlock.
+    pub deadlock_threshold: u64,
+    /// Hard cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        Self {
+            vcs: 1,
+            packet_flits: 4,
+            deadlock_threshold: 1_000,
+            max_cycles: 1_000_000,
+        }
+    }
+}
+
+/// One packet to inject: a precomputed path and an injection time.
+#[derive(Clone, Debug)]
+pub struct PacketSpec {
+    /// Route the worm follows (from the routing layer).
+    pub path: Path,
+    /// Cycle at which the worm may start acquiring links.
+    pub inject_cycle: u64,
+    /// Virtual channel class per hop (same convention as
+    /// [`crate::cdg::VcAssignment`]); computed up front so the simulator
+    /// stays routing-agnostic.
+    pub vc_per_hop: Vec<u8>,
+}
+
+impl PacketSpec {
+    /// Packet with every hop on VC 0.
+    pub fn on_single_vc(path: Path, inject_cycle: u64) -> Self {
+        let hops = path.len();
+        Self {
+            path,
+            inject_cycle,
+            vc_per_hop: vec![0; hops],
+        }
+    }
+
+    /// Packet with a VC assignment function.
+    pub fn with_assignment(
+        path: Path,
+        inject_cycle: u64,
+        assign: &dyn Fn(&Path, usize) -> u8,
+    ) -> Self {
+        let vc_per_hop = (0..path.len()).map(|i| assign(&path, i)).collect();
+        Self {
+            path,
+            inject_cycle,
+            vc_per_hop,
+        }
+    }
+}
+
+/// Aggregate results of one simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Packets that fully arrived.
+    pub delivered: usize,
+    /// Packets still in flight (or never injected) when the run ended.
+    pub undelivered: usize,
+    /// True if the watchdog fired.
+    pub deadlocked: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Mean delivery latency (inject → tail absorbed), delivered only.
+    pub avg_latency: f64,
+    /// Worst delivery latency.
+    pub max_latency: u64,
+    /// Total link acquisitions (≈ flit-hops / packet_flits).
+    pub link_acquisitions: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct LinkVc {
+    from: Coord,
+    to: Coord,
+    vc: u8,
+}
+
+struct Worm<'a> {
+    spec: &'a PacketSpec,
+    /// Links acquired so far (head progress), `0..=path.len()`.
+    head: usize,
+    /// Links released so far (tail progress), `<= head`.
+    tail: usize,
+    /// Flits drained at the destination.
+    drained: usize,
+    delivered_at: Option<u64>,
+}
+
+impl Worm<'_> {
+    fn link(&self, i: usize) -> LinkVc {
+        LinkVc {
+            from: self.spec.path.hops[i],
+            to: self.spec.path.hops[i + 1],
+            vc: self.spec.vc_per_hop[i],
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.delivered_at.is_some()
+    }
+}
+
+/// Runs the simulation to completion, deadlock, or the cycle cap.
+///
+/// # Panics
+/// Panics if a packet's `vc_per_hop` length mismatches its path or names a
+/// VC ≥ `config.vcs`.
+pub fn simulate(specs: &[PacketSpec], config: &WormholeConfig) -> SimStats {
+    for s in specs {
+        assert_eq!(s.vc_per_hop.len(), s.path.len(), "vc assignment length");
+        assert!(
+            s.vc_per_hop.iter().all(|&v| v < config.vcs),
+            "vc index out of range"
+        );
+    }
+    let mut worms: Vec<Worm> = specs
+        .iter()
+        .map(|spec| Worm {
+            spec,
+            head: 0,
+            tail: 0,
+            drained: 0,
+            delivered_at: None,
+        })
+        .collect();
+    // busy[link] = worm index holding it.
+    let mut busy: HashMap<LinkVc, usize> = HashMap::new();
+    let mut cycle: u64 = 0;
+    let mut quiet: u64 = 0;
+    let mut deadlocked = false;
+    let mut link_acquisitions: u64 = 0;
+
+    loop {
+        if worms.iter().all(|w| w.done()) {
+            break;
+        }
+        if cycle >= config.max_cycles {
+            break;
+        }
+        let mut moved = false;
+        let n = worms.len();
+        // Rotating round-robin priority.
+        for k in 0..n {
+            let i = (k + (cycle as usize % n.max(1))) % n;
+            let w = &worms[i];
+            if w.done() || w.spec.inject_cycle > cycle {
+                continue;
+            }
+            let path_links = w.spec.path.len();
+
+            // Zero-length path: delivered instantly upon injection.
+            if path_links == 0 {
+                worms[i].delivered_at = Some(cycle);
+                moved = true;
+                continue;
+            }
+
+            if worms[i].head < path_links {
+                // Head tries to advance.
+                let next = worms[i].link(worms[i].head);
+                if let std::collections::hash_map::Entry::Vacant(e) = busy.entry(next) {
+                    e.insert(i);
+                    worms[i].head += 1;
+                    link_acquisitions += 1;
+                    moved = true;
+                    // Tail follows once the worm spans its full length.
+                    if worms[i].head - worms[i].tail > config.packet_flits {
+                        let freed = worms[i].link(worms[i].tail);
+                        busy.remove(&freed);
+                        worms[i].tail += 1;
+                    }
+                }
+            } else {
+                // Head at destination: drain one flit per cycle.
+                worms[i].drained += 1;
+                moved = true;
+                if worms[i].tail < path_links {
+                    let freed = worms[i].link(worms[i].tail);
+                    busy.remove(&freed);
+                    worms[i].tail += 1;
+                }
+                // Tail absorbed when all flits drained (worm spans at most
+                // packet_flits links, so packet_flits drains suffice).
+                if worms[i].drained >= config.packet_flits || worms[i].tail >= path_links {
+                    // Free any remaining held links (short paths).
+                    for l in worms[i].tail..path_links {
+                        let freed = worms[i].link(l);
+                        busy.remove(&freed);
+                    }
+                    worms[i].tail = path_links;
+                    if worms[i].drained >= config.packet_flits {
+                        worms[i].delivered_at = Some(cycle);
+                    }
+                }
+            }
+        }
+        if moved {
+            quiet = 0;
+        } else {
+            quiet += 1;
+            if quiet >= config.deadlock_threshold {
+                deadlocked = true;
+                break;
+            }
+        }
+        cycle += 1;
+    }
+
+    let latencies: Vec<u64> = worms
+        .iter()
+        .filter_map(|w| w.delivered_at.map(|d| d.saturating_sub(w.spec.inject_cycle)))
+        .collect();
+    let delivered = latencies.len();
+    SimStats {
+        delivered,
+        undelivered: worms.len() - delivered,
+        deadlocked,
+        cycles: cycle,
+        avg_latency: if delivered == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / delivered as f64
+        },
+        max_latency: latencies.into_iter().max().unwrap_or(0),
+        link_acquisitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn straight_path(len: i32) -> Path {
+        Path {
+            hops: (0..=len).map(|x| c(x, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        let spec = PacketSpec::on_single_vc(straight_path(6), 0);
+        let stats = simulate(&[spec], &WormholeConfig::default());
+        assert_eq!(stats.delivered, 1);
+        assert!(!stats.deadlocked);
+        // Pipeline: ~path_len cycles for the head plus packet_flits drain.
+        assert!(stats.max_latency >= 6);
+        assert!(stats.max_latency <= 6 + 4 + 2);
+    }
+
+    #[test]
+    fn contention_serializes_worms() {
+        // Two packets over the same links: the second must wait.
+        let a = PacketSpec::on_single_vc(straight_path(5), 0);
+        let b = PacketSpec::on_single_vc(straight_path(5), 0);
+        let solo = simulate(std::slice::from_ref(&a), &WormholeConfig::default());
+        let both = simulate(&[a, b], &WormholeConfig::default());
+        assert_eq!(both.delivered, 2);
+        assert!(both.max_latency > solo.max_latency);
+    }
+
+    #[test]
+    fn separate_vcs_remove_contention_serialization() {
+        let mut a = PacketSpec::on_single_vc(straight_path(5), 0);
+        let mut b = PacketSpec::on_single_vc(straight_path(5), 0);
+        a.vc_per_hop = vec![0; 5];
+        b.vc_per_hop = vec![1; 5];
+        let cfg = WormholeConfig {
+            vcs: 2,
+            ..WormholeConfig::default()
+        };
+        let stats = simulate(&[a, b], &cfg);
+        assert_eq!(stats.delivered, 2);
+        // Both pipelines run concurrently: latencies nearly equal.
+        assert!(stats.max_latency <= 5 + 4 + 3);
+    }
+
+    #[test]
+    fn cyclic_demand_deadlocks_on_one_vc() {
+        // Four worms chasing each other around a 2x2 ring, each long enough
+        // to hold its current link while waiting for the next.
+        let square = [c(0, 0), c(1, 0), c(1, 1), c(0, 1)];
+        let mut specs = Vec::new();
+        for i in 0..4 {
+            let hops = vec![
+                square[i],
+                square[(i + 1) % 4],
+                square[(i + 2) % 4],
+                square[(i + 3) % 4],
+            ];
+            specs.push(PacketSpec::on_single_vc(Path { hops }, 0));
+        }
+        let cfg = WormholeConfig {
+            packet_flits: 8, // long worms: each spans all held links
+            deadlock_threshold: 100,
+            ..WormholeConfig::default()
+        };
+        let stats = simulate(&specs, &cfg);
+        assert!(stats.deadlocked, "{stats:?}");
+        assert!(stats.delivered < 4);
+    }
+
+    #[test]
+    fn zero_length_paths_deliver_immediately() {
+        let spec = PacketSpec::on_single_vc(Path::new(c(3, 3)), 7);
+        let stats = simulate(&[spec], &WormholeConfig::default());
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.max_latency, 0);
+    }
+
+    #[test]
+    fn injection_time_respected() {
+        let spec = PacketSpec::on_single_vc(straight_path(3), 50);
+        let stats = simulate(&[spec], &WormholeConfig::default());
+        assert_eq!(stats.delivered, 1);
+        assert!(stats.cycles >= 50);
+        assert!(stats.max_latency <= 3 + 4 + 2, "latency measured from injection");
+    }
+
+    #[test]
+    #[should_panic(expected = "vc index out of range")]
+    fn vc_out_of_range_panics() {
+        let mut spec = PacketSpec::on_single_vc(straight_path(2), 0);
+        spec.vc_per_hop = vec![3, 0];
+        simulate(&[spec], &WormholeConfig::default());
+    }
+}

@@ -1,0 +1,135 @@
+//! Dimension-order (XY / e-cube) routing.
+
+use crate::path::{EnabledMap, Path, RoutingError};
+use ocp_mesh::{Coord, Direction, Topology, TopologyKind};
+
+/// The XY-preferred next direction from `cur` toward `dst`: correct the x
+/// offset first, then y. `None` when already at the destination.
+///
+/// On a torus the shorter way around each dimension is chosen (ties go to
+/// the positive direction).
+pub fn preferred_direction(topology: Topology, cur: Coord, dst: Coord) -> Option<Direction> {
+    let dx = wrap_delta(topology, cur.x, dst.x, topology.width());
+    if dx != 0 {
+        return Some(if dx > 0 { Direction::East } else { Direction::West });
+    }
+    let dy = wrap_delta(topology, cur.y, dst.y, topology.height());
+    if dy != 0 {
+        return Some(if dy > 0 { Direction::North } else { Direction::South });
+    }
+    None
+}
+
+/// Signed offset from `a` to `b` along one dimension, wraparound-aware.
+fn wrap_delta(topology: Topology, a: i32, b: i32, extent: u32) -> i32 {
+    let raw = b - a;
+    match topology.kind() {
+        TopologyKind::Mesh => raw,
+        TopologyKind::Torus => {
+            let e = extent as i32;
+            let m = raw.rem_euclid(e);
+            if m * 2 > e {
+                m - e
+            } else {
+                m
+            }
+        }
+    }
+}
+
+/// Routes `src → dst` with pure XY routing, failing on the first disabled
+/// node in the way. This is the fault-intolerant baseline.
+pub fn route(enabled: &EnabledMap, src: Coord, dst: Coord) -> Result<Path, RoutingError> {
+    let t = enabled.topology();
+    for endpoint in [src, dst] {
+        if !enabled.is_enabled(endpoint) {
+            return Err(RoutingError::EndpointDisabled { node: endpoint });
+        }
+    }
+    let mut path = Path::new(src);
+    let mut cur = src;
+    while let Some(dir) = preferred_direction(t, cur, dst) {
+        let next = t
+            .neighbor(cur, dir)
+            .coord()
+            .expect("XY never leaves the machine");
+        if !enabled.is_enabled(next) {
+            return Err(RoutingError::DisabledHop { node: next });
+        }
+        path.hops.push(next);
+        cur = next;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Grid;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn xy_is_minimal_on_fault_free_mesh() {
+        let t = Topology::mesh(8, 8);
+        let enabled = EnabledMap::all_enabled(t);
+        for (src, dst) in [(c(0, 0), c(7, 7)), (c(3, 5), c(3, 5)), (c(6, 1), c(2, 4))] {
+            let p = route(&enabled, src, dst).unwrap();
+            assert_eq!(p.len() as u32, t.distance(src, dst));
+            p.validate(&enabled).unwrap();
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let t = Topology::mesh(8, 8);
+        let enabled = EnabledMap::all_enabled(t);
+        let p = route(&enabled, c(0, 0), c(2, 2)).unwrap();
+        assert_eq!(
+            p.hops,
+            vec![c(0, 0), c(1, 0), c(2, 0), c(2, 1), c(2, 2)]
+        );
+    }
+
+    #[test]
+    fn torus_takes_short_way_round() {
+        let t = Topology::torus(8, 8);
+        let enabled = EnabledMap::all_enabled(t);
+        let p = route(&enabled, c(0, 0), c(6, 0)).unwrap();
+        assert_eq!(p.len(), 2); // west across the seam
+        assert_eq!(p.hops[1], c(7, 0));
+    }
+
+    #[test]
+    fn blocked_by_disabled_node() {
+        let t = Topology::mesh(5, 5);
+        let mut grid = Grid::filled(t, true);
+        grid.set(c(2, 0), false);
+        let enabled = EnabledMap::from_grid(grid);
+        let err = route(&enabled, c(0, 0), c(4, 0)).unwrap_err();
+        assert_eq!(err, RoutingError::DisabledHop { node: c(2, 0) });
+    }
+
+    #[test]
+    fn disabled_endpoints_rejected() {
+        let t = Topology::mesh(5, 5);
+        let mut grid = Grid::filled(t, true);
+        grid.set(c(4, 4), false);
+        let enabled = EnabledMap::from_grid(grid);
+        assert!(matches!(
+            route(&enabled, c(0, 0), c(4, 4)),
+            Err(RoutingError::EndpointDisabled { .. })
+        ));
+    }
+
+    #[test]
+    fn wrap_delta_tie_goes_positive() {
+        let t = Topology::torus(4, 4);
+        // distance 2 either way; positive direction wins.
+        assert_eq!(wrap_delta(t, 0, 2, 4), 2);
+        assert_eq!(wrap_delta(t, 2, 0, 4), 2);
+        assert_eq!(wrap_delta(t, 0, 3, 4), -1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Clustered fault injection.
+//!
+//! Real machine failures correlate spatially (shared power, cooling, board).
+//! The paper notes its high enabled-node percentages are partly because
+//! "a random distribution tends to generate a set of small faulty blocks";
+//! clustered faults stress the opposite regime and feed the model-quality
+//! ablation (experiment E9).
+
+use ocp_mesh::{Coord, Topology};
+use rand::Rng;
+
+/// Places `f` faults as `clusters` random-walk clusters of roughly equal
+/// size: each cluster starts at a uniform seed and grows by repeatedly
+/// stepping to a random neighbor, marking every visited node faulty until
+/// its share is reached.
+///
+/// Returns a sorted, de-duplicated list whose length is exactly `f` (the
+/// walk keeps extending until enough distinct nodes are collected).
+///
+/// # Panics
+/// Panics if `f > topology.len()` or `clusters == 0` while `f > 0`.
+pub fn clustered_faults<R: Rng>(
+    topology: Topology,
+    f: usize,
+    clusters: usize,
+    rng: &mut R,
+) -> Vec<Coord> {
+    assert!(f <= topology.len(), "cannot place {f} faults on {} nodes", topology.len());
+    if f == 0 {
+        return Vec::new();
+    }
+    assert!(clusters > 0, "need at least one cluster");
+
+    let mut faulty = std::collections::BTreeSet::new();
+    let per_cluster = f.div_ceil(clusters);
+    'outer: for _ in 0..clusters {
+        let mut cur = Coord::new(
+            rng.gen_range(0..topology.width() as i32),
+            rng.gen_range(0..topology.height() as i32),
+        );
+        let mut grown = 0usize;
+        let mut attempts = 0usize;
+        while grown < per_cluster {
+            if faulty.insert(cur) {
+                grown += 1;
+                if faulty.len() == f {
+                    break 'outer;
+                }
+            }
+            attempts += 1;
+            if attempts > 64 * per_cluster {
+                break; // walk trapped in an already-faulty pocket; reseed
+            }
+            let dir = ocp_mesh::DIRECTIONS[rng.gen_range(0..4)];
+            match topology.neighbor(cur, dir) {
+                ocp_mesh::Neighbor::Node(n) => cur = n,
+                ocp_mesh::Neighbor::Ghost(_) => {} // bounce off the boundary
+            }
+        }
+    }
+    // Top up from uniform if the walks saturated early.
+    while faulty.len() < f {
+        let c = Coord::new(
+            rng.gen_range(0..topology.width() as i32),
+            rng.gen_range(0..topology.height() as i32),
+        );
+        faulty.insert(c);
+    }
+    faulty.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_count() {
+        let t = Topology::mesh(30, 30);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for f in [0, 1, 17, 100] {
+            let faults = clustered_faults(t, f, 4, &mut rng);
+            assert_eq!(faults.len(), f);
+            assert!(faults.iter().all(|&c| t.contains(c)));
+        }
+    }
+
+    #[test]
+    fn clusters_are_tighter_than_uniform() {
+        // Average nearest-neighbor distance should be smaller for clustered
+        // faults than for uniform ones.
+        fn mean_nn(faults: &[Coord]) -> f64 {
+            let mut total = 0.0;
+            for &a in faults {
+                let d = faults
+                    .iter()
+                    .filter(|&&b| b != a)
+                    .map(|&b| a.manhattan(b))
+                    .min()
+                    .unwrap();
+                total += d as f64;
+            }
+            total / faults.len() as f64
+        }
+        let t = Topology::mesh(64, 64);
+        let mut tight = 0usize;
+        for seed in 0..10 {
+            let clustered = clustered_faults(t, 60, 3, &mut SmallRng::seed_from_u64(seed));
+            let uniform =
+                crate::random::uniform_faults(t, 60, &mut SmallRng::seed_from_u64(seed + 1000));
+            if mean_nn(&clustered) < mean_nn(&uniform) {
+                tight += 1;
+            }
+        }
+        assert!(tight >= 8, "clustered faults not tighter ({tight}/10)");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Topology::torus(20, 20);
+        let a = clustered_faults(t, 40, 2, &mut SmallRng::seed_from_u64(9));
+        let b = clustered_faults(t, 40, 2, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_saturation() {
+        let t = Topology::mesh(4, 4);
+        let faults = clustered_faults(t, 16, 2, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(faults.len(), 16);
+    }
+}

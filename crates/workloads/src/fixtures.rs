@@ -1,0 +1,144 @@
+//! Executable fixtures of the paper's worked examples.
+
+use ocp_mesh::{Coord, Topology};
+
+/// A named, fixed fault configuration taken from the paper.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Short identifier (used by the `repro` binary and the fault atlas).
+    pub name: &'static str,
+    /// What the paper says about this configuration.
+    pub description: &'static str,
+    /// Machine it lives on.
+    pub topology: Topology,
+    /// Fault locations.
+    pub faults: Vec<Coord>,
+}
+
+fn c(x: i32, y: i32) -> Coord {
+    Coord::new(x, y)
+}
+
+/// Section 3's worked example: faults at (1,3), (2,1), (3,2).
+///
+/// Under the safe/unsafe rule (Definition 2b) one faulty block
+/// `{(i,j) | i,j ∈ {1,2,3}}` forms; under the enabled/disabled rule all
+/// nonfaulty nodes of the block are re-enabled and only the three faults
+/// remain disabled.
+pub fn sec3_example() -> Fixture {
+    Fixture {
+        name: "sec3",
+        description: "Section 3 example: 3 faults -> one 3x3 faulty block, all nonfaulty nodes enabled",
+        topology: Topology::mesh(6, 6),
+        faults: vec![c(1, 3), c(2, 1), c(3, 2)],
+    }
+}
+
+/// Figure 2(a): a faulty block whose upper-**right** 2×2 sub-block is the
+/// only nonfaulty part. The monotone enabled/disabled rule re-enables the
+/// whole pocket (the corner node sees two enabled neighbors outside the
+/// block, then enabling cascades inward).
+pub fn fig2a_corner_pocket() -> Fixture {
+    let block = ocp_geometry::Rect::new(c(1, 1), c(4, 4));
+    let pocket = ocp_geometry::Rect::new(c(3, 3), c(4, 4));
+    Fixture {
+        name: "fig2a",
+        description: "Figure 2(a): nonfaulty pocket at the block's upper-right corner -> pocket re-enabled",
+        topology: Topology::mesh(8, 8),
+        faults: block.cells().filter(|&cc| !pocket.contains(cc)).collect(),
+    }
+}
+
+/// Figure 2(b): the nonfaulty 2×2 pocket sits at the upper **center** of the
+/// block. Each pocket node sees at most one enabled neighbor (the safe node
+/// above it), so under the monotone rule the pocket stays disabled — the
+/// configuration whose "double status" under a recursive definition
+/// motivates Definition 3.
+pub fn fig2b_center_pocket() -> Fixture {
+    let block = ocp_geometry::Rect::new(c(1, 1), c(5, 4));
+    let pocket = ocp_geometry::Rect::new(c(2, 3), c(3, 4));
+    Fixture {
+        name: "fig2b",
+        description: "Figure 2(b): nonfaulty pocket at the block's upper center -> pocket stays disabled",
+        topology: Topology::mesh(9, 8),
+        faults: block.cells().filter(|&cc| !pocket.contains(cc)).collect(),
+    }
+}
+
+/// A composite pattern in the spirit of Figure 1: several fault groups that
+/// produce visibly different faulty blocks under Definitions 2a vs 2b, and
+/// non-rectangular disabled regions. Used by the `fault_atlas` example.
+pub fn atlas_pattern() -> Fixture {
+    Fixture {
+        name: "atlas",
+        description: "Figure 1-style composite: diagonal chain, sparse pair, and a dense corner cluster",
+        topology: Topology::mesh(14, 12),
+        faults: vec![
+            // Diagonal chain (merges into one block, splits into small DRs).
+            c(2, 8),
+            c(3, 9),
+            c(4, 8),
+            // Sparse pair two apart on the same row.
+            c(9, 9),
+            c(11, 9),
+            // Dense corner cluster (stays mostly disabled).
+            c(2, 2),
+            c(3, 2),
+            c(2, 3),
+            c(3, 3),
+            c(4, 3),
+            c(3, 4),
+            // Lone fault near the border.
+            c(12, 2),
+        ],
+    }
+}
+
+/// All fixtures, for data-driven tests and the atlas.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        sec3_example(),
+        fig2a_corner_pocket(),
+        fig2b_center_pocket(),
+        atlas_pattern(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        for fx in all() {
+            assert!(!fx.faults.is_empty(), "{} has no faults", fx.name);
+            for &f in &fx.faults {
+                assert!(fx.topology.contains(f), "{}: fault {f} outside machine", fx.name);
+            }
+            let mut dedup = fx.faults.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), fx.faults.len(), "{} has duplicate faults", fx.name);
+        }
+    }
+
+    #[test]
+    fn sec3_matches_paper_coordinates() {
+        let fx = sec3_example();
+        assert_eq!(fx.faults, vec![c(1, 3), c(2, 1), c(3, 2)]);
+    }
+
+    #[test]
+    fn fig2_pockets_are_nonfaulty() {
+        let a = fig2a_corner_pocket();
+        for cell in [c(3, 3), c(4, 4)] {
+            assert!(!a.faults.contains(&cell));
+        }
+        assert!(a.faults.contains(&c(1, 1)));
+        let b = fig2b_center_pocket();
+        for cell in [c(2, 3), c(3, 4)] {
+            assert!(!b.faults.contains(&cell));
+        }
+        assert!(b.faults.contains(&c(5, 4)));
+    }
+}

@@ -1,0 +1,26 @@
+//! # ocp-workloads
+//!
+//! Fault-pattern generators for the reproduction experiments.
+//!
+//! The paper's simulation study (Section 5) injects `f` faults "randomly
+//! selected among nodes in the mesh" — [`random::uniform_faults`]. Beyond
+//! that, this crate provides clustered and shaped fault patterns (the L/T/
+//! U/H/+ regions the literature names), and executable **fixtures** of the
+//! paper's worked examples (the Section 3 example, and the Figure 2
+//! double-status configurations).
+//!
+//! All generators are deterministic given an RNG seed, so every experiment
+//! in EXPERIMENTS.md can be reproduced bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod fixtures;
+pub mod placement;
+pub mod random;
+pub mod sweep;
+
+pub use clustered::clustered_faults;
+pub use random::uniform_faults;
+pub use sweep::{SweepConfig, SweepPoint};

@@ -1,0 +1,60 @@
+//! Placing named shapes as fault patterns.
+
+use ocp_geometry::shapes;
+use ocp_mesh::{Coord, Topology};
+
+/// Translates `shape` so its bounding-box minimum lands on `at`, verifying
+/// every cell fits inside `topology`.
+///
+/// # Panics
+/// Panics if any translated cell falls outside the machine.
+pub fn place(topology: Topology, shape: &[Coord], at: Coord) -> Vec<Coord> {
+    let placed = shapes::translate(shape.iter().copied(), at.x, at.y);
+    for &c in &placed {
+        assert!(
+            topology.contains(c),
+            "shape cell {c} outside {}x{} machine",
+            topology.width(),
+            topology.height()
+        );
+    }
+    placed
+}
+
+/// Unions several placed shapes into one sorted, de-duplicated fault list.
+pub fn compose(patterns: impl IntoIterator<Item = Vec<Coord>>) -> Vec<Coord> {
+    let mut all: Vec<Coord> = patterns.into_iter().flatten().collect();
+    all.sort();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_translates() {
+        let t = Topology::mesh(20, 20);
+        let cells = place(t, &shapes::plus_shape(1), Coord::new(5, 5));
+        let r = ocp_geometry::Region::from_cells(cells);
+        assert_eq!(r.bbox().unwrap().min, Coord::new(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_panics() {
+        let t = Topology::mesh(4, 4);
+        place(t, &shapes::l_shape(5, 2), Coord::new(1, 1));
+    }
+
+    #[test]
+    fn compose_dedups() {
+        let t = Topology::mesh(10, 10);
+        let a = place(t, &shapes::rectangle(2, 2), Coord::new(1, 1));
+        let b = place(t, &shapes::rectangle(2, 2), Coord::new(2, 1));
+        let all = compose([a, b]);
+        assert_eq!(all.len(), 6); // 4 + 4 - 2 overlap
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+}

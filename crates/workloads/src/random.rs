@@ -1,0 +1,97 @@
+//! Uniform random fault injection — the paper's Section 5 workload.
+
+use ocp_mesh::{Coord, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects `f` distinct fault locations uniformly at random among the nodes
+/// of `topology` (sampling without replacement), exactly as in the paper's
+/// simulation study.
+///
+/// The result is sorted so downstream consumers are order-independent.
+///
+/// ```
+/// use ocp_mesh::Topology;
+/// use ocp_workloads::uniform_faults;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let faults = uniform_faults(Topology::mesh(100, 100), 50, &mut rng);
+/// assert_eq!(faults.len(), 50);
+/// assert!(faults.windows(2).all(|w| w[0] < w[1])); // sorted, distinct
+/// ```
+///
+/// # Panics
+/// Panics if `f` exceeds the node count.
+pub fn uniform_faults<R: Rng>(topology: Topology, f: usize, rng: &mut R) -> Vec<Coord> {
+    assert!(
+        f <= topology.len(),
+        "cannot place {f} faults on {} nodes",
+        topology.len()
+    );
+    let mut all: Vec<Coord> = topology.coords().collect();
+    all.shuffle(rng);
+    all.truncate(f);
+    all.sort();
+    all
+}
+
+/// Selects each node independently faulty with probability `p` (Bernoulli
+/// fault model) — useful for property tests where the count may float.
+pub fn bernoulli_faults<R: Rng>(topology: Topology, p: f64, rng: &mut R) -> Vec<Coord> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    topology.coords().filter(|_| rng.gen_bool(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_count_and_distinct() {
+        let t = Topology::mesh(20, 20);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let faults = uniform_faults(t, 50, &mut rng);
+        assert_eq!(faults.len(), 50);
+        let mut dedup = faults.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50);
+        assert!(faults.iter().all(|&c| t.contains(c)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Topology::mesh(16, 16);
+        let a = uniform_faults(t, 30, &mut SmallRng::seed_from_u64(42));
+        let b = uniform_faults(t, 30, &mut SmallRng::seed_from_u64(42));
+        let c = uniform_faults(t, 30, &mut SmallRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_and_full_coverage() {
+        let t = Topology::mesh(4, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(uniform_faults(t, 0, &mut rng).is_empty());
+        let all = uniform_faults(t, 16, &mut rng);
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_faults_panics() {
+        let t = Topology::mesh(2, 2);
+        uniform_faults(t, 5, &mut SmallRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let t = Topology::mesh(8, 8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(bernoulli_faults(t, 0.0, &mut rng).is_empty());
+        assert_eq!(bernoulli_faults(t, 1.0, &mut rng).len(), 64);
+    }
+}

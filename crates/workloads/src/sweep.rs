@@ -1,0 +1,120 @@
+//! Parameter sweeps with reproducible per-trial seeds.
+
+use ocp_mesh::{Topology, TopologyKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one figure-style sweep: a machine, a list of fault
+/// counts, and a number of independent trials per count.
+///
+/// The paper's Figure 5 uses a 100×100 mesh with `0 ≤ f ≤ 100`;
+/// [`SweepConfig::paper_figure5`] reproduces that.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Mesh or torus.
+    pub kind: TopologyKind,
+    /// Machine width.
+    pub width: u32,
+    /// Machine height.
+    pub height: u32,
+    /// Fault counts to sweep (the x axis).
+    pub fault_counts: Vec<usize>,
+    /// Independent trials per fault count.
+    pub trials: u32,
+    /// Base seed; every `(f, trial)` pair derives its own stream from it.
+    pub base_seed: u64,
+}
+
+/// One cell of a sweep: a fault count, a trial index, and its RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of faults to inject.
+    pub faults: usize,
+    /// Trial index within this fault count.
+    pub trial: u32,
+    /// Derived seed for this point's RNG.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's Figure 5 setting: 100×100, `f ∈ {10, 20, …, 100}`.
+    pub fn paper_figure5(kind: TopologyKind, trials: u32, base_seed: u64) -> Self {
+        Self {
+            kind,
+            width: 100,
+            height: 100,
+            fault_counts: (1..=10).map(|i| i * 10).collect(),
+            trials,
+            base_seed,
+        }
+    }
+
+    /// The machine being swept.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.kind, self.width, self.height)
+    }
+
+    /// Enumerates every `(fault count, trial)` point with its derived seed,
+    /// in deterministic order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.fault_counts.len() * self.trials as usize);
+        for &f in &self.fault_counts {
+            for trial in 0..self.trials {
+                out.push(SweepPoint {
+                    faults: f,
+                    trial,
+                    seed: derive_seed(self.base_seed, f as u64, trial as u64),
+                });
+            }
+        }
+        out
+    }
+
+    /// RNG for one sweep point.
+    pub fn rng(&self, point: SweepPoint) -> SmallRng {
+        SmallRng::seed_from_u64(point.seed)
+    }
+}
+
+/// Mixes `(base, f, trial)` into a 64-bit seed (splitmix64-style finalizer).
+fn derive_seed(base: u64, f: u64, trial: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(f.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_shape() {
+        let cfg = SweepConfig::paper_figure5(TopologyKind::Mesh, 30, 1);
+        assert_eq!(cfg.fault_counts, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(cfg.points().len(), 300);
+        assert_eq!(cfg.topology().len(), 10_000);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let cfg = SweepConfig::paper_figure5(TopologyKind::Torus, 5, 99);
+        let pts = cfg.points();
+        let mut seeds: Vec<u64> = pts.iter().map(|p| p.seed).collect();
+        let unique_before = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), unique_before, "seed collision");
+        assert_eq!(cfg.points(), pts, "points not deterministic");
+    }
+
+    #[test]
+    fn different_base_seeds_differ() {
+        let a = SweepConfig::paper_figure5(TopologyKind::Mesh, 2, 1).points();
+        let b = SweepConfig::paper_figure5(TopologyKind::Mesh, 2, 2).points();
+        assert_ne!(a[0].seed, b[0].seed);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fault atlas: renders the paper's worked examples (Figures 1 and 2 in
+//! spirit, Section 3 exactly) under all the labeling rules, side by side.
+//!
+//! ```sh
+//! cargo run --example fault_atlas
+//! ```
+
+use ocp_core::prelude::*;
+use ocp_mesh::render;
+use ocp_workloads::fixtures;
+
+fn show(fx: &fixtures::Fixture) {
+    println!("\n=== {} ===", fx.name);
+    println!("{}\n", fx.description);
+    let map = FaultMap::new(fx.topology, fx.faults.iter().copied());
+
+    for (label, rule) in [
+        ("Definition 2a (two unsafe neighbors)", SafetyRule::TwoUnsafeNeighbors),
+        ("Definition 2b (unsafe in both dimensions)", SafetyRule::BothDimensions),
+    ] {
+        let out = run_pipeline(
+            &map,
+            &PipelineConfig {
+                rule,
+                ..PipelineConfig::default()
+            },
+        );
+        let stats = ModelStats::collect(&map, &out);
+        println!(
+            "{label}: {} block(s), {} region(s), {} nonfaulty sacrificed -> {} after phase 2",
+            out.blocks.len(),
+            out.regions.len(),
+            stats.unsafe_nonfaulty,
+            stats.disabled_nonfaulty
+        );
+        let left = render(&out.safety, |c, s| match s {
+            _ if map.is_faulty(c) => '#',
+            SafetyState::Unsafe => 'u',
+            SafetyState::Safe => '.',
+        });
+        let right = render(&out.activation, |c, a| match a {
+            _ if map.is_faulty(c) => '#',
+            ActivationState::Disabled => 'd',
+            ActivationState::Enabled => '.',
+        });
+        // Print the block view and the region view side by side.
+        for (l, r) in left.lines().zip(right.lines()) {
+            println!("  {l}    {r}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("legend: '#' faulty, 'u' unsafe nonfaulty, 'd' disabled nonfaulty, '.' enabled");
+    println!("left grid: after phase 1 (faulty blocks); right: after phase 2 (convex polygons)");
+    for fx in fixtures::all() {
+        show(&fx);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the reproduction of Jie Wu's *"A Distributed
+//! Formation of Orthogonal Convex Polygons in Mesh-Connected
+//! Multicomputers"* (IPPS 2001).
+//!
+//! Re-exports every workspace member under one roof for the examples under
+//! `examples/` and the cross-crate integration tests under `tests/`. Library
+//! users should depend on the individual crates (`ocp-core`, `ocp-mesh`,
+//! `ocp-routing`, …) directly.
+
+pub use ocp_analysis as analysis;
+pub use ocp_core as core;
+pub use ocp_distsim as distsim;
+pub use ocp_geometry as geometry;
+pub use ocp_mesh as mesh;
+pub use ocp_routing as routing;
+pub use ocp_workloads as workloads;

@@ -1,0 +1,92 @@
+//! The three executors must be observationally identical on the paper's
+//! protocols: same final labels, same round counts, same message totals.
+
+use ocp_core::labeling::enablement::compute_enablement;
+use ocp_core::labeling::safety::{compute_safety, SafetyRule};
+use ocp_core::prelude::*;
+use ocp_distsim::Executor;
+use ocp_mesh::{Topology, TopologyKind};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn check_equivalence(topology: Topology, f: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = uniform_faults(topology, f, &mut rng);
+    let map = FaultMap::new(topology, faults);
+
+    let reference_safety = compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+    let reference_enable =
+        compute_enablement(&map, &reference_safety.grid, Executor::Sequential, 400);
+
+    let mut executors = vec![
+        Executor::Sharded { threads: 2 },
+        Executor::Sharded { threads: 3 },
+        Executor::Sharded { threads: 7 },
+        Executor::Sharded { threads: 64 },
+    ];
+    if topology.len() <= 4096 {
+        executors.push(Executor::Actor);
+    }
+
+    for exec in executors {
+        let safety = compute_safety(&map, SafetyRule::BothDimensions, exec, 400);
+        assert_eq!(
+            safety.grid, reference_safety.grid,
+            "{exec:?} safety grid diverged on {topology:?} f={f} seed={seed}"
+        );
+        assert_eq!(safety.trace, reference_safety.trace, "{exec:?} safety trace");
+        let enable = compute_enablement(&map, &safety.grid, exec, 400);
+        assert_eq!(
+            enable.grid, reference_enable.grid,
+            "{exec:?} activation grid diverged"
+        );
+        assert_eq!(enable.trace, reference_enable.trace, "{exec:?} enable trace");
+    }
+}
+
+#[test]
+fn equivalence_on_meshes() {
+    for (side, f, seed) in [(12u32, 10usize, 1u64), (16, 20, 2), (20, 8, 3)] {
+        check_equivalence(Topology::new(TopologyKind::Mesh, side, side), f, seed);
+    }
+}
+
+#[test]
+fn equivalence_on_tori() {
+    for (side, f, seed) in [(12u32, 10usize, 4u64), (16, 24, 5)] {
+        check_equivalence(Topology::new(TopologyKind::Torus, side, side), f, seed);
+    }
+}
+
+#[test]
+fn equivalence_on_rectangular_machines() {
+    // Non-square shapes exercise the strip partitioner's uneven splits.
+    check_equivalence(Topology::mesh(30, 7), 12, 6);
+    check_equivalence(Topology::mesh(5, 29), 12, 7);
+    check_equivalence(Topology::torus(9, 31), 15, 8);
+}
+
+#[test]
+fn equivalence_at_high_fault_density() {
+    // 25% faults: big merged blocks, many rounds.
+    check_equivalence(Topology::mesh(16, 16), 64, 9);
+    check_equivalence(Topology::torus(16, 16), 64, 10);
+}
+
+#[test]
+fn equivalence_with_def2a_rule() {
+    let topology = Topology::mesh(18, 18);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let faults = uniform_faults(topology, 25, &mut rng);
+    let map = FaultMap::new(topology, faults);
+    let reference = compute_safety(&map, SafetyRule::TwoUnsafeNeighbors, Executor::Sequential, 400);
+    for exec in [
+        Executor::Sharded { threads: 4 },
+        Executor::Actor,
+    ] {
+        let got = compute_safety(&map, SafetyRule::TwoUnsafeNeighbors, exec, 400);
+        assert_eq!(got.grid, reference.grid);
+        assert_eq!(got.trace, reference.trace);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: workloads → labeling → stats → analysis.
+
+use ocp_analysis::{Series, Summary};
+use ocp_core::prelude::*;
+use ocp_mesh::{Topology, TopologyKind};
+use ocp_workloads::{clustered_faults, uniform_faults, SweepConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn paper_figure5_sweep_miniature() {
+    // A shrunken Figure 5 run end to end through the real sweep machinery.
+    let cfg = SweepConfig {
+        kind: TopologyKind::Mesh,
+        width: 30,
+        height: 30,
+        fault_counts: vec![3, 9, 18, 30],
+        trials: 6,
+        base_seed: 1234,
+    };
+    let topology = cfg.topology();
+    let mut rounds_fb = Series::new("rounds FB", "faults");
+    let mut rounds_dr = Series::new("rounds DR", "faults");
+    for &f in &cfg.fault_counts {
+        let mut fb = Vec::new();
+        let mut dr = Vec::new();
+        for point in cfg.points().into_iter().filter(|p| p.faults == f) {
+            let mut rng = cfg.rng(point);
+            let map = FaultMap::new(topology, uniform_faults(topology, f, &mut rng));
+            let out = run_pipeline(&map, &PipelineConfig::default());
+            let stats = ModelStats::collect(&map, &out);
+            fb.push(stats.rounds_phase1 as f64);
+            dr.push(stats.rounds_phase2 as f64);
+            // Node-count bookkeeping must add up exactly.
+            let enabled = out
+                .activation
+                .iter()
+                .filter(|(_, &a)| a == ActivationState::Enabled)
+                .count();
+            assert_eq!(
+                enabled + stats.disabled_nonfaulty + stats.faults,
+                topology.len()
+            );
+        }
+        rounds_fb.push(f as f64, &fb);
+        rounds_dr.push(f as f64, &dr);
+    }
+    // Rounds grow (weakly) with fault count and stay far below diameter.
+    assert!(rounds_fb.max_mean().unwrap() < 15.0);
+    assert!(rounds_dr.max_mean().unwrap() < 15.0);
+}
+
+#[test]
+fn clustered_faults_cost_more_than_uniform() {
+    // The paper attributes its very high enabled ratios partly to uniform
+    // fault placement producing small blocks; clustered faults should
+    // leave (weakly) more nonfaulty nodes disabled.
+    let topology = Topology::mesh(40, 40);
+    let mut uniform_cost = 0usize;
+    let mut clustered_cost = 0usize;
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let u = FaultMap::new(topology, uniform_faults(topology, 48, &mut rng));
+        let mut rng = SmallRng::seed_from_u64(seed + 500);
+        let k = FaultMap::new(topology, clustered_faults(topology, 48, 4, &mut rng));
+        let su = ModelStats::collect(&u, &run_pipeline(&u, &PipelineConfig::default()));
+        let sk = ModelStats::collect(&k, &run_pipeline(&k, &PipelineConfig::default()));
+        uniform_cost += su.disabled_nonfaulty;
+        clustered_cost += sk.disabled_nonfaulty;
+    }
+    assert!(
+        clustered_cost >= uniform_cost,
+        "clustered {clustered_cost} < uniform {uniform_cost}"
+    );
+}
+
+#[test]
+fn summary_statistics_integrate_with_stats() {
+    let topology = Topology::mesh(25, 25);
+    let mut ratios = Vec::new();
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let map = FaultMap::new(topology, uniform_faults(topology, 25, &mut rng));
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        if let Some(r) = ModelStats::collect(&map, &out).enabled_ratio() {
+            ratios.push(r);
+        }
+    }
+    let summary = Summary::of(&ratios);
+    assert!(summary.n >= 5, "most trials should have defined ratios");
+    assert!(summary.mean > 0.5, "mean ratio {}", summary.mean);
+    assert!(summary.min >= 0.0 && summary.max <= 1.0);
+}
+
+#[test]
+fn maintenance_chain_of_faults() {
+    // Add faults one at a time, relabeling incrementally; the final state
+    // must equal a cold run with all faults, at every step.
+    use ocp_core::maintenance::relabel_after_fault;
+    let topology = Topology::mesh(15, 15);
+    let cfg = PipelineConfig::default();
+    let mut map = FaultMap::new(topology, [ocp_mesh::Coord::new(7, 7)]);
+    let mut out = run_pipeline(&map, &cfg);
+    let additions = [
+        ocp_mesh::Coord::new(8, 8),
+        ocp_mesh::Coord::new(2, 3),
+        ocp_mesh::Coord::new(8, 6),
+        ocp_mesh::Coord::new(12, 12),
+    ];
+    for new_fault in additions {
+        let (updated, warm) = relabel_after_fault(&map, new_fault, &out, &cfg);
+        let cold = run_pipeline(&updated, &cfg);
+        assert_eq!(warm.outcome.safety, cold.safety);
+        assert_eq!(warm.outcome.activation, cold.activation);
+        ocp_core::verify::verify(&updated, &warm.outcome).expect("invariants after update");
+        map = updated;
+        out = warm.outcome;
+    }
+    assert_eq!(map.fault_count(), 5);
+}
+
+#[test]
+fn torus_has_no_ghost_advantage() {
+    // A fault pattern in the deep interior labels identically on mesh and
+    // torus (the boundary treatment only matters near the boundary).
+    let faults: Vec<ocp_mesh::Coord> = [(7, 7), (8, 8), (7, 9), (9, 7)]
+        .iter()
+        .map(|&(x, y)| ocp_mesh::Coord::new(x, y))
+        .collect();
+    let mesh = FaultMap::new(Topology::mesh(16, 16), faults.iter().copied());
+    let torus = FaultMap::new(Topology::torus(16, 16), faults.iter().copied());
+    let om = run_pipeline(&mesh, &PipelineConfig::default());
+    let ot = run_pipeline(&torus, &PipelineConfig::default());
+    let dm: Vec<_> = om
+        .activation
+        .coords_where(|&a| a == ActivationState::Disabled)
+        .collect();
+    let dt: Vec<_> = ot
+        .activation
+        .coords_where(|&a| a == ActivationState::Disabled)
+        .collect();
+    assert_eq!(dm, dt);
+    assert_eq!(om.safety_trace.rounds(), ot.safety_trace.rounds());
+}

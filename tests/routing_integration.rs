@@ -1,0 +1,151 @@
+//! Full-stack routing integration: labeling → fault rings → fault-tolerant
+//! routes → CDG analysis → wormhole simulation.
+
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use ocp_routing::cdg::{assign_detour_vc, assign_single_vc, DependencyGraph};
+use ocp_routing::wormhole::{simulate, PacketSpec, WormholeConfig};
+use ocp_routing::{bfs_path, EnabledMap, FaultTolerantRouter, Path};
+use ocp_workloads::uniform_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn labeled_router(side: u32, f: usize, seed: u64) -> (FaultTolerantRouter, EnabledMap) {
+    let topology = Topology::mesh(side, side);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let map = FaultMap::new(topology, uniform_faults(topology, f, &mut rng));
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    (FaultTolerantRouter::new(enabled.clone(), &regions), enabled)
+}
+
+#[test]
+fn router_delivers_whenever_bfs_can_interior() {
+    // With faults kept off the boundary, every BFS-reachable pair must be
+    // routable (rings are all cycles).
+    let topology = Topology::mesh(16, 16);
+    let interior: Vec<Coord> = topology
+        .coords()
+        .filter(|c| c.x >= 2 && c.y >= 2 && c.x <= 13 && c.y <= 13)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(77);
+    let faults: Vec<Coord> = interior
+        .choose_multiple(&mut rng, 14)
+        .copied()
+        .collect();
+    let map = FaultMap::new(topology, faults);
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+    // Interior regions only -> all rings cycles.
+    assert!(router.rings().iter().all(|r| r.is_cycle()));
+
+    let nodes = enabled.enabled_coords();
+    let mut checked = 0;
+    for (i, &src) in nodes.iter().enumerate().step_by(9) {
+        for &dst in nodes.iter().skip(i % 5).step_by(13) {
+            if bfs_path(&enabled, src, dst).is_ok() {
+                let p = router
+                    .route(src, dst)
+                    .unwrap_or_else(|e| panic!("{src}->{dst}: {e}"));
+                p.validate(&enabled).unwrap();
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100);
+}
+
+#[test]
+fn dr_routes_no_longer_than_fb_routes_on_average() {
+    // More enabled nodes can only help path quality on average.
+    let topology = Topology::mesh(20, 20);
+    let mut rng = SmallRng::seed_from_u64(31);
+    let map = FaultMap::new(topology, uniform_faults(topology, 20, &mut rng));
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let mut cmp_rng = SmallRng::seed_from_u64(32);
+    let cmp = ocp_routing::compare_models(&out, 150, &mut cmp_rng);
+    assert!(cmp.disabled_region.enabled_nodes >= cmp.faulty_block.enabled_nodes);
+    // Delivery rates should both be high on this sparse pattern.
+    assert!(cmp.disabled_region.delivered as f64 / cmp.disabled_region.pairs as f64 > 0.8);
+}
+
+#[test]
+fn cdg_detour_vc_reduces_cycles() {
+    let (router, enabled) = labeled_router(18, 20, 41);
+    let nodes = enabled.enabled_coords();
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut paths: Vec<Path> = Vec::new();
+    while paths.len() < 120 {
+        let pick: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+        if let Ok(p) = router.route(*pick[0], *pick[1]) {
+            if !p.is_empty() {
+                paths.push(p);
+            }
+        }
+    }
+    let single = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
+    let split = DependencyGraph::from_paths(paths.iter(), &assign_detour_vc);
+    assert!(
+        split.count_back_edges() <= single.count_back_edges(),
+        "detour VC should not add cycles: {} vs {}",
+        split.count_back_edges(),
+        single.count_back_edges()
+    );
+}
+
+#[test]
+fn wormhole_delivers_router_paths() {
+    let (router, enabled) = labeled_router(14, 8, 51);
+    let nodes = enabled.enabled_coords();
+    let mut rng = SmallRng::seed_from_u64(52);
+    let mut specs = Vec::new();
+    let mut i = 0u64;
+    while specs.len() < 60 {
+        let pick: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+        if let Ok(p) = router.route(*pick[0], *pick[1]) {
+            specs.push(PacketSpec::with_assignment(p, i, &assign_detour_vc));
+            i += 2;
+        }
+    }
+    let stats = simulate(
+        &specs,
+        &WormholeConfig {
+            vcs: 2,
+            ..WormholeConfig::default()
+        },
+    );
+    assert_eq!(stats.delivered, 60, "{stats:?}");
+    assert!(!stats.deadlocked);
+    assert!(stats.avg_latency >= 1.0 || stats.delivered == 0);
+}
+
+#[test]
+fn xy_paths_on_labeled_machine_feed_wormhole() {
+    // End-to-end sanity with plain XY on the enabled map: all-minimal paths
+    // on one VC never deadlock on a mesh.
+    let topology = Topology::mesh(12, 12);
+    let map = FaultMap::new(topology, [Coord::new(5, 5)]);
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let nodes = enabled.enabled_coords();
+    let mut rng = SmallRng::seed_from_u64(61);
+    let mut specs = Vec::new();
+    let mut tries = 0;
+    while specs.len() < 40 && tries < 500 {
+        tries += 1;
+        let pick: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+        if let Ok(p) = ocp_routing::xy::route(&enabled, *pick[0], *pick[1]) {
+            if !p.is_empty() {
+                specs.push(PacketSpec::on_single_vc(p, 0));
+            }
+        }
+    }
+    assert!(specs.len() >= 30);
+    let stats = simulate(&specs, &WormholeConfig::default());
+    assert_eq!(stats.delivered, specs.len());
+    assert!(!stats.deadlocked);
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the routing layer and the asynchronous
+//! executor, over randomized labeled machines.
+
+use ocp_core::labeling::enablement::EnablementProtocol;
+use ocp_core::labeling::safety::{SafetyProtocol, SafetyRule};
+use ocp_core::prelude::*;
+use ocp_distsim::run_async;
+use ocp_mesh::{Coord, Topology, TopologyKind};
+use ocp_routing::{bfs_path, minimal_route, EnabledMap, FaultTolerantRouter};
+use proptest::prelude::*;
+
+/// Strategy: a mesh side, interior fault cells (2 cells away from every
+/// border so all fault rings are cycles), and a pair of endpoint seeds.
+fn interior_pattern() -> impl Strategy<Value = (u32, Vec<Coord>, u64)> {
+    (10u32..=20).prop_flat_map(|side| {
+        let cells = proptest::collection::btree_set(
+            (2..side as i32 - 2, 2..side as i32 - 2).prop_map(|(x, y)| Coord::new(x, y)),
+            0..10,
+        );
+        (
+            Just(side),
+            cells.prop_map(|s| s.into_iter().collect()),
+            any::<u64>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fault-tolerant router delivers whenever BFS can, its paths are
+    /// valid and never shorter than BFS.
+    #[test]
+    fn router_complete_and_valid((side, faults, seed) in interior_pattern()) {
+        let topology = Topology::new(TopologyKind::Mesh, side, side);
+        let map = FaultMap::new(topology, faults);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let enabled = EnabledMap::from_outcome(&out);
+        let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        prop_assert!(router.rings().iter().all(|r| r.is_cycle()));
+
+        let nodes = enabled.enabled_coords();
+        // Deterministic endpoint sampling from the seed.
+        let pick = |k: u64| nodes[(seed.wrapping_mul(k + 1) % nodes.len() as u64) as usize];
+        for k in 0..12u64 {
+            let (src, dst) = (pick(2 * k), pick(2 * k + 1));
+            match (router.route(src, dst), bfs_path(&enabled, src, dst)) {
+                (Ok(p), Ok(q)) => {
+                    prop_assert!(p.validate(&enabled).is_ok());
+                    prop_assert!(p.len() >= q.len());
+                    prop_assert_eq!(p.src(), src);
+                    prop_assert_eq!(p.dst(), dst);
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "router failed {src}->{dst} on reachable pair: {e}"
+                    )));
+                }
+                (_, Err(_)) => {}
+            }
+        }
+    }
+
+    /// A minimal route, when it exists, has exactly the topology distance;
+    /// when minimal routing fails but BFS succeeds, BFS is strictly longer
+    /// than the distance.
+    #[test]
+    fn minimal_route_is_exactly_minimal((side, faults, seed) in interior_pattern()) {
+        let topology = Topology::new(TopologyKind::Mesh, side, side);
+        let map = FaultMap::new(topology, faults);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let enabled = EnabledMap::from_outcome(&out);
+        let nodes = enabled.enabled_coords();
+        let pick = |k: u64| nodes[(seed.wrapping_mul(k + 3) % nodes.len() as u64) as usize];
+        for k in 0..12u64 {
+            let (src, dst) = (pick(3 * k), pick(3 * k + 2));
+            let min_d = topology.distance(src, dst) as usize;
+            match minimal_route(&enabled, src, dst) {
+                Ok(p) => {
+                    prop_assert_eq!(p.len(), min_d);
+                    prop_assert!(p.validate(&enabled).is_ok());
+                }
+                Err(_) => {
+                    if let Ok(q) = bfs_path(&enabled, src, dst) {
+                        prop_assert!(
+                            q.len() > min_d,
+                            "minimal failed but BFS found a minimal path {} == {}",
+                            q.len(), min_d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asynchronous execution of both labeling phases reaches the
+    /// synchronous fixpoint for arbitrary fault patterns, delays and seeds.
+    #[test]
+    fn async_labeling_confluent((side, faults, seed) in interior_pattern(), delay in 1u64..12) {
+        let topology = Topology::new(TopologyKind::Mesh, side, side);
+        let map = FaultMap::new(topology, faults);
+        let sync = run_pipeline(&map, &PipelineConfig::default());
+
+        let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
+        let a1 = run_async(&p1, seed, delay, 20_000_000);
+        prop_assert!(a1.converged);
+        prop_assert_eq!(&a1.states, &sync.safety);
+
+        let p2 = EnablementProtocol::new(&map, &a1.states);
+        let a2 = run_async(&p2, seed ^ 0xFF, delay, 20_000_000);
+        prop_assert!(a2.converged);
+        prop_assert_eq!(&a2.states, &sync.activation);
+    }
+
+    /// Every fault ring cell is enabled, at Chebyshev distance exactly 1
+    /// from its region, and cycle neighbors are mesh links.
+    #[test]
+    fn ring_structure((side, faults, seed) in interior_pattern()) {
+        let _ = seed;
+        let topology = Topology::new(TopologyKind::Mesh, side, side);
+        let map = FaultMap::new(topology, faults);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let enabled = EnabledMap::from_outcome(&out);
+        let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        for (ring, group) in router.rings().iter().zip(router.groups()) {
+            for &cell in ring.cells() {
+                prop_assert!(enabled.is_enabled(cell));
+                let d = group.iter().map(|g| g.chebyshev(cell)).min().unwrap();
+                prop_assert_eq!(d, 1);
+            }
+            if let ocp_routing::RingShape::Cycle(v) = &ring.shape {
+                for i in 0..v.len() {
+                    prop_assert!(v[i].is_adjacent(v[(i + 1) % v.len()]));
+                }
+            }
+        }
+    }
+}
