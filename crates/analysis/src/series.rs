@@ -26,12 +26,19 @@ pub struct Series {
 impl Series {
     /// New empty series.
     pub fn new(label: impl Into<String>, x_label: impl Into<String>) -> Self {
-        Self { label: label.into(), x_label: x_label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            x_label: x_label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point summarizing `samples` at `x`.
     pub fn push(&mut self, x: f64, samples: &[f64]) {
-        self.points.push(SeriesPoint { x, summary: Summary::of(samples) });
+        self.points.push(SeriesPoint {
+            x,
+            summary: Summary::of(samples),
+        });
     }
 
     /// Mean values in sweep order.

@@ -29,7 +29,13 @@ impl Summary {
     pub fn of(samples: &[f64]) -> Self {
         let n = samples.len();
         if n == 0 {
-            return Self { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n >= 2 {
@@ -39,7 +45,13 @@ impl Summary {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Half-width of the ~95% confidence interval of the mean (normal

@@ -65,9 +65,7 @@ fn exact_partition_solver(c: &mut Criterion) {
     for n in [4usize, 6, 8, 10] {
         // Faults on a loose diagonal: feasibility interactions without
         // trivial answers.
-        let faults = Region::from_cells(
-            (0..n as i32).map(|i| Coord::new(2 * i, 2 * i + (i % 2))),
-        );
+        let faults = Region::from_cells((0..n as i32).map(|i| Coord::new(2 * i, 2 * i + (i % 2))));
         group.bench_with_input(BenchmarkId::from_parameter(n), &faults, |b, f| {
             b.iter(|| black_box(optimal_partition(f, 12)));
         });

@@ -29,9 +29,7 @@ fn executors_on_medium_mesh(c: &mut Criterion) {
     ];
     for (name, exec) in execs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &exec, |b, &exec| {
-            b.iter(|| {
-                black_box(compute_safety(&map, SafetyRule::BothDimensions, exec, 400))
-            });
+            b.iter(|| black_box(compute_safety(&map, SafetyRule::BothDimensions, exec, 400)));
         });
     }
     group.finish();
@@ -49,9 +47,7 @@ fn actor_on_small_mesh(c: &mut Criterion) {
         ("actor", Executor::Actor),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &exec, |b, &exec| {
-            b.iter(|| {
-                black_box(compute_safety(&map, SafetyRule::BothDimensions, exec, 400))
-            });
+            b.iter(|| black_box(compute_safety(&map, SafetyRule::BothDimensions, exec, 400)));
         });
     }
     group.finish();
@@ -88,5 +84,10 @@ fn async_vs_sync(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, executors_on_medium_mesh, actor_on_small_mesh, async_vs_sync);
+criterion_group!(
+    benches,
+    executors_on_medium_mesh,
+    actor_on_small_mesh,
+    async_vs_sync
+);
 criterion_main!(benches);

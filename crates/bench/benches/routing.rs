@@ -89,5 +89,10 @@ fn wormhole_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, route_computation, router_construction, wormhole_simulation);
+criterion_group!(
+    benches,
+    route_computation,
+    router_construction,
+    wormhole_simulation
+);
 criterion_main!(benches);

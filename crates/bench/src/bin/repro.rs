@@ -14,6 +14,7 @@
 //!   maintenance   warm vs cold relabeling rounds
 //!   partition     disabled regions vs exact optimal polygon cover (E11)
 //!   async         asynchronous execution vs lock-step fixpoint (E12)
+//!   chaos         lossy-link overhead vs drop rate (E13)
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
 //! ```
@@ -23,7 +24,7 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, fig5, maintenance, models, partition_gap, routing_eval, verification,
+    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, verification,
     Settings,
 };
 use std::path::PathBuf;
@@ -64,7 +65,7 @@ fn parse_args() -> Args {
                 out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -93,29 +94,59 @@ fn run_fig5(args: &Args, which: &str) {
     match which {
         "fig5a" => {
             let t = fig5::panel_table(&[&fig.rounds_fb_mesh, &fig.rounds_fb_torus]);
-            println!("{}", experiments::render_section("Fig 5(a): rounds to form faulty blocks", &t));
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(a): rounds to form faulty blocks", &t)
+            );
         }
         "fig5b" => {
             let t = fig5::panel_table(&[&fig.rounds_dr_mesh, &fig.rounds_dr_torus]);
-            println!("{}", experiments::render_section("Fig 5(b): rounds to form disabled regions", &t));
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(b): rounds to form disabled regions", &t)
+            );
         }
         "fig5c" => {
             let t = fig5::panel_table(&[&fig.ratio_mesh]);
-            println!("{}", experiments::render_section("Fig 5(c): % enabled among unsafe-nonfaulty (mesh)", &t));
+            println!(
+                "{}",
+                experiments::render_section(
+                    "Fig 5(c): % enabled among unsafe-nonfaulty (mesh)",
+                    &t
+                )
+            );
         }
         "fig5d" => {
             let t = fig5::panel_table(&[&fig.ratio_torus]);
-            println!("{}", experiments::render_section("Fig 5(d): % enabled among unsafe-nonfaulty (torus)", &t));
+            println!(
+                "{}",
+                experiments::render_section(
+                    "Fig 5(d): % enabled among unsafe-nonfaulty (torus)",
+                    &t
+                )
+            );
         }
         _ => {
             let ta = fig5::panel_table(&[&fig.rounds_fb_mesh, &fig.rounds_fb_torus]);
             let tb = fig5::panel_table(&[&fig.rounds_dr_mesh, &fig.rounds_dr_torus]);
             let tc = fig5::panel_table(&[&fig.ratio_mesh]);
             let td = fig5::panel_table(&[&fig.ratio_torus]);
-            println!("{}", experiments::render_section("Fig 5(a): rounds to form faulty blocks", &ta));
-            println!("{}", experiments::render_section("Fig 5(b): rounds to form disabled regions", &tb));
-            println!("{}", experiments::render_section("Fig 5(c): % enabled (mesh)", &tc));
-            println!("{}", experiments::render_section("Fig 5(d): % enabled (torus)", &td));
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(a): rounds to form faulty blocks", &ta)
+            );
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(b): rounds to form disabled regions", &tb)
+            );
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(c): % enabled (mesh)", &tc)
+            );
+            println!(
+                "{}",
+                experiments::render_section("Fig 5(d): % enabled (torus)", &td)
+            );
         }
     }
     save(&args.out_dir, "fig5", to_json(&fig));
@@ -149,7 +180,10 @@ fn run_verify(args: &Args) {
     let report = verification::run(&args.settings);
     println!(
         "{}",
-        experiments::render_section("E8: theorem verification campaign", &verification::table(&report))
+        experiments::render_section(
+            "E8: theorem verification campaign",
+            &verification::table(&report)
+        )
     );
     for s in &report.samples {
         println!("  VIOLATION: {s}");
@@ -194,6 +228,18 @@ fn run_async_exp(args: &Args) {
         )
     );
     save(&args.out_dir, "async", to_json(&rows));
+}
+
+fn run_chaos_exp(args: &Args) {
+    let rows = chaos::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E13: lossy-link overhead vs drop rate (chaos executor)",
+            &chaos::table(&rows)
+        )
+    );
+    save(&args.out_dir, "chaos", to_json(&rows));
 }
 
 fn run_example_sec3() {
@@ -245,6 +291,7 @@ fn main() {
         "maintenance" => run_maintenance(&args),
         "partition" => run_partition(&args),
         "async" => run_async_exp(&args),
+        "chaos" => run_chaos_exp(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
             run_fig5(&args, "fig5");
@@ -253,6 +300,7 @@ fn main() {
             run_maintenance(&args);
             run_partition(&args);
             run_async_exp(&args);
+            run_chaos_exp(&args);
             run_verify(&args);
             run_example_sec3();
         }

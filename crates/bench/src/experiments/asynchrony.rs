@@ -11,7 +11,7 @@ use ocp_analysis::Table;
 use ocp_core::labeling::enablement::EnablementProtocol;
 use ocp_core::labeling::safety::{SafetyProtocol, SafetyRule};
 use ocp_core::prelude::*;
-use ocp_distsim::{run_async, Executor};
+use ocp_distsim::{try_run_async, Executor};
 use ocp_mesh::{Topology, TopologyKind};
 use ocp_workloads::uniform_faults;
 use rand::rngs::SmallRng;
@@ -68,10 +68,12 @@ pub fn run(settings: &Settings) -> Vec<AsyncRow> {
 
             // Async phase 1.
             let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
-            let a1 = run_async(&p1, settings.seed ^ trial as u64, max_delay, 50_000_000);
+            let a1 = try_run_async(&p1, settings.seed ^ trial as u64, max_delay, 50_000_000)
+                .unwrap_or_else(|e| panic!("{}", e.with_label("E12 async phase 1")));
             // Async phase 2 on the async phase-1 fixpoint.
             let p2 = EnablementProtocol::new(&map, &a1.states);
-            let a2 = run_async(&p2, settings.seed ^ trial as u64 ^ 1, max_delay, 50_000_000);
+            let a2 = try_run_async(&p2, settings.seed ^ trial as u64 ^ 1, max_delay, 50_000_000)
+                .unwrap_or_else(|e| panic!("{}", e.with_label("E12 async phase 2")));
 
             let matches = a1.states == sync.safety && a2.states == sync.activation;
             if matches {

@@ -44,7 +44,9 @@ fn sweep(kind: TopologyKind, settings: &Settings) -> (Series, Series, Series) {
         kind,
         width: settings.side,
         height: settings.side,
-        fault_counts: (1..=10).map(|i| (i * settings.side as usize) / 10).collect(),
+        fault_counts: (1..=10)
+            .map(|i| (i * settings.side as usize) / 10)
+            .collect(),
         trials: settings.trials,
         base_seed: settings.seed,
     };

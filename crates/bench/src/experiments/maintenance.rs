@@ -39,10 +39,7 @@ pub fn run(settings: &Settings) -> MaintenanceResult {
             let map = FaultMap::new(topology, faults);
             let before = run_pipeline(&map, &cfg);
             // New fault at a random healthy node.
-            let healthy: Vec<_> = topology
-                .coords()
-                .filter(|&c| !map.is_faulty(c))
-                .collect();
+            let healthy: Vec<_> = topology.coords().filter(|&c| !map.is_faulty(c)).collect();
             let &new_fault = healthy.choose(&mut rng).expect("healthy nodes exist");
 
             let (updated, warm_out) = relabel_after_fault(&map, new_fault, &before, &cfg);

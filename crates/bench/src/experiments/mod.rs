@@ -1,6 +1,7 @@
 //! Experiment implementations (one module per exhibit).
 
 pub mod asynchrony;
+pub mod chaos;
 pub mod fig5;
 pub mod maintenance;
 pub mod models;

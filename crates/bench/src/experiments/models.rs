@@ -29,7 +29,9 @@ pub fn run(settings: &Settings) -> ModelAblation {
         kind: TopologyKind::Mesh,
         width: settings.side,
         height: settings.side,
-        fault_counts: (1..=10).map(|i| (i * settings.side as usize) / 10).collect(),
+        fault_counts: (1..=10)
+            .map(|i| (i * settings.side as usize) / 10)
+            .collect(),
         trials: settings.trials,
         base_seed: settings.seed ^ 0xE9,
     };
@@ -119,8 +121,16 @@ mod tests {
             let a = ab.def2a_cost.points[i].summary.mean;
             let b = ab.def2b_cost.points[i].summary.mean;
             let d = ab.dr_cost.points[i].summary.mean;
-            assert!(b <= a + 1e-9, "f={}: 2b {b} > 2a {a}", ab.def2a_cost.points[i].x);
-            assert!(d <= b + 1e-9, "f={}: dr {d} > 2b {b}", ab.def2a_cost.points[i].x);
+            assert!(
+                b <= a + 1e-9,
+                "f={}: 2b {b} > 2a {a}",
+                ab.def2a_cost.points[i].x
+            );
+            assert!(
+                d <= b + 1e-9,
+                "f={}: dr {d} > 2b {b}",
+                ab.def2a_cost.points[i].x
+            );
         }
         // The paper's headline: most of the cost is recovered.
         let total_b: f64 = ab.def2b_cost.means().iter().sum();

@@ -179,7 +179,12 @@ mod tests {
                 r.dr_enabled,
                 r.fb_enabled
             );
-            assert!(r.dr_delivery > 0.5, "f={}: delivery {}", r.faults, r.dr_delivery);
+            assert!(
+                r.dr_delivery > 0.5,
+                "f={}: delivery {}",
+                r.faults,
+                r.dr_delivery
+            );
             if r.dr_stretch > 0.0 {
                 assert!(r.dr_stretch >= 1.0);
             }

@@ -83,9 +83,18 @@ pub fn run(settings: &Settings) -> VerificationReport {
 /// Renders the report as a table.
 pub fn table(report: &VerificationReport) -> Table {
     let mut t = Table::new(["metric", "value"]);
-    t.push_row(["fault patterns checked".to_string(), report.patterns.to_string()]);
-    t.push_row(["faulty blocks checked".to_string(), report.blocks_checked.to_string()]);
-    t.push_row(["disabled regions checked".to_string(), report.regions_checked.to_string()]);
+    t.push_row([
+        "fault patterns checked".to_string(),
+        report.patterns.to_string(),
+    ]);
+    t.push_row([
+        "faulty blocks checked".to_string(),
+        report.blocks_checked.to_string(),
+    ]);
+    t.push_row([
+        "disabled regions checked".to_string(),
+        report.regions_checked.to_string(),
+    ]);
     t.push_row(["violations".to_string(), report.violations.to_string()]);
     t
 }

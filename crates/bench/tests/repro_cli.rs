@@ -8,11 +8,12 @@ fn repro() -> Command {
 
 #[test]
 fn example_sec3_prints_expected_structure() {
-    let out = repro()
-        .arg("example-sec3")
-        .output()
-        .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = repro().arg("example-sec3").output().expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Section 3 worked example"));
     assert!(stdout.contains("blocks: 1  regions: 3"));
@@ -28,7 +29,11 @@ fn quick_verify_campaign_passes_and_writes_json() {
         .arg("verify")
         .output()
         .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("violations"));
     let json = std::fs::read_to_string(dir.join("verify.json")).expect("json written");
@@ -49,7 +54,15 @@ fn help_lists_all_commands() {
     let out = repro().arg("--help").output().expect("repro runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["fig5a", "models", "routing", "verify", "partition", "async"] {
+    for cmd in [
+        "fig5a",
+        "models",
+        "routing",
+        "verify",
+        "partition",
+        "async",
+        "chaos",
+    ] {
         assert!(stdout.contains(cmd), "help missing {cmd}");
     }
 }

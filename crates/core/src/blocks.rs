@@ -132,7 +132,11 @@ mod tests {
                 let faults: Vec<Coord> = all.into_iter().take(25).collect();
                 let (_m, blocks) = blocks_of(t, &faults, rule);
                 for b in &blocks {
-                    assert!(b.is_rectangle(), "{rule:?} seed {seed}: non-rect block {:?}", b.cells);
+                    assert!(
+                        b.is_rectangle(),
+                        "{rule:?} seed {seed}: non-rect block {:?}",
+                        b.cells
+                    );
                 }
             }
         }

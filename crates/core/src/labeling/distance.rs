@@ -21,7 +21,9 @@
 
 use crate::labeling::enablement::ActivationState;
 use crate::status::FaultMap;
-use ocp_distsim::{run, Executor, LockstepProtocol, NeighborStates, RunTrace};
+use ocp_distsim::{
+    run, try_run, ConvergenceError, Executor, LockstepProtocol, NeighborStates, RunTrace,
+};
 use ocp_mesh::{Coord, Grid, Topology};
 
 /// Distance value for "no disabled region reachable" (fault-free machine,
@@ -130,6 +132,24 @@ pub fn compute_distance_field(
         grid: out.states,
         trace: out.trace,
     }
+}
+
+/// [`compute_distance_field`] with the convergence watchdog: a run that
+/// stalls at `max_rounds` is an explicit [`ConvergenceError`] with
+/// diagnostics instead of a grid that silently isn't the distance fixpoint.
+pub fn try_compute_distance_field(
+    map: &FaultMap,
+    activation: &Grid<ActivationState>,
+    executor: Executor,
+    max_rounds: u32,
+) -> Result<DistanceField, ConvergenceError> {
+    let protocol = DistanceProtocol::new(map, activation);
+    let out = try_run(&protocol, executor, max_rounds)
+        .map_err(|e| e.with_label("fault-distance field"))?;
+    Ok(DistanceField {
+        grid: out.states,
+        trace: out.trace,
+    })
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 
 use crate::labeling::safety::SafetyState;
 use crate::status::FaultMap;
-use ocp_distsim::{run, Executor, LockstepProtocol, NeighborStates, RunTrace};
+use ocp_distsim::{
+    run, try_run, ConvergenceError, Executor, LockstepProtocol, NeighborStates, RunTrace,
+};
 use ocp_mesh::{Coord, Grid, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +104,11 @@ pub struct EnablementOutcome {
 }
 
 /// Runs phase 2 to quiescence on top of a converged phase-1 grid.
+///
+/// Low-level: a run that stalls at `max_rounds` is only reported through
+/// [`RunTrace::converged`]. Callers that treat the grid as a fixpoint
+/// should prefer [`try_compute_enablement`], which makes the stall an
+/// error.
 pub fn compute_enablement(
     map: &FaultMap,
     safety: &Grid<SafetyState>,
@@ -114,6 +121,23 @@ pub fn compute_enablement(
         grid: out.states,
         trace: out.trace,
     }
+}
+
+/// [`compute_enablement`] with the convergence watchdog: a run that stalls
+/// at `max_rounds` is an explicit [`ConvergenceError`] with diagnostics.
+pub fn try_compute_enablement(
+    map: &FaultMap,
+    safety: &Grid<SafetyState>,
+    executor: Executor,
+    max_rounds: u32,
+) -> Result<EnablementOutcome, ConvergenceError> {
+    let protocol = EnablementProtocol::new(map, safety);
+    let out = try_run(&protocol, executor, max_rounds)
+        .map_err(|e| e.with_label("phase-2 enablement labeling"))?;
+    Ok(EnablementOutcome {
+        grid: out.states,
+        trace: out.trace,
+    })
 }
 
 #[cfg(test)]

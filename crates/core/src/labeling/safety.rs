@@ -1,7 +1,9 @@
 //! Phase 1: the safe/unsafe labeling protocol (Definitions 2a and 2b).
 
 use crate::status::FaultMap;
-use ocp_distsim::{run, Executor, LockstepProtocol, NeighborStates, RunTrace};
+use ocp_distsim::{
+    run, try_run, ConvergenceError, Executor, LockstepProtocol, NeighborStates, RunTrace,
+};
 use ocp_mesh::{Coord, Dimension, Grid, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +106,10 @@ pub struct SafetyOutcome {
 }
 
 /// Runs phase 1 to quiescence.
+///
+/// Low-level: a run that stalls at `max_rounds` is only reported through
+/// [`RunTrace::converged`]. Callers that treat the grid as a fixpoint
+/// should prefer [`try_compute_safety`], which makes the stall an error.
 pub fn compute_safety(
     map: &FaultMap,
     rule: SafetyRule,
@@ -116,6 +122,23 @@ pub fn compute_safety(
         grid: out.states,
         trace: out.trace,
     }
+}
+
+/// [`compute_safety`] with the convergence watchdog: a run that stalls at
+/// `max_rounds` is an explicit [`ConvergenceError`] with diagnostics.
+pub fn try_compute_safety(
+    map: &FaultMap,
+    rule: SafetyRule,
+    executor: Executor,
+    max_rounds: u32,
+) -> Result<SafetyOutcome, ConvergenceError> {
+    let protocol = SafetyProtocol::new(map, rule);
+    let out = try_run(&protocol, executor, max_rounds)
+        .map_err(|e| e.with_label("phase-1 safety labeling"))?;
+    Ok(SafetyOutcome {
+        grid: out.states,
+        trace: out.trace,
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +196,10 @@ mod tests {
         let au = unsafe_set(&a);
         let bu = unsafe_set(&b);
         assert!(au.contains(&c(3, 4)), "2a should absorb the middle node");
-        assert!(!bu.contains(&c(3, 4)), "2b should keep the middle node safe");
+        assert!(
+            !bu.contains(&c(3, 4)),
+            "2b should keep the middle node safe"
+        );
     }
 
     #[test]
@@ -188,7 +214,12 @@ mod tests {
             all.shuffle(&mut rng);
             let faults: Vec<Coord> = all.into_iter().take(20).collect();
             let map = FaultMap::new(t, faults.iter().copied());
-            let a = compute_safety(&map, SafetyRule::TwoUnsafeNeighbors, Executor::Sequential, 200);
+            let a = compute_safety(
+                &map,
+                SafetyRule::TwoUnsafeNeighbors,
+                Executor::Sequential,
+                200,
+            );
             let b = compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 200);
             let ca = a.grid.count_where(|&s| s == SafetyState::Unsafe);
             let cb = b.grid.count_where(|&s| s == SafetyState::Unsafe);

@@ -78,11 +78,13 @@ pub mod prelude {
     pub use crate::blocks::{extract_blocks, FaultyBlock};
     pub use crate::labeling::enablement::ActivationState;
     pub use crate::labeling::safety::{SafetyRule, SafetyState};
-    pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineOutcome};
+    pub use crate::maintenance::{run_fault_schedule, FaultScheduleOutcome};
+    pub use crate::pipeline::{run_pipeline, try_run_pipeline, PipelineConfig, PipelineOutcome};
     pub use crate::regions::{extract_regions, DisabledRegion};
     pub use crate::stats::ModelStats;
     pub use crate::status::FaultMap;
     pub use crate::verify::{verify, Violation};
+    pub use ocp_distsim::ConvergenceError;
 }
 
 pub use prelude::*;

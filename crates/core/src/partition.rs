@@ -82,9 +82,7 @@ pub fn optimal_partition(faults: &Region, limit: usize) -> Option<OptimalPartiti
     let mut closures: Vec<Option<Region>> = vec![None; subsets];
     let mut costs: Vec<usize> = vec![0; subsets];
     for mask in 1..subsets {
-        let group = Region::from_cells(
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| cells[i]),
-        );
+        let group = Region::from_cells((0..n).filter(|i| mask & (1 << i) != 0).map(|i| cells[i]));
         let closure = orthogonal_convex_closure(&group);
         costs[mask] = closure.len() - group.len();
         closures[mask] = Some(closure);
@@ -276,7 +274,10 @@ pub fn optimality_gap(
     }
     let dr_cost: usize = regions_of_block.iter().map(|r| r.nonfaulty_count()).sum();
     let optimal = optimal_partition(&block.faults, limit)?;
-    debug_assert!(optimal.cost <= dr_cost, "optimum can never exceed the DR cost");
+    debug_assert!(
+        optimal.cost <= dr_cost,
+        "optimum can never exceed the DR cost"
+    );
     Some(OptimalityGap {
         dr_cost,
         optimal_cost: optimal.cost,
@@ -382,8 +383,17 @@ mod tests {
     #[test]
     fn over_limit_returns_none() {
         let many = region(&[
-            (0, 0), (2, 0), (4, 0), (6, 0), (8, 0),
-            (0, 2), (2, 2), (4, 2), (6, 2), (8, 2), (10, 2),
+            (0, 0),
+            (2, 0),
+            (4, 0),
+            (6, 0),
+            (8, 0),
+            (0, 2),
+            (2, 2),
+            (4, 2),
+            (6, 2),
+            (8, 2),
+            (10, 2),
         ]);
         assert!(optimal_partition(&many, 10).is_none());
         assert!(optimal_partition(&many, 11).is_some());

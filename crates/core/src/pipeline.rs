@@ -2,12 +2,12 @@
 //! labeling → disabled regions.
 
 use crate::blocks::{extract_blocks, FaultyBlock};
-use crate::labeling::enablement::{compute_enablement, ActivationState};
-use crate::labeling::safety::{compute_safety, SafetyRule, SafetyState};
 use crate::labeling::default_round_cap;
+use crate::labeling::enablement::{try_compute_enablement, ActivationState};
+use crate::labeling::safety::{try_compute_safety, SafetyRule, SafetyState};
 use crate::regions::{extract_regions, DisabledRegion};
 use crate::status::FaultMap;
-use ocp_distsim::{Executor, RunTrace};
+use ocp_distsim::{ConvergenceError, Executor, RunTrace};
 use ocp_mesh::Grid;
 
 /// How to run the pipeline.
@@ -71,15 +71,31 @@ impl PipelineOutcome {
 }
 
 /// Runs phase 1 and phase 2 and extracts blocks and regions.
+///
+/// # Panics
+/// Panics (with the [`ConvergenceError`] diagnostics) if either phase
+/// stalls at the round cap — the grids would not be fixpoints, and blocks
+/// or regions extracted from them would be garbage. Use
+/// [`try_run_pipeline`] to handle the stall instead.
 pub fn run_pipeline(map: &FaultMap, config: &PipelineConfig) -> PipelineOutcome {
+    try_run_pipeline(map, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_pipeline`] with the convergence watchdog: a phase that stalls at
+/// the round cap is an explicit [`ConvergenceError`] naming the phase,
+/// instead of grids that silently aren't fixpoints.
+pub fn try_run_pipeline(
+    map: &FaultMap,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome, ConvergenceError> {
     let cap = config
         .max_rounds
         .unwrap_or_else(|| default_round_cap(map.topology()));
-    let safety = compute_safety(map, config.rule, config.executor, cap);
+    let safety = try_compute_safety(map, config.rule, config.executor, cap)?;
     let blocks = extract_blocks(map, &safety.grid);
-    let enablement = compute_enablement(map, &safety.grid, config.executor, cap);
+    let enablement = try_compute_enablement(map, &safety.grid, config.executor, cap)?;
     let regions = extract_regions(map, &enablement.grid);
-    PipelineOutcome {
+    Ok(PipelineOutcome {
         rule: config.rule,
         safety: safety.grid,
         activation: enablement.grid,
@@ -87,7 +103,7 @@ pub fn run_pipeline(map: &FaultMap, config: &PipelineConfig) -> PipelineOutcome 
         regions,
         safety_trace: safety.trace,
         enablement_trace: enablement.trace,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -136,6 +152,33 @@ mod tests {
                 assert!(out.blocks[bi].cells.is_superset(&region.cells));
             }
         }
+    }
+
+    #[test]
+    fn tiny_round_cap_is_an_explicit_error() {
+        // A long diagonal chain needs many phase-1 rounds; cap 1 stalls.
+        let faults: Vec<Coord> = (0..8).map(|i| c(i, i)).collect();
+        let map = FaultMap::new(Topology::mesh(10, 10), faults);
+        let cfg = PipelineConfig {
+            max_rounds: Some(1),
+            ..PipelineConfig::default()
+        };
+        let err = try_run_pipeline(&map, &cfg).expect_err("cap of 1 cannot converge");
+        let text = err.to_string();
+        assert!(text.contains("phase-1 safety labeling"), "{text}");
+        assert!(text.contains("1 rounds"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn run_pipeline_panics_loudly_instead_of_lying() {
+        let faults: Vec<Coord> = (0..8).map(|i| c(i, i)).collect();
+        let map = FaultMap::new(Topology::mesh(10, 10), faults);
+        let cfg = PipelineConfig {
+            max_rounds: Some(1),
+            ..PipelineConfig::default()
+        };
+        let _ = run_pipeline(&map, &cfg);
     }
 
     #[test]

@@ -69,9 +69,7 @@ impl FaultMap {
 
     /// Sorted fault coordinates.
     pub fn faults(&self) -> Vec<Coord> {
-        self.grid
-            .coords_where(|&h| h == Health::Faulty)
-            .collect()
+        self.grid.coords_where(|&h| h == Health::Faulty).collect()
     }
 
     /// A copy of this map with one more faulty node (for incremental

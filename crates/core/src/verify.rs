@@ -125,7 +125,9 @@ pub fn verify(map: &FaultMap, outcome: &PipelineOutcome) -> Result<VerifyReport,
         violations.push(Violation::NotConverged { phase: "safety" });
     }
     if !outcome.enablement_trace.converged {
-        violations.push(Violation::NotConverged { phase: "enablement" });
+        violations.push(Violation::NotConverged {
+            phase: "enablement",
+        });
     }
 
     // Faults must be unsafe and disabled.
@@ -201,7 +203,11 @@ pub fn verify(map: &FaultMap, outcome: &PipelineOutcome) -> Result<VerifyReport,
     // Regions pairwise distance ≥ 2.
     for i in 0..outcome.regions.len() {
         for j in i + 1..outcome.regions.len() {
-            let d = topo_distance(topology, &outcome.regions[i].cells, &outcome.regions[j].cells);
+            let d = topo_distance(
+                topology,
+                &outcome.regions[i].cells,
+                &outcome.regions[j].cells,
+            );
             if d < 2 {
                 violations.push(Violation::RegionsTooClose {
                     regions: (i, j),
@@ -219,12 +225,12 @@ pub fn verify(map: &FaultMap, outcome: &PipelineOutcome) -> Result<VerifyReport,
         .zip(outcome.regions_per_block())
         .enumerate()
     {
-        let Some(planar_block) = &block.planar else { continue };
+        let Some(planar_block) = &block.planar else {
+            continue;
+        };
         // Map block faults into the block's planar embedding.
-        let mapping = ocp_geometry::Region::unwrap_mapping(
-            topology,
-            &block.cells.iter().collect::<Vec<_>>(),
-        );
+        let mapping =
+            ocp_geometry::Region::unwrap_mapping(topology, &block.cells.iter().collect::<Vec<_>>());
         let Some(mapping) = mapping else { continue };
         let planar_faults =
             ocp_geometry::Region::from_cells(block.faults.iter().map(|f| mapping[&f]));

@@ -12,21 +12,74 @@
 //! simply pops the older message first. Non-participating (faulty) nodes run
 //! a degenerate loop that keeps re-sending their permanent initial status —
 //! the stand-in for neighbors' hardware fault detection.
+//!
+//! ## Chaos mode
+//!
+//! [`run_chaos`](self::run_chaos) applies a [`ChaosConfig`] to every send.
+//! A message that is dropped, discarded by a down window, or reordered past
+//! its round boundary is replaced on the wire by an explicit `Lost` marker
+//! — the lockstep rendering of the receiver's delivery timeout — so the
+//! receiver never blocks; it proceeds on its last successfully delivered
+//! knowledge and reports "not quiet yet" to the coordinator. Because
+//! lockstep senders re-announce every round, the next clean delivery is the
+//! retransmission that repairs the link. A round with no state changes and
+//! no lost deliveries means every receiver just stepped on fully current
+//! knowledge, which is exactly the reliable executor's quiescence test —
+//! so chaos runs of monotone confluent protocols converge to the same
+//! fixpoint. Duplicates are delivered twice in the same round; the stale
+//! copy is discarded by the receiver's round tag. Mid-run crash plans are
+//! a DES-only feature (see [`crate::run_chaos`]).
 
+use crate::chaos::{ChaosConfig, ChaosStats};
 use crate::engine::{gather, messages_per_round, RunOutcome};
 use crate::{LockstepProtocol, RunTrace};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ocp_mesh::{Coord, Grid, Neighborhood, DIRECTIONS};
 
+/// One lockstep wire message, tagged with the sender's round so receivers
+/// can discard stale duplicates deterministically.
+struct Msg<S> {
+    round: u32,
+    body: Body<S>,
+}
+
+enum Body<S> {
+    /// The sender's status arrived intact.
+    Delivered(S),
+    /// The chaos layer destroyed the status in transit; the receiver's
+    /// timeout fires instead (it keeps its stale knowledge this round).
+    Lost,
+}
+
 pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutcome<P::State> {
+    run_inner(protocol, max_rounds, None)
+}
+
+/// Actor execution with per-link chaos. Reordering is rendered as a
+/// one-round late arrival (the receiver proceeds on stale knowledge, like a
+/// loss, and the next round's re-announcement repairs it).
+pub(crate) fn run_chaos<P: LockstepProtocol>(
+    protocol: &P,
+    max_rounds: u32,
+    chaos: &ChaosConfig,
+) -> RunOutcome<P::State> {
+    run_inner(protocol, max_rounds, Some(chaos))
+}
+
+fn run_inner<P: LockstepProtocol>(
+    protocol: &P,
+    max_rounds: u32,
+    chaos: Option<&ChaosConfig>,
+) -> RunOutcome<P::State> {
     let topology = protocol.topology();
     let n = topology.len();
 
     // Per-directed-link channels. If node u's neighbor in direction d is v,
     // then u's outbox for d feeds v's inbox for d.opposite().
-    let mut outboxes: Vec<[Option<Sender<P::State>>; 4]> =
+    type Links<T> = Vec<[Option<T>; 4]>;
+    let mut outboxes: Links<Sender<Msg<P::State>>> =
         (0..n).map(|_| [None, None, None, None]).collect();
-    let mut inboxes: Vec<[Option<Receiver<P::State>>; 4]> =
+    let mut inboxes: Links<Receiver<Msg<P::State>>> =
         (0..n).map(|_| [None, None, None, None]).collect();
     for c in topology.coords() {
         let ci = topology.index_of(c);
@@ -41,7 +94,7 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
 
     let (report_tx, report_rx) = unbounded::<bool>();
     let mut control_txs = Vec::with_capacity(n);
-    let (result_tx, result_rx) = unbounded::<(Coord, P::State)>();
+    let (result_tx, result_rx) = unbounded::<(Coord, P::State, ChaosStats)>();
 
     let mut changes_per_round: Vec<u32> = Vec::new();
     let mut converged = false;
@@ -55,20 +108,25 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
             let (ctl_tx, ctl_rx) = unbounded::<bool>();
             control_txs.push(ctl_tx);
             let results = result_tx.clone();
-            scope.spawn(move || node_worker(protocol, c, outbox, inbox, report, ctl_rx, results));
+            scope.spawn(move || {
+                node_worker(
+                    protocol, c, ci as u64, chaos, outbox, inbox, report, ctl_rx, results,
+                )
+            });
         }
 
-        // Coordinator: count changed-flags, decide, broadcast.
+        // Coordinator: count activity flags (a state change OR a lost
+        // delivery keeps the machine running), decide, broadcast.
         loop {
-            let mut changed = 0u32;
+            let mut active = 0u32;
             for _ in 0..n {
                 if report_rx.recv().expect("node died before reporting") {
-                    changed += 1;
+                    active += 1;
                 }
             }
-            changes_per_round.push(changed);
-            let go = changed > 0 && (changes_per_round.len() as u32) < max_rounds;
-            if changed == 0 {
+            changes_per_round.push(active);
+            let go = active > 0 && (changes_per_round.len() as u32) < max_rounds;
+            if active == 0 {
                 converged = true;
             }
             for tx in &control_txs {
@@ -82,49 +140,158 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
     drop(result_tx);
 
     let mut buffer: Vec<Option<P::State>> = vec![None; n];
-    while let Ok((c, s)) = result_rx.recv() {
+    let mut stats = ChaosStats::default();
+    while let Ok((c, s, node_stats)) = result_rx.recv() {
         buffer[topology.index_of(c)] = Some(s);
+        stats.merge(&node_stats);
     }
     let states = Grid::from_fn(topology, |c| {
         buffer[topology.index_of(c)].expect("node did not report final state")
     });
 
     let messages_sent = messages_per_round(protocol) * changes_per_round.len() as u64;
-    RunOutcome {
-        states,
-        trace: RunTrace {
-            changes_per_round,
-            messages_sent,
-            converged,
-        },
+    let mut trace = RunTrace::new(changes_per_round, messages_sent, converged);
+    trace.chaos = stats;
+    RunOutcome { states, trace }
+}
+
+/// Per-node deterministic anomaly sampler (xorshift over a per-node seed,
+/// mirroring the DES executor's generator).
+struct NodeRng(u64);
+
+impl NodeRng {
+    fn new(seed: u64) -> Self {
+        NodeRng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node_worker<P: LockstepProtocol>(
     protocol: &P,
     c: Coord,
-    outbox: [Option<Sender<P::State>>; 4],
-    inbox: [Option<Receiver<P::State>>; 4],
+    node_index: u64,
+    chaos: Option<&ChaosConfig>,
+    outbox: [Option<Sender<Msg<P::State>>>; 4],
+    inbox: [Option<Receiver<Msg<P::State>>>; 4],
     report: Sender<bool>,
     control: Receiver<bool>,
-    results: Sender<(Coord, P::State)>,
+    results: Sender<(Coord, P::State, ChaosStats)>,
 ) {
     let mut state = protocol.initial(c);
     let participates = protocol.participates(c);
     let hood = Neighborhood::of(protocol.topology(), c);
-    loop {
-        // Send my status over every live link.
-        for tx in outbox.iter().flatten() {
-            tx.send(state).expect("neighbor died");
+    let mut rng = NodeRng::new(chaos.map_or(1, |cfg| {
+        cfg.seed ^ node_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }));
+    let mut stats = ChaosStats::default();
+    // Last successfully delivered knowledge per inbox direction,
+    // initialized to the neighbors' initial states (round-0 knowledge:
+    // local fault detection, as in the DES executor).
+    let mut known: [Option<P::State>; 4] = [None; 4];
+    for (dir, nb) in hood.iter() {
+        if let Some(nc) = nb.coord() {
+            known[dir.index()] = Some(protocol.initial(nc));
         }
-        // Collect neighbor statuses (ghosts resolved by `gather` through the
-        // received-state table).
-        let mut received = [None; 4];
+    }
+    // Whether the last send on each out-link was destroyed (so the next
+    // clean delivery counts as the retransmission that repairs it).
+    let mut lost_last = [false; 4];
+    // What the receiver on each out-link last successfully received from
+    // us — the sender-side view that lets us tell a *harmful* loss (the
+    // receiver is now stale) from a harmless one (the destroyed message
+    // carried nothing new). Starts at our initial state, which is exactly
+    // the receivers' round-0 knowledge.
+    let mut receiver_known = [state; 4];
+
+    let mut round: u32 = 0;
+    loop {
+        // Send my status over every live link, through the chaos layer.
+        // Only losses that leave a receiver stale block quiescence; without
+        // this distinction a large lossy machine would almost never see a
+        // globally clean round and could not terminate.
+        let mut harmful_loss = false;
+        for dir in DIRECTIONS {
+            let di = dir.index();
+            let Some(tx) = &outbox[di] else { continue };
+            let body = match chaos {
+                None => Body::Delivered(state),
+                Some(cfg) => {
+                    let model = cfg.link(c, dir);
+                    if model.is_down(round as u64) {
+                        stats.link_down_discards += 1;
+                        Body::Lost
+                    } else if model.drop > 0.0 && rng.chance(model.drop) {
+                        stats.dropped += 1;
+                        Body::Lost
+                    } else if model.reorder > 0.0 && rng.chance(model.reorder) {
+                        // Arrives after the round boundary: effectively a
+                        // one-round-late delivery the receiver cannot use.
+                        stats.reordered += 1;
+                        Body::Lost
+                    } else {
+                        if lost_last[di] {
+                            stats.retransmissions += 1;
+                        }
+                        if model.duplicate > 0.0 && rng.chance(model.duplicate) {
+                            stats.duplicated += 1;
+                            tx.send(Msg {
+                                round,
+                                body: Body::Delivered(state),
+                            })
+                            .expect("neighbor died");
+                        }
+                        Body::Delivered(state)
+                    }
+                }
+            };
+            if matches!(body, Body::Lost) {
+                lost_last[di] = true;
+                if receiver_known[di] != state {
+                    harmful_loss = true;
+                }
+            } else {
+                lost_last[di] = false;
+                receiver_known[di] = state;
+            }
+            tx.send(Msg { round, body }).expect("neighbor died");
+        }
+
+        // Collect neighbor statuses; a Lost marker leaves the stale
+        // knowledge in place (the sender flags the harm, if any).
         for (i, rx) in inbox.iter().enumerate() {
-            if let Some(rx) = rx {
-                received[i] = Some(rx.recv().expect("neighbor died"));
+            let Some(rx) = rx else { continue };
+            // Discard leftovers of earlier rounds (stale duplicates).
+            let msg = loop {
+                let m = rx.recv().expect("neighbor died");
+                if m.round == round {
+                    break m;
+                }
+                debug_assert!(m.round < round, "message from the future");
+            };
+            if let Body::Delivered(s) = msg.body {
+                known[i] = Some(s);
             }
         }
+
         let mut changed = false;
         if participates {
             let ns = gather(protocol, c, |nc| {
@@ -134,16 +301,19 @@ fn node_worker<P: LockstepProtocol>(
                     .find(|(_, nb)| nb.coord() == Some(nc))
                     .map(|(d, _)| d)
                     .expect("lookup of non-neighbor");
-                received[dir.index()].expect("no message from live neighbor")
+                known[dir.index()].expect("no knowledge of live neighbor")
             });
             let next = protocol.step(c, state, &ns);
             changed = next != state;
             state = next;
         }
-        report.send(changed).expect("coordinator died");
+        report
+            .send(changed || harmful_loss)
+            .expect("coordinator died");
         if !control.recv().expect("coordinator died") {
             break;
         }
+        round += 1;
     }
-    results.send((c, state)).expect("collector died");
+    results.send((c, state, stats)).expect("collector died");
 }

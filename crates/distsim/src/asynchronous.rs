@@ -1,4 +1,5 @@
-//! Asynchronous (event-driven) execution with arbitrary message delays.
+//! Asynchronous (event-driven) execution with arbitrary message delays and
+//! optional chaos injection.
 //!
 //! The paper assumes synchronous lock-step rounds "to simplify our
 //! discussion". Real multicomputers are not synchronized, so it matters
@@ -11,12 +12,27 @@
 //! reports the final states — which the cross-executor tests pin to the
 //! synchronous outcome.
 //!
+//! [`run_chaos`] strengthens the claim further: links may drop, duplicate
+//! or reorder messages and go down for whole windows of virtual time
+//! ([`ChaosConfig`]), and nodes may crash mid-run ([`CrashPlan`]). Loss is
+//! repaired by a heartbeat discipline — a sender whose message was lost
+//! re-broadcasts its state after `heartbeat_period` time units, and keeps
+//! doing so while the receiver's knowledge is stale. Staleness from
+//! duplication and reordering is defeated by per-directed-link sequence
+//! numbers: a delivery carrying a sequence number at or below the highest
+//! one already seen on that link is discarded. Because heartbeats re-send
+//! only while knowledge is stale, the event queue still drains once every
+//! link is current and no node wants to move — the run terminates at the
+//! same fixpoint as a reliable run for any confluent monotone protocol.
+//!
 //! The executor is a deterministic discrete-event simulation (no threads):
-//! determinism keeps failures reproducible across runs and platforms.
+//! determinism keeps failures reproducible across runs and platforms, and
+//! a chaos run is exactly reproducible from its seeds.
 
+use crate::chaos::{ChaosConfig, ChaosStats, CrashPlan};
 use crate::engine::gather;
 use crate::{LockstepProtocol, NeighborStates};
-use ocp_mesh::{Coord, Grid, Neighborhood, DIRECTIONS};
+use ocp_mesh::{Coord, Grid, Neighborhood, Topology, DIRECTIONS};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -27,11 +43,13 @@ pub struct AsyncOutcome<S> {
     pub states: Grid<S>,
     /// Point-to-point messages delivered.
     pub messages_delivered: u64,
-    /// Virtual time of the last delivery.
+    /// Virtual time of the last event.
     pub virtual_time: u64,
     /// True if the event queue drained (quiescence); false if the event cap
     /// was hit.
     pub converged: bool,
+    /// Injected-anomaly counters (all zeros for a reliable run).
+    pub chaos: ChaosStats,
 }
 
 /// Simple deterministic xorshift generator for delay jitter (keeps this
@@ -56,6 +74,196 @@ impl XorShift64 {
     fn delay(&mut self, max: u64) -> u64 {
         1 + self.next() % max.max(1)
     }
+
+    /// True with probability `p`. Consumes randomness only when the outcome
+    /// is actually uncertain, so a reliable chaos config leaves every
+    /// stream untouched and reproduces the legacy delay schedule exactly.
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// One scheduled simulation event. Payloads live in a side table so the
+/// heap only orders `(time, sequence)` pairs — `State` need not be `Ord`.
+#[derive(Clone, Copy)]
+enum Event<S> {
+    /// A message arriving at `to` from the neighbor in `arrival_dir`.
+    Deliver {
+        to: Coord,
+        arrival_dir: usize,
+        state: S,
+        seq: u64,
+    },
+    /// Re-send timer for the directed link out of `from` towards
+    /// `DIRECTIONS[dir]`; a no-op if the receiver's knowledge is current.
+    Heartbeat { from: Coord, dir: usize },
+    /// Node `node` crashes and assumes the crash plan's state.
+    Crash { node: Coord },
+}
+
+struct ChaosSim<'a, P: LockstepProtocol> {
+    protocol: &'a P,
+    topology: Topology,
+    chaos: &'a ChaosConfig,
+    max_delay: u64,
+    delay_rng: XorShift64,
+    chaos_rng: XorShift64,
+    states: Grid<P::State>,
+    known: Grid<[P::State; 4]>,
+    crashed: Grid<bool>,
+    /// FIFO floor per (receiver, arrival dir): a later in-order message on
+    /// the same directed link never arrives before an earlier one.
+    last_arrival: Grid<[u64; 4]>,
+    /// Highest sequence number sent per (sender, outgoing dir).
+    sent_seq: Grid<[u64; 4]>,
+    /// Highest sequence number delivered per (receiver, arrival dir).
+    seen_seq: Grid<[u64; 4]>,
+    payloads: Vec<Event<P::State>>,
+    queue: BinaryHeap<(Reverse<u64>, usize)>,
+    stats: ChaosStats,
+}
+
+impl<'a, P: LockstepProtocol> ChaosSim<'a, P> {
+    fn schedule(&mut self, time: u64, event: Event<P::State>) {
+        self.payloads.push(event);
+        self.queue.push((Reverse(time), self.payloads.len() - 1));
+    }
+
+    /// Attempts one send of `from`'s current state on its `dir`-th link,
+    /// applying the link's chaos model. Lost sends (drop or link-down)
+    /// schedule a heartbeat so the knowledge is eventually repaired.
+    fn send_on_link(&mut self, from: Coord, dir: usize, now: u64) {
+        let Some(to) = self.topology.neighbor(from, DIRECTIONS[dir]).coord() else {
+            return;
+        };
+        let model = self.chaos.link(from, DIRECTIONS[dir]);
+        if model.is_down(now) {
+            self.stats.link_down_discards += 1;
+            let at = now + self.chaos.heartbeat_period;
+            self.schedule(at, Event::Heartbeat { from, dir });
+            return;
+        }
+        if model.drop > 0.0 && self.chaos_rng.chance(model.drop) {
+            self.stats.dropped += 1;
+            let at = now + self.chaos.heartbeat_period;
+            self.schedule(at, Event::Heartbeat { from, dir });
+            return;
+        }
+        let duplicate = model.duplicate > 0.0 && self.chaos_rng.chance(model.duplicate);
+        let reorder = model.reorder > 0.0 && self.chaos_rng.chance(model.reorder);
+
+        let state = *self.states.get(from);
+        let arrival_dir = DIRECTIONS[dir].opposite().index();
+        let seq = self.sent_seq.get(from)[dir] + 1;
+        self.sent_seq.get_mut(from)[dir] = seq;
+
+        let mut arrival = now + self.delay_rng.delay(self.max_delay);
+        if reorder {
+            // Skip the FIFO floor: this message may overtake older traffic.
+            self.stats.reordered += 1;
+        } else {
+            arrival = arrival.max(self.last_arrival.get(to)[arrival_dir] + 1);
+            self.last_arrival.get_mut(to)[arrival_dir] = arrival;
+        }
+        self.schedule(
+            arrival,
+            Event::Deliver {
+                to,
+                arrival_dir,
+                state,
+                seq,
+            },
+        );
+        if duplicate {
+            self.stats.duplicated += 1;
+            let copy_at = now + self.delay_rng.delay(self.max_delay);
+            self.schedule(
+                copy_at,
+                Event::Deliver {
+                    to,
+                    arrival_dir,
+                    state,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Broadcasts `from`'s current state on all four links.
+    fn broadcast(&mut self, from: Coord, now: u64) {
+        for dir in 0..4 {
+            self.send_on_link(from, dir, now);
+        }
+    }
+
+    /// Handles a delivery; returns true if it was fresh (counted).
+    fn deliver(&mut self, to: Coord, arrival_dir: usize, state: P::State, seq: u64, now: u64) {
+        // Duplicated or overtaken messages carry sequence numbers at or
+        // below the newest already seen on the link: stale, discard.
+        if seq <= self.seen_seq.get(to)[arrival_dir] {
+            return;
+        }
+        self.seen_seq.get_mut(to)[arrival_dir] = seq;
+        self.known.get_mut(to)[arrival_dir] = state;
+        if !self.protocol.participates(to) || *self.crashed.get(to) {
+            return;
+        }
+        let snapshot = *self.known.get(to);
+        let protocol = self.protocol;
+        let topology = self.topology;
+        let neighbors: NeighborStates<P::State> = gather(protocol, to, |nc| {
+            // Find the direction of nc and read the last-known state.
+            let hood = Neighborhood::of(topology, to);
+            let dir = hood
+                .iter()
+                .find(|(_, n)| n.coord() == Some(nc))
+                .map(|(d, _)| d)
+                .expect("gather only asks about real neighbors");
+            snapshot[dir.index()]
+        });
+        let current = *self.states.get(to);
+        let next = protocol.step(to, current, &neighbors);
+        if next != current {
+            self.states.set(to, next);
+            self.broadcast(to, now);
+        }
+    }
+
+    /// Handles a heartbeat timer: re-sends only if the receiver's last
+    /// delivered knowledge differs from the sender's current state. Once
+    /// knowledge is current the timer dies, so a quiesced machine stops
+    /// generating events.
+    fn heartbeat(&mut self, from: Coord, dir: usize, now: u64) {
+        let Some(to) = self.topology.neighbor(from, DIRECTIONS[dir]).coord() else {
+            return;
+        };
+        let arrival_dir = DIRECTIONS[dir].opposite().index();
+        if self.known.get(to)[arrival_dir] == *self.states.get(from) {
+            return;
+        }
+        self.stats.retransmissions += 1;
+        self.send_on_link(from, dir, now);
+    }
+
+    /// Handles a mid-run crash: the node permanently assumes the crash
+    /// state, stops stepping, and announces the new state (the
+    /// announcement models the neighbors' hardware fault detection and is
+    /// itself subject to chaos — heartbeats repair it if lost).
+    fn crash(&mut self, node: Coord, state: P::State, now: u64) {
+        if *self.crashed.get(node) {
+            return;
+        }
+        self.stats.crashes += 1;
+        self.crashed.set(node, true);
+        self.states.set(node, state);
+        self.broadcast(node, now);
+    }
 }
 
 /// Runs `protocol` asynchronously: every state change is broadcast to the
@@ -72,115 +280,171 @@ impl XorShift64 {
 /// assumed at the protocol's initial values (the synchronous round-0
 /// knowledge — for the labeling protocols this encodes local fault
 /// detection). `max_events` caps runaway protocols.
+///
+/// Equivalent to [`run_chaos`] with [`ChaosConfig::reliable`] and no crash
+/// plan; see [`crate::try_run_async`] for the error-reporting variant.
 pub fn run_async<P: LockstepProtocol>(
     protocol: &P,
     seed: u64,
     max_delay: u64,
     max_events: u64,
 ) -> AsyncOutcome<P::State> {
+    run_chaos(
+        protocol,
+        seed,
+        max_delay,
+        max_events,
+        &ChaosConfig::reliable(),
+        None,
+    )
+}
+
+/// Runs `protocol` asynchronously under a chaos layer: link faults drawn
+/// from `chaos` and, optionally, mid-run node crashes from `crashes`.
+///
+/// With a reliable config and no crash plan this is byte-identical to
+/// [`run_async`] (the anomaly stream is untouched when probabilities are
+/// zero). With loss, the heartbeat discipline guarantees that monotone
+/// confluent protocols still reach the reliable fixpoint — see the module
+/// docs for the argument. A link whose model makes delivery impossible
+/// forever (e.g. `drop: 1.0` or an unbounded down window) will spin on
+/// heartbeats until `max_events` and report `converged: false`.
+pub fn run_chaos<P: LockstepProtocol>(
+    protocol: &P,
+    seed: u64,
+    max_delay: u64,
+    max_events: u64,
+    chaos: &ChaosConfig,
+    crashes: Option<&CrashPlan<P::State>>,
+) -> AsyncOutcome<P::State> {
+    assert!(chaos.heartbeat_period >= 1, "heartbeat_period must be >= 1");
     let topology = protocol.topology();
-    let mut rng = XorShift64::new(seed);
-
-    // Current state per node.
-    let mut states = Grid::from_fn(topology, |c| protocol.initial(c));
-    // Last state received from each neighbor direction (initialized to the
-    // neighbors' initial states; ghosts handled by `gather` at use time).
-    let mut known: Grid<[P::State; 4]> = Grid::from_fn(topology, |c| {
-        let hood = Neighborhood::of(topology, c);
-        let mut arr = [protocol.ghost(); 4];
-        for (dir, n) in hood.iter() {
-            if let Some(nc) = n.coord() {
-                arr[dir.index()] = protocol.initial(nc);
+    let mut sim = ChaosSim {
+        protocol,
+        topology,
+        chaos,
+        max_delay,
+        delay_rng: XorShift64::new(seed),
+        chaos_rng: XorShift64::new(chaos.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED),
+        states: Grid::from_fn(topology, |c| protocol.initial(c)),
+        // Last state received from each neighbor direction (initialized to
+        // the neighbors' initial states; ghosts handled by `gather` at use
+        // time).
+        known: Grid::from_fn(topology, |c| {
+            let hood = Neighborhood::of(topology, c);
+            let mut arr = [protocol.ghost(); 4];
+            for (dir, n) in hood.iter() {
+                if let Some(nc) = n.coord() {
+                    arr[dir.index()] = protocol.initial(nc);
+                }
             }
-        }
-        arr
-    });
-
-    // Event payloads live in a side table so the heap only orders
-    // `(time, sequence)` pairs — `State` need not be `Ord`.
-    // Payload = (receiver, direction the message arrives from, state).
-    let mut payloads: Vec<(Coord, usize, P::State)> = Vec::new();
-    let mut queue: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
-    // Links are FIFO, as on real interconnects: a later message on the same
-    // directed link never arrives before an earlier one. Without this, a
-    // stale status could overwrite fresher knowledge and wedge the
-    // receiver short of the fixpoint. Keyed by (receiver, arrival dir).
-    let mut last_arrival: Grid<[u64; 4]> = Grid::filled(topology, [0; 4]);
-
-    let send_updates = |from: Coord,
-                            state: P::State,
-                            queue: &mut BinaryHeap<(Reverse<u64>, usize)>,
-                            payloads: &mut Vec<(Coord, usize, P::State)>,
-                            last_arrival: &mut Grid<[u64; 4]>,
-                            rng: &mut XorShift64,
-                            now: u64| {
-        for dir in DIRECTIONS {
-            if let Some(to) = topology.neighbor(from, dir).coord() {
-                // The receiver sees the message arriving from the
-                // opposite direction.
-                let arrival_dir = dir.opposite().index();
-                let floor = last_arrival.get(to)[arrival_dir] + 1;
-                let arrival = (now + rng.delay(max_delay)).max(floor);
-                last_arrival.get_mut(to)[arrival_dir] = arrival;
-                payloads.push((to, arrival_dir, state));
-                queue.push((Reverse(arrival), payloads.len() - 1));
-            }
-        }
+            arr
+        }),
+        crashed: Grid::filled(topology, false),
+        last_arrival: Grid::filled(topology, [0; 4]),
+        sent_seq: Grid::filled(topology, [0; 4]),
+        seen_seq: Grid::filled(topology, [0; 4]),
+        payloads: Vec::new(),
+        queue: BinaryHeap::new(),
+        stats: ChaosStats::default(),
     };
+
+    // Scheduled crashes enter the queue up front.
+    if let Some(plan) = crashes {
+        for &(t, node) in &plan.events {
+            assert!(
+                topology.contains(node),
+                "crash plan names node off the mesh: {node:?}"
+            );
+            sim.schedule(t, Event::Crash { node });
+        }
+    }
 
     // Every node announces its initial state once (fault detection
     // included: non-participating nodes still announce).
     for c in topology.coords() {
-        send_updates(c, *states.get(c), &mut queue, &mut payloads, &mut last_arrival, &mut rng, 0);
+        sim.broadcast(c, 0);
     }
 
     let mut messages_delivered: u64 = 0;
+    let mut events_processed: u64 = 0;
     let mut virtual_time: u64 = 0;
     let mut converged = true;
-    while let Some((Reverse(t), idx)) = queue.pop() {
-        let (to, arrival_dir, payload) = payloads[idx];
-        if messages_delivered >= max_events {
+    while let Some((Reverse(t), idx)) = sim.queue.pop() {
+        if events_processed >= max_events {
             converged = false;
             break;
         }
-        messages_delivered += 1;
+        events_processed += 1;
         virtual_time = t;
-        known.get_mut(to)[arrival_dir] = payload;
-        if !protocol.participates(to) {
-            continue;
-        }
-        let snapshot = *known.get(to);
-        let neighbors: NeighborStates<P::State> = gather(protocol, to, |nc| {
-            // Find the direction of nc and read the last-known state.
-            let hood = Neighborhood::of(topology, to);
-            let dir = hood
-                .iter()
-                .find(|(_, n)| n.coord() == Some(nc))
-                .map(|(d, _)| d)
-                .expect("gather only asks about real neighbors");
-            snapshot[dir.index()]
-        });
-        let current = *states.get(to);
-        let next = protocol.step(to, current, &neighbors);
-        if next != current {
-            states.set(to, next);
-            send_updates(to, next, &mut queue, &mut payloads, &mut last_arrival, &mut rng, t);
+        match sim.payloads[idx] {
+            Event::Deliver {
+                to,
+                arrival_dir,
+                state,
+                seq,
+            } => {
+                messages_delivered += 1;
+                sim.deliver(to, arrival_dir, state, seq, t);
+            }
+            Event::Heartbeat { from, dir } => sim.heartbeat(from, dir, t),
+            Event::Crash { node } => {
+                let state = crashes.expect("crash event without a plan").state;
+                sim.crash(node, state, t);
+            }
         }
     }
 
     AsyncOutcome {
-        states,
+        states: sim.states,
         messages_delivered,
         virtual_time,
         converged,
+        chaos: sim.stats,
+    }
+}
+
+/// [`run_async`] with the convergence watchdog: hitting the event cap is an
+/// explicit [`ConvergenceError`](crate::ConvergenceError) instead of a
+/// silently ignorable flag.
+pub fn try_run_async<P: LockstepProtocol>(
+    protocol: &P,
+    seed: u64,
+    max_delay: u64,
+    max_events: u64,
+) -> Result<AsyncOutcome<P::State>, crate::ConvergenceError> {
+    let out = run_async(protocol, seed, max_delay, max_events);
+    if out.converged {
+        Ok(out)
+    } else {
+        Err(crate::ConvergenceError::from_event_cap(&out, max_events))
+    }
+}
+
+/// [`run_chaos`] with the convergence watchdog: hitting the event cap is an
+/// explicit error carrying the chaos counters at the cap.
+pub fn try_run_chaos<P: LockstepProtocol>(
+    protocol: &P,
+    seed: u64,
+    max_delay: u64,
+    max_events: u64,
+    chaos: &ChaosConfig,
+    crashes: Option<&CrashPlan<P::State>>,
+) -> Result<AsyncOutcome<P::State>, crate::ConvergenceError> {
+    let out = run_chaos(protocol, seed, max_delay, max_events, chaos, crashes);
+    if out.converged {
+        Ok(out)
+    } else {
+        Err(crate::ConvergenceError::from_event_cap(&out, max_events))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::LinkModel;
     use crate::{run, Executor};
-    use ocp_mesh::Topology;
+    use ocp_mesh::{Direction, Topology};
 
     /// Monotone max-flood (confluent).
     struct MaxFlood {
@@ -214,18 +478,22 @@ mod tests {
     #[test]
     fn async_reaches_synchronous_fixpoint() {
         for t in [Topology::mesh(9, 7), Topology::torus(8, 8)] {
-            let p = MaxFlood { topology: t, seed_cell: Coord::new(1, 2) };
+            let p = MaxFlood {
+                topology: t,
+                seed_cell: Coord::new(1, 2),
+            };
             let sync = run(&p, Executor::Sequential, 200);
             for seed in [1u64, 42, 12345] {
                 for max_delay in [1u64, 3, 17] {
                     let a = run_async(&p, seed, max_delay, 10_000_000);
                     assert!(a.converged);
-                    assert!(a
-                        .states
-                        .iter()
-                        .zip(sync.states.iter())
-                        .all(|((_, x), (_, y))| x == y),
-                        "async diverged: {t:?} seed={seed} delay={max_delay}");
+                    assert!(
+                        a.states
+                            .iter()
+                            .zip(sync.states.iter())
+                            .all(|((_, x), (_, y))| x == y),
+                        "async diverged: {t:?} seed={seed} delay={max_delay}"
+                    );
                 }
             }
         }
@@ -234,17 +502,24 @@ mod tests {
     #[test]
     fn async_delivers_at_least_initial_announcements() {
         let t = Topology::mesh(4, 4);
-        let p = MaxFlood { topology: t, seed_cell: Coord::new(0, 0) };
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(0, 0),
+        };
         let a = run_async(&p, 7, 5, 1_000_000);
         // 4x4 mesh has 48 directed links; every node announces once.
         assert!(a.messages_delivered >= 48);
         assert!(a.virtual_time >= 1);
+        assert_eq!(a.chaos, ChaosStats::default());
     }
 
     #[test]
     fn event_cap_reports_non_convergence() {
         let t = Topology::mesh(6, 6);
-        let p = MaxFlood { topology: t, seed_cell: Coord::new(5, 5) };
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(5, 5),
+        };
         let a = run_async(&p, 3, 2, 10);
         assert!(!a.converged);
         assert_eq!(a.messages_delivered, 10);
@@ -255,7 +530,10 @@ mod tests {
         // With unit delays, async delivery order is a valid synchronous
         // schedule; the fixpoint matches (stronger smoke for determinism).
         let t = Topology::mesh(5, 5);
-        let p = MaxFlood { topology: t, seed_cell: Coord::new(2, 2) };
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(2, 2),
+        };
         let a1 = run_async(&p, 11, 1, 1_000_000);
         let a2 = run_async(&p, 11, 1, 1_000_000);
         assert!(a1
@@ -264,5 +542,108 @@ mod tests {
             .zip(a2.states.iter())
             .all(|((_, x), (_, y))| x == y));
         assert_eq!(a1.messages_delivered, a2.messages_delivered);
+    }
+
+    #[test]
+    fn chaos_reaches_reliable_fixpoint() {
+        let t = Topology::mesh(8, 6);
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(6, 1),
+        };
+        let sync = run(&p, Executor::Sequential, 200);
+        for seed in [3u64, 77, 1010] {
+            let cfg = ChaosConfig::uniform(seed ^ 0xC4A0, 0.2, 0.1, 0.1);
+            let a = run_chaos(&p, seed, 4, 10_000_000, &cfg, None);
+            assert!(a.converged, "seed {seed} hit the event cap");
+            assert!(
+                a.states
+                    .iter()
+                    .zip(sync.states.iter())
+                    .all(|((_, x), (_, y))| x == y),
+                "chaos run diverged from reliable fixpoint (seed {seed})"
+            );
+            assert!(
+                a.chaos.dropped > 0,
+                "drop rate 0.2 injected nothing (seed {seed})"
+            );
+            assert!(
+                a.chaos.retransmissions > 0,
+                "losses were never repaired (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn reliable_chaos_config_is_byte_identical_to_run_async() {
+        let t = Topology::mesh(7, 7);
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(3, 3),
+        };
+        let plain = run_async(&p, 21, 6, 1_000_000);
+        let via_chaos = run_chaos(&p, 21, 6, 1_000_000, &ChaosConfig::reliable(), None);
+        assert_eq!(plain.messages_delivered, via_chaos.messages_delivered);
+        assert_eq!(plain.virtual_time, via_chaos.virtual_time);
+        assert!(plain
+            .states
+            .iter()
+            .zip(via_chaos.states.iter())
+            .all(|((_, x), (_, y))| x == y));
+    }
+
+    #[test]
+    fn mid_run_crash_state_is_absorbing_and_floods() {
+        let t = Topology::mesh(6, 6);
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(1, 2),
+        };
+        let victim = Coord::new(4, 4);
+        let plan = CrashPlan::new([(5u64, victim)], 500u32);
+        let a = run_chaos(&p, 9, 3, 10_000_000, &ChaosConfig::reliable(), Some(&plan));
+        assert!(a.converged);
+        assert_eq!(a.chaos.crashes, 1);
+        // The crashed node holds its crash state; everyone else still
+        // floods to the global max.
+        for (c, &s) in a.states.iter() {
+            if c == victim {
+                assert_eq!(s, 500);
+            } else {
+                assert_eq!(s, 999, "node {c:?} missed the flood");
+            }
+        }
+    }
+
+    #[test]
+    fn down_window_is_repaired_after_it_lifts() {
+        let t = Topology::mesh(5, 5);
+        let p = MaxFlood {
+            topology: t,
+            seed_cell: Coord::new(0, 0),
+        };
+        let sync = run(&p, Executor::Sequential, 200);
+        let mut cfg = ChaosConfig::reliable();
+        // Every eastward link out of column 0 is dead for the first 40
+        // time units — the flood must stall, then recover.
+        for y in 0..5 {
+            cfg.overrides.push((
+                Coord::new(0, y),
+                Direction::East,
+                LinkModel {
+                    down: vec![(0, 40)],
+                    ..LinkModel::reliable()
+                },
+            ));
+        }
+        let a = run_chaos(&p, 13, 3, 10_000_000, &cfg, None);
+        assert!(a.converged);
+        assert!(a.chaos.link_down_discards > 0);
+        assert!(a
+            .states
+            .iter()
+            .zip(sync.states.iter())
+            .all(|((_, x), (_, y))| x == y));
+        assert!(a.virtual_time >= 40, "fixpoint cannot precede the repair");
     }
 }

@@ -1,0 +1,274 @@
+//! Deterministic fault injection for the message-passing executors.
+//!
+//! The paper's protocols are born from the premise that the machine is
+//! unreliable — yet the executors in this crate historically assumed
+//! perfect channels and a fault set frozen before round 0. This module
+//! supplies the missing adversary:
+//!
+//! * [`LinkModel`] — per-directed-link drop / duplicate / reorder
+//!   probabilities plus link-down windows in virtual time;
+//! * [`ChaosConfig`] — a seeded, deterministic assignment of link models
+//!   to the whole machine, with a re-broadcast ("heartbeat") period that
+//!   lets monotone protocols re-converge despite loss;
+//! * [`ChaosStats`] — counters for every injected anomaly, reported
+//!   through [`RunTrace`](crate::RunTrace) and
+//!   [`AsyncOutcome`](crate::AsyncOutcome);
+//! * [`CrashPlan`] — nodes that die at given virtual times *mid-run*,
+//!   announcing a caller-chosen absorbing state (for phase 1 that is
+//!   `Unsafe`, which preserves monotonicity and hence confluence).
+//!
+//! Everything is sampled from seeded generators: a chaos run is exactly
+//! reproducible from `(protocol, seed, ChaosConfig, CrashPlan)`.
+//!
+//! Why re-convergence is guaranteed (and the event queue still drains):
+//! the executors maintain the invariant that whenever a receiver's last
+//! delivered knowledge of a neighbor differs from that neighbor's current
+//! state, at least one event is pending for the link — either the fresh
+//! message is in flight, or a heartbeat retransmission is scheduled.
+//! Heartbeats re-send only while knowledge is stale, so once every link
+//! is current and no node wants to change state, no new events are
+//! created and the simulation quiesces at the same fixpoint a reliable
+//! run reaches.
+
+use ocp_mesh::{Coord, Direction};
+use serde::{Deserialize, Serialize};
+
+/// Failure behavior of one directed link.
+///
+/// Probabilities are independent per message. `down` windows are
+/// half-open `[start, end)` intervals of virtual time (for the lockstep
+/// actor executor, virtual time is the round number) during which every
+/// send on the link is discarded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Probability a message is silently lost in transit.
+    pub drop: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message ignores the link's FIFO ordering and may
+    /// overtake earlier traffic.
+    pub reorder: f64,
+    /// Half-open `[start, end)` virtual-time windows when the link is down.
+    pub down: Vec<(u64, u64)>,
+}
+
+impl LinkModel {
+    /// A perfect link: no loss, no duplication, no reordering, never down.
+    pub fn reliable() -> Self {
+        LinkModel {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            down: Vec::new(),
+        }
+    }
+
+    /// A link that only drops messages, with probability `drop`.
+    pub fn lossy(drop: f64) -> Self {
+        LinkModel {
+            drop,
+            ..LinkModel::reliable()
+        }
+    }
+
+    /// True if the link is inside a down window at virtual time `t`.
+    pub fn is_down(&self, t: u64) -> bool {
+        self.down.iter().any(|&(start, end)| start <= t && t < end)
+    }
+
+    /// True if this model never injects any anomaly.
+    pub fn is_reliable(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0 && self.down.is_empty()
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::reliable()
+    }
+}
+
+/// Machine-wide chaos configuration for one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the anomaly-sampling stream (separate from the delay
+    /// stream, so enabling chaos does not perturb delay schedules).
+    pub seed: u64,
+    /// Model applied to every link without an explicit override.
+    pub default_link: LinkModel,
+    /// Per-link overrides, keyed by the sending node and its outgoing
+    /// direction.
+    pub overrides: Vec<(Coord, Direction, LinkModel)>,
+    /// Virtual-time period after which a sender re-broadcasts its state
+    /// on a link whose receiver is known to be stale. Must be ≥ 1.
+    pub heartbeat_period: u64,
+}
+
+impl ChaosConfig {
+    /// No chaos at all: every link reliable.
+    pub fn reliable() -> Self {
+        ChaosConfig {
+            seed: 0,
+            default_link: LinkModel::reliable(),
+            overrides: Vec::new(),
+            heartbeat_period: 16,
+        }
+    }
+
+    /// Every link gets the same drop/duplicate/reorder probabilities.
+    pub fn uniform(seed: u64, drop: f64, duplicate: f64, reorder: f64) -> Self {
+        ChaosConfig {
+            seed,
+            default_link: LinkModel {
+                drop,
+                duplicate,
+                reorder,
+                down: Vec::new(),
+            },
+            overrides: Vec::new(),
+            heartbeat_period: 16,
+        }
+    }
+
+    /// The model governing the directed link out of `from` towards `dir`.
+    pub fn link(&self, from: Coord, dir: Direction) -> &LinkModel {
+        self.overrides
+            .iter()
+            .find(|(c, d, _)| *c == from && *d == dir)
+            .map(|(_, _, m)| m)
+            .unwrap_or(&self.default_link)
+    }
+
+    /// True if no link in the machine can misbehave.
+    pub fn is_reliable(&self) -> bool {
+        self.default_link.is_reliable() && self.overrides.iter().all(|(_, _, m)| m.is_reliable())
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::reliable()
+    }
+}
+
+/// Counts of every anomaly the chaos layer injected during a run.
+///
+/// A run without a chaos layer reports all zeros, so the field is always
+/// present on traces and comparable across executors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Messages silently lost in transit.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages allowed to overtake earlier traffic on their link.
+    pub reordered: u64,
+    /// Heartbeat-triggered re-sends repairing lost knowledge.
+    pub retransmissions: u64,
+    /// Sends discarded because the link was inside a down window.
+    pub link_down_discards: u64,
+    /// Mid-run node crashes applied from a [`CrashPlan`].
+    pub crashes: u64,
+}
+
+impl ChaosStats {
+    /// Total injected link anomalies (excludes repairs and crashes).
+    pub fn anomalies(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered + self.link_down_discards
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &ChaosStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.retransmissions += other.retransmissions;
+        self.link_down_discards += other.link_down_discards;
+        self.crashes += other.crashes;
+    }
+}
+
+/// Nodes that crash at given virtual times while the protocol is running.
+///
+/// A crashed node permanently assumes `state`, stops applying the
+/// protocol's step rule, and announces `state` on all of its links (with
+/// the usual chaos sampling — the announcement itself can be dropped and
+/// is then repaired by heartbeats).
+///
+/// Correctness caveat: mid-run crashes preserve the fixpoint only for
+/// protocols *monotone in the fault set* — the crash state must be
+/// absorbing and only ever push neighbors in their monotone direction.
+/// Phase 1's `Unsafe` qualifies; phase 2 is not monotone in the fault set
+/// and must instead be recomputed after the crash (see
+/// `ocp_core::maintenance`).
+#[derive(Clone, Debug)]
+pub struct CrashPlan<S> {
+    /// `(virtual_time, node)` crash events; applied in time order.
+    pub events: Vec<(u64, Coord)>,
+    /// The absorbing state a crashed node assumes and announces.
+    pub state: S,
+}
+
+impl<S> CrashPlan<S> {
+    /// A plan crashing `events` nodes into `state`.
+    pub fn new(events: impl IntoIterator<Item = (u64, Coord)>, state: S) -> Self {
+        let mut events: Vec<(u64, Coord)> = events.into_iter().collect();
+        events.sort_by_key(|&(t, c)| (t, c.x, c.y));
+        CrashPlan { events, state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_windows_are_half_open() {
+        let m = LinkModel {
+            down: vec![(5, 9)],
+            ..LinkModel::reliable()
+        };
+        assert!(!m.is_down(4));
+        assert!(m.is_down(5));
+        assert!(m.is_down(8));
+        assert!(!m.is_down(9));
+    }
+
+    #[test]
+    fn overrides_shadow_the_default() {
+        let mut cfg = ChaosConfig::uniform(1, 0.5, 0.0, 0.0);
+        cfg.overrides
+            .push((Coord::new(2, 2), Direction::East, LinkModel::reliable()));
+        assert!(cfg.link(Coord::new(2, 2), Direction::East).is_reliable());
+        assert_eq!(cfg.link(Coord::new(2, 2), Direction::West).drop, 0.5);
+        assert!(!cfg.is_reliable());
+    }
+
+    #[test]
+    fn stats_merge_adds_fieldwise() {
+        let mut a = ChaosStats {
+            dropped: 1,
+            duplicated: 2,
+            ..ChaosStats::default()
+        };
+        let b = ChaosStats {
+            dropped: 10,
+            retransmissions: 3,
+            crashes: 1,
+            ..ChaosStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped, 11);
+        assert_eq!(a.duplicated, 2);
+        assert_eq!(a.retransmissions, 3);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.anomalies(), 13);
+    }
+
+    #[test]
+    fn crash_plan_sorts_by_time() {
+        let plan = CrashPlan::new([(9, Coord::new(1, 1)), (2, Coord::new(3, 3))], 7u32);
+        assert_eq!(plan.events[0], (2, Coord::new(3, 3)));
+        assert_eq!(plan.events[1], (9, Coord::new(1, 1)));
+    }
+}

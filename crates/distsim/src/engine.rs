@@ -66,9 +66,17 @@ pub(crate) const MAX_ACTOR_NODES: usize = 4096;
 /// ```
 ///
 /// # Panics
-/// Panics if `Executor::Actor` is used on a machine larger than 4096 nodes,
-/// or `Executor::Sharded { threads: 0 }` is requested.
-pub fn run<P: LockstepProtocol>(protocol: &P, executor: Executor, max_rounds: u32) -> RunOutcome<P::State> {
+/// Panics if `Executor::Sharded { threads: 0 }` is requested.
+///
+/// `Executor::Actor` on a machine larger than 4096 nodes no longer panics:
+/// it falls back to the sharded executor (one thread per available core)
+/// and records the substitution in [`RunTrace::notes`] — the outcome is
+/// identical because all executors agree on deterministic protocols.
+pub fn run<P: LockstepProtocol>(
+    protocol: &P,
+    executor: Executor,
+    max_rounds: u32,
+) -> RunOutcome<P::State> {
     match executor {
         Executor::Sequential => crate::sequential::run(protocol, max_rounds),
         Executor::Sharded { threads } => {
@@ -76,14 +84,80 @@ pub fn run<P: LockstepProtocol>(protocol: &P, executor: Executor, max_rounds: u3
             crate::sharded::run(protocol, threads, max_rounds)
         }
         Executor::Actor => {
-            assert!(
-                protocol.topology().len() <= MAX_ACTOR_NODES,
-                "actor executor limited to {MAX_ACTOR_NODES} nodes ({} requested); \
-                 use Sequential or Sharded for larger machines",
-                protocol.topology().len()
-            );
-            crate::actor::run(protocol, max_rounds)
+            let nodes = protocol.topology().len();
+            if nodes > MAX_ACTOR_NODES {
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4);
+                let mut out = crate::sharded::run(protocol, threads, max_rounds);
+                out.trace.notes.push(format!(
+                    "actor executor refused {nodes} nodes (cap {MAX_ACTOR_NODES}); \
+                     fell back to the sharded executor with {threads} threads"
+                ));
+                out
+            } else {
+                crate::actor::run(protocol, max_rounds)
+            }
         }
+    }
+}
+
+/// Like [`run`], but a run that stops at `max_rounds` without reaching a
+/// quiet round is an explicit [`ConvergenceError`](crate::ConvergenceError)
+/// instead of a silently ignorable flag. Prefer this in any caller that
+/// treats the returned states as a fixpoint.
+pub fn try_run<P: LockstepProtocol>(
+    protocol: &P,
+    executor: Executor,
+    max_rounds: u32,
+) -> Result<RunOutcome<P::State>, crate::ConvergenceError> {
+    let out = run(protocol, executor, max_rounds);
+    if out.trace.converged {
+        Ok(out)
+    } else {
+        Err(crate::ConvergenceError::from_round_cap(&out, max_rounds))
+    }
+}
+
+/// Lockstep actor execution under a chaos layer: every send passes through
+/// the per-link models of `chaos` (drops, duplicates, reorders rendered as
+/// one-round-late arrivals, down windows keyed by round number). Loss is
+/// repaired by the lockstep re-announcement each round; convergence is
+/// detected when a round has no state changes and no loss left any
+/// receiver stale, which for monotone confluent protocols pins the same
+/// fixpoint as a reliable run.
+///
+/// # Panics
+/// Panics above 4096 nodes: no other executor implements the lockstep
+/// chaos semantics, so there is nothing correct to fall back to (use
+/// [`crate::run_chaos`], the event-driven chaos executor, for large
+/// machines).
+pub fn run_actor_chaos<P: LockstepProtocol>(
+    protocol: &P,
+    max_rounds: u32,
+    chaos: &crate::ChaosConfig,
+) -> RunOutcome<P::State> {
+    assert!(
+        protocol.topology().len() <= MAX_ACTOR_NODES,
+        "actor chaos executor limited to {MAX_ACTOR_NODES} nodes ({} requested); \
+         use run_chaos (event-driven) for larger machines",
+        protocol.topology().len()
+    );
+    crate::actor::run_chaos(protocol, max_rounds, chaos)
+}
+
+/// [`run_actor_chaos`] with the convergence watchdog: hitting the round cap
+/// is an explicit error.
+pub fn try_run_actor_chaos<P: LockstepProtocol>(
+    protocol: &P,
+    max_rounds: u32,
+    chaos: &crate::ChaosConfig,
+) -> Result<RunOutcome<P::State>, crate::ConvergenceError> {
+    let out = run_actor_chaos(protocol, max_rounds, chaos);
+    if out.trace.converged {
+        Ok(out)
+    } else {
+        Err(crate::ConvergenceError::from_round_cap(&out, max_rounds))
     }
 }
 
@@ -116,4 +190,87 @@ pub(crate) fn messages_per_round<P: LockstepProtocol>(protocol: &P) -> u64 {
         .filter(|&c| protocol.participates(c))
         .map(|c| Neighborhood::of(t, c).nodes().count() as u64)
         .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChaosConfig;
+    use ocp_mesh::{Coord, Topology};
+
+    /// Monotone max-flood (confluent).
+    struct MaxFlood(Topology);
+
+    impl LockstepProtocol for MaxFlood {
+        type State = u32;
+        fn topology(&self) -> Topology {
+            self.0
+        }
+        fn initial(&self, c: Coord) -> u32 {
+            if c == Coord::new(0, 0) {
+                77
+            } else {
+                0
+            }
+        }
+        fn ghost(&self) -> u32 {
+            0
+        }
+        fn participates(&self, _c: Coord) -> bool {
+            true
+        }
+        fn step(&self, _c: Coord, cur: u32, n: &NeighborStates<u32>) -> u32 {
+            n.iter().map(|(_, s)| s).fold(cur, u32::max)
+        }
+    }
+
+    #[test]
+    fn oversized_actor_falls_back_to_sharded() {
+        // 70x70 = 4900 nodes: above the actor cap. Must not panic, must
+        // produce the sequential fixpoint, and must say what it did.
+        let p = MaxFlood(Topology::mesh(70, 70));
+        let reference = run(&p, Executor::Sequential, 400);
+        let out = run(&p, Executor::Actor, 400);
+        assert!(out.trace.converged);
+        assert_eq!(out.trace.notes.len(), 1);
+        assert!(
+            out.trace.notes[0].contains("fell back"),
+            "{:?}",
+            out.trace.notes
+        );
+        assert!(out
+            .states
+            .iter()
+            .zip(reference.states.iter())
+            .all(|((_, a), (_, b))| a == b));
+    }
+
+    #[test]
+    fn actor_chaos_reaches_reliable_fixpoint() {
+        let p = MaxFlood(Topology::mesh(6, 5));
+        let reference = run(&p, Executor::Sequential, 100);
+        let cfg = ChaosConfig::uniform(0xAC7, 0.2, 0.1, 0.1);
+        let out = try_run_actor_chaos(&p, 10_000, &cfg).expect("chaos actor run stalled");
+        assert!(out
+            .states
+            .iter()
+            .zip(reference.states.iter())
+            .all(|((_, a), (_, b))| a == b));
+        assert!(
+            out.trace.chaos.dropped > 0,
+            "nothing was dropped: {:?}",
+            out.trace.chaos
+        );
+    }
+
+    #[test]
+    fn try_run_surfaces_round_cap() {
+        let p = MaxFlood(Topology::mesh(12, 12));
+        // A 12x12 corner flood needs 22 productive rounds; cap it at 3.
+        let err = try_run(&p, Executor::Sequential, 3)
+            .expect_err("cap of 3 cannot converge")
+            .with_label("engine self-test");
+        assert!(err.to_string().contains("engine self-test"));
+        assert!(err.to_string().contains("3 rounds"));
+    }
 }

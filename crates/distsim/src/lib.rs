@@ -35,21 +35,37 @@
 //! fault detection.
 //!
 //! The engine reports a [`RunTrace`]: rounds to convergence (the metric of
-//! the paper's Figure 5 (a)/(b)), per-round change counts and message
-//! totals.
+//! the paper's Figure 5 (a)/(b)), per-round change counts, message totals,
+//! and — when a chaos layer is active — the injected-anomaly counters.
+//!
+//! ## Chaos layer
+//!
+//! The [`chaos`] module adds a seeded adversary: per-link drop, duplicate
+//! and reorder probabilities plus link-down windows ([`ChaosConfig`]) and
+//! mid-run node crashes ([`CrashPlan`]). [`run_chaos`] is the event-driven
+//! executor under that adversary; [`run_actor_chaos`] is the lockstep actor
+//! rendering. Both rely on the protocols being monotone confluent joins to
+//! re-converge to the reliable fixpoint, with a heartbeat/re-announcement
+//! discipline repairing lost knowledge. The [`try_run`] family turns a run
+//! that stalls at its cap into an explicit [`ConvergenceError`] with
+//! diagnostics instead of a silently ignorable flag.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod actor;
 pub mod asynchronous;
+pub mod chaos;
 mod engine;
+mod error;
 mod protocol;
 mod sequential;
 mod sharded;
 mod trace;
 
-pub use asynchronous::{run_async, AsyncOutcome};
-pub use engine::{run, Executor, RunOutcome};
+pub use asynchronous::{run_async, run_chaos, try_run_async, try_run_chaos, AsyncOutcome};
+pub use chaos::{ChaosConfig, ChaosStats, CrashPlan, LinkModel};
+pub use engine::{run, run_actor_chaos, try_run, try_run_actor_chaos, Executor, RunOutcome};
+pub use error::{ConvergenceError, ConvergenceErrorKind};
 pub use protocol::{LockstepProtocol, NeighborStates};
 pub use trace::RunTrace;

@@ -81,8 +81,12 @@ pub trait LockstepProtocol: Sync {
     /// current state and the states collected from its four neighbors.
     ///
     /// Only called for participating nodes.
-    fn step(&self, c: Coord, current: Self::State, neighbors: &NeighborStates<Self::State>)
-        -> Self::State;
+    fn step(
+        &self,
+        c: Coord,
+        current: Self::State,
+        neighbors: &NeighborStates<Self::State>,
+    ) -> Self::State;
 }
 
 #[cfg(test)]

@@ -39,10 +39,6 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
 
     RunOutcome {
         states: current,
-        trace: RunTrace {
-            changes_per_round,
-            messages_sent,
-            converged,
-        },
+        trace: RunTrace::new(changes_per_round, messages_sent, converged),
     }
 }

@@ -141,11 +141,7 @@ pub(crate) fn run<P: LockstepProtocol>(
     let messages_sent = per_round * changes_per_round.len() as u64;
     RunOutcome {
         states,
-        trace: RunTrace {
-            changes_per_round,
-            messages_sent,
-            converged,
-        },
+        trace: RunTrace::new(changes_per_round, messages_sent, converged),
     }
 }
 

@@ -1,5 +1,7 @@
-//! Execution traces: convergence rounds and message accounting.
+//! Execution traces: convergence rounds, message accounting and chaos
+//! counters.
 
+use crate::chaos::ChaosStats;
 use serde::{Deserialize, Serialize};
 
 /// What happened during one protocol run.
@@ -19,9 +21,27 @@ pub struct RunTrace {
     /// True if the run reached a round with no changes; false if it stopped
     /// at the round cap.
     pub converged: bool,
+    /// Injected-anomaly counters when a chaos layer was active; all zeros
+    /// for a reliable run, so traces stay comparable across executors.
+    pub chaos: ChaosStats,
+    /// Engine annotations surfaced to the caller (e.g. an executor
+    /// fallback). Empty in the common case.
+    pub notes: Vec<String>,
 }
 
 impl RunTrace {
+    /// A trace with no chaos activity and no notes — what every reliable
+    /// executor produces.
+    pub fn new(changes_per_round: Vec<u32>, messages_sent: u64, converged: bool) -> Self {
+        RunTrace {
+            changes_per_round,
+            messages_sent,
+            converged,
+            chaos: ChaosStats::default(),
+            notes: Vec::new(),
+        }
+    }
+
     /// Rounds *needed*: exchange rounds in which at least one node changed
     /// state. A fault-free machine needs 0 rounds. (The trailing quiet round
     /// only confirms convergence; the paper's `max d(B)` bound counts the
@@ -49,11 +69,7 @@ mod tests {
 
     #[test]
     fn rounds_counts_productive_rounds_only() {
-        let t = RunTrace {
-            changes_per_round: vec![10, 4, 1, 0],
-            messages_sent: 160,
-            converged: true,
-        };
+        let t = RunTrace::new(vec![10, 4, 1, 0], 160, true);
         assert_eq!(t.rounds(), 3);
         assert_eq!(t.rounds_executed(), 4);
         assert_eq!(t.total_changes(), 15);
@@ -61,12 +77,10 @@ mod tests {
 
     #[test]
     fn quiet_from_start() {
-        let t = RunTrace {
-            changes_per_round: vec![0],
-            messages_sent: 40,
-            converged: true,
-        };
+        let t = RunTrace::new(vec![0], 40, true);
         assert_eq!(t.rounds(), 0);
         assert_eq!(t.rounds_executed(), 1);
+        assert_eq!(t.chaos, ChaosStats::default());
+        assert!(t.notes.is_empty());
     }
 }

@@ -90,8 +90,14 @@ fn max_flood_converges_in_eccentricity_rounds_mesh() {
 #[test]
 fn max_flood_converges_faster_on_torus() {
     let seed = Coord::new(0, 0);
-    let mesh = MaxFlood { topology: Topology::mesh(10, 10), seed };
-    let torus = MaxFlood { topology: Topology::torus(10, 10), seed };
+    let mesh = MaxFlood {
+        topology: Topology::mesh(10, 10),
+        seed,
+    };
+    let torus = MaxFlood {
+        topology: Topology::torus(10, 10),
+        seed,
+    };
     let rm = run(&mesh, Executor::Sequential, 100).trace.rounds();
     let rt = run(&torus, Executor::Sequential, 100).trace.rounds();
     assert_eq!(rm, 18);
@@ -101,7 +107,10 @@ fn max_flood_converges_faster_on_torus() {
 #[test]
 fn executors_agree_on_mesh_and_torus() {
     for t in [Topology::mesh(8, 6), Topology::torus(8, 6)] {
-        let p = MaxFlood { topology: t, seed: Coord::new(7, 5) };
+        let p = MaxFlood {
+            topology: t,
+            seed: Coord::new(7, 5),
+        };
         let seq = run(&p, Executor::Sequential, 100);
         for exec in [
             Executor::Sharded { threads: 2 },
@@ -122,7 +131,9 @@ fn executors_agree_on_mesh_and_torus() {
 
 #[test]
 fn round_cap_reports_non_convergence() {
-    let p = Blinker { topology: Topology::mesh(4, 4) };
+    let p = Blinker {
+        topology: Topology::mesh(4, 4),
+    };
     for exec in [
         Executor::Sequential,
         Executor::Sharded { threads: 2 },
@@ -138,23 +149,43 @@ fn round_cap_reports_non_convergence() {
 #[test]
 fn message_accounting_mesh_vs_torus() {
     // 3x3 mesh: 4 corners*2 + 4 edges*3 + 1 interior*4 = 24 directed links.
-    let p = MaxFlood { topology: Topology::mesh(3, 3), seed: Coord::new(1, 1) };
+    let p = MaxFlood {
+        topology: Topology::mesh(3, 3),
+        seed: Coord::new(1, 1),
+    };
     let out = run(&p, Executor::Sequential, 100);
     // Eccentricity of the center is 2: 2 productive rounds + 1 quiet.
     assert_eq!(out.trace.rounds_executed(), 3);
     assert_eq!(out.trace.messages_sent, 72);
 
     // 3x3 torus: every node has 4 live links -> 36 per round.
-    let p = MaxFlood { topology: Topology::torus(3, 3), seed: Coord::new(1, 1) };
+    let p = MaxFlood {
+        topology: Topology::torus(3, 3),
+        seed: Coord::new(1, 1),
+    };
     let out = run(&p, Executor::Sequential, 100);
-    assert_eq!(out.trace.messages_sent, 36 * out.trace.rounds_executed() as u64);
+    assert_eq!(
+        out.trace.messages_sent,
+        36 * out.trace.rounds_executed() as u64
+    );
 }
 
 #[test]
 fn single_row_and_column_topologies() {
-    for t in [Topology::mesh(7, 1), Topology::mesh(1, 7), Topology::torus(7, 1)] {
-        let p = MaxFlood { topology: t, seed: Coord::new(0, 0) };
-        for exec in [Executor::Sequential, Executor::Sharded { threads: 4 }, Executor::Actor] {
+    for t in [
+        Topology::mesh(7, 1),
+        Topology::mesh(1, 7),
+        Topology::torus(7, 1),
+    ] {
+        let p = MaxFlood {
+            topology: t,
+            seed: Coord::new(0, 0),
+        };
+        for exec in [
+            Executor::Sequential,
+            Executor::Sharded { threads: 4 },
+            Executor::Actor,
+        ] {
             let out = run(&p, exec, 100);
             assert!(out.trace.converged, "{exec:?} on {t:?}");
             assert!(out.states.iter().all(|(_, &s)| s == 1_000_000));
@@ -189,10 +220,17 @@ fn non_participating_nodes_freeze() {
     }
     let t = Topology::mesh(5, 1); // a line, easy to block
     let p = Frozen {
-        inner: MaxFlood { topology: t, seed: Coord::new(0, 0) },
+        inner: MaxFlood {
+            topology: t,
+            seed: Coord::new(0, 0),
+        },
         dead: Coord::new(2, 0),
     };
-    for exec in [Executor::Sequential, Executor::Sharded { threads: 2 }, Executor::Actor] {
+    for exec in [
+        Executor::Sequential,
+        Executor::Sharded { threads: 2 },
+        Executor::Actor,
+    ] {
         let out = run(&p, exec, 100);
         assert!(out.trace.converged);
         // Flood reaches (1,0) but the dead node blocks propagation further.

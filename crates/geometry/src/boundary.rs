@@ -122,7 +122,7 @@ mod tests {
         // its outside exposure... check explicitly:
         assert!(corners.contains(&c(0, 2))); // top tip
         assert!(corners.contains(&c(2, 0))); // right tip
-        // (0,0): west outside (x-dim), south outside (y-dim) -> corner.
+                                             // (0,0): west outside (x-dim), south outside (y-dim) -> corner.
         assert!(corners.contains(&c(0, 0)));
         // (1,0): west/east neighbors inside, so no x-dim exposure.
         assert!(!corners.contains(&c(1, 0)));

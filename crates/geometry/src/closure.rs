@@ -1,6 +1,6 @@
 //! Orthogonal convex closure — the minimality oracle for Theorem 2.
 
-use crate::{Region, convex::is_orthogonally_convex};
+use crate::{convex::is_orthogonally_convex, Region};
 use ocp_mesh::Coord;
 
 /// The smallest orthogonally convex superset of `region`.

@@ -64,11 +64,21 @@ mod tests {
         // Section 2: "T-shape, L-shape, and +-shape fault regions are
         // orthogonal convex polygons, whereas U-shape and H-shape fault
         // regions are non-orthogonal convex polygons."
-        assert!(is_orthogonally_convex(&Region::from_cells(shapes::l_shape(4, 3))));
-        assert!(is_orthogonally_convex(&Region::from_cells(shapes::t_shape(5, 3))));
-        assert!(is_orthogonally_convex(&Region::from_cells(shapes::plus_shape(3))));
-        assert!(!is_orthogonally_convex(&Region::from_cells(shapes::u_shape(4, 3))));
-        assert!(!is_orthogonally_convex(&Region::from_cells(shapes::h_shape(4, 3))));
+        assert!(is_orthogonally_convex(&Region::from_cells(
+            shapes::l_shape(4, 3)
+        )));
+        assert!(is_orthogonally_convex(&Region::from_cells(
+            shapes::t_shape(5, 3)
+        )));
+        assert!(is_orthogonally_convex(&Region::from_cells(
+            shapes::plus_shape(3)
+        )));
+        assert!(!is_orthogonally_convex(&Region::from_cells(
+            shapes::u_shape(4, 3)
+        )));
+        assert!(!is_orthogonally_convex(&Region::from_cells(
+            shapes::h_shape(4, 3)
+        )));
     }
 
     #[test]

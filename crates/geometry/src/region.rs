@@ -44,8 +44,7 @@ impl Region {
     /// torus (no consistent planar embedding exists — such a region can
     /// never be a finite orthogonal convex polygon).
     pub fn unwrapped(topology: Topology, cells: &[Coord]) -> Option<Self> {
-        Self::unwrap_mapping(topology, cells)
-            .map(|mapping| Self::from_cells(mapping.into_values()))
+        Self::unwrap_mapping(topology, cells).map(|mapping| Self::from_cells(mapping.into_values()))
     }
 
     /// Like [`Region::unwrapped`], but returns the full machine-coordinate →

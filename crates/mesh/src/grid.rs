@@ -93,7 +93,10 @@ impl<T> Grid<T> {
     /// Iterates `(coord, &cell)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (Coord, &T)> {
         let t = self.topology;
-        self.cells.iter().enumerate().map(move |(i, v)| (t.coord_of(i), v))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (t.coord_of(i), v))
     }
 
     /// Coordinates whose cell satisfies `pred`.
@@ -148,7 +151,12 @@ impl<T> Grid<T> {
 
 impl<T: fmt::Debug> fmt::Debug for Grid<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Grid {}x{} {{", self.topology.width(), self.topology.height())?;
+        writeln!(
+            f,
+            "Grid {}x{} {{",
+            self.topology.width(),
+            self.topology.height()
+        )?;
         for y in (0..self.topology.height()).rev() {
             write!(f, "  y={y:>3}:")?;
             for v in self.row(y) {

@@ -23,7 +23,10 @@ impl Neighborhood {
             topology.neighbor(c, Direction::South),
             topology.neighbor(c, Direction::North),
         ];
-        Self { center: c, neighbors }
+        Self {
+            center: c,
+            neighbors,
+        }
     }
 
     /// The node whose neighborhood this is.
@@ -40,7 +43,10 @@ impl Neighborhood {
 
     /// Iterates `(direction, neighbor)` over all four directions.
     pub fn iter(&self) -> NeighborIter<'_> {
-        NeighborIter { hood: self, next: 0 }
+        NeighborIter {
+            hood: self,
+            next: 0,
+        }
     }
 
     /// Real (non-ghost) neighbor coordinates.
@@ -87,8 +93,14 @@ mod tests {
         assert_eq!(h.nodes().count(), 2);
         assert!(h.in_direction(Direction::West).is_ghost());
         assert!(h.in_direction(Direction::South).is_ghost());
-        assert_eq!(h.in_direction(Direction::East).coord(), Some(Coord::new(1, 0)));
-        assert_eq!(h.in_direction(Direction::North).coord(), Some(Coord::new(0, 1)));
+        assert_eq!(
+            h.in_direction(Direction::East).coord(),
+            Some(Coord::new(1, 0))
+        );
+        assert_eq!(
+            h.in_direction(Direction::North).coord(),
+            Some(Coord::new(0, 1))
+        );
     }
 
     #[test]

@@ -79,8 +79,15 @@ impl Topology {
 
     /// Creates a topology of the given kind.
     pub fn new(kind: TopologyKind, width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "topology dimensions must be positive");
-        Self { kind, width, height }
+        assert!(
+            width > 0 && height > 0,
+            "topology dimensions must be positive"
+        );
+        Self {
+            kind,
+            width,
+            height,
+        }
     }
 
     /// The interconnect variant.

@@ -119,8 +119,7 @@ impl DependencyGraph {
             // position).
             let mut stack: Vec<(Channel, Vec<Channel>, usize)> = Vec::new();
             color.insert(start, Color::Gray);
-            let children: Vec<Channel> =
-                self.edges[&start].iter().copied().collect();
+            let children: Vec<Channel> = self.edges[&start].iter().copied().collect();
             stack.push((start, children, 0));
             while let Some((node, children, idx)) = stack.last_mut() {
                 if *idx < children.len() {
@@ -129,8 +128,7 @@ impl DependencyGraph {
                     match color[&child] {
                         Color::White => {
                             color.insert(child, Color::Gray);
-                            let grand: Vec<Channel> =
-                                self.edges[&child].iter().copied().collect();
+                            let grand: Vec<Channel> = self.edges[&child].iter().copied().collect();
                             stack.push((child, grand, 0));
                         }
                         Color::Gray => back_edges += 1,
@@ -196,7 +194,9 @@ mod tests {
             let a = square[i];
             let b = square[(i + 1) % 4];
             let d = square[(i + 2) % 4];
-            paths.push(Path { hops: vec![a, b, d] });
+            paths.push(Path {
+                hops: vec![a, b, d],
+            });
         }
         let g = DependencyGraph::from_paths(paths.iter(), &assign_single_vc);
         assert!(!g.is_acyclic());
@@ -224,7 +224,9 @@ mod tests {
 
     #[test]
     fn single_link_paths_register_channels() {
-        let p = Path { hops: vec![c(0, 0), c(1, 0)] };
+        let p = Path {
+            hops: vec![c(0, 0), c(1, 0)],
+        };
         let g = DependencyGraph::from_paths([&p], &assign_single_vc);
         assert_eq!(g.channel_count(), 1);
         assert_eq!(g.edge_count(), 0);

@@ -66,7 +66,11 @@ impl FaultRing {
         let mut out = Vec::new();
         let mut i = from;
         while i != to {
-            i = if decreasing { (i + n - 1) % n } else { (i + 1) % n };
+            i = if decreasing {
+                (i + n - 1) % n
+            } else {
+                (i + 1) % n
+            };
             out.push(v[i]);
         }
         out

@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn metrics_counts_are_consistent() {
-        let map = FaultMap::new(
-            Topology::mesh(12, 12),
-            [c(5, 5), c(6, 6), c(0, 3), c(9, 9)],
-        );
+        let map = FaultMap::new(Topology::mesh(12, 12), [c(5, 5), c(6, 6), c(0, 3), c(9, 9)]);
         let out = run_pipeline(&map, &PipelineConfig::default());
         let mut rng = SmallRng::seed_from_u64(7);
         let cmp = compare_models(&out, 50, &mut rng);

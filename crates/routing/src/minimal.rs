@@ -90,7 +90,9 @@ pub fn minimal_route(enabled: &EnabledMap, src: Coord, dst: Coord) -> Result<Pat
         let mut next_frontier = Vec::new();
         for cur in frontier {
             for dir in productive_directions(t, cur, dst) {
-                let Some(n) = t.neighbor(cur, dir).coord() else { continue };
+                let Some(n) = t.neighbor(cur, dir).coord() else {
+                    continue;
+                };
                 if !enabled.is_enabled(n) || parent.contains_key(&n) {
                     continue;
                 }
@@ -119,11 +121,7 @@ pub fn minimal_route(enabled: &EnabledMap, src: Coord, dst: Coord) -> Result<Pat
 /// path. The headline comparison of experiment E10': the disabled-region
 /// model preserves (weakly) more minimal routability than the faulty-block
 /// model because it disables fewer nodes.
-pub fn minimal_routability<R: rand::Rng>(
-    enabled: &EnabledMap,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn minimal_routability<R: rand::Rng>(enabled: &EnabledMap, samples: usize, rng: &mut R) -> f64 {
     use rand::seq::SliceRandom;
     let nodes = enabled.enabled_coords();
     if nodes.len() < 2 || samples == 0 {

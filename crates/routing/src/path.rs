@@ -116,7 +116,10 @@ impl Path {
                 .into_iter()
                 .any(|d| t.neighbor(w[0], d).coord() == Some(w[1]));
             if !ok {
-                return Err(RoutingError::NotALink { from: w[0], to: w[1] });
+                return Err(RoutingError::NotALink {
+                    from: w[0],
+                    to: w[1],
+                });
             }
         }
         Ok(())
@@ -223,10 +226,7 @@ mod tests {
     fn enabled_map_views_differ() {
         use ocp_mesh::Topology;
         // Section 3 example: DR model enables 6 more nodes than FB model.
-        let map = FaultMap::new(
-            Topology::mesh(6, 6),
-            [c(1, 3), c(2, 1), c(3, 2)],
-        );
+        let map = FaultMap::new(Topology::mesh(6, 6), [c(1, 3), c(2, 1), c(3, 2)]);
         let out = run_pipeline(&map, &PipelineConfig::default());
         let dr = EnabledMap::from_outcome(&out);
         let fb = EnabledMap::from_safety(&out);

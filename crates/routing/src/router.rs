@@ -33,9 +33,7 @@ fn topo_chebyshev(t: Topology, a: Coord, b: Coord) -> u32 {
     let dy = a.y.abs_diff(b.y);
     match t.kind() {
         ocp_mesh::TopologyKind::Mesh => dx.max(dy),
-        ocp_mesh::TopologyKind::Torus => {
-            dx.min(t.width() - dx).max(dy.min(t.height() - dy))
-        }
+        ocp_mesh::TopologyKind::Torus => dx.min(t.width() - dx).max(dy.min(t.height() - dy)),
     }
 }
 
@@ -56,9 +54,9 @@ fn merge_touching(t: Topology, regions: &[Region]) -> Vec<Region> {
     }
     for i in 0..n {
         for j in i + 1..n {
-            let touching = regions[i].iter().any(|a| {
-                regions[j].iter().any(|b| topo_chebyshev(t, a, b) <= 1)
-            });
+            let touching = regions[i]
+                .iter()
+                .any(|a| regions[j].iter().any(|b| topo_chebyshev(t, a, b) <= 1));
             if touching {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 parent[ri] = rj;

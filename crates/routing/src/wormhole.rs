@@ -246,7 +246,10 @@ pub fn simulate(specs: &[PacketSpec], config: &WormholeConfig) -> SimStats {
 
     let latencies: Vec<u64> = worms
         .iter()
-        .filter_map(|w| w.delivered_at.map(|d| d.saturating_sub(w.spec.inject_cycle)))
+        .filter_map(|w| {
+            w.delivered_at
+                .map(|d| d.saturating_sub(w.spec.inject_cycle))
+        })
         .collect();
     let delivered = latencies.len();
     SimStats {
@@ -355,7 +358,10 @@ mod tests {
         let stats = simulate(&[spec], &WormholeConfig::default());
         assert_eq!(stats.delivered, 1);
         assert!(stats.cycles >= 50);
-        assert!(stats.max_latency <= 3 + 4 + 2, "latency measured from injection");
+        assert!(
+            stats.max_latency <= 3 + 4 + 2,
+            "latency measured from injection"
+        );
     }
 
     #[test]

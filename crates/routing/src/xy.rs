@@ -11,11 +11,19 @@ use ocp_mesh::{Coord, Direction, Topology, TopologyKind};
 pub fn preferred_direction(topology: Topology, cur: Coord, dst: Coord) -> Option<Direction> {
     let dx = wrap_delta(topology, cur.x, dst.x, topology.width());
     if dx != 0 {
-        return Some(if dx > 0 { Direction::East } else { Direction::West });
+        return Some(if dx > 0 {
+            Direction::East
+        } else {
+            Direction::West
+        });
     }
     let dy = wrap_delta(topology, cur.y, dst.y, topology.height());
     if dy != 0 {
-        return Some(if dy > 0 { Direction::North } else { Direction::South });
+        return Some(if dy > 0 {
+            Direction::North
+        } else {
+            Direction::South
+        });
     }
     None
 }
@@ -87,10 +95,7 @@ mod tests {
         let t = Topology::mesh(8, 8);
         let enabled = EnabledMap::all_enabled(t);
         let p = route(&enabled, c(0, 0), c(2, 2)).unwrap();
-        assert_eq!(
-            p.hops,
-            vec![c(0, 0), c(1, 0), c(2, 0), c(2, 1), c(2, 2)]
-        );
+        assert_eq!(p.hops, vec![c(0, 0), c(1, 0), c(2, 0), c(2, 1), c(2, 2)]);
     }
 
     #[test]

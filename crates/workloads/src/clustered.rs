@@ -25,7 +25,11 @@ pub fn clustered_faults<R: Rng>(
     clusters: usize,
     rng: &mut R,
 ) -> Vec<Coord> {
-    assert!(f <= topology.len(), "cannot place {f} faults on {} nodes", topology.len());
+    assert!(
+        f <= topology.len(),
+        "cannot place {f} faults on {} nodes",
+        topology.len()
+    );
     if f == 0 {
         return Vec::new();
     }
@@ -51,7 +55,7 @@ pub fn clustered_faults<R: Rng>(
             if attempts > 64 * per_cluster {
                 break; // walk trapped in an already-faulty pocket; reseed
             }
-            let dir = ocp_mesh::DIRECTIONS[rng.gen_range(0..4)];
+            let dir = ocp_mesh::DIRECTIONS[rng.gen_range(0usize..4)];
             match topology.neighbor(cur, dir) {
                 ocp_mesh::Neighbor::Node(n) => cur = n,
                 ocp_mesh::Neighbor::Ghost(_) => {} // bounce off the boundary

@@ -28,7 +28,8 @@ fn c(x: i32, y: i32) -> Coord {
 pub fn sec3_example() -> Fixture {
     Fixture {
         name: "sec3",
-        description: "Section 3 example: 3 faults -> one 3x3 faulty block, all nonfaulty nodes enabled",
+        description:
+            "Section 3 example: 3 faults -> one 3x3 faulty block, all nonfaulty nodes enabled",
         topology: Topology::mesh(6, 6),
         faults: vec![c(1, 3), c(2, 1), c(3, 2)],
     }
@@ -43,7 +44,8 @@ pub fn fig2a_corner_pocket() -> Fixture {
     let pocket = ocp_geometry::Rect::new(c(3, 3), c(4, 4));
     Fixture {
         name: "fig2a",
-        description: "Figure 2(a): nonfaulty pocket at the block's upper-right corner -> pocket re-enabled",
+        description:
+            "Figure 2(a): nonfaulty pocket at the block's upper-right corner -> pocket re-enabled",
         topology: Topology::mesh(8, 8),
         faults: block.cells().filter(|&cc| !pocket.contains(cc)).collect(),
     }
@@ -59,7 +61,8 @@ pub fn fig2b_center_pocket() -> Fixture {
     let pocket = ocp_geometry::Rect::new(c(2, 3), c(3, 4));
     Fixture {
         name: "fig2b",
-        description: "Figure 2(b): nonfaulty pocket at the block's upper center -> pocket stays disabled",
+        description:
+            "Figure 2(b): nonfaulty pocket at the block's upper center -> pocket stays disabled",
         topology: Topology::mesh(9, 8),
         faults: block.cells().filter(|&cc| !pocket.contains(cc)).collect(),
     }
@@ -71,7 +74,8 @@ pub fn fig2b_center_pocket() -> Fixture {
 pub fn atlas_pattern() -> Fixture {
     Fixture {
         name: "atlas",
-        description: "Figure 1-style composite: diagonal chain, sparse pair, and a dense corner cluster",
+        description:
+            "Figure 1-style composite: diagonal chain, sparse pair, and a dense corner cluster",
         topology: Topology::mesh(14, 12),
         faults: vec![
             // Diagonal chain (merges into one block, splits into small DRs).
@@ -113,12 +117,21 @@ mod tests {
         for fx in all() {
             assert!(!fx.faults.is_empty(), "{} has no faults", fx.name);
             for &f in &fx.faults {
-                assert!(fx.topology.contains(f), "{}: fault {f} outside machine", fx.name);
+                assert!(
+                    fx.topology.contains(f),
+                    "{}: fault {f} outside machine",
+                    fx.name
+                );
             }
             let mut dedup = fx.faults.clone();
             dedup.sort();
             dedup.dedup();
-            assert_eq!(dedup.len(), fx.faults.len(), "{} has duplicate faults", fx.name);
+            assert_eq!(
+                dedup.len(),
+                fx.faults.len(),
+                "{} has duplicate faults",
+                fx.name
+            );
         }
     }
 

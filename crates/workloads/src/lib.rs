@@ -19,8 +19,10 @@ pub mod clustered;
 pub mod fixtures;
 pub mod placement;
 pub mod random;
+pub mod schedule;
 pub mod sweep;
 
 pub use clustered::clustered_faults;
 pub use random::uniform_faults;
+pub use schedule::FaultSchedule;
 pub use sweep::{SweepConfig, SweepPoint};

@@ -1,0 +1,144 @@
+//! Mid-run fault schedules: nodes that crash at given virtual times while
+//! the labeling protocols are (re)converging.
+//!
+//! The paper's maintenance story — blocks "can be easily established and
+//! maintained through message exchanges among neighboring nodes" — assumes
+//! faults keep arriving while the machine is in service. A
+//! [`FaultSchedule`] is the workload side of that story: a deterministic,
+//! time-ordered list of crash events that `ocp-core::maintenance` replays
+//! through its warm-start path, and that `ocp-distsim`'s chaos executor
+//! injects as mid-run crash events.
+
+use ocp_mesh::{Coord, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A time-ordered list of `(virtual_time, node)` crash events.
+///
+/// Events are sorted by time (ties broken by coordinate) and de-duplicated
+/// by node — a node can only crash once, and the earliest event wins.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<(u64, Coord)>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from arbitrary events (sorted and de-duplicated).
+    pub fn new(events: impl IntoIterator<Item = (u64, Coord)>) -> Self {
+        let mut events: Vec<(u64, Coord)> = events.into_iter().collect();
+        events.sort_by_key(|&(t, c)| (t, c.x, c.y));
+        let mut seen = std::collections::BTreeSet::new();
+        events.retain(|&(_, c)| seen.insert(c));
+        FaultSchedule { events }
+    }
+
+    /// `f` distinct nodes crashing at uniform times in `1..=max_time`.
+    ///
+    /// # Panics
+    /// Panics if `f > topology.len()` or `max_time == 0` while `f > 0`.
+    pub fn random<R: Rng>(topology: Topology, f: usize, max_time: u64, rng: &mut R) -> Self {
+        assert!(
+            f <= topology.len(),
+            "cannot crash {f} of {} nodes",
+            topology.len()
+        );
+        if f == 0 {
+            return FaultSchedule { events: Vec::new() };
+        }
+        assert!(max_time >= 1, "need a nonempty time range");
+        let all: Vec<Coord> = topology.coords().collect();
+        let victims: Vec<Coord> = all.choose_multiple(rng, f).copied().collect();
+        Self::new(
+            victims
+                .into_iter()
+                .map(|c| (rng.gen_range(1..=max_time), c)),
+        )
+    }
+
+    /// The sorted `(time, node)` events.
+    pub fn events(&self) -> &[(u64, Coord)] {
+        &self.events
+    }
+
+    /// Every node the schedule eventually crashes (sorted).
+    pub fn final_faults(&self) -> Vec<Coord> {
+        let mut faults: Vec<Coord> = self.events.iter().map(|&(_, c)| c).collect();
+        faults.sort();
+        faults
+    }
+
+    /// Events grouped by crash time, ascending — the unit the maintenance
+    /// warm-start path replays (same-time crashes are one batch).
+    pub fn grouped_by_time(&self) -> Vec<(u64, Vec<Coord>)> {
+        let mut groups: Vec<(u64, Vec<Coord>)> = Vec::new();
+        for &(t, c) in &self.events {
+            match groups.last_mut() {
+                Some((gt, nodes)) if *gt == t => nodes.push(c),
+                _ => groups.push((t, vec![c])),
+            }
+        }
+        groups
+    }
+
+    /// Number of crash events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing ever crashes.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn sorts_and_dedups_by_node() {
+        let s = FaultSchedule::new([(9, c(1, 1)), (2, c(3, 3)), (5, c(1, 1))]);
+        // The node crashing twice keeps its *earliest* event.
+        assert_eq!(s.events(), &[(2, c(3, 3)), (5, c(1, 1))]);
+        assert_eq!(s.final_faults(), vec![c(1, 1), c(3, 3)]);
+    }
+
+    #[test]
+    fn grouping_batches_equal_times() {
+        let s = FaultSchedule::new([(2, c(0, 0)), (2, c(1, 0)), (7, c(2, 2))]);
+        let groups = s.grouped_by_time();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (2, vec![c(0, 0), c(1, 0)]));
+        assert_eq!(groups[1], (7, vec![c(2, 2)]));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_distinct() {
+        let t = Topology::mesh(12, 12);
+        let a = FaultSchedule::random(t, 10, 50, &mut SmallRng::seed_from_u64(4));
+        let b = FaultSchedule::random(t, 10, 50, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.final_faults().len(), 10, "victims must be distinct");
+        assert!(a.events().iter().all(|&(t, _)| (1..=50).contains(&t)));
+        assert!(
+            a.events().windows(2).all(|w| w[0].0 <= w[1].0),
+            "sorted by time"
+        );
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let t = Topology::mesh(4, 4);
+        let s = FaultSchedule::random(t, 0, 10, &mut SmallRng::seed_from_u64(1));
+        assert!(s.is_empty());
+        assert!(s.grouped_by_time().is_empty());
+    }
+}

@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn paper_sweep_shape() {
         let cfg = SweepConfig::paper_figure5(TopologyKind::Mesh, 30, 1);
-        assert_eq!(cfg.fault_counts, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(
+            cfg.fault_counts,
+            vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        );
         assert_eq!(cfg.points().len(), 300);
         assert_eq!(cfg.topology().len(), 10_000);
     }

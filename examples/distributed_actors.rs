@@ -28,8 +28,14 @@ fn main() {
 
     let executors: [(&str, Executor); 3] = [
         ("sequential (reference)", Executor::Sequential),
-        ("sharded, 4 threads + halo channels", Executor::Sharded { threads: 4 }),
-        ("actor: 256 node threads, 960 link channels", Executor::Actor),
+        (
+            "sharded, 4 threads + halo channels",
+            Executor::Sharded { threads: 4 },
+        ),
+        (
+            "actor: 256 node threads, 960 link channels",
+            Executor::Actor,
+        ),
     ];
 
     let mut reference: Option<(Vec<Coord>, u32, u32)> = None;
@@ -52,13 +58,7 @@ fn main() {
         );
         println!("  disabled nodes: {}", disabled.len());
         match &reference {
-            None => {
-                reference = Some((
-                    disabled,
-                    safety.trace.rounds(),
-                    enable.trace.rounds(),
-                ))
-            }
+            None => reference = Some((disabled, safety.trace.rounds(), enable.trace.rounds())),
             Some((ref_disabled, r1, r2)) => {
                 assert_eq!(&disabled, ref_disabled, "{name} diverged from reference");
                 assert_eq!(safety.trace.rounds(), *r1);

@@ -15,8 +15,14 @@ fn show(fx: &fixtures::Fixture) {
     let map = FaultMap::new(fx.topology, fx.faults.iter().copied());
 
     for (label, rule) in [
-        ("Definition 2a (two unsafe neighbors)", SafetyRule::TwoUnsafeNeighbors),
-        ("Definition 2b (unsafe in both dimensions)", SafetyRule::BothDimensions),
+        (
+            "Definition 2a (two unsafe neighbors)",
+            SafetyRule::TwoUnsafeNeighbors,
+        ),
+        (
+            "Definition 2b (unsafe in both dimensions)",
+            SafetyRule::BothDimensions,
+        ),
     ] {
         let out = run_pipeline(
             &map,

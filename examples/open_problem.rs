@@ -23,9 +23,13 @@ fn main() {
     let topology = Topology::mesh(12, 10);
     let faults: Vec<Coord> = vec![
         // U-shape: two arms and a bottom bar.
-        c(3, 3), c(3, 4), c(3, 5),
+        c(3, 3),
+        c(3, 4),
+        c(3, 5),
         c(4, 3),
-        c(5, 3), c(5, 4), c(5, 5),
+        c(5, 3),
+        c(5, 4),
+        c(5, 5),
     ];
     let map = FaultMap::new(topology, faults.iter().copied());
     let out = run_pipeline(&map, &PipelineConfig::default());

@@ -54,8 +54,7 @@ fn main() {
                     topology.distance(src, dst),
                     path.stretch(topology).unwrap_or(1.0),
                 );
-                let on_path: std::collections::HashSet<Coord> =
-                    path.hops.iter().copied().collect();
+                let on_path: std::collections::HashSet<Coord> = path.hops.iter().copied().collect();
                 print!(
                     "{}",
                     render(&out.activation, |c, _| {

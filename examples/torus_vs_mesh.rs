@@ -44,9 +44,10 @@ fn main() {
         );
         // On the torus, (0,4) and (9,5) are diagonal neighbors through the
         // seam, so they merge into one (wrapped) block.
-        let seam_block = out.blocks.iter().find(|b| {
-            b.cells.contains(Coord::new(0, 4)) && b.cells.contains(Coord::new(9, 5))
-        });
+        let seam_block = out
+            .blocks
+            .iter()
+            .find(|b| b.cells.contains(Coord::new(0, 4)) && b.cells.contains(Coord::new(9, 5)));
         match kind {
             TopologyKind::Mesh => {
                 assert!(seam_block.is_none());

@@ -1,12 +1,17 @@
 //! The three executors must be observationally identical on the paper's
 //! protocols: same final labels, same round counts, same message totals.
+//! With the chaos layer, the *lossy* executors must still reach the exact
+//! fixpoint of the reliable sequential executor — the monotone protocols
+//! self-stabilize through drops, duplicates, reordering, down windows and
+//! mid-run crashes.
 
-use ocp_core::labeling::enablement::compute_enablement;
-use ocp_core::labeling::safety::{compute_safety, SafetyRule};
+use ocp_core::labeling::enablement::{compute_enablement, EnablementProtocol};
+use ocp_core::labeling::safety::{compute_safety, SafetyProtocol, SafetyRule, SafetyState};
 use ocp_core::prelude::*;
-use ocp_distsim::Executor;
-use ocp_mesh::{Topology, TopologyKind};
+use ocp_distsim::{run_actor_chaos, run_chaos, ChaosConfig, CrashPlan, Executor};
+use ocp_mesh::{Coord, Topology, TopologyKind};
 use ocp_workloads::uniform_faults;
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -15,7 +20,8 @@ fn check_equivalence(topology: Topology, f: usize, seed: u64) {
     let faults = uniform_faults(topology, f, &mut rng);
     let map = FaultMap::new(topology, faults);
 
-    let reference_safety = compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+    let reference_safety =
+        compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
     let reference_enable =
         compute_enablement(&map, &reference_safety.grid, Executor::Sequential, 400);
 
@@ -35,13 +41,19 @@ fn check_equivalence(topology: Topology, f: usize, seed: u64) {
             safety.grid, reference_safety.grid,
             "{exec:?} safety grid diverged on {topology:?} f={f} seed={seed}"
         );
-        assert_eq!(safety.trace, reference_safety.trace, "{exec:?} safety trace");
+        assert_eq!(
+            safety.trace, reference_safety.trace,
+            "{exec:?} safety trace"
+        );
         let enable = compute_enablement(&map, &safety.grid, exec, 400);
         assert_eq!(
             enable.grid, reference_enable.grid,
             "{exec:?} activation grid diverged"
         );
-        assert_eq!(enable.trace, reference_enable.trace, "{exec:?} enable trace");
+        assert_eq!(
+            enable.trace, reference_enable.trace,
+            "{exec:?} enable trace"
+        );
     }
 }
 
@@ -74,17 +86,171 @@ fn equivalence_at_high_fault_density() {
     check_equivalence(Topology::torus(16, 16), 64, 10);
 }
 
+/// Acceptance criterion of the chaos layer: with a 20% drop rate plus
+/// duplication and reordering on every link, both labeling phases reach the
+/// byte-identical fixpoint of the sequential executor, across ten seeds.
+#[test]
+fn chaos_async_reaches_sequential_fixpoint_across_ten_seeds() {
+    let topology = Topology::mesh(16, 16);
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(0xCA05 ^ seed);
+        let faults = uniform_faults(topology, 20, &mut rng);
+        let map = FaultMap::new(topology, faults);
+
+        let ref_safety =
+            compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+        let ref_enable = compute_enablement(&map, &ref_safety.grid, Executor::Sequential, 400);
+
+        let chaos = ChaosConfig::uniform(0xC0FFEE ^ seed, 0.2, 0.1, 0.1);
+        let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
+        let a1 = run_chaos(&p1, seed, 4, 50_000_000, &chaos, None);
+        assert!(a1.converged, "seed {seed}: phase 1 hit the event cap");
+        assert_eq!(
+            a1.states, ref_safety.grid,
+            "seed {seed}: phase-1 fixpoint diverged"
+        );
+        assert!(
+            a1.chaos.anomalies() > 0,
+            "seed {seed}: chaos layer injected nothing"
+        );
+
+        let p2 = EnablementProtocol::new(&map, &a1.states);
+        let a2 = run_chaos(&p2, seed ^ 1, 4, 50_000_000, &chaos, None);
+        assert!(a2.converged, "seed {seed}: phase 2 hit the event cap");
+        assert_eq!(
+            a2.states, ref_enable.grid,
+            "seed {seed}: phase-2 fixpoint diverged"
+        );
+    }
+}
+
+/// The lockstep actor executor under the same chaos model also
+/// self-stabilizes to the sequential fixpoint.
+#[test]
+fn chaos_actor_reaches_sequential_fixpoint() {
+    let topology = Topology::mesh(10, 10);
+    for seed in 0..3u64 {
+        let mut rng = SmallRng::seed_from_u64(0xAC7 ^ seed);
+        let faults = uniform_faults(topology, 12, &mut rng);
+        let map = FaultMap::new(topology, faults);
+        let ref_safety =
+            compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+        let ref_enable = compute_enablement(&map, &ref_safety.grid, Executor::Sequential, 400);
+
+        let chaos = ChaosConfig::uniform(0xFACADE ^ seed, 0.2, 0.1, 0.1);
+        let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
+        let a1 = run_actor_chaos(&p1, 10_000, &chaos);
+        assert!(a1.trace.converged, "seed {seed}: phase 1 hit the round cap");
+        assert_eq!(
+            a1.states, ref_safety.grid,
+            "seed {seed}: phase-1 fixpoint diverged"
+        );
+
+        let p2 = EnablementProtocol::new(&map, &a1.states);
+        let a2 = run_actor_chaos(&p2, 10_000, &chaos);
+        assert!(a2.trace.converged, "seed {seed}: phase 2 hit the round cap");
+        assert_eq!(
+            a2.states, ref_enable.grid,
+            "seed {seed}: phase-2 fixpoint diverged"
+        );
+    }
+}
+
+/// Mid-run crashes (phase 1 only — the safety protocol is monotone in the
+/// fault set, with `Unsafe` the absorbing crash state): the run must
+/// re-stabilize to the cold fixpoint of the *final* fault set, even with
+/// lossy links underneath.
+#[test]
+fn chaos_crashes_re_stabilize_to_final_fault_oracle() {
+    let topology = Topology::mesh(14, 14);
+    for seed in 0..5u64 {
+        let mut rng = SmallRng::seed_from_u64(0xDEAD ^ seed);
+        let faults = uniform_faults(topology, 10, &mut rng);
+        let map = FaultMap::new(topology, faults.clone());
+
+        // Crash three healthy nodes at staggered virtual times.
+        let victims: Vec<Coord> = topology
+            .coords()
+            .filter(|c| !map.is_faulty(*c))
+            .step_by(17 + seed as usize)
+            .take(3)
+            .collect();
+        let plan = CrashPlan::new(
+            victims
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (3 + 4 * i as u64, v)),
+            SafetyState::Unsafe,
+        );
+
+        let chaos = ChaosConfig::uniform(0xBAD ^ seed, 0.1, 0.05, 0.05);
+        let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
+        let a1 = run_chaos(&p1, seed, 4, 50_000_000, &chaos, Some(&plan));
+        assert!(a1.converged, "seed {seed}: hit the event cap");
+        assert_eq!(a1.chaos.crashes, victims.len() as u64);
+
+        // Oracle: cold sequential run on the final fault set.
+        let final_map = FaultMap::new(topology, faults.into_iter().chain(victims.iter().copied()));
+        let oracle = compute_safety(
+            &final_map,
+            SafetyRule::BothDimensions,
+            Executor::Sequential,
+            400,
+        );
+        assert_eq!(
+            a1.states, oracle.grid,
+            "seed {seed}: crash path diverged from oracle"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary fault maps and any drop/duplicate/reorder rates up to
+    /// the chaos layer's tested ceiling (drop ≤ 0.2), the chaos-enabled
+    /// asynchronous executor reaches the same phase-1 and phase-2 fixpoint
+    /// as the sequential executor.
+    #[test]
+    fn chaos_fixpoint_matches_sequential(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.2,
+        f in 0usize..25,
+    ) {
+        let topology = Topology::mesh(12, 12);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faults = uniform_faults(topology, f, &mut rng);
+        let map = FaultMap::new(topology, faults);
+
+        let ref_safety =
+            compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+        let ref_enable = compute_enablement(&map, &ref_safety.grid, Executor::Sequential, 400);
+
+        let chaos = ChaosConfig::uniform(seed ^ 0x5EED, drop, drop / 2.0, drop / 2.0);
+        let p1 = SafetyProtocol::new(&map, SafetyRule::BothDimensions);
+        let a1 = run_chaos(&p1, seed, 3, 20_000_000, &chaos, None);
+        prop_assert!(a1.converged);
+        prop_assert_eq!(&a1.states, &ref_safety.grid);
+        let p2 = EnablementProtocol::new(&map, &a1.states);
+        let a2 = run_chaos(&p2, seed ^ 1, 3, 20_000_000, &chaos, None);
+        prop_assert!(a2.converged);
+        prop_assert_eq!(&a2.states, &ref_enable.grid);
+    }
+}
+
 #[test]
 fn equivalence_with_def2a_rule() {
     let topology = Topology::mesh(18, 18);
     let mut rng = SmallRng::seed_from_u64(11);
     let faults = uniform_faults(topology, 25, &mut rng);
     let map = FaultMap::new(topology, faults);
-    let reference = compute_safety(&map, SafetyRule::TwoUnsafeNeighbors, Executor::Sequential, 400);
-    for exec in [
-        Executor::Sharded { threads: 4 },
-        Executor::Actor,
-    ] {
+    let reference = compute_safety(
+        &map,
+        SafetyRule::TwoUnsafeNeighbors,
+        Executor::Sequential,
+        400,
+    );
+    for exec in [Executor::Sharded { threads: 4 }, Executor::Actor] {
         let got = compute_safety(&map, SafetyRule::TwoUnsafeNeighbors, exec, 400);
         assert_eq!(got.grid, reference.grid);
         assert_eq!(got.trace, reference.trace);

@@ -43,8 +43,16 @@ fn full_stack_at_paper_scale() {
     // Statistics in the paper's reported ranges.
     let stats = ModelStats::collect(&map, &out);
     assert_eq!(stats.faults, 100);
-    assert!(stats.rounds_phase1 <= 5, "phase1 {} rounds", stats.rounds_phase1);
-    assert!(stats.rounds_phase2 <= 5, "phase2 {} rounds", stats.rounds_phase2);
+    assert!(
+        stats.rounds_phase1 <= 5,
+        "phase1 {} rounds",
+        stats.rounds_phase1
+    );
+    assert!(
+        stats.rounds_phase2 <= 5,
+        "phase2 {} rounds",
+        stats.rounds_phase2
+    );
     if let Some(ratio) = stats.enabled_ratio() {
         assert!(ratio > 0.8, "enabled ratio {ratio}");
     }

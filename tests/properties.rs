@@ -20,7 +20,11 @@ fn fault_pattern() -> impl Strategy<Value = (TopologyKind, u32, Vec<Coord>)> {
                 (0..side as i32, 0..side as i32).prop_map(|(x, y)| Coord::new(x, y)),
                 0..=(side as usize),
             );
-            (Just(kind), Just(side), coords.prop_map(|s| s.into_iter().collect()))
+            (
+                Just(kind),
+                Just(side),
+                coords.prop_map(|s| s.into_iter().collect()),
+            )
         })
 }
 

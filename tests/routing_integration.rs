@@ -31,10 +31,7 @@ fn router_delivers_whenever_bfs_can_interior() {
         .filter(|c| c.x >= 2 && c.y >= 2 && c.x <= 13 && c.y <= 13)
         .collect();
     let mut rng = SmallRng::seed_from_u64(77);
-    let faults: Vec<Coord> = interior
-        .choose_multiple(&mut rng, 14)
-        .copied()
-        .collect();
+    let faults: Vec<Coord> = interior.choose_multiple(&mut rng, 14).copied().collect();
     let map = FaultMap::new(topology, faults);
     let out = run_pipeline(&map, &PipelineConfig::default());
     let enabled = EnabledMap::from_outcome(&out);

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serde facade with the same import surface the code
+//! uses (`serde::{Serialize, Deserialize}` as both traits and derives).
+//! Instead of serde's visitor-based data model, everything serializes
+//! through a JSON-like [`Value`] tree; the vendored `serde_json` renders
+//! and parses it. Formats are self-consistent (round-trip safe) but not
+//! guaranteed byte-identical to real serde_json for exotic types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A JSON-like dynamically-typed value: the data model every type
+/// serializes into and deserializes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key, `None` if absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match *self {
+                    Value::Int(v) => v == *other as i64,
+                    Value::UInt(v) => i64::try_from(v).is_ok_and(|v| v == *other as i64),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(DeError::custom)
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self as u64) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(DeError::custom)
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut sorted: Vec<&T> = self.iter().collect();
+        sorted.sort();
+        Value::Array(sorted.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut sorted: Vec<(&String, &V)> = self.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::custom("expected tuple array"))?;
+                Ok(($(__private::index::<$name>(arr, $idx)?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+/// Helpers the derive macros call; not part of the public API contract.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up and deserializes an object member.
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        let v = obj
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))?;
+        T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+    }
+
+    /// Deserializes the `i`-th element of an array.
+    pub fn index<T: Deserialize>(arr: &[Value], i: usize) -> Result<T, DeError> {
+        let v = arr
+            .get(i)
+            .ok_or_else(|| DeError::custom(format!("missing element {i}")))?;
+        T::from_value(v).map_err(|e| DeError::custom(format!("element {i}: {e}")))
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token-level parsing (no `syn`/`quote` — the build has no
+//! network access to fetch them). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields, optionally with plain type parameters
+//!   (e.g. `Grid<T>`),
+//! * enums with unit variants (optionally with discriminants), struct
+//!   variants, and tuple variants.
+//!
+//! The generated impls target the vendored `serde` facade, whose data model
+//! is a JSON-like [`Value`] tree: `Serialize::to_value` /
+//! `Deserialize::from_value`. Enums use serde's externally-tagged encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` (the vendored facade's trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored facade's trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    it.next();
+                    return parse_item(kw == "enum", &mut it);
+                }
+                panic!("serde_derive shim: unexpected token `{kw}`");
+            }
+            other => panic!("serde_derive shim: unexpected input {other:?}"),
+        }
+    }
+}
+
+fn parse_item(
+    is_enum: bool,
+    it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Input {
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            it.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match it.next().expect("unterminated generics") {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => expect_param = true,
+                        ':' if depth == 1 => expect_param = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Skip anything (e.g. a `where` clause) up to the body.
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                // Tuple struct: `struct Foo(A, B);`
+                return Input {
+                    name,
+                    generics,
+                    kind: Kind::TupleStruct(count_tuple_fields(&g)),
+                };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => continue,
+            None => break None,
+        }
+    };
+    let kind = match (is_enum, body) {
+        (false, Some(g)) => Kind::NamedStruct(parse_named_fields(&g)),
+        (false, None) => Kind::UnitStruct,
+        (true, Some(g)) => Kind::Enum(parse_variants(&g)),
+        (true, None) => panic!("serde_derive shim: enum without body"),
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` group, tolerating attributes,
+/// visibility and generic types containing commas.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        // Skip attributes / visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = it.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to a comma at angle-bracket depth zero.
+        let mut angle = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    } else if c == ',' && angle == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple `( ... )` group (top-level commas + 1).
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in g.stream() {
+        any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = it.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(g)) = it.peek() {
+            fields = match g.delimiter() {
+                Delimiter::Brace => VariantFields::Named(parse_named_fields(g)),
+                Delimiter::Parenthesis => VariantFields::Tuple(count_tuple_fields(g)),
+                _ => VariantFields::Unit,
+            };
+            it.next();
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let bound = format!("::serde::{trait_name}");
+    if input.generics.is_empty() {
+        format!("impl {bound} for {}", input.name)
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        format!(
+            "impl<{}> {bound} for {}<{}>",
+            params.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "Self::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let entries: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(input, "Serialize")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::index(__arr, {i})?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__private::field(__obj, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for variant {vn}\"))?; ::std::result::Result::Ok(Self::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::__private::index(__arr, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for variant {vn}\"))?; ::std::result::Result::Ok(Self::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::String(__s) => match __s.as_str() {{ {unit} _ => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __s))) }}, \
+                   ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ {data} _ => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __tag))) }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::custom(\"expected enum encoding for {name}\")) \
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(input, "Deserialize")
+    )
+}
