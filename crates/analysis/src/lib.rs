@@ -14,5 +14,5 @@ pub mod table;
 
 pub use export::{to_csv, to_json};
 pub use series::{Series, SeriesPoint};
-pub use stats::Summary;
+pub use stats::{Percentiles, Summary};
 pub use table::Table;

@@ -80,6 +80,78 @@ pub fn summarize<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
     Summary::of(&v)
 }
 
+/// Tail-focused summary of a latency-like sample: selected percentiles by
+/// the nearest-rank method. Used by the `ocp-serve` service metrics and the
+/// E14 load experiment, where the mean hides exactly the behavior that
+/// matters (tail latency under load).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Number of observations.
+    pub n: usize,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation (the 100th percentile).
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes nearest-rank percentiles of a sample (all zero when empty).
+    ///
+    /// ```
+    /// use ocp_analysis::Percentiles;
+    /// let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+    /// let p = Percentiles::of(&sample);
+    /// assert_eq!((p.p50, p.p95, p.p99, p.max), (50.0, 95.0, 99.0, 100.0));
+    /// assert_eq!(p.n, 100);
+    /// ```
+    pub fn of(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentiles of NaN-free samples"));
+        Self::of_sorted(&sorted)
+    }
+
+    /// Like [`Percentiles::of`] but assumes `sorted` is already ascending,
+    /// skipping the copy and sort.
+    ///
+    /// ```
+    /// use ocp_analysis::Percentiles;
+    /// let p = Percentiles::of_sorted(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!((p.p50, p.max), (2.0, 4.0));
+    /// ```
+    pub fn of_sorted(sorted: &[f64]) -> Self {
+        Self {
+            n: sorted.len(),
+            p50: nearest_rank(sorted, 50.0),
+            p90: nearest_rank(sorted, 90.0),
+            p95: nearest_rank(sorted, 95.0),
+            p99: nearest_rank(sorted, 99.0),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending sample: the smallest value with
+/// at least `p`% of the observations at or below it (0 for an empty
+/// sample).
+///
+/// ```
+/// assert_eq!(ocp_analysis::stats::nearest_rank(&[10.0, 20.0, 30.0], 50.0), 20.0);
+/// assert_eq!(ocp_analysis::stats::nearest_rank(&[], 99.0), 0.0);
+/// ```
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +201,47 @@ mod tests {
         let s = summarize((1..=5).map(|i| i as f64));
         assert_eq!(s.n, 5);
         assert!(close(s.mean, 3.0));
+    }
+
+    #[test]
+    fn percentiles_empty_and_single() {
+        let e = Percentiles::of(&[]);
+        assert_eq!((e.n, e.p50, e.p99, e.max), (0, 0.0, 0.0, 0.0));
+        let s = Percentiles::of(&[7.0]);
+        assert_eq!((s.n, s.p50, s.p90, s.p99, s.max), (1, 7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn percentiles_are_order_insensitive() {
+        let a = Percentiles::of(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let b = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 3.0);
+        assert_eq!(a.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_track_the_tail() {
+        // 99 fast observations and one slow outlier: p50/p90 stay fast,
+        // p99 and max surface the outlier.
+        let mut sample = vec![1.0; 99];
+        sample.push(1000.0);
+        let p = Percentiles::of(&sample);
+        assert_eq!(p.p50, 1.0);
+        assert_eq!(p.p90, 1.0);
+        assert_eq!(p.p99, 1.0);
+        assert_eq!(p.max, 1000.0);
+        // With two outliers the p99 catches one.
+        sample[98] = 1000.0;
+        let p = Percentiles::of(&sample);
+        assert_eq!(p.p99, 1000.0);
+    }
+
+    #[test]
+    fn percentiles_round_trip_json() {
+        let p = Percentiles::of(&[1.0, 2.0, 3.0]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Percentiles = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
     }
 }

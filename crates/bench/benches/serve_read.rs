@@ -1,0 +1,79 @@
+//! B7: in-process query throughput of the mesh-state service.
+//!
+//! Measures the `ServiceHandle` read hot path — the epoch check plus the
+//! query against the cached snapshot — with the writer idle, so the
+//! numbers isolate serving overhead from re-convergence cost. `route_len`
+//! vs `route` quantifies what the allocation-free fast path buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocp_mesh::{Coord, Topology};
+use ocp_serve::{MeshService, ServeConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build_service(side: u32, faults: usize) -> MeshService {
+    let mut rng = SmallRng::seed_from_u64(0xB6);
+    let topology = Topology::mesh(side, side);
+    let faults = ocp_workloads::uniform_faults(topology, faults, &mut rng);
+    MeshService::start(topology, faults, ServeConfig::default()).expect("service starts")
+}
+
+fn pairs(side: u32, n: usize, seed: u64) -> Vec<(Coord, Coord)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                Coord::new(rng.gen_range(0..side as i32), rng.gen_range(0..side as i32)),
+                Coord::new(rng.gen_range(0..side as i32), rng.gen_range(0..side as i32)),
+            )
+        })
+        .collect()
+}
+
+fn serve_queries(c: &mut Criterion) {
+    let side = 32u32;
+    let mut group = c.benchmark_group("serve_read");
+    group.sample_size(30);
+    for faults in [8usize, 64] {
+        let service = build_service(side, faults);
+        let queries = pairs(side, 64, 21);
+        let mut handle = service.handle();
+        group.bench_with_input(BenchmarkId::new("route", faults), &queries, |b, queries| {
+            b.iter(|| {
+                for &(s, d) in queries {
+                    let _ = black_box(handle.route(s, d));
+                }
+            });
+        });
+        let mut handle = service.handle();
+        group.bench_with_input(
+            BenchmarkId::new("route_len", faults),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for &(s, d) in queries {
+                        let _ = black_box(handle.route_len(s, d));
+                    }
+                });
+            },
+        );
+        let mut handle = service.handle();
+        group.bench_with_input(
+            BenchmarkId::new("status", faults),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for &(s, _) in queries {
+                        let _ = black_box(handle.status(s));
+                    }
+                });
+            },
+        );
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_queries);
+criterion_main!(benches);

@@ -15,6 +15,8 @@
 //!   partition     disabled regions vs exact optimal polygon cover (E11)
 //!   async         asynchronous execution vs lock-step fixpoint (E12)
 //!   chaos         lossy-link overhead vs drop rate (E13)
+//!   serve         mesh-state service: throughput/tail latency/staleness (E14)
+//!   serve-smoke   ~2s TCP service smoke run (CI gate)
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
 //! ```
@@ -24,8 +26,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, verification,
-    Settings,
+    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, serve_load,
+    verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -65,7 +67,7 @@ fn parse_args() -> Args {
                 out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -242,6 +244,42 @@ fn run_chaos_exp(args: &Args) {
     save(&args.out_dir, "chaos", to_json(&rows));
 }
 
+fn run_serve(args: &Args) {
+    let report = serve_load::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E14: mesh-state service, closed-loop load",
+            &serve_load::load_table(&report.closed_loop)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E14: mesh-state service, open-loop load (latency from scheduled arrival)",
+            &serve_load::load_table(&report.open_loop)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E14: read staleness vs writer coalescing window",
+            &serve_load::staleness_table(&report.staleness)
+        )
+    );
+    save(&args.out_dir, "serve", to_json(&report));
+}
+
+fn run_serve_smoke(args: &Args) {
+    let report = serve_load::smoke(std::time::Duration::from_secs(2), args.settings.seed);
+    println!(
+        "serve smoke: {} TCP requests in {} ms, {} epochs published",
+        report.served, report.duration_ms, report.epochs_published
+    );
+    assert!(report.served > 0, "smoke run served zero requests");
+    println!("serve smoke: clean shutdown OK");
+}
+
 fn run_example_sec3() {
     use ocp_core::prelude::*;
     let fx = ocp_workloads::fixtures::sec3_example();
@@ -292,6 +330,8 @@ fn main() {
         "partition" => run_partition(&args),
         "async" => run_async_exp(&args),
         "chaos" => run_chaos_exp(&args),
+        "serve" => run_serve(&args),
+        "serve-smoke" => run_serve_smoke(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
             run_fig5(&args, "fig5");
@@ -301,6 +341,7 @@ fn main() {
             run_partition(&args);
             run_async_exp(&args);
             run_chaos_exp(&args);
+            run_serve(&args);
             run_verify(&args);
             run_example_sec3();
         }

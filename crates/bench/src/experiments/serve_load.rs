@@ -1,0 +1,487 @@
+//! E14: the mesh-state service under production-shaped load.
+//!
+//! Every other experiment rebuilds the labeled machine per call; this one
+//! measures the serving layer (`ocp-serve`) that owns it long-term:
+//!
+//! * **Closed loop** — `W` workers issue route queries back-to-back; the
+//!   offered load self-adjusts to service capacity. Reported: throughput
+//!   and on-CPU query latency (p50/p95/p99).
+//! * **Open loop** — queries arrive on a fixed schedule regardless of
+//!   completion, the honest way to expose tail latency under a target
+//!   arrival rate (closed loops hide coordinated omission).
+//! * **Fault churn** — both loops run while a background injector crashes
+//!   and repairs nodes at a configurable rate, so the writer is
+//!   re-converging mid-measurement.
+//! * **Staleness vs batching** — how far behind head (in epochs) reads
+//!   are served, as the writer's coalescing window `batch_max` varies.
+//!
+//! The grid keeps `side` modest (`min(side, 32)`): unlike the labeling
+//! sweeps, the interesting axis here is concurrency, not machine scale.
+
+use super::Settings;
+use ocp_analysis::{Percentiles, Table};
+use ocp_mesh::{Coord, Topology};
+use ocp_serve::{MeshService, ServeConfig, ServiceHandle};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker counts swept (closed and open loop).
+pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Background fault/repair event rates swept, in events per second.
+pub const FAULT_RATES: [f64; 3] = [0.0, 100.0, 1000.0];
+/// Coalescing windows swept by the staleness exhibit.
+pub const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+/// One measured cell of the load sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadRow {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Concurrent query workers.
+    pub workers: usize,
+    /// Background fault/repair events per second (0 = static machine).
+    pub fault_rate: f64,
+    /// Wall-clock measurement window in milliseconds.
+    pub duration_ms: u64,
+    /// Queries answered in the window.
+    pub requests: u64,
+    /// Queries per second.
+    pub throughput: f64,
+    /// Query latency in microseconds. Open-loop latency is measured from
+    /// the *scheduled* arrival time, so it includes queueing delay.
+    pub latency_us: Percentiles,
+    /// Epochs the writer published during the window.
+    pub epochs_published: u64,
+    /// Injected events refused by admission control.
+    pub events_rejected: u64,
+    /// Mean epochs-behind-head across all reads.
+    pub staleness_mean: f64,
+    /// Worst epochs-behind-head observed.
+    pub staleness_max: u64,
+}
+
+/// One cell of the staleness-vs-batching exhibit.
+#[derive(Clone, Debug, Serialize)]
+pub struct StalenessRow {
+    /// The writer's coalescing window.
+    pub batch_max: usize,
+    /// Events the writer applied.
+    pub events_applied: u64,
+    /// Epochs published (smaller = more coalescing).
+    pub epochs_published: u64,
+    /// Mean epochs-behind-head across reads.
+    pub staleness_mean: f64,
+    /// Worst epochs-behind-head observed.
+    pub staleness_max: u64,
+}
+
+/// The full E14 report, serialized to `results/serve.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeReport {
+    /// Mesh side length used for the service.
+    pub side: u32,
+    /// Closed-loop sweep over `WORKER_COUNTS` × `FAULT_RATES`.
+    pub closed_loop: Vec<LoadRow>,
+    /// Open-loop sweep over `WORKER_COUNTS` × `FAULT_RATES` at a fixed
+    /// per-worker arrival rate.
+    pub open_loop: Vec<LoadRow>,
+    /// Staleness sweep over `BATCH_SIZES` under heavy churn.
+    pub staleness: Vec<StalenessRow>,
+}
+
+/// Background fault churn: crashes fresh nodes and repairs old ones at
+/// `rate` events/sec until `stop` is set, keeping the faulty pool bounded.
+/// Events are emitted `burst` at a time (correlated failures) — with
+/// `burst > 1` they land faster than one relabeling, which is what gives
+/// the writer's coalescing window something to coalesce.
+fn churn_loop(
+    handle: ServiceHandle,
+    side: u32,
+    rate: f64,
+    burst: usize,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    let interval = Duration::from_secs_f64(burst as f64 / rate);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<Coord> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        for _ in 0..burst {
+            if pool.len() >= 8.max(2 * burst) {
+                let victim = pool.remove(0);
+                handle.repair_nodes(&[victim]);
+            } else {
+                let node = Coord::new(rng.gen_range(0..side as i32), rng.gen_range(0..side as i32));
+                if !pool.contains(&node) {
+                    handle.inject_faults(&[node]);
+                    pool.push(node);
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Runs one measurement cell and returns (latency samples in µs, requests).
+#[allow(clippy::too_many_arguments)]
+fn drive_workers(
+    service: &MeshService,
+    side: u32,
+    workers: usize,
+    open_loop_interval: Option<Duration>,
+    dwell: Duration,
+    seed: u64,
+) -> (Vec<f64>, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..workers)
+        .map(|w| {
+            let mut handle = service.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (w as u64) << 32);
+                let mut samples = Vec::new();
+                let mut next_arrival = Instant::now();
+                while !stop.load(Ordering::Acquire) {
+                    let src =
+                        Coord::new(rng.gen_range(0..side as i32), rng.gen_range(0..side as i32));
+                    let dst =
+                        Coord::new(rng.gen_range(0..side as i32), rng.gen_range(0..side as i32));
+                    let started = if let Some(interval) = open_loop_interval {
+                        // Open loop: the query "arrives" at the scheduled
+                        // instant whether or not we are ready; latency is
+                        // measured from that instant (no coordinated
+                        // omission).
+                        let now = Instant::now();
+                        if now < next_arrival {
+                            std::thread::sleep(next_arrival - now);
+                        }
+                        let arrival = next_arrival;
+                        next_arrival += interval;
+                        arrival
+                    } else {
+                        Instant::now()
+                    };
+                    let _ = handle.route_len(src, dst);
+                    samples.push(started.elapsed().as_nanos() as f64 / 1_000.0);
+                }
+                samples
+            })
+        })
+        .collect();
+    std::thread::sleep(dwell);
+    stop.store(true, Ordering::Release);
+    let mut all = Vec::new();
+    for t in threads {
+        all.extend(t.join().expect("load worker panicked"));
+    }
+    let requests = all.len() as u64;
+    (all, requests)
+}
+
+/// Runs one (mode, workers, fault-rate) cell against a fresh service.
+fn run_cell(
+    side: u32,
+    workers: usize,
+    fault_rate: f64,
+    open_loop_interval: Option<Duration>,
+    dwell: Duration,
+    seed: u64,
+) -> LoadRow {
+    let service = MeshService::start(
+        Topology::mesh(side, side),
+        [Coord::new(3, 3)],
+        ServeConfig::default(),
+    )
+    .expect("service starts");
+
+    let stop_churn = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let handle = service.handle();
+        let stop = stop_churn.clone();
+        std::thread::spawn(move || churn_loop(handle, side, fault_rate, 1, seed ^ 0xC, stop))
+    };
+
+    let begun = Instant::now();
+    let (samples, requests) =
+        drive_workers(&service, side, workers, open_loop_interval, dwell, seed);
+    let elapsed = begun.elapsed();
+
+    stop_churn.store(true, Ordering::Release);
+    churn.join().expect("churn thread panicked");
+    service.quiesce(Duration::from_secs(30));
+    let stats = service.shutdown();
+
+    LoadRow {
+        mode: if open_loop_interval.is_some() {
+            "open".into()
+        } else {
+            "closed".into()
+        },
+        workers,
+        fault_rate,
+        duration_ms: elapsed.as_millis() as u64,
+        requests,
+        throughput: requests as f64 / elapsed.as_secs_f64(),
+        latency_us: Percentiles::of(&samples),
+        epochs_published: stats.epochs_published,
+        events_rejected: stats.events_rejected,
+        staleness_mean: stats.staleness_mean_epochs,
+        staleness_max: stats.staleness_max_epochs,
+    }
+}
+
+/// Runs one staleness cell: heavy churn, fixed readers, varying `batch_max`.
+fn run_staleness_cell(side: u32, batch_max: usize, dwell: Duration, seed: u64) -> StalenessRow {
+    let service = MeshService::start(
+        Topology::mesh(side, side),
+        [],
+        ServeConfig {
+            batch_max,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let stop_churn = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let handle = service.handle();
+        let stop = stop_churn.clone();
+        // 2 kHz in bursts of 32: each burst outpaces one relabeling, so
+        // the coalescing window is what decides epoch churn.
+        std::thread::spawn(move || churn_loop(handle, side, 2000.0, 32, seed ^ 0x5, stop))
+    };
+    drive_workers(&service, side, 2, None, dwell, seed);
+    stop_churn.store(true, Ordering::Release);
+    churn.join().expect("churn thread panicked");
+    service.quiesce(Duration::from_secs(30));
+    let stats = service.shutdown();
+    StalenessRow {
+        batch_max,
+        events_applied: stats.events_applied,
+        epochs_published: stats.epochs_published,
+        staleness_mean: stats.staleness_mean_epochs,
+        staleness_max: stats.staleness_max_epochs,
+    }
+}
+
+/// Runs the full E14 sweep.
+pub fn run(settings: &Settings) -> ServeReport {
+    let side = settings.side.min(32);
+    let dwell = Duration::from_millis(if settings.trials <= 5 { 150 } else { 400 });
+    let mut closed_loop = Vec::new();
+    let mut open_loop = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        for &fault_rate in &FAULT_RATES {
+            closed_loop.push(run_cell(
+                side,
+                workers,
+                fault_rate,
+                None,
+                dwell,
+                settings.seed ^ 0xE14,
+            ));
+            // Open loop: 2 kHz per worker — comfortably under capacity so
+            // the schedule is feasible, but high enough that a writer
+            // stall would show up as queueing delay in the tail.
+            open_loop.push(run_cell(
+                side,
+                workers,
+                fault_rate,
+                Some(Duration::from_micros(500)),
+                dwell,
+                settings.seed ^ 0x0E14,
+            ));
+        }
+    }
+    let staleness = BATCH_SIZES
+        .iter()
+        .map(|&batch_max| run_staleness_cell(side, batch_max, dwell, settings.seed ^ 0xBA7C4))
+        .collect();
+    ServeReport {
+        side,
+        closed_loop,
+        open_loop,
+        staleness,
+    }
+}
+
+/// Renders one load sweep (closed or open) as a table.
+pub fn load_table(rows: &[LoadRow]) -> Table {
+    let mut t = Table::new([
+        "mode",
+        "workers",
+        "fault ev/s",
+        "req/s",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "epochs",
+        "stale mean",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.mode.clone(),
+            r.workers.to_string(),
+            format!("{:.0}", r.fault_rate),
+            format!("{:.0}", r.throughput),
+            format!("{:.1}", r.latency_us.p50),
+            format!("{:.1}", r.latency_us.p95),
+            format!("{:.1}", r.latency_us.p99),
+            r.epochs_published.to_string(),
+            format!("{:.3}", r.staleness_mean),
+        ]);
+    }
+    t
+}
+
+/// Renders the staleness exhibit as a table.
+pub fn staleness_table(rows: &[StalenessRow]) -> Table {
+    let mut t = Table::new([
+        "batch max",
+        "events applied",
+        "epochs",
+        "events/epoch",
+        "stale mean",
+        "stale max",
+    ]);
+    for r in rows {
+        let per_epoch = if r.epochs_published == 0 {
+            0.0
+        } else {
+            r.events_applied as f64 / r.epochs_published as f64
+        };
+        t.push_row([
+            r.batch_max.to_string(),
+            r.events_applied.to_string(),
+            r.epochs_published.to_string(),
+            format!("{per_epoch:.2}"),
+            format!("{:.3}", r.staleness_mean),
+            r.staleness_max.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Result of the CI smoke exercise: a real TCP server under a short burst
+/// of client load, then a clean shutdown.
+#[derive(Clone, Debug, Serialize)]
+pub struct SmokeReport {
+    /// Requests served over TCP.
+    pub served: u64,
+    /// Epochs published while serving.
+    pub epochs_published: u64,
+    /// Wall-clock run in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// Starts the TCP service, hammers it with framed clients for roughly
+/// `duration`, injects a few faults mid-run, and shuts down cleanly.
+pub fn smoke(duration: Duration, seed: u64) -> SmokeReport {
+    use ocp_serve::{Client, Request, Response, TcpServer};
+    let side = 16u32;
+    let service = MeshService::start(
+        Topology::mesh(side, side),
+        [Coord::new(4, 4)],
+        ServeConfig::default(),
+    )
+    .expect("service starts");
+    let server = TcpServer::start(&service, "127.0.0.1:0").expect("tcp server binds");
+    let addr = server.local_addr();
+
+    let begun = Instant::now();
+    let clients: Vec<_> = (0..2)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut rng = SmallRng::seed_from_u64(seed ^ w);
+                while begun.elapsed() < duration {
+                    let request = Request::RouteLen {
+                        src: Coord::new(
+                            rng.gen_range(0..side as i32),
+                            rng.gen_range(0..side as i32),
+                        ),
+                        dst: Coord::new(
+                            rng.gen_range(0..side as i32),
+                            rng.gen_range(0..side as i32),
+                        ),
+                    };
+                    match client.request(&request) {
+                        Ok(Response::RouteLen(_)) => {}
+                        Ok(other) => panic!("unexpected response: {other:?}"),
+                        Err(e) => panic!("smoke client failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Mid-run churn over the wire, like a real operator would inject it.
+    let mut admin = Client::connect(addr).expect("admin connects");
+    std::thread::sleep(duration / 4);
+    match admin
+        .request(&Request::InjectFaults {
+            nodes: vec![Coord::new(8, 8), Coord::new(9, 8)],
+        })
+        .expect("inject over tcp")
+    {
+        Response::Injected(ack) => assert_eq!(ack.rejected, 0),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    for client in clients {
+        client.join().expect("smoke client panicked");
+    }
+    drop(admin);
+    let served = server.shutdown();
+    service.quiesce(Duration::from_secs(10));
+    let stats = service.shutdown();
+    SmokeReport {
+        served,
+        epochs_published: stats.epochs_published,
+        duration_ms: begun.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_every_cell() {
+        let mut settings = Settings::quick();
+        settings.side = 16;
+        let report = run(&settings);
+        assert_eq!(
+            report.closed_loop.len(),
+            WORKER_COUNTS.len() * FAULT_RATES.len()
+        );
+        assert_eq!(report.open_loop.len(), report.closed_loop.len());
+        assert_eq!(report.staleness.len(), BATCH_SIZES.len());
+        for row in report.closed_loop.iter().chain(&report.open_loop) {
+            assert!(row.requests > 0, "{row:?} served nothing");
+            assert!(row.latency_us.p50 > 0.0);
+            assert!(row.latency_us.p99 >= row.latency_us.p50);
+        }
+        // Churn cells must actually publish epochs.
+        assert!(report
+            .closed_loop
+            .iter()
+            .any(|r| r.fault_rate > 0.0 && r.epochs_published > 0));
+        // Larger coalescing windows publish no more epochs than batch=1.
+        let first = &report.staleness[0];
+        let last = report.staleness.last().unwrap();
+        assert!(last.epochs_published <= first.epochs_published.max(1));
+    }
+
+    #[test]
+    fn smoke_serves_traffic_and_shuts_down() {
+        let report = smoke(Duration::from_millis(300), 11);
+        assert!(report.served > 0, "TCP server served nothing");
+    }
+}

@@ -86,6 +86,36 @@ impl FaultRing {
             dec
         }
     }
+
+    /// Length of [`FaultRing::walk`] without materializing the cells
+    /// (0 for chains).
+    pub fn walk_len(&self, from: usize, to: usize, decreasing: bool) -> usize {
+        let RingShape::Cycle(v) = &self.shape else {
+            return 0;
+        };
+        let n = v.len();
+        if decreasing {
+            (from + n - to) % n
+        } else {
+            (to + n - from) % n
+        }
+    }
+
+    /// Length of [`FaultRing::shorter_walk`] without materializing the
+    /// cells (same tie-break: the increasing walk wins ties).
+    pub fn shorter_walk_len(&self, from: usize, to: usize) -> usize {
+        self.walk_len(from, to, false)
+            .min(self.walk_len(from, to, true))
+    }
+
+    /// The cell at cycle position `pos` (`None` for chains or out of
+    /// range).
+    pub fn cycle_cell(&self, pos: usize) -> Option<Coord> {
+        match &self.shape {
+            RingShape::Cycle(v) => v.get(pos).copied(),
+            RingShape::Chain(_) => None,
+        }
+    }
 }
 
 /// The in-machine cells at Chebyshev distance exactly 1 from `region`
@@ -276,6 +306,37 @@ mod tests {
         assert!(ring.walk(from, from, false).is_empty());
         assert_eq!(inc.last(), Some(&c(4, 4)));
         assert_eq!(dec.last(), Some(&c(4, 4)));
+    }
+
+    #[test]
+    fn walk_len_matches_materialized_walks() {
+        let t = Topology::mesh(10, 10);
+        let region = Region::from_rect(ocp_geometry::Rect::new(c(3, 3), c(4, 5)));
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        let n = ring.cells().len();
+        for from in 0..n {
+            for to in 0..n {
+                for dec in [false, true] {
+                    assert_eq!(ring.walk(from, to, dec).len(), ring.walk_len(from, to, dec));
+                }
+                let walk = ring.shorter_walk(from, to);
+                assert_eq!(walk.len(), ring.shorter_walk_len(from, to));
+                // Both walks land on the same cell: position `to`.
+                if from != to {
+                    assert_eq!(walk.last().copied(), ring.cycle_cell(to));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_walk_helpers_degrade_to_zero() {
+        let t = Topology::mesh(8, 8);
+        let region = Region::from_cells([c(0, 4)]);
+        let ring = build_ring(&enabled_except(t, &region), &region, 0);
+        assert!(!ring.is_cycle());
+        assert_eq!(ring.walk_len(0, 3, false), 0);
+        assert_eq!(ring.cycle_cell(0), None);
     }
 
     #[test]

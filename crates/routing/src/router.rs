@@ -18,6 +18,12 @@ use ocp_mesh::{Coord, Grid, Topology};
 use std::collections::HashSet;
 
 /// A router instance bound to one labeled machine state.
+///
+/// Cloning is a deep copy of the labeled view (enabled map, rings, region
+/// index) and is how `ocp-serve` shares a router per epoch snapshot; the
+/// router itself is immutable after construction, so a clone — or an
+/// `Arc`-shared instance — answers queries from any number of threads.
+#[derive(Clone)]
 pub struct FaultTolerantRouter {
     enabled: EnabledMap,
     rings: Vec<FaultRing>,
@@ -127,13 +133,39 @@ impl FaultTolerantRouter {
 
     /// Routes `src → dst`, detouring around fault regions on their rings.
     pub fn route(&self, src: Coord, dst: Coord) -> Result<Path, RoutingError> {
+        let mut path = Path::new(src);
+        self.traverse(src, dst, Some(&mut path.hops))?;
+        Ok(path)
+    }
+
+    /// Hop count of [`FaultTolerantRouter::route`] without allocating the
+    /// [`Path`]: the fast path for callers that only need the cost of a
+    /// route (load generators, admission estimates). Returns exactly
+    /// `route(src, dst).map(|p| p.len())`.
+    pub fn route_len(&self, src: Coord, dst: Coord) -> Result<usize, RoutingError> {
+        self.traverse(src, dst, None)
+    }
+
+    /// The shared traversal core: XY steps plus ring walks. Records every
+    /// visited cell into `record` when present (the [`route`] case), or
+    /// only counts hops via the ring-walk arithmetic when `None` (the
+    /// [`route_len`] case). Returns the number of links traversed.
+    ///
+    /// [`route`]: FaultTolerantRouter::route
+    /// [`route_len`]: FaultTolerantRouter::route_len
+    fn traverse(
+        &self,
+        src: Coord,
+        dst: Coord,
+        mut record: Option<&mut Vec<Coord>>,
+    ) -> Result<usize, RoutingError> {
         let t = self.topology();
         for endpoint in [src, dst] {
             if !self.enabled.is_enabled(endpoint) {
                 return Err(RoutingError::EndpointDisabled { node: endpoint });
             }
         }
-        let mut path = Path::new(src);
+        let mut hops = 0usize;
         let mut cur = src;
         // Livelock guard: never traverse the same ring from the same entry
         // cell twice.
@@ -141,7 +173,7 @@ impl FaultTolerantRouter {
         let cap = (t.len() * 4).max(64);
 
         while cur != dst {
-            if path.hops.len() > cap {
+            if hops + 1 > cap {
                 return Err(RoutingError::LivelockDetected);
             }
             let dir = preferred_direction(t, cur, dst).expect("cur != dst");
@@ -150,7 +182,10 @@ impl FaultTolerantRouter {
                 .coord()
                 .expect("XY never leaves the machine");
             if self.enabled.is_enabled(next) {
-                path.hops.push(next);
+                if let Some(hops_out) = record.as_mut() {
+                    hops_out.push(next);
+                }
+                hops += 1;
                 cur = next;
                 continue;
             }
@@ -172,13 +207,20 @@ impl FaultTolerantRouter {
             let exit = self
                 .best_exit(ring, dst)
                 .ok_or(RoutingError::LivelockDetected)?;
-            let walk = ring.shorter_walk(here, exit);
-            for step in walk {
-                path.hops.push(step);
+            match record.as_mut() {
+                Some(hops_out) => {
+                    let walk = ring.shorter_walk(here, exit);
+                    hops += walk.len();
+                    hops_out.extend(walk);
+                    cur = *hops_out.last().expect("path never empty");
+                }
+                None => {
+                    hops += ring.shorter_walk_len(here, exit);
+                    cur = ring.cycle_cell(exit).expect("exit is a cycle position");
+                }
             }
-            cur = *path.hops.last().expect("path never empty");
         }
-        Ok(path)
+        Ok(hops)
     }
 
     /// The ring position whose cell minimizes remaining distance to `dst`
@@ -303,6 +345,44 @@ mod tests {
         p.validate(router.enabled()).unwrap();
         // Minimal distance is 4 through the seam; the fault adds a detour.
         assert!(p.len() >= 4 && p.len() <= 8, "got {}", p.len());
+    }
+
+    #[test]
+    fn route_len_matches_route_everywhere() {
+        // Mixed workload: open space, a merged diagonal block, a lone
+        // fault, and a boundary chain — every router outcome class.
+        let t = Topology::mesh(12, 12);
+        let faults = [c(5, 4), c(6, 5), c(9, 9), c(0, 6), c(2, 2)];
+        let router = dr_router(t, &faults);
+        let nodes = router.enabled().enabled_coords();
+        let mut checked = 0usize;
+        for (i, &src) in nodes.iter().enumerate().step_by(5) {
+            for &dst in nodes.iter().skip(i % 4).step_by(9) {
+                match (router.route(src, dst), router.route_len(src, dst)) {
+                    (Ok(p), Ok(len)) => assert_eq!(p.len(), len, "{src}->{dst}"),
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{src}->{dst}"),
+                    (a, b) => panic!("{src}->{dst}: route {a:?} vs route_len {b:?}"),
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 100, "sampled too few pairs");
+    }
+
+    #[test]
+    fn route_len_matches_on_torus_seam() {
+        let router = dr_router(Topology::torus(10, 10), &[c(0, 5)]);
+        let p = router.route(c(8, 5), c(2, 5)).unwrap();
+        assert_eq!(router.route_len(c(8, 5), c(2, 5)).unwrap(), p.len());
+    }
+
+    #[test]
+    fn cloned_router_routes_identically() {
+        let router = dr_router(Topology::mesh(9, 9), &[c(4, 4)]);
+        let copy = router.clone();
+        let (src, dst) = (c(0, 4), c(8, 4));
+        assert_eq!(router.route(src, dst), copy.route(src, dst));
+        assert_eq!(copy.groups().len(), router.groups().len());
     }
 
     #[test]

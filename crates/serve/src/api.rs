@@ -1,0 +1,273 @@
+//! The typed request/response surface of the mesh-state service.
+//!
+//! The same types are used in-process (method per request kind on
+//! [`ServiceHandle`](crate::service::ServiceHandle)) and on the wire (the
+//! TCP layer frames one serialized [`Request`] per query and one
+//! [`Response`] per reply). Every read reply carries the **epoch** of the
+//! snapshot that served it, so clients can reason about staleness and the
+//! consistency tests can check each answer against the exact published
+//! state it claims to come from.
+
+use crate::metrics::StatsReport;
+use ocp_mesh::Coord;
+use ocp_routing::RoutingError;
+use serde::{Deserialize, Serialize};
+
+/// A query or command accepted by the service.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Full fault-tolerant route between two enabled nodes.
+    Route {
+        /// Source node.
+        src: Coord,
+        /// Destination node.
+        dst: Coord,
+    },
+    /// Hop count only (the allocation-free fast path).
+    RouteLen {
+        /// Source node.
+        src: Coord,
+        /// Destination node.
+        dst: Coord,
+    },
+    /// Labeled state of one node.
+    Status {
+        /// The node to inspect.
+        node: Coord,
+    },
+    /// Enqueue crash events for the given nodes (asynchronous: the reply
+    /// acknowledges admission, not convergence).
+    InjectFaults {
+        /// Nodes that just failed.
+        nodes: Vec<Coord>,
+    },
+    /// Enqueue repair events for the given nodes.
+    RepairNodes {
+        /// Nodes that came back to life.
+        nodes: Vec<Coord>,
+    },
+    /// Service counters and latency percentiles.
+    Stats,
+    /// Current head epoch.
+    Epoch,
+}
+
+impl Request {
+    /// Short endpoint name, used for per-endpoint metrics and logs.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Route { .. } => "route",
+            Request::RouteLen { .. } => "route_len",
+            Request::Status { .. } => "status",
+            Request::InjectFaults { .. } => "inject_faults",
+            Request::RepairNodes { .. } => "repair_nodes",
+            Request::Stats => "stats",
+            Request::Epoch => "epoch",
+        }
+    }
+}
+
+/// Reply to a [`Request`], one variant per request kind.
+// The size skew from `Stats` is fine: a `Response` lives only for the one
+// dispatch/serialize round-trip, never in bulk collections.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Route`].
+    Route(RouteReply),
+    /// Reply to [`Request::RouteLen`].
+    RouteLen(RouteLenReply),
+    /// Reply to [`Request::Status`].
+    Status(StatusReply),
+    /// Reply to [`Request::InjectFaults`] / [`Request::RepairNodes`].
+    Injected(InjectReply),
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Reply to [`Request::Epoch`].
+    Epoch {
+        /// Head epoch at the time the reply was produced.
+        epoch: u64,
+    },
+    /// The request could not be handled (malformed frame, internal error).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// A full route answered against one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteReply {
+    /// Epoch of the snapshot that served the query.
+    pub epoch: u64,
+    /// The route, or why none was produced.
+    pub outcome: RouteOutcome,
+}
+
+/// Result of a route query (a serializable `Result`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RouteOutcome {
+    /// A valid route was found.
+    Delivered {
+        /// Visited nodes, source first, destination last.
+        hops: Vec<Coord>,
+    },
+    /// Routing failed.
+    Failed {
+        /// The router's error.
+        error: RoutingError,
+    },
+}
+
+/// A hop count answered against one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteLenReply {
+    /// Epoch of the snapshot that served the query.
+    pub epoch: u64,
+    /// The hop count, or why none was produced.
+    pub outcome: RouteLenOutcome,
+}
+
+/// Result of a hop-count query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RouteLenOutcome {
+    /// A valid route exists with this many links.
+    Delivered {
+        /// Number of links traversed.
+        len: usize,
+    },
+    /// Routing failed.
+    Failed {
+        /// The router's error.
+        error: RoutingError,
+    },
+}
+
+/// Labeled state of one node under one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatusReply {
+    /// Epoch of the snapshot that served the query.
+    pub epoch: u64,
+    /// The inspected node.
+    pub node: Coord,
+    /// Its label.
+    pub state: NodeState,
+}
+
+/// The service-level view of a node's label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// The coordinate is outside the machine.
+    OffMachine,
+    /// The node is faulty.
+    Faulty,
+    /// Nonfaulty but disabled (inside an orthogonal convex fault region).
+    Disabled,
+    /// Enabled: carries traffic.
+    Enabled,
+}
+
+/// Acknowledgement of an event-injection command.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InjectReply {
+    /// Events admitted to the writer queue.
+    pub accepted: usize,
+    /// Events rejected by admission control (queue full). Nonzero means
+    /// the caller should back off and retry the rejected tail.
+    pub rejected: usize,
+    /// Head epoch at admission time; convergence of these events will be
+    /// visible at some later epoch.
+    pub epoch_at_enqueue: u64,
+}
+
+impl InjectReply {
+    /// True if every event was admitted.
+    pub fn fully_accepted(&self) -> bool {
+        self.rejected == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn requests_round_trip_json() {
+        let reqs = [
+            Request::Route {
+                src: c(0, 0),
+                dst: c(3, 4),
+            },
+            Request::RouteLen {
+                src: c(1, 1),
+                dst: c(2, 2),
+            },
+            Request::Status { node: c(5, 5) },
+            Request::InjectFaults {
+                nodes: vec![c(1, 2), c(3, 4)],
+            },
+            Request::RepairNodes { nodes: vec![] },
+            Request::Stats,
+            Request::Epoch,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_json() {
+        let resps = [
+            Response::Route(RouteReply {
+                epoch: 3,
+                outcome: RouteOutcome::Delivered {
+                    hops: vec![c(0, 0), c(1, 0)],
+                },
+            }),
+            Response::Route(RouteReply {
+                epoch: 4,
+                outcome: RouteOutcome::Failed {
+                    error: RoutingError::EndpointDisabled { node: c(9, 9) },
+                },
+            }),
+            Response::Status(StatusReply {
+                epoch: 1,
+                node: c(2, 2),
+                state: NodeState::Disabled,
+            }),
+            Response::Injected(InjectReply {
+                accepted: 2,
+                rejected: 1,
+                epoch_at_enqueue: 7,
+            }),
+            Response::Epoch { epoch: 12 },
+            Response::Error {
+                message: "bad frame".into(),
+            },
+        ];
+        for resp in resps {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn endpoint_names_are_stable() {
+        assert_eq!(Request::Stats.endpoint(), "stats");
+        assert_eq!(
+            Request::Route {
+                src: c(0, 0),
+                dst: c(1, 1)
+            }
+            .endpoint(),
+            "route"
+        );
+    }
+}

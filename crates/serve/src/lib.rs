@@ -1,0 +1,51 @@
+//! # ocp-serve
+//!
+//! A long-lived, embeddable **mesh-state service**: the component that
+//! finally *consumes* the paper's labels under production-shaped load.
+//! Every other consumer in this workspace (the experiments, the routing
+//! evaluation) rebuilds the labeled machine from scratch per call;
+//! `ocp-serve` instead owns the labeled grid, absorbs a stream of
+//! fault/repair events, and answers routing/status queries concurrently
+//! while re-convergence happens off the read path.
+//!
+//! ## Design at a glance
+//!
+//! * [`snapshot`] — immutable per-epoch machine state: fault map, the
+//!   converged two-phase labeling, and a ready-built
+//!   [`FaultTolerantRouter`](ocp_routing::FaultTolerantRouter). Epoch
+//!   `k+1` derives from `k` through the warm-start maintenance path.
+//! * [`service`] — the epoch pointer (atomic epoch + `Arc` slot), the
+//!   single writer thread with batched, admission-controlled event
+//!   ingestion, and the lock-free [`ServiceHandle`] query API.
+//! * [`api`] — the typed request/response surface shared by in-process
+//!   and TCP callers; every read reply is tagged with the epoch that
+//!   served it.
+//! * [`net`] — a dependency-free TCP front-end (`std::net`,
+//!   length-prefixed JSON frames) plus a blocking [`Client`].
+//! * [`metrics`] — lock-free per-endpoint counters, a log-bucketed
+//!   latency histogram with p50/p95/p99, and read-staleness tracking.
+//! * [`queue`] — the bounded writer queue whose full-queue behavior is an
+//!   explicit `Overloaded` rejection, never unbounded buffering.
+//!
+//! See `DESIGN.md` §6 for the architecture rationale and `repro -- serve`
+//! (experiment E14) for throughput/tail-latency/staleness measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod metrics;
+pub mod net;
+pub mod queue;
+pub mod service;
+pub mod snapshot;
+
+pub use api::{
+    InjectReply, NodeState, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome,
+    RouteReply, StatusReply,
+};
+pub use metrics::{EndpointReport, LatencyHistogram, Metrics, StatsReport};
+pub use net::{Client, TcpServer};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{EpochRecord, Event, MeshService, ServeConfig, ServiceHandle};
+pub use snapshot::{EventBatch, Snapshot};

@@ -1,0 +1,308 @@
+//! Service observability: lock-free per-endpoint counters and a
+//! log-bucketed latency histogram with tail percentiles.
+//!
+//! Every recording path is a handful of relaxed atomic operations — query
+//! threads never take a lock to report a latency, so the metrics layer
+//! cannot serialize the reader hot path it is measuring. Percentiles are
+//! approximate (bucket-resolution: powers of two in nanoseconds, read out
+//! at the geometric bucket midpoint), which is the standard trade for a
+//! fixed-size concurrent histogram.
+
+use ocp_analysis::Percentiles;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets; bucket `i` holds observations in
+/// `[2^i, 2^(i+1))` nanoseconds, so 64 buckets cover every `u64` value.
+const BUCKETS: usize = 64;
+
+/// A concurrent latency histogram with power-of-two nanosecond buckets.
+///
+/// Recording is one relaxed `fetch_add`; reading produces nearest-rank
+/// percentiles at bucket resolution.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+/// Representative value of bucket `i`: the geometric midpoint of
+/// `[2^i, 2^(i+1))`.
+fn bucket_mid(i: usize) -> f64 {
+    (1u64 << i) as f64 * 1.5
+}
+
+impl LatencyHistogram {
+    /// Records one observation in nanoseconds (lock-free).
+    pub fn record(&self, nanos: u64) {
+        let idx = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Nearest-rank percentiles over the bucketed sample, with each bucket
+    /// represented by its geometric midpoint (all-zero when empty).
+    pub fn percentiles(&self) -> Percentiles {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Percentiles::of(&[]);
+        }
+        let value_at_rank = |rank: u64| -> f64 {
+            let mut cumulative = 0u64;
+            for (i, &n) in counts.iter().enumerate() {
+                cumulative += n;
+                if cumulative >= rank {
+                    return bucket_mid(i);
+                }
+            }
+            bucket_mid(BUCKETS - 1)
+        };
+        let rank = |p: f64| -> u64 { ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total) };
+        let max_bucket = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
+        Percentiles {
+            n: total as usize,
+            p50: value_at_rank(rank(50.0)),
+            p90: value_at_rank(rank(90.0)),
+            p95: value_at_rank(rank(95.0)),
+            p99: value_at_rank(rank(99.0)),
+            max: bucket_mid(max_bucket),
+        }
+    }
+}
+
+/// Counters and latency for one query endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests served.
+    pub requests: AtomicU64,
+    /// Service-time histogram (nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+impl EndpointMetrics {
+    /// Records one served request.
+    pub fn record(&self, nanos: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(nanos);
+    }
+
+    /// Serializable view.
+    pub fn report(&self) -> EndpointReport {
+        EndpointReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            latency_ns: self.latency.percentiles(),
+        }
+    }
+}
+
+/// All live counters of a running service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Route queries.
+    pub route: EndpointMetrics,
+    /// Hop-count queries.
+    pub route_len: EndpointMetrics,
+    /// Status queries.
+    pub status: EndpointMetrics,
+    /// Stats/epoch meta queries.
+    pub meta_requests: AtomicU64,
+    /// Fault/repair events admitted to the queue.
+    pub events_accepted: AtomicU64,
+    /// Events rejected by admission control (queue full).
+    pub events_rejected: AtomicU64,
+    /// Events applied to a published snapshot.
+    pub events_applied: AtomicU64,
+    /// Events discarded as invalid (already faulty, off-machine, …).
+    pub events_discarded: AtomicU64,
+    /// Snapshots published (excluding the initial one).
+    pub epochs_published: AtomicU64,
+    /// Event batches drained (one published epoch each, unless all events
+    /// in the batch were invalid).
+    pub batches: AtomicU64,
+    /// Sum over read queries of `head_epoch - serving_epoch`.
+    pub staleness_sum: AtomicU64,
+    /// Largest single-query staleness observed, in epochs.
+    pub staleness_max: AtomicU64,
+    /// Read queries contributing to the staleness counters.
+    pub staleness_samples: AtomicU64,
+}
+
+impl Metrics {
+    /// Records how many epochs behind head a read query was served.
+    pub fn record_staleness(&self, epochs_behind: u64) {
+        self.staleness_sum
+            .fetch_add(epochs_behind, Ordering::Relaxed);
+        self.staleness_max
+            .fetch_max(epochs_behind, Ordering::Relaxed);
+        self.staleness_samples.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Serializable snapshot of one endpoint's counters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EndpointReport {
+    /// Requests served.
+    pub requests: u64,
+    /// Service-time percentiles in nanoseconds.
+    pub latency_ns: Percentiles,
+}
+
+/// Serializable snapshot of the whole service's counters — the payload of
+/// the `Stats` endpoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Head epoch when the report was taken.
+    pub epoch: u64,
+    /// Snapshots published since start (excluding the initial one).
+    pub epochs_published: u64,
+    /// Event batches coalesced and drained by the writer.
+    pub batches: u64,
+    /// Events admitted to the writer queue.
+    pub events_accepted: u64,
+    /// Events rejected by admission control.
+    pub events_rejected: u64,
+    /// Events applied to published snapshots.
+    pub events_applied: u64,
+    /// Events discarded as invalid.
+    pub events_discarded: u64,
+    /// Events currently waiting in the writer queue.
+    pub queue_depth: usize,
+    /// Capacity of the writer queue.
+    pub queue_capacity: usize,
+    /// Route endpoint counters.
+    pub route: EndpointReport,
+    /// Hop-count endpoint counters.
+    pub route_len: EndpointReport,
+    /// Status endpoint counters.
+    pub status: EndpointReport,
+    /// Mean read staleness in epochs behind head.
+    pub staleness_mean_epochs: f64,
+    /// Worst read staleness in epochs behind head.
+    pub staleness_max_epochs: u64,
+}
+
+impl StatsReport {
+    /// Total read queries served across route/route_len/status.
+    pub fn reads_served(&self) -> u64 {
+        self.route.requests + self.route_len.requests + self.status.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        let p = h.percentiles();
+        assert_eq!((p.n, p.p50, p.max), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::default();
+        // 1000ns lands in bucket 9 ([512, 1024)); mid = 768.
+        h.record(1000);
+        let p = h.percentiles();
+        assert_eq!(p.n, 1);
+        assert_eq!(p.p50, 768.0);
+        assert_eq!(p.max, 768.0);
+        // Zero is clamped into the lowest bucket instead of panicking.
+        h.record(0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_tail() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64,128), mid 96
+        }
+        h.record(1 << 20); // ~1ms outlier
+        let p = h.percentiles();
+        assert_eq!(p.p50, 96.0);
+        assert_eq!(p.p99, 96.0);
+        assert!(p.max > 1_000_000.0);
+    }
+
+    #[test]
+    fn histogram_is_usable_from_many_threads() {
+        let h = std::sync::Arc::new(LatencyHistogram::default());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(50 + t * 10 + i % 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn staleness_counters_accumulate() {
+        let m = Metrics::default();
+        m.record_staleness(0);
+        m.record_staleness(3);
+        m.record_staleness(1);
+        assert_eq!(m.staleness_sum.load(Ordering::Relaxed), 4);
+        assert_eq!(m.staleness_max.load(Ordering::Relaxed), 3);
+        assert_eq!(m.staleness_samples.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn stats_report_round_trips_json() {
+        let r = StatsReport {
+            epoch: 5,
+            epochs_published: 5,
+            batches: 4,
+            events_accepted: 10,
+            events_rejected: 2,
+            events_applied: 9,
+            events_discarded: 1,
+            queue_depth: 0,
+            queue_capacity: 128,
+            route: EndpointReport {
+                requests: 42,
+                latency_ns: Percentiles::of(&[100.0, 200.0]),
+            },
+            route_len: EndpointReport {
+                requests: 0,
+                latency_ns: Percentiles::of(&[]),
+            },
+            status: EndpointReport {
+                requests: 7,
+                latency_ns: Percentiles::of(&[50.0]),
+            },
+            staleness_mean_epochs: 0.25,
+            staleness_max_epochs: 2,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(r.reads_served(), 49);
+    }
+}

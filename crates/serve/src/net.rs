@@ -1,0 +1,339 @@
+//! The TCP transport: length-prefixed JSON frames over `std::net`.
+//!
+//! Wire format: each message is a 4-byte big-endian length followed by
+//! that many bytes of JSON (one serialized [`Request`] or [`Response`]).
+//! The server runs one acceptor thread plus one thread per connection,
+//! each with its own [`ServiceHandle`] — so TCP readers inherit the same
+//! lock-free hot path as in-process readers. No external async runtime is
+//! involved; the protocol is strictly request/response per connection.
+
+use crate::api::{Request, Response};
+use crate::service::{MeshService, ServiceHandle};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on a single frame; anything larger is a protocol error.
+const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    let body = serde_json::to_string(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = body.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame; `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A running TCP front-end over a [`MeshService`].
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections, each served by a clone of a handle
+    /// from `service`.
+    pub fn start(service: &MeshService, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let prototype = service.handle();
+
+        let acceptor = {
+            let stop = stop.clone();
+            let served = served.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("ocp-serve-acceptor".into())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let handle = prototype.clone();
+                        let stop = stop.clone();
+                        let served = served.clone();
+                        let conn = std::thread::Builder::new()
+                            .name("ocp-serve-conn".into())
+                            .spawn(move || serve_connection(stream, handle, stop, served))
+                            .expect("spawn connection thread");
+                        connections.lock().expect("connections lock").push(conn);
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            served,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (resolve the ephemeral port here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests served over TCP so far.
+    pub fn served_requests(&self) -> u64 {
+        self.served.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, unblocks the acceptor, and joins every thread.
+    /// Returns the total requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking accept with a throwaway connect.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connections lock"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.served.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// One connection: read a request frame, dispatch, write the response,
+/// until EOF, error, or server shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    mut handle: ServiceHandle,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the thread notice server shutdown even
+    // when the client goes quiet without closing.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let request: Request = match read_frame(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let response = handle.dispatch(request);
+        served.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking client for the framed TCP protocol.
+pub struct Client {
+    reader: io::BufReader<TcpStream>,
+    writer: io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a [`TcpServer`].
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            reader: io::BufReader::new(stream.try_clone()?),
+            writer: io::BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, request)?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{NodeState, RouteOutcome};
+    use crate::service::ServeConfig;
+    use ocp_mesh::{Coord, Topology};
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        let req = Request::Status { node: c(2, 3) };
+        write_frame(&mut buf, &req).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let back: Request = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(req, back);
+        // Clean EOF after the frame.
+        let eof: Option<Request> = read_frame(&mut cursor).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame::<Request>(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let service =
+            MeshService::start(Topology::mesh(10, 10), [c(4, 4)], ServeConfig::default()).unwrap();
+        let server = TcpServer::start(&service, "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // Route around the fault.
+        match client
+            .request(&Request::Route {
+                src: c(0, 4),
+                dst: c(9, 4),
+            })
+            .unwrap()
+        {
+            Response::Route(reply) => match reply.outcome {
+                RouteOutcome::Delivered { hops } => assert_eq!(hops.last(), Some(&c(9, 4))),
+                RouteOutcome::Failed { error } => panic!("route failed: {error}"),
+            },
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        // Inject a fault over the wire and watch status flip.
+        match client
+            .request(&Request::InjectFaults {
+                nodes: vec![c(7, 7)],
+            })
+            .unwrap()
+        {
+            Response::Injected(ack) => assert_eq!(ack.accepted, 1),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert!(service.quiesce(Duration::from_secs(30)));
+        match client.request(&Request::Status { node: c(7, 7) }).unwrap() {
+            Response::Status(reply) => {
+                assert_eq!(reply.state, NodeState::Faulty);
+                assert!(reply.epoch >= 1);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        // Stats over the wire counts the TCP-served reads.
+        match client.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => assert!(stats.reads_served() >= 2),
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        drop(client);
+        let served = server.shutdown();
+        assert!(served >= 4, "served {served} requests");
+        service.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_one_service() {
+        let service = MeshService::start(Topology::mesh(8, 8), [], ServeConfig::default()).unwrap();
+        let server = TcpServer::start(&service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for i in 0..20 {
+                        let resp = client
+                            .request(&Request::RouteLen {
+                                src: c(w, 0),
+                                dst: c(7 - w, i % 8),
+                            })
+                            .unwrap();
+                        assert!(matches!(resp, Response::RouteLen(_)));
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        assert_eq!(server.shutdown(), 40);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,650 @@
+//! The long-lived mesh-state service: one writer, many lock-free readers.
+//!
+//! ## Architecture
+//!
+//! * **Epoch snapshots.** The current machine state lives in an immutable
+//!   [`Snapshot`] behind an `Arc`. A single head pointer (epoch counter +
+//!   slot) is advanced by the writer; it is never mutated in place.
+//! * **Lock-free read hot path.** Every [`ServiceHandle`] caches an
+//!   `Arc<Snapshot>`. Serving a query is: one relaxed-cost atomic load of
+//!   the head epoch, an equality check, and then pure reads against the
+//!   cached snapshot. The publication mutex is touched **only** when the
+//!   epoch actually advanced (once per publication per handle, never per
+//!   query), and only long enough to clone an `Arc`. Queries therefore
+//!   never contend with each other, and never block on the writer's
+//!   relabeling work.
+//! * **Single writer, batched ingestion.** Fault/repair events enter a
+//!   bounded queue ([`BoundedQueue`]) with explicit `Overloaded`
+//!   rejection. The writer drains up to `batch_max` events at a time,
+//!   validates them against the current map, re-converges via the
+//!   warm-start maintenance path, and publishes one new snapshot per
+//!   batch — coalescing is what keeps epoch churn (and reader refresh
+//!   cost) proportional to load, not to event count.
+
+use crate::api::{
+    InjectReply, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome, RouteReply,
+    StatusReply,
+};
+use crate::metrics::{Metrics, StatsReport};
+use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::{EventBatch, Snapshot};
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`MeshService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Labeling pipeline configuration (rule, executor, round cap).
+    pub pipeline: PipelineConfig,
+    /// Admission-control capacity of the fault/repair event queue.
+    pub queue_capacity: usize,
+    /// Maximum events coalesced into one published epoch.
+    pub batch_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineConfig::default(),
+            queue_capacity: 1024,
+            batch_max: 64,
+        }
+    }
+}
+
+/// A fault or repair event flowing through the writer queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The node crashed.
+    Fault(Coord),
+    /// The node came back to life.
+    Repair(Coord),
+}
+
+/// What one published epoch applied — the service's audit log, and the
+/// ground truth the consistency tests replay.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// The epoch this batch produced.
+    pub epoch: u64,
+    /// Faults applied in this batch.
+    pub faults: Vec<Coord>,
+    /// Repairs applied in this batch.
+    pub repairs: Vec<Coord>,
+    /// Warm phase-1 rounds the relabeling needed (0 for cold reruns).
+    pub warm_rounds: u32,
+}
+
+struct Shared {
+    /// Epoch of the newest published snapshot (the read hot path's only
+    /// synchronization point).
+    head_epoch: AtomicU64,
+    /// The newest published snapshot. Readers lock this only when
+    /// `head_epoch` says their cache is stale; the critical section is one
+    /// `Arc::clone`.
+    head: Mutex<Arc<Snapshot>>,
+    metrics: Metrics,
+    queue: BoundedQueue<Event>,
+    /// Events admitted to the queue, ever.
+    events_enqueued: AtomicU64,
+    /// Events the writer has finished with (applied or discarded).
+    events_settled: AtomicU64,
+    epoch_log: Mutex<Vec<EpochRecord>>,
+    batch_max: usize,
+}
+
+/// The service: owns the writer thread and the shared state.
+///
+/// Obtain [`ServiceHandle`]s via [`MeshService::handle`] to serve queries
+/// from any number of threads; call [`MeshService::shutdown`] for a clean
+/// stop (close queue → drain → join writer).
+pub struct MeshService {
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl MeshService {
+    /// Cold-labels `topology` under `initial_faults` and starts the writer.
+    pub fn start(
+        topology: Topology,
+        initial_faults: impl IntoIterator<Item = Coord>,
+        config: ServeConfig,
+    ) -> Result<Self, ConvergenceError> {
+        let map = FaultMap::new(topology, initial_faults);
+        let initial = Arc::new(Snapshot::cold(0, map, &config.pipeline)?);
+        let shared = Arc::new(Shared {
+            head_epoch: AtomicU64::new(0),
+            head: Mutex::new(initial.clone()),
+            metrics: Metrics::default(),
+            queue: BoundedQueue::new(config.queue_capacity),
+            events_enqueued: AtomicU64::new(0),
+            events_settled: AtomicU64::new(0),
+            epoch_log: Mutex::new(Vec::new()),
+            batch_max: config.batch_max,
+        });
+        let writer = {
+            let shared = shared.clone();
+            let pipeline = config.pipeline;
+            std::thread::Builder::new()
+                .name("ocp-serve-writer".into())
+                .spawn(move || writer_loop(shared, initial, pipeline))
+                .expect("spawn writer thread")
+        };
+        Ok(Self {
+            shared,
+            config,
+            writer: Some(writer),
+        })
+    }
+
+    /// A new query handle bound to the current head snapshot.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            cached: self.shared.head.lock().expect("head lock").clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The audit log: one record per published epoch, in order.
+    pub fn epoch_log(&self) -> Vec<EpochRecord> {
+        self.shared
+            .epoch_log
+            .lock()
+            .expect("epoch log lock")
+            .clone()
+    }
+
+    /// Blocks until every admitted event has been applied or discarded, or
+    /// the deadline passes; returns whether quiescence was reached.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let enqueued = self.shared.events_enqueued.load(Ordering::Acquire);
+            let settled = self.shared.events_settled.load(Ordering::Acquire);
+            if settled >= enqueued {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Clean shutdown: stop admitting events, let the writer drain the
+    /// backlog, join it, and return the final stats.
+    pub fn shutdown(mut self) -> StatsReport {
+        self.shared.queue.close();
+        if let Some(writer) = self.writer.take() {
+            writer.join().expect("writer thread panicked");
+        }
+        self.handle().stats()
+    }
+}
+
+impl Drop for MeshService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The writer: drain → validate → relabel → publish, until closed.
+fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: PipelineConfig) {
+    while let Some(first) = shared.queue.recv() {
+        let mut events = vec![first];
+        shared
+            .queue
+            .drain_up_to(shared.batch_max.saturating_sub(1), &mut events);
+        let drained = events.len() as u64;
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Validate against the current map; duplicates within the batch
+        // and events that no longer make sense are discarded (a fault for
+        // an already-faulty node, a repair for a healthy one).
+        let mut batch = EventBatch::default();
+        let mut discarded = 0u64;
+        for event in events {
+            let valid = match event {
+                Event::Fault(c) => {
+                    current.map.topology().contains(c)
+                        && !current.map.is_faulty(c)
+                        && !batch.faults.contains(&c)
+                }
+                Event::Repair(c) => {
+                    current.map.is_faulty(c)
+                        && !batch.repairs.contains(&c)
+                        && !batch.faults.contains(&c)
+                }
+            };
+            if !valid {
+                discarded += 1;
+                continue;
+            }
+            match event {
+                Event::Fault(c) => batch.faults.push(c),
+                Event::Repair(c) => batch.repairs.push(c),
+            }
+        }
+        shared
+            .metrics
+            .events_discarded
+            .fetch_add(discarded, Ordering::Relaxed);
+
+        if !batch.is_empty() {
+            match current.apply(&batch, &pipeline) {
+                Ok(next) => {
+                    let warm_rounds = if batch.repairs.is_empty() {
+                        next.outcome.safety_trace.rounds()
+                    } else {
+                        0
+                    };
+                    let next = Arc::new(next);
+                    {
+                        // Publish: slot first, then epoch, inside the same
+                        // critical section — a reader that observes the new
+                        // epoch is guaranteed to find a snapshot at least
+                        // that new in the slot.
+                        let mut head = shared.head.lock().expect("head lock");
+                        *head = next.clone();
+                        shared.head_epoch.store(next.epoch, Ordering::Release);
+                    }
+                    shared
+                        .metrics
+                        .events_applied
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .epochs_published
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .epoch_log
+                        .lock()
+                        .expect("epoch log lock")
+                        .push(EpochRecord {
+                            epoch: next.epoch,
+                            faults: batch.faults.clone(),
+                            repairs: batch.repairs.clone(),
+                            warm_rounds,
+                        });
+                    current = next;
+                }
+                Err(e) => {
+                    // A convergence stall is a bug upstream (the round cap
+                    // is diameter-derived); keep serving the last good
+                    // snapshot and account the batch as discarded.
+                    shared
+                        .metrics
+                        .events_discarded
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    eprintln!("ocp-serve writer: relabeling failed, batch dropped: {e}");
+                }
+            }
+        }
+        shared.events_settled.fetch_add(drained, Ordering::Release);
+    }
+}
+
+/// A cloneable query handle over the service.
+///
+/// Read methods take `&mut self` only to refresh the handle's cached
+/// snapshot pointer; they never lock on the hot path (see the module
+/// docs). A handle is `Send`, so spawn one per worker thread.
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    cached: Arc<Snapshot>,
+}
+
+impl Clone for ServiceHandle {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+            cached: self.cached.clone(),
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Hot path: one atomic load; the mutex is taken only when a new epoch
+    /// was actually published since this handle last looked.
+    fn refresh(&mut self) {
+        let head = self.shared.head_epoch.load(Ordering::Acquire);
+        if self.cached.epoch != head {
+            self.cached = self.shared.head.lock().expect("head lock").clone();
+        }
+    }
+
+    /// Records how far behind head the just-served epoch was.
+    fn note_staleness(&self, served_epoch: u64) {
+        let head = self.shared.head_epoch.load(Ordering::Relaxed);
+        self.shared
+            .metrics
+            .record_staleness(head.saturating_sub(served_epoch));
+    }
+
+    /// The snapshot the next query would be served against.
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        self.refresh();
+        self.cached.clone()
+    }
+
+    /// Current head epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.head_epoch.load(Ordering::Acquire)
+    }
+
+    /// Full fault-tolerant route between two nodes.
+    pub fn route(&mut self, src: Coord, dst: Coord) -> RouteReply {
+        let start = Instant::now();
+        self.refresh();
+        let outcome = match self.cached.router.route(src, dst) {
+            Ok(path) => RouteOutcome::Delivered { hops: path.hops },
+            Err(error) => RouteOutcome::Failed { error },
+        };
+        let reply = RouteReply {
+            epoch: self.cached.epoch,
+            outcome,
+        };
+        self.shared
+            .metrics
+            .route
+            .record(start.elapsed().as_nanos() as u64);
+        self.note_staleness(reply.epoch);
+        reply
+    }
+
+    /// Hop count only (no path allocation).
+    pub fn route_len(&mut self, src: Coord, dst: Coord) -> RouteLenReply {
+        let start = Instant::now();
+        self.refresh();
+        let outcome = match self.cached.router.route_len(src, dst) {
+            Ok(len) => RouteLenOutcome::Delivered { len },
+            Err(error) => RouteLenOutcome::Failed { error },
+        };
+        let reply = RouteLenReply {
+            epoch: self.cached.epoch,
+            outcome,
+        };
+        self.shared
+            .metrics
+            .route_len
+            .record(start.elapsed().as_nanos() as u64);
+        self.note_staleness(reply.epoch);
+        reply
+    }
+
+    /// Labeled state of one node.
+    pub fn status(&mut self, node: Coord) -> StatusReply {
+        let start = Instant::now();
+        self.refresh();
+        let reply = StatusReply {
+            epoch: self.cached.epoch,
+            node,
+            state: self.cached.node_state(node),
+        };
+        self.shared
+            .metrics
+            .status
+            .record(start.elapsed().as_nanos() as u64);
+        self.note_staleness(reply.epoch);
+        reply
+    }
+
+    /// Enqueues crash events; admission-controlled, never blocking.
+    pub fn inject_faults(&self, nodes: &[Coord]) -> InjectReply {
+        self.inject(nodes.iter().map(|&c| Event::Fault(c)))
+    }
+
+    /// Enqueues repair events; admission-controlled, never blocking.
+    pub fn repair_nodes(&self, nodes: &[Coord]) -> InjectReply {
+        self.inject(nodes.iter().map(|&c| Event::Repair(c)))
+    }
+
+    fn inject(&self, events: impl Iterator<Item = Event>) -> InjectReply {
+        let epoch_at_enqueue = self.epoch();
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        for event in events {
+            match self.shared.queue.try_push(event) {
+                Ok(()) => {
+                    accepted += 1;
+                    self.shared.events_enqueued.fetch_add(1, Ordering::Release);
+                }
+                Err(PushError::Overloaded) | Err(PushError::Closed) => rejected += 1,
+            }
+        }
+        self.shared
+            .metrics
+            .events_accepted
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .events_rejected
+            .fetch_add(rejected as u64, Ordering::Relaxed);
+        InjectReply {
+            accepted,
+            rejected,
+            epoch_at_enqueue,
+        }
+    }
+
+    /// Live counters and latency percentiles.
+    pub fn stats(&self) -> StatsReport {
+        let m = &self.shared.metrics;
+        m.meta_requests.fetch_add(1, Ordering::Relaxed);
+        let samples = m.staleness_samples.load(Ordering::Relaxed);
+        StatsReport {
+            epoch: self.epoch(),
+            epochs_published: m.epochs_published.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            events_accepted: m.events_accepted.load(Ordering::Relaxed),
+            events_rejected: m.events_rejected.load(Ordering::Relaxed),
+            events_applied: m.events_applied.load(Ordering::Relaxed),
+            events_discarded: m.events_discarded.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len(),
+            queue_capacity: self.shared.queue.capacity(),
+            route: m.route.report(),
+            route_len: m.route_len.report(),
+            status: m.status.report(),
+            staleness_mean_epochs: if samples == 0 {
+                0.0
+            } else {
+                m.staleness_sum.load(Ordering::Relaxed) as f64 / samples as f64
+            },
+            staleness_max_epochs: m.staleness_max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves one typed [`Request`] — the single dispatch point shared by
+    /// the TCP layer and any in-process caller that speaks the wire API.
+    pub fn dispatch(&mut self, request: Request) -> Response {
+        match request {
+            Request::Route { src, dst } => Response::Route(self.route(src, dst)),
+            Request::RouteLen { src, dst } => Response::RouteLen(self.route_len(src, dst)),
+            Request::Status { node } => Response::Status(self.status(node)),
+            Request::InjectFaults { nodes } => Response::Injected(self.inject_faults(&nodes)),
+            Request::RepairNodes { nodes } => Response::Injected(self.repair_nodes(&nodes)),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Epoch => Response::Epoch {
+                epoch: self.epoch(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NodeState;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn small_service() -> MeshService {
+        MeshService::start(Topology::mesh(12, 12), [c(3, 3)], ServeConfig::default())
+            .expect("service starts")
+    }
+
+    #[test]
+    fn serves_routes_against_the_initial_snapshot() {
+        let service = small_service();
+        let mut h = service.handle();
+        let reply = h.route(c(0, 3), c(11, 3));
+        assert_eq!(reply.epoch, 0);
+        match reply.outcome {
+            RouteOutcome::Delivered { hops } => {
+                assert_eq!(hops.first(), Some(&c(0, 3)));
+                assert_eq!(hops.last(), Some(&c(11, 3)));
+            }
+            RouteOutcome::Failed { error } => panic!("route failed: {error}"),
+        }
+        let report = service.shutdown();
+        assert_eq!(report.route.requests, 1);
+    }
+
+    #[test]
+    fn injected_faults_converge_and_change_answers() {
+        let service = small_service();
+        let mut h = service.handle();
+        assert_eq!(h.status(c(7, 7)).state, NodeState::Enabled);
+        let ack = h.inject_faults(&[c(7, 7)]);
+        assert_eq!((ack.accepted, ack.rejected), (1, 0));
+        assert!(service.quiesce(Duration::from_secs(30)), "writer drained");
+        assert_eq!(h.status(c(7, 7)).state, NodeState::Faulty);
+        assert!(h.epoch() >= 1);
+        // The epoch log records exactly what was applied.
+        let log = service.epoch_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].faults, vec![c(7, 7)]);
+        assert!(log[0].repairs.is_empty());
+    }
+
+    #[test]
+    fn repairs_flow_through_the_cold_path() {
+        let service = small_service();
+        let mut h = service.handle();
+        let ack = h.repair_nodes(&[c(3, 3)]);
+        assert_eq!(ack.accepted, 1);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        assert_eq!(h.status(c(3, 3)).state, NodeState::Enabled);
+        assert_eq!(h.snapshot().map.fault_count(), 0);
+    }
+
+    #[test]
+    fn invalid_events_are_discarded_not_applied() {
+        let service = small_service();
+        let h = service.handle();
+        // Already faulty, off-machine, and repair-of-healthy: all invalid.
+        h.inject_faults(&[c(3, 3), c(99, 99)]);
+        h.repair_nodes(&[c(0, 0)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = h.stats();
+        assert_eq!(stats.events_discarded, 3);
+        assert_eq!(stats.events_applied, 0);
+        assert_eq!(h.epoch(), 0, "no epoch published for all-invalid batches");
+    }
+
+    #[test]
+    fn admission_control_rejects_overload() {
+        let service = MeshService::start(
+            Topology::mesh(30, 30),
+            [],
+            ServeConfig {
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let h = service.handle();
+        // Far more events than capacity in one call: some must be
+        // rejected (the writer may drain a few concurrently, so the exact
+        // split varies, but the queue can never have buffered them all).
+        let nodes: Vec<Coord> = (0..200).map(|i| c(i % 30, i / 30)).collect();
+        let ack = h.inject_faults(&nodes);
+        assert!(ack.rejected > 0, "queue of 4 absorbed 200 events");
+        assert_eq!(ack.accepted + ack.rejected, 200);
+        let stats = h.stats();
+        assert_eq!(stats.events_rejected, ack.rejected as u64);
+    }
+
+    #[test]
+    fn dispatch_covers_every_request_kind() {
+        let service = small_service();
+        let mut h = service.handle();
+        let cases = [
+            Request::Route {
+                src: c(0, 0),
+                dst: c(5, 5),
+            },
+            Request::RouteLen {
+                src: c(0, 0),
+                dst: c(5, 5),
+            },
+            Request::Status { node: c(3, 3) },
+            Request::InjectFaults { nodes: vec![] },
+            Request::RepairNodes { nodes: vec![] },
+            Request::Stats,
+            Request::Epoch,
+        ];
+        for request in cases {
+            let response = h.dispatch(request.clone());
+            assert!(
+                !matches!(response, Response::Error { .. }),
+                "{request:?} errored"
+            );
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_into_few_epochs() {
+        let service = MeshService::start(
+            Topology::mesh(20, 20),
+            [],
+            ServeConfig {
+                batch_max: 64,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let h = service.handle();
+        let nodes: Vec<Coord> = (0..12).map(|i| c(1 + i, 1 + i)).collect();
+        let ack = h.inject_faults(&nodes);
+        assert_eq!(ack.accepted, 12);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = h.stats();
+        assert_eq!(stats.events_applied, 12);
+        // 12 events never need 12 epochs: the writer coalesces.
+        assert!(
+            stats.epochs_published <= 12,
+            "published {} epochs",
+            stats.epochs_published
+        );
+        let report = service.shutdown();
+        assert_eq!(report.events_applied, 12);
+    }
+
+    #[test]
+    fn stale_handle_refreshes_on_next_query() {
+        let service = small_service();
+        let mut reader = service.handle();
+        assert_eq!(reader.route(c(0, 0), c(1, 1)).epoch, 0);
+        let writer_side = service.handle();
+        writer_side.inject_faults(&[c(8, 8)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        // The stale reader picks up the new epoch on its next query.
+        assert_eq!(reader.route(c(0, 0), c(1, 1)).epoch, 1);
+    }
+}

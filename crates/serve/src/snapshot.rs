@@ -1,0 +1,213 @@
+//! Immutable epoch snapshots of the labeled machine.
+//!
+//! A [`Snapshot`] is everything a query needs, computed once per published
+//! epoch and never mutated afterwards: the fault map, the converged
+//! two-phase labeling, the enabled view, and a ready-built
+//! [`FaultTolerantRouter`]. Readers hold snapshots behind `Arc`s, so a
+//! query is answered entirely against one self-consistent machine state no
+//! matter how many newer epochs the writer publishes mid-flight.
+//!
+//! Epoch `k+1` is derived from epoch `k` by [`Snapshot::apply`]: a batch
+//! of new faults reuses the paper's warm-start maintenance path (phase 1
+//! is monotone in the fault set), while any repair in the batch forces the
+//! cold rerun that repairs require — exactly the rules
+//! `ocp-core::maintenance` centralizes.
+
+use crate::api::NodeState;
+use ocp_core::maintenance::try_relabel_after_faults;
+use ocp_core::prelude::*;
+use ocp_geometry::Region;
+use ocp_mesh::Coord;
+use ocp_routing::{EnabledMap, FaultTolerantRouter};
+
+/// One batch of coalesced fault/repair events, the unit of epoch
+/// advancement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EventBatch {
+    /// Nodes that crashed.
+    pub faults: Vec<Coord>,
+    /// Nodes that came back to life.
+    pub repairs: Vec<Coord>,
+}
+
+impl EventBatch {
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.faults.len() + self.repairs.len()
+    }
+
+    /// True when the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.repairs.is_empty()
+    }
+}
+
+/// An immutable, fully-labeled machine state at one epoch.
+#[derive(Clone)]
+pub struct Snapshot {
+    /// Monotone publication counter; epoch 0 is the initial cold run.
+    pub epoch: u64,
+    /// The fault set this snapshot was labeled under.
+    pub map: FaultMap,
+    /// The converged two-phase labeling.
+    pub outcome: PipelineOutcome,
+    /// The routing view (enabled nodes only).
+    pub enabled: EnabledMap,
+    /// Router built over the disabled regions, ready to answer queries.
+    pub router: FaultTolerantRouter,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("faults", &self.map.fault_count())
+            .field("regions", &self.outcome.regions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// Cold-builds the snapshot for `map` (used for epoch 0 and for
+    /// batches containing repairs).
+    pub fn cold(
+        epoch: u64,
+        map: FaultMap,
+        config: &PipelineConfig,
+    ) -> Result<Self, ConvergenceError> {
+        let outcome = try_run_pipeline(&map, config)?;
+        Ok(Self::from_outcome(epoch, map, outcome))
+    }
+
+    /// Wraps an already-converged outcome into a snapshot, building the
+    /// enabled view and the router.
+    pub fn from_outcome(epoch: u64, map: FaultMap, outcome: PipelineOutcome) -> Self {
+        let enabled = EnabledMap::from_outcome(&outcome);
+        let regions: Vec<Region> = outcome.regions.iter().map(|r| r.cells.clone()).collect();
+        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        Self {
+            epoch,
+            map,
+            outcome,
+            enabled,
+            router,
+        }
+    }
+
+    /// Derives the next epoch's snapshot after `batch`. Pure-fault batches
+    /// take the warm-start relabeling path; any repair forces a cold rerun
+    /// (warm-starting across repairs is unsound — see
+    /// `ocp-core::maintenance::relabel_after_repair`).
+    pub fn apply(
+        &self,
+        batch: &EventBatch,
+        config: &PipelineConfig,
+    ) -> Result<Self, ConvergenceError> {
+        let epoch = self.epoch + 1;
+        if batch.repairs.is_empty() {
+            let (map, m) =
+                try_relabel_after_faults(&self.map, &batch.faults, &self.outcome, config)?;
+            Ok(Self::from_outcome(epoch, map, m.outcome))
+        } else {
+            let mut map = self.map.clone();
+            for &r in &batch.repairs {
+                map = map.with_repaired_node(r);
+            }
+            for &f in &batch.faults {
+                map = map.with_additional_fault(f);
+            }
+            Self::cold(epoch, map, config)
+        }
+    }
+
+    /// The service-level label of one coordinate under this snapshot.
+    pub fn node_state(&self, c: Coord) -> NodeState {
+        if !self.map.topology().contains(c) {
+            NodeState::OffMachine
+        } else if self.map.is_faulty(c) {
+            NodeState::Faulty
+        } else if self.enabled.is_enabled(c) {
+            NodeState::Enabled
+        } else {
+            NodeState::Disabled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Topology;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn warm_fault_batch_matches_cold_oracle() {
+        let cfg = PipelineConfig::default();
+        let base = Snapshot::cold(
+            0,
+            FaultMap::new(Topology::mesh(12, 12), [c(3, 3), c(4, 4)]),
+            &cfg,
+        )
+        .unwrap();
+        let batch = EventBatch {
+            faults: vec![c(8, 8), c(9, 9)],
+            repairs: vec![],
+        };
+        let next = base.apply(&batch, &cfg).unwrap();
+        assert_eq!(next.epoch, 1);
+        let oracle = Snapshot::cold(1, next.map.clone(), &cfg).unwrap();
+        assert_eq!(next.outcome.safety, oracle.outcome.safety);
+        assert_eq!(next.outcome.activation, oracle.outcome.activation);
+    }
+
+    #[test]
+    fn repair_batch_takes_the_cold_path() {
+        // A concave fault pattern: (3,4) is nonfaulty but disabled to make
+        // the surrounding region orthogonal convex.
+        let cfg = PipelineConfig::default();
+        let base = Snapshot::cold(
+            0,
+            FaultMap::new(Topology::mesh(8, 8), [c(3, 3), c(4, 4), c(3, 5)]),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(base.node_state(c(3, 4)), NodeState::Disabled);
+        let batch = EventBatch {
+            faults: vec![c(6, 6)],
+            repairs: vec![c(4, 4)],
+        };
+        let next = base.apply(&batch, &cfg).unwrap();
+        assert_eq!(next.map.fault_count(), 3); // -1 repair, +1 fault
+                                               // With the concavity's corner fault repaired, (3,4) is re-enabled.
+        assert_eq!(next.node_state(c(3, 4)), NodeState::Enabled);
+        assert_eq!(next.node_state(c(4, 4)), NodeState::Enabled);
+        assert_eq!(next.node_state(c(6, 6)), NodeState::Faulty);
+    }
+
+    #[test]
+    fn node_state_covers_all_labels() {
+        let cfg = PipelineConfig::default();
+        let snap = Snapshot::cold(
+            0,
+            FaultMap::new(Topology::mesh(8, 8), [c(3, 3), c(4, 4), c(3, 5)]),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(snap.node_state(c(-1, 0)), NodeState::OffMachine);
+        assert_eq!(snap.node_state(c(3, 3)), NodeState::Faulty);
+        assert_eq!(snap.node_state(c(3, 4)), NodeState::Disabled);
+        assert_eq!(snap.node_state(c(0, 0)), NodeState::Enabled);
+    }
+
+    #[test]
+    fn router_in_snapshot_respects_the_labeling() {
+        let cfg = PipelineConfig::default();
+        let snap = Snapshot::cold(0, FaultMap::new(Topology::mesh(9, 9), [c(4, 4)]), &cfg).unwrap();
+        let p = snap.router.route(c(0, 4), c(8, 4)).unwrap();
+        p.validate(&snap.enabled).unwrap();
+        assert_eq!(p.len(), 10); // minimal detour around one cell
+    }
+}

@@ -1,0 +1,249 @@
+//! Concurrent snapshot-consistency test (PR acceptance criterion).
+//!
+//! Reader threads hammer route queries while a `FaultSchedule` is injected
+//! into the live service. Afterwards, the service's epoch log is replayed
+//! cold: every recorded response must be *exactly* what a from-scratch
+//! pipeline run of its epoch would have answered — i.e. each read was
+//! served against some fully-consistent published snapshot, never a
+//! half-updated machine. Finally, the head snapshot must equal a cold
+//! oracle of the terminal fault set field-for-field.
+
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use ocp_serve::{EpochRecord, MeshService, RouteOutcome, ServeConfig, Snapshot};
+use ocp_workloads::FaultSchedule;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIDE: u32 = 14;
+
+fn c(x: i32, y: i32) -> Coord {
+    Coord::new(x, y)
+}
+
+/// Replays the epoch log into the per-epoch fault sets: index `k` holds the
+/// faults the snapshot of epoch `k` was labeled under.
+fn fault_sets_per_epoch(initial: &[Coord], log: &[EpochRecord]) -> Vec<Vec<Coord>> {
+    let mut sets = vec![initial.to_vec()];
+    let mut current = initial.to_vec();
+    for (i, record) in log.iter().enumerate() {
+        assert_eq!(
+            record.epoch,
+            (i + 1) as u64,
+            "epoch log must be gapless and ordered"
+        );
+        current.retain(|f| !record.repairs.contains(f));
+        current.extend(record.faults.iter().copied());
+        sets.push(current.clone());
+    }
+    sets
+}
+
+#[test]
+fn concurrent_reads_are_always_served_by_a_published_epoch() {
+    let initial = vec![c(3, 3), c(10, 4)];
+    let service = MeshService::start(
+        Topology::mesh(SIDE, SIDE),
+        initial.iter().copied(),
+        ServeConfig {
+            batch_max: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Readers: hammer routes until told to stop, recording every answer
+    // with the epoch that served it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|worker| {
+            let mut handle = service.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5eed + worker);
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let src = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                    let dst = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                    let reply = handle.route(src, dst);
+                    observed.push((reply.epoch, src, dst, reply.outcome));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Writer side: drip a randomized fault schedule into the live service,
+    // pausing between time-steps so several epochs publish mid-read.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let schedule = FaultSchedule::random(Topology::mesh(SIDE, SIDE), 10, 5, &mut rng);
+    let injector = service.handle();
+    for (_, nodes) in schedule.grouped_by_time() {
+        let ack = injector.inject_faults(&nodes);
+        assert_eq!(ack.rejected, 0, "default queue must absorb the schedule");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(service.quiesce(Duration::from_secs(60)), "writer drained");
+    stop.store(true, Ordering::Release);
+
+    let observations: Vec<_> = readers
+        .into_iter()
+        .flat_map(|r| r.join().expect("reader panicked"))
+        .collect();
+    assert!(
+        observations.len() >= 100,
+        "readers only got {} queries in",
+        observations.len()
+    );
+
+    let log = service.epoch_log();
+    assert!(!log.is_empty(), "injection published no epochs");
+    let final_head = service.handle().snapshot();
+    service.shutdown();
+
+    // Cold oracle per epoch: rebuild each published machine state from
+    // scratch and check every observation against its serving epoch.
+    let config = PipelineConfig::default();
+    let oracles: Vec<Snapshot> = fault_sets_per_epoch(&initial, &log)
+        .into_iter()
+        .enumerate()
+        .map(|(epoch, faults)| {
+            Snapshot::cold(
+                epoch as u64,
+                FaultMap::new(Topology::mesh(SIDE, SIDE), faults),
+                &config,
+            )
+            .expect("cold oracle converges")
+        })
+        .collect();
+
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for (epoch, src, dst, outcome) in &observations {
+        let oracle = oracles
+            .get(*epoch as usize)
+            .unwrap_or_else(|| panic!("reply tagged with unpublished epoch {epoch}"));
+        epochs_seen.insert(*epoch);
+        match (oracle.router.route(*src, *dst), outcome) {
+            (Ok(path), RouteOutcome::Delivered { hops }) => {
+                assert_eq!(
+                    &path.hops, hops,
+                    "epoch {epoch}: route {src:?}->{dst:?} differs from oracle"
+                );
+            }
+            (Err(expected), RouteOutcome::Failed { error }) => {
+                assert_eq!(
+                    &expected, error,
+                    "epoch {epoch}: failure kind differs for {src:?}->{dst:?}"
+                );
+            }
+            (oracle_says, served) => panic!(
+                "epoch {epoch}: {src:?}->{dst:?} oracle {oracle_says:?} vs served {served:?}"
+            ),
+        }
+    }
+    assert!(
+        epochs_seen.len() >= 2,
+        "reads only ever saw epochs {epochs_seen:?}; injection raced past the readers"
+    );
+
+    // The terminal snapshot must match the cold oracle field-for-field.
+    let oracle = oracles.last().expect("at least epoch 0");
+    assert_eq!(final_head.epoch, oracle.epoch);
+    let mut final_faults = final_head.map.faults();
+    let mut oracle_faults = oracle.map.faults();
+    final_faults.sort();
+    oracle_faults.sort();
+    assert_eq!(final_faults, oracle_faults);
+    assert_eq!(final_head.outcome.safety, oracle.outcome.safety);
+    assert_eq!(final_head.outcome.activation, oracle.outcome.activation);
+    assert_eq!(
+        final_head.outcome.regions.len(),
+        oracle.outcome.regions.len()
+    );
+    for y in 0..SIDE as i32 {
+        for x in 0..SIDE as i32 {
+            assert_eq!(
+                final_head.enabled.is_enabled(c(x, y)),
+                oracle.enabled.is_enabled(c(x, y)),
+                "enabled view diverges at ({x},{y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn repairs_interleaved_with_reads_stay_consistent() {
+    let initial = vec![c(4, 4), c(5, 4), c(9, 9)];
+    let service = MeshService::start(
+        Topology::mesh(SIDE, SIDE),
+        initial.iter().copied(),
+        ServeConfig {
+            batch_max: 1, // force one epoch per event: worst-case churn
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let mut handle = service.handle();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut observed = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                let src = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                let dst = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                let reply = handle.route_len(src, dst);
+                observed.push((reply.epoch, src, dst, reply.outcome));
+            }
+            observed
+        })
+    };
+
+    let injector = service.handle();
+    // Repair the initial faults one by one, then crash two fresh nodes.
+    for batch in [vec![c(4, 4)], vec![c(9, 9)], vec![c(5, 4)]] {
+        injector.repair_nodes(&batch);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    injector.inject_faults(&[c(0, 7), c(7, 0)]);
+    assert!(service.quiesce(Duration::from_secs(60)));
+    stop.store(true, Ordering::Release);
+    let observations = reader.join().expect("reader panicked");
+
+    let log = service.epoch_log();
+    service.shutdown();
+    let config = PipelineConfig::default();
+    let oracles: Vec<Snapshot> = fault_sets_per_epoch(&initial, &log)
+        .into_iter()
+        .enumerate()
+        .map(|(epoch, faults)| {
+            Snapshot::cold(
+                epoch as u64,
+                FaultMap::new(Topology::mesh(SIDE, SIDE), faults),
+                &config,
+            )
+            .expect("cold oracle converges")
+        })
+        .collect();
+
+    for (epoch, src, dst, outcome) in &observations {
+        let oracle = &oracles[*epoch as usize];
+        let expected = oracle.router.route_len(*src, *dst);
+        match (expected, outcome) {
+            (Ok(len), ocp_serve::RouteLenOutcome::Delivered { len: served }) => {
+                assert_eq!(len, *served, "epoch {epoch}: {src:?}->{dst:?}");
+            }
+            (Err(e), ocp_serve::RouteLenOutcome::Failed { error }) => {
+                assert_eq!(&e, error, "epoch {epoch}: {src:?}->{dst:?}");
+            }
+            (expected, served) => {
+                panic!("epoch {epoch}: {src:?}->{dst:?} oracle {expected:?} vs served {served:?}")
+            }
+        }
+    }
+}

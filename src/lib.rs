@@ -13,4 +13,5 @@ pub use ocp_distsim as distsim;
 pub use ocp_geometry as geometry;
 pub use ocp_mesh as mesh;
 pub use ocp_routing as routing;
+pub use ocp_serve as serve;
 pub use ocp_workloads as workloads;
