@@ -1,9 +1,14 @@
 //! B1/B2: runtime scaling of the two labeling phases with machine size and
 //! fault count (sequential executor — the per-node work the distributed
 //! protocol performs, without thread overhead).
+//!
+//! B8: the labeling engines compared on one fixed problem — sequential,
+//! frontier worklist, sharded threads, and the bit-packed kernels (single
+//! and tiled multi-threaded).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ocp_core::prelude::*;
+use ocp_distsim::Executor;
 use ocp_mesh::Topology;
 use ocp_workloads::uniform_faults;
 use rand::rngs::SmallRng;
@@ -67,10 +72,44 @@ fn safety_rules_compared(c: &mut Criterion) {
     group.finish();
 }
 
+fn label_engines_compared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_engine");
+    group.sample_size(20);
+    // 256x256 at 1% fault density — the E15 sweep midpoint.
+    let topology = Topology::mesh(256, 256);
+    let mut rng = SmallRng::seed_from_u64(15);
+    let faults = uniform_faults(topology, topology.len() / 100, &mut rng);
+    let map = FaultMap::new(topology, faults);
+    for (name, engine) in [
+        ("sequential", LabelEngine::Lockstep(Executor::Sequential)),
+        ("frontier", LabelEngine::Lockstep(Executor::Frontier)),
+        (
+            "sharded4",
+            LabelEngine::Lockstep(Executor::Sharded { threads: 4 }),
+        ),
+        ("bitboard1", LabelEngine::Bitboard { threads: 1 }),
+        ("bitboard4", LabelEngine::Bitboard { threads: 4 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_pipeline(
+                    &map,
+                    &PipelineConfig {
+                        engine,
+                        ..PipelineConfig::default()
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     phase_scaling_by_size,
     phase_scaling_by_faults,
-    safety_rules_compared
+    safety_rules_compared,
+    label_engines_compared
 );
 criterion_main!(benches);

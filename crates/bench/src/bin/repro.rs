@@ -17,6 +17,7 @@
 //!   chaos         lossy-link overhead vs drop rate (E13)
 //!   serve         mesh-state service: throughput/tail latency/staleness (E14)
 //!   serve-smoke   ~2s TCP service smoke run (CI gate)
+//!   scaling       labeling-engine speedups: size x density x engine (E15)
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
 //! ```
@@ -26,8 +27,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, serve_load,
-    verification, Settings,
+    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, scaling,
+    serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -67,7 +68,7 @@ fn parse_args() -> Args {
                 out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -270,6 +271,25 @@ fn run_serve(args: &Args) {
     save(&args.out_dir, "serve", to_json(&report));
 }
 
+fn run_scaling(args: &Args) {
+    let report = scaling::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E15: two-phase labeling cost per engine (cold)",
+            &scaling::labeling_table(&report)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E15: warm relabel latency per engine (serve writer path)",
+            &scaling::relabel_table(&report)
+        )
+    );
+    save(&args.out_dir, "scaling", to_json(&report));
+}
+
 fn run_serve_smoke(args: &Args) {
     let report = serve_load::smoke(std::time::Duration::from_secs(2), args.settings.seed);
     println!(
@@ -332,6 +352,7 @@ fn main() {
         "chaos" => run_chaos_exp(&args),
         "serve" => run_serve(&args),
         "serve-smoke" => run_serve_smoke(&args),
+        "scaling" => run_scaling(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
             run_fig5(&args, "fig5");
@@ -342,6 +363,7 @@ fn main() {
             run_async_exp(&args);
             run_chaos_exp(&args);
             run_serve(&args);
+            run_scaling(&args);
             run_verify(&args);
             run_example_sec3();
         }

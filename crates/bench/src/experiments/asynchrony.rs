@@ -61,7 +61,7 @@ pub fn run(settings: &Settings) -> Vec<AsyncRow> {
             let sync = run_pipeline(
                 &map,
                 &PipelineConfig {
-                    executor: Executor::Sequential,
+                    engine: ocp_core::LabelEngine::Lockstep(Executor::Sequential),
                     ..PipelineConfig::default()
                 },
             );

@@ -81,7 +81,7 @@ pub fn run(settings: &Settings) -> Vec<ChaosRow> {
             let reference = run_pipeline(
                 &map,
                 &PipelineConfig {
-                    executor: Executor::Sequential,
+                    engine: ocp_core::LabelEngine::Lockstep(Executor::Sequential),
                     ..PipelineConfig::default()
                 },
             );

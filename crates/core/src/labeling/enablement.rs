@@ -92,6 +92,19 @@ impl LockstepProtocol for EnablementProtocol<'_> {
             ActivationState::Disabled
         }
     }
+
+    fn initial_frontier(&self) -> Option<Vec<Coord>> {
+        // Enabled nodes never change (monotone) and faulty nodes don't
+        // participate, so only the disabled nonfaulty — i.e. the unsafe
+        // nonfaulty — can flip in round 1.
+        Some(
+            self.safety
+                .iter()
+                .filter(|&(c, &s)| s == SafetyState::Unsafe && !self.map.is_faulty(c))
+                .map(|(c, _)| c)
+                .collect(),
+        )
+    }
 }
 
 /// Result of phase 2.
@@ -138,6 +151,41 @@ pub fn try_compute_enablement(
         grid: out.states,
         trace: out.trace,
     })
+}
+
+/// Runs phase 2 on the chosen [`crate::labeling::LabelEngine`]. All engines
+/// produce identical grids and traces; see the engine docs.
+pub fn compute_enablement_with(
+    map: &FaultMap,
+    safety: &Grid<SafetyState>,
+    engine: crate::labeling::LabelEngine,
+    max_rounds: u32,
+) -> EnablementOutcome {
+    match engine {
+        crate::labeling::LabelEngine::Lockstep(executor) => {
+            compute_enablement(map, safety, executor, max_rounds)
+        }
+        crate::labeling::LabelEngine::Bitboard { threads } => {
+            crate::labeling::bits::compute_enablement_bits(map, safety, threads, max_rounds)
+        }
+    }
+}
+
+/// [`compute_enablement_with`] with the convergence watchdog.
+pub fn try_compute_enablement_with(
+    map: &FaultMap,
+    safety: &Grid<SafetyState>,
+    engine: crate::labeling::LabelEngine,
+    max_rounds: u32,
+) -> Result<EnablementOutcome, ConvergenceError> {
+    match engine {
+        crate::labeling::LabelEngine::Lockstep(executor) => {
+            try_compute_enablement(map, safety, executor, max_rounds)
+        }
+        crate::labeling::LabelEngine::Bitboard { threads } => {
+            crate::labeling::bits::try_compute_enablement_bits(map, safety, threads, max_rounds)
+        }
+    }
 }
 
 #[cfg(test)]

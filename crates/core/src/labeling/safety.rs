@@ -94,6 +94,23 @@ impl LockstepProtocol for SafetyProtocol<'_> {
             SafetyState::Safe
         }
     }
+
+    fn initial_frontier(&self) -> Option<Vec<Coord>> {
+        // Round 1 sees only the faults unsafe, so only their neighbors
+        // can flip; the frontier executor filters and deduplicates.
+        let t = self.topology();
+        Some(
+            self.map
+                .faults()
+                .into_iter()
+                .flat_map(|f| {
+                    ocp_mesh::Neighborhood::of(t, f)
+                        .nodes()
+                        .collect::<Vec<Coord>>()
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Result of phase 1.
@@ -139,6 +156,41 @@ pub fn try_compute_safety(
         grid: out.states,
         trace: out.trace,
     })
+}
+
+/// Runs phase 1 on the chosen [`crate::labeling::LabelEngine`]. All engines
+/// produce identical grids and traces; see the engine docs.
+pub fn compute_safety_with(
+    map: &FaultMap,
+    rule: SafetyRule,
+    engine: crate::labeling::LabelEngine,
+    max_rounds: u32,
+) -> SafetyOutcome {
+    match engine {
+        crate::labeling::LabelEngine::Lockstep(executor) => {
+            compute_safety(map, rule, executor, max_rounds)
+        }
+        crate::labeling::LabelEngine::Bitboard { threads } => {
+            crate::labeling::bits::compute_safety_bits(map, rule, None, threads, max_rounds)
+        }
+    }
+}
+
+/// [`compute_safety_with`] with the convergence watchdog.
+pub fn try_compute_safety_with(
+    map: &FaultMap,
+    rule: SafetyRule,
+    engine: crate::labeling::LabelEngine,
+    max_rounds: u32,
+) -> Result<SafetyOutcome, ConvergenceError> {
+    match engine {
+        crate::labeling::LabelEngine::Lockstep(executor) => {
+            try_compute_safety(map, rule, executor, max_rounds)
+        }
+        crate::labeling::LabelEngine::Bitboard { threads } => {
+            crate::labeling::bits::try_compute_safety_bits(map, rule, None, threads, max_rounds)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,7 @@ pub mod prelude {
     pub use crate::blocks::{extract_blocks, FaultyBlock};
     pub use crate::labeling::enablement::ActivationState;
     pub use crate::labeling::safety::{SafetyRule, SafetyState};
+    pub use crate::labeling::LabelEngine;
     pub use crate::maintenance::{run_fault_schedule, FaultScheduleOutcome};
     pub use crate::pipeline::{run_pipeline, try_run_pipeline, PipelineConfig, PipelineOutcome};
     pub use crate::regions::{extract_regions, DisabledRegion};

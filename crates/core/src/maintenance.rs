@@ -10,9 +10,9 @@
 //! fault can force previously enabled nodes back to disabled), so it is
 //! recomputed from the fresh safety grid, which is cheap.
 
-use crate::labeling::default_round_cap;
-use crate::labeling::enablement::try_compute_enablement;
-use crate::labeling::safety::{SafetyRule, SafetyState};
+use crate::labeling::enablement::try_compute_enablement_with;
+use crate::labeling::safety::{SafetyOutcome, SafetyRule, SafetyState};
+use crate::labeling::{default_round_cap, LabelEngine};
 use crate::pipeline::{try_run_pipeline, PipelineConfig, PipelineOutcome};
 use crate::status::FaultMap;
 use ocp_distsim::{try_run, ConvergenceError, LockstepProtocol, NeighborStates, RunTrace};
@@ -56,6 +56,25 @@ impl LockstepProtocol for WarmSafetyProtocol<'_> {
     ) -> SafetyState {
         crate::labeling::safety::SafetyProtocol::new(self.map, self.rule)
             .step(c, current, neighbors)
+    }
+
+    fn initial_frontier(&self) -> Option<Vec<Coord>> {
+        // The warm initial state differs from the previous fixpoint only at
+        // faults that were previously safe (forced unsafe), so in round 1
+        // only the participating neighbors of those cells can flip.
+        let t = self.topology();
+        Some(
+            self.map
+                .faults()
+                .into_iter()
+                .filter(|&f| *self.previous.get(f) == SafetyState::Safe)
+                .flat_map(|f| {
+                    ocp_mesh::Neighborhood::of(t, f)
+                        .nodes()
+                        .collect::<Vec<Coord>>()
+                })
+                .collect(),
+        )
     }
 }
 
@@ -123,20 +142,36 @@ pub fn try_relabel_after_faults(
         .max_rounds
         .unwrap_or_else(|| default_round_cap(map.topology()));
 
-    let warm = WarmSafetyProtocol {
-        map: &updated,
-        rule: config.rule,
-        previous: &previous.safety,
+    let safety_run: SafetyOutcome = match config.engine {
+        LabelEngine::Lockstep(executor) => {
+            let warm = WarmSafetyProtocol {
+                map: &updated,
+                rule: config.rule,
+                previous: &previous.safety,
+            };
+            let out = try_run(&warm, executor, cap)
+                .map_err(|e| e.with_label("warm-started phase-1 safety relabeling"))?;
+            SafetyOutcome {
+                grid: out.states,
+                trace: out.trace,
+            }
+        }
+        LabelEngine::Bitboard { threads } => crate::labeling::bits::try_compute_safety_bits(
+            &updated,
+            config.rule,
+            Some(&previous.safety),
+            threads,
+            cap,
+        )
+        .map_err(|e| e.with_label("warm-started phase-1 safety relabeling"))?,
     };
-    let safety_run = try_run(&warm, config.executor, cap)
-        .map_err(|e| e.with_label("warm-started phase-1 safety relabeling"))?;
-    let blocks = crate::blocks::extract_blocks(&updated, &safety_run.states);
-    let enablement = try_compute_enablement(&updated, &safety_run.states, config.executor, cap)?;
+    let blocks = crate::blocks::extract_blocks(&updated, &safety_run.grid);
+    let enablement = try_compute_enablement_with(&updated, &safety_run.grid, config.engine, cap)?;
     let regions = crate::regions::extract_regions(&updated, &enablement.grid);
 
     let outcome = PipelineOutcome {
         rule: config.rule,
-        safety: safety_run.states,
+        safety: safety_run.grid,
         activation: enablement.grid,
         blocks,
         regions,

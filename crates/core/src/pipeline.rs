@@ -2,12 +2,12 @@
 //! labeling → disabled regions.
 
 use crate::blocks::{extract_blocks, FaultyBlock};
-use crate::labeling::default_round_cap;
-use crate::labeling::enablement::{try_compute_enablement, ActivationState};
-use crate::labeling::safety::{try_compute_safety, SafetyRule, SafetyState};
+use crate::labeling::enablement::{try_compute_enablement_with, ActivationState};
+use crate::labeling::safety::{try_compute_safety_with, SafetyRule, SafetyState};
+use crate::labeling::{default_round_cap, LabelEngine};
 use crate::regions::{extract_regions, DisabledRegion};
 use crate::status::FaultMap;
-use ocp_distsim::{ConvergenceError, Executor, RunTrace};
+use ocp_distsim::{ConvergenceError, RunTrace};
 use ocp_mesh::Grid;
 
 /// How to run the pipeline.
@@ -16,8 +16,10 @@ pub struct PipelineConfig {
     /// Phase-1 rule. Defaults to Definition 2b, the rule the paper's
     /// algorithm uses.
     pub rule: SafetyRule,
-    /// Executor for both phases.
-    pub executor: Executor,
+    /// Labeling engine for both phases. All engines produce identical
+    /// grids and traces; defaults to the paper-faithful sequential
+    /// lockstep executor.
+    pub engine: LabelEngine,
     /// Round cap; `None` derives a generous cap from the topology diameter.
     pub max_rounds: Option<u32>,
 }
@@ -26,7 +28,7 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             rule: SafetyRule::BothDimensions,
-            executor: Executor::Sequential,
+            engine: LabelEngine::default(),
             max_rounds: None,
         }
     }
@@ -91,9 +93,9 @@ pub fn try_run_pipeline(
     let cap = config
         .max_rounds
         .unwrap_or_else(|| default_round_cap(map.topology()));
-    let safety = try_compute_safety(map, config.rule, config.executor, cap)?;
+    let safety = try_compute_safety_with(map, config.rule, config.engine, cap)?;
     let blocks = extract_blocks(map, &safety.grid);
-    let enablement = try_compute_enablement(map, &safety.grid, config.executor, cap)?;
+    let enablement = try_compute_enablement_with(map, &safety.grid, config.engine, cap)?;
     let regions = extract_regions(map, &enablement.grid);
     Ok(PipelineOutcome {
         rule: config.rule,
@@ -119,7 +121,10 @@ mod tests {
     fn default_config_is_paper_setting() {
         let cfg = PipelineConfig::default();
         assert_eq!(cfg.rule, SafetyRule::BothDimensions);
-        assert_eq!(cfg.executor, Executor::Sequential);
+        assert_eq!(
+            cfg.engine,
+            LabelEngine::Lockstep(ocp_distsim::Executor::Sequential)
+        );
     }
 
     #[test]

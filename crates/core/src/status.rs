@@ -62,6 +62,12 @@ impl FaultMap {
         *self.grid.get(c) == Health::Faulty
     }
 
+    /// The underlying per-node health grid — dense row-major storage that
+    /// bulk kernels pack into bit masks without per-coordinate lookups.
+    pub fn health_grid(&self) -> &Grid<Health> {
+        &self.grid
+    }
+
     /// Number of faulty nodes.
     pub fn fault_count(&self) -> usize {
         self.fault_count

@@ -8,6 +8,13 @@ use ocp_mesh::{Coord, Grid, Neighborhood};
 pub enum Executor {
     /// Deterministic single-threaded double-buffered execution.
     Sequential,
+    /// Frontier-driven execution: a dirty-set worklist re-steps only nodes
+    /// with a changed neighborhood (seeded by
+    /// [`LockstepProtocol::initial_frontier`]). Byte-identical states *and*
+    /// traces to `Sequential` for deterministic protocols, at
+    /// `O(|frontier|)` instead of `O(N)` per round once activity
+    /// localizes.
+    Frontier,
     /// Domain decomposition into horizontal strips; one OS thread per strip,
     /// halo rows exchanged over crossbeam channels every round.
     Sharded {
@@ -79,6 +86,7 @@ pub fn run<P: LockstepProtocol>(
 ) -> RunOutcome<P::State> {
     match executor {
         Executor::Sequential => crate::sequential::run(protocol, max_rounds),
+        Executor::Frontier => crate::frontier::run(protocol, max_rounds),
         Executor::Sharded { threads } => {
             assert!(threads > 0, "sharded executor needs at least one thread");
             crate::sharded::run(protocol, threads, max_rounds)
@@ -188,7 +196,7 @@ pub(crate) fn messages_per_round<P: LockstepProtocol>(protocol: &P) -> u64 {
     let t = protocol.topology();
     t.coords()
         .filter(|&c| protocol.participates(c))
-        .map(|c| Neighborhood::of(t, c).nodes().count() as u64)
+        .map(|c| u64::from(t.real_degree(c)))
         .sum()
 }
 

@@ -60,13 +60,20 @@ impl ConvergenceError {
     /// Builds the error from a lockstep outcome known not to have
     /// converged.
     pub(crate) fn from_round_cap<S>(outcome: &RunOutcome<S>, cap: u32) -> Self {
+        Self::round_cap_from_trace(cap, &outcome.trace)
+    }
+
+    /// Builds a round-cap error from an executed [`RunTrace`] — for engines
+    /// outside this crate that honor the same lockstep round semantics
+    /// (e.g. the bit-packed labeling kernels in `ocp-core`).
+    pub fn round_cap_from_trace(cap: u32, trace: &crate::RunTrace) -> Self {
         ConvergenceError {
             label: String::new(),
             kind: ConvergenceErrorKind::RoundCap {
                 cap,
-                last_round_changes: outcome.trace.changes_per_round.last().copied().unwrap_or(0),
-                total_changes: outcome.trace.total_changes(),
-                chaos: outcome.trace.chaos,
+                last_round_changes: trace.changes_per_round.last().copied().unwrap_or(0),
+                total_changes: trace.total_changes(),
+                chaos: trace.chaos,
             },
         }
     }

@@ -1,0 +1,238 @@
+//! Frontier-driven executor: only re-step nodes whose neighborhood moved.
+//!
+//! The paper's protocols are *locally dependent*: a node's next state is a
+//! pure function of its own state and its four neighbors' states, so a
+//! node whose whole neighborhood is unchanged since its last evaluation
+//! cannot change either. This executor exploits that with a dirty-set
+//! worklist — after round `r` the round-`r + 1` frontier is exactly the
+//! nodes that changed in round `r` plus their participating real
+//! neighbors. On a large mesh with a few fault clusters the frontier
+//! collapses to the cluster boundaries after round 1 and the per-round
+//! cost drops from `O(N)` to `O(|frontier|)`.
+//!
+//! Round semantics are *identical* to the sequential reference executor:
+//! the same number of rounds executes, each round reports the same change
+//! count (including the trailing quiet round), and message accounting
+//! still charges every participating node's links every round — the
+//! frontier is a scheduling optimization of the simulator, not a change
+//! to the simulated protocol, whose nodes all still exchange status each
+//! round.
+//!
+//! Round 1 has no previous round to derive a frontier from; protocols may
+//! narrow it via [`LockstepProtocol::initial_frontier`], otherwise the
+//! first round sweeps every participating node.
+
+use crate::engine::{gather, messages_per_round, RunOutcome};
+use crate::{LockstepProtocol, RunTrace};
+use ocp_mesh::{Grid, Neighborhood};
+
+/// Runs the protocol with a dirty-set worklist per round.
+pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutcome<P::State> {
+    let topology = protocol.topology();
+    let n = topology.len();
+    let mut current = Grid::from_fn(topology, |c| protocol.initial(c));
+    let per_round = messages_per_round(protocol);
+
+    let participates: Vec<bool> = topology
+        .coords()
+        .map(|c| protocol.participates(c))
+        .collect();
+
+    // `in_frontier` marks membership while building a worklist; it is
+    // cleared again after each build so it can be reused.
+    let mut in_frontier = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    match protocol.initial_frontier() {
+        Some(seeds) => {
+            for c in seeds {
+                let i = topology.index_of(c);
+                if participates[i] && !in_frontier[i] {
+                    in_frontier[i] = true;
+                    frontier.push(i);
+                }
+            }
+        }
+        None => {
+            frontier.extend((0..n).filter(|&i| participates[i]));
+        }
+    }
+    for &i in &frontier {
+        in_frontier[i] = false;
+    }
+
+    let mut changes_per_round = Vec::new();
+    let mut messages_sent = 0u64;
+    let mut converged = false;
+    let mut updates: Vec<(usize, P::State)> = Vec::new();
+
+    while (changes_per_round.len() as u32) < max_rounds {
+        // Evaluate the frontier against the start-of-round states only
+        // (lock-step): updates are buffered and applied after the sweep.
+        updates.clear();
+        let cells = current.as_slice();
+        for &i in &frontier {
+            let c = topology.coord_of(i);
+            let state = cells[i];
+            let neighbors = gather(protocol, c, |nc| cells[topology.index_of(nc)]);
+            let next = protocol.step(c, state, &neighbors);
+            if next != state {
+                updates.push((i, next));
+            }
+        }
+        messages_sent += per_round;
+        changes_per_round.push(updates.len() as u32);
+        if updates.is_empty() {
+            converged = true;
+            break;
+        }
+
+        // Next frontier: every changed node and its participating real
+        // neighbors — the only nodes whose round-input can differ.
+        frontier.clear();
+        for &(i, _) in &updates {
+            if !in_frontier[i] {
+                in_frontier[i] = true;
+                frontier.push(i);
+            }
+            for nb in Neighborhood::of(topology, topology.coord_of(i)).nodes() {
+                let j = topology.index_of(nb);
+                if participates[j] && !in_frontier[j] {
+                    in_frontier[j] = true;
+                    frontier.push(j);
+                }
+            }
+        }
+        for &i in &frontier {
+            in_frontier[i] = false;
+        }
+
+        let cells = current.as_mut_slice();
+        for &(i, s) in &updates {
+            cells[i] = s;
+        }
+    }
+
+    RunOutcome {
+        states: current,
+        trace: RunTrace::new(changes_per_round, messages_sent, converged),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run as engine_run, Executor, NeighborStates};
+    use ocp_mesh::{Coord, Topology};
+
+    /// Monotone corner flood (all nodes participate, default frontier).
+    struct Flood(Topology);
+
+    impl LockstepProtocol for Flood {
+        type State = u32;
+        fn topology(&self) -> Topology {
+            self.0
+        }
+        fn initial(&self, c: Coord) -> u32 {
+            (c == Coord::new(0, 0)) as u32
+        }
+        fn ghost(&self) -> u32 {
+            0
+        }
+        fn participates(&self, _c: Coord) -> bool {
+            true
+        }
+        fn step(&self, _c: Coord, cur: u32, n: &NeighborStates<u32>) -> u32 {
+            n.iter().map(|(_, s)| s).fold(cur, u32::max)
+        }
+    }
+
+    /// Same flood, but with the exact round-1 seed declared.
+    struct SeededFlood(Topology);
+
+    impl LockstepProtocol for SeededFlood {
+        type State = u32;
+        fn topology(&self) -> Topology {
+            self.0
+        }
+        fn initial(&self, c: Coord) -> u32 {
+            (c == Coord::new(0, 0)) as u32
+        }
+        fn ghost(&self) -> u32 {
+            0
+        }
+        fn participates(&self, _c: Coord) -> bool {
+            true
+        }
+        fn step(&self, _c: Coord, cur: u32, n: &NeighborStates<u32>) -> u32 {
+            n.iter().map(|(_, s)| s).fold(cur, u32::max)
+        }
+        fn initial_frontier(&self) -> Option<Vec<Coord>> {
+            // Only neighbors of the source can change in round 1.
+            Some(Neighborhood::of(self.0, Coord::new(0, 0)).nodes().collect())
+        }
+    }
+
+    #[test]
+    fn matches_sequential_trace_exactly() {
+        for t in [Topology::mesh(9, 7), Topology::torus(8, 6)] {
+            let p = Flood(t);
+            let reference = engine_run(&p, Executor::Sequential, 100);
+            let out = engine_run(&p, Executor::Frontier, 100);
+            assert_eq!(out.states, reference.states, "{t:?}");
+            assert_eq!(out.trace, reference.trace, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn initial_frontier_seed_preserves_the_trace() {
+        let t = Topology::mesh(11, 5);
+        let reference = engine_run(&Flood(t), Executor::Sequential, 100);
+        let out = engine_run(&SeededFlood(t), Executor::Frontier, 100);
+        assert_eq!(out.states, reference.states);
+        assert_eq!(out.trace, reference.trace);
+    }
+
+    #[test]
+    fn round_cap_reports_unconverged() {
+        let p = Flood(Topology::mesh(12, 12));
+        let reference = engine_run(&p, Executor::Sequential, 3);
+        let out = engine_run(&p, Executor::Frontier, 3);
+        assert!(!out.trace.converged);
+        assert_eq!(out.trace, reference.trace);
+        assert_eq!(out.states, reference.states);
+    }
+
+    #[test]
+    fn empty_seed_converges_in_one_quiet_round() {
+        // A fixpoint initial state with a declared-empty frontier: one
+        // quiet round, exactly like the sequential executor observes.
+        struct Quiet(Topology);
+        impl LockstepProtocol for Quiet {
+            type State = u8;
+            fn topology(&self) -> Topology {
+                self.0
+            }
+            fn initial(&self, _c: Coord) -> u8 {
+                1
+            }
+            fn ghost(&self) -> u8 {
+                1
+            }
+            fn participates(&self, _c: Coord) -> bool {
+                true
+            }
+            fn step(&self, _c: Coord, cur: u8, _n: &NeighborStates<u8>) -> u8 {
+                cur
+            }
+            fn initial_frontier(&self) -> Option<Vec<Coord>> {
+                Some(Vec::new())
+            }
+        }
+        let p = Quiet(Topology::mesh(5, 5));
+        let reference = engine_run(&p, Executor::Sequential, 10);
+        let out = engine_run(&p, Executor::Frontier, 10);
+        assert_eq!(out.trace, reference.trace);
+        assert_eq!(out.trace.changes_per_round, vec![0]);
+        assert!(out.trace.converged);
+    }
+}

@@ -13,10 +13,15 @@
 //! A protocol is described once, as a [`LockstepProtocol`] — per-node initial
 //! state, the ghost-node state for mesh boundaries, and a transition function
 //! from the four collected neighbor states. The engine then runs it to
-//! quiescence on one of three interchangeable executors:
+//! quiescence on one of four interchangeable executors:
 //!
 //! * [`Executor::Sequential`] — deterministic double-buffered reference
-//!   executor; fastest for large meshes and the one benchmarks sweep.
+//!   executor; the semantics every other executor must reproduce.
+//! * [`Executor::Frontier`] — dirty-set worklist scheduling: only nodes
+//!   with a changed neighborhood are re-stepped each round (protocols can
+//!   seed round 1 via [`LockstepProtocol::initial_frontier`]). Identical
+//!   states and traces to `Sequential`, much faster once activity
+//!   localizes around fault clusters.
 //! * [`Executor::Sharded`] — real threads: the mesh is decomposed into
 //!   horizontal strips, one thread per strip, and each round the strips
 //!   exchange *halo rows* over crossbeam channels before stepping their
@@ -58,6 +63,7 @@ pub mod asynchronous;
 pub mod chaos;
 mod engine;
 mod error;
+mod frontier;
 mod protocol;
 mod sequential;
 mod sharded;

@@ -87,6 +87,26 @@ pub trait LockstepProtocol: Sync {
         current: Self::State,
         neighbors: &NeighborStates<Self::State>,
     ) -> Self::State;
+
+    /// Seed worklist for the frontier executor
+    /// ([`Executor::Frontier`](crate::Executor::Frontier)): the nodes whose
+    /// **first** round could change their state.
+    ///
+    /// Returning `Some(seeds)` is a promise that every participating node
+    /// whose round-1 [`step`](LockstepProtocol::step) would return a state
+    /// different from its [`initial`](LockstepProtocol::initial) state is
+    /// in `seeds` (extra coordinates and non-participating nodes are
+    /// harmless; duplicates are deduplicated). From round 2 on the frontier
+    /// executor derives the worklist itself — a node is re-stepped iff it
+    /// or a neighbor changed in the previous round, which is exhaustive
+    /// because `step` is a pure function of that neighborhood.
+    ///
+    /// The default `None` makes the frontier executor sweep the whole
+    /// machine in round 1 and narrow from round 2 on, which is always
+    /// sound.
+    fn initial_frontier(&self) -> Option<Vec<Coord>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,10 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
     let topology = protocol.topology();
     let mut current = Grid::from_fn(topology, |c| protocol.initial(c));
     let per_round = messages_per_round(protocol);
+    // Hoisted out of the per-round closure: for the common all-participate
+    // protocols the per-cell check below short-circuits on this flag
+    // instead of paying a dynamic `participates` call per cell per round.
+    let all_participate = topology.coords().all(|c| protocol.participates(c));
 
     let mut changes_per_round = Vec::new();
     let mut messages_sent = 0u64;
@@ -18,7 +22,7 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
         let mut changed = 0u32;
         let next = Grid::from_fn(topology, |c| {
             let state = *current.get(c);
-            if !protocol.participates(c) {
+            if !all_participate && !protocol.participates(c) {
                 return state;
             }
             let neighbors = gather(protocol, c, |n| *current.get(n));

@@ -1,0 +1,395 @@
+//! Bit-packed boolean storage: 64 cells per `u64` word.
+//!
+//! [`BitGrid`] stores one bit per node of a [`Topology`] in row-major
+//! order, `words_per_row = ceil(width / 64)` words per row. It exists for
+//! word-parallel protocol kernels: the neighbor value of every cell in a
+//! row is produced by a single pass of shifts ([`BitGrid::gather_west`] /
+//! [`BitGrid::gather_east`]) or a row lookup ([`BitGrid::row_above`] /
+//! [`BitGrid::row_below`]), so a boolean neighborhood rule evaluates 64
+//! cells per machine word instead of one cell per `step` call.
+//!
+//! Conventions:
+//!
+//! * **Padding bits** (positions `>= width` in a row's last word) are kept
+//!   zero by every constructor and mutator — kernels may rely on it.
+//! * **Mesh boundaries** shift in `false`: a kernel must choose a bit
+//!   encoding in which the ghost value is `false` (e.g. track *unsafe*
+//!   bits, ghosts are safe; track *disabled* bits, ghosts are enabled).
+//! * **Torus seams** wrap: the west gather of column 0 reads column
+//!   `width - 1` (a row rotate), and `row_above`/`row_below` wrap row
+//!   indices.
+
+use crate::{Coord, Grid, Topology, TopologyKind};
+
+/// One bit per node of a [`Topology`], 64 nodes per `u64` word.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitGrid {
+    topology: Topology,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    /// An all-`false` grid.
+    pub fn empty(topology: Topology) -> Self {
+        let words_per_row = (topology.width() as usize).div_ceil(64);
+        Self {
+            topology,
+            words_per_row,
+            words: vec![0; words_per_row * topology.height() as usize],
+        }
+    }
+
+    /// Builds a grid by evaluating `pred` at every node.
+    pub fn from_fn(topology: Topology, mut pred: impl FnMut(Coord) -> bool) -> Self {
+        let mut g = Self::empty(topology);
+        for c in topology.coords() {
+            if pred(c) {
+                g.set(c, true);
+            }
+        }
+        g
+    }
+
+    /// Packs a row-major cell slice (e.g. [`Grid::as_slice`]) through
+    /// `pred` — the allocation-light bulk constructor kernels use.
+    ///
+    /// # Panics
+    /// Panics if `cells.len()` differs from `topology.len()`.
+    pub fn from_cells<T>(
+        topology: Topology,
+        cells: &[T],
+        mut pred: impl FnMut(&T) -> bool,
+    ) -> Self {
+        assert_eq!(
+            cells.len(),
+            topology.len(),
+            "cell slice / topology mismatch"
+        );
+        let mut g = Self::empty(topology);
+        let width = topology.width() as usize;
+        for (y, row_cells) in cells.chunks(width).enumerate() {
+            let row = &mut g.words[y * g.words_per_row..(y + 1) * g.words_per_row];
+            for (x, cell) in row_cells.iter().enumerate() {
+                if pred(cell) {
+                    row[x / 64] |= 1u64 << (x % 64);
+                }
+            }
+        }
+        g
+    }
+
+    /// Unpacks into a dense [`Grid`] through `f`, row-major, one pass.
+    pub fn unpack<T>(&self, mut f: impl FnMut(bool) -> T) -> Grid<T> {
+        let width = self.topology.width() as usize;
+        let height = self.topology.height() as usize;
+        let mut cells = Vec::with_capacity(width * height);
+        for y in 0..height {
+            let row = &self.words[y * self.words_per_row..(y + 1) * self.words_per_row];
+            for (i, &word) in row.iter().enumerate() {
+                let bits = width.saturating_sub(i * 64).min(64);
+                for b in 0..bits {
+                    cells.push(f(word >> b & 1 == 1));
+                }
+            }
+        }
+        Grid::from_row_major(self.topology, cells)
+    }
+
+    /// The topology this grid covers.
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Words per row (`ceil(width / 64)`).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The bit at `c`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    #[inline]
+    pub fn get(&self, c: Coord) -> bool {
+        debug_assert!(self.topology.contains(c), "get() of non-node {c:?}");
+        let (x, y) = (c.x as usize, c.y as usize);
+        self.words[y * self.words_per_row + x / 64] >> (x % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `c`. Padding bits stay untouched by construction.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    #[inline]
+    pub fn set(&mut self, c: Coord, value: bool) {
+        debug_assert!(self.topology.contains(c), "set() of non-node {c:?}");
+        let (x, y) = (c.x as usize, c.y as usize);
+        let word = &mut self.words[y * self.words_per_row + x / 64];
+        let mask = 1u64 << (x % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of `true` bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Word-parallel in-place OR: sets every bit that is set in `other`.
+    ///
+    /// # Panics
+    /// Panics if the grids cover different topologies.
+    pub fn union_with(&mut self, other: &BitGrid) {
+        assert_eq!(
+            self.topology, other.topology,
+            "bit grids cover different machines"
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// The words of row `y`.
+    ///
+    /// # Panics
+    /// Panics if `y` is out of range.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[u64] {
+        assert!(y < self.topology.height(), "row {y} out of range");
+        let start = y as usize * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Mutable words of row `y`. The caller must keep padding bits zero.
+    ///
+    /// # Panics
+    /// Panics if `y` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [u64] {
+        assert!(y < self.topology.height(), "row {y} out of range");
+        let start = y as usize * self.words_per_row;
+        &mut self.words[start..start + self.words_per_row]
+    }
+
+    /// The row holding every cell's **north** (`y + 1`) neighbor, or `None`
+    /// for the mesh boundary (ghosts, which read as all-`false`). Wraps to
+    /// row 0 on a torus.
+    #[inline]
+    pub fn row_above(&self, y: u32) -> Option<&[u64]> {
+        let h = self.topology.height();
+        if y + 1 < h {
+            Some(self.row(y + 1))
+        } else if self.topology.kind() == TopologyKind::Torus {
+            Some(self.row(0))
+        } else {
+            None
+        }
+    }
+
+    /// The row holding every cell's **south** (`y - 1`) neighbor, or `None`
+    /// for the mesh boundary. Wraps to the top row on a torus.
+    #[inline]
+    pub fn row_below(&self, y: u32) -> Option<&[u64]> {
+        if y > 0 {
+            Some(self.row(y - 1))
+        } else if self.topology.kind() == TopologyKind::Torus {
+            Some(self.row(self.topology.height() - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Writes, for every cell `x` of row `y`, the bit of its **west**
+    /// neighbor (`x - 1`) into `out` — one shift pass over the row's
+    /// words. Column 0 reads `false` on a mesh and column `width - 1` on a
+    /// torus (the row rotate that stitches the seam).
+    pub fn gather_west(&self, y: u32, out: &mut [u64]) {
+        gather_row_west(
+            self.row(y),
+            self.topology.width(),
+            self.topology.kind() == TopologyKind::Torus,
+            out,
+        );
+    }
+
+    /// Writes, for every cell `x` of row `y`, the bit of its **east**
+    /// neighbor (`x + 1`) into `out`. Column `width - 1` reads `false` on
+    /// a mesh and column 0 on a torus.
+    pub fn gather_east(&self, y: u32, out: &mut [u64]) {
+        gather_row_east(
+            self.row(y),
+            self.topology.width(),
+            self.topology.kind() == TopologyKind::Torus,
+            out,
+        );
+    }
+}
+
+/// Row-level west gather over raw words — the building block behind
+/// [`BitGrid::gather_west`], exposed so tile executors that hold rows
+/// outside a `BitGrid` (halo exchange buffers) can run the same kernel.
+///
+/// # Panics
+/// Panics if `out` is shorter than `row`.
+pub fn gather_row_west(row: &[u64], width: u32, wrap: bool, out: &mut [u64]) {
+    let mut carry = 0u64;
+    for (o, &w) in out.iter_mut().zip(row) {
+        *o = (w << 1) | carry;
+        carry = w >> 63;
+    }
+    if wrap && width > 0 {
+        let last = (width - 1) as usize;
+        if row[last / 64] >> (last % 64) & 1 == 1 {
+            out[0] |= 1;
+        } else {
+            out[0] &= !1;
+        }
+    }
+}
+
+/// Row-level east gather over raw words — see [`gather_row_west`].
+///
+/// # Panics
+/// Panics if `out` is shorter than `row`.
+pub fn gather_row_east(row: &[u64], width: u32, wrap: bool, out: &mut [u64]) {
+    let n = row.len();
+    for i in 0..n {
+        let from_next = if i + 1 < n { row[i + 1] << 63 } else { 0 };
+        out[i] = (row[i] >> 1) | from_next;
+    }
+    if wrap && width > 0 {
+        let last = (width - 1) as usize;
+        let mask = 1u64 << (last % 64);
+        if row[0] & 1 == 1 {
+            out[last / 64] |= mask;
+        } else {
+            out[last / 64] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    /// Brute-force reference for the four gathers.
+    fn neighbor_bit(g: &BitGrid, x: i32, y: i32, dx: i32, dy: i32) -> bool {
+        let t = g.topology();
+        let raw = c(x + dx, y + dy);
+        match t.kind() {
+            TopologyKind::Torus => g.get(t.wrap(raw)),
+            TopologyKind::Mesh => t.contains(raw) && g.get(raw),
+        }
+    }
+
+    fn check_gathers(t: Topology, seed: u64) {
+        // A deterministic pseudo-random pattern.
+        let g = BitGrid::from_fn(t, |c| {
+            (c.x as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((c.y as u64).wrapping_mul(1442695040888963407))
+                .wrapping_add(seed)
+                .is_multiple_of(3)
+        });
+        let wpr = g.words_per_row();
+        let mut west = vec![0u64; wpr];
+        let mut east = vec![0u64; wpr];
+        for y in 0..t.height() {
+            g.gather_west(y, &mut west);
+            g.gather_east(y, &mut east);
+            let north = g.row_above(y);
+            let south = g.row_below(y);
+            for x in 0..t.width() {
+                let bit = |words: &[u64]| words[x as usize / 64] >> (x % 64) & 1 == 1;
+                assert_eq!(
+                    bit(&west),
+                    neighbor_bit(&g, x as i32, y as i32, -1, 0),
+                    "west ({x},{y}) on {t:?}"
+                );
+                assert_eq!(
+                    bit(&east),
+                    neighbor_bit(&g, x as i32, y as i32, 1, 0),
+                    "east ({x},{y}) on {t:?}"
+                );
+                assert_eq!(
+                    north.map(bit).unwrap_or(false),
+                    neighbor_bit(&g, x as i32, y as i32, 0, 1),
+                    "north ({x},{y}) on {t:?}"
+                );
+                assert_eq!(
+                    south.map(bit).unwrap_or(false),
+                    neighbor_bit(&g, x as i32, y as i32, 0, -1),
+                    "south ({x},{y}) on {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_count() {
+        let t = Topology::mesh(70, 3);
+        let mut g = BitGrid::empty(t);
+        assert_eq!(g.count_ones(), 0);
+        g.set(c(0, 0), true);
+        g.set(c(63, 1), true);
+        g.set(c(64, 1), true);
+        g.set(c(69, 2), true);
+        assert_eq!(g.count_ones(), 4);
+        assert!(g.get(c(64, 1)));
+        g.set(c(64, 1), false);
+        assert!(!g.get(c(64, 1)));
+        assert_eq!(g.count_ones(), 3);
+    }
+
+    #[test]
+    fn gathers_match_brute_force_across_widths_and_kinds() {
+        for &w in &[1u32, 2, 5, 63, 64, 65, 130] {
+            for &h in &[1u32, 2, 7] {
+                check_gathers(Topology::mesh(w, h), 11);
+                check_gathers(Topology::torus(w, h), 23);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_bits_stay_zero() {
+        let t = Topology::torus(65, 4);
+        let g = BitGrid::from_fn(t, |_| true);
+        assert_eq!(g.count_ones(), t.len());
+        // Row word 1 must carry exactly one live bit (cell 64).
+        for y in 0..4 {
+            assert_eq!(g.row(y)[1], 1);
+        }
+    }
+
+    #[test]
+    fn from_cells_and_unpack_are_inverse() {
+        let t = Topology::mesh(67, 5);
+        let dense = Grid::from_fn(t, |c| (c.x + 2 * c.y) % 5 == 0);
+        let bits = BitGrid::from_cells(t, dense.as_slice(), |&b| b);
+        assert_eq!(bits, BitGrid::from_fn(t, |c| *dense.get(c)));
+        let back = bits.unpack(|b| b);
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn width_one_torus_wraps_onto_itself() {
+        let t = Topology::torus(1, 3);
+        let g = BitGrid::from_fn(t, |c| c.y == 1);
+        let mut out = vec![0u64; 1];
+        g.gather_west(1, &mut out);
+        assert_eq!(out[0] & 1, 1, "west of the only column is itself");
+        g.gather_east(1, &mut out);
+        assert_eq!(out[0] & 1, 1);
+    }
+}

@@ -34,6 +34,20 @@ impl<T> Grid<T> {
         Self { topology, cells }
     }
 
+    /// Adopts an already row-major cell vector (the layout `as_slice`
+    /// exposes) without per-coordinate evaluation.
+    ///
+    /// # Panics
+    /// Panics if `cells.len() != topology.len()`.
+    pub fn from_row_major(topology: Topology, cells: Vec<T>) -> Self {
+        assert_eq!(
+            cells.len(),
+            topology.len(),
+            "cell vector does not cover the machine"
+        );
+        Self { topology, cells }
+    }
+
     /// The topology this grid covers.
     #[inline]
     pub fn topology(&self) -> Topology {
@@ -46,7 +60,9 @@ impl<T> Grid<T> {
         self.cells.len()
     }
 
-    /// Always false.
+    /// True when the grid holds no cells. Never true in practice — a
+    /// [`Topology`] has positive dimensions, so every grid has at least
+    /// one cell; provided for `len`/`is_empty` API symmetry.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()

@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitgrid;
 mod components;
 mod coord;
 mod grid;
 mod neighbors;
 mod topology;
 
+pub use bitgrid::{gather_row_east, gather_row_west, BitGrid};
 pub use components::{connected_components, connected_components_grid, Component};
 pub use coord::{Coord, Dimension, Direction, DIRECTIONS};
 pub use grid::{render, Grid};

@@ -147,6 +147,29 @@ impl Topology {
         (on_x_line && y_in) || (on_y_line && x_in)
     }
 
+    /// Number of real (non-ghost) neighbor links of `c`, with multiplicity
+    /// — exactly what `Neighborhood::of(self, c).nodes().count()` yields,
+    /// without constructing the neighborhood. On a torus every direction
+    /// wraps to a real node (possibly the same node twice at degenerate
+    /// sizes), so the count is always 4; on a mesh each machine border the
+    /// node sits on costs one link.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `c` is not a real node.
+    #[inline]
+    pub fn real_degree(self, c: Coord) -> u32 {
+        debug_assert!(self.contains(c), "real_degree() of non-node {c:?}");
+        match self.kind {
+            TopologyKind::Torus => 4,
+            TopologyKind::Mesh => {
+                4 - u32::from(c.x == 0)
+                    - u32::from(c.x as u32 == self.width - 1)
+                    - u32::from(c.y == 0)
+                    - u32::from(c.y as u32 == self.height - 1)
+            }
+        }
+    }
+
     /// The neighbor of `c` in direction `dir`.
     ///
     /// For a torus the address wraps; for a mesh, stepping off the machine
@@ -228,6 +251,22 @@ mod tests {
             let n = t.neighbor(c, d);
             assert!(!n.is_ghost());
             assert!(c.is_adjacent(n.coord().unwrap()));
+        }
+    }
+
+    #[test]
+    fn real_degree_matches_neighborhood_count() {
+        for kind in [TopologyKind::Mesh, TopologyKind::Torus] {
+            for (w, h) in [(1u32, 1u32), (1, 5), (2, 2), (3, 7), (6, 6)] {
+                let t = Topology::new(kind, w, h);
+                for c in t.coords() {
+                    assert_eq!(
+                        t.real_degree(c),
+                        crate::Neighborhood::of(t, c).nodes().count() as u32,
+                        "{kind:?} {w}x{h} at {c}"
+                    );
+                }
+            }
         }
     }
 

@@ -38,7 +38,10 @@ use std::time::{Duration, Instant};
 /// Tuning knobs of a [`MeshService`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Labeling pipeline configuration (rule, executor, round cap).
+    /// Labeling pipeline configuration (rule, engine, round cap). The
+    /// default picks the bit-packed labeling engine — every engine
+    /// produces identical snapshots, so this only shortens the writer's
+    /// relabel critical section (measured in experiment E15).
     pub pipeline: PipelineConfig,
     /// Admission-control capacity of the fault/repair event queue.
     pub queue_capacity: usize,
@@ -49,7 +52,10 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            pipeline: PipelineConfig::default(),
+            pipeline: PipelineConfig {
+                engine: LabelEngine::bitboard(),
+                ..PipelineConfig::default()
+            },
             queue_capacity: 1024,
             batch_max: 64,
         }

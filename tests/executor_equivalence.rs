@@ -1,12 +1,18 @@
-//! The three executors must be observationally identical on the paper's
-//! protocols: same final labels, same round counts, same message totals.
-//! With the chaos layer, the *lossy* executors must still reach the exact
-//! fixpoint of the reliable sequential executor — the monotone protocols
+//! Every executor — and every labeling engine, including the bit-packed
+//! kernels — must be observationally identical on the paper's protocols:
+//! same final labels, same round counts, same message totals. With the
+//! chaos layer, the *lossy* executors must still reach the exact fixpoint
+//! of the reliable sequential executor — the monotone protocols
 //! self-stabilize through drops, duplicates, reordering, down windows and
 //! mid-run crashes.
 
-use ocp_core::labeling::enablement::{compute_enablement, EnablementProtocol};
-use ocp_core::labeling::safety::{compute_safety, SafetyProtocol, SafetyRule, SafetyState};
+use ocp_core::labeling::enablement::{
+    compute_enablement, compute_enablement_with, EnablementProtocol,
+};
+use ocp_core::labeling::safety::{
+    compute_safety, compute_safety_with, SafetyProtocol, SafetyRule, SafetyState,
+};
+use ocp_core::maintenance::relabel_after_faults;
 use ocp_core::prelude::*;
 use ocp_distsim::{run_actor_chaos, run_chaos, ChaosConfig, CrashPlan, Executor};
 use ocp_mesh::{Coord, Topology, TopologyKind};
@@ -26,6 +32,7 @@ fn check_equivalence(topology: Topology, f: usize, seed: u64) {
         compute_enablement(&map, &reference_safety.grid, Executor::Sequential, 400);
 
     let mut executors = vec![
+        Executor::Frontier,
         Executor::Sharded { threads: 2 },
         Executor::Sharded { threads: 3 },
         Executor::Sharded { threads: 7 },
@@ -53,6 +60,30 @@ fn check_equivalence(topology: Topology, f: usize, seed: u64) {
         assert_eq!(
             enable.trace, reference_enable.trace,
             "{exec:?} enable trace"
+        );
+    }
+
+    // The bit-packed engines must match too — grids AND full traces
+    // (changes per round, messages, convergence flag).
+    for threads in [1usize, 2, 5] {
+        let engine = LabelEngine::Bitboard { threads };
+        let safety = compute_safety_with(&map, SafetyRule::BothDimensions, engine, 400);
+        assert_eq!(
+            safety.grid, reference_safety.grid,
+            "{engine:?} safety grid diverged on {topology:?} f={f} seed={seed}"
+        );
+        assert_eq!(
+            safety.trace, reference_safety.trace,
+            "{engine:?} safety trace"
+        );
+        let enable = compute_enablement_with(&map, &safety.grid, engine, 400);
+        assert_eq!(
+            enable.grid, reference_enable.grid,
+            "{engine:?} activation grid diverged"
+        );
+        assert_eq!(
+            enable.trace, reference_enable.trace,
+            "{engine:?} enable trace"
         );
     }
 }
@@ -235,6 +266,109 @@ proptest! {
         let a2 = run_chaos(&p2, seed ^ 1, 3, 20_000_000, &chaos, None);
         prop_assert!(a2.converged);
         prop_assert_eq!(&a2.states, &ref_enable.grid);
+    }
+}
+
+/// The warm-start maintenance path must be engine-independent too: the
+/// frontier executor and the bit-packed kernels (warm-initialized from the
+/// previous fixpoint) produce the same grids and the same incremental
+/// phase-1 trace as the sequential warm protocol.
+#[test]
+fn warm_start_maintenance_is_engine_independent() {
+    for (topology, seed) in [
+        (Topology::mesh(20, 20), 21u64),
+        (Topology::torus(18, 18), 22),
+        (Topology::mesh(33, 9), 23),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faults = uniform_faults(topology, 16, &mut rng);
+        let map = FaultMap::new(topology, faults);
+        let new_faults: Vec<Coord> = uniform_faults(topology, 40, &mut rng)
+            .into_iter()
+            .filter(|&c| !map.is_faulty(c))
+            .take(5)
+            .collect();
+
+        let engines = [
+            LabelEngine::Lockstep(Executor::Sequential),
+            LabelEngine::Lockstep(Executor::Frontier),
+            LabelEngine::Lockstep(Executor::Sharded { threads: 3 }),
+            LabelEngine::Bitboard { threads: 1 },
+            LabelEngine::Bitboard { threads: 4 },
+        ];
+        let mut reference = None;
+        for engine in engines {
+            let cfg = PipelineConfig {
+                engine,
+                ..PipelineConfig::default()
+            };
+            let cold = run_pipeline(&map, &cfg);
+            let (_updated, warm) = relabel_after_faults(&map, &new_faults, &cold, &cfg);
+            let got = (
+                warm.outcome.safety.clone(),
+                warm.outcome.activation.clone(),
+                warm.incremental_safety_trace.clone(),
+            );
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(got.0, want.0, "{engine:?} warm safety grid, seed {seed}");
+                    assert_eq!(
+                        got.1, want.1,
+                        "{engine:?} warm activation grid, seed {seed}"
+                    );
+                    assert_eq!(
+                        got.2, want.2,
+                        "{engine:?} warm incremental trace, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary fault maps on meshes and tori, every engine —
+    /// frontier executor and bit-packed kernels at any thread count —
+    /// produces byte-identical grids and identical per-round change
+    /// histories for both phases.
+    #[test]
+    fn engines_match_sequential_on_random_maps(
+        seed in 0u64..1_000_000,
+        width in 3u32..24,
+        height in 3u32..24,
+        torus in any::<bool>(),
+        f in 0usize..30,
+        threads in 1usize..6,
+    ) {
+        let kind = if torus { TopologyKind::Torus } else { TopologyKind::Mesh };
+        let topology = Topology::new(kind, width, height);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faults = uniform_faults(topology, f.min(topology.len() / 2), &mut rng);
+        let map = FaultMap::new(topology, faults);
+
+        let ref_safety =
+            compute_safety(&map, SafetyRule::BothDimensions, Executor::Sequential, 400);
+        let ref_enable = compute_enablement(&map, &ref_safety.grid, Executor::Sequential, 400);
+
+        for engine in [
+            LabelEngine::Lockstep(Executor::Frontier),
+            LabelEngine::Bitboard { threads },
+        ] {
+            let safety = compute_safety_with(&map, SafetyRule::BothDimensions, engine, 400);
+            prop_assert_eq!(&safety.grid, &ref_safety.grid, "{:?} safety grid", engine);
+            prop_assert_eq!(
+                &safety.trace.changes_per_round,
+                &ref_safety.trace.changes_per_round,
+                "{:?} safety changes_per_round", engine
+            );
+            prop_assert_eq!(&safety.trace, &ref_safety.trace, "{:?} safety trace", engine);
+            let enable = compute_enablement_with(&map, &safety.grid, engine, 400);
+            prop_assert_eq!(&enable.grid, &ref_enable.grid, "{:?} activation grid", engine);
+            prop_assert_eq!(&enable.trace, &ref_enable.trace, "{:?} enable trace", engine);
+        }
     }
 }
 

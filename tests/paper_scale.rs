@@ -23,7 +23,7 @@ fn full_stack_at_paper_scale() {
     let out = run_pipeline(
         &map,
         &PipelineConfig {
-            executor: Executor::Sharded { threads: 8 },
+            engine: LabelEngine::Lockstep(Executor::Sharded { threads: 8 }),
             ..PipelineConfig::default()
         },
     );
@@ -33,6 +33,19 @@ fn full_stack_at_paper_scale() {
     let seq = run_pipeline(&map, &PipelineConfig::default());
     assert_eq!(out.safety, seq.safety);
     assert_eq!(out.activation, seq.activation);
+
+    // So does the bit-packed engine, traces included.
+    let bits = run_pipeline(
+        &map,
+        &PipelineConfig {
+            engine: LabelEngine::bitboard(),
+            ..PipelineConfig::default()
+        },
+    );
+    assert_eq!(bits.safety, seq.safety);
+    assert_eq!(bits.activation, seq.activation);
+    assert_eq!(bits.safety_trace, seq.safety_trace);
+    assert_eq!(bits.enablement_trace, seq.enablement_trace);
 
     // All Section 4 invariants hold.
     let report = ocp_core::verify::verify(&map, &out).expect("invariants at scale");
