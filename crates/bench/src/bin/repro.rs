@@ -18,6 +18,9 @@
 //!   serve         mesh-state service: throughput/tail latency/staleness (E14)
 //!   serve-smoke   ~2s TCP service smoke run (CI gate)
 //!   scaling       labeling-engine speedups: size x density x engine (E15)
+//!   obs           observability overhead sweep, on vs off (E16)
+//!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
+//!   bench-check   --in <log>: bench-smoke names vs results/bench_baseline.json
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
 //! ```
@@ -27,8 +30,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, fig5, maintenance, models, partition_gap, routing_eval, scaling,
-    serve_load, verification, Settings,
+    self, asynchrony, chaos, fig5, maintenance, models, observability, partition_gap, routing_eval,
+    scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -36,12 +39,14 @@ struct Args {
     settings: Settings,
     out_dir: PathBuf,
     command: String,
+    in_file: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut settings = Settings::default();
     let mut out_dir = PathBuf::from("results");
     let mut command = String::from("all");
+    let mut in_file: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,8 +72,12 @@ fn parse_args() -> Args {
             "--out" => {
                 out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
             }
+            "--in" => {
+                in_file = args.next().map(PathBuf::from);
+                assert!(in_file.is_some(), "--in needs a path");
+            }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|obs|obs-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -78,6 +87,7 @@ fn parse_args() -> Args {
         settings,
         out_dir,
         command,
+        in_file,
     }
 }
 
@@ -290,6 +300,104 @@ fn run_scaling(args: &Args) {
     save(&args.out_dir, "scaling", to_json(&report));
 }
 
+fn run_obs(args: &Args) {
+    let report = observability::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E16: observability overhead, instrumentation on vs off",
+            &observability::table(&report)
+        )
+    );
+    println!(
+        "aggregate overhead: {:+.2}% ({} metric families, {} spans recorded)",
+        report.aggregate_overhead_pct, report.metric_families, report.spans_recorded
+    );
+    save(&args.out_dir, "obs", to_json(&report));
+    if report.aggregate_overhead_pct > 5.0 {
+        eprintln!(
+            "FAIL: observability overhead {:.2}% exceeds the 5% acceptance bar",
+            report.aggregate_overhead_pct
+        );
+        std::process::exit(1);
+    }
+    println!("observability overhead within the 5% acceptance bar");
+}
+
+fn run_obs_smoke(args: &Args) {
+    let report = observability::obs_smoke(args.settings.seed);
+    println!(
+        "obs smoke: {}-byte Prometheus scrape, {} metric families, {} spans, {} epoch(s) published",
+        report.scrape_bytes, report.registry_families, report.spans, report.epochs_published
+    );
+    println!("obs smoke: all three exposure surfaces OK");
+}
+
+/// Compares the benchmark names in a `cargo bench` log against the keys of
+/// `results/bench_baseline.json`, so the committed baseline can never
+/// silently drift from the bench suites again (it went stale once already).
+fn run_bench_check(args: &Args) {
+    use std::collections::BTreeSet;
+    let log_path = args
+        .in_file
+        .as_ref()
+        .expect("bench-check needs --in <bench log>");
+    let log = std::fs::read_to_string(log_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", log_path.display()));
+    let measured: BTreeSet<String> = log
+        .lines()
+        .filter_map(|line| line.trim_start().strip_prefix("bench: "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    assert!(
+        !measured.is_empty(),
+        "no `bench:` lines in {} — is it a `cargo bench -p ocp-bench` log?",
+        log_path.display()
+    );
+
+    let baseline_path = args.out_dir.join("bench_baseline.json");
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let parsed = serde_json::from_str::<serde_json::Value>(&baseline_text).expect("valid JSON");
+    let mut baseline: BTreeSet<String> = BTreeSet::new();
+    let suites = parsed
+        .get("suites")
+        .and_then(|s| s.as_object())
+        .expect("baseline has a `suites` object");
+    for (_suite, body) in suites {
+        let benchmarks = body
+            .get("benchmarks")
+            .and_then(|b| b.as_object())
+            .expect("suite has a `benchmarks` object");
+        for (name, _value) in benchmarks {
+            baseline.insert(name.clone());
+        }
+    }
+
+    let missing: Vec<&String> = baseline.difference(&measured).collect();
+    let unknown: Vec<&String> = measured.difference(&baseline).collect();
+    println!(
+        "bench-check: {} measured, {} baselined",
+        measured.len(),
+        baseline.len()
+    );
+    for name in &missing {
+        eprintln!("  baseline key never ran: {name}");
+    }
+    for name in &unknown {
+        eprintln!("  bench has no baseline:  {name}");
+    }
+    if !missing.is_empty() || !unknown.is_empty() {
+        eprintln!(
+            "FAIL: bench suites and {} disagree; regenerate the baseline",
+            baseline_path.display()
+        );
+        std::process::exit(1);
+    }
+    println!("bench-check: baseline keys match the bench suites");
+}
+
 fn run_serve_smoke(args: &Args) {
     let report = serve_load::smoke(std::time::Duration::from_secs(2), args.settings.seed);
     println!(
@@ -353,6 +461,9 @@ fn main() {
         "serve" => run_serve(&args),
         "serve-smoke" => run_serve_smoke(&args),
         "scaling" => run_scaling(&args),
+        "obs" => run_obs(&args),
+        "obs-smoke" => run_obs_smoke(&args),
+        "bench-check" => run_bench_check(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
             run_fig5(&args, "fig5");
@@ -364,6 +475,7 @@ fn main() {
             run_chaos_exp(&args);
             run_serve(&args);
             run_scaling(&args);
+            run_obs(&args);
             run_verify(&args);
             run_example_sec3();
         }

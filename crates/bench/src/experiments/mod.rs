@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod fig5;
 pub mod maintenance;
 pub mod models;
+pub mod observability;
 pub mod partition_gap;
 pub mod routing_eval;
 pub mod scaling;

@@ -161,14 +161,17 @@ pub fn compute_enablement_with(
     engine: crate::labeling::LabelEngine,
     max_rounds: u32,
 ) -> EnablementOutcome {
-    match engine {
+    let timer = crate::telemetry::PhaseTimer::start();
+    let out = match engine {
         crate::labeling::LabelEngine::Lockstep(executor) => {
             compute_enablement(map, safety, executor, max_rounds)
         }
         crate::labeling::LabelEngine::Bitboard { threads } => {
             crate::labeling::bits::compute_enablement_bits(map, safety, threads, max_rounds)
         }
-    }
+    };
+    crate::telemetry::record_phase("enablement", engine, &out.trace, timer);
+    out
 }
 
 /// [`compute_enablement_with`] with the convergence watchdog.
@@ -178,14 +181,17 @@ pub fn try_compute_enablement_with(
     engine: crate::labeling::LabelEngine,
     max_rounds: u32,
 ) -> Result<EnablementOutcome, ConvergenceError> {
-    match engine {
+    let timer = crate::telemetry::PhaseTimer::start();
+    let out = match engine {
         crate::labeling::LabelEngine::Lockstep(executor) => {
             try_compute_enablement(map, safety, executor, max_rounds)
         }
         crate::labeling::LabelEngine::Bitboard { threads } => {
             crate::labeling::bits::try_compute_enablement_bits(map, safety, threads, max_rounds)
         }
-    }
+    }?;
+    crate::telemetry::record_phase("enablement", engine, &out.trace, timer);
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -56,6 +56,17 @@ impl LabelEngine {
     pub fn bitboard() -> Self {
         LabelEngine::Bitboard { threads: 1 }
     }
+
+    /// Stable lowercase identifier, used as the `engine` label on every
+    /// metric the labeling phases export and as the engine name in the
+    /// `repro` experiment sweeps (e.g. `lockstep-sequential`,
+    /// `lockstep-sharded4`, `bitboard-1`).
+    pub fn label(&self) -> String {
+        match self {
+            LabelEngine::Lockstep(executor) => format!("lockstep-{}", executor.label()),
+            LabelEngine::Bitboard { threads } => format!("bitboard-{threads}"),
+        }
+    }
 }
 
 /// Default round cap for a topology: generous multiple of the diameter (the

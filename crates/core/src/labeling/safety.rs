@@ -166,14 +166,17 @@ pub fn compute_safety_with(
     engine: crate::labeling::LabelEngine,
     max_rounds: u32,
 ) -> SafetyOutcome {
-    match engine {
+    let timer = crate::telemetry::PhaseTimer::start();
+    let out = match engine {
         crate::labeling::LabelEngine::Lockstep(executor) => {
             compute_safety(map, rule, executor, max_rounds)
         }
         crate::labeling::LabelEngine::Bitboard { threads } => {
             crate::labeling::bits::compute_safety_bits(map, rule, None, threads, max_rounds)
         }
-    }
+    };
+    crate::telemetry::record_phase("safety", engine, &out.trace, timer);
+    out
 }
 
 /// [`compute_safety_with`] with the convergence watchdog.
@@ -183,14 +186,17 @@ pub fn try_compute_safety_with(
     engine: crate::labeling::LabelEngine,
     max_rounds: u32,
 ) -> Result<SafetyOutcome, ConvergenceError> {
-    match engine {
+    let timer = crate::telemetry::PhaseTimer::start();
+    let out = match engine {
         crate::labeling::LabelEngine::Lockstep(executor) => {
             try_compute_safety(map, rule, executor, max_rounds)
         }
         crate::labeling::LabelEngine::Bitboard { threads } => {
             crate::labeling::bits::try_compute_safety_bits(map, rule, None, threads, max_rounds)
         }
-    }
+    }?;
+    crate::telemetry::record_phase("safety", engine, &out.trace, timer);
+    Ok(out)
 }
 
 #[cfg(test)]

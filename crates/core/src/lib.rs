@@ -71,6 +71,7 @@ pub mod pipeline;
 pub mod regions;
 pub mod stats;
 pub mod status;
+pub(crate) mod telemetry;
 pub mod verify;
 
 /// One-stop imports for typical use.

@@ -142,6 +142,7 @@ pub fn try_relabel_after_faults(
         .max_rounds
         .unwrap_or_else(|| default_round_cap(map.topology()));
 
+    let warm_timer = crate::telemetry::PhaseTimer::start();
     let safety_run: SafetyOutcome = match config.engine {
         LabelEngine::Lockstep(executor) => {
             let warm = WarmSafetyProtocol {
@@ -165,6 +166,10 @@ pub fn try_relabel_after_faults(
         )
         .map_err(|e| e.with_label("warm-started phase-1 safety relabeling"))?,
     };
+    // The warm arms call their engines directly (not through
+    // `compute_safety_with`), so this is the exactly-once recording point
+    // for warm-started phase-1 runs.
+    crate::telemetry::record_phase("safety-warm", config.engine, &safety_run.trace, warm_timer);
     let blocks = crate::blocks::extract_blocks(&updated, &safety_run.grid);
     let enablement = try_compute_enablement_with(&updated, &safety_run.grid, config.engine, cap)?;
     let regions = crate::regions::extract_regions(&updated, &enablement.grid);

@@ -93,11 +93,12 @@ pub fn try_run_pipeline(
     let cap = config
         .max_rounds
         .unwrap_or_else(|| default_round_cap(map.topology()));
+    let timer = crate::telemetry::PhaseTimer::start();
     let safety = try_compute_safety_with(map, config.rule, config.engine, cap)?;
     let blocks = extract_blocks(map, &safety.grid);
     let enablement = try_compute_enablement_with(map, &safety.grid, config.engine, cap)?;
     let regions = extract_regions(map, &enablement.grid);
-    Ok(PipelineOutcome {
+    let outcome = PipelineOutcome {
         rule: config.rule,
         safety: safety.grid,
         activation: enablement.grid,
@@ -105,7 +106,9 @@ pub fn try_run_pipeline(
         regions,
         safety_trace: safety.trace,
         enablement_trace: enablement.trace,
-    })
+    };
+    crate::telemetry::record_pipeline(config.engine, &outcome, timer);
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -395,6 +395,9 @@ pub fn run_chaos<P: LockstepProtocol>(
         }
     }
 
+    if ocp_obs::enabled() {
+        crate::telemetry::record_chaos("async-chaos", &sim.stats);
+    }
     AsyncOutcome {
         states: sim.states,
         messages_delivered,

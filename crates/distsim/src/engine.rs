@@ -27,6 +27,19 @@ pub enum Executor {
     Actor,
 }
 
+impl Executor {
+    /// Stable lowercase identifier, used as the `executor` label on every
+    /// metric the engine exports (e.g. `sequential`, `sharded4`).
+    pub fn label(&self) -> String {
+        match self {
+            Executor::Sequential => "sequential".to_string(),
+            Executor::Frontier => "frontier".to_string(),
+            Executor::Sharded { threads } => format!("sharded{threads}"),
+            Executor::Actor => "actor".to_string(),
+        }
+    }
+}
+
 /// Result of running a protocol to quiescence (or to the round cap).
 #[derive(Clone, Debug)]
 pub struct RunOutcome<S> {
@@ -80,6 +93,19 @@ pub(crate) const MAX_ACTOR_NODES: usize = 4096;
 /// and records the substitution in [`RunTrace::notes`] — the outcome is
 /// identical because all executors agree on deterministic protocols.
 pub fn run<P: LockstepProtocol>(
+    protocol: &P,
+    executor: Executor,
+    max_rounds: u32,
+) -> RunOutcome<P::State> {
+    let timer = ocp_obs::enabled().then(std::time::Instant::now);
+    let out = run_inner(protocol, executor, max_rounds);
+    if let Some(start) = timer {
+        crate::telemetry::record_run(&executor.label(), &out.trace, start.elapsed());
+    }
+    out
+}
+
+fn run_inner<P: LockstepProtocol>(
     protocol: &P,
     executor: Executor,
     max_rounds: u32,
@@ -151,7 +177,13 @@ pub fn run_actor_chaos<P: LockstepProtocol>(
          use run_chaos (event-driven) for larger machines",
         protocol.topology().len()
     );
-    crate::actor::run_chaos(protocol, max_rounds, chaos)
+    let timer = ocp_obs::enabled().then(std::time::Instant::now);
+    let out = crate::actor::run_chaos(protocol, max_rounds, chaos);
+    if let Some(start) = timer {
+        crate::telemetry::record_run("actor-chaos", &out.trace, start.elapsed());
+        crate::telemetry::record_chaos("actor-chaos", &out.trace.chaos);
+    }
+    out
 }
 
 /// [`run_actor_chaos`] with the convergence watchdog: hitting the round cap

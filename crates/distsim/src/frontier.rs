@@ -60,12 +60,34 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
         in_frontier[i] = false;
     }
 
+    // Handles fetched once per run; the per-round cost when observability
+    // is on is two timestamps and two lock-free histogram records.
+    let round_obs = ocp_obs::enabled().then(|| {
+        let reg = ocp_obs::global();
+        (
+            reg.histogram(
+                "ocp_executor_round_duration_ns",
+                "Wall-clock duration of one lockstep round, nanoseconds.",
+                &[("executor", "frontier")],
+            ),
+            reg.histogram(
+                "ocp_frontier_size_nodes",
+                "Worklist size of each frontier-executor round, in nodes.",
+                &[],
+            ),
+        )
+    });
+
     let mut changes_per_round = Vec::new();
     let mut messages_sent = 0u64;
     let mut converged = false;
     let mut updates: Vec<(usize, P::State)> = Vec::new();
 
     while (changes_per_round.len() as u32) < max_rounds {
+        let round_start = round_obs.as_ref().map(|(_, sizes)| {
+            sizes.record(frontier.len() as u64);
+            std::time::Instant::now()
+        });
         // Evaluate the frontier against the start-of-round states only
         // (lock-step): updates are buffered and applied after the sweep.
         updates.clear();
@@ -81,6 +103,9 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
         }
         messages_sent += per_round;
         changes_per_round.push(updates.len() as u32);
+        if let (Some((durations, _)), Some(start)) = (&round_obs, round_start) {
+            durations.record(crate::telemetry::as_nanos(start.elapsed()));
+        }
         if updates.is_empty() {
             converged = true;
             break;

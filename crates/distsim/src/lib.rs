@@ -67,6 +67,7 @@ mod frontier;
 mod protocol;
 mod sequential;
 mod sharded;
+mod telemetry;
 mod trace;
 
 pub use asynchronous::{run_async, run_chaos, try_run_async, try_run_chaos, AsyncOutcome};

@@ -14,11 +14,22 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
     // instead of paying a dynamic `participates` call per cell per round.
     let all_participate = topology.coords().all(|c| protocol.participates(c));
 
+    // One handle lookup per run; per-round cost when observability is on
+    // is two `Instant::now` calls and one lock-free histogram record.
+    let round_obs = ocp_obs::enabled().then(|| {
+        ocp_obs::global().histogram(
+            "ocp_executor_round_duration_ns",
+            "Wall-clock duration of one lockstep round, nanoseconds.",
+            &[("executor", "sequential")],
+        )
+    });
+
     let mut changes_per_round = Vec::new();
     let mut messages_sent = 0u64;
     let mut converged = false;
 
     while (changes_per_round.len() as u32) < max_rounds {
+        let round_start = round_obs.as_ref().map(|_| std::time::Instant::now());
         let mut changed = 0u32;
         let next = Grid::from_fn(topology, |c| {
             let state = *current.get(c);
@@ -35,6 +46,9 @@ pub(crate) fn run<P: LockstepProtocol>(protocol: &P, max_rounds: u32) -> RunOutc
         messages_sent += per_round;
         changes_per_round.push(changed);
         current = next;
+        if let (Some(h), Some(start)) = (&round_obs, round_start) {
+            h.record(crate::telemetry::as_nanos(start.elapsed()));
+        }
         if changed == 0 {
             converged = true;
             break;

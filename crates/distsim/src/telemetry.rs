@@ -1,0 +1,95 @@
+//! Hooks into the process-global `ocp-obs` registry.
+//!
+//! Everything here is called only after the caller observed
+//! [`ocp_obs::enabled`] as true, so the disabled path pays exactly one
+//! relaxed atomic load per run (and nothing per round). Executor run
+//! totals are recorded once per [`crate::run`]/[`crate::run_actor_chaos`]
+//! call; per-round instrumentation lives inside the executors that have a
+//! natural per-round structure (sequential, frontier), which hoist their
+//! histogram handles out of the loop.
+
+use crate::{ChaosStats, RunTrace};
+use std::time::Duration;
+
+/// Clamps a duration into nanosecond `u64` range for histogram recording.
+pub(crate) fn as_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Records one completed protocol run under the `executor` label.
+pub(crate) fn record_run(executor: &str, trace: &RunTrace, elapsed: Duration) {
+    let reg = ocp_obs::global();
+    let labels: &[(&str, &str)] = &[("executor", executor)];
+    reg.counter(
+        "ocp_executor_runs_total",
+        "Lockstep protocol runs completed, by executor.",
+        labels,
+    )
+    .inc();
+    reg.counter(
+        "ocp_executor_rounds_total",
+        "Rounds executed, including the trailing quiet round, by executor.",
+        labels,
+    )
+    .add(u64::from(trace.rounds_executed()));
+    reg.counter(
+        "ocp_executor_messages_total",
+        "Status messages charged by the lockstep accounting, by executor.",
+        labels,
+    )
+    .add(trace.messages_sent);
+    if !trace.converged {
+        reg.counter(
+            "ocp_executor_unconverged_total",
+            "Runs that stopped at their round cap without a quiet round.",
+            labels,
+        )
+        .inc();
+    }
+    reg.histogram(
+        "ocp_executor_run_duration_ns",
+        "Wall-clock duration of one protocol run, nanoseconds.",
+        labels,
+    )
+    .record(as_nanos(elapsed));
+}
+
+/// Records the chaos-layer anomaly counters of one adversarial run.
+pub(crate) fn record_chaos(executor: &str, stats: &ChaosStats) {
+    let reg = ocp_obs::global();
+    let labels: &[(&str, &str)] = &[("executor", executor)];
+    for (name, help, value) in [
+        (
+            "ocp_chaos_dropped_total",
+            "Messages silently lost in transit by the chaos layer.",
+            stats.dropped,
+        ),
+        (
+            "ocp_chaos_duplicated_total",
+            "Messages delivered twice by the chaos layer.",
+            stats.duplicated,
+        ),
+        (
+            "ocp_chaos_reordered_total",
+            "Messages allowed to overtake earlier traffic on their link.",
+            stats.reordered,
+        ),
+        (
+            "ocp_chaos_retransmissions_total",
+            "Heartbeat-triggered re-sends repairing lost knowledge.",
+            stats.retransmissions,
+        ),
+        (
+            "ocp_chaos_link_down_discards_total",
+            "Sends discarded because the link was inside a down window.",
+            stats.link_down_discards,
+        ),
+        (
+            "ocp_chaos_crashes_total",
+            "Mid-run node crashes applied from a crash plan.",
+            stats.crashes,
+        ),
+    ] {
+        reg.counter(name, help, labels).add(value);
+    }
+}

@@ -1,0 +1,96 @@
+//! Workspace-wide observability: structured metrics, Prometheus text
+//! exposition, and a span trace ring.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Observability is off by default;
+//!    the process-global gate is one relaxed atomic load
+//!    ([`enabled`]), which every instrumentation site checks before doing
+//!    any work. Hot loops hoist the check out and pre-fetch their metric
+//!    handles, so a disabled build pays a branch per *run*, not per round.
+//! 2. **Lock-free hot paths when enabled.** Recording into a [`Counter`],
+//!    [`Gauge`], or [`Histogram`] is a handful of relaxed atomic adds —
+//!    the same discipline `ocp-serve`'s request metrics already used (its
+//!    latency histogram now lives here).
+//! 3. **No external dependencies.** Like the rest of the workspace this
+//!    builds offline; rendering implements the Prometheus text exposition
+//!    format directly ([`prom`]).
+//!
+//! Three consumption surfaces, mirroring the service endpoints:
+//! the process-global [`Registry`] ([`global`]) snapshots into typed,
+//! serializable [`RegistrySnapshot`]s; [`Registry::render_prometheus`]
+//! produces a `/metrics`-style text page; and the global [`TraceRing`]
+//! ([`tracer`]) keeps the most recent completed spans for JSON dumps.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{
+    Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue,
+    Registry, RegistrySnapshot, SeriesSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use prom::{escape_help, escape_label_value, unescape_label_value};
+pub use trace::{Span, SpanRecord, TraceRing};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Spans the global [`tracer`] retains before evicting the oldest.
+pub const GLOBAL_TRACE_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns instrumentation on or off process-wide. Off by default; metrics
+/// already recorded stay readable either way.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation sites should record. One relaxed load — this is
+/// the whole cost of the disabled path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global metrics registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-global span trace ring.
+pub fn tracer() -> &'static TraceRing {
+    static TRACER: OnceLock<TraceRing> = OnceLock::new();
+    TRACER.get_or_init(|| TraceRing::new(GLOBAL_TRACE_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_defaults_off_and_toggles() {
+        // Another test in this binary may have flipped it; just exercise
+        // the toggle round trip.
+        let before = enabled();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(before);
+    }
+
+    #[test]
+    fn global_registry_and_tracer_are_singletons() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+        let t1 = tracer() as *const TraceRing;
+        let t2 = tracer() as *const TraceRing;
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,485 @@
+//! Metric primitives and the labeled-series registry.
+//!
+//! Recording paths are a handful of relaxed atomic operations — hot paths
+//! never take a lock to bump a counter or record a latency. The registry
+//! itself is locked only on handle lookup (`counter`/`gauge`/`histogram`),
+//! so instrumentation sites that run per-round or per-request should fetch
+//! their [`Arc`] handle once and record through it.
+
+use ocp_analysis::Percentiles;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets; bucket `i` holds observations
+/// in `[2^i, 2^(i+1))`, so 64 buckets cover every `u64` value.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing `u64` counter (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrent histogram with power-of-two buckets (promoted out of
+/// `ocp-serve`, where it bucketed request latencies in nanoseconds).
+///
+/// Recording is two relaxed `fetch_add`s; reading produces nearest-rank
+/// percentiles at bucket resolution, each bucket represented by its
+/// geometric midpoint.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Representative value of bucket `i`: the geometric midpoint of
+/// `[2^i, 2^(i+1))`.
+fn bucket_mid(i: usize) -> f64 {
+    (1u64 << i) as f64 * 1.5
+}
+
+impl Histogram {
+    /// Records one observation (lock-free). Zero is clamped into the
+    /// lowest bucket.
+    pub fn record(&self, value: u64) {
+        let idx = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nearest-rank percentiles over the bucketed sample, with each bucket
+    /// represented by its geometric midpoint (all-zero when empty).
+    pub fn percentiles(&self) -> Percentiles {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Percentiles::of(&[]);
+        }
+        let value_at_rank = |rank: u64| -> f64 {
+            let mut cumulative = 0u64;
+            for (i, &n) in counts.iter().enumerate() {
+                cumulative += n;
+                if cumulative >= rank {
+                    return bucket_mid(i);
+                }
+            }
+            bucket_mid(HISTOGRAM_BUCKETS - 1)
+        };
+        let rank = |p: f64| -> u64 { ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total) };
+        let max_bucket = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
+        Percentiles {
+            n: total as usize,
+            p50: value_at_rank(rank(50.0)),
+            p90: value_at_rank(rank(90.0)),
+            p95: value_at_rank(rank(95.0)),
+            p99: value_at_rank(rank(99.0)),
+            max: bucket_mid(max_bucket),
+        }
+    }
+
+    /// Consistent point-in-time view: counts are read once, so
+    /// `count == buckets.sum()` holds by construction in every snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.bucket_counts();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Settable signed gauge.
+    Gauge,
+    /// Power-of-two bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// A registry of labeled metric families.
+///
+/// Lookup (`counter`/`gauge`/`histogram`) is get-or-create under one mutex
+/// and hands back an [`Arc`] handle; all recording then happens lock-free
+/// through the handle. Families and label sets are ordered (`BTreeMap`),
+/// so snapshots and renderings are deterministic.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn metric(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+        kind: MetricKind,
+    ) -> Metric {
+        let key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric `{name}` registered as {:?}, requested as {kind:?}",
+            family.kind
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.metric(
+            name,
+            help,
+            labels,
+            || Metric::Counter(Arc::new(Counter::default())),
+            MetricKind::Counter,
+        ) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.metric(
+            name,
+            help,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::default())),
+            MetricKind::Gauge,
+        ) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.metric(
+            name,
+            help,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::default())),
+            MetricKind::Histogram,
+        ) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// A consistent, serializable point-in-time view of every family.
+    ///
+    /// Values observed by successive snapshots are monotone for counters
+    /// and histogram buckets (writers only add), and each histogram's
+    /// `count` equals the sum of its snapshot buckets by construction.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|(name, family)| FamilySnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series: family
+                        .series
+                        .iter()
+                        .map(|(labels, metric)| SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: match metric {
+                                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                                Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        crate::prom::render(&self.snapshot())
+    }
+}
+
+/// Serializable view of a whole [`Registry`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Every family, ordered by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks a family up by name.
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Value of the counter `name{labels}`, or 0 when the series does not
+    /// exist (which is what a counter that never fired reads as).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.series_value(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot of `name{labels}`, if that series exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.series_value(name, labels) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn series_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let family = self.family(name)?;
+        family
+            .series
+            .iter()
+            .find(|s| {
+                s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| &s.value)
+    }
+}
+
+/// Serializable view of one metric family.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Family name (e.g. `ocp_labeling_rounds_total`).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Every labeled series, ordered by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Serializable view of one labeled series.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Label key/value pairs, sorted.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: MetricValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram reading.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations (always equals the sum of `buckets`).
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts (`HISTOGRAM_BUCKETS` entries, bucket `i` covers
+    /// `[2^i, 2^(i+1))`).
+    pub buckets: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "a counter", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("g", "a gauge", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn handles_are_shared_per_label_set() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("k", "1")]);
+        let b = r.counter("x_total", "x", &[("k", "1")]);
+        let other = r.counter("x_total", "x", &[("k", "2")]);
+        a.inc();
+        b.inc();
+        other.add(10);
+        assert_eq!(a.get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x_total", &[("k", "1")]), 2);
+        assert_eq!(snap.counter("x_total", &[("k", "2")]), 10);
+        assert_eq!(snap.counter("x_total", &[("k", "3")]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as Counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("dual", "first as counter", &[]);
+        let _ = r.gauge("dual", "then as gauge", &[]);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_and_percentiles() {
+        let h = Histogram::default();
+        assert_eq!(h.percentiles().n, 0);
+        // 1000 lands in bucket 9 ([512, 1024)); mid = 768.
+        h.record(1000);
+        assert_eq!((h.count(), h.sum()), (1, 1000));
+        assert_eq!(h.percentiles().p50, 768.0);
+        // Zero is clamped into the lowest bucket instead of panicking.
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, snap.buckets.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn snapshot_round_trips_json() {
+        let r = Registry::new();
+        r.counter("runs_total", "runs", &[("engine", "bitboard-1")])
+            .add(3);
+        r.gauge("depth", "queue depth", &[]).set(-2);
+        r.histogram("lat_ns", "latency", &[("endpoint", "route")])
+            .record(4096);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("runs_total", &[("engine", "bitboard-1")]), 3);
+        assert_eq!(
+            back.histogram("lat_ns", &[("endpoint", "route")])
+                .unwrap()
+                .count,
+            1
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! Renders a [`RegistrySnapshot`] deterministically: families in name
+//! order, series in label order, histograms as cumulative `_bucket` lines
+//! with `le` upper bounds plus `_sum`/`_count`. Only buckets up to the
+//! highest non-empty one are emitted (a 64-bucket histogram would
+//! otherwise produce 64 lines of zeros per series).
+
+use crate::metrics::{FamilySnapshot, MetricValue, RegistrySnapshot, SeriesSnapshot};
+use std::fmt::Write;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`]. Returns `None` if `escaped` is not a
+/// valid escaping (a dangling backslash or an unknown escape), which a
+/// well-formed rendering never produces.
+pub fn unescape_label_value(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Escapes `# HELP` text: backslash and newline become `\\` and `\n`.
+pub fn escape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",...}` (empty string when there are no labels), with an
+/// optional extra pre-escaped pair appended (used for histogram `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn render_series(out: &mut String, family: &FamilySnapshot, series: &SeriesSnapshot) {
+    let name = &family.name;
+    match &series.value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(out, "{name}{} {v}", label_block(&series.labels, None));
+        }
+        MetricValue::Gauge(v) => {
+            let _ = writeln!(out, "{name}{} {v}", label_block(&series.labels, None));
+        }
+        MetricValue::Histogram(h) => {
+            let top = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().take(top).enumerate() {
+                cumulative += n;
+                // Bucket `i` holds values in [2^i, 2^(i+1)), all of which
+                // are <= 2^(i+1) - 1 < 2^(i+1); the bound is exact for the
+                // integer observations this workspace records.
+                let le = format!("{}", 1u128 << (i + 1));
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    label_block(&series.labels, Some(("le", &le)))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                label_block(&series.labels, Some(("le", "+Inf"))),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{name}_sum{} {}",
+                label_block(&series.labels, None),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{name}_count{} {}",
+                label_block(&series.labels, None),
+                h.count
+            );
+        }
+    }
+}
+
+/// Renders a whole snapshot in the text exposition format.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        let _ = writeln!(
+            out,
+            "# TYPE {} {}",
+            family.name,
+            family.kind.prometheus_type()
+        );
+        for series in &family.series {
+            render_series(&mut out, family, series);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("req_total", "requests", &[("ep", "route")])
+            .add(9);
+        r.gauge("depth", "queue depth", &[]).set(3);
+        let h = r.histogram("lat", "latency", &[]);
+        h.record(1); // bucket 0 -> le="2"
+        h.record(3); // bucket 1 -> le="4"
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{ep=\"route\"} 9"), "{text}");
+        assert!(text.contains("depth 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_sum 4"), "{text}");
+        assert!(text.contains("lat_count 2"), "{text}");
+    }
+
+    #[test]
+    fn escaping_round_trips_the_troublesome_characters() {
+        for raw in ["plain", "a\"b", "back\\slash", "line\nbreak", "\\n", ""] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'), "{escaped:?} leaks a newline");
+            assert_eq!(unescape_label_value(&escaped).as_deref(), Some(raw));
+        }
+    }
+
+    #[test]
+    fn invalid_escapes_are_rejected() {
+        assert_eq!(unescape_label_value("dangling\\"), None);
+        assert_eq!(unescape_label_value("bad\\q"), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! A bounded span trace ring: the "what just happened" complement to the
+//! cumulative metrics registry.
+//!
+//! Instrumented phases push one [`SpanRecord`] per completed unit of work
+//! (a labeling phase, a pipeline run, an epoch publication). The ring keeps
+//! the most recent `capacity` records and counts what it had to drop, so a
+//! long-running service can always dump the recent history as JSON without
+//! unbounded memory.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Monotone sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Span name (e.g. `labeling/safety`).
+    pub name: String,
+    /// Start time in microseconds since the ring was created.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub elapsed_us: u64,
+    /// Free-form key/value annotations.
+    pub fields: Vec<(String, String)>,
+}
+
+struct RingInner {
+    next_seq: u64,
+    records: VecDeque<SpanRecord>,
+}
+
+/// A fixed-capacity concurrent ring of completed spans.
+pub struct TraceRing {
+    epoch: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(RingInner {
+                next_seq: 0,
+                records: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Starts a span; finishing it records the elapsed time.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.span_at(name, Instant::now())
+    }
+
+    /// A span that began at `start` — for callers that timed the work
+    /// themselves and only decide afterwards to record it.
+    pub fn span_at(&self, name: &str, start: Instant) -> Span<'_> {
+        Span {
+            ring: self,
+            name: name.to_string(),
+            start,
+            fields: Vec::new(),
+        }
+    }
+
+    fn push(&self, name: String, start: Instant, fields: Vec<(String, String)>) {
+        let start_us = start
+            .saturating_duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let elapsed_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.records.len() == self.capacity {
+            inner.records.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.records.push_back(SpanRecord {
+            seq,
+            name,
+            start_us,
+            elapsed_us,
+            fields,
+        });
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        inner.records.iter().cloned().collect()
+    }
+
+    /// Records evicted to make room (total since creation).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Forgets every retained record (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("trace ring poisoned")
+            .records
+            .clear();
+    }
+
+    /// The retained records as a JSON array, for `repro` experiment dumps.
+    pub fn dump_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("span records serialize")
+    }
+}
+
+/// An in-flight span; [`Span::finish`] pushes it into the ring.
+#[must_use = "a span records nothing until finished"]
+pub struct Span<'a> {
+    ring: &'a TraceRing,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, String)>,
+}
+
+impl Span<'_> {
+    /// Attaches a key/value annotation.
+    pub fn field(mut self, key: &str, value: impl ToString) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Completes the span and records it.
+    pub fn finish(self) {
+        self.ring.push(self.name, self.start, self.fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_with_fields() {
+        let ring = TraceRing::new(8);
+        ring.span("first").field("k", 1).finish();
+        ring.span("second").finish();
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "first");
+        assert_eq!(spans[0].fields, vec![("k".to_string(), "1".to_string())]);
+        assert_eq!(spans[1].seq, spans[0].seq + 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.span(&format!("s{i}")).finish();
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(ring.dropped(), 2);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        ring.span("after").finish();
+        assert_eq!(ring.snapshot()[0].seq, 5);
+    }
+
+    #[test]
+    fn dump_json_round_trips() {
+        let ring = TraceRing::new(4);
+        ring.span("phase").field("engine", "bitboard-1").finish();
+        let json = ring.dump_json();
+        let back: Vec<SpanRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ring.snapshot());
+    }
+}

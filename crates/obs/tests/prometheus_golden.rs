@@ -1,0 +1,187 @@
+//! Golden test for the Prometheus text exposition rendering, plus a
+//! property fuzz over the label-escaping pair.
+//!
+//! The golden file pins the byte-exact page for a fixed registry: family
+//! ordering, HELP/TYPE lines, label ordering and escaping, cumulative
+//! bucket bounds, `_sum`/`_count`. Regenerate after an intentional format
+//! change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ocp-obs --test prometheus_golden
+//! ```
+
+use ocp_obs::{escape_label_value, unescape_label_value, Registry};
+use proptest::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+
+/// A registry covering every rendering feature: all three metric kinds,
+/// labeled and label-free series, multi-series families, characters that
+/// need escaping, and histogram buckets with gaps.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter(
+        "ocp_demo_requests_total",
+        "Requests served, by endpoint.",
+        &[("endpoint", "route")],
+    )
+    .add(42);
+    r.counter(
+        "ocp_demo_requests_total",
+        "Requests served, by endpoint.",
+        &[("endpoint", "status")],
+    )
+    .add(7);
+    r.counter(
+        "ocp_demo_escapes_total",
+        "Label values with every escapable character.",
+        &[("path", "a\\b\"c\nd")],
+    )
+    .inc();
+    r.gauge("ocp_demo_queue_depth", "Current queue depth.", &[])
+        .set(12);
+    r.gauge(
+        "ocp_demo_balance",
+        "A gauge that can go negative.",
+        &[("shard", "0")],
+    )
+    .set(-5);
+    let h = r.histogram("ocp_demo_latency_ns", "Demo latency histogram.", &[]);
+    h.record(1); // bucket 0, le="2"
+    h.record(1);
+    h.record(3); // bucket 1, le="4"
+    h.record(100); // bucket 6, le="128" (gap: buckets 2-5 render as flat)
+    r
+}
+
+#[test]
+fn rendering_matches_the_committed_golden_file() {
+    let rendered = golden_registry().render_prometheus();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus rendering drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_page_parses_as_well_formed_exposition_text() {
+    // Independent of the byte-exact pin: every non-comment line must split
+    // into `name{labels} value` with unescapable label values.
+    let page = golden_registry().render_prometheus();
+    let mut samples = 0;
+    for line in page.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "unknown comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in: {line}"
+        );
+        if let Some((name, rest)) = series.split_once('{') {
+            assert!(
+                !name.is_empty() && rest.ends_with('}'),
+                "bad series: {series}"
+            );
+            let body = &rest[..rest.len() - 1];
+            // Label values may contain escaped quotes; split on `","`
+            // boundaries is enough for this page's shape.
+            for pair in split_label_pairs(body) {
+                let (key, quoted) = pair.split_once('=').expect("k=v pair");
+                assert!(!key.is_empty());
+                let inner = quoted
+                    .strip_prefix('"')
+                    .and_then(|q| q.strip_suffix('"'))
+                    .expect("quoted value");
+                assert!(
+                    unescape_label_value(inner).is_some(),
+                    "invalid escaping in {pair:?}"
+                );
+            }
+        }
+        samples += 1;
+    }
+    assert!(samples > 10, "suspiciously short page:\n{page}");
+}
+
+/// Splits `k1="v1",k2="v2"` into pairs, respecting escaped quotes.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pairs.push(&body[start..]);
+    pairs
+}
+
+/// Characters weighted toward the ones the escaper must handle.
+fn label_char() -> impl Strategy<Value = char> {
+    prop_oneof![Just('\\'), Just('"'), Just('\n'), Just('n'), any::<char>(),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn escaping_round_trips_arbitrary_label_values(
+        chars in proptest::collection::vec(label_char(), 0..64)
+    ) {
+        let raw: String = chars.into_iter().collect();
+        let escaped = escape_label_value(&raw);
+        // The escaped form must be safe to embed in a quoted label value:
+        // no raw newline, no unescaped quote or backslash.
+        prop_assert!(!escaped.contains('\n'));
+        let mut iter = escaped.chars();
+        while let Some(ch) = iter.next() {
+            if ch == '\\' {
+                let next = iter.next();
+                prop_assert!(
+                    matches!(next, Some('\\' | '"' | 'n')),
+                    "dangling or unknown escape in {escaped:?}"
+                );
+            } else {
+                prop_assert!(ch != '"', "unescaped quote in {escaped:?}");
+            }
+        }
+        prop_assert_eq!(unescape_label_value(&escaped), Some(raw));
+    }
+
+    #[test]
+    fn unescape_never_panics_on_arbitrary_input(
+        chars in proptest::collection::vec(label_char(), 0..64)
+    ) {
+        let input: String = chars.into_iter().collect();
+        // Any input either unescapes cleanly or is rejected with None —
+        // and accepted inputs re-escape to themselves only when they were
+        // a canonical escaping.
+        if let Some(decoded) = unescape_label_value(&input) {
+            let reencoded = escape_label_value(&decoded);
+            let redecoded = unescape_label_value(&reencoded);
+            prop_assert_eq!(redecoded.as_deref(), Some(decoded.as_str()));
+        }
+    }
+}

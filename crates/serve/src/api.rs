@@ -8,7 +8,7 @@
 //! consistency tests can check each answer against the exact published
 //! state it claims to come from.
 
-use crate::metrics::StatsReport;
+use crate::metrics::{ObsReport, StatsReport};
 use ocp_mesh::Coord;
 use ocp_routing::RoutingError;
 use serde::{Deserialize, Serialize};
@@ -48,6 +48,12 @@ pub enum Request {
     },
     /// Service counters and latency percentiles.
     Stats,
+    /// Prometheus text-format scrape: the service's own families plus the
+    /// process-global `ocp-obs` registry.
+    MetricsText,
+    /// Full typed observability report — the `stats` superset carrying the
+    /// global metric registry snapshot and recent spans.
+    ObsReport,
     /// Current head epoch.
     Epoch,
 }
@@ -62,6 +68,8 @@ impl Request {
             Request::InjectFaults { .. } => "inject_faults",
             Request::RepairNodes { .. } => "repair_nodes",
             Request::Stats => "stats",
+            Request::MetricsText => "metrics",
+            Request::ObsReport => "obs",
             Request::Epoch => "epoch",
         }
     }
@@ -83,6 +91,13 @@ pub enum Response {
     Injected(InjectReply),
     /// Reply to [`Request::Stats`].
     Stats(StatsReport),
+    /// Reply to [`Request::MetricsText`].
+    MetricsText {
+        /// The rendered Prometheus text exposition page.
+        text: String,
+    },
+    /// Reply to [`Request::ObsReport`].
+    Obs(ObsReport),
     /// Reply to [`Request::Epoch`].
     Epoch {
         /// Head epoch at the time the reply was produced.
@@ -212,6 +227,8 @@ mod tests {
             },
             Request::RepairNodes { nodes: vec![] },
             Request::Stats,
+            Request::MetricsText,
+            Request::ObsReport,
             Request::Epoch,
         ];
         for req in reqs {
@@ -247,6 +264,9 @@ mod tests {
                 epoch_at_enqueue: 7,
             }),
             Response::Epoch { epoch: 12 },
+            Response::MetricsText {
+                text: "# TYPE ocp_serve_epoch gauge\nocp_serve_epoch 3\n".into(),
+            },
             Response::Error {
                 message: "bad frame".into(),
             },
@@ -261,6 +281,8 @@ mod tests {
     #[test]
     fn endpoint_names_are_stable() {
         assert_eq!(Request::Stats.endpoint(), "stats");
+        assert_eq!(Request::MetricsText.endpoint(), "metrics");
+        assert_eq!(Request::ObsReport.endpoint(), "obs");
         assert_eq!(
             Request::Route {
                 src: c(0, 0),

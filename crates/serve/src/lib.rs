@@ -44,7 +44,9 @@ pub use api::{
     InjectReply, NodeState, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome,
     RouteReply, StatusReply,
 };
-pub use metrics::{EndpointReport, LatencyHistogram, Metrics, StatsReport};
+pub use metrics::{
+    prometheus_text, EndpointReport, LatencyHistogram, Metrics, ObsReport, StatsReport,
+};
 pub use net::{Client, TcpServer};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{EpochRecord, Event, MeshService, ServeConfig, ServiceHandle};

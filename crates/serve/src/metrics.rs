@@ -10,81 +10,13 @@
 
 use ocp_analysis::Percentiles;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two buckets; bucket `i` holds observations in
-/// `[2^i, 2^(i+1))` nanoseconds, so 64 buckets cover every `u64` value.
-const BUCKETS: usize = 64;
-
-/// A concurrent latency histogram with power-of-two nanosecond buckets.
-///
-/// Recording is one relaxed `fetch_add`; reading produces nearest-rank
-/// percentiles at bucket resolution.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: [const { AtomicU64::new(0) }; BUCKETS],
-        }
-    }
-}
-
-/// Representative value of bucket `i`: the geometric midpoint of
-/// `[2^i, 2^(i+1))`.
-fn bucket_mid(i: usize) -> f64 {
-    (1u64 << i) as f64 * 1.5
-}
-
-impl LatencyHistogram {
-    /// Records one observation in nanoseconds (lock-free).
-    pub fn record(&self, nanos: u64) {
-        let idx = 63 - nanos.max(1).leading_zeros() as usize;
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Nearest-rank percentiles over the bucketed sample, with each bucket
-    /// represented by its geometric midpoint (all-zero when empty).
-    pub fn percentiles(&self) -> Percentiles {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return Percentiles::of(&[]);
-        }
-        let value_at_rank = |rank: u64| -> f64 {
-            let mut cumulative = 0u64;
-            for (i, &n) in counts.iter().enumerate() {
-                cumulative += n;
-                if cumulative >= rank {
-                    return bucket_mid(i);
-                }
-            }
-            bucket_mid(BUCKETS - 1)
-        };
-        let rank = |p: f64| -> u64 { ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total) };
-        let max_bucket = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
-        Percentiles {
-            n: total as usize,
-            p50: value_at_rank(rank(50.0)),
-            p90: value_at_rank(rank(90.0)),
-            p95: value_at_rank(rank(95.0)),
-            p99: value_at_rank(rank(99.0)),
-            max: bucket_mid(max_bucket),
-        }
-    }
-}
+/// The concurrent power-of-two-bucketed histogram this module introduced,
+/// since promoted into [`ocp_obs`] so every crate can record into one; the
+/// alias keeps the serve-local name (observations are nanoseconds here).
+pub use ocp_obs::Histogram as LatencyHistogram;
 
 /// Counters and latency for one query endpoint.
 #[derive(Debug, Default)]
@@ -141,6 +73,9 @@ pub struct Metrics {
     pub staleness_max: AtomicU64,
     /// Read queries contributing to the staleness counters.
     pub staleness_samples: AtomicU64,
+    /// Epoch publication lag: nanoseconds from the writer draining a batch
+    /// to the rebuilt snapshot becoming visible to readers.
+    pub epoch_publish_lag: LatencyHistogram,
 }
 
 impl Metrics {
@@ -195,6 +130,9 @@ pub struct StatsReport {
     pub staleness_mean_epochs: f64,
     /// Worst read staleness in epochs behind head.
     pub staleness_max_epochs: u64,
+    /// Epoch publication lag percentiles (drain → snapshot visible), in
+    /// nanoseconds.
+    pub publish_lag_ns: Percentiles,
 }
 
 impl StatsReport {
@@ -202,6 +140,157 @@ impl StatsReport {
     pub fn reads_served(&self) -> u64 {
         self.route.requests + self.route_len.requests + self.status.requests
     }
+}
+
+/// The `stats`-superset observability payload: service counters plus the
+/// process-global metric registry and the most recent completed spans.
+/// This is the typed twin of the Prometheus text page.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// The service's own counters (identical to the `Stats` reply).
+    pub stats: StatsReport,
+    /// Snapshot of every family in the global `ocp-obs` registry.
+    pub registry: ocp_obs::RegistrySnapshot,
+    /// Recent completed spans from the global trace ring, oldest first.
+    pub spans: Vec<ocp_obs::SpanRecord>,
+}
+
+/// Writes one latency summary (quantiles + count) in the text format.
+fn render_summary(out: &mut String, name: &str, labels: &str, p: &Percentiles) {
+    for (q, v) in [
+        ("0.5", p.p50),
+        ("0.9", p.p90),
+        ("0.95", p.p95),
+        ("0.99", p.p99),
+    ] {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(out, "{name}{{{labels}{sep}quantile=\"{q}\"}} {v}");
+    }
+    let suffix = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_count{suffix} {}", p.n);
+}
+
+/// Renders the service's own counters as Prometheus text-format families
+/// (`ocp_serve_*`). The full `/metrics` page the service exposes is this
+/// plus [`ocp_obs::Registry::render_prometheus`] over the global registry.
+pub fn prometheus_text(stats: &StatsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP ocp_serve_epoch Current head epoch.");
+    let _ = writeln!(out, "# TYPE ocp_serve_epoch gauge");
+    let _ = writeln!(out, "ocp_serve_epoch {}", stats.epoch);
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_epochs_published_total Snapshots published since start."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_epochs_published_total counter");
+    let _ = writeln!(
+        out,
+        "ocp_serve_epochs_published_total {}",
+        stats.epochs_published
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_batches_total Event batches drained by the writer."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_batches_total counter");
+    let _ = writeln!(out, "ocp_serve_batches_total {}", stats.batches);
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_events_total Fault/repair events, by admission outcome."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_events_total counter");
+    for (outcome, value) in [
+        ("accepted", stats.events_accepted),
+        ("rejected", stats.events_rejected),
+        ("applied", stats.events_applied),
+        ("discarded", stats.events_discarded),
+    ] {
+        let _ = writeln!(
+            out,
+            "ocp_serve_events_total{{outcome=\"{outcome}\"}} {value}"
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_queue_depth Events waiting in the writer queue."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_queue_depth gauge");
+    let _ = writeln!(out, "ocp_serve_queue_depth {}", stats.queue_depth);
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_queue_capacity Capacity of the writer queue."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_queue_capacity gauge");
+    let _ = writeln!(out, "ocp_serve_queue_capacity {}", stats.queue_capacity);
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_requests_total Read queries served, by endpoint."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_requests_total counter");
+    let endpoints = [
+        ("route", &stats.route),
+        ("route_len", &stats.route_len),
+        ("status", &stats.status),
+    ];
+    for (name, ep) in &endpoints {
+        let _ = writeln!(
+            out,
+            "ocp_serve_requests_total{{endpoint=\"{name}\"}} {}",
+            ep.requests
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_latency_ns Service-time quantiles per endpoint, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_latency_ns summary");
+    for (name, ep) in &endpoints {
+        render_summary(
+            &mut out,
+            "ocp_serve_latency_ns",
+            &format!("endpoint=\"{name}\""),
+            &ep.latency_ns,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_staleness_epochs Read staleness in epochs behind head."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_staleness_epochs gauge");
+    let _ = writeln!(
+        out,
+        "ocp_serve_staleness_epochs{{stat=\"mean\"}} {}",
+        stats.staleness_mean_epochs
+    );
+    let _ = writeln!(
+        out,
+        "ocp_serve_staleness_epochs{{stat=\"max\"}} {}",
+        stats.staleness_max_epochs
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_publish_lag_ns Epoch publication lag quantiles (drain to visible), nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_publish_lag_ns summary");
+    render_summary(
+        &mut out,
+        "ocp_serve_publish_lag_ns",
+        "",
+        &stats.publish_lag_ns,
+    );
+    out
 }
 
 #[cfg(test)]
@@ -299,10 +388,49 @@ mod tests {
             },
             staleness_mean_epochs: 0.25,
             staleness_max_epochs: 2,
+            publish_lag_ns: Percentiles::of(&[1000.0, 2000.0]),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
         assert_eq!(r.reads_served(), 49);
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_family() {
+        let m = Metrics::default();
+        m.route.record(1000);
+        m.epoch_publish_lag.record(5000);
+        let r = StatsReport {
+            epoch: 2,
+            epochs_published: 2,
+            batches: 2,
+            events_accepted: 3,
+            events_rejected: 0,
+            events_applied: 2,
+            events_discarded: 1,
+            queue_depth: 1,
+            queue_capacity: 64,
+            route: m.route.report(),
+            route_len: m.route_len.report(),
+            status: m.status.report(),
+            staleness_mean_epochs: 0.5,
+            staleness_max_epochs: 1,
+            publish_lag_ns: m.epoch_publish_lag.percentiles(),
+        };
+        let text = prometheus_text(&r);
+        for needle in [
+            "# TYPE ocp_serve_epoch gauge",
+            "ocp_serve_epoch 2",
+            "ocp_serve_events_total{outcome=\"applied\"} 2",
+            "ocp_serve_requests_total{endpoint=\"route\"} 1",
+            "ocp_serve_latency_ns{endpoint=\"route\",quantile=\"0.5\"}",
+            "ocp_serve_latency_ns_count{endpoint=\"route\"} 1",
+            "# TYPE ocp_serve_publish_lag_ns summary",
+            "ocp_serve_publish_lag_ns_count 1",
+            "ocp_serve_staleness_epochs{stat=\"max\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

@@ -25,7 +25,7 @@ use crate::api::{
     InjectReply, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome, RouteReply,
     StatusReply,
 };
-use crate::metrics::{Metrics, StatsReport};
+use crate::metrics::{prometheus_text, Metrics, ObsReport, StatsReport};
 use crate::queue::{BoundedQueue, PushError};
 use crate::snapshot::{EventBatch, Snapshot};
 use ocp_core::prelude::*;
@@ -250,6 +250,9 @@ fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: Pipeli
             .fetch_add(discarded, Ordering::Relaxed);
 
         if !batch.is_empty() {
+            // Publication lag: relabel + publish time, from the moment the
+            // batch is assembled to the moment readers can see the epoch.
+            let publish_start = Instant::now();
             match current.apply(&batch, &pipeline) {
                 Ok(next) => {
                     let warm_rounds = if batch.repairs.is_empty() {
@@ -267,6 +270,10 @@ fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: Pipeli
                         *head = next.clone();
                         shared.head_epoch.store(next.epoch, Ordering::Release);
                     }
+                    shared
+                        .metrics
+                        .epoch_publish_lag
+                        .record(publish_start.elapsed().as_nanos() as u64);
                     shared
                         .metrics
                         .events_applied
@@ -470,6 +477,26 @@ impl ServiceHandle {
                 m.staleness_sum.load(Ordering::Relaxed) as f64 / samples as f64
             },
             staleness_max_epochs: m.staleness_max.load(Ordering::Relaxed),
+            publish_lag_ns: m.epoch_publish_lag.percentiles(),
+        }
+    }
+
+    /// The Prometheus text-format exposition page: the service's own
+    /// families followed by the process-global `ocp-obs` registry (labeling
+    /// phases, executors, chaos counters).
+    pub fn metrics_text(&self) -> String {
+        let mut page = prometheus_text(&self.stats());
+        page.push_str(&ocp_obs::global().render_prometheus());
+        page
+    }
+
+    /// The full typed observability report: service stats plus the global
+    /// metric registry snapshot and the recent span trace.
+    pub fn obs_report(&self) -> ObsReport {
+        ObsReport {
+            stats: self.stats(),
+            registry: ocp_obs::global().snapshot(),
+            spans: ocp_obs::tracer().snapshot(),
         }
     }
 
@@ -483,6 +510,10 @@ impl ServiceHandle {
             Request::InjectFaults { nodes } => Response::Injected(self.inject_faults(&nodes)),
             Request::RepairNodes { nodes } => Response::Injected(self.repair_nodes(&nodes)),
             Request::Stats => Response::Stats(self.stats()),
+            Request::MetricsText => Response::MetricsText {
+                text: self.metrics_text(),
+            },
+            Request::ObsReport => Response::Obs(self.obs_report()),
             Request::Epoch => Response::Epoch {
                 epoch: self.epoch(),
             },
@@ -603,6 +634,8 @@ mod tests {
             Request::InjectFaults { nodes: vec![] },
             Request::RepairNodes { nodes: vec![] },
             Request::Stats,
+            Request::MetricsText,
+            Request::ObsReport,
             Request::Epoch,
         ];
         for request in cases {
@@ -612,6 +645,28 @@ mod tests {
                 "{request:?} errored"
             );
         }
+    }
+
+    #[test]
+    fn publish_lag_and_scrape_reflect_published_epochs() {
+        let service = small_service();
+        let h = service.handle();
+        h.inject_faults(&[c(8, 8)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = h.stats();
+        assert_eq!(
+            stats.publish_lag_ns.n as u64, stats.epochs_published,
+            "one lag sample per published epoch"
+        );
+        assert!(stats.publish_lag_ns.p50 > 0.0, "relabeling takes time");
+        let page = h.metrics_text();
+        assert!(page.contains("ocp_serve_publish_lag_ns_count 1"), "{page}");
+        assert!(
+            page.contains("ocp_serve_epochs_published_total 1"),
+            "{page}"
+        );
+        let report = h.obs_report();
+        assert_eq!(report.stats.epoch, h.epoch());
     }
 
     #[test]

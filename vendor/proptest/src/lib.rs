@@ -305,6 +305,24 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Draw until the codepoint is a valid scalar (skips surrogates);
+        // bias half the draws to ASCII so short strings still exercise the
+        // common case.
+        loop {
+            let raw = if rng.next_u64() & 1 == 0 {
+                rng.below(0x80) as u32
+            } else {
+                rng.below(0x11_0000) as u32
+            };
+            if let Some(c) = char::from_u32(raw) {
+                return c;
+            }
+        }
+    }
+}
+
 /// Strategy over the full domain of `T`.
 pub struct Any<T>(PhantomData<T>);
 
@@ -354,6 +372,29 @@ pub mod collection {
                 lo: *r.start(),
                 hi: *r.end(),
             }
+        }
+    }
+
+    /// Strategy producing vectors of independent elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element`-generated values whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
         }
     }
 
