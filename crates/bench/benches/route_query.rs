@@ -1,0 +1,90 @@
+//! B9: the indexed query path — `route_len` cost of the segment-jump
+//! indexed traversal against the per-hop reference, plus the batched
+//! scratch-reuse path the serve batch endpoint runs on.
+//!
+//! Both engines return byte-identical answers (pinned by the routing
+//! equivalence suite); the spread between them is pure query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use ocp_routing::{EnabledMap, FaultTolerantRouter, RouteScratch};
+use ocp_workloads::clustered_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_router(side: u32, f: usize, seed: u64) -> FaultTolerantRouter {
+    let topology = Topology::mesh(side, side);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = clustered_faults(topology, f, (f / 24).max(1), &mut rng);
+    let map = FaultMap::new(topology, faults);
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    FaultTolerantRouter::new(enabled, &regions)
+}
+
+fn query_pairs(router: &FaultTolerantRouter, n: usize, seed: u64) -> Vec<(Coord, Coord)> {
+    let nodes = router.enabled().enabled_coords();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let p: Vec<_> = nodes.choose_multiple(&mut rng, 2).collect();
+            (*p[0], *p[1])
+        })
+        .collect()
+}
+
+fn route_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_query");
+    group.sample_size(20);
+    // 48² at ~10% clustered faults: big enough for multi-ring detours,
+    // small enough for the bench smoke.
+    let router = build_router(48, 230, 0xB9);
+    let queries = query_pairs(&router, 64, 29);
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("reference"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                for &(s, d) in queries {
+                    let _ = black_box(router.route_len_reference(s, d));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("indexed"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                for &(s, d) in queries {
+                    let _ = black_box(router.route_len(s, d));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("indexed_batch64"),
+        &queries,
+        |b, queries| {
+            // Persistent scratch across chunks, as a serve worker's
+            // handle reuses its scratch across successive batches.
+            let mut scratch = RouteScratch::new();
+            b.iter(|| {
+                for chunk in queries.chunks(64) {
+                    for &(s, d) in chunk {
+                        let _ = black_box(router.route_len_with(s, d, &mut scratch));
+                    }
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, route_query);
+criterion_main!(benches);

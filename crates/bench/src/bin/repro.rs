@@ -18,6 +18,8 @@
 //!   serve         mesh-state service: throughput/tail latency/staleness (E14)
 //!   serve-smoke   ~2s TCP service smoke run (CI gate)
 //!   scaling       labeling-engine speedups: size x density x engine (E15)
+//!   routeperf     indexed vs reference route_len throughput (E17)
+//!   routeperf-smoke  quick E17 sweep with a relaxed speedup bar (CI gate)
 //!   obs           observability overhead sweep, on vs off (E16)
 //!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
 //!   bench-check   --in <log>: bench-smoke names vs results/bench_baseline.json
@@ -30,8 +32,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, fig5, maintenance, models, observability, partition_gap, routing_eval,
-    scaling, serve_load, verification, Settings,
+    self, asynchrony, chaos, fig5, maintenance, models, observability, partition_gap, routeperf,
+    routing_eval, scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -77,7 +79,7 @@ fn parse_args() -> Args {
                 assert!(in_file.is_some(), "--in needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|obs|obs-smoke|bench-check|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -300,6 +302,63 @@ fn run_scaling(args: &Args) {
     save(&args.out_dir, "scaling", to_json(&report));
 }
 
+fn run_routeperf(args: &Args) {
+    let report = routeperf::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E17: route_len throughput, indexed vs reference query path",
+            &routeperf::table(&report)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E17: router + index construction cost (paid once per epoch)",
+            &routeperf::build_table(&report)
+        )
+    );
+    save(&args.out_dir, "routeperf", to_json(&report));
+    let flagship = routeperf::flagship_speedup(&report).expect("batch64 rows");
+    println!(
+        "flagship: {}x{} d={:.2} batch=64 speedup {:.2}x",
+        flagship.side, flagship.side, flagship.density, flagship.speedup
+    );
+    // The acceptance bar applies to the full shape (256² / 10% clustered).
+    if args.settings.side >= 100 && flagship.speedup < 5.0 {
+        eprintln!(
+            "FAIL: flagship speedup {:.2}x below the 5x acceptance bar",
+            flagship.speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_routeperf_smoke(args: &Args) {
+    let mut settings = args.settings;
+    if settings.side >= 100 {
+        settings = Settings::quick();
+    }
+    let report = routeperf::run(&settings);
+    let flagship = routeperf::flagship_speedup(&report).expect("batch64 rows");
+    println!(
+        "routeperf smoke: {} cells, flagship {}x{} d={:.2} batch=64 speedup {:.2}x",
+        report.rows.len(),
+        flagship.side,
+        flagship.side,
+        flagship.density,
+        flagship.speedup
+    );
+    // Relaxed bar: small machines under CI noise still must show a clear
+    // win; the 5x bar is enforced by the full `routeperf` run.
+    assert!(
+        flagship.speedup >= 2.0,
+        "smoke speedup {:.2}x below the 2x smoke bar",
+        flagship.speedup
+    );
+    println!("routeperf smoke: indexed path clears the 2x smoke bar");
+}
+
 fn run_obs(args: &Args) {
     let report = observability::run(&args.settings);
     println!(
@@ -461,6 +520,8 @@ fn main() {
         "serve" => run_serve(&args),
         "serve-smoke" => run_serve_smoke(&args),
         "scaling" => run_scaling(&args),
+        "routeperf" => run_routeperf(&args),
+        "routeperf-smoke" => run_routeperf_smoke(&args),
         "obs" => run_obs(&args),
         "obs-smoke" => run_obs_smoke(&args),
         "bench-check" => run_bench_check(&args),
@@ -475,6 +536,7 @@ fn main() {
             run_chaos_exp(&args);
             run_serve(&args);
             run_scaling(&args);
+            run_routeperf(&args);
             run_obs(&args);
             run_verify(&args);
             run_example_sec3();

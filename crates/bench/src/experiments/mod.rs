@@ -7,6 +7,7 @@ pub mod maintenance;
 pub mod models;
 pub mod observability;
 pub mod partition_gap;
+pub mod routeperf;
 pub mod routing_eval;
 pub mod scaling;
 pub mod serve_load;

@@ -1,0 +1,686 @@
+//! Per-snapshot query indexes for the fault-tolerant router.
+//!
+//! [`crate::router::FaultTolerantRouter::new`] builds these tables once per
+//! labeled machine view (in `ocp-serve`, once per epoch snapshot) so the
+//! per-query traversal does work proportional to the number of *fault
+//! encounters*, not to path length:
+//!
+//! * [`SegmentIndex`] — per-row and per-column sorted tables of disabled
+//!   coordinates. An unobstructed XY segment is resolved with one binary
+//!   search (torus-seam aware) instead of one enabled-map probe per hop.
+//! * [`RingIndex`] — per-ring `coord → cycle position` table (hash-free
+//!   O(log n) `position_of`) plus an exact exit-candidate index: the only
+//!   cycle positions where the router's exit objective can attain a
+//!   minimum are corners of the ring walk, cells whose region-blocked
+//!   status changes, and cells aligned with (or torus-antipodal to) the
+//!   destination's row/column. `best_exit` evaluates just those
+//!   candidates — with precomputed feasibility masks — instead of the
+//!   whole perimeter.
+//! * [`RouteScratch`] — reusable traversal state (livelock guard, exit
+//!   memo) so `route_len` performs no heap allocation after warm-up.
+//!
+//! Correctness contract: the indexed traversal in `router.rs` must be
+//! *byte-identical* to the reference per-hop traversal (same paths, same
+//! hop counts, same errors); `crates/routing/tests/equivalence.rs` enforces
+//! this property on random mesh and torus fault maps.
+
+use crate::fault_ring::{FaultRing, RingShape};
+use crate::path::EnabledMap;
+use ocp_mesh::{Coord, Direction, Grid, Topology, TopologyKind, DIRECTIONS};
+
+/// Marker entry in [`RouteIndex::position`]'s grid for cells on no
+/// (encodable) ring. Unambiguous: a real entry would need ring index and
+/// cycle position both `0xFFFF`, which the builder refuses to encode.
+const NO_RING_POS: u32 = u32::MAX;
+
+/// Marker region code for a disabled cell outside every fault region
+/// (would make the traversal's "disabled non-region cell" invariant fail,
+/// exactly like the reference path's `expect`).
+pub(crate) const NO_REGION: u32 = u32::MAX;
+
+/// Result of a [`SegmentIndex::probe`]: how far XY routing may advance in
+/// one direction before hitting a disabled cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Segment {
+    /// Free hops (enabled cells) in the probed direction, `≤ steps`.
+    pub advance: usize,
+    /// The first disabled cell on the span and its fault-region index
+    /// ([`NO_REGION`] when it belongs to none), if one lies within
+    /// `steps`. Carrying the region here spares the traversal a separate
+    /// region-grid lookup per fault encounter.
+    pub blocked: Option<(Coord, u32)>,
+}
+
+/// Sorted per-row / per-column tables of disabled coordinates, stored as
+/// two flat CSR layouts (`off[line]..off[line + 1]` slices one line's
+/// entries) so a probe touches two contiguous arrays instead of chasing a
+/// per-line `Vec` pointer.
+///
+/// Row `y`'s slice holds the ascending x coordinates of disabled cells in
+/// that row (paired with their fault-region index); column `x`'s slice
+/// the ascending y coordinates. A probe is a binary search for the first
+/// disabled cell in the walk window; on a torus the window may wrap the
+/// seam, in which case the search splits in two.
+#[derive(Clone, Debug)]
+pub(crate) struct SegmentIndex {
+    topology: Topology,
+    row_off: Vec<u32>,
+    rows: Vec<(i32, u32)>,
+    col_off: Vec<u32>,
+    cols: Vec<(i32, u32)>,
+}
+
+/// Flattens per-line vectors into a CSR (offsets, data) pair.
+fn flatten_lines(lines: Vec<Vec<(i32, u32)>>) -> (Vec<u32>, Vec<(i32, u32)>) {
+    let mut off = Vec::with_capacity(lines.len() + 1);
+    off.push(0u32);
+    let mut data = Vec::new();
+    for line in lines {
+        data.extend_from_slice(&line);
+        off.push(data.len() as u32);
+    }
+    (off, data)
+}
+
+impl SegmentIndex {
+    /// Builds the tables from the enabled view and region membership.
+    pub fn build(enabled: &EnabledMap, region_of: &Grid<Option<usize>>) -> Self {
+        let t = enabled.topology();
+        let mut rows = vec![Vec::new(); t.height() as usize];
+        let mut cols = vec![Vec::new(); t.width() as usize];
+        for c in t.coords() {
+            if !enabled.is_enabled(c) {
+                let code = region_of.get(c).map_or(NO_REGION, |r| r as u32);
+                rows[c.y as usize].push((c.x, code));
+                cols[c.x as usize].push((c.y, code));
+            }
+        }
+        for line in rows.iter_mut().chain(cols.iter_mut()) {
+            line.sort_unstable();
+        }
+        let (row_off, rows) = flatten_lines(rows);
+        let (col_off, cols) = flatten_lines(cols);
+        Self {
+            topology: t,
+            row_off,
+            rows,
+            col_off,
+            cols,
+        }
+    }
+
+    /// Probes up to `steps` hops from `from` in `dir`. `steps` must be at
+    /// most half the extent on a torus (which XY offsets always are).
+    pub fn probe(&self, from: Coord, dir: Direction, steps: usize) -> Segment {
+        let (line, pos, extent) = match dir {
+            Direction::East | Direction::West => {
+                let (y, w) = (from.y as usize, self.topology.width() as i32);
+                let range = self.row_off[y] as usize..self.row_off[y + 1] as usize;
+                (&self.rows[range], from.x, w)
+            }
+            Direction::North | Direction::South => {
+                let (x, h) = (from.x as usize, self.topology.height() as i32);
+                let range = self.col_off[x] as usize..self.col_off[x + 1] as usize;
+                (&self.cols[range], from.y, h)
+            }
+        };
+        let positive = matches!(dir, Direction::East | Direction::North);
+        let torus = self.topology.kind() == TopologyKind::Torus;
+        match first_blocked(line, pos, steps as i32, extent, positive, torus) {
+            Some((d, region)) => Segment {
+                advance: (d - 1) as usize,
+                blocked: Some((coord_at(self.topology, from, dir, d), region)),
+            },
+            None => Segment {
+                advance: steps,
+                blocked: None,
+            },
+        }
+    }
+}
+
+/// The coordinate `d` hops from `from` in `dir` (wrapping on tori).
+fn coord_at(t: Topology, from: Coord, dir: Direction, d: i32) -> Coord {
+    let (dx, dy) = dir.offset();
+    let raw = Coord::new(from.x + dx * d, from.y + dy * d);
+    match t.kind() {
+        TopologyKind::Mesh => raw,
+        TopologyKind::Torus => t.wrap(raw),
+    }
+}
+
+/// Distance (in hops, `1..=steps`) to the first `line` member reached when
+/// walking from `pos` in the positive or negative direction, with that
+/// member's region code; `None` if the window is clear. `line` is
+/// ascending within `[0, extent)`.
+fn first_blocked(
+    line: &[(i32, u32)],
+    pos: i32,
+    steps: i32,
+    extent: i32,
+    positive: bool,
+    torus: bool,
+) -> Option<(i32, u32)> {
+    if positive {
+        let end = pos + steps;
+        if !torus || end < extent {
+            let i = line.partition_point(|&(v, _)| v <= pos);
+            return (i < line.len() && line[i].0 <= end).then(|| (line[i].0 - pos, line[i].1));
+        }
+        // Wrapped window: (pos, extent) then [0, end - extent].
+        let i = line.partition_point(|&(v, _)| v <= pos);
+        if i < line.len() {
+            return Some((line[i].0 - pos, line[i].1));
+        }
+        line.first()
+            .filter(|&&(v, _)| v <= end - extent)
+            .map(|&(v, r)| (v + extent - pos, r))
+    } else {
+        let end = pos - steps;
+        if !torus || end >= 0 {
+            let i = line.partition_point(|&(v, _)| v < pos);
+            return (i > 0 && line[i - 1].0 >= end).then(|| (pos - line[i - 1].0, line[i - 1].1));
+        }
+        // Wrapped window: [0, pos) then [end + extent, extent).
+        let i = line.partition_point(|&(v, _)| v < pos);
+        if i > 0 {
+            return Some((pos - line[i - 1].0, line[i - 1].1));
+        }
+        match line.last() {
+            Some(&(last, r)) if last >= end + extent => Some((pos + extent - last, r)),
+            _ => None,
+        }
+    }
+}
+
+/// The feasibility-mask bit for direction `d` (see
+/// [`CandidateColumns::masks`]).
+pub(crate) fn dir_bit(d: Direction) -> u8 {
+    match d {
+        Direction::West => 1,
+        Direction::East => 2,
+        Direction::South => 4,
+        Direction::North => 8,
+    }
+}
+
+/// Sort/search key of an in-machine coordinate (non-negative components).
+fn coord_key(c: Coord) -> u64 {
+    ((c.y as u32 as u64) << 32) | c.x as u32 as u64
+}
+
+/// Structure-of-arrays store of exit candidates: cell coordinates,
+/// precomputed infeasibility masks, and cycle positions in parallel
+/// columns. The layout lets the exit scan in `router.rs` run as one
+/// branch-free loop over flat primitive arrays, which the compiler
+/// auto-vectorizes.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CandidateColumns {
+    /// Cell x per candidate.
+    pub xs: Vec<i32>,
+    /// Cell y per candidate.
+    pub ys: Vec<i32>,
+    /// Infeasibility bits per candidate ([`dir_bit`]`(d)` set ⇔ the
+    /// neighbor in `d` lies in the ring's region, i.e. the exit predicate
+    /// rejects an exit toward `d`).
+    pub masks: Vec<u8>,
+    /// Cycle position per candidate.
+    pub poss: Vec<u32>,
+}
+
+impl CandidateColumns {
+    /// Number of stored candidates.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+/// Per-ring query index. Only cycle rings are indexed; chains keep the
+/// default empty index (the router rejects them before lookup).
+///
+/// The exit-candidate set is *exact*, not padded: the minimum of the exit
+/// objective over feasible cycle positions is provably attained at a
+/// position where either the distance slope can change (ring-walk corners
+/// — including both endpoints of diagonal steps — destination-aligned
+/// cells, torus-antipodal cells) or the feasibility predicate can change
+/// (both endpoints of every per-direction region-blocked transition).
+/// Between two consecutive candidates the walk direction, the preferred
+/// direction toward `dst`, and every blocked bit are constant, so the
+/// distance is strictly monotone across the gap and no interior position
+/// can be a minimum.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RingIndex {
+    /// `(coord key, cycle position)` sorted by key — hash-free
+    /// `position_of` in O(log n).
+    sorted: Vec<(u64, u32)>,
+    /// Destination-independent exit candidates: ring-walk corners and
+    /// region-blocked-status transitions; ascending by position,
+    /// deduplicated.
+    static_candidates: CandidateColumns,
+    /// CSR of candidates per column: column `x` holds the `cols` range
+    /// `col_off[x]..col_off[x + 1]`.
+    col_off: Vec<u32>,
+    cols: CandidateColumns,
+    /// CSR of candidates per row.
+    row_off: Vec<u32>,
+    rows: CandidateColumns,
+    /// Whether the exit objective fits the packed-u32 scan: cycle
+    /// positions in 16 bits and distances in 15.
+    compact: bool,
+}
+
+/// Builds one CSR side (`off`, `data`) over `extent` lines keyed by `line`.
+fn build_csr(
+    cells: &[Coord],
+    masks: &[u8],
+    extent: usize,
+    line: impl Fn(Coord) -> usize,
+) -> (Vec<u32>, CandidateColumns) {
+    let n = cells.len();
+    let mut off = vec![0u32; extent + 1];
+    for &c in cells {
+        off[line(c) + 1] += 1;
+    }
+    for i in 0..extent {
+        off[i + 1] += off[i];
+    }
+    let mut cursor = off.clone();
+    let mut data = CandidateColumns {
+        xs: vec![0; n],
+        ys: vec![0; n],
+        masks: vec![0; n],
+        poss: vec![0; n],
+    };
+    for (i, &c) in cells.iter().enumerate() {
+        let slot = &mut cursor[line(c)];
+        let s = *slot as usize;
+        data.xs[s] = c.x;
+        data.ys[s] = c.y;
+        data.masks[s] = masks[i];
+        data.poss[s] = i as u32;
+        *slot += 1;
+    }
+    (off, data)
+}
+
+impl RingIndex {
+    /// Builds the index of one ring. `region_of` is the router's region
+    /// membership grid, used to precompute the feasibility masks.
+    pub fn build(t: Topology, ring: &FaultRing, region_of: &Grid<Option<usize>>) -> Self {
+        let RingShape::Cycle(cells) = &ring.shape else {
+            return Self::default();
+        };
+        let n = cells.len();
+        let mut sorted: Vec<(u64, u32)> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (coord_key(c), i as u32))
+            .collect();
+        sorted.sort_unstable();
+
+        // Feasibility masks: which XY hops out of each ring cell are
+        // blocked by this ring's own region.
+        let masks: Vec<u8> = cells
+            .iter()
+            .map(|&c| {
+                DIRECTIONS
+                    .into_iter()
+                    .filter(|&d| {
+                        t.neighbor(c, d)
+                            .coord()
+                            .is_some_and(|nxt| region_of.get(nxt) == &Some(ring.region_index))
+                    })
+                    .fold(0u8, |acc, d| acc | dir_bit(d))
+            })
+            .collect();
+        let (col_off, cols) = build_csr(cells, &masks, t.width() as usize, |c| c.x as usize);
+        let (row_off, rows) = build_csr(cells, &masks, t.height() as usize, |c| c.y as usize);
+
+        let mut marked = vec![false; n];
+        // Corners: the walk direction changes at cell i (`None` covers
+        // diagonal steps, whose flats need both endpoints).
+        for i in 0..n {
+            let before = dir_between(t, cells[(i + n - 1) % n], cells[i]);
+            let after = dir_between(t, cells[i], cells[(i + 1) % n]);
+            if before.is_none() || before != after {
+                marked[i] = true;
+            }
+        }
+        // Feasibility transitions: pred(c) can only change where some
+        // blocked bit changes; both sides of the change are breakpoints.
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if masks[i] != masks[j] {
+                marked[i] = true;
+                marked[j] = true;
+            }
+        }
+        let mut static_candidates = CandidateColumns::default();
+        for (i, &c) in cells.iter().enumerate().filter(|&(i, _)| marked[i]) {
+            static_candidates.xs.push(c.x);
+            static_candidates.ys.push(c.y);
+            static_candidates.masks.push(masks[i]);
+            static_candidates.poss.push(i as u32);
+        }
+        let compact = n <= usize::from(u16::MAX) && t.width() as u64 + t.height() as u64 <= 0x8000;
+        Self {
+            sorted,
+            static_candidates,
+            col_off,
+            cols,
+            row_off,
+            rows,
+            compact,
+        }
+    }
+
+    /// Whether the packed-u32 exit scan is valid for this ring (always,
+    /// except on machines with perimeter-scale rings or extents summing
+    /// past 2^15, which fall back to the u64 scan).
+    pub fn compact(&self) -> bool {
+        self.compact
+    }
+
+    /// Cycle position of `c` in O(log n), hash-free (`None` for
+    /// non-members and chains).
+    pub fn position(&self, c: Coord) -> Option<usize> {
+        let key = coord_key(c);
+        self.sorted
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.sorted[i].1 as usize)
+    }
+
+    /// Range of `cols` holding candidates in column `x`.
+    fn column(&self, x: i32) -> core::ops::Range<usize> {
+        self.col_off[x as usize] as usize..self.col_off[x as usize + 1] as usize
+    }
+
+    /// Range of `rows` holding candidates in row `y`.
+    fn row(&self, y: i32) -> core::ops::Range<usize> {
+        self.row_off[y as usize] as usize..self.row_off[y as usize + 1] as usize
+    }
+
+    /// Calls `f` on every `(columns, range)` slice holding a cycle
+    /// position where the exit objective (feasibility predicate + distance
+    /// to `dst`) can attain its minimum: the static candidates plus cells
+    /// on `dst`'s column/row and, on a torus, the antipodal
+    /// column(s)/row(s) where the wrap distance kinks (two lines per axis,
+    /// covering odd extents' flat step). The slices are scanned in place —
+    /// no candidate is ever copied — and may overlap. Must only be called
+    /// for cycle rings.
+    pub fn candidate_slices(
+        &self,
+        t: Topology,
+        dst: Coord,
+        mut f: impl FnMut(&CandidateColumns, core::ops::Range<usize>),
+    ) {
+        f(&self.static_candidates, 0..self.static_candidates.len());
+        f(&self.cols, self.column(dst.x));
+        f(&self.rows, self.row(dst.y));
+        if t.kind() == TopologyKind::Torus {
+            let (w, h) = (t.width() as i32, t.height() as i32);
+            for ax in [(dst.x + w / 2) % w, (dst.x + (w + 1) / 2) % w] {
+                f(&self.cols, self.column(ax));
+            }
+            for ay in [(dst.y + h / 2) % h, (dst.y + (h + 1) / 2) % h] {
+                f(&self.rows, self.row(ay));
+            }
+        }
+    }
+}
+
+/// The direction `d` with `t.neighbor(a, d) == b`, for adjacent cells
+/// (torus-wrap aware). `None` if the cells are not linked.
+fn dir_between(t: Topology, a: Coord, b: Coord) -> Option<Direction> {
+    DIRECTIONS
+        .into_iter()
+        .find(|&d| t.neighbor(a, d).coord() == Some(b))
+}
+
+/// All per-snapshot indexes of one router, built in
+/// `FaultTolerantRouter::new`.
+#[derive(Clone, Debug)]
+pub(crate) struct RouteIndex {
+    /// Row/column disabled-interval tables for segment-jump XY.
+    pub segments: SegmentIndex,
+    /// One [`RingIndex`] per fault ring, in ring order.
+    pub rings: Vec<RingIndex>,
+    /// `ring << 16 | cycle position` of the first ring each cell appears
+    /// on ([`NO_RING_POS`] elsewhere) — one 4-byte grid probe resolves
+    /// almost every `position_of`. Cells sitting on a *second* ring as
+    /// well (two non-merged regions two apart) fall back to that ring's
+    /// sorted-key search.
+    ring_pos: Grid<u32>,
+}
+
+impl RouteIndex {
+    /// Builds all indexes for the given labeled view.
+    pub fn build(
+        enabled: &EnabledMap,
+        rings: &[FaultRing],
+        region_of: &Grid<Option<usize>>,
+    ) -> Self {
+        let t = enabled.topology();
+        let mut ring_pos = Grid::filled(t, NO_RING_POS);
+        for (r, ring) in rings.iter().enumerate() {
+            let RingShape::Cycle(cells) = &ring.shape else {
+                continue;
+            };
+            // Rings or positions past 16 bits stay unencoded and resolve
+            // through the per-ring fallback.
+            if r >= usize::from(u16::MAX) || cells.len() > usize::from(u16::MAX) {
+                continue;
+            }
+            for (i, &c) in cells.iter().enumerate() {
+                if *ring_pos.get(c) == NO_RING_POS {
+                    ring_pos.set(c, ((r as u32) << 16) | i as u32);
+                }
+            }
+        }
+        Self {
+            segments: SegmentIndex::build(enabled, region_of),
+            rings: rings
+                .iter()
+                .map(|r| RingIndex::build(t, r, region_of))
+                .collect(),
+            ring_pos,
+        }
+    }
+
+    /// Cycle position of `c` on ring `region_idx`: O(1) via the position
+    /// grid, falling back to the ring's sorted table when the grid entry
+    /// belongs to a different ring (or was too large to encode). `None`
+    /// when `c` is not on that ring.
+    pub fn position(&self, region_idx: usize, c: Coord) -> Option<usize> {
+        let v = *self.ring_pos.get(c);
+        if v != NO_RING_POS && (v >> 16) as usize == region_idx {
+            Some((v & 0xFFFF) as usize)
+        } else {
+            self.rings[region_idx].position(c)
+        }
+    }
+}
+
+/// Reusable traversal state for the indexed query path.
+///
+/// One scratch serves any number of sequential queries against any router;
+/// its buffers are cleared (not freed) between traversals, so a warmed-up
+/// `route_len` performs no heap allocation. `FaultTolerantRouter::route`
+/// and `route_len` use a thread-local scratch transparently; callers in
+/// tight loops can hold their own and use `route_into` /
+/// `route_len_with`.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Livelock guard: (ring index, entry cell) pairs seen this traversal.
+    entries: Vec<(usize, Coord)>,
+    /// Per-traversal memo of `best_exit` results (dst is fixed within one
+    /// traversal, so a ring's best exit never changes across re-encounters).
+    exits: Vec<(usize, Option<u32>)>,
+}
+
+impl RouteScratch {
+    /// A fresh scratch. Equivalent to `RouteScratch::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets per-traversal state, keeping buffer capacity.
+    pub(crate) fn begin(&mut self) {
+        self.entries.clear();
+        self.exits.clear();
+    }
+
+    /// Records a ring entry; `false` if this (ring, entry) was already
+    /// seen this traversal (the livelock condition).
+    pub(crate) fn note_entry(&mut self, ring: usize, entry: Coord) -> bool {
+        if self.entries.iter().any(|&(r, c)| r == ring && c == entry) {
+            return false;
+        }
+        self.entries.push((ring, entry));
+        true
+    }
+
+    /// The memoized exit for `ring`, if computed this traversal.
+    pub(crate) fn lookup_exit(&self, ring: usize) -> Option<Option<u32>> {
+        self.exits
+            .iter()
+            .find(|&&(r, _)| r == ring)
+            .map(|&(_, e)| e)
+    }
+
+    /// Memoizes the exit for `ring`.
+    pub(crate) fn store_exit(&mut self, ring: usize, exit: Option<u32>) {
+        self.exits.push((ring, exit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_mesh::Grid;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_map(t: Topology, density: f64, seed: u64) -> EnabledMap {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let grid = Grid::from_fn(t, |_| !rng.gen_bool(density));
+        EnabledMap::from_grid(grid)
+    }
+
+    /// A synthetic region grid giving every disabled cell its own region
+    /// code, so probes can be checked to report the right one.
+    fn fake_regions(enabled: &EnabledMap) -> Grid<Option<usize>> {
+        let t = enabled.topology();
+        Grid::from_fn(t, |c| {
+            (!enabled.is_enabled(c)).then(|| (c.y * t.width() as i32 + c.x) as usize % 5)
+        })
+    }
+
+    /// Naive per-hop reference for `probe`.
+    fn naive_probe(
+        enabled: &EnabledMap,
+        region_of: &Grid<Option<usize>>,
+        from: Coord,
+        dir: Direction,
+        steps: usize,
+    ) -> Segment {
+        let t = enabled.topology();
+        let mut cur = from;
+        for k in 0..steps {
+            let next = match t.neighbor(cur, dir).coord() {
+                Some(n) => n,
+                None => {
+                    return Segment {
+                        advance: k,
+                        blocked: None,
+                    }
+                }
+            };
+            if !enabled.is_enabled(next) {
+                let code = region_of.get(next).map_or(NO_REGION, |r| r as u32);
+                return Segment {
+                    advance: k,
+                    blocked: Some((next, code)),
+                };
+            }
+            cur = next;
+        }
+        Segment {
+            advance: steps,
+            blocked: None,
+        }
+    }
+
+    #[test]
+    fn probe_matches_naive_scan() {
+        for t in [Topology::mesh(13, 9), Topology::torus(13, 9)] {
+            for seed in 0..4u64 {
+                let enabled = random_map(t, 0.25, seed);
+                let region_of = fake_regions(&enabled);
+                let index = SegmentIndex::build(&enabled, &region_of);
+                for from in t.coords() {
+                    for dir in DIRECTIONS {
+                        let max = match dir {
+                            Direction::East | Direction::West => t.width(),
+                            Direction::North | Direction::South => t.height(),
+                        } / 2;
+                        for steps in 0..=max as usize {
+                            // XY probes never walk off a mesh edge; skip
+                            // windows the router would never ask for.
+                            if t.kind() == TopologyKind::Mesh {
+                                let (dx, dy) = dir.offset();
+                                let far = Coord::new(
+                                    from.x + dx * steps as i32,
+                                    from.y + dy * steps as i32,
+                                );
+                                if !t.contains(far) {
+                                    continue;
+                                }
+                            }
+                            assert_eq!(
+                                index.probe(from, dir, steps),
+                                naive_probe(&enabled, &region_of, from, dir, steps),
+                                "{t:?} {from} {dir:?} x{steps} seed {seed}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_handles_torus_seam_windows() {
+        let t = Topology::torus(8, 8);
+        let mut grid = Grid::filled(t, true);
+        grid.set(Coord::new(1, 0), false);
+        let enabled = EnabledMap::from_grid(grid);
+        let mut region_of = Grid::filled(t, None);
+        region_of.set(Coord::new(1, 0), Some(3));
+        let index = SegmentIndex::build(&enabled, &region_of);
+        // Eastward from x=6: wraps the seam and hits x=1 after 3 hops.
+        let seg = index.probe(Coord::new(6, 0), Direction::East, 4);
+        assert_eq!(seg.advance, 2);
+        assert_eq!(seg.blocked, Some((Coord::new(1, 0), 3)));
+        // Westward from x=3 with a clear window.
+        let seg = index.probe(Coord::new(3, 1), Direction::West, 4);
+        assert_eq!(seg.advance, 4);
+        assert_eq!(seg.blocked, None);
+    }
+
+    #[test]
+    fn scratch_guard_and_memo_semantics() {
+        let mut s = RouteScratch::new();
+        s.begin();
+        assert!(s.note_entry(0, Coord::new(1, 1)));
+        assert!(s.note_entry(1, Coord::new(1, 1)));
+        assert!(!s.note_entry(0, Coord::new(1, 1)));
+        assert_eq!(s.lookup_exit(0), None);
+        s.store_exit(0, Some(7));
+        assert_eq!(s.lookup_exit(0), Some(Some(7)));
+        s.begin();
+        assert!(s.note_entry(0, Coord::new(1, 1)), "begin clears the guard");
+        assert_eq!(s.lookup_exit(0), None, "begin clears the memo");
+    }
+}

@@ -19,6 +19,10 @@
 //!   blocked by a fault region traverse its ring to the best exit
 //!   (Chalasani–Boppana extended e-cube in spirit). Works uniformly over
 //!   rectangular faulty blocks and orthogonal convex disabled regions.
+//! * [`index`] — per-snapshot query indexes (segment-jump interval tables,
+//!   ring position maps, exit-candidate sets) built once per router so
+//!   query cost scales with fault encounters, not path length, plus the
+//!   reusable [`RouteScratch`] that makes `route_len` allocation-free.
 //! * [`oracle`] — BFS shortest paths over enabled nodes: ground truth for
 //!   reachability and minimal hop counts.
 //! * [`cdg`] — empirical channel-dependency-graph analysis: collect the
@@ -40,6 +44,7 @@
 pub mod adaptive;
 pub mod cdg;
 pub mod fault_ring;
+pub mod index;
 pub mod metrics;
 pub mod minimal;
 pub mod oracle;
@@ -50,6 +55,7 @@ pub mod xy;
 
 pub use adaptive::adaptive_minimal_route;
 pub use fault_ring::{build_rings, FaultRing, RingShape};
+pub use index::RouteScratch;
 pub use metrics::{compare_models, ModelComparison};
 pub use minimal::{minimal_routability, minimal_route};
 pub use oracle::bfs_path;

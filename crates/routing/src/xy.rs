@@ -29,7 +29,7 @@ pub fn preferred_direction(topology: Topology, cur: Coord, dst: Coord) -> Option
 }
 
 /// Signed offset from `a` to `b` along one dimension, wraparound-aware.
-fn wrap_delta(topology: Topology, a: i32, b: i32, extent: u32) -> i32 {
+pub(crate) fn wrap_delta(topology: Topology, a: i32, b: i32, extent: u32) -> i32 {
     let raw = b - a;
     match topology.kind() {
         TopologyKind::Mesh => raw,

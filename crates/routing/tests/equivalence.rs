@@ -1,0 +1,183 @@
+//! Byte-identical equivalence of the indexed query path and the reference
+//! per-hop router.
+//!
+//! The indexed traversal (`route` / `route_len` / `route_into` /
+//! `route_len_with`) must reproduce the pre-index algorithm
+//! (`route_reference` / `route_len_reference`) *exactly*: same cell-for-cell
+//! paths, same hop counts, and same errors — on meshes (including boundary
+//! fault chains) and on tori (including seam-crossing segments and rings).
+//! Anything less would change what `ocp-serve` returns across a release.
+
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology, TopologyKind};
+use ocp_routing::{EnabledMap, FaultTolerantRouter, Path, RouteScratch};
+use proptest::prelude::*;
+
+/// Router over the disabled regions of a pipeline-labeled machine.
+fn labeled_router(topology: Topology, faults: &[Coord]) -> FaultTolerantRouter {
+    let map = FaultMap::new(topology, faults.iter().copied());
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    FaultTolerantRouter::new(enabled, &regions)
+}
+
+/// Asserts full equivalence for one pair across all four entry points.
+fn assert_pair_equivalent(
+    router: &FaultTolerantRouter,
+    src: Coord,
+    dst: Coord,
+    path_buf: &mut Path,
+    scratch: &mut RouteScratch,
+) {
+    let reference = router.route_reference(src, dst);
+    let indexed = router.route(src, dst);
+    assert_eq!(indexed, reference, "route {src}->{dst}");
+    assert_eq!(
+        router.route_len(src, dst),
+        router.route_len_reference(src, dst),
+        "route_len {src}->{dst}"
+    );
+    let via_into = router.route_into(src, dst, path_buf, scratch);
+    match &reference {
+        Ok(p) => {
+            assert_eq!(
+                via_into.as_ref().ok(),
+                Some(&p.len()),
+                "route_into {src}->{dst}"
+            );
+            assert_eq!(path_buf, p, "route_into path {src}->{dst}");
+            assert_eq!(
+                router.route_len_with(src, dst, scratch),
+                Ok(p.len()),
+                "route_len_with {src}->{dst}"
+            );
+        }
+        Err(e) => {
+            assert_eq!(
+                via_into.as_ref().err(),
+                Some(e),
+                "route_into err {src}->{dst}"
+            );
+            assert_eq!(
+                router.route_len_with(src, dst, scratch).as_ref().err(),
+                Some(e),
+                "route_len_with err {src}->{dst}"
+            );
+        }
+    }
+}
+
+/// Exhaustive all-pairs equivalence on a mixed mesh workload: open space,
+/// a merged diagonal block, a lone fault, and a boundary chain — every
+/// router outcome class, with one shared path buffer and scratch reused
+/// across every query.
+#[test]
+fn all_pairs_equivalent_on_mesh() {
+    let c = Coord::new;
+    let router = labeled_router(
+        Topology::mesh(12, 12),
+        &[c(5, 4), c(6, 5), c(9, 9), c(0, 6), c(2, 2)],
+    );
+    let nodes = router.enabled().enabled_coords();
+    let mut path_buf = Path::new(c(0, 0));
+    let mut scratch = RouteScratch::new();
+    for &src in &nodes {
+        for &dst in &nodes {
+            assert_pair_equivalent(&router, src, dst, &mut path_buf, &mut scratch);
+        }
+    }
+}
+
+/// Exhaustive all-pairs equivalence on a torus with faults hugging the
+/// seam, so segments and ring walks wrap in both dimensions.
+#[test]
+fn all_pairs_equivalent_on_torus_seam() {
+    let c = Coord::new;
+    let router = labeled_router(
+        Topology::torus(10, 10),
+        &[c(0, 5), c(9, 0), c(5, 9), c(4, 4), c(5, 5)],
+    );
+    let nodes = router.enabled().enabled_coords();
+    let mut path_buf = Path::new(c(0, 0));
+    let mut scratch = RouteScratch::new();
+    for &src in &nodes {
+        for &dst in &nodes {
+            assert_pair_equivalent(&router, src, dst, &mut path_buf, &mut scratch);
+        }
+    }
+}
+
+/// Strategy: a side, fault cells anywhere in the machine (boundary chains
+/// included on meshes), and an endpoint-sampling seed.
+fn pattern() -> impl Strategy<Value = (u32, Vec<Coord>, u64)> {
+    (8u32..=16).prop_flat_map(|side| {
+        let cells = proptest::collection::btree_set(
+            (0..side as i32, 0..side as i32).prop_map(|(x, y)| Coord::new(x, y)),
+            0..14,
+        );
+        (
+            Just(side),
+            cells.prop_map(|s| s.into_iter().collect()),
+            any::<u64>(),
+        )
+    })
+}
+
+/// Shared proptest body: build the labeled router and compare sampled
+/// pairs (plus every fault-adjacent endpoint pairing, the ring-heavy
+/// cases) across implementations.
+fn check_random_machine(
+    kind: TopologyKind,
+    side: u32,
+    faults: Vec<Coord>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let topology = Topology::new(kind, side, side);
+    let router = labeled_router(topology, &faults);
+    let nodes = router.enabled().enabled_coords();
+    if nodes.is_empty() {
+        return Ok(());
+    }
+    let mut path_buf = Path::new(Coord::new(0, 0));
+    let mut scratch = RouteScratch::new();
+    let pick = |k: u64| nodes[(seed.wrapping_mul(k + 1) % nodes.len() as u64) as usize];
+    for k in 0..24u64 {
+        let (src, dst) = (pick(2 * k), pick(2 * k + 1));
+        assert_pair_equivalent(&router, src, dst, &mut path_buf, &mut scratch);
+    }
+    // Endpoints right next to the fault regions force immediate ring
+    // entries and multi-ring detours.
+    let ring_cells: Vec<Coord> = router
+        .rings()
+        .iter()
+        .flat_map(|r| r.cells().iter().copied())
+        .collect();
+    for (i, &src) in ring_cells.iter().enumerate() {
+        let dst = pick(i as u64);
+        assert_pair_equivalent(&router, src, dst, &mut path_buf, &mut scratch);
+        assert_pair_equivalent(&router, dst, src, &mut path_buf, &mut scratch);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Indexed == reference on random meshes (boundary chains included).
+    #[test]
+    fn indexed_matches_reference_on_mesh(
+        (side, faults, seed) in pattern()
+    ) {
+        check_random_machine(TopologyKind::Mesh, side, faults, seed)?;
+    }
+
+    /// Indexed == reference on random tori (seam-crossing segments and
+    /// wrap-around rings included).
+    #[test]
+    fn indexed_matches_reference_on_torus(
+        (side, faults, seed) in pattern()
+    ) {
+        check_random_machine(TopologyKind::Torus, side, faults, seed)?;
+    }
+}

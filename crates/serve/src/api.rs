@@ -30,6 +30,24 @@ pub enum Request {
         /// Destination node.
         dst: Coord,
     },
+    /// Many hop-count queries answered against **one** snapshot: the
+    /// batched read fast path. One frame, one snapshot refresh, one epoch
+    /// tag, one shared router scratch, and amortized metrics for the whole
+    /// batch.
+    RouteLenBatch {
+        /// `(src, dst)` pairs, answered in order.
+        pairs: Vec<(Coord, Coord)>,
+    },
+    /// Several requests in one frame, dispatched in order. Replies come
+    /// back positionally in [`Response::Batch`]. Unlike
+    /// [`Request::RouteLenBatch`] the inner requests are independent
+    /// (each refreshes its own snapshot); this variant only amortizes
+    /// framing and round-trips.
+    Batch {
+        /// The requests, dispatched in order. Nested batches are allowed
+        /// but pointless.
+        requests: Vec<Request>,
+    },
     /// Labeled state of one node.
     Status {
         /// The node to inspect.
@@ -64,6 +82,8 @@ impl Request {
         match self {
             Request::Route { .. } => "route",
             Request::RouteLen { .. } => "route_len",
+            Request::RouteLenBatch { .. } => "route_len_batch",
+            Request::Batch { .. } => "batch",
             Request::Status { .. } => "status",
             Request::InjectFaults { .. } => "inject_faults",
             Request::RepairNodes { .. } => "repair_nodes",
@@ -85,6 +105,14 @@ pub enum Response {
     Route(RouteReply),
     /// Reply to [`Request::RouteLen`].
     RouteLen(RouteLenReply),
+    /// Reply to [`Request::RouteLenBatch`].
+    RouteLenBatch(RouteLenBatchReply),
+    /// Reply to [`Request::Batch`]: one response per inner request, in
+    /// order.
+    Batch {
+        /// Positional replies.
+        replies: Vec<Response>,
+    },
     /// Reply to [`Request::Status`].
     Status(StatusReply),
     /// Reply to [`Request::InjectFaults`] / [`Request::RepairNodes`].
@@ -158,6 +186,20 @@ pub enum RouteLenOutcome {
     },
 }
 
+/// A batch of hop counts answered against one snapshot.
+///
+/// Field-for-field, `outcomes[i]` equals the `outcome` of a singleton
+/// [`RouteLenReply`] for `pairs[i]` served against the same snapshot — the
+/// batch path changes cost, never answers (enforced by the consistency
+/// suite).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteLenBatchReply {
+    /// Epoch of the snapshot that served **every** query in the batch.
+    pub epoch: u64,
+    /// One outcome per requested pair, in order.
+    pub outcomes: Vec<RouteLenOutcome>,
+}
+
 /// Labeled state of one node under one snapshot.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatusReply {
@@ -221,6 +263,18 @@ mod tests {
                 src: c(1, 1),
                 dst: c(2, 2),
             },
+            Request::RouteLenBatch {
+                pairs: vec![(c(0, 0), c(3, 3)), (c(1, 1), c(2, 0))],
+            },
+            Request::Batch {
+                requests: vec![
+                    Request::Epoch,
+                    Request::RouteLen {
+                        src: c(0, 0),
+                        dst: c(1, 1),
+                    },
+                ],
+            },
             Request::Status { node: c(5, 5) },
             Request::InjectFaults {
                 nodes: vec![c(1, 2), c(3, 4)],
@@ -253,6 +307,24 @@ mod tests {
                     error: RoutingError::EndpointDisabled { node: c(9, 9) },
                 },
             }),
+            Response::RouteLenBatch(RouteLenBatchReply {
+                epoch: 6,
+                outcomes: vec![
+                    RouteLenOutcome::Delivered { len: 4 },
+                    RouteLenOutcome::Failed {
+                        error: RoutingError::LivelockDetected,
+                    },
+                ],
+            }),
+            Response::Batch {
+                replies: vec![
+                    Response::Epoch { epoch: 6 },
+                    Response::RouteLen(RouteLenReply {
+                        epoch: 6,
+                        outcome: RouteLenOutcome::Delivered { len: 2 },
+                    }),
+                ],
+            },
             Response::Status(StatusReply {
                 epoch: 1,
                 node: c(2, 2),
@@ -283,6 +355,11 @@ mod tests {
         assert_eq!(Request::Stats.endpoint(), "stats");
         assert_eq!(Request::MetricsText.endpoint(), "metrics");
         assert_eq!(Request::ObsReport.endpoint(), "obs");
+        assert_eq!(
+            Request::RouteLenBatch { pairs: vec![] }.endpoint(),
+            "route_len_batch"
+        );
+        assert_eq!(Request::Batch { requests: vec![] }.endpoint(), "batch");
         assert_eq!(
             Request::Route {
                 src: c(0, 0),

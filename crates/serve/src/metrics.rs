@@ -21,23 +21,50 @@ pub use ocp_obs::Histogram as LatencyHistogram;
 /// Counters and latency for one query endpoint.
 #[derive(Debug, Default)]
 pub struct EndpointMetrics {
-    /// Requests served.
+    /// Requests served (successes and errors).
     pub requests: AtomicU64,
-    /// Service-time histogram (nanoseconds).
+    /// Requests that returned an error outcome. Error replies are counted
+    /// here and kept **out** of the latency histogram, so fast-fail
+    /// replies (e.g. `EndpointDisabled`) cannot drag the percentiles.
+    pub errors: AtomicU64,
+    /// Service-time histogram (nanoseconds), successful requests only.
     pub latency: LatencyHistogram,
 }
 
 impl EndpointMetrics {
-    /// Records one served request.
+    /// Records one successfully served request.
     pub fn record(&self, nanos: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.latency.record(nanos);
+    }
+
+    /// Records one request that produced an error outcome: counted, but
+    /// excluded from the latency histogram.
+    pub fn record_error(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch of `total` requests served in `total_nanos`, of
+    /// which `errors` returned error outcomes. One amortized latency
+    /// sample (the batch's mean per-query time) is recorded, which is the
+    /// metrics-cost side of the batched read path.
+    pub fn record_batch(&self, total: u64, errors: u64, total_nanos: u64) {
+        if total == 0 {
+            return;
+        }
+        self.requests.fetch_add(total, Ordering::Relaxed);
+        self.errors.fetch_add(errors, Ordering::Relaxed);
+        if errors < total {
+            self.latency.record(total_nanos / total);
+        }
     }
 
     /// Serializable view.
     pub fn report(&self) -> EndpointReport {
         EndpointReport {
             requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
             latency_ns: self.latency.percentiles(),
         }
     }
@@ -92,9 +119,12 @@ impl Metrics {
 /// Serializable snapshot of one endpoint's counters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EndpointReport {
-    /// Requests served.
+    /// Requests served (successes and errors).
     pub requests: u64,
-    /// Service-time percentiles in nanoseconds.
+    /// Requests that returned an error outcome (excluded from
+    /// `latency_ns`).
+    pub errors: u64,
+    /// Service-time percentiles in nanoseconds, successful requests only.
     pub latency_ns: Percentiles,
 }
 
@@ -251,6 +281,19 @@ pub fn prometheus_text(stats: &StatsReport) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP ocp_serve_errors_total Read queries that returned an error outcome, by endpoint."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_errors_total counter");
+    for (name, ep) in &endpoints {
+        let _ = writeln!(
+            out,
+            "ocp_serve_errors_total{{endpoint=\"{name}\"}} {}",
+            ep.errors
+        );
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP ocp_serve_latency_ns Service-time quantiles per endpoint, nanoseconds."
     );
     let _ = writeln!(out, "# TYPE ocp_serve_latency_ns summary");
@@ -352,6 +395,38 @@ mod tests {
     }
 
     #[test]
+    fn errors_are_counted_but_kept_out_of_latency() {
+        let ep = EndpointMetrics::default();
+        ep.record(1000);
+        ep.record_error();
+        ep.record_error();
+        let report = ep.report();
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.errors, 2);
+        assert_eq!(
+            report.latency_ns.n, 1,
+            "error replies must not enter the histogram"
+        );
+    }
+
+    #[test]
+    fn batch_recording_amortizes_one_latency_sample() {
+        let ep = EndpointMetrics::default();
+        ep.record_batch(64, 2, 64_000);
+        let report = ep.report();
+        assert_eq!(report.requests, 64);
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.latency_ns.n, 1, "one mean sample per batch");
+        ep.record_batch(0, 0, 0);
+        assert_eq!(ep.report().requests, 64, "empty batches record nothing");
+        // An all-error batch contributes counters but no latency sample.
+        ep.record_batch(4, 4, 400);
+        let report = ep.report();
+        assert_eq!((report.requests, report.errors), (68, 6));
+        assert_eq!(report.latency_ns.n, 1);
+    }
+
+    #[test]
     fn staleness_counters_accumulate() {
         let m = Metrics::default();
         m.record_staleness(0);
@@ -376,14 +451,17 @@ mod tests {
             queue_capacity: 128,
             route: EndpointReport {
                 requests: 42,
+                errors: 3,
                 latency_ns: Percentiles::of(&[100.0, 200.0]),
             },
             route_len: EndpointReport {
                 requests: 0,
+                errors: 0,
                 latency_ns: Percentiles::of(&[]),
             },
             status: EndpointReport {
                 requests: 7,
+                errors: 0,
                 latency_ns: Percentiles::of(&[50.0]),
             },
             staleness_mean_epochs: 0.25,
@@ -400,6 +478,7 @@ mod tests {
     fn prometheus_text_renders_every_family() {
         let m = Metrics::default();
         m.route.record(1000);
+        m.route.record_error();
         m.epoch_publish_lag.record(5000);
         let r = StatsReport {
             epoch: 2,
@@ -423,7 +502,10 @@ mod tests {
             "# TYPE ocp_serve_epoch gauge",
             "ocp_serve_epoch 2",
             "ocp_serve_events_total{outcome=\"applied\"} 2",
-            "ocp_serve_requests_total{endpoint=\"route\"} 1",
+            "ocp_serve_requests_total{endpoint=\"route\"} 2",
+            "# TYPE ocp_serve_errors_total counter",
+            "ocp_serve_errors_total{endpoint=\"route\"} 1",
+            "ocp_serve_errors_total{endpoint=\"route_len\"} 0",
             "ocp_serve_latency_ns{endpoint=\"route\",quantile=\"0.5\"}",
             "ocp_serve_latency_ns_count{endpoint=\"route\"} 1",
             "# TYPE ocp_serve_publish_lag_ns summary",

@@ -221,6 +221,21 @@ impl Client {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
         })
     }
+
+    /// Batched hop-count convenience: one frame out, one snapshot and one
+    /// frame back for the whole batch.
+    pub fn route_len_batch(
+        &mut self,
+        pairs: Vec<(ocp_mesh::Coord, ocp_mesh::Coord)>,
+    ) -> io::Result<crate::api::RouteLenBatchReply> {
+        match self.request(&Request::RouteLenBatch { pairs })? {
+            Response::RouteLenBatch(reply) => Ok(reply),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to RouteLenBatch: {other:?}"),
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +321,54 @@ mod tests {
         drop(client);
         let served = server.shutdown();
         assert!(served >= 4, "served {served} requests");
+        service.shutdown();
+    }
+
+    #[test]
+    fn batched_reads_flow_over_tcp() {
+        use crate::api::RouteLenOutcome;
+        let service =
+            MeshService::start(Topology::mesh(10, 10), [c(4, 4)], ServeConfig::default()).unwrap();
+        let server = TcpServer::start(&service, "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // One frame carries the whole hop-count batch; every outcome must
+        // match its singleton twin served over the same connection.
+        let pairs = vec![
+            (c(0, 4), c(9, 4)),
+            (c(0, 0), c(9, 9)),
+            (c(4, 4), c(0, 0)), // faulty source: a fast-fail error outcome
+        ];
+        let reply = client.route_len_batch(pairs.clone()).unwrap();
+        assert_eq!(reply.outcomes.len(), pairs.len());
+        assert!(matches!(reply.outcomes[2], RouteLenOutcome::Failed { .. }));
+        for (&(src, dst), outcome) in pairs.iter().zip(&reply.outcomes) {
+            match client.request(&Request::RouteLen { src, dst }).unwrap() {
+                Response::RouteLen(single) => assert_eq!(&single.outcome, outcome),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+
+        // A heterogeneous Request::Batch round-trips positionally.
+        match client
+            .request(&Request::Batch {
+                requests: vec![Request::Epoch, Request::Status { node: c(4, 4) }],
+            })
+            .unwrap()
+        {
+            Response::Batch { replies } => {
+                assert_eq!(replies.len(), 2);
+                assert!(matches!(replies[0], Response::Epoch { .. }));
+                match &replies[1] {
+                    Response::Status(status) => assert_eq!(status.state, NodeState::Faulty),
+                    other => panic!("unexpected inner reply: {other:?}"),
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        drop(client);
+        server.shutdown();
         service.shutdown();
     }
 

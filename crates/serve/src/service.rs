@@ -22,8 +22,8 @@
 //!   cost) proportional to load, not to event count.
 
 use crate::api::{
-    InjectReply, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome, RouteReply,
-    StatusReply,
+    InjectReply, Request, Response, RouteLenBatchReply, RouteLenOutcome, RouteLenReply,
+    RouteOutcome, RouteReply, StatusReply,
 };
 use crate::metrics::{prometheus_text, Metrics, ObsReport, StatsReport};
 use crate::queue::{BoundedQueue, PushError};
@@ -153,6 +153,7 @@ impl MeshService {
         ServiceHandle {
             cached: self.shared.head.lock().expect("head lock").clone(),
             shared: self.shared.clone(),
+            scratch: ocp_routing::RouteScratch::new(),
         }
     }
 
@@ -318,6 +319,7 @@ fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: Pipeli
 pub struct ServiceHandle {
     shared: Arc<Shared>,
     cached: Arc<Snapshot>,
+    scratch: ocp_routing::RouteScratch,
 }
 
 impl Clone for ServiceHandle {
@@ -325,6 +327,7 @@ impl Clone for ServiceHandle {
         Self {
             shared: self.shared.clone(),
             cached: self.cached.clone(),
+            scratch: ocp_routing::RouteScratch::new(),
         }
     }
 }
@@ -366,14 +369,18 @@ impl ServiceHandle {
             Ok(path) => RouteOutcome::Delivered { hops: path.hops },
             Err(error) => RouteOutcome::Failed { error },
         };
+        match &outcome {
+            RouteOutcome::Delivered { .. } => self
+                .shared
+                .metrics
+                .route
+                .record(start.elapsed().as_nanos() as u64),
+            RouteOutcome::Failed { .. } => self.shared.metrics.route.record_error(),
+        }
         let reply = RouteReply {
             epoch: self.cached.epoch,
             outcome,
         };
-        self.shared
-            .metrics
-            .route
-            .record(start.elapsed().as_nanos() as u64);
         self.note_staleness(reply.epoch);
         reply
     }
@@ -386,15 +393,60 @@ impl ServiceHandle {
             Ok(len) => RouteLenOutcome::Delivered { len },
             Err(error) => RouteLenOutcome::Failed { error },
         };
+        match &outcome {
+            RouteLenOutcome::Delivered { .. } => self
+                .shared
+                .metrics
+                .route_len
+                .record(start.elapsed().as_nanos() as u64),
+            RouteLenOutcome::Failed { .. } => self.shared.metrics.route_len.record_error(),
+        }
         let reply = RouteLenReply {
             epoch: self.cached.epoch,
             outcome,
         };
-        self.shared
-            .metrics
-            .route_len
-            .record(start.elapsed().as_nanos() as u64);
         self.note_staleness(reply.epoch);
+        reply
+    }
+
+    /// Many hop counts against **one** snapshot: the batched read fast
+    /// path. The snapshot is refreshed once, every pair is answered
+    /// against it with the handle's persistent router scratch (zero
+    /// allocation per query, and the scratch's capacity survives across
+    /// batches), the reply carries a single epoch tag, and metrics are
+    /// amortized: one staleness sample and one mean-latency sample for the
+    /// whole batch. Outcomes are field-equal to sequential singleton
+    /// [`route_len`](ServiceHandle::route_len) calls against the same
+    /// snapshot.
+    pub fn route_len_batch(&mut self, pairs: &[(Coord, Coord)]) -> RouteLenBatchReply {
+        let start = Instant::now();
+        self.refresh();
+        let scratch = &mut self.scratch;
+        let mut errors = 0u64;
+        let outcomes: Vec<RouteLenOutcome> = pairs
+            .iter()
+            .map(
+                |&(src, dst)| match self.cached.router.route_len_with(src, dst, scratch) {
+                    Ok(len) => RouteLenOutcome::Delivered { len },
+                    Err(error) => {
+                        errors += 1;
+                        RouteLenOutcome::Failed { error }
+                    }
+                },
+            )
+            .collect();
+        self.shared.metrics.route_len.record_batch(
+            pairs.len() as u64,
+            errors,
+            start.elapsed().as_nanos() as u64,
+        );
+        let reply = RouteLenBatchReply {
+            epoch: self.cached.epoch,
+            outcomes,
+        };
+        if !pairs.is_empty() {
+            self.note_staleness(reply.epoch);
+        }
         reply
     }
 
@@ -506,6 +558,12 @@ impl ServiceHandle {
         match request {
             Request::Route { src, dst } => Response::Route(self.route(src, dst)),
             Request::RouteLen { src, dst } => Response::RouteLen(self.route_len(src, dst)),
+            Request::RouteLenBatch { pairs } => {
+                Response::RouteLenBatch(self.route_len_batch(&pairs))
+            }
+            Request::Batch { requests } => Response::Batch {
+                replies: requests.into_iter().map(|r| self.dispatch(r)).collect(),
+            },
             Request::Status { node } => Response::Status(self.status(node)),
             Request::InjectFaults { nodes } => Response::Injected(self.inject_faults(&nodes)),
             Request::RepairNodes { nodes } => Response::Injected(self.repair_nodes(&nodes)),
@@ -630,6 +688,12 @@ mod tests {
                 src: c(0, 0),
                 dst: c(5, 5),
             },
+            Request::RouteLenBatch {
+                pairs: vec![(c(0, 0), c(5, 5)), (c(1, 0), c(0, 1))],
+            },
+            Request::Batch {
+                requests: vec![Request::Epoch, Request::Stats],
+            },
             Request::Status { node: c(3, 3) },
             Request::InjectFaults { nodes: vec![] },
             Request::RepairNodes { nodes: vec![] },
@@ -645,6 +709,86 @@ mod tests {
                 "{request:?} errored"
             );
         }
+    }
+
+    #[test]
+    fn batched_route_len_matches_singletons() {
+        let service = small_service();
+        let mut h = service.handle();
+        let pairs = [
+            (c(0, 0), c(11, 11)),
+            (c(0, 3), c(11, 3)),
+            (c(3, 3), c(0, 0)), // endpoint faulty: error outcome
+            (c(5, 5), c(5, 5)),
+        ];
+        let batch = h.route_len_batch(&pairs);
+        assert_eq!(batch.epoch, 0);
+        assert_eq!(batch.outcomes.len(), pairs.len());
+        for (&(src, dst), outcome) in pairs.iter().zip(&batch.outcomes) {
+            assert_eq!(outcome, &h.route_len(src, dst).outcome, "{src}->{dst}");
+        }
+        let stats = h.stats();
+        // 4 batched + 4 singleton requests; one error in each pass.
+        assert_eq!(stats.route_len.requests, 8);
+        assert_eq!(stats.route_len.errors, 2);
+        // Batched metrics are amortized: one latency sample for the whole
+        // batch, then one per singleton success.
+        assert_eq!(stats.route_len.latency_ns.n, 4);
+    }
+
+    #[test]
+    fn batch_request_dispatches_inner_requests_in_order() {
+        let service = small_service();
+        let mut h = service.handle();
+        let response = h.dispatch(Request::Batch {
+            requests: vec![
+                Request::Epoch,
+                Request::RouteLen {
+                    src: c(0, 0),
+                    dst: c(2, 0),
+                },
+                Request::RouteLenBatch {
+                    pairs: vec![(c(0, 0), c(1, 0))],
+                },
+            ],
+        });
+        let Response::Batch { replies } = response else {
+            panic!("expected batch response");
+        };
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0], Response::Epoch { epoch: 0 });
+        match &replies[1] {
+            Response::RouteLen(r) => {
+                assert_eq!(r.outcome, RouteLenOutcome::Delivered { len: 2 })
+            }
+            other => panic!("expected route_len reply, got {other:?}"),
+        }
+        match &replies[2] {
+            Response::RouteLenBatch(r) => {
+                assert_eq!(r.outcomes, vec![RouteLenOutcome::Delivered { len: 1 }])
+            }
+            other => panic!("expected route_len_batch reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_replies_skip_the_latency_histogram() {
+        let service = small_service();
+        let mut h = service.handle();
+        h.route(c(3, 3), c(0, 0)); // faulty endpoint: fast-fail
+        h.route(c(0, 0), c(1, 1));
+        let stats = h.stats();
+        assert_eq!(stats.route.requests, 2);
+        assert_eq!(stats.route.errors, 1);
+        assert_eq!(
+            stats.route.latency_ns.n, 1,
+            "fast-fail replies must not pollute latency percentiles"
+        );
+        let page = h.metrics_text();
+        assert!(
+            page.contains("ocp_serve_errors_total{endpoint=\"route\"} 1"),
+            "{page}"
+        );
     }
 
     #[test]

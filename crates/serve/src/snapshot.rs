@@ -80,11 +80,33 @@ impl Snapshot {
     }
 
     /// Wraps an already-converged outcome into a snapshot, building the
-    /// enabled view and the router.
+    /// enabled view and the router (including its per-snapshot query
+    /// indexes; build time lands in the global obs registry when enabled).
     pub fn from_outcome(epoch: u64, map: FaultMap, outcome: PipelineOutcome) -> Self {
         let enabled = EnabledMap::from_outcome(&outcome);
         let regions: Vec<Region> = outcome.regions.iter().map(|r| r.cells.clone()).collect();
+        let build_obs = ocp_obs::enabled().then(|| {
+            let reg = ocp_obs::global();
+            (
+                reg.counter(
+                    "ocp_routing_index_builds_total",
+                    "Router + query-index constructions (one per published snapshot).",
+                    &[],
+                ),
+                reg.histogram(
+                    "ocp_routing_index_build_ns",
+                    "Wall-clock cost of one FaultTolerantRouter construction, \
+                     including segment and ring index builds, nanoseconds.",
+                    &[],
+                ),
+                std::time::Instant::now(),
+            )
+        });
         let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        if let Some((builds, build_ns, start)) = build_obs {
+            builds.inc();
+            build_ns.record(start.elapsed().as_nanos() as u64);
+        }
         Self {
             epoch,
             map,
@@ -200,6 +222,31 @@ mod tests {
         assert_eq!(snap.node_state(c(3, 3)), NodeState::Faulty);
         assert_eq!(snap.node_state(c(3, 4)), NodeState::Disabled);
         assert_eq!(snap.node_state(c(0, 0)), NodeState::Enabled);
+    }
+
+    #[test]
+    fn router_build_is_observable_when_obs_is_on() {
+        let cfg = PipelineConfig::default();
+        let before_enabled = ocp_obs::enabled();
+        ocp_obs::set_enabled(true);
+        let builds = ocp_obs::global().counter(
+            "ocp_routing_index_builds_total",
+            "Router + query-index constructions (one per published snapshot).",
+            &[],
+        );
+        let before = builds.get();
+        let _snap =
+            Snapshot::cold(0, FaultMap::new(Topology::mesh(8, 8), [c(3, 3)]), &cfg).unwrap();
+        ocp_obs::set_enabled(before_enabled);
+        // `>=`: the registry is process-global and other tests may build
+        // snapshots concurrently.
+        assert!(builds.get() > before);
+        let build_ns = ocp_obs::global()
+            .snapshot()
+            .histogram("ocp_routing_index_build_ns", &[])
+            .cloned()
+            .expect("build-time histogram registered");
+        assert!(build_ns.count >= 1);
     }
 
     #[test]

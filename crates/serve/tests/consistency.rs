@@ -174,6 +174,117 @@ fn concurrent_reads_are_always_served_by_a_published_epoch() {
     }
 }
 
+/// Batched reads under epoch churn: every outcome in every batch reply
+/// must be field-equal to the singleton `route_len` answer the same
+/// snapshot would have served — the batch path changes cost, never
+/// answers, even while the writer publishes epochs mid-flight.
+#[test]
+fn batched_reads_match_singletons_under_churn() {
+    let initial = vec![c(3, 3), c(10, 4)];
+    let service = MeshService::start(
+        Topology::mesh(SIDE, SIDE),
+        initial.iter().copied(),
+        ServeConfig {
+            batch_max: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Readers: fire variable-size hop-count batches, recording each reply
+    // with its serving epoch. Deliberately include faulty/disabled
+    // endpoints so error outcomes ride inside successful batches.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|worker| {
+            let mut handle = service.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xba7c4 + worker);
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let pairs: Vec<(Coord, Coord)> = (0..rng.gen_range(1..=8))
+                        .map(|_| {
+                            (
+                                c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32)),
+                                c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32)),
+                            )
+                        })
+                        .collect();
+                    let reply = handle.route_len_batch(&pairs);
+                    assert_eq!(reply.outcomes.len(), pairs.len());
+                    observed.push((reply.epoch, pairs, reply.outcomes));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(43);
+    let schedule = FaultSchedule::random(Topology::mesh(SIDE, SIDE), 10, 5, &mut rng);
+    let injector = service.handle();
+    for (_, nodes) in schedule.grouped_by_time() {
+        let ack = injector.inject_faults(&nodes);
+        assert_eq!(ack.rejected, 0, "default queue must absorb the schedule");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(service.quiesce(Duration::from_secs(60)), "writer drained");
+    stop.store(true, Ordering::Release);
+
+    let observations: Vec<_> = readers
+        .into_iter()
+        .flat_map(|r| r.join().expect("reader panicked"))
+        .collect();
+    assert!(
+        observations.len() >= 50,
+        "readers only got {} batches in",
+        observations.len()
+    );
+
+    let log = service.epoch_log();
+    assert!(!log.is_empty(), "injection published no epochs");
+    service.shutdown();
+
+    let config = PipelineConfig::default();
+    let oracles: Vec<Snapshot> = fault_sets_per_epoch(&initial, &log)
+        .into_iter()
+        .enumerate()
+        .map(|(epoch, faults)| {
+            Snapshot::cold(
+                epoch as u64,
+                FaultMap::new(Topology::mesh(SIDE, SIDE), faults),
+                &config,
+            )
+            .expect("cold oracle converges")
+        })
+        .collect();
+
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for (epoch, pairs, outcomes) in &observations {
+        let oracle = oracles
+            .get(*epoch as usize)
+            .unwrap_or_else(|| panic!("batch tagged with unpublished epoch {epoch}"));
+        epochs_seen.insert(*epoch);
+        for (&(src, dst), outcome) in pairs.iter().zip(outcomes) {
+            match (oracle.router.route_len(src, dst), outcome) {
+                (Ok(len), ocp_serve::RouteLenOutcome::Delivered { len: served }) => {
+                    assert_eq!(len, *served, "epoch {epoch}: {src:?}->{dst:?}");
+                }
+                (Err(e), ocp_serve::RouteLenOutcome::Failed { error }) => {
+                    assert_eq!(&e, error, "epoch {epoch}: {src:?}->{dst:?}");
+                }
+                (expected, served) => panic!(
+                    "epoch {epoch}: {src:?}->{dst:?} oracle {expected:?} vs served {served:?}"
+                ),
+            }
+        }
+    }
+    assert!(
+        epochs_seen.len() >= 2,
+        "batches only ever saw epochs {epochs_seen:?}; injection raced past the readers"
+    );
+}
+
 #[test]
 fn repairs_interleaved_with_reads_stay_consistent() {
     let initial = vec![c(4, 4), c(5, 4), c(9, 9)];
