@@ -22,6 +22,8 @@
 //!   routeperf-smoke  quick E17 sweep with a relaxed speedup bar (CI gate)
 //!   obs           observability overhead sweep, on vs off (E16)
 //!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
+//!   durability    publish-path cost of certificates + WAL, on vs off (E18)
+//!   durability-smoke  crash/recover replay gate over a real WAL (CI gate)
 //!   bench-check   --in <log>: bench-smoke names vs results/bench_baseline.json
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
@@ -32,8 +34,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, fig5, maintenance, models, observability, partition_gap, routeperf,
-    routing_eval, scaling, serve_load, verification, Settings,
+    self, asynchrony, chaos, durability, fig5, maintenance, models, observability, partition_gap,
+    routeperf, routing_eval, scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -79,7 +81,7 @@ fn parse_args() -> Args {
                 assert!(in_file.is_some(), "--in needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|bench-check|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -457,6 +459,44 @@ fn run_bench_check(args: &Args) {
     println!("bench-check: baseline keys match the bench suites");
 }
 
+fn run_durability(args: &Args) {
+    let report = durability::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E18: publish-path cost of certificates + WAL (bare vs durable)",
+            &durability::table(&report)
+        )
+    );
+    save(&args.out_dir, "durability", to_json(&report));
+    let flagship = durability::flagship_overhead(&report).expect("10% density rows");
+    println!(
+        "flagship: {}x{} d={:.2} durability overhead {:+.2}%",
+        flagship.side, flagship.side, flagship.density, flagship.overhead_pct
+    );
+    // The acceptance bar applies to the full shape (256² / 10% clustered).
+    if args.settings.side >= 100 && flagship.overhead_pct > 10.0 {
+        eprintln!(
+            "FAIL: durability overhead {:+.2}% exceeds the 10% acceptance bar",
+            flagship.overhead_pct
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_durability_smoke(args: &Args) {
+    let report = durability::smoke(args.settings.seed);
+    println!(
+        "durability smoke: {} epochs replayed, {}/{} crash images recovered to verified prefixes",
+        report.epochs, report.cuts_recovered, report.cuts_tested
+    );
+    assert!(
+        report.cuts_recovered >= 1,
+        "no crash image recovered: {report:?}"
+    );
+    println!("durability smoke: crash/recover replay OK");
+}
+
 fn run_serve_smoke(args: &Args) {
     let report = serve_load::smoke(std::time::Duration::from_secs(2), args.settings.seed);
     println!(
@@ -524,6 +564,8 @@ fn main() {
         "routeperf-smoke" => run_routeperf_smoke(&args),
         "obs" => run_obs(&args),
         "obs-smoke" => run_obs_smoke(&args),
+        "durability" => run_durability(&args),
+        "durability-smoke" => run_durability_smoke(&args),
         "bench-check" => run_bench_check(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
@@ -538,6 +580,7 @@ fn main() {
             run_scaling(&args);
             run_routeperf(&args);
             run_obs(&args);
+            run_durability(&args);
             run_verify(&args);
             run_example_sec3();
         }

@@ -2,6 +2,7 @@
 
 pub mod asynchrony;
 pub mod chaos;
+pub mod durability;
 pub mod fig5;
 pub mod maintenance;
 pub mod models;

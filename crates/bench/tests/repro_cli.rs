@@ -62,6 +62,8 @@ fn help_lists_all_commands() {
         "partition",
         "async",
         "chaos",
+        "durability",
+        "durability-smoke",
     ] {
         assert!(stdout.contains(cmd), "help missing {cmd}");
     }

@@ -3,7 +3,7 @@
 use crate::labeling::safety::SafetyState;
 use crate::status::FaultMap;
 use ocp_geometry::{Rect, Region};
-use ocp_mesh::{connected_components_grid, Coord, Grid};
+use ocp_mesh::{connected_components_grid, Coord, Grid, TopologyKind};
 
 /// One faulty block: a maximal connected set of unsafe nodes.
 ///
@@ -76,9 +76,18 @@ pub fn extract_blocks(map: &FaultMap, safety: &Grid<SafetyState>) -> Vec<FaultyB
                 .copied()
                 .filter(|&c| map.is_faulty(c))
                 .collect();
+            // On a mesh the planar embedding is the identity — skip the
+            // seam-unwrapping BFS, which dominates extraction on big blocks.
+            let unwrapped = (topology.kind() == TopologyKind::Torus)
+                .then(|| Region::unwrapped(topology, &comp.cells));
+            let cells = Region::from_cells(comp.cells);
+            let planar = match unwrapped {
+                Some(p) => p, // torus: `None` when the block wraps around
+                None => Some(cells.clone()),
+            };
             FaultyBlock {
-                planar: Region::unwrapped(topology, &comp.cells),
-                cells: Region::from_cells(comp.cells),
+                planar,
+                cells,
                 faults: Region::from_cells(faults),
             }
         })

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod certificate;
 pub mod labeling;
 pub mod maintenance;
 pub mod partition;
@@ -77,6 +78,7 @@ pub mod verify;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::blocks::{extract_blocks, FaultyBlock};
+    pub use crate::certificate::{outcome_digest, EpochCertificate};
     pub use crate::labeling::enablement::ActivationState;
     pub use crate::labeling::safety::{SafetyRule, SafetyState};
     pub use crate::labeling::LabelEngine;

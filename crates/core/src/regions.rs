@@ -4,7 +4,7 @@
 use crate::labeling::enablement::ActivationState;
 use crate::status::FaultMap;
 use ocp_geometry::{Rect, Region};
-use ocp_mesh::{connected_components_grid, Coord, Grid};
+use ocp_mesh::{connected_components_grid, Coord, Grid, TopologyKind};
 
 /// One disabled region: a maximal connected set of disabled nodes after
 /// phase 2. Theorem 1: it is an orthogonal convex polygon; Theorem 2: the
@@ -76,6 +76,18 @@ pub fn extract_regions(map: &FaultMap, activation: &Grid<ActivationState>) -> Ve
                 .collect();
             // One embedding serves both the cells and their fault subset,
             // so convexity and minimality checks see consistent coordinates.
+            // On a mesh that embedding is the identity — skip the
+            // seam-unwrapping BFS, which dominates extraction on big regions.
+            if topology.kind() == TopologyKind::Mesh {
+                let cells = Region::from_cells(comp.cells);
+                let faults = Region::from_cells(faults);
+                return DisabledRegion {
+                    planar: Some(cells.clone()),
+                    cells,
+                    planar_faults: Some(faults.clone()),
+                    faults,
+                };
+            }
             let mapping = Region::unwrap_mapping(topology, &comp.cells);
             let planar = mapping
                 .as_ref()

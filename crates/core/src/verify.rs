@@ -14,12 +14,19 @@
 //! | [`Violation::CorollaryViolated`] | Corollary (regions of a block cost ≤ the block-wide minimal polygon) |
 //! | [`Violation::RegionsTooClose`] | disabled regions pairwise distance ≥ 2 |
 //! | [`Violation::RegionOutsideBlock`] | phase 2 only removes nodes, never adds |
+//!
+//! Since the certificate work (`DESIGN.md` §10), [`verify`] is a thin
+//! wrapper over [`EpochCertificate`](crate::certificate::EpochCertificate):
+//! it distills the outcome into a certificate and immediately re-checks
+//! it. That gives tests and the serving publish path one shared, heavily
+//! exercised checker — and makes `verify` stricter than it used to be,
+//! because the checker re-extracts blocks/regions from the raw grids and
+//! cross-checks the outcome's declared vectors against them
+//! ([`Violation::OutcomeInconsistent`]).
 
-use crate::labeling::enablement::ActivationState;
-use crate::labeling::safety::{SafetyRule, SafetyState};
+use crate::certificate::EpochCertificate;
 use crate::pipeline::PipelineOutcome;
 use crate::status::FaultMap;
-use ocp_geometry::{corner_nodes, is_orthogonally_convex, orthogonal_convex_closure};
 use ocp_mesh::Coord;
 use std::fmt;
 
@@ -90,6 +97,28 @@ pub enum Violation {
         /// `"safety"` or `"enablement"`.
         phase: &'static str,
     },
+    /// The structural grid digest recorded in a certificate differs from
+    /// the digest of the outcome being checked: the certificate describes
+    /// a different machine state.
+    DigestMismatch {
+        /// Digest the certificate carries.
+        expected: u64,
+        /// Digest of the outcome under check.
+        actual: u64,
+    },
+    /// A certificate field (rule, topology, fault count, or a distilled
+    /// block/region fact) disagrees with the outcome under check.
+    CertificateMismatch {
+        /// Which field disagreed.
+        what: String,
+    },
+    /// The outcome's declared `blocks`/`regions` vectors disagree with the
+    /// components re-extracted from its own safety/activation grids — the
+    /// outcome is internally inconsistent.
+    OutcomeInconsistent {
+        /// What disagreed.
+        what: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -117,160 +146,20 @@ pub struct VerifyReport {
 /// Checks every Section 3/4 claim against a converged outcome. Returns all
 /// violations found (empty error never occurs — `Ok(report)` means
 /// verified, with the report saying what was covered).
+///
+/// Implemented by distilling the outcome into an
+/// [`EpochCertificate`](crate::certificate::EpochCertificate) and
+/// re-checking it — the identical code path the serving layer runs before
+/// every epoch publish.
 pub fn verify(map: &FaultMap, outcome: &PipelineOutcome) -> Result<VerifyReport, Vec<Violation>> {
-    let mut violations = Vec::new();
-    let mut report = VerifyReport::default();
-
-    if !outcome.safety_trace.converged {
-        violations.push(Violation::NotConverged { phase: "safety" });
-    }
-    if !outcome.enablement_trace.converged {
-        violations.push(Violation::NotConverged {
-            phase: "enablement",
-        });
-    }
-
-    // Faults must be unsafe and disabled.
-    for fault in map.faults() {
-        if *outcome.safety.get(fault) != SafetyState::Unsafe
-            || *outcome.activation.get(fault) != ActivationState::Disabled
-        {
-            violations.push(Violation::FaultNotCovered { fault });
-        }
-    }
-
-    // Blocks: rectangles, pairwise distance.
-    for (i, block) in outcome.blocks.iter().enumerate() {
-        match &block.planar {
-            None => report.wrapped_blocks += 1,
-            Some(_) => {
-                report.blocks_checked += 1;
-                if !block.is_rectangle() {
-                    violations.push(Violation::BlockNotRectangle { block: i });
-                }
-            }
-        }
-    }
-    let required = match outcome.rule {
-        SafetyRule::TwoUnsafeNeighbors => 3,
-        SafetyRule::BothDimensions => 2,
-    };
-    let topology = map.topology();
-    for i in 0..outcome.blocks.len() {
-        for j in i + 1..outcome.blocks.len() {
-            let d = topo_distance(topology, &outcome.blocks[i].cells, &outcome.blocks[j].cells);
-            if d < required {
-                violations.push(Violation::BlocksTooClose {
-                    blocks: (i, j),
-                    distance: d,
-                    required,
-                });
-            }
-        }
-    }
-
-    // Regions: convexity, corner lemma, minimality, containment.
-    for (i, region) in outcome.regions.iter().enumerate() {
-        let (Some(planar), Some(planar_faults)) = (&region.planar, &region.planar_faults) else {
-            report.wrapped_regions += 1;
-            continue;
-        };
-        report.regions_checked += 1;
-        if !is_orthogonally_convex(planar) {
-            violations.push(Violation::RegionNotConvex { region: i });
-        }
-        for corner in corner_nodes(planar) {
-            if !planar_faults.contains(corner) {
-                violations.push(Violation::CornerNotFaulty { region: i, corner });
-            }
-        }
-        let closure = orthogonal_convex_closure(planar_faults);
-        if &closure != planar {
-            violations.push(Violation::RegionNotMinimal {
-                region: i,
-                sizes: (planar.len(), closure.len()),
-            });
-        }
-        let covered = outcome
-            .blocks
-            .iter()
-            .any(|b| b.cells.is_superset(&region.cells));
-        if !covered {
-            violations.push(Violation::RegionOutsideBlock { region: i });
-        }
-    }
-
-    // Regions pairwise distance ≥ 2.
-    for i in 0..outcome.regions.len() {
-        for j in i + 1..outcome.regions.len() {
-            let d = topo_distance(
-                topology,
-                &outcome.regions[i].cells,
-                &outcome.regions[j].cells,
-            );
-            if d < 2 {
-                violations.push(Violation::RegionsTooClose {
-                    regions: (i, j),
-                    distance: d,
-                });
-            }
-        }
-    }
-
-    // Corollary, per block: nonfaulty cost of the block's regions vs the
-    // smallest orthogonal convex polygon covering all the block's faults.
-    for (bi, (block, group)) in outcome
-        .blocks
-        .iter()
-        .zip(outcome.regions_per_block())
-        .enumerate()
-    {
-        let Some(planar_block) = &block.planar else {
-            continue;
-        };
-        // Map block faults into the block's planar embedding.
-        let mapping =
-            ocp_geometry::Region::unwrap_mapping(topology, &block.cells.iter().collect::<Vec<_>>());
-        let Some(mapping) = mapping else { continue };
-        let planar_faults =
-            ocp_geometry::Region::from_cells(block.faults.iter().map(|f| mapping[&f]));
-        let closure = orthogonal_convex_closure(&planar_faults);
-        debug_assert!(planar_block.is_superset(&closure));
-        let closure_cost = closure.len() - planar_faults.len();
-        let regions_cost: usize = group.iter().map(|r| r.nonfaulty_count()).sum();
-        if regions_cost > closure_cost {
-            violations.push(Violation::CorollaryViolated {
-                block: bi,
-                costs: (regions_cost, closure_cost),
-            });
-        }
-    }
-
-    if violations.is_empty() {
-        Ok(report)
-    } else {
-        Err(violations)
-    }
-}
-
-/// Topology-aware minimum distance between two cell sets.
-fn topo_distance(
-    topology: ocp_mesh::Topology,
-    a: &ocp_geometry::Region,
-    b: &ocp_geometry::Region,
-) -> u32 {
-    let mut best = u32::MAX;
-    for u in a.iter() {
-        for v in b.iter() {
-            best = best.min(topology.distance(u, v));
-        }
-    }
-    best
+    EpochCertificate::describe(0, map, outcome).check(map, outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::labeling::enablement::ActivationState;
+    use crate::labeling::safety::{SafetyRule, SafetyState};
     use crate::pipeline::{run_pipeline, PipelineConfig};
     use ocp_mesh::Topology;
 

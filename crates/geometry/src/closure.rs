@@ -26,39 +26,130 @@ use ocp_mesh::Coord;
 /// assert!(polygon.contains(Coord::new(1, 0)));
 /// ```
 pub fn orthogonal_convex_closure(region: &Region) -> Region {
-    let mut current: Region = region.clone();
+    let spans = closure_spans(region);
+    let mut cells = Vec::with_capacity(spans.len());
+    for &(y, lo, hi) in &spans.rows {
+        for x in lo..=hi {
+            cells.push(Coord::new(x, y));
+        }
+    }
+    let closure = Region::from_cells(cells);
+    debug_assert!(is_orthogonally_convex(&closure));
+    closure
+}
+
+/// The orthogonal convex closure as one inclusive x-interval per occupied
+/// row — the compact form of a region that is both row- and
+/// column-contiguous (which the closure fixpoint always is).
+///
+/// This is the publish-path representation: [`closure_spans`] computes it
+/// with flat per-row/per-column interval arrays (no per-cell set inserts),
+/// and [`ClosureSpans::matches`] compares it against a candidate region
+/// without materializing the closure's cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosureSpans {
+    /// `(y, x_min, x_max)` per occupied row, ascending in `y`.
+    pub rows: Vec<(i32, i32, i32)>,
+}
+
+impl ClosureSpans {
+    /// Number of cells in the closure.
+    pub fn len(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|&(_, lo, hi)| (hi - lo + 1) as usize)
+            .sum()
+    }
+
+    /// True when the closure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True iff `region` is exactly this closure (Theorem 2's
+    /// `dr == closure(faults(dr))` test, without building the closure).
+    pub fn matches(&self, region: &Region) -> bool {
+        if region.len() != self.len() {
+            return false;
+        }
+        let rows = region.rows();
+        if rows.len() != self.rows.len() {
+            return false;
+        }
+        rows.iter()
+            .zip(&self.rows)
+            .all(|((&y, xs), &(sy, lo, hi))| {
+                // Cell count already matched globally, so a full-span row
+                // with the right endpoints is necessarily gap-free too —
+                // but check contiguity anyway so a gapped row cannot trade
+                // cells with another row and still pass.
+                y == sy
+                    && xs[0] == lo
+                    && *xs.last().expect("non-empty row") == hi
+                    && xs.len() == (hi - lo + 1) as usize
+            })
+    }
+}
+
+/// Computes the orthogonal convex closure of `region` as row spans.
+///
+/// Same fixpoint as [`orthogonal_convex_closure`] — alternating row fill
+/// and column fill — but on interval tables indexed by the bounding box,
+/// so each iteration is `O(area)` array arithmetic instead of tree
+/// inserts.
+pub fn closure_spans(region: &Region) -> ClosureSpans {
+    let Some(bbox) = region.bbox() else {
+        return ClosureSpans { rows: Vec::new() };
+    };
+    let (x0, y0) = (bbox.min.x, bbox.min.y);
+    let width = (bbox.max.x - x0 + 1) as usize;
+    let height = (bbox.max.y - y0 + 1) as usize;
+    const EMPTY: (i32, i32) = (i32::MAX, i32::MIN);
+
+    // Row fill of the input: per-row [min x, max x].
+    let mut rows: Vec<(i32, i32)> = vec![EMPTY; height];
+    for c in region.iter() {
+        let r = &mut rows[(c.y - y0) as usize];
+        r.0 = r.0.min(c.x);
+        r.1 = r.1.max(c.x);
+    }
+
     loop {
-        let mut next = Region::new();
-        let mut changed = false;
-
-        // Row fill.
-        for (y, xs) in current.rows() {
-            let (lo, hi) = (xs[0], *xs.last().expect("non-empty row"));
-            if (hi - lo + 1) as usize != xs.len() {
-                changed = true;
+        // Column fill of the row-filled set: col x occupied for y where
+        // some row span covers x; its span is [min such y, max such y].
+        let mut cols: Vec<(i32, i32)> = vec![EMPTY; width];
+        for (i, &(lo, hi)) in rows.iter().enumerate() {
+            if lo > hi {
+                continue;
             }
-            for x in lo..=hi {
-                next.insert(Coord::new(x, y));
-            }
-        }
-
-        // Column fill on the row-filled set.
-        let mut filled = Region::new();
-        for (x, ys) in next.cols() {
-            let (lo, hi) = (ys[0], *ys.last().expect("non-empty column"));
-            if (hi - lo + 1) as usize != ys.len() {
-                changed = true;
-            }
-            for y in lo..=hi {
-                filled.insert(Coord::new(x, y));
+            let y = y0 + i as i32;
+            for col in &mut cols[(lo - x0) as usize..=(hi - x0) as usize] {
+                col.0 = col.0.min(y);
+                col.1 = col.1.max(y);
             }
         }
-
-        if !changed {
-            debug_assert!(is_orthogonally_convex(&filled));
-            return filled;
+        // Row fill of the column-filled set.
+        let mut next: Vec<(i32, i32)> = vec![EMPTY; height];
+        for (i, &(lo, hi)) in cols.iter().enumerate() {
+            if lo > hi {
+                continue;
+            }
+            let x = x0 + i as i32;
+            for row in &mut next[(lo - y0) as usize..=(hi - y0) as usize] {
+                row.0 = row.0.min(x);
+                row.1 = row.1.max(x);
+            }
         }
-        current = filled;
+        if next == rows {
+            let rows = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, &(lo, hi))| lo <= hi)
+                .map(|(i, &(lo, hi))| (y0 + i as i32, lo, hi))
+                .collect();
+            return ClosureSpans { rows };
+        }
+        rows = next;
     }
 }
 

@@ -38,7 +38,7 @@ pub mod region;
 pub mod shapes;
 
 pub use boundary::{boundary_cells, corner_nodes, is_corner};
-pub use closure::orthogonal_convex_closure;
+pub use closure::{closure_spans, orthogonal_convex_closure, ClosureSpans};
 pub use convex::{convexity_defect, is_orthogonally_convex};
 pub use rect::Rect;
 pub use region::Region;

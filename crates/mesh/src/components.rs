@@ -5,7 +5,7 @@
 //! predicate under mesh adjacency. Note that on a torus, adjacency wraps, so
 //! a region hugging opposite edges is one component.
 
-use crate::{Coord, Grid, Topology};
+use crate::{Coord, Grid, Topology, TopologyKind};
 
 /// One maximal 4-connected set of nodes satisfying a predicate.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +52,14 @@ pub fn connected_components_grid<T>(
     mut pred: impl FnMut(&T) -> bool,
 ) -> Vec<Component> {
     let topology = grid.topology();
+    if topology.kind() == TopologyKind::Mesh {
+        // Meshes have no seam adjacency, so components can be built from
+        // horizontal runs with a union-find — no per-cell flood fill and,
+        // because runs bucket into column order directly, no comparison
+        // sort. This is the hot path of certificate checking and of every
+        // pipeline extraction.
+        return mesh_components_by_runs(grid, &mut pred);
+    }
     let mut visited = vec![false; topology.len()];
     let mut components = Vec::new();
     let mut stack = Vec::new();
@@ -78,6 +86,109 @@ pub fn connected_components_grid<T>(
         cells.sort();
         components.push(Component { cells });
     }
+    components.sort_by_key(|comp| comp.cells[0]);
+    components
+}
+
+/// Run-based connected-component labeling for meshes: one row scan finds
+/// maximal horizontal runs, vertically overlapping runs of consecutive
+/// rows are merged with a path-halving union-find, and each component's
+/// cells are emitted by bucketing its runs per column — which yields the
+/// sorted `(x, y)` cell order without a comparison sort.
+fn mesh_components_by_runs<T>(grid: &Grid<T>, pred: &mut impl FnMut(&T) -> bool) -> Vec<Component> {
+    let topology = grid.topology();
+    let (w, h) = (topology.width() as i32, topology.height() as i32);
+
+    // `(y, x0, x1)` inclusive runs, appended in row-major order.
+    let mut runs: Vec<(i32, i32, i32)> = Vec::new();
+    let mut parent: Vec<u32> = Vec::new();
+    fn find(parent: &mut [u32], mut i: u32) -> u32 {
+        while parent[i as usize] != i {
+            parent[i as usize] = parent[parent[i as usize] as usize];
+            i = parent[i as usize];
+        }
+        i
+    }
+
+    let (mut prev_start, mut prev_end) = (0usize, 0usize);
+    for y in 0..h {
+        let row_start = runs.len();
+        let mut cursor = prev_start;
+        let mut x = 0;
+        while x < w {
+            if !pred(grid.get(Coord::new(x, y))) {
+                x += 1;
+                continue;
+            }
+            let x0 = x;
+            while x < w && pred(grid.get(Coord::new(x, y))) {
+                x += 1;
+            }
+            let x1 = x - 1;
+            let id = runs.len() as u32;
+            runs.push((y, x0, x1));
+            parent.push(id);
+            // Union with every previous-row run overlapping [x0, x1].
+            // Runs are left-to-right in both rows, so a cursor that skips
+            // runs ending before x0 makes the whole row merge linear.
+            while cursor < prev_end && runs[cursor].2 < x0 {
+                cursor += 1;
+            }
+            let mut j = cursor;
+            while j < prev_end && runs[j].1 <= x1 {
+                let (a, b) = (find(&mut parent, id), find(&mut parent, j as u32));
+                if a != b {
+                    parent[a as usize] = b;
+                }
+                j += 1;
+            }
+        }
+        prev_start = row_start;
+        prev_end = runs.len();
+    }
+
+    // Group runs by root, preserving row-major order within a component.
+    let mut comp_of = vec![u32::MAX; runs.len()];
+    let mut grouped: Vec<Vec<usize>> = Vec::new();
+    for i in 0..runs.len() {
+        let root = find(&mut parent, i as u32) as usize;
+        if comp_of[root] == u32::MAX {
+            comp_of[root] = grouped.len() as u32;
+            grouped.push(Vec::new());
+        }
+        grouped[comp_of[root] as usize].push(i);
+    }
+
+    let mut components: Vec<Component> = grouped
+        .into_iter()
+        .map(|member_runs| {
+            let min_x = member_runs
+                .iter()
+                .map(|&i| runs[i].1)
+                .min()
+                .expect("non-empty");
+            let max_x = member_runs
+                .iter()
+                .map(|&i| runs[i].2)
+                .max()
+                .expect("non-empty");
+            // Bucket member ys per column; rows were scanned ascending, so
+            // each bucket is ascending in y and concatenation is sorted.
+            let mut buckets: Vec<Vec<i32>> = vec![Vec::new(); (max_x - min_x + 1) as usize];
+            for &i in &member_runs {
+                let (y, x0, x1) = runs[i];
+                for x in x0..=x1 {
+                    buckets[(x - min_x) as usize].push(y);
+                }
+            }
+            let mut cells = Vec::new();
+            for (dx, ys) in buckets.into_iter().enumerate() {
+                let x = min_x + dx as i32;
+                cells.extend(ys.into_iter().map(|y| Coord::new(x, y)));
+            }
+            Component { cells }
+        })
+        .collect();
     components.sort_by_key(|comp| comp.cells[0]);
     components
 }
@@ -144,6 +255,51 @@ mod tests {
         assert_eq!(comps[0].cells, coords(&[(0, 0)]));
         assert_eq!(comps[1].cells, coords(&[(3, 2), (3, 3)]));
         assert_eq!(comps[2].cells, coords(&[(5, 5)]));
+    }
+
+    #[test]
+    fn run_labeling_matches_naive_flood_fill() {
+        // The mesh fast path must agree with a cell-at-a-time flood fill
+        // on arbitrary patterns (checkerboards, spirals, random noise).
+        for seed in 0..32u64 {
+            let t = Topology::mesh(13, 11);
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut bits = Vec::new();
+            for _ in 0..t.len() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                bits.push(state % 5 < 2);
+            }
+            let g = Grid::from_fn(t, |c| bits[t.index_of(c)]);
+            let fast = connected_components_grid(&g, |&m| m);
+
+            // Naive: repeatedly flood fill with an explicit stack.
+            let mut seen = vec![false; t.len()];
+            let mut naive: Vec<Vec<Coord>> = Vec::new();
+            for start in t.coords() {
+                if seen[t.index_of(start)] || !g.get(start) {
+                    continue;
+                }
+                let mut cells = Vec::new();
+                let mut stack = vec![start];
+                seen[t.index_of(start)] = true;
+                while let Some(c) = stack.pop() {
+                    cells.push(c);
+                    for n in crate::Neighborhood::of(t, c).nodes() {
+                        if !seen[t.index_of(n)] && *g.get(n) {
+                            seen[t.index_of(n)] = true;
+                            stack.push(n);
+                        }
+                    }
+                }
+                cells.sort();
+                naive.push(cells);
+            }
+            naive.sort_by_key(|cells| cells[0]);
+            let fast_cells: Vec<Vec<Coord>> = fast.into_iter().map(|c| c.cells).collect();
+            assert_eq!(fast_cells, naive, "seed {seed}");
+        }
     }
 
     #[test]

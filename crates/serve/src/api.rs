@@ -9,6 +9,7 @@
 //! state it claims to come from.
 
 use crate::metrics::{ObsReport, StatsReport};
+use ocp_core::certificate::EpochCertificate;
 use ocp_mesh::Coord;
 use ocp_routing::RoutingError;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,14 @@ pub enum Request {
     ObsReport,
     /// Current head epoch.
     Epoch,
+    /// The publish-time certificate of one epoch (see
+    /// [`ocp_core::certificate::EpochCertificate`]): the serializable
+    /// proof that the published labeling satisfied the paper's theorems,
+    /// re-checkable by the client without trusting the service.
+    Certificate {
+        /// The epoch whose certificate is requested.
+        epoch: u64,
+    },
 }
 
 impl Request {
@@ -91,6 +100,7 @@ impl Request {
             Request::MetricsText => "metrics",
             Request::ObsReport => "obs",
             Request::Epoch => "epoch",
+            Request::Certificate { .. } => "certificate",
         }
     }
 }
@@ -131,6 +141,8 @@ pub enum Response {
         /// Head epoch at the time the reply was produced.
         epoch: u64,
     },
+    /// Reply to [`Request::Certificate`].
+    Certificate(CertificateReply),
     /// The request could not be handled (malformed frame, internal error).
     Error {
         /// Human-readable reason.
@@ -244,6 +256,16 @@ impl InjectReply {
     }
 }
 
+/// The certificate of one published epoch, if the service retained one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CertificateReply {
+    /// The epoch that was asked about.
+    pub epoch: u64,
+    /// Its certificate; `None` when the epoch is unknown or the service
+    /// runs with `CertMode::Off`.
+    pub certificate: Option<EpochCertificate>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +306,7 @@ mod tests {
             Request::MetricsText,
             Request::ObsReport,
             Request::Epoch,
+            Request::Certificate { epoch: 3 },
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -336,6 +359,10 @@ mod tests {
                 epoch_at_enqueue: 7,
             }),
             Response::Epoch { epoch: 12 },
+            Response::Certificate(CertificateReply {
+                epoch: 9,
+                certificate: None,
+            }),
             Response::MetricsText {
                 text: "# TYPE ocp_serve_epoch gauge\nocp_serve_epoch 3\n".into(),
             },
@@ -353,6 +380,7 @@ mod tests {
     #[test]
     fn endpoint_names_are_stable() {
         assert_eq!(Request::Stats.endpoint(), "stats");
+        assert_eq!(Request::Certificate { epoch: 0 }.endpoint(), "certificate");
         assert_eq!(Request::MetricsText.endpoint(), "metrics");
         assert_eq!(Request::ObsReport.endpoint(), "obs");
         assert_eq!(

@@ -26,6 +26,11 @@
 //!   latency histogram with p50/p95/p99, and read-staleness tracking.
 //! * [`queue`] — the bounded writer queue whose full-queue behavior is an
 //!   explicit `Overloaded` rejection, never unbounded buffering.
+//! * [`wal`] — the dependency-free epoch write-ahead log: checksummed,
+//!   torn-tail-tolerant records appended and fsynced before each publish,
+//!   replayed by [`MeshService::recover`](service::MeshService::recover).
+//!   Publishes are gated by [`EpochCertificate`](ocp_core::certificate::EpochCertificate)
+//!   checks per [`CertMode`](service::CertMode).
 //!
 //! See `DESIGN.md` §6 for the architecture rationale and `repro -- serve`
 //! (experiment E14) for throughput/tail-latency/staleness measurements.
@@ -39,15 +44,19 @@ pub mod net;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 
 pub use api::{
-    InjectReply, NodeState, Request, Response, RouteLenOutcome, RouteLenReply, RouteOutcome,
-    RouteReply, StatusReply,
+    CertificateReply, InjectReply, NodeState, Request, Response, RouteLenOutcome, RouteLenReply,
+    RouteOutcome, RouteReply, StatusReply,
 };
 pub use metrics::{
     prometheus_text, EndpointReport, LatencyHistogram, Metrics, ObsReport, StatsReport,
 };
 pub use net::{Client, TcpServer};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{EpochRecord, Event, MeshService, ServeConfig, ServiceHandle};
+pub use service::{
+    CertChaos, CertMode, EpochRecord, Event, MeshService, RecoverError, ServeConfig, ServiceHandle,
+};
 pub use snapshot::{EventBatch, Snapshot};
+pub use wal::{Wal, WalRecord};

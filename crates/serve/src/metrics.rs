@@ -103,6 +103,21 @@ pub struct Metrics {
     /// Epoch publication lag: nanoseconds from the writer draining a batch
     /// to the rebuilt snapshot becoming visible to readers.
     pub epoch_publish_lag: LatencyHistogram,
+    /// Certificate checks that failed at publish time (warm and cold
+    /// attempts each count once). `CertMode::Warn` counts without
+    /// refusing; `CertMode::Enforce` also refuses the publish.
+    pub cert_failures: AtomicU64,
+    /// Batches refused publication because even the cold-recompute
+    /// certificate failed (`CertMode::Enforce` only). The epoch counter
+    /// readers observe does **not** advance for these.
+    pub publishes_cert_rejected: AtomicU64,
+    /// Batches dropped for capacity-ish reasons off the certificate path:
+    /// relabeling convergence failure or a WAL I/O error.
+    pub publishes_overloaded: AtomicU64,
+    /// WAL frame-append time (serialize + write), nanoseconds.
+    pub wal_append_ns: LatencyHistogram,
+    /// WAL fsync time, nanoseconds — the dominant durability cost.
+    pub wal_fsync_ns: LatencyHistogram,
 }
 
 impl Metrics {
@@ -163,6 +178,18 @@ pub struct StatsReport {
     /// Epoch publication lag percentiles (drain → snapshot visible), in
     /// nanoseconds.
     pub publish_lag_ns: Percentiles,
+    /// Publish-time certificate check failures (see
+    /// [`Metrics::cert_failures`]).
+    pub cert_failures: u64,
+    /// Batches refused publication by the certificate gate.
+    pub publishes_cert_rejected: u64,
+    /// Batches dropped on convergence failure or WAL I/O error.
+    pub publishes_overloaded: u64,
+    /// WAL append-time percentiles, nanoseconds (all-zero when the service
+    /// runs without a WAL).
+    pub wal_append_ns: Percentiles,
+    /// WAL fsync-time percentiles, nanoseconds.
+    pub wal_fsync_ns: Percentiles,
 }
 
 impl StatsReport {
@@ -333,6 +360,48 @@ pub fn prometheus_text(stats: &StatsReport) -> String {
         "",
         &stats.publish_lag_ns,
     );
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_epoch_publish_total Epoch publish attempts, by result."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_epoch_publish_total counter");
+    for (result, value) in [
+        ("ok", stats.epochs_published),
+        ("cert_reject", stats.publishes_cert_rejected),
+        ("overloaded", stats.publishes_overloaded),
+    ] {
+        let _ = writeln!(
+            out,
+            "ocp_serve_epoch_publish_total{{result=\"{result}\"}} {value}"
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_cert_failures_total Publish-time certificate check failures."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_cert_failures_total counter");
+    let _ = writeln!(out, "ocp_serve_cert_failures_total {}", stats.cert_failures);
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_wal_append_ns WAL frame append time quantiles, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_wal_append_ns summary");
+    render_summary(
+        &mut out,
+        "ocp_serve_wal_append_ns",
+        "",
+        &stats.wal_append_ns,
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_wal_fsync_ns WAL fsync time quantiles, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_wal_fsync_ns summary");
+    render_summary(&mut out, "ocp_serve_wal_fsync_ns", "", &stats.wal_fsync_ns);
     out
 }
 
@@ -467,6 +536,11 @@ mod tests {
             staleness_mean_epochs: 0.25,
             staleness_max_epochs: 2,
             publish_lag_ns: Percentiles::of(&[1000.0, 2000.0]),
+            cert_failures: 1,
+            publishes_cert_rejected: 1,
+            publishes_overloaded: 0,
+            wal_append_ns: Percentiles::of(&[300.0]),
+            wal_fsync_ns: Percentiles::of(&[9000.0]),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
@@ -480,6 +554,7 @@ mod tests {
         m.route.record(1000);
         m.route.record_error();
         m.epoch_publish_lag.record(5000);
+        m.wal_append_ns.record(300);
         let r = StatsReport {
             epoch: 2,
             epochs_published: 2,
@@ -496,6 +571,11 @@ mod tests {
             staleness_mean_epochs: 0.5,
             staleness_max_epochs: 1,
             publish_lag_ns: m.epoch_publish_lag.percentiles(),
+            cert_failures: 3,
+            publishes_cert_rejected: 1,
+            publishes_overloaded: 1,
+            wal_append_ns: m.wal_append_ns.percentiles(),
+            wal_fsync_ns: m.wal_fsync_ns.percentiles(),
         };
         let text = prometheus_text(&r);
         for needle in [
@@ -511,6 +591,15 @@ mod tests {
             "# TYPE ocp_serve_publish_lag_ns summary",
             "ocp_serve_publish_lag_ns_count 1",
             "ocp_serve_staleness_epochs{stat=\"max\"} 1",
+            "# TYPE ocp_serve_epoch_publish_total counter",
+            "ocp_serve_epoch_publish_total{result=\"ok\"} 2",
+            "ocp_serve_epoch_publish_total{result=\"cert_reject\"} 1",
+            "ocp_serve_epoch_publish_total{result=\"overloaded\"} 1",
+            "ocp_serve_cert_failures_total 3",
+            "# TYPE ocp_serve_wal_append_ns summary",
+            "ocp_serve_wal_append_ns_count 1",
+            "# TYPE ocp_serve_wal_fsync_ns summary",
+            "ocp_serve_wal_fsync_ns_count 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -318,6 +318,18 @@ mod tests {
             other => panic!("unexpected response: {other:?}"),
         }
 
+        // The published epoch's certificate round-trips the wire and
+        // re-validates client-side against nothing but the reply itself.
+        match client.request(&Request::Certificate { epoch: 1 }).unwrap() {
+            Response::Certificate(reply) => {
+                assert_eq!(reply.epoch, 1);
+                let cert = reply.certificate.expect("Enforce default certifies");
+                assert_eq!(cert.epoch, 1);
+                assert_ne!(cert.grid_digest, 0);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+
         drop(client);
         let served = server.shutdown();
         assert!(served >= 4, "served {served} requests");

@@ -21,6 +21,7 @@
 //!   batch — coalescing is what keeps epoch churn (and reader refresh
 //!   cost) proportional to load, not to event count.
 
+use crate::api::CertificateReply;
 use crate::api::{
     InjectReply, Request, Response, RouteLenBatchReply, RouteLenOutcome, RouteLenReply,
     RouteOutcome, RouteReply, StatusReply,
@@ -28,12 +29,77 @@ use crate::api::{
 use crate::metrics::{prometheus_text, Metrics, ObsReport, StatsReport};
 use crate::queue::{BoundedQueue, PushError};
 use crate::snapshot::{EventBatch, Snapshot};
+use crate::wal::{Wal, WalRecord};
+use ocp_core::certificate::{outcome_digest, EpochCertificate};
 use ocp_core::prelude::*;
 use ocp_mesh::{Coord, Topology};
+use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the writer treats publish-time certificates.
+///
+/// In `Enforce` (the default) every candidate snapshot is distilled into
+/// an [`EpochCertificate`] and independently re-checked before the atomic
+/// publish; a failing warm snapshot triggers one cold recompute of the
+/// same epoch, and if that fails too the batch is refused — readers keep
+/// the last certified epoch and never observe a skipped epoch number.
+///
+/// ```
+/// use ocp_serve::{CertMode, ServeConfig};
+///
+/// // Certificates are enforced unless explicitly relaxed.
+/// assert_eq!(ServeConfig::default().cert_mode, CertMode::Enforce);
+/// let relaxed = ServeConfig {
+///     cert_mode: CertMode::Warn,
+///     ..ServeConfig::default()
+/// };
+/// assert_ne!(relaxed.cert_mode, CertMode::Off);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertMode {
+    /// No certificates: zero publish-path overhead, no audit trail.
+    Off,
+    /// Produce and check certificates; on failure count
+    /// `ocp_serve_cert_failures_total` and publish anyway (uncertified).
+    Warn,
+    /// Produce, check, and **gate**: refuse the publish unless a
+    /// certificate validates (warm attempt, then one cold recompute).
+    Enforce,
+}
+
+/// Deterministic failure injection for the certificate gate, so the
+/// reject paths are testable without manufacturing a genuinely broken
+/// labeling engine. Production services leave this `Off`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertChaos {
+    /// No injected failures.
+    Off,
+    /// Every `n`-th non-empty batch fails its warm certificate check,
+    /// forcing the cold-recompute fallback (which succeeds).
+    RejectWarmEveryNth(u64),
+    /// Every `n`-th non-empty batch fails both the warm and the cold
+    /// check: in `Enforce` the batch is refused outright.
+    RejectBatchEveryNth(u64),
+}
+
+impl CertChaos {
+    fn fail_warm(self, attempt: u64) -> bool {
+        match self {
+            CertChaos::Off => false,
+            CertChaos::RejectWarmEveryNth(n) | CertChaos::RejectBatchEveryNth(n) => {
+                n != 0 && attempt.is_multiple_of(n)
+            }
+        }
+    }
+
+    fn fail_cold(self, attempt: u64) -> bool {
+        matches!(self, CertChaos::RejectBatchEveryNth(n) if n != 0 && attempt.is_multiple_of(n))
+    }
+}
 
 /// Tuning knobs of a [`MeshService`].
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +113,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Maximum events coalesced into one published epoch.
     pub batch_max: usize,
+    /// Publish-time certificate policy (see [`CertMode`]). Defaults to
+    /// [`CertMode::Enforce`]; E18 measures the overhead at ≤10% of the
+    /// publish path on a 256² mesh at 10% fault density.
+    pub cert_mode: CertMode,
+    /// Deterministic certificate-failure injection for tests and chaos
+    /// drills (see [`CertChaos`]). Defaults to [`CertChaos::Off`].
+    pub cert_chaos: CertChaos,
 }
 
 impl Default for ServeConfig {
@@ -58,9 +131,38 @@ impl Default for ServeConfig {
             },
             queue_capacity: 1024,
             batch_max: 64,
+            cert_mode: CertMode::Enforce,
+            cert_chaos: CertChaos::Off,
         }
     }
 }
+
+/// Why [`MeshService::recover`] (or [`MeshService::start_durable`]) could
+/// not produce a running service.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The WAL file could not be read or written.
+    Io(std::io::Error),
+    /// Relabeling failed to converge while replaying the log (a bug
+    /// upstream — the round caps are diameter-derived).
+    Convergence(ConvergenceError),
+    /// The log's intact prefix is not a valid epoch history (missing
+    /// `Init`, non-sequential epochs, or a digest that the replayed
+    /// snapshot does not reproduce).
+    Corrupt(String),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            RecoverError::Convergence(e) => write!(f, "replay failed to converge: {e}"),
+            RecoverError::Corrupt(why) => write!(f, "WAL corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
 
 /// A fault or repair event flowing through the writer queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,6 +185,10 @@ pub struct EpochRecord {
     pub repairs: Vec<Coord>,
     /// Warm phase-1 rounds the relabeling needed (0 for cold reruns).
     pub warm_rounds: u32,
+    /// The publish-time certificate the epoch shipped with (`None` with
+    /// [`CertMode::Off`], or for an uncertified [`CertMode::Warn`]
+    /// publish).
+    pub certificate: Option<EpochCertificate>,
 }
 
 struct Shared {
@@ -101,6 +207,9 @@ struct Shared {
     events_settled: AtomicU64,
     epoch_log: Mutex<Vec<EpochRecord>>,
     batch_max: usize,
+    /// Certificate of the epoch-0 snapshot (the epoch log only records
+    /// applied batches, so the genesis certificate lives here).
+    genesis_cert: Option<EpochCertificate>,
 }
 
 /// The service: owns the writer thread and the shared state.
@@ -115,7 +224,9 @@ pub struct MeshService {
 }
 
 impl MeshService {
-    /// Cold-labels `topology` under `initial_faults` and starts the writer.
+    /// Cold-labels `topology` under `initial_faults` and starts the writer
+    /// (no durability — see [`MeshService::start_durable`] for the
+    /// WAL-backed variant).
     pub fn start(
         topology: Topology,
         initial_faults: impl IntoIterator<Item = Coord>,
@@ -123,29 +234,173 @@ impl MeshService {
     ) -> Result<Self, ConvergenceError> {
         let map = FaultMap::new(topology, initial_faults);
         let initial = Arc::new(Snapshot::cold(0, map, &config.pipeline)?);
+        Ok(Self::launch(initial, config, None, Vec::new()))
+    }
+
+    /// Like [`MeshService::start`], but every applied batch is appended to
+    /// a fresh write-ahead log at `wal_path` (truncating any existing
+    /// file) and fsynced **before** the epoch becomes visible to readers.
+    /// A crashed service is resurrected from the log with
+    /// [`MeshService::recover`].
+    pub fn start_durable(
+        topology: Topology,
+        initial_faults: impl IntoIterator<Item = Coord>,
+        config: ServeConfig,
+        wal_path: impl AsRef<Path>,
+    ) -> Result<Self, RecoverError> {
+        let map = FaultMap::new(topology, initial_faults);
+        let initial =
+            Arc::new(Snapshot::cold(0, map, &config.pipeline).map_err(RecoverError::Convergence)?);
+        let digest = if config.cert_mode == CertMode::Off {
+            0
+        } else {
+            outcome_digest(&initial.map, &initial.outcome)
+        };
+        let init = WalRecord::Init {
+            topology,
+            faults: initial.map.faults(),
+            rule: config.pipeline.rule,
+            digest,
+        };
+        let wal = Wal::create(wal_path, &init).map_err(RecoverError::Io)?;
+        Ok(Self::launch(initial, config, Some(wal), Vec::new()))
+    }
+
+    /// Resurrects a service from its write-ahead log: replays every intact
+    /// record through the ordinary epoch pipeline (tolerating a torn
+    /// tail), validates each stored certificate digest against the
+    /// replayed snapshot, and resumes serving — and logging into the same
+    /// file — at the terminal epoch. Replay determinism (the PR-1
+    /// cold-oracle property) guarantees the recovered terminal snapshot is
+    /// field-identical to the pre-crash one.
+    ///
+    /// The safety rule recorded in the log overrides
+    /// `config.pipeline.rule`: a log must be replayed under the rule that
+    /// produced it.
+    pub fn recover(
+        wal_path: impl AsRef<Path>,
+        mut config: ServeConfig,
+    ) -> Result<Self, RecoverError> {
+        let (wal, records) = Wal::open(wal_path).map_err(RecoverError::Io)?;
+        let mut records = records.into_iter();
+        let Some(WalRecord::Init {
+            topology,
+            faults,
+            rule,
+            digest,
+        }) = records.next()
+        else {
+            return Err(RecoverError::Corrupt(
+                "log does not start with an Init record".into(),
+            ));
+        };
+        config.pipeline.rule = rule;
+        let map = FaultMap::new(topology, faults);
+        let mut current =
+            Snapshot::cold(0, map, &config.pipeline).map_err(RecoverError::Convergence)?;
+        if digest != 0 && outcome_digest(&current.map, &current.outcome) != digest {
+            return Err(RecoverError::Corrupt(
+                "epoch 0 digest does not match the replayed snapshot".into(),
+            ));
+        }
+
+        let mut log = Vec::new();
+        for record in records {
+            let WalRecord::Batch {
+                epoch,
+                faults,
+                repairs,
+                cert_digest,
+            } = record
+            else {
+                return Err(RecoverError::Corrupt("second Init record".into()));
+            };
+            if epoch != current.epoch + 1 {
+                return Err(RecoverError::Corrupt(format!(
+                    "epoch {epoch} follows epoch {}",
+                    current.epoch
+                )));
+            }
+            let batch = EventBatch { faults, repairs };
+            let next = current
+                .apply(&batch, &config.pipeline)
+                .map_err(RecoverError::Convergence)?;
+            if cert_digest != 0 && outcome_digest(&next.map, &next.outcome) != cert_digest {
+                return Err(RecoverError::Corrupt(format!(
+                    "epoch {epoch} digest does not match the replayed snapshot"
+                )));
+            }
+            let warm_rounds = if batch.repairs.is_empty() {
+                next.outcome.safety_trace.rounds()
+            } else {
+                0
+            };
+            let certificate = (config.cert_mode != CertMode::Off)
+                .then(|| EpochCertificate::describe(epoch, &next.map, &next.outcome));
+            log.push(EpochRecord {
+                epoch,
+                faults: batch.faults,
+                repairs: batch.repairs,
+                warm_rounds,
+                certificate,
+            });
+            current = next;
+        }
+        Ok(Self::launch(Arc::new(current), config, Some(wal), log))
+    }
+
+    /// Wires up the shared state and spawns the writer. `initial` is the
+    /// head snapshot (epoch 0 on a fresh start, the replayed terminal
+    /// epoch on recovery); `log` is the rebuilt audit log on recovery.
+    fn launch(
+        initial: Arc<Snapshot>,
+        config: ServeConfig,
+        wal: Option<Wal>,
+        log: Vec<EpochRecord>,
+    ) -> Self {
+        let genesis_cert = match (config.cert_mode, initial.epoch) {
+            (CertMode::Off, _) => None,
+            // On recovery past epoch 0 the genesis snapshot is gone; its
+            // batches were digest-validated during replay instead.
+            (_, epoch) if epoch > 0 => None,
+            _ => Some(EpochCertificate::describe(
+                0,
+                &initial.map,
+                &initial.outcome,
+            )),
+        };
         let shared = Arc::new(Shared {
-            head_epoch: AtomicU64::new(0),
+            head_epoch: AtomicU64::new(initial.epoch),
             head: Mutex::new(initial.clone()),
             metrics: Metrics::default(),
             queue: BoundedQueue::new(config.queue_capacity),
             events_enqueued: AtomicU64::new(0),
             events_settled: AtomicU64::new(0),
-            epoch_log: Mutex::new(Vec::new()),
+            epoch_log: Mutex::new(log),
             batch_max: config.batch_max,
+            genesis_cert,
         });
+        if let Some(cert) = &shared.genesis_cert {
+            if cert.check(&initial.map, &initial.outcome).is_err() {
+                // The cold pipeline is verified by the whole test suite;
+                // this firing means a certificate-layer bug, not a bad
+                // machine state. Count it — epoch 0 must exist regardless.
+                shared.metrics.cert_failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!("ocp-serve: genesis certificate failed its own check");
+            }
+        }
         let writer = {
             let shared = shared.clone();
-            let pipeline = config.pipeline;
             std::thread::Builder::new()
                 .name("ocp-serve-writer".into())
-                .spawn(move || writer_loop(shared, initial, pipeline))
+                .spawn(move || writer_loop(shared, initial, config, wal))
                 .expect("spawn writer thread")
         };
-        Ok(Self {
+        Self {
             shared,
             config,
             writer: Some(writer),
-        })
+        }
     }
 
     /// A new query handle bound to the current head snapshot.
@@ -208,8 +463,17 @@ impl Drop for MeshService {
     }
 }
 
-/// The writer: drain → validate → relabel → publish, until closed.
-fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: PipelineConfig) {
+/// The writer: drain → validate → relabel → certify → log → publish,
+/// until closed.
+fn writer_loop(
+    shared: Arc<Shared>,
+    mut current: Arc<Snapshot>,
+    config: ServeConfig,
+    mut wal: Option<Wal>,
+) {
+    let pipeline = config.pipeline;
+    // Non-empty batches processed, the clock the chaos injector ticks on.
+    let mut attempt = 0u64;
     while let Some(first) = shared.queue.recv() {
         let mut events = vec![first];
         shared
@@ -251,54 +515,139 @@ fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: Pipeli
             .fetch_add(discarded, Ordering::Relaxed);
 
         if !batch.is_empty() {
-            // Publication lag: relabel + publish time, from the moment the
-            // batch is assembled to the moment readers can see the epoch.
+            attempt += 1;
+            // Publication lag: relabel + certify + log + publish time, from
+            // the moment the batch is assembled to the moment readers can
+            // see the epoch.
             let publish_start = Instant::now();
             match current.apply(&batch, &pipeline) {
-                Ok(next) => {
-                    let warm_rounds = if batch.repairs.is_empty() {
+                Ok(candidate) => {
+                    let mut next = candidate;
+                    let mut warm_rounds = if batch.repairs.is_empty() {
                         next.outcome.safety_trace.rounds()
                     } else {
                         0
                     };
-                    let next = Arc::new(next);
-                    {
-                        // Publish: slot first, then epoch, inside the same
-                        // critical section — a reader that observes the new
-                        // epoch is guaranteed to find a snapshot at least
-                        // that new in the slot.
-                        let mut head = shared.head.lock().expect("head lock");
-                        *head = next.clone();
-                        shared.head_epoch.store(next.epoch, Ordering::Release);
+                    // Certificate gate: distill, then independently
+                    // re-check before anything becomes visible. A failing
+                    // warm snapshot gets one cold recompute of the *same*
+                    // epoch; a failing cold one is refused, so readers
+                    // never observe an uncertified epoch in Enforce — and
+                    // never a skipped epoch number either, because the
+                    // counter only advances on publish.
+                    let mut certificate = None;
+                    let mut rejected = false;
+                    if config.cert_mode != CertMode::Off {
+                        let cert = EpochCertificate::describe(next.epoch, &next.map, &next.outcome);
+                        let warm_ok = cert.check(&next.map, &next.outcome).is_ok()
+                            && !config.cert_chaos.fail_warm(attempt);
+                        if warm_ok {
+                            certificate = Some(cert);
+                        } else {
+                            shared.metrics.cert_failures.fetch_add(1, Ordering::Relaxed);
+                            if config.cert_mode == CertMode::Enforce {
+                                match Snapshot::cold(next.epoch, next.map.clone(), &pipeline) {
+                                    Ok(cold) => {
+                                        let cert = EpochCertificate::describe(
+                                            cold.epoch,
+                                            &cold.map,
+                                            &cold.outcome,
+                                        );
+                                        let cold_ok = cert.check(&cold.map, &cold.outcome).is_ok()
+                                            && !config.cert_chaos.fail_cold(attempt);
+                                        if cold_ok {
+                                            next = cold;
+                                            warm_rounds = 0;
+                                            certificate = Some(cert);
+                                        } else {
+                                            shared
+                                                .metrics
+                                                .cert_failures
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            rejected = true;
+                                        }
+                                    }
+                                    Err(_) => rejected = true,
+                                }
+                            }
+                            // Warn: count the failure, publish uncertified.
+                        }
                     }
-                    shared
-                        .metrics
-                        .epoch_publish_lag
-                        .record(publish_start.elapsed().as_nanos() as u64);
-                    shared
-                        .metrics
-                        .events_applied
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    shared
-                        .metrics
-                        .epochs_published
-                        .fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .epoch_log
-                        .lock()
-                        .expect("epoch log lock")
-                        .push(EpochRecord {
-                            epoch: next.epoch,
-                            faults: batch.faults.clone(),
-                            repairs: batch.repairs.clone(),
-                            warm_rounds,
-                        });
-                    current = next;
+                    if rejected {
+                        shared
+                            .metrics
+                            .publishes_cert_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .events_discarded
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        eprintln!(
+                            "ocp-serve writer: certificate rejected epoch {}, batch dropped",
+                            current.epoch + 1
+                        );
+                    } else if !wal_append(
+                        &shared,
+                        wal.as_mut(),
+                        &next,
+                        &batch,
+                        certificate.as_ref(),
+                    ) {
+                        // Write-ahead failed: the epoch must not become
+                        // visible without being durable first.
+                        shared
+                            .metrics
+                            .publishes_overloaded
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .events_discarded
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    } else {
+                        let next = Arc::new(next);
+                        {
+                            // Publish: slot first, then epoch, inside the same
+                            // critical section — a reader that observes the new
+                            // epoch is guaranteed to find a snapshot at least
+                            // that new in the slot.
+                            let mut head = shared.head.lock().expect("head lock");
+                            *head = next.clone();
+                            shared.head_epoch.store(next.epoch, Ordering::Release);
+                        }
+                        shared
+                            .metrics
+                            .epoch_publish_lag
+                            .record(publish_start.elapsed().as_nanos() as u64);
+                        shared
+                            .metrics
+                            .events_applied
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .epochs_published
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .epoch_log
+                            .lock()
+                            .expect("epoch log lock")
+                            .push(EpochRecord {
+                                epoch: next.epoch,
+                                faults: batch.faults.clone(),
+                                repairs: batch.repairs.clone(),
+                                warm_rounds,
+                                certificate,
+                            });
+                        current = next;
+                    }
                 }
                 Err(e) => {
                     // A convergence stall is a bug upstream (the round cap
                     // is diameter-derived); keep serving the last good
                     // snapshot and account the batch as discarded.
+                    shared
+                        .metrics
+                        .publishes_overloaded
+                        .fetch_add(1, Ordering::Relaxed);
                     shared
                         .metrics
                         .events_discarded
@@ -308,6 +657,44 @@ fn writer_loop(shared: Arc<Shared>, mut current: Arc<Snapshot>, pipeline: Pipeli
             }
         }
         shared.events_settled.fetch_add(drained, Ordering::Release);
+    }
+}
+
+/// Appends + fsyncs one batch record ahead of its publish. Returns false
+/// when the WAL write failed (the batch must then be dropped — durability
+/// is a precondition of visibility). A service without a WAL trivially
+/// succeeds.
+fn wal_append(
+    shared: &Shared,
+    wal: Option<&mut Wal>,
+    next: &Snapshot,
+    batch: &EventBatch,
+    certificate: Option<&EpochCertificate>,
+) -> bool {
+    let Some(wal) = wal else { return true };
+    let digest = certificate.map_or(0, |c| c.grid_digest);
+    let record = WalRecord::batch(next.epoch, batch, digest);
+    let append_start = Instant::now();
+    let appended = wal.append(&record);
+    shared
+        .metrics
+        .wal_append_ns
+        .record(append_start.elapsed().as_nanos() as u64);
+    let result = appended.and_then(|()| {
+        let fsync_start = Instant::now();
+        let synced = wal.sync();
+        shared
+            .metrics
+            .wal_fsync_ns
+            .record(fsync_start.elapsed().as_nanos() as u64);
+        synced
+    });
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("ocp-serve writer: WAL write failed, batch dropped: {e}");
+            false
+        }
     }
 }
 
@@ -530,7 +917,29 @@ impl ServiceHandle {
             },
             staleness_max_epochs: m.staleness_max.load(Ordering::Relaxed),
             publish_lag_ns: m.epoch_publish_lag.percentiles(),
+            cert_failures: m.cert_failures.load(Ordering::Relaxed),
+            publishes_cert_rejected: m.publishes_cert_rejected.load(Ordering::Relaxed),
+            publishes_overloaded: m.publishes_overloaded.load(Ordering::Relaxed),
+            wal_append_ns: m.wal_append_ns.percentiles(),
+            wal_fsync_ns: m.wal_fsync_ns.percentiles(),
         }
+    }
+
+    /// The certificate one published epoch shipped with, or `None` when
+    /// the epoch is unknown, was published uncertified, or the service
+    /// runs with [`CertMode::Off`]. Epoch 0 answers with the genesis
+    /// certificate.
+    pub fn certificate(&self, epoch: u64) -> Option<EpochCertificate> {
+        if epoch == 0 {
+            return self.shared.genesis_cert.clone();
+        }
+        self.shared
+            .epoch_log
+            .lock()
+            .expect("epoch log lock")
+            .iter()
+            .find(|r| r.epoch == epoch)
+            .and_then(|r| r.certificate.clone())
     }
 
     /// The Prometheus text-format exposition page: the service's own
@@ -575,6 +984,10 @@ impl ServiceHandle {
             Request::Epoch => Response::Epoch {
                 epoch: self.epoch(),
             },
+            Request::Certificate { epoch } => Response::Certificate(CertificateReply {
+                epoch,
+                certificate: self.certificate(epoch),
+            }),
         }
     }
 }
@@ -839,6 +1252,158 @@ mod tests {
         );
         let report = service.shutdown();
         assert_eq!(report.events_applied, 12);
+    }
+
+    #[test]
+    fn every_published_epoch_carries_a_validated_certificate() {
+        let service = small_service(); // default: CertMode::Enforce
+        let mut h = service.handle();
+        h.inject_faults(&[c(7, 7)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        h.inject_faults(&[c(9, 2)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let log = service.epoch_log();
+        assert_eq!(log.len(), 2);
+        for record in &log {
+            let cert = record
+                .certificate
+                .as_ref()
+                .expect("Enforce always certifies");
+            assert_eq!(cert.epoch, record.epoch);
+        }
+        // The head certificate re-validates against the head snapshot —
+        // independently of the engine that produced it.
+        let snap = h.snapshot();
+        let head_cert = h.certificate(snap.epoch).expect("head epoch certified");
+        head_cert
+            .check(&snap.map, &snap.outcome)
+            .expect("head certificate validates");
+        // Epoch 0 is answered from the genesis certificate.
+        assert!(h.certificate(0).is_some());
+        assert!(h.certificate(999).is_none());
+        // And the dispatch surface exposes the same thing.
+        match h.dispatch(Request::Certificate { epoch: snap.epoch }) {
+            Response::Certificate(reply) => {
+                assert_eq!(reply.epoch, snap.epoch);
+                assert_eq!(reply.certificate, Some(head_cert));
+            }
+            other => panic!("expected certificate reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cert_off_publishes_without_certificates() {
+        let service = MeshService::start(
+            Topology::mesh(12, 12),
+            [c(3, 3)],
+            ServeConfig {
+                cert_mode: CertMode::Off,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let h = service.handle();
+        h.inject_faults(&[c(7, 7)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let log = service.epoch_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].certificate.is_none());
+        assert!(h.certificate(0).is_none());
+        assert_eq!(h.stats().cert_failures, 0);
+    }
+
+    #[test]
+    fn chaos_warm_failure_falls_back_to_cold_and_publishes() {
+        let service = MeshService::start(
+            Topology::mesh(12, 12),
+            [c(3, 3)],
+            ServeConfig {
+                cert_chaos: CertChaos::RejectWarmEveryNth(1),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut h = service.handle();
+        h.inject_faults(&[c(7, 7)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        assert_eq!(h.epoch(), 1, "cold fallback still publishes");
+        assert_eq!(h.status(c(7, 7)).state, NodeState::Faulty);
+        let stats = h.stats();
+        assert_eq!(stats.cert_failures, 1, "the injected warm failure");
+        assert_eq!(stats.publishes_cert_rejected, 0);
+        let log = service.epoch_log();
+        assert_eq!(log[0].warm_rounds, 0, "published from the cold recompute");
+        let cert = log[0].certificate.as_ref().expect("cold publish certified");
+        let snap = h.snapshot();
+        cert.check(&snap.map, &snap.outcome)
+            .expect("cert validates");
+    }
+
+    #[test]
+    fn chaos_batch_rejection_never_advances_the_reader_epoch() {
+        let service = MeshService::start(
+            Topology::mesh(12, 12),
+            [c(3, 3)],
+            ServeConfig {
+                cert_chaos: CertChaos::RejectBatchEveryNth(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut h = service.handle();
+        // Batch 1 publishes, batch 2 is chaos-rejected, batch 3 publishes.
+        for (i, node) in [c(7, 7), c(9, 2), c(1, 9)].iter().enumerate() {
+            h.inject_faults(&[*node]);
+            assert!(service.quiesce(Duration::from_secs(30)), "batch {i}");
+        }
+        assert_eq!(h.epoch(), 2, "two publishes, one rejection, no gaps");
+        let stats = h.stats();
+        assert_eq!(stats.publishes_cert_rejected, 1);
+        assert_eq!(stats.cert_failures, 2, "warm + cold failures of batch 2");
+        assert_eq!(stats.events_discarded, 1, "the rejected batch's event");
+        assert_eq!(stats.events_applied, 2);
+        // The epoch log is gapless: 1, 2.
+        let epochs: Vec<u64> = service.epoch_log().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2]);
+        // The rejected batch's fault never became visible.
+        assert_eq!(h.status(c(9, 2)).state, NodeState::Enabled);
+        // The scrape page carries the publish-result breakdown.
+        let page = h.metrics_text();
+        assert!(
+            page.contains("ocp_serve_epoch_publish_total{result=\"ok\"} 2"),
+            "{page}"
+        );
+        assert!(
+            page.contains("ocp_serve_epoch_publish_total{result=\"cert_reject\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("ocp_serve_cert_failures_total 2"), "{page}");
+    }
+
+    #[test]
+    fn warn_mode_counts_failures_but_still_publishes() {
+        let service = MeshService::start(
+            Topology::mesh(12, 12),
+            [c(3, 3)],
+            ServeConfig {
+                cert_mode: CertMode::Warn,
+                cert_chaos: CertChaos::RejectWarmEveryNth(1),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let h = service.handle();
+        h.inject_faults(&[c(7, 7)]);
+        assert!(service.quiesce(Duration::from_secs(30)));
+        assert_eq!(h.epoch(), 1, "Warn never refuses");
+        let stats = h.stats();
+        assert_eq!(stats.cert_failures, 1);
+        assert_eq!(stats.publishes_cert_rejected, 0);
+        let log = service.epoch_log();
+        assert!(
+            log[0].certificate.is_none(),
+            "failed check leaves the epoch uncertified in Warn"
+        );
     }
 
     #[test]

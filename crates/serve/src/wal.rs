@@ -1,0 +1,340 @@
+//! A dependency-free epoch write-ahead log.
+//!
+//! The writer thread appends one record per applied event batch **before**
+//! publishing the resulting snapshot, so a crash between append and
+//! publish loses at most the not-yet-visible epoch — never a published
+//! one. [`crate::service::MeshService::recover`] replays the log through
+//! the ordinary pipeline: because epoch application is deterministic
+//! (the PR-1 cold-oracle replay property), the replayed terminal snapshot
+//! is field-identical to the pre-crash one, and the certificate digest
+//! stored per record proves it.
+//!
+//! ## On-disk format
+//!
+//! A WAL file is a sequence of frames:
+//!
+//! ```text
+//! [u32 BE payload length][u64 BE FNV-1a checksum of payload][payload]
+//! ```
+//!
+//! where the payload is the JSON serialization of one [`WalRecord`]. The
+//! first record is always [`WalRecord::Init`] (topology + initial faults +
+//! rule); every subsequent record is a [`WalRecord::Batch`]. Frames are
+//! written with a single `write_all` and fsynced before the corresponding
+//! epoch publish.
+//!
+//! ## Torn-tail tolerance
+//!
+//! A crash mid-append leaves a torn frame at the tail: a truncated header,
+//! a truncated payload, or a payload whose checksum does not match.
+//! [`Wal::open`] reads frames until the first torn/corrupt one, **truncates
+//! the file back to the last intact frame boundary**, and positions itself
+//! for append — so recovery sees a clean prefix and the service can keep
+//! logging into the same file. Corruption *before* the tail (an intact
+//! frame whose payload fails the checksum mid-file) is unrecoverable
+//! tampering and is reported as an error instead.
+
+use crate::snapshot::EventBatch;
+use ocp_core::certificate::fnv1a;
+use ocp_core::prelude::SafetyRule;
+use ocp_mesh::{Coord, Topology};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header size: u32 length + u64 checksum.
+const HEADER: usize = 12;
+
+/// Upper bound on one record's payload, as a sanity check against reading
+/// garbage lengths from a corrupt header (16 MiB is orders of magnitude
+/// above any real batch record).
+const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// One durable record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// First record of every log: the machine and its initial state.
+    Init {
+        /// The machine.
+        topology: Topology,
+        /// Faults present at epoch 0.
+        faults: Vec<Coord>,
+        /// Safety rule the service labels under.
+        rule: SafetyRule,
+        /// [`ocp_core::certificate::outcome_digest`] of the epoch-0
+        /// snapshot (0 when certificates are off).
+        digest: u64,
+    },
+    /// One applied event batch.
+    Batch {
+        /// Epoch the batch produced.
+        epoch: u64,
+        /// Fault events in the batch.
+        faults: Vec<Coord>,
+        /// Repair events in the batch.
+        repairs: Vec<Coord>,
+        /// Certificate grid digest of the resulting snapshot (0 when
+        /// certificates are off). Recovery re-derives the snapshot and
+        /// verifies the digest matches.
+        cert_digest: u64,
+    },
+}
+
+impl WalRecord {
+    /// Convenience constructor for a batch record.
+    pub fn batch(epoch: u64, batch: &EventBatch, cert_digest: u64) -> Self {
+        WalRecord::Batch {
+            epoch,
+            faults: batch.faults.clone(),
+            repairs: batch.repairs.clone(),
+            cert_digest,
+        }
+    }
+}
+
+/// An open write-ahead log, positioned for append.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` (truncating any existing file) and
+    /// writes + fsyncs the `init` record.
+    pub fn create(path: impl AsRef<Path>, init: &WalRecord) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut wal = Self { file, path };
+        wal.append(init)?;
+        wal.sync()?;
+        Ok(wal)
+    }
+
+    /// Opens an existing log, validates every frame, truncates a torn
+    /// tail, and returns the intact records plus the log positioned for
+    /// append.
+    ///
+    /// Only the *last* frame may legitimately be torn (a crash mid-append
+    /// tears at most one frame); an intact-length frame with a bad
+    /// checksum earlier in the file means the log was tampered with or
+    /// the disk corrupted it, which is not recoverable — but since a
+    /// torn tail is indistinguishable from tail corruption, any bad frame
+    /// simply ends the valid prefix. Callers decide how much prefix is
+    /// acceptable (recovery requires at least the `Init` record).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Vec<WalRecord>)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        while bytes.len() - offset >= HEADER {
+            let len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD {
+                break; // garbage length: torn header
+            }
+            let len = len as usize;
+            let Some(end) = offset.checked_add(HEADER + len) else {
+                break;
+            };
+            if end > bytes.len() {
+                break; // truncated payload
+            }
+            let checksum =
+                u64::from_be_bytes(bytes[offset + 4..offset + HEADER].try_into().expect("8"));
+            let payload = &bytes[offset + HEADER..end];
+            if fnv1a(payload) != checksum {
+                break; // corrupt payload
+            }
+            let Ok(record) = serde_json::from_slice::<WalRecord>(payload) else {
+                break; // checksummed but undecodable: treat as end of prefix
+            };
+            records.push(record);
+            offset = end;
+        }
+
+        // Truncate the torn tail so appends resume at a frame boundary.
+        if offset < bytes.len() {
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+        Ok((Self { file, path }, records))
+    }
+
+    /// Appends one record (buffered in the OS; call [`Wal::sync`] to make
+    /// it durable).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let payload =
+            serde_json::to_vec(record).map_err(|e| io::Error::other(format!("wal encode: {e}")))?;
+        let len =
+            u32::try_from(payload.len()).map_err(|_| io::Error::other("wal record over 4 GiB"))?;
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::other("wal record over frame cap"));
+        }
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// The path this log lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ocp-wal-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.wal", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Init {
+                topology: Topology::mesh(8, 8),
+                faults: vec![c(1, 1)],
+                rule: SafetyRule::BothDimensions,
+                digest: 42,
+            },
+            WalRecord::Batch {
+                epoch: 1,
+                faults: vec![c(2, 2), c(3, 3)],
+                repairs: vec![],
+                cert_digest: 7,
+            },
+            WalRecord::Batch {
+                epoch: 2,
+                faults: vec![],
+                repairs: vec![c(2, 2)],
+                cert_digest: 9,
+            },
+        ]
+    }
+
+    fn write_all(path: &Path, records: &[WalRecord]) {
+        let mut wal = Wal::create(path, &records[0]).unwrap();
+        for r in &records[1..] {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = tmp("round-trip");
+        let records = sample_records();
+        write_all(&path, &records);
+        let (_wal, back) = Wal::open(&path).unwrap();
+        assert_eq!(back, records);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_open_continues_the_log() {
+        let path = tmp("reopen-append");
+        let records = sample_records();
+        write_all(&path, &records);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let extra = WalRecord::Batch {
+            epoch: 3,
+            faults: vec![c(5, 5)],
+            repairs: vec![],
+            cert_digest: 11,
+        };
+        wal.append(&extra).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_wal, back) = Wal::open(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back[3], extra);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_offset() {
+        let path = tmp("torn-tail");
+        let records = sample_records();
+        write_all(&path, &records);
+        let full = fs::read(&path).unwrap();
+
+        // Find each frame boundary so we know how many records survive a
+        // cut at any byte offset.
+        let mut boundaries = vec![0usize];
+        let mut off = 0usize;
+        while off < full.len() {
+            let len = u32::from_be_bytes(full[off..off + 4].try_into().unwrap()) as usize;
+            off += HEADER + len;
+            boundaries.push(off);
+        }
+
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (_wal, back) = Wal::open(&path).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b <= cut && b > 0).count();
+            assert_eq!(back.len(), expect, "cut at {cut}");
+            assert_eq!(back, records[..expect], "cut at {cut}");
+            assert_eq!(
+                fs::metadata(&path).unwrap().len(),
+                boundaries[expect] as u64,
+                "tail truncated to last intact frame (cut {cut})"
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_ends_the_valid_prefix() {
+        let path = tmp("corrupt");
+        let records = sample_records();
+        write_all(&path, &records);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the second frame's payload.
+        let first_len = u32::from_be_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second_payload_start = HEADER + first_len + HEADER;
+        bytes[second_payload_start] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let (_wal, back) = Wal::open(&path).unwrap();
+        assert_eq!(back, records[..1], "prefix ends at the corrupt frame");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_length_header_is_tolerated() {
+        let path = tmp("garbage-len");
+        let records = sample_records();
+        write_all(&path, &records);
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes()); // absurd length
+        bytes.extend_from_slice(&[0u8; 20]);
+        fs::write(&path, &bytes).unwrap();
+        let (_wal, back) = Wal::open(&path).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(fs::metadata(&path).unwrap().len(), len as u64);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -13,6 +13,10 @@
 //! * **messages** — the trace AND the closed form
 //!   `rounds × Σ real_degree(participant)` (participants are the nonfaulty
 //!   nodes; ghost links carry nothing).
+//!
+//! The serving layer gets the same treatment: the publish counters on the
+//! Prometheus page are pinned to the epoch audit log, the one source of
+//! truth for what was actually published.
 
 use ocp_core::labeling::enablement::compute_enablement_with;
 use ocp_core::labeling::safety::compute_safety_with;
@@ -358,6 +362,72 @@ fn disabled_observability_records_nothing() {
         "disabled path must not touch the registry"
     );
     ocp_obs::set_enabled(true);
+}
+
+/// Reads one counter sample off a Prometheus exposition page.
+fn scrape_counter(page: &str, series: &str) -> u64 {
+    page.lines()
+        .find_map(|line| line.strip_prefix(series))
+        .unwrap_or_else(|| panic!("series {series:?} missing from scrape"))
+        .trim()
+        .parse()
+        .expect("counter value parses")
+}
+
+#[test]
+fn serve_publish_counters_match_the_epoch_audit_log() {
+    use ocp_serve::{CertChaos, MeshService, ServeConfig};
+    use std::time::Duration;
+
+    // Every third batch is chaos-rejected at the certificate gate, so the
+    // scrape page has something in every `result` bucket to account for.
+    let service = MeshService::start(
+        Topology::mesh(12, 12),
+        [c(2, 2)],
+        ServeConfig {
+            batch_max: 1,
+            cert_chaos: CertChaos::RejectBatchEveryNth(3),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let handle = service.handle();
+    let injected: u64 = 9;
+    for i in 0..injected {
+        let node = c(5 + (i % 3) as i32, 5 + (i / 3) as i32);
+        assert_eq!(handle.inject_faults(&[node]).accepted, 1);
+        assert!(service.quiesce(Duration::from_secs(30)));
+    }
+
+    let log = service.epoch_log();
+    let stats = handle.stats();
+    let page = handle.metrics_text();
+
+    // The audit log is the ground truth for publishes; the counters must
+    // agree with it exactly, and the reject bucket with its complement.
+    let ok = scrape_counter(&page, "ocp_serve_epoch_publish_total{result=\"ok\"} ");
+    let rejected = scrape_counter(
+        &page,
+        "ocp_serve_epoch_publish_total{result=\"cert_reject\"} ",
+    );
+    let overloaded = scrape_counter(
+        &page,
+        "ocp_serve_epoch_publish_total{result=\"overloaded\"} ",
+    );
+    assert_eq!(ok, log.len() as u64, "ok bucket == audit log length");
+    assert_eq!(ok, stats.epochs_published);
+    assert_eq!(ok + rejected, injected, "every batch lands in one bucket");
+    assert_eq!(rejected, stats.publishes_cert_rejected);
+    assert!(rejected >= 1, "chaos must have rejected something");
+    assert_eq!(overloaded, 0, "no admission pressure in this run");
+    // RejectBatchEveryNth fails both the warm check and the cold retry.
+    let cert_failures = scrape_counter(&page, "ocp_serve_cert_failures_total ");
+    assert_eq!(cert_failures, 2 * rejected);
+    // And the log itself is gapless: publish number k is epoch k.
+    for (i, record) in log.iter().enumerate() {
+        assert_eq!(record.epoch, (i + 1) as u64);
+    }
+    service.shutdown();
 }
 
 #[test]
