@@ -538,7 +538,8 @@ impl EpochCertificate {
                     && witness.faults == region.faults.len()
                     && !witness.wrapped
                     && witness.rows == profile.row_intervals()
-                    && witness.corners == corners;
+                    && witness.corners == corners
+                    && witness.closure_cells == closure.len();
                 if !matches {
                     violations.push(Violation::CertificateMismatch {
                         what: format!("region {i} witness"),
@@ -782,14 +783,15 @@ impl EpochCertificate {
         for (i, (witness, region)) in self.regions.iter().zip(&outcome.regions).enumerate() {
             let matches = witness.cells == region.cells.len()
                 && witness.faults == region.faults.len()
-                && match &region.planar {
-                    Some(planar) => {
+                && match (&region.planar, &region.planar_faults) {
+                    (Some(planar), Some(planar_faults)) => {
                         let profile = PlanarProfile::new(planar);
                         !witness.wrapped
                             && witness.rows == profile.row_intervals()
                             && witness.corners == profile.corners_of(planar)
+                            && witness.closure_cells == closure_spans(planar_faults).len()
                     }
-                    None => witness.wrapped,
+                    _ => witness.wrapped && witness.closure_cells == 0,
                 };
             if !matches {
                 violations.push(Violation::CertificateMismatch {
@@ -1526,6 +1528,35 @@ mod tests {
             &out,
             |v| matches!(v, Violation::RegionOutsideBlock { .. }),
             "merged regions",
+        );
+    }
+
+    #[test]
+    fn mutation_tampered_closure_witness_is_rejected() {
+        // The outcome is untouched — only the certificate's Theorem-2
+        // minimality witness lies. Both checker paths must notice.
+        let (map, out) = two_by_three();
+        let mut cert = EpochCertificate::describe(1, &map, &out);
+        cert.regions[0].closure_cells += 1;
+        let errs = cert.check(&map, &out).expect_err("tampered closure witness");
+        assert!(
+            errs.iter().any(
+                |v| matches!(v, Violation::CertificateMismatch { what } if what.contains("witness"))
+            ),
+            "declared path: {errs:?}"
+        );
+
+        // Torus outcomes take the extracted path (compare_facts).
+        let (map, out) = converged(Topology::torus(10, 10), &[c(3, 3)]);
+        assert!(!out.regions.is_empty(), "fixture: at least one region");
+        let mut cert = EpochCertificate::describe(1, &map, &out);
+        cert.regions[0].closure_cells += 1;
+        let errs = cert.check(&map, &out).expect_err("tampered torus witness");
+        assert!(
+            errs.iter().any(
+                |v| matches!(v, Violation::CertificateMismatch { what } if what.contains("witness"))
+            ),
+            "extracted path: {errs:?}"
         );
     }
 

@@ -335,7 +335,11 @@ impl MeshService {
             } else {
                 0
             };
-            let certificate = (config.cert_mode != CertMode::Off)
+            // A zero digest marks an epoch that was originally published
+            // uncertified (CertMode::Off, or a Warn-mode publish whose
+            // check failed); re-deriving a certificate for it would make
+            // the recovered audit log claim artifacts that never existed.
+            let certificate = (config.cert_mode != CertMode::Off && cert_digest != 0)
                 .then(|| EpochCertificate::describe(epoch, &next.map, &next.outcome));
             log.push(EpochRecord {
                 epoch,
@@ -662,8 +666,14 @@ fn writer_loop(
 
 /// Appends + fsyncs one batch record ahead of its publish. Returns false
 /// when the WAL write failed (the batch must then be dropped — durability
-/// is a precondition of visibility). A service without a WAL trivially
-/// succeeds.
+/// is a precondition of visibility). A failed append is rolled back to
+/// the pre-append offset: left in place, a fully-written record for the
+/// never-published epoch would collide with the next publish's reuse of
+/// the same epoch number (recovery then fails on the duplicate), and torn
+/// bytes would masquerade as a torn tail and swallow every later record
+/// on open. If the rollback itself fails the log poisons itself and every
+/// further batch is refused — durable publishing halts loudly rather than
+/// silently degrading. A service without a WAL trivially succeeds.
 fn wal_append(
     shared: &Shared,
     wal: Option<&mut Wal>,
@@ -674,6 +684,7 @@ fn wal_append(
     let Some(wal) = wal else { return true };
     let digest = certificate.map_or(0, |c| c.grid_digest);
     let record = WalRecord::batch(next.epoch, batch, digest);
+    let pre_append = wal.offset();
     let append_start = Instant::now();
     let appended = wal.append(&record);
     shared
@@ -692,7 +703,21 @@ fn wal_append(
     match result {
         Ok(()) => true,
         Err(e) => {
-            eprintln!("ocp-serve writer: WAL write failed, batch dropped: {e}");
+            match wal.rollback(pre_append) {
+                Ok(()) => {
+                    eprintln!(
+                        "ocp-serve writer: WAL write failed, batch dropped \
+                         and log rolled back: {e}"
+                    );
+                }
+                Err(roll) => {
+                    eprintln!(
+                        "ocp-serve writer: WAL write failed ({e}) and rollback \
+                         failed ({roll}); durable publishing halted — all \
+                         further batches will be dropped"
+                    );
+                }
+            }
             false
         }
     }

@@ -23,16 +23,32 @@
 //! written with a single `write_all` and fsynced before the corresponding
 //! epoch publish.
 //!
-//! ## Torn-tail tolerance
+//! ## Torn-tail tolerance vs mid-file corruption
 //!
 //! A crash mid-append leaves a torn frame at the tail: a truncated header,
-//! a truncated payload, or a payload whose checksum does not match.
-//! [`Wal::open`] reads frames until the first torn/corrupt one, **truncates
-//! the file back to the last intact frame boundary**, and positions itself
-//! for append — so recovery sees a clean prefix and the service can keep
-//! logging into the same file. Corruption *before* the tail (an intact
-//! frame whose payload fails the checksum mid-file) is unrecoverable
-//! tampering and is reported as an error instead.
+//! a truncated payload, or a payload whose checksum does not match — and
+//! nothing decodable after it, because appends only ever extend the file.
+//! [`Wal::open`] reads frames until the first invalid one and then
+//! distinguishes the two cases: if no intact frame exists anywhere after
+//! the invalid region (a true torn tail), the file is **truncated back to
+//! the last intact frame boundary** and positioned for append, so recovery
+//! sees a clean prefix and the service can keep logging into the same
+//! file. If intact frames *do* follow the invalid region, the file was
+//! corrupted mid-file (bit rot or tampering); truncating would destroy
+//! fsynced, published epochs, so `open` refuses with an
+//! [`InvalidData`](io::ErrorKind::InvalidData) error instead.
+//!
+//! ## Failed-append rollback
+//!
+//! A failed append or fsync on a *live* log must not leave bytes behind:
+//! a fully-written record for an epoch that was never published would make
+//! the next publish's record a duplicate epoch number (recovery then fails
+//! on the non-sequential history), and a partially-written frame would
+//! masquerade as a torn tail and swallow every later record on open. The
+//! writer records [`Wal::offset`] before each append and calls
+//! [`Wal::rollback`] on failure; if the rollback itself fails the log is
+//! **poisoned** — every further append fails fast rather than risk landing
+//! records behind torn bytes.
 
 use crate::snapshot::EventBatch;
 use ocp_core::certificate::fnv1a;
@@ -98,6 +114,13 @@ impl WalRecord {
 pub struct Wal {
     file: File,
     path: PathBuf,
+    /// Logical end of the intact log — the offset the next append writes
+    /// at, which is also the rollback point for a failed append.
+    len: u64,
+    /// Set when a failed append could not be rolled back: the on-disk
+    /// tail is in an unknown state, so further appends must not land
+    /// after it (they would be silently dropped by the next `open`).
+    poisoned: bool,
 }
 
 impl Wal {
@@ -111,7 +134,12 @@ impl Wal {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        let mut wal = Self { file, path };
+        let mut wal = Self {
+            file,
+            path,
+            len: 0,
+            poisoned: false,
+        };
         wal.append(init)?;
         wal.sync()?;
         Ok(wal)
@@ -122,12 +150,14 @@ impl Wal {
     /// append.
     ///
     /// Only the *last* frame may legitimately be torn (a crash mid-append
-    /// tears at most one frame); an intact-length frame with a bad
-    /// checksum earlier in the file means the log was tampered with or
-    /// the disk corrupted it, which is not recoverable — but since a
-    /// torn tail is indistinguishable from tail corruption, any bad frame
-    /// simply ends the valid prefix. Callers decide how much prefix is
-    /// acceptable (recovery requires at least the `Init` record).
+    /// tears at most one frame, and appends only extend the file, so
+    /// nothing decodable can follow a tear). An invalid frame with intact
+    /// frames after it therefore means the log was tampered with or the
+    /// disk corrupted it mid-file; truncating there would destroy
+    /// fsynced, published epochs, so that case is an
+    /// [`InvalidData`](io::ErrorKind::InvalidData) error. Callers decide
+    /// how much of a torn-tail prefix is acceptable (recovery requires at
+    /// least the `Init` record).
     pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Vec<WalRecord>)> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
@@ -161,17 +191,43 @@ impl Wal {
             offset = end;
         }
 
-        // Truncate the torn tail so appends resume at a frame boundary.
         if offset < bytes.len() {
+            // A true torn tail has nothing decodable after the invalid
+            // region (appends only extend the file). Intact frames after
+            // it mean mid-file corruption: truncating would silently
+            // destroy fsynced, published epochs — refuse instead.
+            if (offset..bytes.len()).any(|p| intact_frame_at(&bytes, p)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL corrupt mid-file: intact frames follow an \
+                         invalid frame at byte {offset}"
+                    ),
+                ));
+            }
+            // Torn tail: truncate so appends resume at a frame boundary.
             file.set_len(offset as u64)?;
         }
         file.seek(SeekFrom::Start(offset as u64))?;
-        Ok((Self { file, path }, records))
+        Ok((
+            Self {
+                file,
+                path,
+                len: offset as u64,
+                poisoned: false,
+            },
+            records,
+        ))
     }
 
     /// Appends one record (buffered in the OS; call [`Wal::sync`] to make
-    /// it durable).
+    /// it durable). Fails fast on a poisoned log — see [`Wal::rollback`].
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an earlier failed rollback",
+            ));
+        }
         let payload =
             serde_json::to_vec(record).map_err(|e| io::Error::other(format!("wal encode: {e}")))?;
         let len =
@@ -183,7 +239,9 @@ impl Wal {
         frame.extend_from_slice(&len.to_be_bytes());
         frame.extend_from_slice(&fnv1a(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
     }
 
     /// Forces appended records to stable storage.
@@ -191,10 +249,71 @@ impl Wal {
         self.file.sync_data()
     }
 
+    /// The logical end of the intact log: record this before an append so
+    /// a failed append (or its fsync) can be rolled back.
+    pub fn offset(&self) -> u64 {
+        self.len
+    }
+
+    /// Rolls the file back to `offset` (a value previously returned by
+    /// [`Wal::offset`]) after a failed append or fsync, removing any
+    /// fully- or partially-written bytes of the aborted record so the log
+    /// never holds a frame for an epoch that was not published. The
+    /// truncation is itself fsynced. If any step fails the log is
+    /// **poisoned**: its on-disk tail is unknown, and every further
+    /// [`Wal::append`] fails fast instead of landing records behind torn
+    /// bytes that the next [`Wal::open`] would silently drop.
+    pub fn rollback(&mut self, offset: u64) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an earlier failed rollback",
+            ));
+        }
+        let result = self
+            .file
+            .set_len(offset)
+            .and_then(|()| self.file.seek(SeekFrom::Start(offset)).map(|_| ()))
+            .and_then(|()| self.file.sync_data());
+        match result {
+            Ok(()) => {
+                self.len = offset;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
     /// The path this log lives at.
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// True when a fully intact, decodable frame starts at byte `p` — the
+/// evidence [`Wal::open`] uses to tell mid-file corruption (intact frames
+/// after the bad region) from a torn tail (nothing decodable after it).
+/// A random 12-byte window passing the length bound, the checksum, *and*
+/// JSON-decoding as a [`WalRecord`] by accident is not a realistic event.
+fn intact_frame_at(bytes: &[u8], p: usize) -> bool {
+    if bytes.len().saturating_sub(p) < HEADER {
+        return false;
+    }
+    let len = u32::from_be_bytes(bytes[p..p + 4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return false;
+    }
+    let Some(end) = p.checked_add(HEADER + len as usize) else {
+        return false;
+    };
+    if end > bytes.len() {
+        return false;
+    }
+    let checksum = u64::from_be_bytes(bytes[p + 4..p + HEADER].try_into().expect("8 bytes"));
+    let payload = &bytes[p + HEADER..end];
+    fnv1a(payload) == checksum && serde_json::from_slice::<WalRecord>(payload).is_ok()
 }
 
 #[cfg(test)]
@@ -307,18 +426,78 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_payload_ends_the_valid_prefix() {
-        let path = tmp("corrupt");
+    fn mid_file_corruption_is_an_error_not_a_truncation() {
+        let path = tmp("corrupt-mid");
         let records = sample_records();
         write_all(&path, &records);
         let mut bytes = fs::read(&path).unwrap();
-        // Flip a byte inside the second frame's payload.
+        // Flip a byte inside the second frame's payload: the intact third
+        // frame after it proves this is mid-file corruption, not a torn
+        // tail, and open() must refuse rather than destroy frame 3.
         let first_len = u32::from_be_bytes(bytes[0..4].try_into().unwrap()) as usize;
         let second_payload_start = HEADER + first_len + HEADER;
         bytes[second_payload_start] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
+        let err = Wal::open(&path).expect_err("mid-file corruption refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            bytes.len() as u64,
+            "refusal must not modify the file"
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_final_frame_is_truncated_as_a_torn_tail() {
+        let path = tmp("corrupt-tail");
+        let records = sample_records();
+        write_all(&path, &records);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the *last* frame's payload: nothing intact
+        // follows, so this is indistinguishable from a torn tail and the
+        // prefix survives.
+        let mut off = 0usize;
+        for _ in 0..2 {
+            let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += HEADER + len;
+        }
+        bytes[off + HEADER] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
         let (_wal, back) = Wal::open(&path).unwrap();
-        assert_eq!(back, records[..1], "prefix ends at the corrupt frame");
+        assert_eq!(back, records[..2], "intact prefix survives");
+        assert_eq!(fs::metadata(&path).unwrap().len(), off as u64);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rollback_removes_an_aborted_append() {
+        let path = tmp("rollback");
+        let records = sample_records();
+        write_all(&path, &records);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let pre = wal.offset();
+        let extra = WalRecord::Batch {
+            epoch: 3,
+            faults: vec![c(6, 6)],
+            repairs: vec![],
+            cert_digest: 13,
+        };
+        // Simulate a publish whose fsync failed after a complete append:
+        // the rollback must erase the record as if it never happened.
+        wal.append(&extra).unwrap();
+        assert!(wal.offset() > pre, "append advanced the logical end");
+        wal.rollback(pre).unwrap();
+        assert_eq!(wal.offset(), pre);
+        // The log still accepts the *same epoch* afterwards — exactly what
+        // the writer's retry with the next batch produces.
+        wal.append(&extra).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_wal, back) = Wal::open(&path).unwrap();
+        assert_eq!(back.len(), 4, "no duplicate-epoch record survives");
+        assert_eq!(back[..3], records);
+        assert_eq!(back[3], extra);
         fs::remove_file(&path).unwrap();
     }
 

@@ -15,7 +15,7 @@
 
 use ocp_core::prelude::*;
 use ocp_mesh::{Coord, Topology};
-use ocp_serve::{MeshService, ServeConfig, Snapshot};
+use ocp_serve::{CertChaos, CertMode, MeshService, ServeConfig, Snapshot};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -143,6 +143,54 @@ fn clean_shutdown_recovers_field_identical_and_keeps_serving() {
     assert_eq!(handle.snapshot().epoch, extended_epoch);
     assert_eq!(grid_digest(&handle.snapshot()), extended_digest);
     again.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recovery_does_not_fabricate_certificates_for_uncertified_epochs() {
+    // A Warn-mode service whose second batch fails its certificate check
+    // publishes that epoch uncertified (cert_digest 0 in the WAL).
+    // Recovery must preserve that fact: re-deriving a certificate for it
+    // would make the audit log claim an artifact that never existed.
+    let path = tmp("warn-uncertified");
+    let config = ServeConfig {
+        cert_mode: CertMode::Warn,
+        cert_chaos: CertChaos::RejectWarmEveryNth(2),
+        ..ServeConfig::default()
+    };
+    let service = MeshService::start_durable(Topology::mesh(SIDE, SIDE), [c(2, 2)], config, &path)
+        .expect("durable service starts");
+    let handle = service.handle();
+    for node in [c(7, 7), c(9, 3)] {
+        assert_eq!(handle.inject_faults(&[node]).accepted, 1);
+        assert!(service.quiesce(Duration::from_secs(30)));
+    }
+    let log = service.epoch_log();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].certificate.is_some(), "batch 1 certified");
+    assert!(log[1].certificate.is_none(), "batch 2 chaos-failed in Warn");
+    service.shutdown();
+
+    let recovered = MeshService::recover(
+        &path,
+        ServeConfig {
+            cert_mode: CertMode::Warn,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("recover succeeds");
+    let log = recovered.epoch_log();
+    assert_eq!(log.len(), 2);
+    assert!(
+        log[0].certificate.is_some(),
+        "certified epoch recovers its certificate"
+    );
+    assert!(
+        log[1].certificate.is_none(),
+        "uncertified epoch must stay uncertified after recovery"
+    );
+    assert!(recovered.handle().certificate(2).is_none());
+    recovered.shutdown();
     let _ = std::fs::remove_file(&path);
 }
 
