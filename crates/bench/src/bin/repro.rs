@@ -24,6 +24,8 @@
 //!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
 //!   durability    publish-path cost of certificates + WAL, on vs off (E18)
 //!   durability-smoke  crash/recover replay gate over a real WAL (CI gate)
+//!   fleet         reactor + fleet at connection scale: sweep, 2x bar, 10k sustain (E19)
+//!   fleet-smoke   512 pipelined conns x 4 tenants, oracle-verified, 2x bar (CI gate)
 //!   bench-check   --in <log>: bench-smoke names vs results/bench_baseline.json
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
@@ -34,8 +36,8 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, durability, fig5, maintenance, models, observability, partition_gap,
-    routeperf, routing_eval, scaling, serve_load, verification, Settings,
+    self, asynchrony, chaos, durability, fig5, fleet, maintenance, models, observability,
+    partition_gap, routeperf, routing_eval, scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -81,7 +83,7 @@ fn parse_args() -> Args {
                 assert!(in_file.is_some(), "--in needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|bench-check|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|fleet|fleet-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -507,6 +509,102 @@ fn run_serve_smoke(args: &Args) {
     println!("serve smoke: clean shutdown OK");
 }
 
+fn run_fleet(args: &Args) {
+    println!(
+        "E19: reactor + fleet at connection scale ({} mode)",
+        if args.settings.side < 100 {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let report = fleet::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E19: fleet load sweep (connections x tenants x depth)",
+            &fleet::table(&report.sweep)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E19: blocking vs reactor serve transports",
+            &fleet::table(&report.comparison)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E19: pipelined connection sustain",
+            &fleet::sustain_table(&report.sustain)
+        )
+    );
+    println!("reactor/blocking speedup: {:.2}x", report.speedup_at_1k);
+    save(&args.out_dir, "fleet", to_json(&report));
+    let quick = args.settings.side < 100;
+    let mismatches: u64 = report.sweep.iter().map(|r| r.mismatches).sum::<u64>()
+        + report.comparison.iter().map(|r| r.mismatches).sum::<u64>()
+        + report.sustain.mismatches;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} replies differed from the in-process oracle");
+        std::process::exit(1);
+    }
+    if !quick {
+        if report.sustain.connections < 10_000
+            || report.sustain.conns_served < report.sustain.connections
+            || report.sustain.conns_lost > 0
+        {
+            eprintln!(
+                "FAIL: sustain bar not met: {}/{} connections served, {} lost",
+                report.sustain.conns_served, report.sustain.connections, report.sustain.conns_lost
+            );
+            std::process::exit(1);
+        }
+        if report.speedup_at_1k < 2.0 {
+            eprintln!(
+                "FAIL: reactor speedup {:.2}x is below the 2x acceptance bar",
+                report.speedup_at_1k
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_fleet_smoke(args: &Args) {
+    let report = fleet::smoke(args.settings.seed);
+    println!(
+        "fleet smoke: {} conns x {} tenants, {} verified replies ({} mismatches), {} served / {} lost",
+        report.connections,
+        report.tenants,
+        report.verified,
+        report.mismatches,
+        report.conns_served,
+        report.conns_lost
+    );
+    println!(
+        "fleet smoke: blocking {:.0} req/s vs reactor {:.0} req/s ({:.2}x)",
+        report.blocking_throughput, report.reactor_throughput, report.speedup
+    );
+    assert!(report.connections >= 512, "smoke ran too few connections");
+    assert!(report.tenants >= 4, "smoke ran too few tenants");
+    assert_eq!(
+        report.mismatches, 0,
+        "replies differed from the in-process oracle"
+    );
+    assert_eq!(
+        report.conns_served, report.connections,
+        "some connections never completed a verified reply"
+    );
+    assert_eq!(report.conns_lost, 0, "connections were lost mid-run");
+    assert!(
+        report.speedup >= 2.0,
+        "reactor speedup {:.2}x is below the 2x bar",
+        report.speedup
+    );
+    println!("fleet smoke: multi-tenant pipelined serving OK");
+}
+
 fn run_example_sec3() {
     use ocp_core::prelude::*;
     let fx = ocp_workloads::fixtures::sec3_example();
@@ -566,6 +664,17 @@ fn main() {
         "obs-smoke" => run_obs_smoke(&args),
         "durability" => run_durability(&args),
         "durability-smoke" => run_durability_smoke(&args),
+        "fleet" => run_fleet(&args),
+        "fleet-smoke" => run_fleet_smoke(&args),
+        // Internal: the out-of-process load driver the fleet sustain
+        // exhibit re-execs (stdout carries exactly one JSON object).
+        "fleet-driver" => {
+            let spec = args
+                .in_file
+                .as_ref()
+                .expect("fleet-driver needs --in <spec>");
+            println!("{}", fleet::drive_spec_file(spec));
+        }
         "bench-check" => run_bench_check(&args),
         "example-sec3" => run_example_sec3(),
         "all" => {
@@ -581,6 +690,7 @@ fn main() {
             run_routeperf(&args);
             run_obs(&args);
             run_durability(&args);
+            run_fleet(&args);
             run_verify(&args);
             run_example_sec3();
         }

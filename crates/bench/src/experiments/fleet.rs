@@ -1,0 +1,1060 @@
+//! E19: fleet serving at connection scale — the reactor transport and
+//! the multi-tenant fleet under thousands of concurrent pipelined
+//! connections.
+//!
+//! Three exhibits:
+//!
+//! * **Connection sweep** — closed- and open-loop load against a
+//!   [`FleetFront`] (reactor event loop, framing v2) across connections
+//!   × tenants × pipeline depth. Every reply is byte-compared against
+//!   the in-process oracle (the same `FleetHandle` dispatch that
+//!   produced it), so throughput numbers only count *verified* replies.
+//! * **Transport comparison** — `ocp-serve`'s two TCP transports at 1k
+//!   connections over the same `MeshService`: the pinned blocking
+//!   thread-per-connection reference (framing v1, one request per round
+//!   trip — what the old `Client` does) vs one reactor thread + worker
+//!   pool multiplexing pipelined v2 frames. The acceptance bar is
+//!   reactor ≥ 2× blocking.
+//! * **Sustain** — ≥ 10,000 concurrent pipelined connections across the
+//!   fleet, every connection served at least one verified reply inside
+//!   the window, zero byte mismatches.
+//!
+//! The load driver is a single-threaded epoll client built on the same
+//! [`ocp_reactor::Poll`] shim the server uses: nonblocking
+//! `std::net::TcpStream`s, per-connection [`FrameDecoder`]s, and
+//! interest-managed write buffers. One thread comfortably drives tens
+//! of thousands of sockets, which is the point of the experiment.
+
+use super::Settings;
+use ocp_analysis::Table;
+use ocp_fleet::{Fleet, FleetConfig, FleetFront, FleetRequest, FleetResponse, TenantSpec};
+use ocp_mesh::{Coord, Topology};
+use ocp_reactor::{
+    encode_v1_into, encode_v2_into, sys, DecodedFrame, Events, FrameDecoder, Interest, Poll,
+    ReactorConfig, Token,
+};
+use ocp_serve::{dispatch_bytes, CertMode, MeshService, Request, ServeConfig, TcpFront, Transport};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// File-descriptor headroom requested before mass-connection runs.
+/// When the hard limit cannot move (containers often drop
+/// `CAP_SYS_RESOURCE`), the sustain exhibit splits the driver into a
+/// child process so neither side needs more than `connections` + slack
+/// descriptors.
+const NOFILE_WANT: u64 = 60_000;
+
+/// A wire request plus the oracle's reply bytes, shared across the
+/// driver connections that repeat it.
+type RequestPair = (Arc<Vec<u8>>, Arc<Vec<u8>>);
+
+/// A tenant's name with its [`RequestPair`].
+type TenantWorkload = (String, Arc<Vec<u8>>, Arc<Vec<u8>>);
+
+/// Which framing the driver speaks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    /// Length-prefixed frames, replies in order (the legacy protocol).
+    V1,
+    /// Magic handshake + correlation ids, replies in any order.
+    V2,
+}
+
+// ---------------------------------------------------------------------
+// The mass-connection driver
+// ---------------------------------------------------------------------
+
+struct DriverConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    inflight: usize,
+    completed: u64,
+    mismatches: u64,
+    /// The request payload this connection repeats.
+    request: Arc<Vec<u8>>,
+    /// The oracle's reply bytes; every received payload must equal this.
+    expected: Arc<Vec<u8>>,
+    next_corr: u64,
+    wants_write: bool,
+    closed: bool,
+}
+
+impl DriverConn {
+    fn enqueue(&mut self, wire: Wire) {
+        match wire {
+            Wire::V1 => encode_v1_into(&mut self.outbuf, &self.request),
+            Wire::V2 => {
+                encode_v2_into(&mut self.outbuf, self.next_corr, &self.request);
+                self.next_corr = self.next_corr.wrapping_add(1);
+            }
+        }
+        self.inflight += 1;
+    }
+}
+
+/// Outcome of one driver run.
+struct DriveOutcome {
+    completed: u64,
+    mismatches: u64,
+    /// Connections that completed at least one verified reply.
+    conns_served: usize,
+    /// Connections the peer closed or errored mid-run.
+    conns_lost: usize,
+    elapsed: Duration,
+}
+
+struct MassDriver {
+    poll: Poll,
+    conns: Vec<DriverConn>,
+    wire: Wire,
+    scratch: Vec<u8>,
+}
+
+impl MassDriver {
+    /// Connects `specs.len()` sockets to `addr` (one driver connection
+    /// per spec), completing the v2 handshake eagerly while the socket
+    /// is still blocking.
+    fn connect(addr: SocketAddr, wire: Wire, specs: &[RequestPair]) -> std::io::Result<MassDriver> {
+        let poll = Poll::new()?;
+        let mut conns = Vec::with_capacity(specs.len());
+        for (i, (request, expected)) in specs.iter().enumerate() {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            if wire == Wire::V2 {
+                stream.write_all(&ocp_reactor::MAGIC)?;
+                let mut echo = [0u8; 4];
+                stream.read_exact(&mut echo)?;
+                if echo != ocp_reactor::MAGIC {
+                    return Err(std::io::Error::other("server did not echo the v2 magic"));
+                }
+            }
+            stream.set_nonblocking(true)?;
+            poll.register(stream.as_raw_fd(), Token(i), Interest::READABLE)?;
+            conns.push(DriverConn {
+                stream,
+                decoder: if wire == Wire::V2 {
+                    FrameDecoder::new_v2()
+                } else {
+                    FrameDecoder::new()
+                },
+                outbuf: Vec::new(),
+                outpos: 0,
+                inflight: 0,
+                completed: 0,
+                mismatches: 0,
+                request: request.clone(),
+                expected: expected.clone(),
+                next_corr: 1,
+                wants_write: false,
+                closed: false,
+            });
+        }
+        Ok(MassDriver {
+            poll,
+            conns,
+            wire,
+            scratch: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Closed-loop run: every connection keeps `depth` requests in
+    /// flight until `window` elapses, then drains the remainder.
+    fn run_closed(&mut self, depth: usize, window: Duration) -> DriveOutcome {
+        let start = Instant::now();
+        let deadline = start + window;
+        for i in 0..self.conns.len() {
+            for _ in 0..depth {
+                self.conns[i].enqueue(self.wire);
+            }
+            self.flush(i);
+        }
+        let mut events = Events::with_capacity(1024);
+        let drain_deadline = deadline + Duration::from_secs(10);
+        loop {
+            let refill = Instant::now() < deadline;
+            if !refill && self.conns.iter().all(|c| c.closed || c.inflight == 0) {
+                break;
+            }
+            if Instant::now() > drain_deadline {
+                break;
+            }
+            self.poll.poll(&mut events, Some(100)).expect("driver poll");
+            for event in events.iter() {
+                let idx = event.token().0;
+                if event.is_readable() || event.is_error() {
+                    self.on_readable(idx, depth, refill);
+                }
+                if event.is_writable() {
+                    self.flush(idx);
+                }
+            }
+        }
+        self.outcome(start.elapsed())
+    }
+
+    /// Open-loop run: requests are issued on a fixed global schedule of
+    /// `rate` requests/second spread round-robin over connections,
+    /// regardless of completions (bounded by `max_inflight` per
+    /// connection so a stalled server cannot buffer unboundedly).
+    fn run_open(
+        &mut self,
+        rate: f64,
+        window: Duration,
+        max_inflight: usize,
+    ) -> (DriveOutcome, u64) {
+        let start = Instant::now();
+        let deadline = start + window;
+        let mut events = Events::with_capacity(1024);
+        let mut scheduled: u64 = 0;
+        let mut sent: u64 = 0;
+        let mut cursor = 0usize;
+        let drain_deadline = deadline + Duration::from_secs(10);
+        loop {
+            let now = Instant::now();
+            if now < deadline {
+                let due = (now.duration_since(start).as_secs_f64() * rate) as u64;
+                while scheduled < due {
+                    // Round-robin; skip connections at their cap (those
+                    // arrivals are *shed*, which the delivery ratio
+                    // reports honestly).
+                    let mut placed = false;
+                    for _ in 0..self.conns.len() {
+                        let i = cursor % self.conns.len();
+                        cursor += 1;
+                        let conn = &mut self.conns[i];
+                        if !conn.closed && conn.inflight < max_inflight {
+                            conn.enqueue(self.wire);
+                            self.flush(i);
+                            placed = true;
+                            break;
+                        }
+                    }
+                    scheduled += 1;
+                    if placed {
+                        sent += 1;
+                    }
+                }
+            } else if now > drain_deadline || self.conns.iter().all(|c| c.closed || c.inflight == 0)
+            {
+                break;
+            }
+            self.poll.poll(&mut events, Some(1)).expect("driver poll");
+            for event in events.iter() {
+                let idx = event.token().0;
+                if event.is_readable() || event.is_error() {
+                    self.on_readable(idx, 0, false);
+                }
+                if event.is_writable() {
+                    self.flush(idx);
+                }
+            }
+        }
+        (self.outcome(start.elapsed()), sent)
+    }
+
+    fn on_readable(&mut self, idx: usize, depth: usize, refill: bool) {
+        let mut finished = 0usize;
+        {
+            let conn = &mut self.conns[idx];
+            if conn.closed {
+                return;
+            }
+            loop {
+                match conn.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        conn.closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.extend(&self.scratch[..n]);
+                        loop {
+                            match conn.decoder.next_frame() {
+                                Ok(Some(frame)) => {
+                                    let payload = match &frame {
+                                        DecodedFrame::V1 { payload } => &payload[..],
+                                        DecodedFrame::V2 { payload, .. } => &payload[..],
+                                        DecodedFrame::Hello => continue,
+                                    };
+                                    if payload != conn.expected.as_slice() {
+                                        conn.mismatches += 1;
+                                    }
+                                    conn.completed += 1;
+                                    conn.inflight = conn.inflight.saturating_sub(1);
+                                    finished += 1;
+                                }
+                                Ok(None) => break,
+                                Err(e) => panic!("driver frame error: {e:?}"),
+                            }
+                        }
+                        if n < self.scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.closed = true;
+                        break;
+                    }
+                }
+            }
+            if refill && !conn.closed {
+                for _ in 0..finished.min(depth) {
+                    if conn.inflight < depth {
+                        conn.enqueue(self.wire);
+                    }
+                }
+            }
+        }
+        if finished > 0 {
+            self.flush(idx);
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts, keeping
+    /// WRITABLE interest only while bytes remain (level-triggered epoll
+    /// would spin otherwise).
+    fn flush(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if conn.closed {
+            return;
+        }
+        while conn.outpos < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => {
+                    conn.closed = true;
+                    return;
+                }
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closed = true;
+                    return;
+                }
+            }
+        }
+        if conn.outpos >= conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.outpos = 0;
+        } else if conn.outpos >= 64 * 1024 {
+            conn.outbuf.drain(..conn.outpos);
+            conn.outpos = 0;
+        }
+        let want_write = conn.outpos < conn.outbuf.len();
+        if want_write != conn.wants_write {
+            conn.wants_write = want_write;
+            let interest = if want_write {
+                Interest::READABLE.with(Interest::WRITABLE)
+            } else {
+                Interest::READABLE
+            };
+            let _ = self
+                .poll
+                .reregister(conn.stream.as_raw_fd(), Token(idx), interest);
+        }
+    }
+
+    fn outcome(&self, elapsed: Duration) -> DriveOutcome {
+        DriveOutcome {
+            completed: self.conns.iter().map(|c| c.completed).sum(),
+            mismatches: self.conns.iter().map(|c| c.mismatches).sum(),
+            conns_served: self.conns.iter().filter(|c| c.completed > 0).count(),
+            conns_lost: self.conns.iter().filter(|c| c.closed).count(),
+            elapsed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Out-of-process driving
+// ---------------------------------------------------------------------
+//
+// The sustain exhibit holds client *and* server ends of every
+// connection; at 10k connections that is ~20k descriptors — more than
+// one process gets when the container pins RLIMIT_NOFILE. Load
+// generators are separate processes in real deployments anyway, so the
+// sustain driver runs as a re-exec of the `repro` binary (the hidden
+// `fleet-driver` command): the parent keeps the server's ~10k accepted
+// sockets, the child keeps the ~10k client sockets, and the child
+// reports its outcome as one JSON object on stdout.
+
+/// One request/expected-reply byte pair, as shipped to the driver child.
+#[derive(Serialize, Deserialize)]
+struct DriverPair {
+    request: Vec<u8>,
+    expected: Vec<u8>,
+}
+
+/// Everything the driver child needs to run one closed-loop exhibit.
+#[derive(Serialize, Deserialize)]
+struct DriverSpec {
+    addr: String,
+    v2: bool,
+    connections: usize,
+    depth: usize,
+    window_ms: u64,
+    pairs: Vec<DriverPair>,
+}
+
+/// The child's outcome, reported back over stdout.
+#[derive(Serialize, Deserialize)]
+struct DriverOutcomeWire {
+    completed: u64,
+    mismatches: u64,
+    conns_served: usize,
+    conns_lost: usize,
+    elapsed_ms: u64,
+}
+
+/// Entry point for the hidden `repro -- fleet-driver --in <spec>`
+/// command: runs the closed-loop driver described by the spec file and
+/// returns the outcome as a JSON string (the child prints it to stdout,
+/// which must carry nothing else).
+pub fn drive_spec_file(path: &Path) -> String {
+    let _ = sys::raise_nofile_limit(NOFILE_WANT);
+    let bytes = std::fs::read(path).expect("read driver spec");
+    let spec: DriverSpec = serde_json::from_slice(&bytes).expect("parse driver spec");
+    let addr: SocketAddr = spec.addr.parse().expect("driver spec addr");
+    let wire = if spec.v2 { Wire::V2 } else { Wire::V1 };
+    let pairs: Vec<RequestPair> = spec
+        .pairs
+        .into_iter()
+        .map(|p| (Arc::new(p.request), Arc::new(p.expected)))
+        .collect();
+    let specs: Vec<_> = (0..spec.connections)
+        .map(|i| pairs[i % pairs.len()].clone())
+        .collect();
+    let mut driver = MassDriver::connect(addr, wire, &specs).expect("driver child connect");
+    let outcome = driver.run_closed(spec.depth, Duration::from_millis(spec.window_ms));
+    serde_json::to_string(&DriverOutcomeWire {
+        completed: outcome.completed,
+        mismatches: outcome.mismatches,
+        conns_served: outcome.conns_served,
+        conns_lost: outcome.conns_lost,
+        elapsed_ms: outcome.elapsed.as_millis() as u64,
+    })
+    .expect("serialize driver outcome")
+}
+
+/// Runs a closed-loop drive in a re-exec'd child process (see the
+/// module note above on descriptor budgets).
+fn drive_in_child(
+    addr: SocketAddr,
+    wire: Wire,
+    tenant_specs: &[TenantWorkload],
+    connections: usize,
+    depth: usize,
+    window: Duration,
+) -> DriveOutcome {
+    let spec = DriverSpec {
+        addr: addr.to_string(),
+        v2: wire == Wire::V2,
+        connections,
+        depth,
+        window_ms: window.as_millis() as u64,
+        pairs: tenant_specs
+            .iter()
+            .map(|(_, request, expected)| DriverPair {
+                request: request.as_ref().clone(),
+                expected: expected.as_ref().clone(),
+            })
+            .collect(),
+    };
+    let path = std::env::temp_dir().join(format!("ocp-fleet-driver-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_vec(&spec).expect("serialize spec"))
+        .expect("write driver spec");
+    let exe = std::env::current_exe().expect("current exe");
+    let output = std::process::Command::new(exe)
+        .arg("fleet-driver")
+        .arg("--in")
+        .arg(&path)
+        .output()
+        .expect("spawn driver child");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        output.status.success(),
+        "driver child failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let wire_out: DriverOutcomeWire =
+        serde_json::from_slice(&output.stdout).expect("parse driver outcome");
+    DriveOutcome {
+        completed: wire_out.completed,
+        mismatches: wire_out.mismatches,
+        conns_served: wire_out.conns_served,
+        conns_lost: wire_out.conns_lost,
+        elapsed: Duration::from_millis(wire_out.elapsed_ms),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload construction
+// ---------------------------------------------------------------------
+
+/// Builds a fleet with `tenants` tenants (varied fault sets, shared
+/// 16×16 shape) and returns, per tenant, the wire request and the
+/// oracle's reply bytes.
+fn fleet_with_tenants(tenants: usize) -> (Fleet, Vec<TenantWorkload>) {
+    let config = FleetConfig {
+        shards: 8,
+        max_tenants: tenants.max(64),
+        // The driver hammers a few tenants as hard as it can; admission
+        // experiments live in the fleet crate's tests, not here.
+        tenant_burst: u64::MAX / 2,
+        tenant_rate: u64::MAX / 2,
+        max_connections: 20_000,
+        max_inflight_bytes: 1 << 30,
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::new(config).expect("in-memory fleet");
+    let handle = fleet.handle();
+    let mut specs = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let name = format!("tenant-{i}");
+        let spec = TenantSpec {
+            topology: Topology::mesh(16, 16),
+            initial_faults: vec![Coord::new((i % 8) as i32 + 2, 5)],
+            rule: ocp_core::prelude::SafetyRule::BothDimensions,
+            cert_mode: CertMode::Enforce,
+        };
+        match handle.dispatch(FleetRequest::CreateTenant {
+            name: name.clone(),
+            spec,
+        }) {
+            FleetResponse::Created { .. } => {}
+            other => panic!("tenant creation failed: {other:?}"),
+        }
+        let request = FleetRequest::Tenant {
+            tenant: name.clone(),
+            request: Request::RouteLen {
+                src: Coord::new(0, 0),
+                dst: Coord::new(15, 15),
+            },
+        };
+        let payload = serde_json::to_vec(&request).expect("serialize");
+        // The oracle: the same dispatch the wire path runs, in-process.
+        // A static fleet makes the reply a pure function of the request.
+        let expected = handle.dispatch_bytes(&payload);
+        specs.push((name, Arc::new(payload), Arc::new(expected)));
+    }
+    (fleet, specs)
+}
+
+/// Spreads the per-tenant specs across `connections` driver slots
+/// round-robin.
+fn conn_specs(tenant_specs: &[TenantWorkload], connections: usize) -> Vec<RequestPair> {
+    (0..connections)
+        .map(|i| {
+            let (_, request, expected) = &tenant_specs[i % tenant_specs.len()];
+            (request.clone(), expected.clone())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rows and report
+// ---------------------------------------------------------------------
+
+/// One measured cell of the fleet load sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetLoadRow {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// `"reactor-v2"`, `"reactor-v1"`, or `"blocking-v1"`.
+    pub transport: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Tenants the load is spread over (1 for the serve comparison).
+    pub tenants: usize,
+    /// Pipelined requests in flight per connection.
+    pub depth: usize,
+    /// Wall-clock measurement window in milliseconds.
+    pub duration_ms: u64,
+    /// Verified replies received.
+    pub requests: u64,
+    /// Verified replies per second.
+    pub throughput: f64,
+    /// Replies whose bytes differed from the in-process oracle
+    /// (must be zero; kept in the record so drift is visible).
+    pub mismatches: u64,
+    /// Open loop only: offered arrivals per second (0 for closed).
+    pub offered_rate: f64,
+    /// Open loop only: completed / issued (1.0 for closed).
+    pub delivery_ratio: f64,
+}
+
+/// The 10k-connection sustain exhibit.
+#[derive(Clone, Debug, Serialize)]
+pub struct SustainRow {
+    /// Concurrent pipelined connections held open.
+    pub connections: usize,
+    /// Tenants the connections are spread over.
+    pub tenants: usize,
+    /// Verified replies completed inside the window.
+    pub completed: u64,
+    /// Byte mismatches vs the oracle (must be 0).
+    pub mismatches: u64,
+    /// Connections that completed ≥ 1 verified reply (must equal
+    /// `connections`).
+    pub conns_served: usize,
+    /// Connections lost to errors or early close (must be 0).
+    pub conns_lost: usize,
+    /// Window length in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// Everything E19 measures.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetReport {
+    /// Closed/open-loop sweep over connections × tenants × depth.
+    pub sweep: Vec<FleetLoadRow>,
+    /// Blocking vs reactor serve transports at 1k connections.
+    pub comparison: Vec<FleetLoadRow>,
+    /// Reactor throughput / blocking throughput at 1k connections.
+    pub speedup_at_1k: f64,
+    /// The mass-connection sustain run.
+    pub sustain: SustainRow,
+}
+
+/// Builds a row; `open` carries the open-loop (offered rate, issued
+/// count) pair, `None` for closed-loop rows.
+fn sweep_row(
+    mode: &str,
+    transport: &str,
+    connections: usize,
+    tenants: usize,
+    depth: usize,
+    outcome: &DriveOutcome,
+    open: Option<(f64, u64)>,
+) -> FleetLoadRow {
+    let secs = outcome.elapsed.as_secs_f64();
+    let (offered_rate, issued) = open.unwrap_or((0.0, 0));
+    FleetLoadRow {
+        mode: mode.into(),
+        transport: transport.into(),
+        connections,
+        tenants,
+        depth,
+        duration_ms: outcome.elapsed.as_millis() as u64,
+        requests: outcome.completed,
+        throughput: if secs > 0.0 {
+            outcome.completed as f64 / secs
+        } else {
+            0.0
+        },
+        mismatches: outcome.mismatches,
+        offered_rate,
+        delivery_ratio: if issued > 0 {
+            outcome.completed as f64 / issued as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The exhibits
+// ---------------------------------------------------------------------
+
+/// Measures one closed-loop cell against a fleet front.
+fn fleet_closed_cell(
+    addr: SocketAddr,
+    tenant_specs: &[TenantWorkload],
+    connections: usize,
+    depth: usize,
+    window: Duration,
+) -> FleetLoadRow {
+    let specs = conn_specs(tenant_specs, connections);
+    let mut driver = MassDriver::connect(addr, Wire::V2, &specs).expect("driver connect");
+    let outcome = driver.run_closed(depth, window);
+    sweep_row(
+        "closed",
+        "reactor-v2",
+        connections,
+        tenant_specs.len(),
+        depth,
+        &outcome,
+        None,
+    )
+}
+
+/// The full E19 sweep + comparison + sustain.
+pub fn run(settings: &Settings) -> FleetReport {
+    let _ = sys::raise_nofile_limit(NOFILE_WANT);
+    let quick = settings.side < 100;
+    let window = Duration::from_millis(if quick { 500 } else { 1500 });
+
+    // -- sweep: connections × depth at 4 tenants, plus a tenant axis --
+    let (fleet, tenant_specs) = fleet_with_tenants(4);
+    let front = FleetFront::start(
+        fleet.handle(),
+        ocp_reactor::loopback(),
+        ReactorConfig::default(),
+    )
+    .expect("fleet front");
+    let addr = front.local_addr();
+
+    let mut sweep = Vec::new();
+    let conn_axis: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let depth_axis: &[usize] = &[1, 8, 32];
+    for &connections in conn_axis {
+        for &depth in depth_axis {
+            sweep.push(fleet_closed_cell(
+                addr,
+                &tenant_specs,
+                connections,
+                depth,
+                window,
+            ));
+        }
+    }
+    // Open loop at the middle connection count: offered rates bracketing
+    // the closed-loop capacity observed above.
+    let mid_conns = conn_axis[conn_axis.len() / 2];
+    let closed_rate = sweep
+        .iter()
+        .filter(|r| r.connections == mid_conns && r.depth == 8)
+        .map(|r| r.throughput)
+        .next()
+        .unwrap_or(10_000.0);
+    for factor in [0.5, 0.9] {
+        let rate = closed_rate * factor;
+        let specs = conn_specs(&tenant_specs, mid_conns);
+        let mut driver = MassDriver::connect(addr, Wire::V2, &specs).expect("driver connect");
+        let (outcome, issued) = driver.run_open(rate, window, 64);
+        sweep.push(sweep_row(
+            "open",
+            "reactor-v2",
+            mid_conns,
+            tenant_specs.len(),
+            64,
+            &outcome,
+            Some((rate, issued)),
+        ));
+    }
+    // Tenant axis at fixed connections/depth.
+    front.shutdown();
+    fleet.shutdown(Duration::from_secs(5));
+    for tenants in [1usize, 16] {
+        let (fleet, tenant_specs) = fleet_with_tenants(tenants);
+        let front = FleetFront::start(
+            fleet.handle(),
+            ocp_reactor::loopback(),
+            ReactorConfig::default(),
+        )
+        .expect("fleet front");
+        sweep.push(fleet_closed_cell(
+            front.local_addr(),
+            &tenant_specs,
+            conn_axis[conn_axis.len() - 1],
+            8,
+            window,
+        ));
+        front.shutdown();
+        fleet.shutdown(Duration::from_secs(5));
+    }
+
+    // -- transport comparison at 1k connections --
+    let comparison_conns = if quick { 128 } else { 1000 };
+    let (comparison, speedup_at_1k) = transport_comparison(comparison_conns, window);
+
+    // -- sustain --
+    let sustain_conns = if quick { 1024 } else { 10_000 };
+    let sustain = sustain_exhibit(
+        sustain_conns,
+        8,
+        Duration::from_secs(if quick { 2 } else { 5 }),
+    );
+
+    FleetReport {
+        sweep,
+        comparison,
+        speedup_at_1k,
+        sustain,
+    }
+}
+
+/// Blocking vs reactor serve transports over the same `MeshService` at
+/// `connections` concurrent connections. Blocking is measured the way
+/// its `Client` uses it (framing v1, one request per round trip);
+/// the reactor is measured with its pipelined v2 multiplexing (depth 8)
+/// — the feature the event loop exists to provide.
+fn transport_comparison(connections: usize, window: Duration) -> (Vec<FleetLoadRow>, f64) {
+    let service = MeshService::start(Topology::mesh(16, 16), [], ServeConfig::default())
+        .expect("comparison service");
+    let request = Request::RouteLen {
+        src: Coord::new(0, 0),
+        dst: Coord::new(15, 15),
+    };
+    let payload = Arc::new(serde_json::to_vec(&request).expect("serialize"));
+    let mut oracle = service.handle();
+    let expected = Arc::new(dispatch_bytes(&mut oracle, &payload));
+    let specs: Vec<_> = (0..connections)
+        .map(|_| (payload.clone(), expected.clone()))
+        .collect();
+
+    let mut rows = Vec::new();
+
+    let blocking =
+        TcpFront::start(&service, "127.0.0.1:0", Transport::Blocking).expect("blocking front");
+    let mut driver =
+        MassDriver::connect(blocking.local_addr(), Wire::V1, &specs).expect("driver connect");
+    let outcome = driver.run_closed(1, window);
+    rows.push(sweep_row(
+        "closed",
+        "blocking-v1",
+        connections,
+        1,
+        1,
+        &outcome,
+        None,
+    ));
+    drop(driver);
+    blocking.shutdown();
+
+    let reactor =
+        TcpFront::start(&service, "127.0.0.1:0", Transport::Reactor).expect("reactor front");
+    let mut driver =
+        MassDriver::connect(reactor.local_addr(), Wire::V2, &specs).expect("driver connect");
+    let outcome = driver.run_closed(8, window);
+    rows.push(sweep_row(
+        "closed",
+        "reactor-v2",
+        connections,
+        1,
+        8,
+        &outcome,
+        None,
+    ));
+    drop(driver);
+    reactor.shutdown();
+    service.shutdown();
+
+    let blocking_tput = rows[0].throughput.max(1.0);
+    let speedup = rows[1].throughput / blocking_tput;
+    (rows, speedup)
+}
+
+/// Holds `connections` pipelined connections open across `tenants`
+/// tenants for `window`, requiring every connection to complete
+/// verified work. The driver runs out-of-process so the parent's
+/// descriptor budget is spent only on the server's accepted sockets.
+fn sustain_exhibit(connections: usize, tenants: usize, window: Duration) -> SustainRow {
+    let _ = sys::raise_nofile_limit(NOFILE_WANT);
+    let (fleet, tenant_specs) = fleet_with_tenants(tenants);
+    let front = FleetFront::start(
+        fleet.handle(),
+        ocp_reactor::loopback(),
+        ReactorConfig::default(),
+    )
+    .expect("fleet front");
+    let outcome = drive_in_child(
+        front.local_addr(),
+        Wire::V2,
+        &tenant_specs,
+        connections,
+        2,
+        window,
+    );
+    front.shutdown();
+    fleet.shutdown(Duration::from_secs(5));
+    SustainRow {
+        connections,
+        tenants,
+        completed: outcome.completed,
+        mismatches: outcome.mismatches,
+        conns_served: outcome.conns_served,
+        conns_lost: outcome.conns_lost,
+        duration_ms: outcome.elapsed.as_millis() as u64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Smoke gate
+// ---------------------------------------------------------------------
+
+/// What `repro -- fleet-smoke` measured; the caller enforces the bars.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetSmokeReport {
+    /// Tenants in the smoke fleet.
+    pub tenants: usize,
+    /// Concurrent pipelined connections driven.
+    pub connections: usize,
+    /// Verified replies received.
+    pub verified: u64,
+    /// Byte mismatches vs the oracle.
+    pub mismatches: u64,
+    /// Connections that completed ≥ 1 verified reply.
+    pub conns_served: usize,
+    /// Connections lost mid-run.
+    pub conns_lost: usize,
+    /// Blocking-transport closed-loop throughput (req/s).
+    pub blocking_throughput: f64,
+    /// Reactor-transport closed-loop throughput (req/s).
+    pub reactor_throughput: f64,
+    /// `reactor_throughput / blocking_throughput`.
+    pub speedup: f64,
+}
+
+/// The CI gate: ≥ 512 pipelined connections across ≥ 4 tenants with
+/// every reply oracle-verified, plus the 2× reactor-vs-blocking bar at
+/// 1k connections.
+pub fn smoke(_seed: u64) -> FleetSmokeReport {
+    let _ = sys::raise_nofile_limit(NOFILE_WANT);
+
+    // Part 1: multi-tenant pipelined verification.
+    const TENANTS: usize = 4;
+    const CONNECTIONS: usize = 512;
+    let (fleet, tenant_specs) = fleet_with_tenants(TENANTS);
+    let front = FleetFront::start(
+        fleet.handle(),
+        ocp_reactor::loopback(),
+        ReactorConfig::default(),
+    )
+    .expect("fleet front");
+    let specs = conn_specs(&tenant_specs, CONNECTIONS);
+    let mut driver =
+        MassDriver::connect(front.local_addr(), Wire::V2, &specs).expect("driver connect");
+    let outcome = driver.run_closed(4, Duration::from_millis(1200));
+    drop(driver);
+    front.shutdown();
+    fleet.shutdown(Duration::from_secs(5));
+
+    // Part 2: the 2× transport bar at 1k connections.
+    let (comparison, speedup) = transport_comparison(1000, Duration::from_millis(1500));
+
+    FleetSmokeReport {
+        tenants: TENANTS,
+        connections: CONNECTIONS,
+        verified: outcome.completed,
+        mismatches: outcome.mismatches,
+        conns_served: outcome.conns_served,
+        conns_lost: outcome.conns_lost,
+        blocking_throughput: comparison[0].throughput,
+        reactor_throughput: comparison[1].throughput,
+        speedup,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Renders the sweep (and comparison) rows.
+pub fn table(rows: &[FleetLoadRow]) -> Table {
+    let mut t = Table::new([
+        "mode",
+        "transport",
+        "conns",
+        "tenants",
+        "depth",
+        "req/s",
+        "verified",
+        "mismatch",
+        "offered/s",
+        "delivered",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.mode.clone(),
+            r.transport.clone(),
+            r.connections.to_string(),
+            r.tenants.to_string(),
+            r.depth.to_string(),
+            format!("{:.0}", r.throughput),
+            r.requests.to_string(),
+            r.mismatches.to_string(),
+            if r.offered_rate > 0.0 {
+                format!("{:.0}", r.offered_rate)
+            } else {
+                "-".into()
+            },
+            format!("{:.3}", r.delivery_ratio),
+        ]);
+    }
+    t
+}
+
+/// Renders the sustain exhibit.
+pub fn sustain_table(row: &SustainRow) -> Table {
+    let mut t = Table::new([
+        "conns",
+        "tenants",
+        "completed",
+        "mismatch",
+        "served",
+        "lost",
+        "window ms",
+    ]);
+    t.push_row([
+        row.connections.to_string(),
+        row.tenants.to_string(),
+        row.completed.to_string(),
+        row.mismatches.to_string(),
+        row.conns_served.to_string(),
+        row.conns_lost.to_string(),
+        row.duration_ms.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end pass through the driver: small fleet,
+    /// modest connection count, every reply oracle-verified.
+    #[test]
+    fn driver_verifies_replies_against_the_oracle() {
+        let (fleet, tenant_specs) = fleet_with_tenants(2);
+        let front = FleetFront::start(
+            fleet.handle(),
+            ocp_reactor::loopback(),
+            ReactorConfig::default(),
+        )
+        .unwrap();
+        let specs = conn_specs(&tenant_specs, 16);
+        let mut driver = MassDriver::connect(front.local_addr(), Wire::V2, &specs).unwrap();
+        let outcome = driver.run_closed(4, Duration::from_millis(200));
+        assert_eq!(outcome.mismatches, 0);
+        assert_eq!(outcome.conns_served, 16, "every connection saw a reply");
+        assert_eq!(outcome.conns_lost, 0);
+        assert!(outcome.completed >= 16 * 4);
+        drop(driver);
+        front.shutdown();
+        fleet.shutdown(Duration::from_secs(5));
+    }
+
+    /// The v1 leg of the driver against the blocking reference server.
+    #[test]
+    fn driver_speaks_v1_to_the_blocking_transport() {
+        let service = MeshService::start(Topology::mesh(8, 8), [], ServeConfig::default()).unwrap();
+        let request = Request::Epoch;
+        let payload = Arc::new(serde_json::to_vec(&request).unwrap());
+        let mut oracle = service.handle();
+        let expected = Arc::new(dispatch_bytes(&mut oracle, &payload));
+        let specs: Vec<_> = (0..8)
+            .map(|_| (payload.clone(), expected.clone()))
+            .collect();
+        let front = TcpFront::start(&service, "127.0.0.1:0", Transport::Blocking).unwrap();
+        let mut driver = MassDriver::connect(front.local_addr(), Wire::V1, &specs).unwrap();
+        let outcome = driver.run_closed(1, Duration::from_millis(150));
+        assert_eq!(outcome.mismatches, 0);
+        assert_eq!(outcome.conns_served, 8);
+        drop(driver);
+        front.shutdown();
+        service.shutdown();
+    }
+}

@@ -4,6 +4,7 @@ pub mod asynchrony;
 pub mod chaos;
 pub mod durability;
 pub mod fig5;
+pub mod fleet;
 pub mod maintenance;
 pub mod models;
 pub mod observability;

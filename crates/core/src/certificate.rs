@@ -1538,7 +1538,9 @@ mod tests {
         let (map, out) = two_by_three();
         let mut cert = EpochCertificate::describe(1, &map, &out);
         cert.regions[0].closure_cells += 1;
-        let errs = cert.check(&map, &out).expect_err("tampered closure witness");
+        let errs = cert
+            .check(&map, &out)
+            .expect_err("tampered closure witness");
         assert!(
             errs.iter().any(
                 |v| matches!(v, Violation::CertificateMismatch { what } if what.contains("witness"))

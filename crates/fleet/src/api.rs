@@ -1,0 +1,185 @@
+//! The fleet wire protocol: tenant lifecycle plus tenant-scoped
+//! mesh-service requests, all serde-typed.
+//!
+//! A fleet frame is one JSON-encoded [`FleetRequest`]; the reply is one
+//! JSON-encoded [`FleetResponse`]. Tenant-scoped traffic wraps the
+//! ordinary [`ocp_serve::Request`]/[`ocp_serve::Response`] pair, so a
+//! fleet client reuses every request the single-service protocol
+//! already defines — the fleet adds only the addressing envelope and
+//! the lifecycle verbs.
+//!
+//! The envelope travels over exactly the same framing as single-service
+//! traffic (v1 length-prefixed or v2 pipelined — see
+//! [`ocp_reactor::frame`]), so the reactor front is shared code.
+
+use ocp_core::SafetyRule;
+use ocp_mesh::{Coord, Topology};
+use ocp_serve::{CertMode, Request, Response};
+use serde::{Deserialize, Serialize};
+
+/// Everything the fleet needs to build a tenant's mesh service.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// The tenant's mesh or torus shape.
+    pub topology: Topology,
+    /// Faults present at tenant creation (may be empty).
+    pub initial_faults: Vec<Coord>,
+    /// Which unsafe-node rule the tenant's labeling pipeline applies.
+    pub rule: SafetyRule,
+    /// Publish-time certificate policy for the tenant's epochs.
+    pub cert_mode: CertMode,
+}
+
+/// A request to the fleet front.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum FleetRequest {
+    /// Provisions a new tenant. Names are restricted to
+    /// `[a-z0-9_-]{1,64}` so they embed safely in WAL file names.
+    CreateTenant {
+        /// The tenant's unique name.
+        name: String,
+        /// How to build the tenant's service.
+        spec: TenantSpec,
+    },
+    /// Tears a tenant down, shutting down its service (and leaving its
+    /// WAL on disk — a re-created tenant starts fresh, truncating it).
+    DropTenant {
+        /// The tenant to remove.
+        name: String,
+    },
+    /// Lists live tenants with their shard placement and head epoch.
+    ListTenants,
+    /// A mesh-service request addressed to one tenant.
+    Tenant {
+        /// The addressed tenant.
+        tenant: String,
+        /// The inner single-service request.
+        request: Request,
+    },
+    /// Fleet-wide counters.
+    FleetStats,
+    /// The fleet's Prometheus text page (tenant series labeled by shard
+    /// id — bounded cardinality, never raw tenant names).
+    MetricsText,
+}
+
+/// One live tenant, as reported by [`FleetRequest::ListTenants`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantInfo {
+    /// Tenant name.
+    pub name: String,
+    /// Shard the consistent-hash ring placed the tenant on.
+    pub shard: usize,
+    /// The tenant's current head epoch.
+    pub epoch: u64,
+    /// Whether the tenant's epochs are WAL-backed.
+    pub durable: bool,
+}
+
+/// Fleet-wide counters, as reported by [`FleetRequest::FleetStats`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStatsReply {
+    /// Live tenants.
+    pub tenants: u64,
+    /// Tenants created over the fleet's lifetime.
+    pub created_total: u64,
+    /// Tenants dropped over the fleet's lifetime.
+    pub dropped_total: u64,
+    /// Tenant-scoped requests dispatched.
+    pub requests_total: u64,
+    /// Requests rejected by a tenant's admission bucket.
+    pub throttled_total: u64,
+    /// Requests rejected by the fleet-wide byte budget.
+    pub over_budget_total: u64,
+    /// Requests addressed to tenants that do not exist.
+    pub unknown_tenant_total: u64,
+}
+
+/// A reply from the fleet front.
+///
+/// `Tenant` dominates the enum's size (it embeds a full
+/// [`ocp_serve::Response`]), but it is also ~every reply on the hot
+/// path, so boxing it would buy nothing and cost an allocation per
+/// dispatch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum FleetResponse {
+    /// Reply to [`FleetRequest::CreateTenant`].
+    Created {
+        /// The new tenant's name.
+        tenant: String,
+        /// Its shard placement.
+        shard: usize,
+    },
+    /// Reply to [`FleetRequest::DropTenant`].
+    Dropped {
+        /// The removed tenant's name.
+        tenant: String,
+    },
+    /// Reply to [`FleetRequest::ListTenants`], sorted by name.
+    Tenants {
+        /// Live tenants.
+        tenants: Vec<TenantInfo>,
+    },
+    /// Reply to [`FleetRequest::Tenant`].
+    Tenant {
+        /// The addressed tenant.
+        tenant: String,
+        /// The inner single-service reply.
+        response: Response,
+    },
+    /// Reply to [`FleetRequest::FleetStats`].
+    FleetStats(FleetStatsReply),
+    /// Reply to [`FleetRequest::MetricsText`].
+    MetricsText {
+        /// The rendered Prometheus page.
+        text: String,
+    },
+    /// The addressed tenant exceeded its admission bucket — back off and
+    /// retry. Other tenants are unaffected.
+    Throttled {
+        /// The throttled tenant.
+        tenant: String,
+    },
+    /// The request could not be handled (unknown tenant, invalid name,
+    /// malformed frame, fleet over budget).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_through_json() {
+        let req = FleetRequest::Tenant {
+            tenant: "alpha".into(),
+            request: Request::RouteLen {
+                src: Coord::new(0, 0),
+                dst: Coord::new(3, 2),
+            },
+        };
+        let bytes = serde_json::to_vec(&req).unwrap();
+        let back: FleetRequest = serde_json::from_slice(&bytes).unwrap();
+        match back {
+            FleetRequest::Tenant { tenant, .. } => assert_eq!(tenant, "alpha"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = TenantSpec {
+            topology: Topology::mesh(8, 8),
+            initial_faults: vec![Coord::new(1, 2)],
+            rule: SafetyRule::BothDimensions,
+            cert_mode: CertMode::Enforce,
+        };
+        let bytes = serde_json::to_vec(&spec).unwrap();
+        let back: TenantSpec = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, spec);
+    }
+}

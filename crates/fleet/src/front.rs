@@ -1,0 +1,58 @@
+//! The fleet's TCP front: one reactor event loop serving the whole
+//! fleet's wire protocol.
+//!
+//! Workers hold [`FleetHandle`] clones and run
+//! [`FleetHandle::dispatch_bytes`] per frame, so every capability of the
+//! fleet API — lifecycle, tenant-scoped requests, stats, metrics — is
+//! reachable over both framing versions the reactor negotiates (legacy
+//! v1 and pipelined v2). The fleet-wide connection budget is enforced
+//! by capping the reactor's connection slab at
+//! [`crate::FleetConfig::max_connections`].
+
+use std::io;
+use std::net::{SocketAddr, SocketAddrV4};
+
+use ocp_reactor::{ReactorConfig, ReactorServer, StatsSnapshot};
+
+use crate::fleet::FleetHandle;
+
+/// A running fleet TCP front.
+pub struct FleetFront {
+    server: ReactorServer,
+}
+
+impl FleetFront {
+    /// Binds `addr` and starts serving `handle`'s fleet. The reactor's
+    /// connection cap is clamped to the fleet-wide connection budget.
+    pub fn start(
+        handle: FleetHandle,
+        addr: SocketAddrV4,
+        mut config: ReactorConfig,
+    ) -> io::Result<Self> {
+        let budget_cap = handle.config().max_connections;
+        config.max_connections = config
+            .max_connections
+            .min(usize::try_from(budget_cap).unwrap_or(usize::MAX));
+        let server = ReactorServer::start(addr, config, move || {
+            let handle = handle.clone();
+            move |payload: &[u8]| handle.dispatch_bytes(payload)
+        })?;
+        Ok(Self { server })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Reactor-level counters (connections, frames, bytes).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.server.stats()
+    }
+
+    /// Graceful drain: stops accepting, finishes in-flight requests,
+    /// flushes replies, then stops the loop and workers.
+    pub fn shutdown(mut self) {
+        self.server.shutdown();
+    }
+}

@@ -1,0 +1,438 @@
+//! # ocp-fleet
+//!
+//! Multi-tenant serving for the paper's mesh-state machinery: one
+//! process hosting **N independent** [`ocp_serve::MeshService`]
+//! instances — one per tenant — behind a single reactor TCP front.
+//!
+//! ## Design at a glance
+//!
+//! * [`ring`] — deterministic consistent-hash placement of tenant names
+//!   onto a fixed shard-id space (FNV-1a, virtual nodes). Shard ids are
+//!   also the bounded-cardinality `tenant` label on the fleet's
+//!   Prometheus page, so metrics cardinality is fixed at fleet
+//!   configuration time no matter how many tenants exist.
+//! * [`admission`] — per-tenant token buckets (a noisy tenant throttles
+//!   only itself) plus fleet-wide connection/byte budgets (protecting
+//!   the process).
+//! * [`api`] — the serde wire protocol: lifecycle verbs
+//!   (`CreateTenant`/`DropTenant`/`ListTenants`) plus an envelope
+//!   wrapping the ordinary single-service [`ocp_serve::Request`].
+//! * [`fleet`] — the tenant table itself: per-tenant services, WAL
+//!   paths, the durable roster manifest, and
+//!   [`Fleet::recover`] rebuilding the whole fleet from disk.
+//! * [`front`] — the TCP front: one [`ocp_reactor::ReactorServer`]
+//!   event loop whose workers dispatch fleet frames.
+//!
+//! ## The isolation claim
+//!
+//! Tenants share *nothing* epoch-related: each owns its writer thread,
+//! event queue, epoch chain, certificates, and WAL file. The
+//! `tenant_churn_never_touches_another_tenants_epochs` test pins this:
+//! fault churn, epoch advance, and full WAL crash-recovery on tenant A
+//! leave tenant B's epoch, snapshot digest, and certificate history
+//! bit-identical.
+//!
+//! See `DESIGN.md` §11 and experiment E19 (`repro -- fleet`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod api;
+pub mod fleet;
+pub mod front;
+pub mod ring;
+
+pub use admission::{FleetBudget, TokenBucket};
+pub use api::{FleetRequest, FleetResponse, FleetStatsReply, TenantInfo, TenantSpec};
+pub use fleet::{validate_tenant_name, Fleet, FleetConfig, FleetHandle, MAX_TENANT_NAME_LEN};
+pub use front::FleetFront;
+pub use ring::{fnv1a, HashRing};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocp_core::prelude::{outcome_digest, SafetyRule};
+    use ocp_mesh::{Coord, Topology};
+    use ocp_serve::{CertMode, Request, Response, RouteLenOutcome};
+    use std::time::Duration;
+
+    fn spec(width: u32, height: u32) -> TenantSpec {
+        TenantSpec {
+            topology: Topology::mesh(width, height),
+            initial_faults: Vec::new(),
+            rule: SafetyRule::BothDimensions,
+            cert_mode: CertMode::Enforce,
+        }
+    }
+
+    fn create(handle: &FleetHandle, name: &str, spec: TenantSpec) -> usize {
+        match handle.dispatch(FleetRequest::CreateTenant {
+            name: name.into(),
+            spec,
+        }) {
+            FleetResponse::Created { tenant, shard } => {
+                assert_eq!(tenant, name);
+                shard
+            }
+            other => panic!("create {name} failed: {other:?}"),
+        }
+    }
+
+    /// Polls a tenant's head epoch via the fleet API until it reaches
+    /// `at_least`, failing after a bounded wait.
+    fn wait_for_epoch(handle: &FleetHandle, tenant: &str, at_least: u64) -> u64 {
+        for _ in 0..500 {
+            let reply = handle.dispatch(FleetRequest::Tenant {
+                tenant: tenant.into(),
+                request: Request::Epoch,
+            });
+            if let FleetResponse::Tenant {
+                response: Response::Epoch { epoch },
+                ..
+            } = reply
+            {
+                if epoch >= at_least {
+                    return epoch;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("tenant {tenant} never reached epoch {at_least}");
+    }
+
+    /// Everything observable about one tenant's epoch state, for
+    /// before/after comparison in the isolation test: head epoch, head
+    /// snapshot digest, and the certificate digest of every published
+    /// epoch ≥ 1. (Epoch 0's certificate is excluded deliberately: a
+    /// freshly started durable service records only the Init digest in
+    /// its WAL, while recovery materializes a full epoch-0 certificate —
+    /// a service-level asymmetry, not a cross-tenant effect.)
+    fn epoch_fingerprint(handle: &FleetHandle, tenant: &str) -> (u64, u64, Vec<Option<u64>>) {
+        let mut h = handle.tenant_handle(tenant).expect("tenant exists");
+        let snap = h.snapshot();
+        let digest = outcome_digest(&snap.map, &snap.outcome);
+        let certs: Vec<Option<u64>> = (1..=snap.epoch)
+            .map(|e| h.certificate(e).map(|c| c.grid_digest))
+            .collect();
+        (snap.epoch, digest, certs)
+    }
+
+    #[test]
+    fn lifecycle_create_list_drop() {
+        let fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let handle = fleet.handle();
+
+        let shard_a = create(&handle, "alpha", spec(8, 8));
+        let shard_b = create(&handle, "beta", spec(6, 4));
+        assert_eq!(shard_a, handle.shard_of("alpha"));
+        assert_eq!(shard_b, handle.shard_of("beta"));
+
+        // Duplicate creation is refused.
+        assert!(matches!(
+            handle.dispatch(FleetRequest::CreateTenant {
+                name: "alpha".into(),
+                spec: spec(8, 8),
+            }),
+            FleetResponse::Error { .. }
+        ));
+
+        match handle.dispatch(FleetRequest::ListTenants) {
+            FleetResponse::Tenants { tenants } => {
+                let names: Vec<&str> = tenants.iter().map(|t| t.name.as_str()).collect();
+                assert_eq!(names, ["alpha", "beta"], "sorted roster");
+                assert!(tenants.iter().all(|t| !t.durable));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Tenant-scoped requests land on the *right* independent mesh:
+        // a route off beta's 6×4 grid is answerable on alpha's 8×8.
+        let req = Request::RouteLen {
+            src: Coord::new(0, 0),
+            dst: Coord::new(7, 7),
+        };
+        match handle.dispatch(FleetRequest::Tenant {
+            tenant: "alpha".into(),
+            request: req.clone(),
+        }) {
+            FleetResponse::Tenant {
+                response: Response::RouteLen(reply),
+                ..
+            } => assert_eq!(reply.outcome, RouteLenOutcome::Delivered { len: 14 }),
+            other => panic!("{other:?}"),
+        }
+        match handle.dispatch(FleetRequest::Tenant {
+            tenant: "beta".into(),
+            request: req,
+        }) {
+            FleetResponse::Tenant {
+                response: Response::RouteLen(reply),
+                ..
+            } => assert!(
+                matches!(reply.outcome, RouteLenOutcome::Failed { .. }),
+                "(7,7) is off beta's 6×4 mesh"
+            ),
+            other => panic!("{other:?}"),
+        }
+
+        assert!(matches!(
+            handle.dispatch(FleetRequest::DropTenant {
+                name: "beta".into()
+            }),
+            FleetResponse::Dropped { .. }
+        ));
+        assert!(matches!(
+            handle.dispatch(FleetRequest::Tenant {
+                tenant: "beta".into(),
+                request: Request::Epoch,
+            }),
+            FleetResponse::Error { .. }
+        ));
+
+        let stats = handle.stats();
+        assert_eq!(stats.tenants, 1);
+        assert_eq!(stats.created_total, 2);
+        assert_eq!(stats.dropped_total, 1);
+        assert_eq!(stats.unknown_tenant_total, 1);
+
+        let reports = fleet.shutdown(Duration::from_secs(1));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "alpha");
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_rejected() {
+        let fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let handle = fleet.handle();
+        for bad in ["", "UPPER", "has space", "dot.dot", "../escape", "a/b"] {
+            assert!(
+                matches!(
+                    handle.dispatch(FleetRequest::CreateTenant {
+                        name: bad.into(),
+                        spec: spec(4, 4),
+                    }),
+                    FleetResponse::Error { .. }
+                ),
+                "accepted hostile name {bad:?}"
+            );
+        }
+        assert!(validate_tenant_name(&"x".repeat(65)).is_err());
+        assert!(validate_tenant_name("ok-name_42").is_ok());
+        fleet.shutdown(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn throttling_one_tenant_leaves_others_serving() {
+        let config = FleetConfig {
+            // A tiny burst and (effectively) no refill: the noisy tenant
+            // exhausts its bucket almost immediately.
+            tenant_burst: 5,
+            tenant_rate: 1,
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::new(config).unwrap();
+        let handle = fleet.handle();
+        create(&handle, "noisy", spec(4, 4));
+        create(&handle, "quiet", spec(4, 4));
+
+        let mut throttled = 0;
+        for _ in 0..50 {
+            if matches!(
+                handle.dispatch(FleetRequest::Tenant {
+                    tenant: "noisy".into(),
+                    request: Request::Epoch,
+                }),
+                FleetResponse::Throttled { .. }
+            ) {
+                throttled += 1;
+            }
+        }
+        assert!(throttled >= 40, "only {throttled}/50 throttled");
+
+        // The quiet tenant's bucket is untouched: all five of its burst
+        // tokens are still there.
+        for _ in 0..5 {
+            assert!(matches!(
+                handle.dispatch(FleetRequest::Tenant {
+                    tenant: "quiet".into(),
+                    request: Request::Epoch,
+                }),
+                FleetResponse::Tenant {
+                    response: Response::Epoch { .. },
+                    ..
+                }
+            ));
+        }
+        assert!(handle.stats().throttled_total >= 40);
+        fleet.shutdown(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fleet_metrics_label_tenants_by_shard_only() {
+        let fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let handle = fleet.handle();
+        let shard = create(&handle, "metrics-tenant", spec(4, 4));
+        handle.dispatch(FleetRequest::Tenant {
+            tenant: "metrics-tenant".into(),
+            request: Request::Epoch,
+        });
+        let page = handle.metrics_text();
+        let label = ocp_obs::tenant_label(shard);
+        assert!(
+            page.contains(&format!("ocp_fleet_requests_total{{tenant=\"{label}\"}} 1")),
+            "missing shard-labeled request counter:\n{page}"
+        );
+        assert!(
+            !page.contains("metrics-tenant"),
+            "raw tenant name leaked into the metrics page:\n{page}"
+        );
+        fleet.shutdown(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn front_serves_the_fleet_protocol_over_tcp() {
+        use ocp_reactor::{loopback, PipelinedClient, ReactorConfig};
+
+        let fleet = Fleet::new(FleetConfig::default()).unwrap();
+        let handle = fleet.handle();
+        create(&handle, "wired", spec(8, 8));
+
+        let front = FleetFront::start(handle, loopback(), ReactorConfig::default()).unwrap();
+        let mut client = PipelinedClient::connect(front.local_addr()).unwrap();
+
+        // Pipeline a lifecycle verb and tenant traffic on one connection.
+        let list_id = client
+            .send(&serde_json::to_vec(&FleetRequest::ListTenants).unwrap())
+            .unwrap();
+        let route_id = client
+            .send(
+                &serde_json::to_vec(&FleetRequest::Tenant {
+                    tenant: "wired".into(),
+                    request: Request::RouteLen {
+                        src: Coord::new(1, 1),
+                        dst: Coord::new(5, 6),
+                    },
+                })
+                .unwrap(),
+            )
+            .unwrap();
+
+        let mut got = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let (id, payload) = client.recv().unwrap();
+            got.insert(
+                id,
+                serde_json::from_slice::<FleetResponse>(&payload).unwrap(),
+            );
+        }
+        match got.remove(&list_id).unwrap() {
+            FleetResponse::Tenants { tenants } => {
+                assert_eq!(tenants.len(), 1);
+                assert_eq!(tenants[0].name, "wired");
+            }
+            other => panic!("{other:?}"),
+        }
+        match got.remove(&route_id).unwrap() {
+            FleetResponse::Tenant {
+                response: Response::RouteLen(reply),
+                ..
+            } => assert_eq!(reply.outcome, RouteLenOutcome::Delivered { len: 9 }),
+            other => panic!("{other:?}"),
+        }
+
+        front.shutdown();
+        fleet.shutdown(Duration::from_secs(1));
+    }
+
+    /// The acceptance-pinned isolation property: fault injection, epoch
+    /// churn, and full WAL crash-recovery on tenant `alpha` never change
+    /// tenant `beta`'s snapshots, epochs, or certificates.
+    #[test]
+    fn tenant_churn_never_touches_another_tenants_epochs() {
+        let dir = std::env::temp_dir().join(format!(
+            "ocp-fleet-isolation-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FleetConfig {
+            wal_dir: Some(dir.clone()),
+            ..FleetConfig::default()
+        };
+
+        let fleet = Fleet::new(config.clone()).unwrap();
+        let handle = fleet.handle();
+        create(&handle, "alpha", spec(8, 8));
+        create(&handle, "beta", spec(8, 8));
+
+        // Give beta some state of its own first, so "unchanged" is a
+        // claim about real epochs, not the trivial epoch-0 fixpoint.
+        handle.dispatch(FleetRequest::Tenant {
+            tenant: "beta".into(),
+            request: Request::InjectFaults {
+                nodes: vec![Coord::new(2, 2)],
+            },
+        });
+        wait_for_epoch(&handle, "beta", 1);
+        let beta_before = epoch_fingerprint(&handle, "beta");
+
+        // Churn alpha hard: repeated fault/repair cycles, each advancing
+        // alpha's epoch chain and appending to alpha's WAL.
+        let mut alpha_epoch = 0;
+        for round in 0..5u64 {
+            let node = Coord::new(1 + (round as i32 % 4), 3);
+            handle.dispatch(FleetRequest::Tenant {
+                tenant: "alpha".into(),
+                request: Request::InjectFaults { nodes: vec![node] },
+            });
+            alpha_epoch = wait_for_epoch(&handle, "alpha", alpha_epoch + 1);
+            handle.dispatch(FleetRequest::Tenant {
+                tenant: "alpha".into(),
+                request: Request::RepairNodes { nodes: vec![node] },
+            });
+            alpha_epoch = wait_for_epoch(&handle, "alpha", alpha_epoch + 1);
+        }
+        assert!(alpha_epoch >= 10, "alpha churned to epoch {alpha_epoch}");
+
+        let beta_after_churn = epoch_fingerprint(&handle, "beta");
+        assert_eq!(
+            beta_before, beta_after_churn,
+            "alpha churn leaked into beta's epoch state"
+        );
+
+        // Crash-recover the whole fleet from disk. Recovery replays
+        // alpha's long WAL and beta's short one through completely
+        // separate pipelines.
+        fleet.shutdown(Duration::from_secs(5));
+        let recovered = Fleet::recover(config).expect("fleet recovery");
+        let handle = recovered.handle();
+
+        match handle.dispatch(FleetRequest::ListTenants) {
+            FleetResponse::Tenants { tenants } => {
+                let names: Vec<&str> = tenants.iter().map(|t| t.name.as_str()).collect();
+                assert_eq!(names, ["alpha", "beta"]);
+                assert!(tenants.iter().all(|t| t.durable));
+                // Placement is recomputed, not persisted, yet identical.
+                for t in &tenants {
+                    assert_eq!(t.shard, handle.shard_of(&t.name));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let beta_recovered = epoch_fingerprint(&handle, "beta");
+        assert_eq!(
+            beta_before, beta_recovered,
+            "recovery changed beta's epoch state"
+        );
+        let (alpha_recovered_epoch, _, _) = epoch_fingerprint(&handle, "alpha");
+        assert_eq!(
+            alpha_recovered_epoch, alpha_epoch,
+            "alpha's churned epochs did not survive recovery"
+        );
+
+        recovered.shutdown(Duration::from_secs(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,164 @@
+//! Consistent-hash tenant placement.
+//!
+//! Tenants are assigned to a fixed number of **shards** through a
+//! consistent-hash ring with virtual nodes: each shard contributes many
+//! points on a `u64` ring, and a tenant lands on the shard owning the
+//! first point at or after the tenant's own hash. The properties the
+//! fleet cares about:
+//!
+//! * **Determinism** — placement is a pure function of the tenant name
+//!   and the shard count, so a recovered fleet reconstructs the exact
+//!   same placement without persisting it.
+//! * **Stability** — growing the fleet from `n` to `n+1` shards moves
+//!   only `~1/(n+1)` of tenants, because only ring intervals claimed by
+//!   the new shard's virtual nodes change owners.
+//! * **Balance** — virtual nodes (128 per shard by default) smooth the
+//!   interval sizes so tenant counts stay within a small factor across
+//!   shards.
+//!
+//! Shard ids are the bounded-cardinality label the fleet's Prometheus
+//! page uses (see [`ocp_obs::tenant_label`]): metrics never carry raw
+//! tenant names, so a hostile tenant cannot blow up series cardinality.
+//!
+//! The hash is FNV-1a over the UTF-8 bytes — dependency-free, stable
+//! across platforms and releases, and good enough for placement (this is
+//! load spreading, not an adversarial hash table).
+
+/// Virtual nodes per shard: enough to keep per-shard tenant counts
+/// within a small factor of each other at fleet sizes this crate targets
+/// (2–64 shards).
+pub const VNODES_PER_SHARD: usize = 128;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Finalizing avalanche (splitmix64's mixer). Raw FNV-1a of short,
+/// near-identical keys ("shard0/vnode1", "shard0/vnode2", …) clusters
+/// badly on the ring — low bytes barely diffuse into high bits — so ring
+/// points and lookup keys both pass through this mixer.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The ring-point hash: FNV-1a with a finalizing avalanche.
+fn point_hash(bytes: &[u8]) -> u64 {
+    mix64(fnv1a(bytes))
+}
+
+/// A consistent-hash ring mapping tenant names to shard ids.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(ring_point, shard)` sorted by point; lookup is a binary search
+    /// for the first point ≥ the key hash, wrapping to the start.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring for `shards` shards with [`VNODES_PER_SHARD`]
+    /// virtual nodes each.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let key = format!("shard{shard}/vnode{vnode}");
+                points.push((point_hash(key.as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|&mut (p, _)| p);
+        Self { points, shards }
+    }
+
+    /// The shard owning `tenant`.
+    pub fn shard(&self, tenant: &str) -> usize {
+        let h = point_hash(tenant.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        // Wrap past the last point back to the first (it's a ring).
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+
+    /// Number of shards the ring was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for name in ["alice", "bob", "tenant-42", "x"] {
+            assert_eq!(a.shard(name), b.shard(name));
+            assert!(a.shard(name) < 8);
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_few_tenants() {
+        let before = HashRing::new(8);
+        let after = HashRing::new(9);
+        let tenants: Vec<String> = (0..2_000).map(|i| format!("tenant-{i}")).collect();
+        let moved = tenants
+            .iter()
+            .filter(|t| before.shard(t) != after.shard(t))
+            .count();
+        // Ideal is 1/9 ≈ 222; allow generous slack, but far below the
+        // ~7/8 a modulo hash would reshuffle.
+        assert!(
+            moved < 2_000 / 3,
+            "consistent hashing moved {moved}/2000 tenants"
+        );
+    }
+
+    #[test]
+    fn virtual_nodes_keep_shards_balanced() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4_000 {
+            counts[ring.shard(&format!("tenant-{i}"))] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(min > 0, "a shard received no tenants: {counts:?}");
+        assert!(max < min * 3, "imbalanced placement: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = HashRing::new(0);
+    }
+}

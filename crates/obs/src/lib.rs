@@ -29,8 +29,8 @@ pub mod prom;
 pub mod trace;
 
 pub use metrics::{
-    Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue,
-    Registry, RegistrySnapshot, SeriesSnapshot, HISTOGRAM_BUCKETS,
+    tenant_label, Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind,
+    MetricValue, Registry, RegistrySnapshot, SeriesSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use prom::{escape_help, escape_label_value, unescape_label_value};
 pub use trace::{Span, SpanRecord, TraceRing};

@@ -278,6 +278,28 @@ impl Registry {
         }
     }
 
+    /// Get-or-create the counter `name{tenant="shard<N>"}`.
+    ///
+    /// Tenant-scoped series are labeled by **shard id**, never by the raw
+    /// tenant string: tenants hash onto a fixed shard ring, so the page's
+    /// cardinality is bounded by the shard count no matter how many
+    /// tenants are created and dropped over the process's lifetime.
+    pub fn tenant_counter(&self, name: &str, help: &str, shard: usize) -> Arc<Counter> {
+        self.counter(name, help, &[("tenant", &tenant_label(shard))])
+    }
+
+    /// Get-or-create the gauge `name{tenant="shard<N>"}` (see
+    /// [`tenant_counter`](Self::tenant_counter) for the cardinality rule).
+    pub fn tenant_gauge(&self, name: &str, help: &str, shard: usize) -> Arc<Gauge> {
+        self.gauge(name, help, &[("tenant", &tenant_label(shard))])
+    }
+
+    /// Get-or-create the histogram `name{tenant="shard<N>"}` (see
+    /// [`tenant_counter`](Self::tenant_counter) for the cardinality rule).
+    pub fn tenant_histogram(&self, name: &str, help: &str, shard: usize) -> Arc<Histogram> {
+        self.histogram(name, help, &[("tenant", &tenant_label(shard))])
+    }
+
     /// A consistent, serializable point-in-time view of every family.
     ///
     /// Values observed by successive snapshots are monotone for counters
@@ -313,6 +335,11 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         crate::prom::render(&self.snapshot())
     }
+}
+
+/// The bounded-cardinality `tenant` label value for a shard: `shard<N>`.
+pub fn tenant_label(shard: usize) -> String {
+    format!("shard{shard}")
 }
 
 /// Serializable view of a whole [`Registry`].
@@ -460,6 +487,34 @@ mod tests {
         assert_eq!(h.count(), 2);
         let snap = h.snapshot();
         assert_eq!(snap.count, snap.buckets.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn tenant_series_use_shard_scoped_labels() {
+        let r = Registry::new();
+        // Many tenants, few shards: the series count is bounded by shards.
+        for shard in [0usize, 1, 0, 1, 0] {
+            r.tenant_counter("fleet_requests_total", "per-tenant requests", shard)
+                .inc();
+        }
+        r.tenant_gauge("fleet_conns", "per-tenant connections", 1)
+            .set(4);
+        r.tenant_histogram("fleet_lat_ns", "per-tenant latency", 0)
+            .record(128);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("fleet_requests_total", &[("tenant", "shard0")]),
+            3
+        );
+        assert_eq!(
+            snap.counter("fleet_requests_total", &[("tenant", "shard1")]),
+            2
+        );
+        let family = snap.family("fleet_requests_total").unwrap();
+        assert_eq!(family.series.len(), 2, "cardinality bounded by shards");
+        let page = r.render_prometheus();
+        assert!(page.contains("fleet_requests_total{tenant=\"shard0\"} 3"));
+        assert!(page.contains("fleet_conns{tenant=\"shard1\"} 4"));
     }
 
     #[test]

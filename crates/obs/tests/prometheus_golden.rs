@@ -51,6 +51,25 @@ fn golden_registry() -> Registry {
     h.record(1);
     h.record(3); // bucket 1, le="4"
     h.record(100); // bucket 6, le="128" (gap: buckets 2-5 render as flat)
+                   // Tenant-scoped series: bounded cardinality via shard-id labels.
+    r.tenant_counter(
+        "ocp_demo_tenant_requests_total",
+        "Per-tenant requests, labeled by shard id.",
+        0,
+    )
+    .add(11);
+    r.tenant_counter(
+        "ocp_demo_tenant_requests_total",
+        "Per-tenant requests, labeled by shard id.",
+        3,
+    )
+    .add(2);
+    r.tenant_gauge(
+        "ocp_demo_tenant_connections",
+        "Per-tenant open connections, labeled by shard id.",
+        3,
+    )
+    .set(9);
     r
 }
 

@@ -1,0 +1,93 @@
+//! A small blocking client for framing v2.
+//!
+//! [`PipelinedClient`] performs the magic handshake at connect time, then
+//! lets the caller keep many requests in flight: `send` assigns and returns a
+//! correlation id; `recv` returns the next `(corr_id, payload)` the server
+//! produced, in whatever order it chose. For the high-connection-count load
+//! harness, drive nonblocking sockets with [`crate::poll::Poll`] directly —
+//! this type is for tests and simple tools.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::frame::{encode_v2, DecodedFrame, FrameDecoder, MAGIC};
+
+/// A blocking v2 client over one TCP connection.
+pub struct PipelinedClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+}
+
+impl PipelinedClient {
+    /// Connects, sends the v2 magic, and verifies the server's echo.
+    pub fn connect(addr: SocketAddr) -> io::Result<PipelinedClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&MAGIC)?;
+        stream.flush()?;
+        let mut echo = [0u8; 4];
+        stream.read_exact(&mut echo)?;
+        if echo != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server did not echo the v2 magic",
+            ));
+        }
+        Ok(PipelinedClient {
+            stream,
+            decoder: FrameDecoder::new_v2(),
+            next_id: 1,
+        })
+    }
+
+    /// Bounds how long [`recv`](Self::recv) blocks. `None` blocks forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request, returning its correlation id.
+    pub fn send(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_with_id(id, payload)?;
+        Ok(id)
+    }
+
+    /// Sends one request under a caller-chosen correlation id.
+    pub fn send_with_id(&mut self, corr_id: u64, payload: &[u8]) -> io::Result<()> {
+        self.stream.write_all(&encode_v2(corr_id, payload))
+    }
+
+    /// Receives the next response in server completion order.
+    pub fn recv(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(DecodedFrame::V2 { corr_id, payload })) => return Ok((corr_id, payload)),
+                Ok(Some(_)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected non-v2 frame from server",
+                    ))
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-stream",
+                ));
+            }
+            self.decoder.extend(&buf[..n]);
+        }
+    }
+
+    /// Half-closes the write side so the server drains and closes cleanly.
+    pub fn finish_writes(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

@@ -1,0 +1,301 @@
+//! Wire framing, versions 1 and 2.
+//!
+//! **v1** is the existing blocking-transport format: `[len: u32 BE][payload]`,
+//! one JSON document per frame, strictly request→response in order.
+//!
+//! **v2** adds pipelining. A connection opts in by sending the 4-byte magic
+//! `"OCP2"` before its first frame; the server echoes the magic back and both
+//! sides then exchange `[len: u32 BE][corr_id: u64 BE][payload]` frames, where
+//! `len` counts only the payload. Responses may arrive in any order and are
+//! matched by `corr_id`. The magic read as a v1 length is `0x4F43_5032`
+//! (≈ 1.3 GiB), far above [`MAX_FRAME_BYTES`], so a v1-only peer rejects a v2
+//! hello loudly instead of hanging.
+
+/// Largest accepted payload, shared with the v1 blocking transport.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// The v2 hello: ASCII `"OCP2"`.
+pub const MAGIC: [u8; 4] = *b"OCP2";
+
+/// v2 frame header length: 4-byte payload length + 8-byte correlation id.
+const V2_HEADER: usize = 12;
+
+/// Which framing the peer speaks, decided by its first four bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// First bytes not seen yet.
+    Unknown,
+    /// Legacy in-order framing.
+    V1,
+    /// Pipelined framing with correlation ids.
+    V2,
+}
+
+/// A decoding failure; the connection should be dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared length.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded item from the stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodedFrame {
+    /// The peer sent the v2 magic; the server should echo [`MAGIC`].
+    Hello,
+    /// A legacy frame (implicit ordering).
+    V1 {
+        /// The JSON payload.
+        payload: Vec<u8>,
+    },
+    /// A pipelined frame.
+    V2 {
+        /// Client-assigned correlation id, echoed on the response.
+        corr_id: u64,
+        /// The JSON payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// Incremental decoder for one connection's inbound byte stream.
+///
+/// Feed arbitrary chunks with [`extend`](Self::extend), then pull complete
+/// frames with [`next_frame`](Self::next_frame) until it returns `Ok(None)`.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    proto: Protocol,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// An empty decoder in the [`Protocol::Unknown`] state.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            proto: Protocol::Unknown,
+        }
+    }
+
+    /// A decoder pinned to v2 — for clients that already consumed the
+    /// server's magic echo during the handshake.
+    pub fn new_v2() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            proto: Protocol::V2,
+        }
+    }
+
+    /// The negotiated protocol so far.
+    pub fn protocol(&self) -> Protocol {
+        self.proto
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact before growing so the buffer doesn't creep upward across
+        // a long-lived connection.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    fn available(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Pulls the next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<DecodedFrame>, FrameError> {
+        if self.proto == Protocol::Unknown {
+            let avail = self.available();
+            if avail.len() < 4 {
+                return Ok(None);
+            }
+            if avail[..4] == MAGIC {
+                self.proto = Protocol::V2;
+                self.pos += 4;
+                return Ok(Some(DecodedFrame::Hello));
+            }
+            self.proto = Protocol::V1;
+        }
+        let avail = self.available();
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized { len });
+        }
+        match self.proto {
+            Protocol::V1 => {
+                let total = 4 + len as usize;
+                if avail.len() < total {
+                    return Ok(None);
+                }
+                let payload = avail[4..total].to_vec();
+                self.pos += total;
+                Ok(Some(DecodedFrame::V1 { payload }))
+            }
+            Protocol::V2 => {
+                let total = V2_HEADER + len as usize;
+                if avail.len() < total {
+                    return Ok(None);
+                }
+                let corr_id = u64::from_be_bytes([
+                    avail[4], avail[5], avail[6], avail[7], avail[8], avail[9], avail[10],
+                    avail[11],
+                ]);
+                let payload = avail[V2_HEADER..total].to_vec();
+                self.pos += total;
+                Ok(Some(DecodedFrame::V2 { corr_id, payload }))
+            }
+            Protocol::Unknown => unreachable!("protocol decided above"),
+        }
+    }
+}
+
+/// Appends a v1 frame to `out`.
+pub fn encode_v1_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Appends a v2 frame to `out`.
+pub fn encode_v2_into(out: &mut Vec<u8>, corr_id: u64, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&corr_id.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A standalone v1 frame.
+pub fn encode_v1(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    encode_v1_into(&mut out, payload);
+    out
+}
+
+/// A standalone v2 frame.
+pub fn encode_v2(corr_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(V2_HEADER + payload.len());
+    encode_v2_into(&mut out, corr_id, payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_frames_decode_without_magic() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_v1(b"{\"a\":1}"));
+        dec.extend(&encode_v1(b"{\"b\":2}"));
+        assert_eq!(
+            dec.next_frame().unwrap(),
+            Some(DecodedFrame::V1 {
+                payload: b"{\"a\":1}".to_vec()
+            })
+        );
+        assert_eq!(dec.protocol(), Protocol::V1);
+        assert_eq!(
+            dec.next_frame().unwrap(),
+            Some(DecodedFrame::V1 {
+                payload: b"{\"b\":2}".to_vec()
+            })
+        );
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn v2_hello_then_frames_byte_by_byte() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        encode_v2_into(&mut stream, 99, b"first");
+        encode_v2_into(&mut stream, u64::MAX, b"");
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            dec.extend(&[byte]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                DecodedFrame::Hello,
+                DecodedFrame::V2 {
+                    corr_id: 99,
+                    payload: b"first".to_vec()
+                },
+                DecodedFrame::V2 {
+                    corr_id: u64::MAX,
+                    payload: Vec::new()
+                },
+            ]
+        );
+        assert_eq!(dec.protocol(), Protocol::V2);
+    }
+
+    #[test]
+    fn magic_read_as_v1_length_is_oversized() {
+        // A v1-only peer that receives the magic must reject, not hang: the
+        // magic interpreted as a length is far above the cap.
+        let len = u32::from_be_bytes(MAGIC);
+        assert!(len > MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn oversized_frame_is_an_error() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::Oversized {
+                len: MAX_FRAME_BYTES + 1
+            })
+        );
+    }
+
+    #[test]
+    fn buffer_compacts_after_consumption() {
+        let mut dec = FrameDecoder::new();
+        for i in 0..200u32 {
+            dec.extend(&encode_v1(format!("{{\"i\":{i}}}").as_bytes()));
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        assert_eq!(dec.pending_bytes(), 0);
+        dec.extend(b"\x00");
+        // Internal buffer was compacted, not grown 200 frames deep.
+        assert!(dec.buf.len() <= 16);
+    }
+}

@@ -1,0 +1,135 @@
+//! `ocp-reactor`: a dependency-free epoll event loop for the mesh service.
+//!
+//! The blocking transport in `ocp-serve` spends one OS thread per connection;
+//! this crate replaces that with one reactor thread multiplexing thousands of
+//! nonblocking sockets plus a fixed worker pool executing requests. It is
+//! built in the repository's vendoring style: no external crates, with the
+//! few required syscalls (`epoll_*`, `accept4`, `pipe2`, ...) dialed directly
+//! through the C library's `syscall` trampoline in [`sys`].
+//!
+//! Layers, bottom to top:
+//!
+//! - [`sys`] — raw syscall wrappers (the only unsafe code);
+//! - [`poll`] — mio-style [`Poll`]/[`Token`]/[`Interest`]/[`Waker`] shim;
+//! - [`frame`] — wire framing v1 (legacy in-order) and v2 (pipelined with
+//!   correlation ids, negotiated by the `"OCP2"` magic);
+//! - [`server`] — the accept loop, connection state machine, worker pool,
+//!   and graceful drain;
+//! - [`client`] — a small blocking v2 client for tests and tools.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod poll;
+pub mod server;
+pub mod sys;
+
+pub use client::PipelinedClient;
+pub use frame::{
+    encode_v1, encode_v1_into, encode_v2, encode_v2_into, DecodedFrame, FrameDecoder, FrameError,
+    Protocol, MAGIC, MAX_FRAME_BYTES,
+};
+pub use poll::{Event, Events, Interest, Poll, Token, WakeRx, Waker};
+pub use server::{loopback, Handler, ReactorConfig, ReactorServer, ReactorStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn echo_upper_server() -> ReactorServer {
+        ReactorServer::start(loopback(), ReactorConfig::default(), || {
+            |req: &[u8]| req.to_ascii_uppercase()
+        })
+        .expect("server starts")
+    }
+
+    #[test]
+    fn v2_pipelined_round_trip_out_of_order_ids() {
+        let server = echo_upper_server();
+        let mut client = PipelinedClient::connect(server.local_addr()).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..32 {
+            ids.push(client.send(format!("req-{i}").as_bytes()).unwrap());
+        }
+        let mut got = std::collections::BTreeMap::new();
+        for _ in 0..32 {
+            let (id, payload) = client.recv().unwrap();
+            got.insert(id, payload);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(got[id], format!("REQ-{i}").into_bytes());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 32);
+        assert_eq!(stats.v2_conns, 1);
+    }
+
+    #[test]
+    fn v1_legacy_framing_still_served_in_order() {
+        let server = echo_upper_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Two pipelined v1 frames; replies must come back in request order.
+        let mut wire = Vec::new();
+        encode_v1_into(&mut wire, b"alpha");
+        encode_v1_into(&mut wire, b"beta");
+        stream.write_all(&wire).unwrap();
+        let read_reply = |stream: &mut TcpStream| {
+            let mut len = [0u8; 4];
+            stream.read_exact(&mut len).unwrap();
+            let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+            stream.read_exact(&mut payload).unwrap();
+            payload
+        };
+        assert_eq!(read_reply(&mut stream), b"ALPHA");
+        assert_eq!(read_reply(&mut stream), b"BETA");
+    }
+
+    #[test]
+    fn shutdown_delivers_queued_replies() {
+        let mut server = echo_upper_server();
+        let addr = server.local_addr();
+        let mut client = PipelinedClient::connect(addr).unwrap();
+        let id = client.send(b"last words").unwrap();
+        // Give the request a moment to reach the worker, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        server.shutdown();
+        let (got_id, payload) = client.recv().unwrap();
+        assert_eq!(got_id, id);
+        assert_eq!(payload, b"LAST WORDS");
+        assert!(client.recv().is_err(), "connection closed after drain");
+    }
+
+    #[test]
+    fn many_connections_multiplex_on_one_loop() {
+        let server = echo_upper_server();
+        let addr = server.local_addr();
+        let mut clients: Vec<PipelinedClient> = (0..64)
+            .map(|_| PipelinedClient::connect(addr).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.send(format!("c{i}").as_bytes()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let (_, payload) = c.recv().unwrap();
+            assert_eq!(payload, format!("C{i}").into_bytes());
+        }
+        assert_eq!(server.stats().accepted, 64);
+    }
+
+    #[test]
+    fn oversized_frame_drops_the_connection() {
+        let server = echo_upper_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(&(MAX_FRAME_BYTES + 1).to_be_bytes())
+            .unwrap();
+        stream.write_all(&[0u8; 8]).unwrap();
+        let mut buf = [0u8; 1];
+        // Server closes without replying.
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0);
+    }
+}

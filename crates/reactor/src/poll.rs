@@ -1,0 +1,230 @@
+//! Minimal mio-style polling surface: [`Poll`], [`Token`], [`Interest`],
+//! [`Events`], and a cross-thread [`Waker`].
+//!
+//! The shapes follow mio deliberately so the event loop in `server.rs` reads
+//! like any other reactor, but the implementation is the raw-syscall layer in
+//! [`crate::sys`] — no external crates.
+
+use std::io;
+
+use crate::sys;
+
+/// Identifies a registered event source; returned verbatim with each event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness kinds a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness.
+    pub const READABLE: Interest = Interest(sys::EPOLLIN);
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+    /// No readiness — parks a source (hangup/error are still reported), used
+    /// to stop reading from a connection under backpressure.
+    pub const NONE: Interest = Interest(0);
+
+    /// Combines two interests.
+    #[must_use]
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if the readable bit is set.
+    pub fn is_readable(self) -> bool {
+        self.0 & sys::EPOLLIN != 0
+    }
+
+    /// True if the writable bit is set.
+    pub fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+
+    fn bits(self) -> u32 {
+        // Always watch for peer half-close so dead connections are reaped
+        // even while read interest is withdrawn for backpressure.
+        self.0 | sys::EPOLLRDHUP
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token supplied at registration.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Data can be read (or the peer half-closed, which reads as EOF).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// Data can be written.
+    pub fn is_writable(&self) -> bool {
+        self.bits & sys::EPOLLOUT != 0
+    }
+
+    /// The source is in an error or hangup state and should be torn down
+    /// after draining.
+    pub fn is_error(&self) -> bool {
+        self.bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness notifications.
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events from the most recent [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| Event {
+            token: Token(e.data as usize),
+            bits: e.events,
+        })
+    }
+
+    /// Number of events delivered by the most recent poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the most recent poll delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A level-triggered epoll instance.
+pub struct Poll {
+    ep: sys::Fd,
+}
+
+impl Poll {
+    /// Creates the epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            ep: sys::epoll_create()?,
+        })
+    }
+
+    /// Registers `fd` with the given token and interest.
+    pub fn register(&self, fd: sys::RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.ep.raw(), fd, interest.bits(), token.0 as u64)
+    }
+
+    /// Replaces the interest set of an already-registered `fd`.
+    pub fn reregister(&self, fd: sys::RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_mod(self.ep.raw(), fd, interest.bits(), token.0 as u64)
+    }
+
+    /// Removes `fd` from the poll set.
+    pub fn deregister(&self, fd: sys::RawFd) -> io::Result<()> {
+        sys::epoll_del(self.ep.raw(), fd)
+    }
+
+    /// Blocks until readiness or timeout. `None` blocks indefinitely.
+    pub fn poll(&self, events: &mut Events, timeout_ms: Option<i32>) -> io::Result<()> {
+        events.len = sys::epoll_wait(self.ep.raw(), &mut events.raw, timeout_ms.unwrap_or(-1))?;
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] from another thread via a self-pipe.
+///
+/// Clone freely; wakes coalesce (N wakes may read as one).
+#[derive(Clone)]
+pub struct Waker {
+    tx: std::sync::Arc<sys::Fd>,
+}
+
+impl Waker {
+    /// Creates the pipe pair and registers the read end under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<(Waker, WakeRx)> {
+        let (rx, tx) = sys::pipe()?;
+        poll.register(rx.raw(), token, Interest::READABLE)?;
+        Ok((
+            Waker {
+                tx: std::sync::Arc::new(tx),
+            },
+            WakeRx { rx },
+        ))
+    }
+
+    /// Signals the poll loop. A full pipe means a wake is already pending,
+    /// which is exactly the coalescing we want, so `WouldBlock` is success.
+    pub fn wake(&self) {
+        match sys::write(self.tx.raw(), &[1u8]) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {}
+            Err(_) => {}
+        }
+    }
+}
+
+/// The read end of the wake pipe, owned by the poll loop.
+pub struct WakeRx {
+    rx: sys::Fd,
+}
+
+impl WakeRx {
+    /// Drains all pending wake bytes so the level-triggered fd goes quiet.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = sys::read(self.rx.raw(), &mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_rouses_a_blocked_poll() {
+        let poll = Poll::new().unwrap();
+        let (waker, wake_rx) = Waker::new(&poll, Token(7)).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(0)).unwrap();
+        assert!(events.is_empty());
+        waker.wake();
+        waker.wake(); // coalesces
+        poll.poll(&mut events, Some(1000)).unwrap();
+        assert_eq!(events.len(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        wake_rx.drain();
+        poll.poll(&mut events, Some(0)).unwrap();
+        assert!(events.is_empty(), "drained pipe is quiet");
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE.with(Interest::WRITABLE);
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+    }
+}

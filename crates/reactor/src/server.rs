@@ -1,0 +1,783 @@
+//! The reactor TCP server: one event-loop thread, a fixed worker pool, and a
+//! wake pipe carrying completions back to the loop.
+//!
+//! ```text
+//!  clients ──► accept ──► per-conn decoder ──► job batch ──► worker pool
+//!                 ▲                                              │
+//!                 │        outbuf flush ◄── completions ◄── wake pipe
+//! ```
+//!
+//! The loop owns every socket. Workers never touch fds: they receive decoded
+//! request payloads tagged `(slot, generation, tag)`, run the handler, and
+//! push the response bytes onto a completion queue, waking the loop. The
+//! generation counter makes completions for a since-closed (and possibly
+//! reused) slot harmless.
+//!
+//! Backpressure is interest management, not errors: a connection whose
+//! in-flight count or output buffer crosses its cap simply loses read
+//! interest until the backlog clears, so TCP flow control pushes back on the
+//! client. Both handoff directions are batched — one lock acquisition and at
+//! most one wake per poll iteration — which matters on small machines where
+//! every context switch is paid for.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::frame::{encode_v1_into, encode_v2_into, DecodedFrame, FrameDecoder, Protocol, MAGIC};
+use crate::poll::{Events, Interest, Poll, Token, Waker};
+use crate::sys;
+
+/// Executes one decoded request payload, returning the response payload.
+///
+/// Implemented for any `FnMut(&[u8]) -> Vec<u8>`; each worker owns its own
+/// handler instance (built by the factory passed to [`ReactorServer::start`]),
+/// so handlers may keep per-worker caches without locking.
+pub trait Handler: Send + 'static {
+    /// Processes `request` bytes into response bytes.
+    fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Handler for F
+where
+    F: FnMut(&[u8]) -> Vec<u8> + Send + 'static,
+{
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// Tuning knobs for [`ReactorServer::start`].
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Worker threads executing handlers (min 1).
+    pub workers: usize,
+    /// Accepted connections beyond this are closed immediately.
+    pub max_connections: usize,
+    /// Per-connection requests decoded but not yet answered before read
+    /// interest is withdrawn.
+    pub max_inflight_per_conn: usize,
+    /// Per-connection buffered response bytes before read interest is
+    /// withdrawn.
+    pub max_outbuf_bytes: usize,
+    /// How long `shutdown` waits for in-flight work to finish and buffers to
+    /// flush before closing connections anyway.
+    pub drain_timeout: Duration,
+    /// Listen backlog.
+    pub backlog: i32,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 2,
+            max_connections: 16 * 1024,
+            max_inflight_per_conn: 128,
+            max_outbuf_bytes: 1024 * 1024,
+            drain_timeout: Duration::from_secs(5),
+            backlog: 4096,
+        }
+    }
+}
+
+/// Monotonic counters exported by a running reactor.
+#[derive(Default)]
+pub struct ReactorStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections closed (any reason).
+    pub closed: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub refused: AtomicU64,
+    /// Requests handed to the worker pool.
+    pub requests: AtomicU64,
+    /// Responses flushed into output buffers.
+    pub responses: AtomicU64,
+    /// Connections that negotiated framing v2.
+    pub v2_conns: AtomicU64,
+    /// Bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of [`ReactorStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed.
+    pub closed: u64,
+    /// Connections refused at the cap.
+    pub refused: u64,
+    /// Requests dispatched to workers.
+    pub requests: u64,
+    /// Responses produced.
+    pub responses: u64,
+    /// Connections speaking framing v2.
+    pub v2_conns: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+}
+
+impl ReactorStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            v2_conns: self.v2_conns.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A decoded request on its way to a worker.
+struct Job {
+    slot: usize,
+    generation: u32,
+    /// Correlation id (v2) or arrival sequence number (v1).
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// A handler result on its way back to the loop.
+struct Completion {
+    slot: usize,
+    generation: u32,
+    tag: u64,
+    response: Vec<u8>,
+}
+
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push_batch(&self, jobs: &mut Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.lock().unwrap();
+        guard.0.extend(jobs.drain(..));
+        drop(guard);
+        self.ready.notify_all();
+    }
+
+    /// Blocks for work; returns an empty batch only after `close`.
+    fn pop_batch(&self, out: &mut Vec<Job>, max: usize) {
+        let mut guard = self.inner.lock().unwrap();
+        loop {
+            if !guard.0.is_empty() {
+                let take = guard.0.len().min(max);
+                out.extend(guard.0.drain(..take));
+                return;
+            }
+            if guard.1 {
+                return;
+            }
+            guard = self.ready.wait(guard).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().1 = true;
+        self.ready.notify_all();
+    }
+}
+
+struct CompletionQueue {
+    inner: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    fn push_batch(&self, batch: &mut Vec<Completion>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.lock().unwrap();
+        let was_empty = guard.is_empty();
+        guard.append(batch);
+        drop(guard);
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+
+    fn drain_into(&self, out: &mut Vec<Completion>) {
+        let mut guard = self.inner.lock().unwrap();
+        std::mem::swap(&mut *guard, out);
+    }
+}
+
+/// Per-connection state owned by the loop thread.
+struct Conn {
+    fd: sys::Fd,
+    generation: u32,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Requests dispatched but not yet flushed into `outbuf`.
+    inflight: usize,
+    /// v1 only: next sequence number to assign to an arriving request.
+    next_seq: u64,
+    /// v1 only: next sequence number the wire is waiting for.
+    next_emit: u64,
+    /// v1 only: completions that arrived out of order.
+    reorder: BTreeMap<u64, Vec<u8>>,
+    /// Peer sent EOF; close once the pipeline empties.
+    peer_closed: bool,
+    /// Interest currently installed in the poll set.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight == 0 && self.pending_out() == 0 && self.reorder.is_empty()
+    }
+}
+
+const TOKEN_LISTENER: Token = Token(0);
+const TOKEN_WAKER: Token = Token(1);
+const TOKEN_BASE: usize = 2;
+/// Per-event read budget; level-triggered epoll re-notifies leftovers.
+const READS_PER_EVENT: usize = 4;
+const WORKER_BATCH: usize = 64;
+
+/// A running reactor server; dropping it shuts it down.
+pub struct ReactorServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+    stats: Arc<ReactorStats>,
+    loop_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` (port 0 picks an ephemeral port), spawns the loop thread
+    /// and `config.workers` handler threads, and starts serving.
+    ///
+    /// `factory` is invoked once per worker so each worker owns a private
+    /// handler instance.
+    pub fn start<H, F>(
+        addr: SocketAddrV4,
+        config: ReactorConfig,
+        factory: F,
+    ) -> io::Result<ReactorServer>
+    where
+        H: Handler,
+        F: Fn() -> H,
+    {
+        let config = ReactorConfig {
+            workers: config.workers.max(1),
+            ..config
+        };
+        let (listener, local_addr) = sys::tcp_listen(addr, config.backlog)?;
+        let poll = Poll::new()?;
+        poll.register(listener.raw(), TOKEN_LISTENER, Interest::READABLE)?;
+        let (waker, wake_rx) = Waker::new(&poll, TOKEN_WAKER)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ReactorStats::default());
+        let jobs = Arc::new(JobQueue::new());
+        let completions = Arc::new(CompletionQueue {
+            inner: Mutex::new(Vec::new()),
+            waker: waker.clone(),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let mut handler = factory();
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("reactor-worker-{i}"))
+                    .spawn(move || worker_loop(&mut handler, &jobs, &completions))?,
+            );
+        }
+
+        let loop_thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("reactor-loop".into())
+                .spawn(move || {
+                    let mut state = LoopState {
+                        poll,
+                        listener: Some(listener),
+                        wake_rx,
+                        conns: Vec::new(),
+                        gens: Vec::new(),
+                        free: Vec::new(),
+                        active: 0,
+                        config,
+                        stats,
+                        jobs,
+                        completions,
+                        stop,
+                        scratch: vec![0u8; 64 * 1024],
+                        job_batch: Vec::new(),
+                        completion_batch: Vec::new(),
+                    };
+                    state.run();
+                    state.jobs.close();
+                })?
+        };
+
+        Ok(ReactorServer {
+            local_addr,
+            stop,
+            waker,
+            stats,
+            loop_thread: Some(loop_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, stop reading, finish in-flight
+    /// requests, flush buffered replies (up to `drain_timeout`), then tear
+    /// everything down. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(handle) = self.loop_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(handler: &mut dyn Handler, jobs: &JobQueue, completions: &CompletionQueue) {
+    let mut batch = Vec::with_capacity(WORKER_BATCH);
+    let mut done = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        jobs.pop_batch(&mut batch, WORKER_BATCH);
+        if batch.is_empty() {
+            return; // queue closed and drained
+        }
+        for job in batch.drain(..) {
+            let response = handler.handle(&job.payload);
+            done.push(Completion {
+                slot: job.slot,
+                generation: job.generation,
+                tag: job.tag,
+                response,
+            });
+        }
+        completions.push_batch(&mut done);
+    }
+}
+
+struct LoopState {
+    poll: Poll,
+    listener: Option<sys::Fd>,
+    wake_rx: crate::poll::WakeRx,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot reuse counter; completions carrying a stale generation are
+    /// discarded instead of reaching a different connection.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    active: usize,
+    config: ReactorConfig,
+    stats: Arc<ReactorStats>,
+    jobs: Arc<JobQueue>,
+    completions: Arc<CompletionQueue>,
+    stop: Arc<AtomicBool>,
+    scratch: Vec<u8>,
+    job_batch: Vec<Job>,
+    completion_batch: Vec<Completion>,
+}
+
+impl LoopState {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(1024);
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let timeout = if drain_deadline.is_some() {
+                Some(50)
+            } else {
+                None
+            };
+            if self.poll.poll(&mut events, timeout).is_err() {
+                break;
+            }
+            for event in events.iter() {
+                match event.token() {
+                    TOKEN_LISTENER => self.on_accept(),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    Token(t) => {
+                        let slot = t - TOKEN_BASE;
+                        if event.is_error() {
+                            self.close_conn(slot);
+                            continue;
+                        }
+                        if event.is_readable() {
+                            self.on_readable(slot);
+                        }
+                        if event.is_writable() {
+                            self.on_writable(slot);
+                        }
+                    }
+                }
+            }
+            self.apply_completions();
+            let draining = self.stop.load(Ordering::SeqCst);
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + self.config.drain_timeout);
+                self.begin_drain();
+            }
+            if let Some(deadline) = drain_deadline {
+                let all_idle = self.active == 0 || self.conns.iter().flatten().all(|c| c.idle());
+                if all_idle || Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+        // Tear down whatever remains.
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close_conn(slot);
+            }
+        }
+        self.listener = None;
+    }
+
+    /// Drain mode: close the accept path and stop reading new requests;
+    /// in-flight work and buffered replies still complete.
+    fn begin_drain(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poll.deregister(listener.raw());
+        }
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = &mut self.conns[slot] {
+                conn.peer_closed = true;
+                if conn.idle() {
+                    self.close_conn(slot);
+                } else {
+                    self.update_interest(slot);
+                }
+            }
+        }
+    }
+
+    fn on_accept(&mut self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        let listener_fd = listener.raw();
+        loop {
+            match sys::accept(listener_fd) {
+                Ok(Some(fd)) => {
+                    if self.active >= self.config.max_connections {
+                        self.stats.refused.fetch_add(1, Ordering::Relaxed);
+                        drop(fd);
+                        continue;
+                    }
+                    let _ = sys::set_nodelay(fd.raw());
+                    let slot = match self.free.pop() {
+                        Some(slot) => slot,
+                        None => {
+                            self.conns.push(None);
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let generation = self.gens[slot];
+                    let token = Token(slot + TOKEN_BASE);
+                    if self
+                        .poll
+                        .register(fd.raw(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns[slot] = Some(Conn {
+                        fd,
+                        generation,
+                        decoder: FrameDecoder::new(),
+                        outbuf: Vec::new(),
+                        outpos: 0,
+                        inflight: 0,
+                        next_seq: 0,
+                        next_emit: 0,
+                        reorder: BTreeMap::new(),
+                        peer_closed: false,
+                        interest: Interest::READABLE,
+                    });
+                    self.active += 1;
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn on_readable(&mut self, slot: usize) {
+        let mut eof = false;
+        let mut failed = false;
+        let mut total = 0u64;
+        let mut dispatched = 0u64;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            for _ in 0..READS_PER_EVENT {
+                match sys::read(conn.fd.raw(), &mut self.scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        total += n as u64;
+                        conn.decoder.extend(&self.scratch[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            // Decode everything buffered into jobs.
+            let generation = conn.generation;
+            while !failed {
+                match conn.decoder.next_frame() {
+                    Ok(Some(DecodedFrame::Hello)) => {
+                        conn.outbuf.extend_from_slice(&MAGIC);
+                        self.stats.v2_conns.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(Some(DecodedFrame::V1 { payload })) => {
+                        let tag = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.inflight += 1;
+                        dispatched += 1;
+                        self.job_batch.push(Job {
+                            slot,
+                            generation,
+                            tag,
+                            payload,
+                        });
+                    }
+                    Ok(Some(DecodedFrame::V2 { corr_id, payload })) => {
+                        conn.inflight += 1;
+                        dispatched += 1;
+                        self.job_batch.push(Job {
+                            slot,
+                            generation,
+                            tag: corr_id,
+                            payload,
+                        });
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        failed = true;
+                    }
+                }
+            }
+            if eof {
+                conn.peer_closed = true;
+            }
+        }
+        if total > 0 {
+            self.stats.bytes_in.fetch_add(total, Ordering::Relaxed);
+        }
+        if dispatched > 0 {
+            self.stats.requests.fetch_add(dispatched, Ordering::Relaxed);
+        }
+        // Hand off any decoded jobs even if the connection just died — stale
+        // generations make their completions harmless.
+        let mut jobs = std::mem::take(&mut self.job_batch);
+        self.jobs.push_batch(&mut jobs);
+        self.job_batch = jobs;
+        if failed {
+            self.close_conn(slot);
+            return;
+        }
+        if eof {
+            let idle = self.conns[slot].as_ref().is_some_and(Conn::idle);
+            if idle {
+                self.close_conn(slot);
+                return;
+            }
+        }
+        self.flush_conn(slot);
+        self.update_interest(slot);
+    }
+
+    fn on_writable(&mut self, slot: usize) {
+        self.flush_conn(slot);
+        self.update_interest(slot);
+    }
+
+    fn apply_completions(&mut self) {
+        let mut batch = std::mem::take(&mut self.completion_batch);
+        self.completions.drain_into(&mut batch);
+        if batch.is_empty() {
+            self.completion_batch = batch;
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for completion in batch.drain(..) {
+            let slot = completion.slot;
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.generation != completion.generation {
+                continue; // slot reused since this request was dispatched
+            }
+            conn.inflight -= 1;
+            match conn.decoder.protocol() {
+                Protocol::V2 => {
+                    encode_v2_into(&mut conn.outbuf, completion.tag, &completion.response);
+                }
+                _ => {
+                    // v1 promises in-order responses; reorder by sequence.
+                    conn.reorder.insert(completion.tag, completion.response);
+                    while let Some(response) = conn.reorder.remove(&conn.next_emit) {
+                        encode_v1_into(&mut conn.outbuf, &response);
+                        conn.next_emit += 1;
+                    }
+                }
+            }
+            self.stats.responses.fetch_add(1, Ordering::Relaxed);
+            if !touched.contains(&slot) {
+                touched.push(slot);
+            }
+        }
+        self.completion_batch = batch;
+        for slot in touched {
+            self.flush_conn(slot);
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                if conn.peer_closed && conn.idle() {
+                    self.close_conn(slot);
+                } else {
+                    self.update_interest(slot);
+                }
+            }
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    fn flush_conn(&mut self, slot: usize) {
+        let mut failed = false;
+        let mut wrote = 0u64;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            while conn.outpos < conn.outbuf.len() {
+                match sys::write(conn.fd.raw(), &conn.outbuf[conn.outpos..]) {
+                    Ok(n) => {
+                        conn.outpos += n;
+                        wrote += n as u64;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.outpos == conn.outbuf.len() {
+                conn.outbuf.clear();
+                conn.outpos = 0;
+            } else if conn.outpos >= 256 * 1024 {
+                conn.outbuf.drain(..conn.outpos);
+                conn.outpos = 0;
+            }
+        }
+        if wrote > 0 {
+            self.stats.bytes_out.fetch_add(wrote, Ordering::Relaxed);
+        }
+        if failed {
+            self.close_conn(slot);
+        }
+    }
+
+    /// Installs the interest the connection's state calls for, if changed.
+    fn update_interest(&mut self, slot: usize) {
+        let config_inflight = self.config.max_inflight_per_conn;
+        let config_outbuf = self.config.max_outbuf_bytes;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let mut want = Interest::NONE;
+        let backpressured = conn.inflight >= config_inflight || conn.pending_out() >= config_outbuf;
+        if !conn.peer_closed && !backpressured {
+            want = want.with(Interest::READABLE);
+        }
+        if conn.pending_out() > 0 {
+            want = want.with(Interest::WRITABLE);
+        }
+        if want == conn.interest {
+            return;
+        }
+        let fd = conn.fd.raw();
+        conn.interest = want;
+        let token = Token(slot + TOKEN_BASE);
+        if self.poll.reregister(fd, token, want).is_err() {
+            self.close_conn(slot);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.poll.deregister(conn.fd.raw());
+            drop(conn);
+            self.active -= 1;
+            self.free.push(slot);
+            self.stats.closed.fetch_add(1, Ordering::Relaxed);
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+        }
+    }
+}
+
+/// Convenience: a loopback `SocketAddrV4` with an ephemeral port.
+pub fn loopback() -> SocketAddrV4 {
+    SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)
+}

@@ -1,0 +1,474 @@
+//! Raw Linux syscalls — the only unsafe code in the crate.
+//!
+//! The workspace builds offline with no external crates, so instead of the
+//! `libc` crate this module declares the C library's `syscall(2)` trampoline
+//! and dials kernel entry points by number (per-architecture tables below).
+//! Only the handful of calls the reactor needs are wrapped, each behind a
+//! safe, `io::Result`-returning function; everything above this module is
+//! `#![deny(unsafe_code)]`.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+/// A raw file descriptor.
+pub type RawFd = i32;
+
+// Syscall numbers. Linux guarantees these are stable per architecture.
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: i64 = 0;
+    pub const WRITE: i64 = 1;
+    pub const CLOSE: i64 = 3;
+    pub const SOCKET: i64 = 41;
+    pub const BIND: i64 = 49;
+    pub const LISTEN: i64 = 50;
+    pub const GETSOCKNAME: i64 = 51;
+    pub const SETSOCKOPT: i64 = 54;
+    pub const EPOLL_CTL: i64 = 233;
+    pub const EPOLL_PWAIT: i64 = 281;
+    pub const ACCEPT4: i64 = 288;
+    pub const EPOLL_CREATE1: i64 = 291;
+    pub const PIPE2: i64 = 293;
+    pub const PRLIMIT64: i64 = 302;
+}
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: i64 = 63;
+    pub const WRITE: i64 = 64;
+    pub const CLOSE: i64 = 57;
+    pub const SOCKET: i64 = 198;
+    pub const BIND: i64 = 200;
+    pub const LISTEN: i64 = 201;
+    pub const GETSOCKNAME: i64 = 204;
+    pub const SETSOCKOPT: i64 = 208;
+    pub const EPOLL_CTL: i64 = 21;
+    pub const EPOLL_PWAIT: i64 = 22;
+    pub const ACCEPT4: i64 = 242;
+    pub const EPOLL_CREATE1: i64 = 20;
+    pub const PIPE2: i64 = 59;
+    pub const PRLIMIT64: i64 = 261;
+}
+
+extern "C" {
+    // The C library's generic syscall trampoline (std already links the C
+    // library on Linux, so no new link-time dependency is introduced) and
+    // its thread-local errno cell.
+    fn syscall(num: i64, ...) -> i64;
+    fn __errno_location() -> *mut i32;
+}
+
+fn errno() -> i32 {
+    // SAFETY: __errno_location always returns a valid thread-local pointer.
+    unsafe { *__errno_location() }
+}
+
+fn cvt(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(errno()))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_event`: packed on x86_64, naturally aligned elsewhere — this must
+/// match the kernel ABI exactly or event data is misread.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i64 = 1;
+const EPOLL_CTL_DEL: i64 = 2;
+const EPOLL_CTL_MOD: i64 = 3;
+
+const AF_INET: i64 = 2;
+const SOCK_STREAM: i64 = 1;
+const SOCK_NONBLOCK: i64 = 0o4000;
+const SOCK_CLOEXEC: i64 = 0o2000000;
+const SOL_SOCKET: i64 = 1;
+const SO_REUSEADDR: i64 = 2;
+const IPPROTO_TCP: i64 = 6;
+const TCP_NODELAY: i64 = 1;
+const O_NONBLOCK: i64 = 0o4000;
+const O_CLOEXEC: i64 = 0o2000000;
+const RLIMIT_NOFILE: i64 = 7;
+
+/// An owned file descriptor, closed on drop.
+#[derive(Debug)]
+pub struct Fd(RawFd);
+
+impl Fd {
+    /// The raw descriptor number.
+    pub fn raw(&self) -> RawFd {
+        self.0
+    }
+}
+
+impl Drop for Fd {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this value and closed exactly once.
+        unsafe {
+            let _ = syscall(nr::CLOSE, self.0 as i64);
+        }
+    }
+}
+
+/// Creates an epoll instance (`EPOLL_CLOEXEC`).
+pub fn epoll_create() -> io::Result<Fd> {
+    // SAFETY: no pointers involved.
+    let fd = cvt(unsafe { syscall(nr::EPOLL_CREATE1, O_CLOEXEC) })?;
+    Ok(Fd(fd as RawFd))
+}
+
+fn epoll_ctl(epfd: RawFd, op: i64, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    let ptr = if op == EPOLL_CTL_DEL {
+        std::ptr::null_mut()
+    } else {
+        &mut ev as *mut EpollEvent
+    };
+    // SAFETY: `ev` outlives the call; the kernel copies it synchronously.
+    cvt(unsafe { syscall(nr::EPOLL_CTL, epfd as i64, op, fd as i64, ptr as i64) })?;
+    Ok(())
+}
+
+/// Adds `fd` to the epoll set with the caller's token.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+/// Changes the interest set of an already-registered `fd`.
+pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+/// Removes `fd` from the epoll set.
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Waits for events; `timeout_ms < 0` blocks indefinitely. A signal
+/// interruption reads as zero events.
+pub fn epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: the buffer pointer/len pair is valid for the call's duration;
+    // a null sigmask makes epoll_pwait behave exactly like epoll_wait.
+    let ret = unsafe {
+        syscall(
+            nr::EPOLL_PWAIT,
+            epfd as i64,
+            events.as_mut_ptr() as i64,
+            events.len() as i64,
+            timeout_ms as i64,
+            0i64, // sigmask: null
+            8i64, // sigsetsize
+        )
+    };
+    match cvt(ret) {
+        Ok(n) => Ok(n as usize),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Creates a nonblocking close-on-exec pipe; returns `(read, write)` ends.
+pub fn pipe() -> io::Result<(Fd, Fd)> {
+    let mut fds = [0 as RawFd; 2];
+    // SAFETY: `fds` is a valid two-slot output buffer.
+    cvt(unsafe { syscall(nr::PIPE2, fds.as_mut_ptr() as i64, O_NONBLOCK | O_CLOEXEC) })?;
+    Ok((Fd(fds[0]), Fd(fds[1])))
+}
+
+/// Reads into `buf`; `Ok(0)` is end-of-stream. `WouldBlock` surfaces as an
+/// error of that kind; `EINTR` is retried internally.
+pub fn read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    loop {
+        // SAFETY: the buffer pointer/len pair is valid for the call.
+        let ret = unsafe {
+            syscall(
+                nr::READ,
+                fd as i64,
+                buf.as_mut_ptr() as i64,
+                buf.len() as i64,
+            )
+        };
+        match cvt(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes from `buf`, returning the number of bytes accepted; `EINTR` is
+/// retried internally.
+pub fn write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    loop {
+        // SAFETY: the buffer pointer/len pair is valid for the call.
+        let ret = unsafe { syscall(nr::WRITE, fd as i64, buf.as_ptr() as i64, buf.len() as i64) };
+        match cvt(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `sockaddr_in`, byte-for-byte.
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+impl SockAddrIn {
+    fn new(addr: SocketAddrV4) -> Self {
+        Self {
+            family: AF_INET as u16,
+            port_be: addr.port().to_be(),
+            addr_be: u32::from(*addr.ip()).to_be(),
+            zero: [0; 8],
+        }
+    }
+
+    fn to_socket_addr(&self) -> SocketAddrV4 {
+        SocketAddrV4::new(
+            Ipv4Addr::from(u32::from_be(self.addr_be)),
+            u16::from_be(self.port_be),
+        )
+    }
+}
+
+/// Creates a nonblocking IPv4 listener with `SO_REUSEADDR` and a large
+/// backlog; returns the fd and the bound address (the ephemeral port
+/// resolved).
+pub fn tcp_listen(addr: SocketAddrV4, backlog: i32) -> io::Result<(Fd, SocketAddr)> {
+    // SAFETY: plain flag arguments.
+    let fd = cvt(unsafe {
+        syscall(
+            nr::SOCKET,
+            AF_INET,
+            SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+            0i64,
+        )
+    })? as RawFd;
+    let fd = Fd(fd);
+    let one: i32 = 1;
+    // SAFETY: `one` outlives the synchronous call.
+    cvt(unsafe {
+        syscall(
+            nr::SETSOCKOPT,
+            fd.raw() as i64,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one as *const i32 as i64,
+            std::mem::size_of::<i32>() as i64,
+        )
+    })?;
+    let sin = SockAddrIn::new(addr);
+    // SAFETY: `sin` is a valid sockaddr_in for the call's duration.
+    cvt(unsafe {
+        syscall(
+            nr::BIND,
+            fd.raw() as i64,
+            &sin as *const SockAddrIn as i64,
+            std::mem::size_of::<SockAddrIn>() as i64,
+        )
+    })?;
+    // SAFETY: plain arguments.
+    cvt(unsafe { syscall(nr::LISTEN, fd.raw() as i64, backlog as i64) })?;
+    let mut out = SockAddrIn::new(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0));
+    let mut len: u32 = std::mem::size_of::<SockAddrIn>() as u32;
+    // SAFETY: `out`/`len` are valid output buffers for the call's duration.
+    cvt(unsafe {
+        syscall(
+            nr::GETSOCKNAME,
+            fd.raw() as i64,
+            &mut out as *mut SockAddrIn as i64,
+            &mut len as *mut u32 as i64,
+        )
+    })?;
+    Ok((fd, SocketAddr::V4(out.to_socket_addr())))
+}
+
+/// Accepts one pending connection as a nonblocking close-on-exec socket;
+/// `Ok(None)` when the accept queue is empty.
+pub fn accept(listen_fd: RawFd) -> io::Result<Option<Fd>> {
+    // SAFETY: null addr/addrlen are permitted; flags are plain integers.
+    let ret = unsafe {
+        syscall(
+            nr::ACCEPT4,
+            listen_fd as i64,
+            0i64,
+            0i64,
+            SOCK_NONBLOCK | SOCK_CLOEXEC,
+        )
+    };
+    match cvt(ret) {
+        Ok(fd) => Ok(Some(Fd(fd as RawFd))),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+        // A connection that was reset between arrival and accept is not a
+        // listener failure.
+        Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Disables Nagle on a connected TCP socket.
+pub fn set_nodelay(fd: RawFd) -> io::Result<()> {
+    let one: i32 = 1;
+    // SAFETY: `one` outlives the synchronous call.
+    cvt(unsafe {
+        syscall(
+            nr::SETSOCKOPT,
+            fd as i64,
+            IPPROTO_TCP,
+            TCP_NODELAY,
+            &one as *const i32 as i64,
+            std::mem::size_of::<i32>() as i64,
+        )
+    })?;
+    Ok(())
+}
+
+#[repr(C)]
+struct Rlimit64 {
+    cur: u64,
+    max: u64,
+}
+
+/// Raises the process's open-file limit to at least `want` descriptors
+/// (bounded by the hard limit for unprivileged processes; root can raise
+/// the hard limit too). Returns the resulting soft limit.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut current = Rlimit64 { cur: 0, max: 0 };
+    // SAFETY: `current` is a valid output buffer.
+    cvt(unsafe {
+        syscall(
+            nr::PRLIMIT64,
+            0i64,
+            RLIMIT_NOFILE,
+            0i64,
+            &mut current as *mut Rlimit64 as i64,
+        )
+    })?;
+    if current.cur >= want {
+        return Ok(current.cur);
+    }
+    let target = Rlimit64 {
+        cur: want,
+        max: want.max(current.max),
+    };
+    // SAFETY: `target` is a valid input buffer.
+    let raised = unsafe {
+        syscall(
+            nr::PRLIMIT64,
+            0i64,
+            RLIMIT_NOFILE,
+            &target as *const Rlimit64 as i64,
+            0i64,
+        )
+    };
+    if raised >= 0 {
+        return Ok(want);
+    }
+    // Unprivileged: settle for the hard limit.
+    let fallback = Rlimit64 {
+        cur: current.max,
+        max: current.max,
+    };
+    // SAFETY: `fallback` is a valid input buffer.
+    cvt(unsafe {
+        syscall(
+            nr::PRLIMIT64,
+            0i64,
+            RLIMIT_NOFILE,
+            &fallback as *const Rlimit64 as i64,
+            0i64,
+        )
+    })?;
+    Ok(current.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_round_trips_bytes_and_reports_would_block() {
+        let (rx, tx) = pipe().unwrap();
+        let mut buf = [0u8; 8];
+        let err = read(rx.raw(), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(write(tx.raw(), b"ping").unwrap(), 4);
+        assert_eq!(read(rx.raw(), &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+    }
+
+    #[test]
+    fn epoll_sees_pipe_readability() {
+        let ep = epoll_create().unwrap();
+        let (rx, tx) = pipe().unwrap();
+        epoll_add(ep.raw(), rx.raw(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_wait(ep.raw(), &mut events, 0).unwrap(), 0);
+        write(tx.raw(), b"x").unwrap();
+        let n = epoll_wait(ep.raw(), &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 42);
+        epoll_del(ep.raw(), rx.raw()).unwrap();
+    }
+
+    #[test]
+    fn listener_binds_an_ephemeral_port_and_accepts() {
+        let (listener, addr) = tcp_listen(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0), 128).unwrap();
+        assert_ne!(addr.port(), 0);
+        assert!(
+            accept(listener.raw()).unwrap().is_none(),
+            "no one connected"
+        );
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        // The connection may take a scheduler tick to reach the queue.
+        let mut accepted = None;
+        for _ in 0..100 {
+            if let Some(fd) = accept(listener.raw()).unwrap() {
+                accepted = Some(fd);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let conn = accepted.expect("connection accepted");
+        set_nodelay(conn.raw()).unwrap();
+        drop(client);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let now = raise_nofile_limit(64).unwrap();
+        assert!(now >= 64);
+    }
+}

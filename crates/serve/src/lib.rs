@@ -44,6 +44,7 @@ pub mod net;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
+pub mod transport;
 pub mod wal;
 
 pub use api::{
@@ -53,10 +54,11 @@ pub use api::{
 pub use metrics::{
     prometheus_text, EndpointReport, LatencyHistogram, Metrics, ObsReport, StatsReport,
 };
-pub use net::{Client, TcpServer};
+pub use net::{Client, ClientError, TcpServer};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{
     CertChaos, CertMode, EpochRecord, Event, MeshService, RecoverError, ServeConfig, ServiceHandle,
 };
 pub use snapshot::{EventBatch, Snapshot};
+pub use transport::{dispatch_bytes, TcpFront, Transport};
 pub use wal::{Wal, WalRecord};

@@ -155,12 +155,18 @@ impl Drop for TcpServer {
 
 /// One connection: read a request frame, dispatch, write the response,
 /// until EOF, error, or server shutdown.
+///
+/// Shutdown is a *drain*, not an abandonment: once `stop` is observed the
+/// thread keeps serving whatever requests are already buffered on the
+/// socket (replies already owed must be delivered) and only exits when the
+/// stream goes idle at a frame boundary.
 fn serve_connection(
     stream: TcpStream,
     mut handle: ServiceHandle,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
 ) {
+    use std::io::BufRead;
     let _ = stream.set_nodelay(true);
     // A finite read timeout lets the thread notice server shutdown even
     // when the client goes quiet without closing.
@@ -168,8 +174,23 @@ fn serve_connection(
     let mut reader = io::BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = io::BufWriter::new(stream);
     loop {
-        if stop.load(Ordering::Acquire) {
-            return;
+        let stopping = stop.load(Ordering::Acquire);
+        // Wait for the next frame's first byte without consuming anything:
+        // an idle timeout here can never desynchronize the stream, and a
+        // drain decision is only taken at a frame boundary.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stopping {
+                    let _ = writer.flush();
+                    return; // drained: no request in flight on this socket
+                }
+                continue;
+            }
+            Err(_) => return,
         }
         let request: Request = match read_frame(&mut reader) {
             Ok(Some(request)) => request,
@@ -177,7 +198,10 @@ fn serve_connection(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue
+                // Stalled mid-frame: the header may be partially consumed,
+                // so the stream is no longer frame-aligned. Close rather
+                // than misparse everything that follows.
+                return;
             }
             Err(e) => {
                 let _ = write_frame(
@@ -197,6 +221,47 @@ fn serve_connection(
     }
 }
 
+/// Why a [`Client`] call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A configured read or write deadline elapsed before the operation
+    /// completed. After a read timeout the connection is no longer
+    /// frame-aligned; reconnect rather than retry on the same socket.
+    Timeout,
+    /// Any other transport or protocol failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => f.write_str("request timed out"),
+            ClientError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Timeout => io::Error::new(io::ErrorKind::TimedOut, "request timed out"),
+            ClientError::Io(e) => e,
+        }
+    }
+}
+
 /// A blocking client for the framed TCP protocol.
 pub struct Client {
     reader: io::BufReader<TcpStream>,
@@ -204,7 +269,8 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a [`TcpServer`].
+    /// Connects to a [`TcpServer`]. No timeouts are set: calls block until
+    /// the server answers. See [`set_read_timeout`](Self::set_read_timeout).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
@@ -214,11 +280,27 @@ impl Client {
         })
     }
 
-    /// Sends one request and blocks for its response.
-    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+    /// Bounds how long a [`request`](Self::request) waits for its response;
+    /// `None` (the default) blocks forever. On expiry the call fails with
+    /// [`ClientError::Timeout`] instead of hanging on a stalled server.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Bounds how long sending a request may block on a congested socket.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.get_ref().set_write_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response (subject to the
+    /// configured timeouts).
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.writer, request)?;
         read_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            ))
         })
     }
 
@@ -227,13 +309,13 @@ impl Client {
     pub fn route_len_batch(
         &mut self,
         pairs: Vec<(ocp_mesh::Coord, ocp_mesh::Coord)>,
-    ) -> io::Result<crate::api::RouteLenBatchReply> {
+    ) -> Result<crate::api::RouteLenBatchReply, ClientError> {
         match self.request(&Request::RouteLenBatch { pairs })? {
             Response::RouteLenBatch(reply) => Ok(reply),
-            other => Err(io::Error::new(
+            other => Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected response to RouteLenBatch: {other:?}"),
-            )),
+            ))),
         }
     }
 }
@@ -382,6 +464,59 @@ mod tests {
         drop(client);
         server.shutdown();
         service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_pipelined_requests() {
+        // Pin the drain contract: every request already on the socket when
+        // shutdown begins gets its reply delivered, not abandoned.
+        let service = MeshService::start(Topology::mesh(8, 8), [], ServeConfig::default()).unwrap();
+        let server = TcpServer::start(&service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        // One synchronous request first, so the connection thread is known
+        // to be up before the shutdown race starts.
+        write_frame(&mut stream, &Request::Epoch).unwrap();
+        let first: Response = read_frame(&mut reader).unwrap().unwrap();
+        assert!(matches!(first, Response::Epoch { .. }));
+        const PIPELINED: usize = 49;
+        let mut wire = Vec::new();
+        for _ in 0..PIPELINED {
+            write_frame(&mut wire, &Request::Epoch).unwrap();
+        }
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+        // Shut down immediately: most of the burst is still queued.
+        let served = server.shutdown();
+        assert_eq!(
+            served as usize,
+            PIPELINED + 1,
+            "no queued request abandoned"
+        );
+        for _ in 0..PIPELINED {
+            let reply: Response = read_frame(&mut reader)
+                .unwrap()
+                .expect("reply delivered during drain");
+            assert!(matches!(reply, Response::Epoch { .. }));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn client_read_timeout_surfaces_as_typed_timeout() {
+        // A server that accepts and then goes silent must not hang the
+        // client forever once a read timeout is configured.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let _silent = listener.accept().unwrap();
+        match client.request(&Request::Epoch) {
+            Err(ClientError::Timeout) => {}
+            other => panic!("expected ClientError::Timeout, got {other:?}"),
+        }
     }
 
     #[test]

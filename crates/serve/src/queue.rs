@@ -231,4 +231,110 @@ mod tests {
     fn zero_capacity_is_rejected() {
         let _ = BoundedQueue::<u8>::new(0);
     }
+
+    /// Concurrent producers vs. one consumer: admission accounting must be
+    /// exact. Every push attempt either lands (and is received exactly
+    /// once) or is rejected `Overloaded`; nothing is lost or duplicated,
+    /// and the queue never exceeds capacity.
+    #[test]
+    fn concurrent_producers_exact_admission_accounting() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 2_000;
+        const CAPACITY: usize = 32;
+
+        let q: BoundedQueue<(usize, usize)> = BoundedQueue::new(CAPACITY);
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let overloaded = Arc::new(AtomicUsize::new(0));
+
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got: Vec<(usize, usize)> = Vec::new();
+                while let Some(item) = q.recv() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                let admitted = admitted.clone();
+                let overloaded = overloaded.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        match q.try_push((p, i)) {
+                            Ok(()) => {
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(PushError::Overloaded) => {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                                // Back off so the consumer makes progress
+                                // and both outcomes are exercised.
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed) => panic!("queue closed early"),
+                        }
+                        assert!(q.len() <= CAPACITY, "capacity breached");
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+
+        let admitted = admitted.load(Ordering::Relaxed);
+        let overloaded = overloaded.load(Ordering::Relaxed);
+        // Exact accounting: every attempt has exactly one outcome, and
+        // every admitted item reaches the consumer exactly once.
+        assert_eq!(admitted + overloaded, PRODUCERS * PER_PRODUCER);
+        assert_eq!(got.len(), admitted, "lost or duplicated items");
+        let unique: std::collections::HashSet<_> = got.iter().copied().collect();
+        assert_eq!(unique.len(), got.len(), "duplicated items");
+        // Under a 32-slot queue and 16k attempts, both outcomes must occur.
+        assert!(admitted > 0, "no item admitted");
+        assert!(overloaded > 0, "overload path never exercised");
+    }
+
+    /// Producers racing `close`: pushes after close are `Closed`, pushes
+    /// before close are all drained, and the consumer sees a clean end.
+    #[test]
+    fn concurrent_producers_racing_close_lose_nothing_admitted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let q: BoundedQueue<usize> = BoundedQueue::new(64);
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                let admitted = admitted.clone();
+                std::thread::spawn(move || loop {
+                    match q.try_push(p) {
+                        Ok(()) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(PushError::Overloaded) => std::thread::yield_now(),
+                        Err(PushError::Closed) => return,
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        // Everything admitted before close is still drainable.
+        let mut drained = 0;
+        while q.recv().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, admitted.load(Ordering::Relaxed));
+    }
 }

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 /// };
 /// assert_ne!(relaxed.cert_mode, CertMode::Off);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CertMode {
     /// No certificates: zero publish-path overhead, no audit trail.
     Off,

@@ -1,0 +1,202 @@
+//! Transport selection for the TCP front-end.
+//!
+//! Two ways to put a [`MeshService`] on a socket:
+//!
+//! * [`Transport::Blocking`] — the original `std::net` thread-per-connection
+//!   server in [`crate::net`], kept unchanged as the pinned reference
+//!   transport;
+//! * [`Transport::Reactor`] — the `ocp-reactor` event loop: one poll thread
+//!   multiplexing every connection plus a fixed worker pool, with pipelined
+//!   framing v2 negotiated per connection (legacy v1 clients keep working —
+//!   the reactor answers them in order).
+//!
+//! Both speak the same JSON request/response surface; a [`crate::Client`]
+//! cannot tell them apart, which is exactly what lets the blocking transport
+//! serve as the correctness oracle for the reactor in experiment E19.
+
+use crate::api::{Request, Response};
+use crate::net::TcpServer;
+use crate::service::{MeshService, ServiceHandle};
+use ocp_reactor::{ReactorConfig, ReactorServer, StatsSnapshot};
+use std::io;
+use std::net::{SocketAddr, SocketAddrV4};
+
+/// Which TCP front-end to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Thread-per-connection `std::net` server (the pinned reference).
+    Blocking,
+    /// Epoll event loop with a worker pool and pipelined framing.
+    Reactor,
+}
+
+/// Decodes one framed request payload, dispatches it on `handle`, and
+/// encodes the response — the byte-level bridge between the reactor's
+/// framing and the typed API. Malformed JSON gets a `Response::Error`
+/// instead of tearing the connection down.
+pub fn dispatch_bytes(handle: &mut ServiceHandle, payload: &[u8]) -> Vec<u8> {
+    let response = match serde_json::from_slice::<Request>(payload) {
+        Ok(request) => handle.dispatch(request),
+        Err(e) => Response::Error {
+            message: format!("bad request: {e}"),
+        },
+    };
+    serde_json::to_vec(&response).unwrap_or_else(|_| b"{}".to_vec())
+}
+
+/// A running TCP front-end of either flavor.
+pub enum TcpFront {
+    /// The blocking reference transport.
+    Blocking(TcpServer),
+    /// The event-loop transport.
+    Reactor(ReactorServer),
+}
+
+impl TcpFront {
+    /// Starts the selected transport on `addr` (use port 0 for ephemeral).
+    pub fn start(service: &MeshService, addr: &str, transport: Transport) -> io::Result<TcpFront> {
+        match transport {
+            Transport::Blocking => Ok(TcpFront::Blocking(TcpServer::start(service, addr)?)),
+            Transport::Reactor => Self::start_reactor(service, addr, ReactorConfig::default()),
+        }
+    }
+
+    /// Starts the reactor transport with explicit tuning.
+    pub fn start_reactor(
+        service: &MeshService,
+        addr: &str,
+        config: ReactorConfig,
+    ) -> io::Result<TcpFront> {
+        let addr: SocketAddrV4 = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr: {e}")))?;
+        // One ServiceHandle per worker: each worker keeps the same lock-free
+        // snapshot-cached hot path as an in-process reader.
+        let prototype = service.handle();
+        let server = ReactorServer::start(addr, config, move || {
+            let mut handle = prototype.clone();
+            move |payload: &[u8]| dispatch_bytes(&mut handle, payload)
+        })?;
+        Ok(TcpFront::Reactor(server))
+    }
+
+    /// The bound address (ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            TcpFront::Blocking(s) => s.local_addr(),
+            TcpFront::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    /// Requests served so far.
+    pub fn served_requests(&self) -> u64 {
+        match self {
+            TcpFront::Blocking(s) => s.served_requests(),
+            TcpFront::Reactor(s) => s.stats().responses,
+        }
+    }
+
+    /// Reactor counters, when running the reactor transport.
+    pub fn reactor_stats(&self) -> Option<StatsSnapshot> {
+        match self {
+            TcpFront::Blocking(_) => None,
+            TcpFront::Reactor(s) => Some(s.stats()),
+        }
+    }
+
+    /// Graceful shutdown (both transports drain in-flight requests);
+    /// returns the total requests served.
+    pub fn shutdown(self) -> u64 {
+        match self {
+            TcpFront::Blocking(s) => s.shutdown(),
+            TcpFront::Reactor(mut s) => {
+                s.shutdown();
+                s.stats().responses
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NodeState;
+    use crate::net::Client;
+    use crate::service::ServeConfig;
+    use ocp_mesh::{Coord, Topology};
+    use ocp_reactor::PipelinedClient;
+
+    fn c(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn legacy_v1_client_works_against_the_reactor() {
+        let service =
+            MeshService::start(Topology::mesh(8, 8), [c(3, 3)], ServeConfig::default()).unwrap();
+        let front = TcpFront::start(&service, "127.0.0.1:0", Transport::Reactor).unwrap();
+        let mut client = Client::connect(front.local_addr()).unwrap();
+        match client.request(&Request::Status { node: c(3, 3) }).unwrap() {
+            Response::Status(reply) => assert_eq!(reply.state, NodeState::Faulty),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match client.request(&Request::Epoch).unwrap() {
+            Response::Epoch { .. } => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+        drop(client);
+        assert!(front.shutdown() >= 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_v2_replies_match_the_in_process_oracle() {
+        let service =
+            MeshService::start(Topology::mesh(10, 10), [c(4, 4)], ServeConfig::default()).unwrap();
+        let front = TcpFront::start(&service, "127.0.0.1:0", Transport::Reactor).unwrap();
+        let mut oracle = service.handle();
+        let mut client = PipelinedClient::connect(front.local_addr()).unwrap();
+
+        let requests: Vec<Request> = (0..9)
+            .map(|i| Request::RouteLen {
+                src: c(i % 3, 0),
+                dst: c(9 - i % 3, 9),
+            })
+            .chain([Request::Epoch, Request::Stats])
+            .collect();
+        let mut expected = std::collections::BTreeMap::new();
+        for request in &requests {
+            let id = client.send(&serde_json::to_vec(request).unwrap()).unwrap();
+            expected.insert(id, request.clone());
+        }
+        for _ in 0..requests.len() {
+            let (id, payload) = client.recv().unwrap();
+            let got: Response = serde_json::from_slice(&payload).unwrap();
+            let want = oracle.dispatch(expected.remove(&id).unwrap());
+            // Stats replies embed live counters; compare only the variant.
+            match (&got, &want) {
+                (Response::Stats(_), Response::Stats(_)) => {}
+                (Response::Epoch { .. }, Response::Epoch { .. }) => {}
+                _ => assert_eq!(got, want, "reply for corr id {id} diverged from oracle"),
+            }
+        }
+        drop(client);
+        front.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn blocking_selector_still_runs_the_reference_transport() {
+        let service = MeshService::start(Topology::mesh(6, 6), [], ServeConfig::default()).unwrap();
+        let front = TcpFront::start(&service, "127.0.0.1:0", Transport::Blocking).unwrap();
+        assert!(front.reactor_stats().is_none());
+        let mut client = Client::connect(front.local_addr()).unwrap();
+        assert!(matches!(
+            client.request(&Request::Epoch).unwrap(),
+            Response::Epoch { .. }
+        ));
+        drop(client);
+        assert_eq!(front.shutdown(), 1);
+        service.shutdown();
+    }
+}
