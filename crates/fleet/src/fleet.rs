@@ -25,10 +25,10 @@
 //! service is resurrected by [`MeshService::recover`] — placement needs
 //! no persistence because the hash ring is deterministic.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use ocp_obs::Registry;
@@ -108,9 +108,32 @@ struct FleetInner {
     config: FleetConfig,
     ring: HashRing,
     tenants: RwLock<HashMap<String, TenantEntry>>,
+    /// Names with a create in flight: reserved *before* the tenant's WAL
+    /// is created (which truncates), so two racing creates of the same
+    /// name cannot both reach the filesystem. See [`NameReservation`].
+    creating: Mutex<HashSet<String>>,
     budget: FleetBudget,
     registry: Registry,
     counters: FleetCounters,
+}
+
+/// Releases a name reserved in [`FleetInner::creating`] on every exit
+/// path of `create_tenant`. The winner inserts into the tenant map
+/// *before* this drops, so a racer always observes either the
+/// reservation or the live entry — never a gap.
+struct NameReservation<'a> {
+    creating: &'a Mutex<HashSet<String>>,
+    name: &'a str,
+}
+
+impl Drop for NameReservation<'_> {
+    fn drop(&mut self) {
+        let mut creating = match self.creating.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        creating.remove(self.name);
+    }
 }
 
 /// The fleet owner: holds the tenant services and tears them down on
@@ -147,6 +170,16 @@ impl Fleet {
     /// Starts an empty fleet. Creates `wal_dir` (and an empty manifest)
     /// when durability is configured.
     pub fn new(config: FleetConfig) -> std::io::Result<Self> {
+        let fleet = Self::bare(config)?;
+        fleet.handle().write_manifest_if_durable()?;
+        Ok(fleet)
+    }
+
+    /// The shared constructor: allocates the fleet and `wal_dir` but
+    /// does **not** touch `manifest.json` — [`Fleet::recover`] must be
+    /// able to build an empty fleet without clobbering the very roster
+    /// it is about to restore from.
+    fn bare(config: FleetConfig) -> std::io::Result<Self> {
         if let Some(dir) = &config.wal_dir {
             std::fs::create_dir_all(dir)?;
         }
@@ -156,11 +189,10 @@ impl Fleet {
             registry: Registry::new(),
             counters: FleetCounters::default(),
             tenants: RwLock::new(HashMap::new()),
+            creating: Mutex::new(HashSet::new()),
             config,
         });
-        let fleet = Self { inner };
-        fleet.handle().write_manifest_if_durable()?;
-        Ok(fleet)
+        Ok(Self { inner })
     }
 
     /// Rebuilds a durable fleet from `config.wal_dir`: reads the roster
@@ -183,7 +215,11 @@ impl Fleet {
         let roster: BTreeMap<String, TenantSpec> =
             serde_json::from_slice(&raw).map_err(|e| format!("corrupt manifest: {e}"))?;
 
-        let fleet = Self::new(config).map_err(|e| format!("fleet init: {e}"))?;
+        // `bare`, not `new`: the on-disk manifest must stay intact until
+        // the roster it describes is fully restored, so a crash at any
+        // point during recovery leaves a manifest that still names every
+        // tenant for the next attempt.
+        let fleet = Self::bare(config).map_err(|e| format!("fleet init: {e}"))?;
         {
             let handle = fleet.handle();
             let mut tenants = handle.inner.tenants.write().expect("tenant map lock");
@@ -202,8 +238,12 @@ impl Fleet {
                 .store(tenants.len() as u64, Ordering::Relaxed);
             handle.tenants_gauge().set(tenants.len() as i64);
         }
-        // Recovery rebuilt the same roster, so the manifest is already
-        // correct on disk; no rewrite needed.
+        // Canonicalize the manifest against the recovered roster so a
+        // second restart recovers the same fleet.
+        fleet
+            .handle()
+            .write_manifest_if_durable()
+            .map_err(|e| format!("manifest rewrite after recovery: {e}"))?;
         Ok(fleet)
     }
 
@@ -343,13 +383,18 @@ impl FleetHandle {
         if let Err(message) = validate_tenant_name(name) {
             return FleetResponse::Error { message };
         }
-        let serve = self.serve_config_for(&spec);
-        let durable = self.inner.config.wal_dir.is_some();
-
-        // Build the service *outside* the map lock (cold labeling can be
-        // expensive), then insert under the lock, racing duplicates.
-        let started = if let Some(dir) = &self.inner.config.wal_dir {
-            let wal_path = dir.join(format!("{name}.wal"));
+        // Reserve the name before any filesystem work: creating a durable
+        // tenant truncates `<name>.wal`, so two racing creates that both
+        // passed a plain duplicate check would have the loser destroy the
+        // winner's live log. The reservation is dropped on every exit
+        // path, but only after a winner has inserted into the map.
+        let _reservation = {
+            let mut creating = self.inner.creating.lock().expect("creation guard lock");
+            if creating.contains(name) {
+                return FleetResponse::Error {
+                    message: format!("tenant {name:?} already exists"),
+                };
+            }
             {
                 let tenants = self.inner.tenants.read().expect("tenant map lock");
                 if tenants.contains_key(name) {
@@ -358,6 +403,19 @@ impl FleetHandle {
                     };
                 }
             }
+            creating.insert(name.to_string());
+            NameReservation {
+                creating: &self.inner.creating,
+                name,
+            }
+        };
+        let serve = self.serve_config_for(&spec);
+        let durable = self.inner.config.wal_dir.is_some();
+
+        // Build the service *outside* the map lock (cold labeling can be
+        // expensive), then insert under the lock.
+        let started = if let Some(dir) = &self.inner.config.wal_dir {
+            let wal_path = dir.join(format!("{name}.wal"));
             MeshService::start_durable(
                 spec.topology,
                 spec.initial_faults.iter().copied(),

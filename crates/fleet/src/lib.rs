@@ -435,4 +435,137 @@ mod tests {
         recovered.shutdown(Duration::from_secs(5));
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Recovery must not clobber the durable roster: after a recovery
+    /// (which historically rewrote `manifest.json` as `{}` on the way
+    /// up), a *second* crash/restart has to restore every tenant again.
+    #[test]
+    fn recovery_survives_a_second_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "ocp-fleet-rerecover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FleetConfig {
+            wal_dir: Some(dir.clone()),
+            ..FleetConfig::default()
+        };
+
+        let fleet = Fleet::new(config.clone()).unwrap();
+        let handle = fleet.handle();
+        create(&handle, "gamma", spec(8, 8));
+        create(&handle, "delta", spec(6, 4));
+        handle.dispatch(FleetRequest::Tenant {
+            tenant: "gamma".into(),
+            request: Request::InjectFaults {
+                nodes: vec![Coord::new(3, 3)],
+            },
+        });
+        wait_for_epoch(&handle, "gamma", 1);
+        let gamma_before = epoch_fingerprint(&handle, "gamma");
+        fleet.shutdown(Duration::from_secs(5));
+
+        // First recovery, then immediately "crash" again without any
+        // create/drop that would refresh the manifest.
+        let once = Fleet::recover(config.clone()).expect("first recovery");
+        once.shutdown(Duration::from_secs(5));
+
+        let twice = Fleet::recover(config).expect("second recovery");
+        let handle = twice.handle();
+        match handle.dispatch(FleetRequest::ListTenants) {
+            FleetResponse::Tenants { tenants } => {
+                let names: Vec<&str> = tenants.iter().map(|t| t.name.as_str()).collect();
+                assert_eq!(names, ["delta", "gamma"], "roster lost across restarts");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            epoch_fingerprint(&handle, "gamma"),
+            gamma_before,
+            "gamma's epoch state did not survive the second restart"
+        );
+        twice.shutdown(Duration::from_secs(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Concurrent `CreateTenant` calls for the same durable name must
+    /// elect exactly one winner — and the losers must never reach
+    /// `Wal::create` (which truncates), or they would destroy the
+    /// winner's live log and poison later recovery.
+    #[test]
+    fn racing_durable_creates_never_truncate_the_winners_wal() {
+        use std::sync::{Arc, Barrier};
+
+        let dir = std::env::temp_dir().join(format!(
+            "ocp-fleet-create-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FleetConfig {
+            wal_dir: Some(dir.clone()),
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::new(config.clone()).unwrap();
+        let handle = fleet.handle();
+
+        const THREADS: usize = 8;
+        for round in 0..4 {
+            let name = format!("contested-{round}");
+            let barrier = Arc::new(Barrier::new(THREADS));
+            let created: usize = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..THREADS)
+                    .map(|_| {
+                        let handle = handle.clone();
+                        let barrier = Arc::clone(&barrier);
+                        let name = name.clone();
+                        scope.spawn(move || {
+                            barrier.wait();
+                            matches!(
+                                handle.dispatch(FleetRequest::CreateTenant {
+                                    name,
+                                    spec: spec(6, 6),
+                                }),
+                                FleetResponse::Created { .. }
+                            )
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap() as usize)
+                    .sum()
+            });
+            assert_eq!(created, 1, "round {round}: exactly one create must win");
+
+            // The winner's service (and its WAL) must be fully usable:
+            // epoch churn appends cleanly to an untruncated log.
+            handle.dispatch(FleetRequest::Tenant {
+                tenant: name.clone(),
+                request: Request::InjectFaults {
+                    nodes: vec![Coord::new(1, 1)],
+                },
+            });
+            wait_for_epoch(&handle, &name, 1);
+        }
+
+        // Recovery proves no WAL was torn by a racing loser.
+        let fingerprints: Vec<_> = (0..4)
+            .map(|round| epoch_fingerprint(&handle, &format!("contested-{round}")))
+            .collect();
+        fleet.shutdown(Duration::from_secs(5));
+        let recovered = Fleet::recover(config).expect("recovery after create races");
+        let handle = recovered.handle();
+        for (round, before) in fingerprints.iter().enumerate() {
+            let name = format!("contested-{round}");
+            assert_eq!(
+                &epoch_fingerprint(&handle, &name),
+                before,
+                "tenant {name} state changed across recovery"
+            );
+        }
+        recovered.shutdown(Duration::from_secs(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -121,6 +121,38 @@ mod tests {
     }
 
     #[test]
+    fn inflight_cap_still_serves_every_buffered_frame() {
+        // One write delivers far more pipelined frames than the per-conn
+        // in-flight cap. The server must decode at most `cap` of them per
+        // pass and resume from its *decoder buffer* as completions drain —
+        // the bytes are already off the socket, so epoll alone would never
+        // re-deliver them and the tail would hang forever.
+        let config = ReactorConfig {
+            max_inflight_per_conn: 4,
+            workers: 2,
+            ..ReactorConfig::default()
+        };
+        let server =
+            ReactorServer::start(loopback(), config, || |req: &[u8]| req.to_ascii_uppercase())
+                .expect("server starts");
+        let mut client = PipelinedClient::connect(server.local_addr()).unwrap();
+        const N: usize = 500;
+        let mut ids = Vec::new();
+        for i in 0..N {
+            ids.push(client.send(format!("burst-{i}").as_bytes()).unwrap());
+        }
+        let mut got = std::collections::BTreeMap::new();
+        for _ in 0..N {
+            let (id, payload) = client.recv().unwrap();
+            got.insert(id, payload);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(got[id], format!("BURST-{i}").into_bytes());
+        }
+        assert_eq!(server.stats().requests, N as u64);
+    }
+
+    #[test]
     fn oversized_frame_drops_the_connection() {
         let server = echo_upper_server();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();

@@ -533,6 +533,9 @@ impl LoopState {
                         .register(fd.raw(), token, Interest::READABLE)
                         .is_err()
                     {
+                        // The slot was never used: return it to the free
+                        // list (no generation bump needed).
+                        self.free.push(slot);
                         continue;
                     }
                     self.conns[slot] = Some(Conn {
@@ -561,7 +564,6 @@ impl LoopState {
         let mut eof = false;
         let mut failed = false;
         let mut total = 0u64;
-        let mut dispatched = 0u64;
         {
             let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
                 return;
@@ -583,42 +585,6 @@ impl LoopState {
                     }
                 }
             }
-            // Decode everything buffered into jobs.
-            let generation = conn.generation;
-            while !failed {
-                match conn.decoder.next_frame() {
-                    Ok(Some(DecodedFrame::Hello)) => {
-                        conn.outbuf.extend_from_slice(&MAGIC);
-                        self.stats.v2_conns.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok(Some(DecodedFrame::V1 { payload })) => {
-                        let tag = conn.next_seq;
-                        conn.next_seq += 1;
-                        conn.inflight += 1;
-                        dispatched += 1;
-                        self.job_batch.push(Job {
-                            slot,
-                            generation,
-                            tag,
-                            payload,
-                        });
-                    }
-                    Ok(Some(DecodedFrame::V2 { corr_id, payload })) => {
-                        conn.inflight += 1;
-                        dispatched += 1;
-                        self.job_batch.push(Job {
-                            slot,
-                            generation,
-                            tag: corr_id,
-                            payload,
-                        });
-                    }
-                    Ok(None) => break,
-                    Err(_) => {
-                        failed = true;
-                    }
-                }
-            }
             if eof {
                 conn.peer_closed = true;
             }
@@ -626,8 +592,8 @@ impl LoopState {
         if total > 0 {
             self.stats.bytes_in.fetch_add(total, Ordering::Relaxed);
         }
-        if dispatched > 0 {
-            self.stats.requests.fetch_add(dispatched, Ordering::Relaxed);
+        if !failed {
+            failed = !self.decode_pending(slot);
         }
         // Hand off any decoded jobs even if the connection just died — stale
         // generations make their completions harmless.
@@ -652,6 +618,62 @@ impl LoopState {
     fn on_writable(&mut self, slot: usize) {
         self.flush_conn(slot);
         self.update_interest(slot);
+    }
+
+    /// Decodes buffered frames into `job_batch`, stopping once the
+    /// connection reaches `max_inflight_per_conn` so one read burst of
+    /// tiny pipelined frames cannot flood the job queue. The remainder
+    /// stays in the decoder — those bytes are already off the socket, so
+    /// epoll will *not* re-deliver them; [`Self::apply_completions`]
+    /// resumes decoding as in-flight requests drain. Returns `false` on
+    /// a framing error (the caller closes the connection).
+    fn decode_pending(&mut self, slot: usize) -> bool {
+        let max_inflight = self.config.max_inflight_per_conn;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return true;
+        };
+        let generation = conn.generation;
+        let mut dispatched = 0u64;
+        let mut ok = true;
+        while conn.inflight < max_inflight {
+            match conn.decoder.next_frame() {
+                Ok(Some(DecodedFrame::Hello)) => {
+                    conn.outbuf.extend_from_slice(&MAGIC);
+                    self.stats.v2_conns.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Some(DecodedFrame::V1 { payload })) => {
+                    let tag = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.inflight += 1;
+                    dispatched += 1;
+                    self.job_batch.push(Job {
+                        slot,
+                        generation,
+                        tag,
+                        payload,
+                    });
+                }
+                Ok(Some(DecodedFrame::V2 { corr_id, payload })) => {
+                    conn.inflight += 1;
+                    dispatched += 1;
+                    self.job_batch.push(Job {
+                        slot,
+                        generation,
+                        tag: corr_id,
+                        payload,
+                    });
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if dispatched > 0 {
+            self.stats.requests.fetch_add(dispatched, Ordering::Relaxed);
+        }
+        ok
     }
 
     fn apply_completions(&mut self) {
@@ -691,6 +713,12 @@ impl LoopState {
         }
         self.completion_batch = batch;
         for slot in touched {
+            // In-flight capacity just freed up: resume decoding frames
+            // still buffered from an earlier capped read pass.
+            if !self.decode_pending(slot) {
+                self.close_conn(slot);
+                continue;
+            }
             self.flush_conn(slot);
             if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
                 if conn.peer_closed && conn.idle() {
@@ -700,6 +728,9 @@ impl LoopState {
                 }
             }
         }
+        let mut jobs = std::mem::take(&mut self.job_batch);
+        self.jobs.push_batch(&mut jobs);
+        self.job_batch = jobs;
     }
 
     /// Writes as much buffered output as the socket accepts.
