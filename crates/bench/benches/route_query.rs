@@ -1,8 +1,12 @@
 //! B9: the indexed query path — `route_len` cost of the segment-jump
 //! indexed traversal against the per-hop reference, plus the batched
-//! scratch-reuse path the serve batch endpoint runs on.
+//! scratch-reuse path.
 //!
-//! Both engines return byte-identical answers (pinned by the routing
+//! B10: the wide (SIMD-lane) batch engine — `route_len_batch_with` at
+//! several batch widths over the same machine and workload, the data
+//! path behind the serve `route_len_batch` endpoint.
+//!
+//! All engines return byte-identical answers (pinned by the routing
 //! equivalence suite); the spread between them is pure query cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -86,5 +90,35 @@ fn route_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, route_query);
+fn route_query_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_query_wide");
+    group.sample_size(20);
+    // Same machine and workload shape as B9, a larger pair set so every
+    // batch width gets full batches.
+    let router = build_router(48, 230, 0xB9);
+    let queries = query_pairs(&router, 256, 29);
+
+    for width in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch{width}")),
+            &queries,
+            |b, queries| {
+                // Persistent scratch and results vector across batches,
+                // as a serve worker's handle reuses them across
+                // successive `route_len_batch` requests.
+                let mut scratch = RouteScratch::new();
+                let mut out = Vec::new();
+                b.iter(|| {
+                    for chunk in queries.chunks(width) {
+                        router.route_len_batch_with(chunk, &mut scratch, &mut out);
+                        black_box(&out);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, route_query, route_query_wide);
 criterion_main!(benches);

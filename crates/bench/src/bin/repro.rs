@@ -18,7 +18,7 @@
 //!   serve         mesh-state service: throughput/tail latency/staleness (E14)
 //!   serve-smoke   ~2s TCP service smoke run (CI gate)
 //!   scaling       labeling-engine speedups: size x density x engine (E15)
-//!   routeperf     indexed vs reference route_len throughput (E17)
+//!   routeperf     wide/indexed vs reference route_len throughput (E17)
 //!   routeperf-smoke  quick E17 sweep with a relaxed speedup bar (CI gate)
 //!   obs           observability overhead sweep, on vs off (E16)
 //!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
@@ -328,10 +328,13 @@ fn run_routeperf(args: &Args) {
         "flagship: {}x{} d={:.2} batch=64 speedup {:.2}x",
         flagship.side, flagship.side, flagship.density, flagship.speedup
     );
-    // The acceptance bar applies to the full shape (256² / 10% clustered).
-    if args.settings.side >= 100 && flagship.speedup < 5.0 {
+    // The acceptance bar applies to the full shape (256² / 10% clustered):
+    // the wide engine at batch=64 must deliver >= 7x the reference
+    // traversal's throughput (measured ~9.2x on the baseline machine;
+    // EXPERIMENTS.md E20 documents the measured ceiling).
+    if args.settings.side >= 100 && flagship.speedup < 7.0 {
         eprintln!(
-            "FAIL: flagship speedup {:.2}x below the 5x acceptance bar",
+            "FAIL: flagship wide-batch64 speedup {:.2}x below the 7x acceptance bar",
             flagship.speedup
         );
         std::process::exit(1);
@@ -354,13 +357,14 @@ fn run_routeperf_smoke(args: &Args) {
         flagship.speedup
     );
     // Relaxed bar: small machines under CI noise still must show a clear
-    // win; the 5x bar is enforced by the full `routeperf` run.
+    // win (the quick shape measures ~4.8x); the 6x bar is enforced by
+    // the full `routeperf` run.
     assert!(
-        flagship.speedup >= 2.0,
-        "smoke speedup {:.2}x below the 2x smoke bar",
+        flagship.speedup >= 3.0,
+        "smoke wide-batch64 speedup {:.2}x below the 3x smoke bar",
         flagship.speedup
     );
-    println!("routeperf smoke: indexed path clears the 2x smoke bar");
+    println!("routeperf smoke: wide engine clears the 3x smoke bar");
 }
 
 fn run_obs(args: &Args) {

@@ -532,12 +532,28 @@ fn fleet_with_tenants(tenants: usize) -> (Fleet, Vec<TenantWorkload>) {
             FleetResponse::Created { .. } => {}
             other => panic!("tenant creation failed: {other:?}"),
         }
-        let request = FleetRequest::Tenant {
-            tenant: name.clone(),
-            request: Request::RouteLen {
+        // Odd tenants drive the batched hop-count endpoint (the wide
+        // engine's wire path, pairs mixing detours, an error outcome,
+        // and a self-pair); even tenants the singleton path. Every
+        // reply of both shapes is oracle-verified byte-for-byte.
+        let inner = if i % 2 == 1 {
+            Request::RouteLenBatch {
+                pairs: vec![
+                    (Coord::new(0, 0), Coord::new(15, 15)),
+                    (Coord::new(15, 0), Coord::new(0, 15)),
+                    (Coord::new((i % 8) as i32 + 2, 5), Coord::new(0, 0)),
+                    (Coord::new(3, 3), Coord::new(3, 3)),
+                ],
+            }
+        } else {
+            Request::RouteLen {
                 src: Coord::new(0, 0),
                 dst: Coord::new(15, 15),
-            },
+            }
+        };
+        let request = FleetRequest::Tenant {
+            tenant: name.clone(),
+            request: inner,
         };
         let payload = serde_json::to_vec(&request).expect("serialize");
         // The oracle: the same dispatch the wire path runs, in-process.
@@ -909,8 +925,10 @@ pub struct FleetSmokeReport {
 }
 
 /// The CI gate: ≥ 512 pipelined connections across ≥ 4 tenants with
-/// every reply oracle-verified, plus the 2× reactor-vs-blocking bar at
-/// 1k connections.
+/// every reply oracle-verified — half the tenants driving the batched
+/// hop-count endpoint (the wide engine over corr-id v2 framing), half
+/// the singleton path — plus the 2× reactor-vs-blocking bar at 1k
+/// connections.
 pub fn smoke(_seed: u64) -> FleetSmokeReport {
     let _ = sys::raise_nofile_limit(NOFILE_WANT);
 

@@ -3,16 +3,24 @@
 //! traversal, across mesh sizes, clustered-fault densities, and batch
 //! sizes.
 //!
-//! Both implementations are pinned byte-identical by the routing
-//! equivalence suite, so this experiment measures pure query cost: the
-//! reference walks every cell of every segment and rebuilds its livelock
-//! guard and exit scans per query, while the indexed path jumps whole
-//! segments via the per-row/per-column interval tables, resolves ring
-//! entries through the precomputed position maps, and (in batch mode)
-//! reuses one scratch across the whole batch the way the `ocp-serve`
-//! `route_len_batch` endpoint does. The one-off cost the index shifts to
-//! publication time — `FaultTolerantRouter::new`, paid once per epoch — is
-//! reported alongside.
+//! All engines are pinned byte-identical by the routing equivalence
+//! suite, so this experiment measures pure query cost. Three tiers:
+//!
+//! * **reference** walks every cell of every segment and rebuilds its
+//!   livelock guard and exit scans per query;
+//! * **indexed** jumps whole segments via the per-row/per-column
+//!   interval tables and resolves ring entries through the precomputed
+//!   position maps (`indexed-batch64` additionally amortizes one scratch
+//!   across each chunk);
+//! * **wide-batchN** is the SIMD-lane batch engine behind the serve
+//!   `route_len_batch` endpoint: whole batches move through
+//!   cache-line-packed next-blocked tables, packed hit words, and the
+//!   O(1) exit directory together (experiment E20 documents the
+//!   layout).
+//!
+//! The one-off cost the index shifts to publication time —
+//! `FaultTolerantRouter::new`, paid once per epoch — is reported
+//! alongside.
 
 use super::Settings;
 use ocp_analysis::Table;
@@ -86,8 +94,14 @@ enum Engine {
     /// thread-local scratch).
     Indexed,
     /// Indexed traversal with one explicit scratch shared across each
-    /// chunk of this many queries — the serve batch endpoint's data path.
+    /// chunk of this many queries — the scalar loop the serve batch
+    /// endpoint ran before the wide engine existed, kept as the
+    /// amortization baseline.
     IndexedBatch(usize),
+    /// The wide SIMD-lane batch engine (`route_len_batch_with`) at this
+    /// batch width — the serve `route_len_batch` endpoint's actual data
+    /// path, byte-identical to the scalar engines.
+    WideBatch(usize),
 }
 
 impl Engine {
@@ -96,13 +110,14 @@ impl Engine {
             Engine::Reference => REFERENCE.into(),
             Engine::Indexed => "indexed".into(),
             Engine::IndexedBatch(n) => format!("indexed-batch{n}"),
+            Engine::WideBatch(n) => format!("wide-batch{n}"),
         }
     }
 
     fn batch(self) -> usize {
         match self {
             Engine::Reference | Engine::Indexed => 1,
-            Engine::IndexedBatch(n) => n,
+            Engine::IndexedBatch(n) | Engine::WideBatch(n) => n,
         }
     }
 }
@@ -111,9 +126,10 @@ fn engines() -> Vec<Engine> {
     vec![
         Engine::Reference,
         Engine::Indexed,
-        Engine::IndexedBatch(16),
         Engine::IndexedBatch(64),
-        Engine::IndexedBatch(256),
+        Engine::WideBatch(16),
+        Engine::WideBatch(64),
+        Engine::WideBatch(256),
     ]
 }
 
@@ -149,13 +165,24 @@ fn pass_ns(router: &FaultTolerantRouter, pairs: &[(Coord, Coord)], engine: Engin
         }
         Engine::IndexedBatch(n) => {
             // One persistent scratch, `begin()`-reset per chunk inside
-            // `route_len_with` — exactly how a long-lived serve worker's
-            // handle answers successive `route_len_batch` requests.
+            // `route_len_with` — the scalar amortization baseline the
+            // wide engine is measured against.
             let mut scratch = RouteScratch::new();
             for chunk in pairs.chunks(n) {
                 for &(s, d) in chunk {
                     let _ = black_box(router.route_len_with(s, d, &mut scratch));
                 }
+            }
+        }
+        Engine::WideBatch(n) => {
+            // The wide engine with one persistent scratch and results
+            // vector — exactly how a long-lived serve worker's handle
+            // answers successive `route_len_batch` requests.
+            let mut scratch = RouteScratch::new();
+            let mut out = Vec::new();
+            for chunk in pairs.chunks(n) {
+                router.route_len_batch_with(chunk, &mut scratch, &mut out);
+                black_box(&out);
             }
         }
     }
@@ -276,15 +303,15 @@ pub fn build_table(report: &RouteperfReport) -> Table {
     t
 }
 
-/// The flagship speedup: indexed batch=64 vs reference at the largest
-/// (side, density) cell measured. The full run's acceptance bar checks
-/// this against 5x at 256² / 10%; the smoke run checks a relaxed bar on
-/// the quick shape.
+/// The flagship speedup: the wide engine at batch=64 vs reference at the
+/// largest (side, density) cell measured. The full run's acceptance bar
+/// checks this against 7x at 256² / 10%; the smoke run checks a relaxed
+/// bar on the quick shape.
 pub fn flagship_speedup(report: &RouteperfReport) -> Option<&RouteperfRow> {
     report
         .rows
         .iter()
-        .filter(|r| r.engine == "indexed-batch64")
+        .filter(|r| r.engine == "wide-batch64")
         .max_by(|a, b| {
             (a.side, a.density)
                 .partial_cmp(&(b.side, b.density))
@@ -299,8 +326,8 @@ mod tests {
     #[test]
     fn quick_sweep_shows_indexed_wins() {
         let report = run(&Settings::quick());
-        // 2 sides x 3 densities x 5 engines.
-        assert_eq!(report.rows.len(), 30);
+        // 2 sides x 3 densities x 6 engines.
+        assert_eq!(report.rows.len(), 36);
         assert_eq!(report.build.len(), 6);
         for r in &report.rows {
             assert!(r.ns_per_query > 0.0);

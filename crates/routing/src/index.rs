@@ -64,10 +64,16 @@ pub(crate) struct Segment {
 #[derive(Clone, Debug)]
 pub(crate) struct SegmentIndex {
     topology: Topology,
-    row_off: Vec<u32>,
-    rows: Vec<(i32, u32)>,
-    col_off: Vec<u32>,
-    cols: Vec<(i32, u32)>,
+    /// CSR offsets of `rows` (one slice per y line). Exposed to
+    /// [`crate::layout::WideSegments`], which repacks the tables into
+    /// SoA key/region arenas for the wide engine.
+    pub row_off: Vec<u32>,
+    /// `(x, region code)` of disabled cells, ascending per row.
+    pub rows: Vec<(i32, u32)>,
+    /// CSR offsets of `cols` (one slice per x line).
+    pub col_off: Vec<u32>,
+    /// `(y, region code)` of disabled cells, ascending per column.
+    pub cols: Vec<(i32, u32)>,
 }
 
 /// Flattens per-line vectors into a CSR (offsets, data) pair.
@@ -255,15 +261,18 @@ pub(crate) struct RingIndex {
     sorted: Vec<(u64, u32)>,
     /// Destination-independent exit candidates: ring-walk corners and
     /// region-blocked-status transitions; ascending by position,
-    /// deduplicated.
-    static_candidates: CandidateColumns,
+    /// deduplicated. (Exposed crate-wide so
+    /// [`crate::layout::WideRings`] can pack them into scan words.)
+    pub static_candidates: CandidateColumns,
     /// CSR of candidates per column: column `x` holds the `cols` range
     /// `col_off[x]..col_off[x + 1]`.
-    col_off: Vec<u32>,
-    cols: CandidateColumns,
+    pub col_off: Vec<u32>,
+    /// Candidates grouped by column, CSR order.
+    pub cols: CandidateColumns,
     /// CSR of candidates per row.
-    row_off: Vec<u32>,
-    rows: CandidateColumns,
+    pub row_off: Vec<u32>,
+    /// Candidates grouped by row, CSR order.
+    pub rows: CandidateColumns,
     /// Whether the exit objective fits the packed-u32 scan: cycle
     /// positions in 16 bits and distances in 15.
     compact: bool,
@@ -381,6 +390,12 @@ impl RingIndex {
         self.compact
     }
 
+    /// Whether this is the empty default index (a chain ring, which the
+    /// router rejects before any exit lookup).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
     /// Cycle position of `c` in O(log n), hash-free (`None` for
     /// non-members and chains).
     pub fn position(&self, c: Coord) -> Option<usize> {
@@ -446,6 +461,13 @@ pub(crate) struct RouteIndex {
     pub segments: SegmentIndex,
     /// One [`RingIndex`] per fault ring, in ring order.
     pub rings: Vec<RingIndex>,
+    /// Cache-packed SoA repack of `segments` for the wide engine.
+    pub wide_segments: crate::layout::WideSegments,
+    /// Cache-packed per-ring exit-candidate words for the wide engine.
+    pub wide_rings: crate::layout::WideRings,
+    /// O(1) best-exit directory for destinations outside each ring's
+    /// bounding box (mesh snapshots; tori always scan).
+    pub exit_dir: crate::layout::ExitDirectory,
     /// `ring << 16 | cycle position` of the first ring each cell appears
     /// on ([`NO_RING_POS`] elsewhere) — one 4-byte grid probe resolves
     /// almost every `position_of`. Cells sitting on a *second* ring as
@@ -478,12 +500,20 @@ impl RouteIndex {
                 }
             }
         }
+        let segments = SegmentIndex::build(enabled, region_of);
+        let ring_indexes: Vec<RingIndex> = rings
+            .iter()
+            .map(|r| RingIndex::build(t, r, region_of))
+            .collect();
+        let wide_segments = crate::layout::WideSegments::build(&segments, rings, &ring_indexes, t);
+        let wide_rings = crate::layout::WideRings::build(&ring_indexes);
+        let exit_dir = crate::layout::ExitDirectory::build(t, rings, &ring_indexes, &wide_rings);
         Self {
-            segments: SegmentIndex::build(enabled, region_of),
-            rings: rings
-                .iter()
-                .map(|r| RingIndex::build(t, r, region_of))
-                .collect(),
+            segments,
+            rings: ring_indexes,
+            wide_segments,
+            wide_rings,
+            exit_dir,
             ring_pos,
         }
     }
@@ -517,6 +547,10 @@ pub struct RouteScratch {
     /// Per-traversal memo of `best_exit` results (dst is fixed within one
     /// traversal, so a ring's best exit never changes across re-encounters).
     exits: Vec<(usize, Option<u32>)>,
+    /// SoA staging buffers for the wide batch engine
+    /// (`FaultTolerantRouter::route_len_batch`); unused by the scalar
+    /// entry points.
+    pub(crate) wide: crate::wide::WideBuffers,
 }
 
 impl RouteScratch {

@@ -1,0 +1,668 @@
+//! Cache-packed table layout for the wide (multi-query) engine.
+//!
+//! The lane kernels in [`crate::wide`] stream per-snapshot tables
+//! repacked here from the scalar index into flat 64-byte-aligned arenas,
+//! so a batch touches the minimum number of cache lines and resolves the
+//! traversal's dependent lookups with precomputed single loads:
+//!
+//! * [`WideSegments`] — the segment probe's sorted disabled keys as
+//!   structure-of-arrays columns (keys in one arena, packed *hit words* —
+//!   region code plus both possible ring-entry positions — in a parallel
+//!   one), every line starting on a cache-line boundary, plus per-cell
+//!   next-blocked tables that answer almost every probe — window clear,
+//!   or the encounter distance and its hit word's location — with a
+//!   single `u64` load.
+//! * [`WideRings`] — each ring's exit candidates packed one-per-`u64`
+//!   (`x | y << 15 | mask << 30 | pos << 34`), all rings in a single
+//!   arena with each candidate block cache-line aligned. A batch's exit
+//!   tasks are sorted by region, so consecutive tasks re-stream the same
+//!   block while it is still resident.
+//! * [`ExitDirectory`] — O(1) precomputed best exits (cell and cycle
+//!   position in one word) for destinations strictly outside a ring's
+//!   bounding box, replacing the candidate scan in the common case.
+//!
+//! Only *compact* rings (cycle positions ≤ 16 bits, extents summing under
+//! 2^15 — see [`RingIndex::compact`]) are packed; the packed word needs 15
+//! bits per coordinate and 16 per position. Non-compact rings keep
+//! `packed == false` in their [`WideRingMeta`] and the scheduler falls back
+//! to the scalar candidate columns with u64-lane reductions.
+//!
+//! Nothing here affects routing results: the packed tables hold exactly
+//! the scalar index's values in the scalar index's order, and the scalar
+//! tables stay untouched as the equivalence oracle.
+
+use crate::fault_ring::{FaultRing, RingShape};
+use crate::index::{CandidateColumns, RingIndex, SegmentIndex, NO_REGION};
+use ocp_mesh::{Coord, Direction, Topology, TopologyKind};
+
+/// The cache-line size every arena base and table block aligns to.
+pub(crate) const CACHE_LINE: usize = 64;
+
+/// A flat arena whose payload starts on a [`CACHE_LINE`] boundary.
+///
+/// `ocp-routing` forbids `unsafe`, so alignment is arranged without
+/// `alloc` tricks: the backing `Vec` over-allocates by one cache line and
+/// the payload begins at the first aligned element. [`Self::as_slice`] is
+/// correct regardless — alignment is a throughput property, not a
+/// correctness one — and `Clone` re-aligns for the new allocation.
+#[derive(Debug)]
+pub(crate) struct AlignedArena<T> {
+    buf: Vec<T>,
+    base: usize,
+}
+
+impl<T: Copy + Default> AlignedArena<T> {
+    /// Packs `data` into a freshly aligned arena.
+    pub fn from_slice(data: &[T]) -> Self {
+        let elem = std::mem::size_of::<T>().max(1);
+        let pad = CACHE_LINE / elem.min(CACHE_LINE);
+        let mut buf: Vec<T> = Vec::with_capacity(data.len() + pad);
+        let addr = buf.as_ptr() as usize;
+        let base = ((CACHE_LINE - addr % CACHE_LINE) % CACHE_LINE) / elem;
+        // Both grows stay within the reserved capacity, so the base
+        // computed from `as_ptr` above remains valid.
+        buf.resize(base, T::default());
+        buf.extend_from_slice(data);
+        Self { buf, base }
+    }
+
+    /// The aligned payload.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[self.base..]
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedArena<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+/// Rounds `len` up so the next block starts cache-line aligned (given an
+/// aligned arena base), in units of `T`-sized elements.
+fn pad_to_line<T>(len: usize) -> usize {
+    let per_line = CACHE_LINE / std::mem::size_of::<T>().max(1);
+    len.div_ceil(per_line) * per_line
+}
+
+/// Entry-position sentinel in a hit word: not precomputable — resolve
+/// with `RouteIndex::position` at query time (covers [`NO_REGION`] keys,
+/// off-line entry cells that can never be probe origins, and ring
+/// positions too large to pack).
+pub(crate) const ENTRY_UNPACKED: u32 = 0xFFFF;
+
+/// Entry-position sentinel in a hit word: the blocking ring is an open
+/// chain — the traversal fails with `BoundaryFaultChain` without ever
+/// loading the ring.
+pub(crate) const ENTRY_CHAIN: u32 = 0xFFFE;
+
+/// Structure-of-arrays repack of the [`SegmentIndex`] disabled-interval
+/// tables: one arena of sorted keys (row lines then column lines, each
+/// line cache-line aligned) and a parallel arena of *hit words* at the
+/// same offsets. The probe kernels search `keys` only and touch `hits`
+/// once per *blocked* probe.
+///
+/// A hit word packs everything a fault encounter needs, so resolving one
+/// costs a single load instead of three dependent ones (region grid →
+/// ring shape → position table):
+///
+/// * bits 0..32 — the region code ([`NO_REGION`] for stray disabled
+///   cells, which the traversal's invariant assert rejects);
+/// * bits 32..48 — the entry cell's cycle position when the probe ran in
+///   the positive direction (the entry cell is then `key − 1` on the
+///   walked axis, torus-wrapped);
+/// * bits 48..64 — the same for negative probes (entry `key + 1`).
+///
+/// The position fields use [`ENTRY_CHAIN`] for chain rings and
+/// [`ENTRY_UNPACKED`] where no position can be packed; both are produced
+/// at build time from the very predicates (`FaultRing::is_cycle`,
+/// `RingIndex::position`) the scalar traversal evaluates per query.
+#[derive(Clone, Debug)]
+pub(crate) struct WideSegments {
+    /// `(start, len)` of each row's keys in the arenas, indexed by y.
+    rows: Vec<(u32, u32)>,
+    /// `(start, len)` of each column's keys, indexed by x.
+    cols: Vec<(u32, u32)>,
+    keys: AlignedArena<i32>,
+    hits: AlignedArena<u64>,
+    /// Per-cell next-blocked tables, one block per probe direction
+    /// (east, west row-major; north, south column-major): each entry
+    /// packs `distance to the first disabled cell in that direction |
+    /// hit-word arena index << 16`. Distance is axis-cyclic on a torus
+    /// (the seam wrap is baked in at build time) and [`NEXT_NONE`] when
+    /// the line holds no disabled cell that way — so an entire probe
+    /// resolves from one load: `dist > steps` means the window is clear,
+    /// anything else is an encounter `dist − 1` hops out whose hit word
+    /// sits at the packed index.
+    next: AlignedArena<u64>,
+    /// Start of each direction's block in `next` (E, W, N, S order).
+    next_base: [u32; 4],
+    /// Whether the next-blocked tables exist (extents below 2^16 so
+    /// distances pack, and at most [`NEXT_CELL_CAP`] cells so the four
+    /// per-cell blocks stay a bounded fraction of snapshot memory;
+    /// absent tables fall back to the search kernels).
+    have_next: bool,
+}
+
+/// Cell-count cap for building the per-direction next-blocked tables
+/// (4 × 8 bytes per cell; 1M cells ⇒ 32 MiB).
+const NEXT_CELL_CAP: u64 = 1 << 20;
+
+/// Packs one next-blocked entry (see [`WideSegments::next`]).
+#[inline(always)]
+fn pack_next(dist: u32, idx: u32) -> u64 {
+    u64::from(dist) | (u64::from(idx) << 16)
+}
+
+/// Next-blocked entry for "no disabled cell in this direction": distance
+/// `0xFFFF` exceeds every probe window (`steps` is at most `extent − 1 ≤
+/// 0xFFFE` on a mesh and `extent / 2` on a torus).
+const NEXT_NONE: u64 = 0xFFFF;
+
+impl WideSegments {
+    /// Repacks the scalar segment tables, resolving each disabled key's
+    /// two possible ring-entry positions at build time (see the hit-word
+    /// layout on [`WideSegments`]).
+    pub fn build(
+        index: &SegmentIndex,
+        fault_rings: &[FaultRing],
+        ring_indexes: &[RingIndex],
+        t: Topology,
+    ) -> Self {
+        let torus = t.kind() == TopologyKind::Torus;
+        // One entry-position field: the cycle position of `entry` on the
+        // key's ring, or a sentinel. `None` entries (off the mesh) belong
+        // to keys a probe can never hit from that side.
+        let epos = |code: u32, entry: Option<Coord>| -> u64 {
+            let Some(entry) = entry else {
+                return u64::from(ENTRY_UNPACKED);
+            };
+            if code == NO_REGION {
+                return u64::from(ENTRY_UNPACKED);
+            }
+            if !fault_rings[code as usize].is_cycle() {
+                return u64::from(ENTRY_CHAIN);
+            }
+            match ring_indexes[code as usize].position(entry) {
+                Some(p) if p < ENTRY_CHAIN as usize => p as u64,
+                _ => u64::from(ENTRY_UNPACKED),
+            }
+        };
+        let mut keys: Vec<i32> = Vec::new();
+        let mut hits: Vec<u64> = Vec::new();
+        let mut pack = |off: &[u32], data: &[(i32, u32)], is_row: bool, extent: i32| {
+            let mut lines = Vec::with_capacity(off.len() - 1);
+            for (li, w) in off.windows(2).enumerate() {
+                let slice = &data[w[0] as usize..w[1] as usize];
+                lines.push((keys.len() as u32, slice.len() as u32));
+                for &(k, code) in slice {
+                    // The cell one step before the key from either probe
+                    // direction, on this line.
+                    let cell = |v: i32| -> Option<Coord> {
+                        let v = if torus { v.rem_euclid(extent) } else { v };
+                        (0..extent).contains(&v).then(|| {
+                            if is_row {
+                                Coord::new(v, li as i32)
+                            } else {
+                                Coord::new(li as i32, v)
+                            }
+                        })
+                    };
+                    keys.push(k);
+                    hits.push(
+                        u64::from(code)
+                            | (epos(code, cell(k - 1)) << 32)
+                            | (epos(code, cell(k + 1)) << 48),
+                    );
+                }
+                // Keys the padding exposes are never searched; i32::MAX
+                // keeps an out-of-window load harmless either way. The
+                // hit arena pads to the same element count so the two
+                // share line offsets (its lines land 128-byte aligned).
+                keys.resize(pad_to_line::<i32>(keys.len()), i32::MAX);
+                hits.resize(keys.len(), 0);
+            }
+            lines
+        };
+        let rows = pack(&index.row_off, &index.rows, true, t.width() as i32);
+        let cols = pack(&index.col_off, &index.cols, false, t.height() as i32);
+        let width = (index.col_off.len() - 1) as u32;
+        let height = (index.row_off.len() - 1) as u32;
+        let have_next = width < u32::from(u16::MAX)
+            && height < u32::from(u16::MAX)
+            && u64::from(width) * u64::from(height) <= NEXT_CELL_CAP;
+        // Two-pointer sweep producing, for every cell of every line, the
+        // positive- and negative-direction next-blocked entries.
+        let sweep = |lines: &[(u32, u32)], extent: i32| -> (Vec<u64>, Vec<u64>) {
+            let mut fwd = Vec::with_capacity(lines.len() * extent as usize);
+            let mut bwd = Vec::with_capacity(lines.len() * extent as usize);
+            for &(start, len) in lines {
+                let line = &keys[start as usize..(start + len) as usize];
+                let n = line.len();
+                // `le` counts keys ≤ v, `lt` keys < v.
+                let (mut le, mut lt) = (0usize, 0usize);
+                for v in 0..extent {
+                    while le < n && line[le] <= v {
+                        le += 1;
+                    }
+                    while lt < n && line[lt] < v {
+                        lt += 1;
+                    }
+                    fwd.push(if le < n {
+                        pack_next((line[le] - v) as u32, start + le as u32)
+                    } else if torus && n > 0 {
+                        pack_next((line[0] + extent - v) as u32, start)
+                    } else {
+                        NEXT_NONE
+                    });
+                    bwd.push(if lt > 0 {
+                        pack_next((v - line[lt - 1]) as u32, start + lt as u32 - 1)
+                    } else if torus && n > 0 {
+                        pack_next((v + extent - line[n - 1]) as u32, start + n as u32 - 1)
+                    } else {
+                        NEXT_NONE
+                    });
+                }
+            }
+            (fwd, bwd)
+        };
+        let mut next = Vec::new();
+        let mut next_base = [0u32; 4];
+        if have_next {
+            let (east, west) = sweep(&rows, t.width() as i32);
+            let (north, south) = sweep(&cols, t.height() as i32);
+            let block = east.len() as u32;
+            next_base = [0, block, 2 * block, 3 * block];
+            next = east;
+            next.extend(west);
+            next.extend(north);
+            next.extend(south);
+        }
+        Self {
+            rows,
+            cols,
+            next: AlignedArena::from_slice(&next),
+            next_base,
+            keys: AlignedArena::from_slice(&keys),
+            hits: AlignedArena::from_slice(&hits),
+            have_next,
+        }
+    }
+
+    /// Whether the next-blocked tables exist (see [`Self::next`]).
+    #[inline(always)]
+    pub fn have_next(&self) -> bool {
+        self.have_next
+    }
+
+    /// The next-blocked arena.
+    #[inline(always)]
+    pub fn next(&self) -> &[u64] {
+        self.next.as_slice()
+    }
+
+    /// Block offsets of the four per-direction tables in [`Self::next`],
+    /// ordered East, West, North, South. Probe `(dir, c)`'s entry lives
+    /// at `next_base[dir] + (row-major c)` for x-lines and
+    /// `next_base[dir] + (column-major c)` for y-lines; exposing the
+    /// offsets lets the batch scheduler form that address from a
+    /// computed direction index without re-branching on the direction.
+    /// Valid only when [`Self::have_next`].
+    #[inline(always)]
+    pub fn next_base(&self) -> &[u32; 4] {
+        &self.next_base
+    }
+
+    /// `(start, len)` of the line a probe from `c` in `dir` walks along.
+    #[inline(always)]
+    pub fn line(&self, dir: Direction, c: Coord) -> (u32, u32) {
+        match dir {
+            Direction::East | Direction::West => self.rows[c.y as usize],
+            Direction::North | Direction::South => self.cols[c.x as usize],
+        }
+    }
+
+    /// The key arena (sorted coordinates per line).
+    #[inline(always)]
+    pub fn keys(&self) -> &[i32] {
+        self.keys.as_slice()
+    }
+
+    /// The hit-word arena, parallel to [`Self::keys`].
+    #[inline(always)]
+    pub fn hits(&self) -> &[u64] {
+        self.hits.as_slice()
+    }
+}
+
+/// Packs one exit candidate into a scan word: `x` (15 bits) `| y << 15`
+/// (15 bits) `| mask << 30` (4 bits) `| pos << 34` (16 bits). Valid for
+/// compact rings only (checked by the caller).
+#[inline(always)]
+fn pack_word(x: i32, y: i32, mask: u8, pos: u32) -> u64 {
+    (x as u64) | ((y as u64) << 15) | ((mask as u64) << 30) | ((pos as u64) << 34)
+}
+
+/// Per-ring directory entry of the packed candidate arena. `repr(align)`
+/// keeps each ring's metadata on its own cache line, so concurrent
+/// readers of different rings never false-share.
+#[repr(align(64))]
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WideRingMeta {
+    /// Start of the static candidates (corners + blocked-bit transitions).
+    pub static_start: u32,
+    /// Number of static candidates.
+    pub static_len: u32,
+    /// Base of the per-column CSR block (add the ring's `col_off`).
+    pub cols_start: u32,
+    /// Base of the per-row CSR block (add the ring's `row_off`).
+    pub rows_start: u32,
+    /// Whether packed words exist for this ring (cycle + compact). When
+    /// false the scheduler scans the scalar candidate columns instead.
+    pub packed: bool,
+}
+
+/// All rings' packed exit-candidate words in one aligned arena, plus the
+/// per-ring directory. Candidate order inside every block is exactly the
+/// scalar [`CandidateColumns`] order, so a packed scan visits the same
+/// candidates with the same tie-break positions.
+#[derive(Clone, Debug)]
+pub(crate) struct WideRings {
+    /// Per-ring directory, in ring order.
+    pub meta: Vec<WideRingMeta>,
+    words: AlignedArena<u64>,
+}
+
+impl WideRings {
+    /// Packs every compact cycle ring of `rings`.
+    pub fn build(rings: &[RingIndex]) -> Self {
+        let mut words: Vec<u64> = Vec::new();
+        let append = |words: &mut Vec<u64>, c: &CandidateColumns| -> (u32, u32) {
+            let start = words.len() as u32;
+            for i in 0..c.len() {
+                words.push(pack_word(c.xs[i], c.ys[i], c.masks[i], c.poss[i]));
+            }
+            // Padding words sit between blocks and are never scanned.
+            words.resize(pad_to_line::<u64>(words.len()), u64::MAX);
+            (start, c.len() as u32)
+        };
+        let meta = rings
+            .iter()
+            .map(|ring| {
+                if !ring.compact() || ring.is_empty() {
+                    return WideRingMeta::default();
+                }
+                let (static_start, static_len) = append(&mut words, &ring.static_candidates);
+                let (cols_start, _) = append(&mut words, &ring.cols);
+                let (rows_start, _) = append(&mut words, &ring.rows);
+                WideRingMeta {
+                    static_start,
+                    static_len,
+                    cols_start,
+                    rows_start,
+                    packed: true,
+                }
+            })
+            .collect();
+        Self {
+            meta,
+            words: AlignedArena::from_slice(&words),
+        }
+    }
+
+    /// The packed word arena.
+    #[inline(always)]
+    pub fn words(&self) -> &[u64] {
+        self.words.as_slice()
+    }
+
+    /// Calls `f` on every packed word range holding a candidate the exit
+    /// objective for `dst` can minimize at — the same slices, in the same
+    /// order, as the scalar [`RingIndex::candidate_slices`].
+    pub fn packed_slices(
+        meta: &WideRingMeta,
+        ring: &RingIndex,
+        t: Topology,
+        dst: Coord,
+        mut f: impl FnMut(core::ops::Range<usize>),
+    ) {
+        let col = |x: i32| {
+            let lo = meta.cols_start + ring.col_off[x as usize];
+            let hi = meta.cols_start + ring.col_off[x as usize + 1];
+            lo as usize..hi as usize
+        };
+        let row = |y: i32| {
+            let lo = meta.rows_start + ring.row_off[y as usize];
+            let hi = meta.rows_start + ring.row_off[y as usize + 1];
+            lo as usize..hi as usize
+        };
+        f(meta.static_start as usize..(meta.static_start + meta.static_len) as usize);
+        f(col(dst.x));
+        f(row(dst.y));
+        if t.kind() == TopologyKind::Torus {
+            let (w, h) = (t.width() as i32, t.height() as i32);
+            for ax in [(dst.x + w / 2) % w, (dst.x + (w + 1) / 2) % w] {
+                f(col(ax));
+            }
+            for ay in [(dst.y + h / 2) % h, (dst.y + (h + 1) / 2) % h] {
+                f(row(ay));
+            }
+        }
+    }
+}
+
+/// "No feasible exit" sentinel word in the [`ExitDirectory`] table. A
+/// real entry's x field is at most `0x7FFE` (the directory requires mesh
+/// extents ≤ `0x7FFF`), so the all-ones word is unambiguous.
+const NO_EXIT_WORD: u64 = u64::MAX;
+
+/// Per-ring directory entry: the ring-cell bounding box that classifies a
+/// destination, and the four side tables' offsets into the shared table.
+#[derive(Clone, Copy, Debug, Default)]
+struct ExitDirMeta {
+    minx: i32,
+    maxx: i32,
+    miny: i32,
+    maxy: i32,
+    /// `table[east + dst.y]` answers destinations with `dst.x > maxx`.
+    east: u32,
+    /// `table[west + dst.y]` answers destinations with `dst.x < minx`.
+    west: u32,
+    /// `table[north + dst.x]` answers destinations with `dst.y > maxy`.
+    north: u32,
+    /// `table[south + dst.x]` answers destinations with `dst.y < miny`.
+    south: u32,
+    /// Cycle length of the ring, so a directory hit can apply the
+    /// shorter-walk arithmetic without loading the ring.
+    ring_len: u32,
+    /// Whether the directory covers this ring at all (cycle ring on a
+    /// mesh with packable coordinates). Chains, empty indexes, and every
+    /// torus ring stay false.
+    valid: bool,
+}
+
+/// O(1) best-exit lookup for destinations strictly outside a ring's
+/// bounding box — the common case, since a query that hits a ring is
+/// usually aiming far past it.
+///
+/// **Why a 1-D table per side is exact.** Take `dst.x > maxx` (strictly
+/// east of every ring cell). Then the candidate set the scalar scan
+/// visits — static candidates ∪ column(`dst.x`) ∪ row(`dst.y`) — loses
+/// its column slice (no ring cell has that x), leaving a set that depends
+/// only on `dst.y`. For every candidate `c`, `dx = dst.x − c.x > 0`, so
+/// `exit_bit` is East regardless of `dst.x`, and the L1 distance splits
+/// as `(dst.x − c.x) + |dst.y − c.y|`: moving `dst.x` further east adds
+/// the same constant to every candidate's packed key (never carrying into
+/// the reject bit — compact rings bound distances below 2^15, the u64
+/// objective below 2^31), so the argmin, its feasibility, and the
+/// tie-break are all invariant along x. One scan per `dst.y` at the
+/// representative `x = maxx + 1` therefore answers the whole half-plane
+/// exactly. The north/south sides are symmetric with `dst.x` as the table
+/// index (there `dx`'s *sign* varies per candidate, which is why the
+/// table must be indexed by x, and `dy > 0` fixes the rest). Tori wrap —
+/// no half-plane is ever strict — so they always take the scan fallback.
+///
+/// Entries are produced by [`crate::wide::exit_scan`] itself, so the
+/// directory can never diverge from the scan it replaces. Each table word
+/// packs the exit *cell* alongside its cycle position (`x | y << 15 |
+/// pos << 32`; [`NO_EXIT_WORD`] when infeasible), so a hit hands the
+/// traversal its next coordinate directly — no ring-cell load.
+#[derive(Clone, Debug)]
+pub(crate) struct ExitDirectory {
+    meta: Vec<ExitDirMeta>,
+    table: Vec<u64>,
+}
+
+impl ExitDirectory {
+    /// Builds the directory for every cycle ring of a mesh snapshot.
+    pub fn build(
+        t: Topology,
+        fault_rings: &[crate::fault_ring::FaultRing],
+        indexes: &[RingIndex],
+        wide: &WideRings,
+    ) -> Self {
+        let mut dir = Self {
+            meta: vec![ExitDirMeta::default(); indexes.len()],
+            table: Vec::new(),
+        };
+        if t.kind() == TopologyKind::Torus {
+            return dir;
+        }
+        let (w, h) = (t.width() as i32, t.height() as i32);
+        if w > 0x7FFF || h > 0x7FFF {
+            // Coordinates would not fit the packed table word; such
+            // meshes always take the scan fallback.
+            return dir;
+        }
+        let words = wide.words();
+        for (r, ring) in fault_rings.iter().enumerate() {
+            let RingShape::Cycle(cells) = &ring.shape else {
+                continue;
+            };
+            if indexes[r].is_empty() {
+                continue;
+            }
+            let (mut minx, mut maxx, mut miny, mut maxy) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+            for c in cells {
+                minx = minx.min(c.x);
+                maxx = maxx.max(c.x);
+                miny = miny.min(c.y);
+                maxy = maxy.max(c.y);
+            }
+            let encode = |dst: Coord| -> u64 {
+                match crate::wide::exit_scan(t, &indexes[r], &wide.meta[r], words, dst) {
+                    None => NO_EXIT_WORD,
+                    Some(pos) => {
+                        let c = cells[pos as usize];
+                        (c.x as u64) | ((c.y as u64) << 15) | (u64::from(pos) << 32)
+                    }
+                }
+            };
+            let side = |table: &mut Vec<u64>, rep: Option<Coord>, by_y: bool| -> u32 {
+                let start = table.len() as u32;
+                if let Some(rep) = rep {
+                    if by_y {
+                        table.extend((0..h).map(|y| encode(Coord::new(rep.x, y))));
+                    } else {
+                        table.extend((0..w).map(|x| encode(Coord::new(x, rep.y))));
+                    }
+                }
+                start
+            };
+            let east = side(
+                &mut dir.table,
+                (maxx + 1 < w).then(|| Coord::new(maxx + 1, 0)),
+                true,
+            );
+            let west = side(
+                &mut dir.table,
+                (minx > 0).then(|| Coord::new(minx - 1, 0)),
+                true,
+            );
+            let north = side(
+                &mut dir.table,
+                (maxy + 1 < h).then(|| Coord::new(0, maxy + 1)),
+                false,
+            );
+            let south = side(
+                &mut dir.table,
+                (miny > 0).then(|| Coord::new(0, miny - 1)),
+                false,
+            );
+            dir.meta[r] = ExitDirMeta {
+                minx,
+                maxx,
+                miny,
+                maxy,
+                east,
+                west,
+                north,
+                south,
+                ring_len: cells.len() as u32,
+                valid: true,
+            };
+        }
+        dir
+    }
+
+    /// The precomputed exit of ring `region` for `dst` as `(packed exit
+    /// word, ring length)`, or `None` when `dst` falls inside the
+    /// bounding box (or the ring/topology is uncovered) and the caller
+    /// must scan. The word is [`u64::MAX`] when no feasible exit exists;
+    /// otherwise [`crate::wide::decode_exit_word`] unpacks it. Side
+    /// classification is checked in a fixed order; a side the ring
+    /// presses against the mesh edge on can never match, so its (unbuilt)
+    /// table is never indexed.
+    #[inline(always)]
+    pub fn lookup(&self, region: usize, dst: Coord) -> Option<(u64, u32)> {
+        let m = &self.meta[region];
+        if !m.valid {
+            return None;
+        }
+        let idx = if dst.x > m.maxx {
+            m.east + dst.y as u32
+        } else if dst.x < m.minx {
+            m.west + dst.y as u32
+        } else if dst.y > m.maxy {
+            m.north + dst.x as u32
+        } else if dst.y < m.miny {
+            m.south + dst.x as u32
+        } else {
+            return None;
+        };
+        Some((self.table[idx as usize], m.ring_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_bases_are_cache_line_aligned() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            let data: Vec<i32> = (0..len as i32).collect();
+            let arena = AlignedArena::from_slice(&data);
+            assert_eq!(arena.as_slice(), &data[..]);
+            if len > 0 {
+                assert_eq!(arena.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+            }
+            let copy = arena.clone();
+            assert_eq!(copy.as_slice(), &data[..]);
+            if len > 0 {
+                assert_eq!(copy.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_word_round_trips() {
+        let w = pack_word(0x7FFE, 0x7ABC, 0b1010, 0xFFFE);
+        assert_eq!(w & 0x7FFF, 0x7FFE);
+        assert_eq!((w >> 15) & 0x7FFF, 0x7ABC);
+        assert_eq!((w >> 30) & 0xF, 0b1010);
+        assert_eq!((w >> 34) & 0xFFFF, 0xFFFE);
+        assert_eq!(w >> 50, 0, "word uses 50 bits");
+    }
+}

@@ -23,6 +23,11 @@
 //!   ring position maps, exit-candidate sets) built once per router so
 //!   query cost scales with fault encounters, not path length, plus the
 //!   reusable [`RouteScratch`] that makes `route_len` allocation-free.
+//! * `layout` / `wide` (crate-internal) — the batched SIMD-wide engine
+//!   behind `FaultTolerantRouter::route_len_batch`: cache-line-aligned
+//!   SoA repacks of the index tables and lockstep branch-free lane
+//!   kernels that move 4–8 queries through the index together,
+//!   byte-identical to the scalar path.
 //! * [`oracle`] — BFS shortest paths over enabled nodes: ground truth for
 //!   reachability and minimal hop counts.
 //! * [`cdg`] — empirical channel-dependency-graph analysis: collect the
@@ -45,11 +50,13 @@ pub mod adaptive;
 pub mod cdg;
 pub mod fault_ring;
 pub mod index;
+mod layout;
 pub mod metrics;
 pub mod minimal;
 pub mod oracle;
 pub mod path;
 pub mod router;
+mod wide;
 pub mod wormhole;
 pub mod xy;
 

@@ -43,20 +43,20 @@ thread_local! {
 /// proptest suite in `tests/equivalence.rs`.
 #[derive(Clone)]
 pub struct FaultTolerantRouter {
-    enabled: EnabledMap,
-    rings: Vec<FaultRing>,
+    pub(crate) enabled: EnabledMap,
+    pub(crate) rings: Vec<FaultRing>,
     /// For each node: index of the ring group containing it, if disabled.
     region_of: Grid<Option<usize>>,
     /// Ring groups: fault regions merged when diagonally adjacent.
     groups: Vec<Region>,
     /// Precomputed query indexes (built once per router).
-    index: RouteIndex,
+    pub(crate) index: RouteIndex,
 }
 
 /// The coordinate `k` hops from `c` in `dir` (wrapping on tori), without
 /// visiting the intermediate cells — the `route_len` side of a segment
 /// jump.
-fn advance_by(t: Topology, c: Coord, dir: Direction, k: usize) -> Coord {
+pub(crate) fn advance_by(t: Topology, c: Coord, dir: Direction, k: usize) -> Coord {
     let (dx, dy) = dir.offset();
     let raw = Coord::new(c.x + dx * k as i32, c.y + dy * k as i32);
     match t.kind() {
@@ -69,7 +69,7 @@ fn advance_by(t: Topology, c: Coord, dir: Direction, k: usize) -> Coord {
 /// already-wrapped axis deltas, branch-light: x is corrected first, so the
 /// bit is East/West whenever `dx != 0`, else North/South, else 0 at the
 /// destination (0 never rejects, matching the `c == dst` feasibility case).
-fn exit_bit(dx: i32, dy: i32) -> u32 {
+pub(crate) fn exit_bit(dx: i32, dy: i32) -> u32 {
     // West = 1, East = 2; South = 4, North = 8, none = 0 — all selects,
     // no branches, so the exit scan vectorizes.
     let xbit = 1 + (dx > 0) as u32;
@@ -85,14 +85,14 @@ fn exit_bit(dx: i32, dy: i32) -> u32 {
 /// `crate::xy::wrap_delta` — ties to the positive side) and the axis
 /// distance (as [`Topology::distance`]), from one shared reduction. `raw`
 /// must lie in `(-extent, extent)` (both coordinates in-machine).
-fn torus_axis(raw: i32, extent: i32) -> (i32, u32) {
+pub(crate) fn torus_axis(raw: i32, extent: i32) -> (i32, u32) {
     let m = if raw < 0 { raw + extent } else { raw };
     let delta = if 2 * m > extent { m - extent } else { m };
     (delta, m.min(extent - m) as u32)
 }
 
 /// "No feasible candidate" bit of the wide (u64) packed exit objective.
-const INFEASIBLE: u64 = 1 << 63;
+pub(crate) const INFEASIBLE: u64 = 1 << 63;
 
 /// Minimum packed `reject << 31 | distance << 16 | position` exit
 /// objective over candidates `cands[range]` (see
@@ -309,6 +309,32 @@ impl FaultTolerantRouter {
         scratch: &mut RouteScratch,
     ) -> Result<usize, RoutingError> {
         self.traverse_indexed(src, dst, None, scratch)
+    }
+
+    /// Batched [`route_len`](FaultTolerantRouter::route_len) through the
+    /// wide SoA engine: the whole batch moves through the snapshot index
+    /// in lockstep lanes (see [`crate::wide`]), streaming each packed
+    /// index table once per round instead of once per query. Returns one
+    /// result per pair, in pair order, each *byte-identical* to calling
+    /// `route_len` on that pair — the equivalence suite pins wide ==
+    /// scalar indexed == reference.
+    pub fn route_len_batch(&self, pairs: &[(Coord, Coord)]) -> Vec<Result<usize, RoutingError>> {
+        let mut out = Vec::new();
+        SCRATCH.with(|s| self.route_len_batch_with(pairs, &mut s.borrow_mut(), &mut out));
+        out
+    }
+
+    /// [`route_len_batch`](FaultTolerantRouter::route_len_batch) with a
+    /// caller-owned scratch and output buffer: the zero-allocation form
+    /// for serving loops. `out` is cleared and refilled with one result
+    /// per pair.
+    pub fn route_len_batch_with(
+        &self,
+        pairs: &[(Coord, Coord)],
+        scratch: &mut RouteScratch,
+        out: &mut Vec<Result<usize, RoutingError>>,
+    ) {
+        crate::wide::route_len_batch_wide(self, pairs, scratch, out);
     }
 
     /// The pre-index per-hop algorithm, preserved verbatim: the oracle for

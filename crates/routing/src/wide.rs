@@ -1,0 +1,864 @@
+//! The wide (multi-query) batched route-length engine.
+//!
+//! `FaultTolerantRouter::route_len_batch` moves a whole batch of queries
+//! through the per-snapshot index in struct-of-arrays lanes instead of one
+//! traversal at a time. Each scheduler *round* advances every still-active
+//! query by one traversal step:
+//!
+//! 1. **Aim** — per query: retire arrivals, apply the hop-cap check, and
+//!    compute the XY-preferred direction and axis window with
+//!    `preferred_direction` unrolled into branch-free selects (the aim
+//!    direction is effectively random across a batch, so a computed
+//!    direction index replaces a mispredict-prone branch per probe).
+//! 2. **Probe** — on snapshots with next-blocked tables (see
+//!    [`crate::layout::WideSegments`], all but degenerate geometries) a
+//!    probe is a *single* table load: the packed word carries both the
+//!    distance to the first disabled cell in the aim direction (torus
+//!    seams baked in at build) and the arena index of the blocking
+//!    cell's packed hit word. Otherwise probes fall back to the
+//!    vectorized kernels — `count_below` for short interval lines,
+//!    *lockstep branch-free binary search* over [`LANES`] staged lanes
+//!    for long ones (`base += (key < thr) as u32 * half` narrows every
+//!    lane unconditionally, computing the scalar `partition_point`).
+//! 3. **Advance** — per probe: apply the segment jump and the
+//!    reference's cap checks, then decode the packed hit word into the
+//!    fault-encounter bookkeeping (chain rejection, livelock guard,
+//!    entry cycle position, per-query exit memo) without chasing the
+//!    scalar path's dependent ring loads.
+//! 4. **Exit** — unmemoized encounters become exit tasks, sorted by
+//!    region. Destinations strictly outside the ring's bounding box
+//!    (the common case) resolve O(1) through the packed
+//!    [`crate::layout::ExitDirectory`]; the rest stream the packed
+//!    candidate blocks from [`crate::layout::WideRings`] as a
+//!    branch-free `reject << 31 | dist << 16 | pos` minimum in
+//!    [`U32x8`] lanes (u64 lanes via [`U64x4`] for non-compact rings).
+//!
+//! **Exactness contract**: results are byte-identical to running the
+//! scalar indexed traversal (`route_len_with`) per pair, which is itself
+//! pinned byte-identical to the pre-index reference. This holds by
+//! construction — each query performs the same checks in the same order
+//! on the same values; the next-blocked word and hit word are built from
+//! the same predicates the scalar path evaluates; the lockstep search
+//! computes the same partition point; min-reductions are
+//! order-independent, so lane-unrolled scans produce the scalar fold's
+//! exact minimum and tie-break; the exit directory is consulted only
+//! where the scan's argmin is position-invariant —
+//! and is enforced by `tests/equivalence.rs` on random mesh/torus maps.
+
+use crate::index::{RouteScratch, NO_REGION};
+use crate::layout::{ENTRY_CHAIN, ENTRY_UNPACKED};
+use crate::path::RoutingError;
+use crate::router::{advance_by, exit_bit, torus_axis, FaultTolerantRouter, INFEASIBLE};
+use crate::xy::wrap_delta;
+use ocp_mesh::{Coord, Direction, Topology, TopologyKind};
+
+/// Directions by computed aim index: positive/negative x, then y —
+/// matching the per-direction block order of the next-blocked tables.
+const DIRS: [Direction; 4] = [
+    Direction::East,
+    Direction::West,
+    Direction::North,
+    Direction::South,
+];
+
+/// Query lanes stepping together through one lockstep probe search.
+pub(crate) const LANES: usize = 8;
+
+/// Line-length cutoff between the two probe kernels. At or below it the
+/// partition point is computed by [`count_below`] — a branch-free
+/// vectorized count that runs inline while the query's state is hot (a
+/// 64-key line is two cache lines of the SoA arena; the count's
+/// lane-parallel compares beat a serial binary search's dependent-load
+/// chain at this size). Above it, probes batch into [`lockstep_search`]
+/// blocks so the longer searches' loads overlap across queries.
+const COUNT_CUTOFF: u32 = 64;
+
+/// Vectorized partition point for short sorted lines: the count of keys
+/// `< thr` *is* `partition_point(|k| k < thr)` on a sorted slice, and a
+/// count has no data-dependent control flow, so the compiler reduces it
+/// with packed compares.
+#[inline]
+fn count_below(line: &[i32], thr: i32) -> u32 {
+    line.iter().map(|&k| u32::from(k < thr)).sum()
+}
+
+/// Eight u32 lanes — the manual-SIMD idiom of `ocp_core::labeling::bits`,
+/// sized for the packed u32 exit objective. All ops are lane-wise and
+/// branch-free; the compiler lowers them to vector instructions.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct U32x8(pub [u32; 8]);
+
+impl U32x8 {
+    /// All lanes at `u32::MAX` — the identity of a min-reduction.
+    pub const MAX: Self = Self([u32::MAX; 8]);
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = (*o).min(b);
+        }
+        Self(out)
+    }
+
+    /// Minimum across lanes.
+    #[inline(always)]
+    pub fn horizontal_min(self) -> u32 {
+        self.0.into_iter().fold(u32::MAX, u32::min)
+    }
+}
+
+/// Four u64 lanes, for the non-compact exit objective.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct U64x4(pub [u64; 4]);
+
+impl U64x4 {
+    /// All lanes at `u64::MAX` — the identity of a min-reduction.
+    pub const MAX: Self = Self([u64::MAX; 4]);
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = (*o).min(b);
+        }
+        Self(out)
+    }
+
+    /// Minimum across lanes.
+    #[inline(always)]
+    pub fn horizontal_min(self) -> u64 {
+        self.0.into_iter().fold(u64::MAX, u64::min)
+    }
+}
+
+/// One staged probe: the lockstep search state plus what the advance
+/// phase needs to resolve the window scalar-exactly.
+#[derive(Clone, Copy, Debug)]
+struct Staged {
+    /// Owning query (index into the batch).
+    query: u32,
+    /// Line start in the key arena.
+    start: u32,
+    /// Remaining search-interval length (the answer is in
+    /// `[base, base + n]`).
+    n: u32,
+    /// Search-interval base, relative to `start`; after the search this
+    /// is the partition point.
+    base: u32,
+    /// Line length.
+    len: u32,
+    /// Exclusive search threshold: the search counts keys `< thr`
+    /// (`thr = pos + 1` reproduces the scalar `<= pos` search, `thr =
+    /// pos` the `< pos` one).
+    thr: i32,
+    /// Probe origin on the walked axis.
+    pos: i32,
+    /// Window length in hops.
+    steps: i32,
+    /// Probe direction.
+    dir: Direction,
+}
+
+impl Staged {
+    /// Inert lane filler for partial blocks: a one-key "search" of line
+    /// offset 0 with an unsatisfiable threshold. Contributes zero loop
+    /// iterations, touches only `keys[0]` (the caller guarantees a
+    /// non-empty arena whenever any real lane is staged), and is never
+    /// resolved.
+    const IDLE: Staged = Staged {
+        query: 0,
+        start: 0,
+        n: 1,
+        base: 0,
+        len: 0,
+        thr: i32::MIN,
+        pos: 0,
+        steps: 0,
+        dir: Direction::East,
+    };
+}
+
+/// One unmemoized fault encounter awaiting an exit scan.
+#[derive(Clone, Copy, Debug)]
+struct ExitTask {
+    query: u32,
+    region: u32,
+    /// The query's cycle position on the ring (entry point).
+    here: u32,
+}
+
+/// Reusable SoA staging buffers for the batch scheduler, embedded in
+/// [`RouteScratch`]. Cleared (not freed) per batch, so a warmed-up
+/// `route_len_batch` performs no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct WideBuffers {
+    /// Current cell per query.
+    cur: Vec<Coord>,
+    /// Destination per query.
+    dst: Vec<Coord>,
+    /// Links traversed so far per query.
+    hops: Vec<usize>,
+    /// Queries still traversing this round.
+    active: Vec<u32>,
+    /// Queries surviving into the next round.
+    next_active: Vec<u32>,
+    /// Exit scans pending this round (sorted by region before running).
+    tasks: Vec<ExitTask>,
+    /// Per-query livelock guard: `(region, entry cell)` pairs seen.
+    entries: Vec<Vec<(u32, Coord)>>,
+    /// Per-query exit memo: `(region, resolved exit)` once computed (dst
+    /// is fixed per query, so a ring's best exit never changes across
+    /// re-encounters — same contract as the scalar scratch memo). The
+    /// resolved exit carries `(cycle position, exit cell, ring length)`
+    /// so a memo hit re-applies the walk without loading the ring;
+    /// `None` records infeasibility.
+    exits: Vec<Vec<ExitMemo>>,
+}
+
+/// One exit-memo entry: the region id and, if the ring is escapable
+/// toward this query's destination, `(cycle position, exit cell, ring
+/// length)` of the resolved exit.
+type ExitMemo = (u32, Option<(u32, Coord, u32)>);
+
+/// `FaultRing::shorter_walk_len` on packed operands: the shorter of the
+/// two cycle walks between positions `from` and `to` on an `n`-cell ring
+/// (both formulas are the ring's `walk_len` arithmetic verbatim).
+#[inline(always)]
+fn walk_min(from: u32, to: u32, n: u32) -> usize {
+    let inc = (to + n - from) % n;
+    let dec = (from + n - to) % n;
+    inc.min(dec) as usize
+}
+
+/// Unpacks an [`crate::layout::ExitDirectory`] table word into
+/// `(cycle position, exit cell)`.
+#[inline(always)]
+pub(crate) fn decode_exit_word(word: u64) -> (u32, Coord) {
+    (
+        (word >> 32) as u32,
+        Coord::new((word & 0x7FFF) as i32, ((word >> 15) & 0x7FFF) as i32),
+    )
+}
+
+impl WideBuffers {
+    /// Readies the buffers for a batch of `n` queries.
+    fn reset(&mut self, n: usize) {
+        self.cur.clear();
+        self.cur.resize(n, Coord::new(0, 0));
+        self.dst.clear();
+        self.dst.resize(n, Coord::new(0, 0));
+        self.hops.clear();
+        self.hops.resize(n, 0);
+        self.active.clear();
+        for list in self.entries.iter_mut().take(n) {
+            list.clear();
+        }
+        for list in self.exits.iter_mut().take(n) {
+            list.clear();
+        }
+        if self.entries.len() < n {
+            self.entries.resize_with(n, Vec::new);
+        }
+        if self.exits.len() < n {
+            self.exits.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// Runs the lockstep branch-free binary search for up to [`LANES`] staged
+/// probes at once. On return every lane's `base` is its partition point:
+/// the count of line keys `< thr`, identical to the scalar
+/// `partition_point` the probe resolution expects.
+///
+/// Every iteration executes the same three unconditional operations per
+/// lane — `half = n / 2`, a key load, `base += (key < thr) * half` — so
+/// lane progress never branches on data, and the (independent) lane loads
+/// pipeline. The iteration count is fixed up front from the longest lane
+/// (every lane's interval becomes `ceil(n / 2)` per round, so `2^k ≥
+/// max n` rounds finish them all); exhausted lanes idle harmlessly —
+/// `half == 0` makes every update a no-op and the guarded index stays in
+/// range.
+#[inline]
+fn lockstep_search(keys: &[i32], lanes: &mut [Staged]) {
+    let mut max_n = 0u32;
+    for lane in lanes.iter() {
+        max_n = max_n.max(lane.n);
+    }
+    while max_n > 1 {
+        for lane in lanes.iter_mut() {
+            let half = lane.n >> 1;
+            let idx = (lane.start + lane.base + half) as usize - usize::from(half > 0);
+            let sat = u32::from(keys[idx] < lane.thr);
+            lane.base += sat * half;
+            lane.n -= half;
+        }
+        max_n -= max_n >> 1;
+    }
+    for lane in lanes.iter_mut() {
+        let idx = (lane.start + lane.base) as usize;
+        lane.base += u32::from(keys[idx] < lane.thr);
+    }
+}
+
+/// Resolves a finished probe into the scalar `first_blocked` outcome:
+/// hops to the first disabled cell in the window plus its packed hit word
+/// (region code + entry positions — see
+/// [`crate::layout::WideSegments`]), or `None` if the window is clear.
+/// `pp` (the lane's final `base`) is the partition point of the scalar
+/// search; the remaining window logic — torus seams included — is the
+/// scalar code on the packed columns.
+#[inline]
+fn resolve_blocked(
+    keys: &[i32],
+    hits: &[u64],
+    s: &Staged,
+    extent: i32,
+    positive: bool,
+    torus: bool,
+) -> Option<(i32, u64)> {
+    let st = s.start as usize;
+    let len = s.len as usize;
+    let pp = s.base as usize;
+    let line = &keys[st..st + len];
+    let line_hits = &hits[st..st + len];
+    if positive {
+        let end = s.pos + s.steps;
+        if !torus || end < extent {
+            return (pp < len && line[pp] <= end).then(|| (line[pp] - s.pos, line_hits[pp]));
+        }
+        if pp < len {
+            return Some((line[pp] - s.pos, line_hits[pp]));
+        }
+        (line[0] <= end - extent).then(|| (line[0] + extent - s.pos, line_hits[0]))
+    } else {
+        let end = s.pos - s.steps;
+        if !torus || end >= 0 {
+            return (pp > 0 && line[pp - 1] >= end)
+                .then(|| (s.pos - line[pp - 1], line_hits[pp - 1]));
+        }
+        if pp > 0 {
+            return Some((s.pos - line[pp - 1], line_hits[pp - 1]));
+        }
+        (line[len - 1] >= end + extent)
+            .then(|| (s.pos + extent - line[len - 1], line_hits[len - 1]))
+    }
+}
+
+/// Orientation and axis extent of a probe direction.
+#[inline(always)]
+fn dir_info(t: Topology, dir: Direction) -> (bool, i32) {
+    let positive = matches!(dir, Direction::East | Direction::North);
+    let extent = match dir {
+        Direction::East | Direction::West => t.width() as i32,
+        Direction::North | Direction::South => t.height() as i32,
+    };
+    (positive, extent)
+}
+
+/// The packed-u32 exit key of one candidate word on a mesh — the exact
+/// arithmetic of the scalar `scan_packed_u32` on the word's fields.
+#[inline(always)]
+fn word_key_mesh(w: u64, dst: Coord) -> u32 {
+    let dx = dst.x - (w & 0x7FFF) as i32;
+    let dy = dst.y - ((w >> 15) & 0x7FFF) as i32;
+    let mask = ((w >> 30) & 0xF) as u32;
+    let pos = ((w >> 34) & 0xFFFF) as u32;
+    let dist = dx.unsigned_abs() + dy.unsigned_abs();
+    let reject = u32::from(mask & exit_bit(dx, dy) != 0);
+    (reject << 31) | (dist << 16) | pos
+}
+
+/// Torus variant of [`word_key_mesh`].
+#[inline(always)]
+fn word_key_torus(w: u64, dst: Coord, width: i32, height: i32) -> u32 {
+    let (dx, ax) = torus_axis(dst.x - (w & 0x7FFF) as i32, width);
+    let (dy, ay) = torus_axis(dst.y - ((w >> 15) & 0x7FFF) as i32, height);
+    let mask = ((w >> 30) & 0xF) as u32;
+    let pos = ((w >> 34) & 0xFFFF) as u32;
+    let reject = u32::from(mask & exit_bit(dx, dy) != 0);
+    (reject << 31) | ((ax + ay) << 16) | pos
+}
+
+/// Minimum packed exit key over one packed word slice, reduced in
+/// [`U32x8`] lanes (min is order-independent, so the lane reduction is
+/// bit-exact against the scalar left fold).
+fn scan_words(t: Topology, dst: Coord, words: &[u64]) -> u32 {
+    let mut acc = U32x8::MAX;
+    let mut chunks = words.chunks_exact(8);
+    match t.kind() {
+        TopologyKind::Mesh => {
+            for chunk in &mut chunks {
+                let mut keys = [0u32; 8];
+                for (k, &w) in keys.iter_mut().zip(chunk) {
+                    *k = word_key_mesh(w, dst);
+                }
+                acc = acc.min(U32x8(keys));
+            }
+            let mut best = acc.horizontal_min();
+            for &w in chunks.remainder() {
+                best = best.min(word_key_mesh(w, dst));
+            }
+            best
+        }
+        TopologyKind::Torus => {
+            let (w_, h_) = (t.width() as i32, t.height() as i32);
+            for chunk in &mut chunks {
+                let mut keys = [0u32; 8];
+                for (k, &w) in keys.iter_mut().zip(chunk) {
+                    *k = word_key_torus(w, dst, w_, h_);
+                }
+                acc = acc.min(U32x8(keys));
+            }
+            let mut best = acc.horizontal_min();
+            for &w in chunks.remainder() {
+                best = best.min(word_key_torus(w, dst, w_, h_));
+            }
+            best
+        }
+    }
+}
+
+/// Non-compact fallback: the scalar u64 exit objective over the scalar
+/// candidate columns, reduced in [`U64x4`] lanes.
+fn scan_columns_u64(
+    t: Topology,
+    dst: Coord,
+    cands: &crate::index::CandidateColumns,
+    range: core::ops::Range<usize>,
+) -> u64 {
+    let xs = &cands.xs[range.clone()];
+    let ys = &cands.ys[range.clone()];
+    let masks = &cands.masks[range.clone()];
+    let poss = &cands.poss[range];
+    let key = |i: usize| -> u64 {
+        let (dx, dy, dist) = match t.kind() {
+            TopologyKind::Mesh => {
+                let (dx, dy) = (dst.x - xs[i], dst.y - ys[i]);
+                (dx, dy, (dx.unsigned_abs() + dy.unsigned_abs()) as u64)
+            }
+            TopologyKind::Torus => {
+                let (dx, ax) = torus_axis(dst.x - xs[i], t.width() as i32);
+                let (dy, ay) = torus_axis(dst.y - ys[i], t.height() as i32);
+                (dx, dy, (ax + ay) as u64)
+            }
+        };
+        let reject = u64::from(masks[i] as u32 & exit_bit(dx, dy) != 0) * INFEASIBLE;
+        (dist << 32) | poss[i] as u64 | reject
+    };
+    let n = xs.len();
+    let mut acc = U64x4::MAX;
+    let mut i = 0;
+    while i + 4 <= n {
+        let keys = [key(i), key(i + 1), key(i + 2), key(i + 3)];
+        acc = acc.min(U64x4(keys));
+        i += 4;
+    }
+    let mut best = acc.horizontal_min();
+    while i < n {
+        best = best.min(key(i));
+        i += 1;
+    }
+    best
+}
+
+/// Best exit of one ring for `dst` by candidate scan — packed-word scan
+/// for compact rings, u64-lane column scan otherwise. Decision-identical
+/// to the scalar `best_exit_indexed`. Shared by the runtime fallback and
+/// the build-time [`crate::layout::ExitDirectory`] precomputation.
+pub(crate) fn exit_scan(
+    t: Topology,
+    ring_index: &crate::index::RingIndex,
+    meta: &crate::layout::WideRingMeta,
+    words: &[u64],
+    dst: Coord,
+) -> Option<u32> {
+    if meta.packed {
+        let mut best = u32::MAX;
+        crate::layout::WideRings::packed_slices(meta, ring_index, t, dst, |range| {
+            best = best.min(scan_words(t, dst, &words[range]));
+        });
+        (best >> 31 == 0).then_some(best & 0xFFFF)
+    } else {
+        let mut best = u64::MAX;
+        ring_index.candidate_slices(t, dst, |cands, range| {
+            best = best.min(scan_columns_u64(t, dst, cands, range));
+        });
+        (best & INFEASIBLE == 0).then_some(best as u32)
+    }
+}
+
+/// Best exit of `region` for `dst` as `(cycle position, exit cell, ring
+/// length)` — O(1) through the snapshot's
+/// [`crate::layout::ExitDirectory`] whenever `dst` lies strictly outside
+/// the ring's bounding box (the overwhelmingly common case — queries that
+/// hit a ring usually aim far past it), candidate scan otherwise.
+/// `None` when the ring has no feasible exit toward `dst`.
+fn compute_exit(
+    router: &FaultTolerantRouter,
+    t: Topology,
+    region: usize,
+    dst: Coord,
+) -> Option<(u32, Coord, u32)> {
+    let index = &router.index;
+    if let Some((word, ring_len)) = index.exit_dir.lookup(region, dst) {
+        return (word != u64::MAX).then(|| {
+            let (pos, cell) = decode_exit_word(word);
+            (pos, cell, ring_len)
+        });
+    }
+    exit_scan(
+        t,
+        &index.rings[region],
+        &index.wide_rings.meta[region],
+        index.wide_rings.words(),
+        dst,
+    )
+    .map(|pos| {
+        let ring = &router.rings[region];
+        let cell = ring
+            .cycle_cell(pos as usize)
+            .expect("exit is a cycle position");
+        (pos, cell, ring.cells().len() as u32)
+    })
+}
+
+/// The batch scheduler. Writes one result per pair into `out`, in pair
+/// order, each byte-identical to `route_len_with` on that pair.
+pub(crate) fn route_len_batch_wide(
+    router: &FaultTolerantRouter,
+    pairs: &[(Coord, Coord)],
+    scratch: &mut RouteScratch,
+    out: &mut Vec<Result<usize, RoutingError>>,
+) {
+    let t = router.topology();
+    let cap = (t.len() * 4).max(64);
+    let torus = t.kind() == TopologyKind::Torus;
+    out.clear();
+    out.resize(pairs.len(), Ok(0));
+    let wb = &mut scratch.wide;
+    wb.reset(pairs.len());
+
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        // Endpoint checks in the scalar order: src first, then dst.
+        if let Some(&node) = [src, dst].iter().find(|&&e| !router.enabled.is_enabled(e)) {
+            out[i] = Err(RoutingError::EndpointDisabled { node });
+            continue;
+        }
+        wb.cur[i] = src;
+        wb.dst[i] = dst;
+        wb.active.push(i as u32);
+    }
+
+    let segments = &router.index.wide_segments;
+    let keys = segments.keys();
+    let hits = segments.hits();
+    let next = segments.next();
+    let have_next = segments.have_next();
+
+    while !wb.active.is_empty() {
+        wb.next_active.clear();
+        wb.tasks.clear();
+
+        // Aim → probe → advance, fused per query. With the next-blocked
+        // tables a probe is one table load (window clear or encounter,
+        // torus seams baked in); without them, short lines resolve
+        // through the vectorized count kernel and long lines batch into
+        // lockstep blocks of [`LANES`].
+        let mut lanes = [Staged::IDLE; LANES];
+        let mut lane_count = 0usize;
+        for ai in 0..wb.active.len() {
+            let q = wb.active[ai] as usize;
+            let (cur, dst) = (wb.cur[q], wb.dst[q]);
+            if cur == dst {
+                out[q] = Ok(wb.hops[q]);
+                continue;
+            }
+            if wb.hops[q] + 1 > cap {
+                out[q] = Err(RoutingError::LivelockDetected);
+                continue;
+            }
+            // `preferred_direction` unrolled into selects: both axis
+            // deltas up front, then the x-first rule as a computed
+            // direction index (E=0 W=1 N=2 S=3). The aim direction is
+            // data-dependent and effectively random across a batch, so
+            // keeping it branch-free avoids a mispredict per probe.
+            let dx = wrap_delta(t, cur.x, dst.x, t.width());
+            let dy = wrap_delta(t, cur.y, dst.y, t.height());
+            let xfirst = dx != 0;
+            let delta = if xfirst { dx } else { dy };
+            let dir_idx = (usize::from(!xfirst) << 1) | usize::from(delta < 0);
+            let dir = DIRS[dir_idx];
+            let steps = delta.unsigned_abs() as i32;
+            if have_next {
+                // One table load answers the whole probe — window-clear
+                // distance or encounter, torus seams baked in at build.
+                // The probe address reuses the computed direction index
+                // (row-major x-lines, column-major y-lines) so nothing
+                // on this path re-branches on the direction.
+                let cell = if xfirst {
+                    cur.y * t.width() as i32 + cur.x
+                } else {
+                    cur.x * t.height() as i32 + cur.y
+                };
+                let at = (segments.next_base()[dir_idx] + cell as u32) as usize;
+                let v = next[at];
+                let dist = (v & 0xFFFF) as i32;
+                let hit = (dist <= steps).then(|| (dist, hits[(v >> 16) as usize]));
+                apply_probe(router, t, cap, wb, out, q as u32, dir, steps, hit);
+                continue;
+            }
+            let (start, len) = segments.line(dir, cur);
+            if len == 0 {
+                // No disabled cell anywhere on this line: the whole
+                // window is clear (the fast XY-only case).
+                if wb.hops[q] + steps as usize > cap {
+                    out[q] = Err(RoutingError::LivelockDetected);
+                    continue;
+                }
+                wb.cur[q] = advance_by(t, cur, dir, steps as usize);
+                wb.hops[q] += steps as usize;
+                wb.next_active.push(q as u32);
+                continue;
+            }
+            let positive = matches!(dir, Direction::East | Direction::North);
+            let pos = match dir {
+                Direction::East | Direction::West => cur.x,
+                Direction::North | Direction::South => cur.y,
+            };
+            let mut staged = Staged {
+                query: q as u32,
+                start,
+                n: len,
+                base: 0,
+                len,
+                thr: pos + i32::from(positive),
+                pos,
+                steps,
+                dir,
+            };
+            if len <= COUNT_CUTOFF {
+                let line = &keys[start as usize..(start + len) as usize];
+                staged.base = count_below(line, staged.thr);
+                let (positive, extent) = dir_info(t, dir);
+                let hit = resolve_blocked(keys, hits, &staged, extent, positive, torus);
+                apply_probe(router, t, cap, wb, out, q as u32, dir, steps, hit);
+            } else {
+                lanes[lane_count] = staged;
+                lane_count += 1;
+                if lane_count == LANES {
+                    lockstep_search(keys, &mut lanes);
+                    for s in &lanes {
+                        let (positive, extent) = dir_info(t, s.dir);
+                        let hit = resolve_blocked(keys, hits, s, extent, positive, torus);
+                        apply_probe(router, t, cap, wb, out, s.query, s.dir, s.steps, hit);
+                    }
+                    lanes = [Staged::IDLE; LANES];
+                    lane_count = 0;
+                }
+            }
+        }
+        // Flush the partial lockstep block (idle fillers are no-ops; a
+        // staged lane implies the key arena is non-empty).
+        if lane_count > 0 {
+            lockstep_search(keys, &mut lanes);
+            for s in lanes.iter().take(lane_count) {
+                let (positive, extent) = dir_info(t, s.dir);
+                let hit = resolve_blocked(keys, hits, s, extent, positive, torus);
+                apply_probe(router, t, cap, wb, out, s.query, s.dir, s.steps, hit);
+            }
+        }
+
+        // Exit scans, bucketed by region so consecutive tasks stream the
+        // same packed candidate block (or directory lines).
+        wb.tasks.sort_unstable_by_key(|task| task.region);
+        for ti in 0..wb.tasks.len() {
+            let ExitTask {
+                query,
+                region,
+                here,
+            } = wb.tasks[ti];
+            let q = query as usize;
+            let exit = compute_exit(router, t, region as usize, wb.dst[q]);
+            wb.exits[q].push((region, exit));
+            match exit {
+                None => out[q] = Err(RoutingError::LivelockDetected),
+                Some((e, cell, ring_len)) => {
+                    wb.hops[q] += walk_min(here, e, ring_len);
+                    wb.cur[q] = cell;
+                    wb.next_active.push(query);
+                }
+            }
+        }
+
+        std::mem::swap(&mut wb.active, &mut wb.next_active);
+    }
+}
+
+/// Applies one resolved probe to its query — exactly the scalar
+/// traversal's check order: window resolution, the reference's cap
+/// checks, the segment jump, and fault-encounter bookkeeping (chain
+/// rejection, livelock guard, position lookup, exit memo). Unmemoized
+/// encounters join `wb.tasks` for the exit phase.
+///
+/// The encounter bookkeeping decodes the packed hit word instead of
+/// chasing the scalar path's dependent loads: the chain rejection reads
+/// the word's [`ENTRY_CHAIN`] sentinel (precomputed from the very
+/// `is_cycle` the scalar checks), the cycle position comes from the
+/// word's direction-matching field (falling back to the scalar
+/// `position` lookup on [`ENTRY_UNPACKED`]), and memo hits re-apply the
+/// walk from the memoized `(position, cell, ring length)` triple.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn apply_probe(
+    router: &FaultTolerantRouter,
+    t: Topology,
+    cap: usize,
+    wb: &mut WideBuffers,
+    out: &mut [Result<usize, RoutingError>],
+    query: u32,
+    dir: Direction,
+    steps: i32,
+    hit: Option<(i32, u64)>,
+) {
+    let q = query as usize;
+    let positive = matches!(dir, Direction::East | Direction::North);
+    let advance = match hit {
+        Some((d, _)) => (d - 1) as usize,
+        None => steps as usize,
+    };
+    // The reference checks the cap before every hop; a segment that
+    // would run past it fails at the same hop count.
+    if wb.hops[q] + advance > cap {
+        out[q] = Err(RoutingError::LivelockDetected);
+        return;
+    }
+    wb.cur[q] = advance_by(t, wb.cur[q], dir, advance);
+    wb.hops[q] += advance;
+    let Some((_, word)) = hit else {
+        wb.next_active.push(q as u32);
+        return;
+    };
+    // The reference's loop-top check for the iteration that discovers
+    // the blocked hop.
+    if wb.hops[q] + 1 > cap {
+        out[q] = Err(RoutingError::LivelockDetected);
+        return;
+    }
+    let region_code = word as u32;
+    assert_ne!(region_code, NO_REGION, "disabled non-region cell blocks XY");
+    let epos = ((word >> if positive { 32 } else { 48 }) & 0xFFFF) as u32;
+    if epos == ENTRY_CHAIN {
+        out[q] = Err(RoutingError::BoundaryFaultChain);
+        return;
+    }
+    let entry = wb.cur[q];
+    let guard = &mut wb.entries[q];
+    if guard.iter().any(|&(r, c)| r == region_code && c == entry) {
+        out[q] = Err(RoutingError::LivelockDetected);
+        return;
+    }
+    guard.push((region_code, entry));
+    let here = if epos == ENTRY_UNPACKED {
+        router
+            .index
+            .position(region_code as usize, entry)
+            .expect("blocked node is on the blocking region's ring") as u32
+    } else {
+        epos
+    };
+    let memo = wb.exits[q]
+        .iter()
+        .find(|&&(r, _)| r == region_code)
+        .map(|&(_, e)| e);
+    match memo {
+        Some(None) => out[q] = Err(RoutingError::LivelockDetected),
+        Some(Some((exit, cell, ring_len))) => {
+            wb.hops[q] += walk_min(here, exit, ring_len);
+            wb.cur[q] = cell;
+            wb.next_active.push(q as u32);
+        }
+        None => wb.tasks.push(ExitTask {
+            query: q as u32,
+            region: region_code,
+            here,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// The lockstep search must compute `slice.partition_point(< thr)`
+    /// for every lane, including mixed lengths and exhausted lanes.
+    #[test]
+    fn lockstep_search_matches_partition_point() {
+        let mut rng = SmallRng::seed_from_u64(0x51D3);
+        for _ in 0..200 {
+            let mut keys: Vec<i32> = Vec::new();
+            let mut lanes = Vec::new();
+            let mut expect = Vec::new();
+            let lane_count = rng.gen_range(1..=LANES);
+            for q in 0..lane_count {
+                let len = rng.gen_range(1..=40usize);
+                let start = keys.len() as u32;
+                let mut line: Vec<i32> = (0..len).map(|_| rng.gen_range(0..64)).collect();
+                line.sort_unstable();
+                let thr = rng.gen_range(-1..66);
+                expect.push(line.partition_point(|&k| k < thr));
+                keys.extend_from_slice(&line);
+                lanes.push(Staged {
+                    query: q as u32,
+                    start,
+                    n: len as u32,
+                    len: len as u32,
+                    thr,
+                    ..Staged::IDLE
+                });
+            }
+            lockstep_search(&keys, &mut lanes);
+            for (lane, want) in lanes.iter().zip(expect) {
+                assert_eq!(lane.base as usize, want, "thr {} lane {:?}", lane.thr, lane);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_min_reductions_match_scalar_folds() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let v32: Vec<u32> = (0..rng.gen_range(0..50)).map(|_| rng.next_u32()).collect();
+            let mut acc = U32x8::MAX;
+            let mut chunks = v32.chunks_exact(8);
+            for c in &mut chunks {
+                let mut lane = [0u32; 8];
+                lane.copy_from_slice(c);
+                acc = acc.min(U32x8(lane));
+            }
+            let mut best = acc.horizontal_min();
+            for &k in chunks.remainder() {
+                best = best.min(k);
+            }
+            assert_eq!(best, v32.iter().copied().fold(u32::MAX, u32::min));
+
+            let v64: Vec<u64> = (0..rng.gen_range(0..50)).map(|_| rng.next_u64()).collect();
+            let mut acc = U64x4::MAX;
+            let mut chunks = v64.chunks_exact(4);
+            for c in &mut chunks {
+                let mut lane = [0u64; 4];
+                lane.copy_from_slice(c);
+                acc = acc.min(U64x4(lane));
+            }
+            let mut best = acc.horizontal_min();
+            for &k in chunks.remainder() {
+                best = best.min(k);
+            }
+            assert_eq!(best, v64.iter().copied().fold(u64::MAX, u64::min));
+        }
+    }
+}

@@ -60,5 +60,5 @@ pub use service::{
     CertChaos, CertMode, EpochRecord, Event, MeshService, RecoverError, ServeConfig, ServiceHandle,
 };
 pub use snapshot::{EventBatch, Snapshot};
-pub use transport::{dispatch_bytes, TcpFront, Transport};
+pub use transport::{dispatch_bytes, PipelinedApiClient, TcpFront, Transport};
 pub use wal::{Wal, WalRecord};

@@ -77,6 +77,11 @@ pub struct Metrics {
     pub route: EndpointMetrics,
     /// Hop-count queries.
     pub route_len: EndpointMetrics,
+    /// Pairs-per-call histogram of the batched hop-count endpoint — how
+    /// wide callers actually drive `route_len_batch`, and therefore how
+    /// much lane-level parallelism the wide engine gets to use. One
+    /// sample per batch call (empty batches included).
+    pub batch_width: LatencyHistogram,
     /// Status queries.
     pub status: EndpointMetrics,
     /// Stats/epoch meta queries.
@@ -169,6 +174,9 @@ pub struct StatsReport {
     pub route: EndpointReport,
     /// Hop-count endpoint counters.
     pub route_len: EndpointReport,
+    /// Batch-width percentiles of the batched hop-count endpoint
+    /// (pairs per `route_len_batch` call; `n` counts batch calls).
+    pub batch_width: Percentiles,
     /// Status endpoint counters.
     pub status: EndpointReport,
     /// Mean read staleness in epochs behind head.
@@ -332,6 +340,13 @@ pub fn prometheus_text(stats: &StatsReport) -> String {
             &ep.latency_ns,
         );
     }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_batch_width Pairs per route_len_batch call (count is batch calls)."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_batch_width summary");
+    render_summary(&mut out, "ocp_serve_batch_width", "", &stats.batch_width);
 
     let _ = writeln!(
         out,
@@ -528,6 +543,7 @@ mod tests {
                 errors: 0,
                 latency_ns: Percentiles::of(&[]),
             },
+            batch_width: Percentiles::of(&[8.0, 64.0]),
             status: EndpointReport {
                 requests: 7,
                 errors: 0,
@@ -567,6 +583,7 @@ mod tests {
             queue_capacity: 64,
             route: m.route.report(),
             route_len: m.route_len.report(),
+            batch_width: m.batch_width.percentiles(),
             status: m.status.report(),
             staleness_mean_epochs: 0.5,
             staleness_max_epochs: 1,
@@ -590,6 +607,8 @@ mod tests {
             "ocp_serve_latency_ns_count{endpoint=\"route\"} 1",
             "# TYPE ocp_serve_publish_lag_ns summary",
             "ocp_serve_publish_lag_ns_count 1",
+            "# TYPE ocp_serve_batch_width summary",
+            "ocp_serve_batch_width_count 0",
             "ocp_serve_staleness_epochs{stat=\"max\"} 1",
             "# TYPE ocp_serve_epoch_publish_total counter",
             "ocp_serve_epoch_publish_total{result=\"ok\"} 2",

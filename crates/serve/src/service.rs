@@ -413,6 +413,7 @@ impl MeshService {
             cached: self.shared.head.lock().expect("head lock").clone(),
             shared: self.shared.clone(),
             scratch: ocp_routing::RouteScratch::new(),
+            batch_results: Vec::new(),
         }
     }
 
@@ -732,6 +733,8 @@ pub struct ServiceHandle {
     shared: Arc<Shared>,
     cached: Arc<Snapshot>,
     scratch: ocp_routing::RouteScratch,
+    /// Reusable result staging for the batched read path.
+    batch_results: Vec<Result<usize, ocp_routing::RoutingError>>,
 }
 
 impl Clone for ServiceHandle {
@@ -740,6 +743,7 @@ impl Clone for ServiceHandle {
             shared: self.shared.clone(),
             cached: self.cached.clone(),
             scratch: ocp_routing::RouteScratch::new(),
+            batch_results: Vec::new(),
         }
     }
 }
@@ -822,36 +826,42 @@ impl ServiceHandle {
     }
 
     /// Many hop counts against **one** snapshot: the batched read fast
-    /// path. The snapshot is refreshed once, every pair is answered
-    /// against it with the handle's persistent router scratch (zero
-    /// allocation per query, and the scratch's capacity survives across
-    /// batches), the reply carries a single epoch tag, and metrics are
-    /// amortized: one staleness sample and one mean-latency sample for the
-    /// whole batch. Outcomes are field-equal to sequential singleton
+    /// path. The snapshot is refreshed once and the whole batch runs
+    /// through the router's wide (SIMD-lane) batch engine with the
+    /// handle's persistent scratch — SoA staging buffers and results
+    /// vector are reused across batches, so a warmed-up handle performs
+    /// no per-query allocation. The reply carries a single epoch tag,
+    /// and metrics are amortized: one staleness sample, one mean-latency
+    /// sample, and one `batch_width` sample for the whole batch.
+    /// Outcomes are field-equal to sequential singleton
     /// [`route_len`](ServiceHandle::route_len) calls against the same
-    /// snapshot.
+    /// snapshot (the wide engine is byte-identical to the scalar path).
     pub fn route_len_batch(&mut self, pairs: &[(Coord, Coord)]) -> RouteLenBatchReply {
         let start = Instant::now();
         self.refresh();
-        let scratch = &mut self.scratch;
+        self.cached
+            .router
+            .route_len_batch_with(pairs, &mut self.scratch, &mut self.batch_results);
         let mut errors = 0u64;
-        let outcomes: Vec<RouteLenOutcome> = pairs
+        let outcomes: Vec<RouteLenOutcome> = self
+            .batch_results
             .iter()
-            .map(
-                |&(src, dst)| match self.cached.router.route_len_with(src, dst, scratch) {
-                    Ok(len) => RouteLenOutcome::Delivered { len },
-                    Err(error) => {
-                        errors += 1;
-                        RouteLenOutcome::Failed { error }
+            .map(|res| match res {
+                Ok(len) => RouteLenOutcome::Delivered { len: *len },
+                Err(error) => {
+                    errors += 1;
+                    RouteLenOutcome::Failed {
+                        error: error.clone(),
                     }
-                },
-            )
+                }
+            })
             .collect();
         self.shared.metrics.route_len.record_batch(
             pairs.len() as u64,
             errors,
             start.elapsed().as_nanos() as u64,
         );
+        self.shared.metrics.batch_width.record(pairs.len() as u64);
         let reply = RouteLenBatchReply {
             epoch: self.cached.epoch,
             outcomes,
@@ -934,6 +944,7 @@ impl ServiceHandle {
             queue_capacity: self.shared.queue.capacity(),
             route: m.route.report(),
             route_len: m.route_len.report(),
+            batch_width: m.batch_width.percentiles(),
             status: m.status.report(),
             staleness_mean_epochs: if samples == 0 {
                 0.0
@@ -1172,6 +1183,16 @@ mod tests {
         // Batched metrics are amortized: one latency sample for the whole
         // batch, then one per singleton success.
         assert_eq!(stats.route_len.latency_ns.n, 4);
+        // One batch-width sample covering the whole call; singletons
+        // don't contribute.
+        assert_eq!(stats.batch_width.n, 1);
+        // Log-bucketed histogram: a width-4 sample reads back at its
+        // bucket's geometric midpoint, so allow the [4, 8) bucket range.
+        assert!(
+            stats.batch_width.p50 >= 4.0 && stats.batch_width.p50 < 8.0,
+            "batch width sample should read back in the [4, 8) bucket, got {}",
+            stats.batch_width.p50
+        );
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! cannot tell them apart, which is exactly what lets the blocking transport
 //! serve as the correctness oracle for the reactor in experiment E19.
 
-use crate::api::{Request, Response};
+use crate::api::{Request, Response, RouteLenBatchReply};
 use crate::net::TcpServer;
 use crate::service::{MeshService, ServiceHandle};
-use ocp_reactor::{ReactorConfig, ReactorServer, StatsSnapshot};
+use ocp_mesh::Coord;
+use ocp_reactor::{PipelinedClient, ReactorConfig, ReactorServer, StatsSnapshot};
 use std::io;
 use std::net::{SocketAddr, SocketAddrV4};
 
@@ -42,6 +43,64 @@ pub fn dispatch_bytes(handle: &mut ServiceHandle, payload: &[u8]) -> Vec<u8> {
         },
     };
     serde_json::to_vec(&response).unwrap_or_else(|_| b"{}".to_vec())
+}
+
+/// A typed client over the reactor's pipelined (framing v2) connection:
+/// JSON-encodes [`Request`]s under correlation ids and decodes
+/// [`Response`]s — the [`Transport::Reactor`] twin of the blocking
+/// [`crate::Client`]. Several requests may be in flight at once;
+/// replies come back in server completion order, keyed by id.
+pub struct PipelinedApiClient {
+    inner: PipelinedClient,
+}
+
+impl PipelinedApiClient {
+    /// Connects and negotiates pipelined framing v2.
+    pub fn connect(addr: SocketAddr) -> io::Result<PipelinedApiClient> {
+        Ok(PipelinedApiClient {
+            inner: PipelinedClient::connect(addr)?,
+        })
+    }
+
+    /// Sends one request without waiting, returning its correlation id.
+    pub fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let payload = serde_json::to_vec(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.inner.send(&payload)
+    }
+
+    /// Receives the next reply in server completion order.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        let (id, payload) = self.inner.recv()?;
+        let response = serde_json::from_slice(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((id, response))
+    }
+
+    /// Round-trips one batched hop-count query — the wide read path over
+    /// the reactor transport. The connection must have no other replies
+    /// outstanding (drain pipelined traffic first).
+    pub fn route_len_batch(
+        &mut self,
+        pairs: Vec<(Coord, Coord)>,
+    ) -> io::Result<RouteLenBatchReply> {
+        let id = self.send(&Request::RouteLenBatch { pairs })?;
+        let (got_id, response) = self.recv()?;
+        if got_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply for correlation id {got_id}, expected {id}"),
+            ));
+        }
+        match response {
+            Response::RouteLenBatch(reply) => Ok(reply),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to RouteLenBatch: {other:?}"),
+            )),
+        }
+    }
 }
 
 /// A running TCP front-end of either flavor.
@@ -180,6 +239,57 @@ mod tests {
                 _ => assert_eq!(got, want, "reply for corr id {id} diverged from oracle"),
             }
         }
+        drop(client);
+        front.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn typed_pipelined_client_serves_batched_route_len() {
+        let service =
+            MeshService::start(Topology::mesh(12, 12), [c(5, 5)], ServeConfig::default()).unwrap();
+        let front = TcpFront::start(&service, "127.0.0.1:0", Transport::Reactor).unwrap();
+        let mut oracle = service.handle();
+        let mut client = PipelinedApiClient::connect(front.local_addr()).unwrap();
+
+        // Pipelined typed traffic first: ids come back keyed, interleaved
+        // at the server's discretion.
+        let id_a = client.send(&Request::Epoch).unwrap();
+        let id_b = client
+            .send(&Request::RouteLen {
+                src: c(0, 0),
+                dst: c(11, 11),
+            })
+            .unwrap();
+        for _ in 0..2 {
+            let (id, response) = client.recv().unwrap();
+            if id == id_a {
+                assert!(matches!(response, Response::Epoch { .. }));
+            } else {
+                assert_eq!(id, id_b);
+                let want = oracle.dispatch(Request::RouteLen {
+                    src: c(0, 0),
+                    dst: c(11, 11),
+                });
+                assert_eq!(response, want);
+            }
+        }
+
+        // Then the batched read path: pairs spanning detours around the
+        // fault, an error outcome, and a zero-hop self-pair, answered
+        // through the service's wide engine and field-equal to the
+        // in-process oracle.
+        let pairs = vec![
+            (c(0, 5), c(11, 5)),
+            (c(5, 5), c(0, 0)), // endpoint faulty
+            (c(2, 2), c(2, 2)),
+            (c(11, 0), c(0, 11)),
+        ];
+        let reply = client.route_len_batch(pairs.clone()).unwrap();
+        let want = oracle.route_len_batch(&pairs);
+        assert_eq!(reply, want);
+        assert_eq!(reply.outcomes.len(), pairs.len());
+
         drop(client);
         front.shutdown();
         service.shutdown();
