@@ -6,6 +6,11 @@
 //! several batch widths over the same machine and workload, the data
 //! path behind the serve `route_len_batch` endpoint.
 //!
+//! B11: `route_disjoint` — the k-disjoint max-flow path against the
+//! single-route traversal it builds on, at k in {1, 2, 3}. k=1 rides the
+//! plain traversal (no flow network); k >= 2 pays vertex-split max-flow
+//! plus deterministic decomposition per query.
+//!
 //! All engines return byte-identical answers (pinned by the routing
 //! equivalence suite); the spread between them is pure query cost.
 
@@ -120,5 +125,43 @@ fn route_query_wide(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, route_query, route_query_wide);
+fn route_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_disjoint");
+    group.sample_size(20);
+    // Same machine and workload shape as B9/B10, so the k=1 row is
+    // directly comparable to the single-route query cost.
+    let router = build_router(48, 230, 0xB9);
+    let queries = query_pairs(&router, 64, 29);
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("route"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                for &(s, d) in queries {
+                    let _ = black_box(router.route(s, d));
+                }
+            });
+        },
+    );
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}")),
+            &queries,
+            |b, queries| {
+                // Persistent scratch across queries: the fast (k=1) path
+                // stays allocation-free, exactly as a serve worker runs it.
+                let mut scratch = RouteScratch::new();
+                b.iter(|| {
+                    for &(s, d) in queries {
+                        let _ = black_box(router.route_disjoint_with(s, d, k, &mut scratch));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, route_query, route_query_wide, route_disjoint);
 criterion_main!(benches);

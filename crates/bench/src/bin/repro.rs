@@ -26,6 +26,8 @@
 //!   durability-smoke  crash/recover replay gate over a real WAL (CI gate)
 //!   fleet         reactor + fleet at connection scale: sweep, 2x bar, 10k sustain (E19)
 //!   fleet-smoke   512 pipelined conns x 4 tenants, oracle-verified, 2x bar (CI gate)
+//!   disjoint      k-disjoint serving: all-to-all oracle-verified + CDG prover (E21)
+//!   disjoint-smoke  all-pairs k=2 over the reactor, verified + sampled CDG (CI gate)
 //!   bench-check   --in <log>: bench-smoke names vs results/bench_baseline.json
 //!   example-sec3  the paper's Section 3 worked example, rendered
 //!   all           everything above
@@ -36,7 +38,7 @@
 
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
-    self, asynchrony, chaos, durability, fig5, fleet, maintenance, models, observability,
+    self, asynchrony, chaos, disjoint, durability, fig5, fleet, maintenance, models, observability,
     partition_gap, routeperf, routing_eval, scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
@@ -83,7 +85,7 @@ fn parse_args() -> Args {
                 assert!(in_file.is_some(), "--in needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|fleet|fleet-smoke|bench-check|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|fleet|fleet-smoke|disjoint|disjoint-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -357,7 +359,7 @@ fn run_routeperf_smoke(args: &Args) {
         flagship.speedup
     );
     // Relaxed bar: small machines under CI noise still must show a clear
-    // win (the quick shape measures ~4.8x); the 6x bar is enforced by
+    // win (the quick shape measures ~4.8x); the 7x bar is enforced by
     // the full `routeperf` run.
     assert!(
         flagship.speedup >= 3.0,
@@ -609,6 +611,53 @@ fn run_fleet_smoke(args: &Args) {
     println!("fleet smoke: multi-tenant pipelined serving OK");
 }
 
+fn run_disjoint(args: &Args) {
+    let report = disjoint::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E21: k-disjoint serving, all-to-all oracle-verified over TCP",
+            &disjoint::table(&report)
+        )
+    );
+    println!(
+        "{}",
+        experiments::render_section(
+            "E21: virtual-channel deadlock prover (CDG acyclicity, all pairs)",
+            &disjoint::deadlock_table(&report)
+        )
+    );
+    save(&args.out_dir, "disjoint", to_json(&report));
+    if report.total_mismatches > 0 {
+        eprintln!(
+            "FAIL: {} replies differed from the cold oracle",
+            report.total_mismatches
+        );
+        std::process::exit(1);
+    }
+    if let Some(stuck) = report.deadlock.iter().find(|d| !d.free) {
+        eprintln!(
+            "FAIL: CDG has {} back edges on {}",
+            stuck.back_edges, stuck.scenario
+        );
+        std::process::exit(1);
+    }
+    println!("disjoint: 0 oracle mismatches, every scenario CDG-acyclic");
+}
+
+fn run_disjoint_smoke(args: &Args) {
+    let report = disjoint::smoke(args.settings.seed);
+    println!(
+        "disjoint smoke: {} all-pairs k=2 queries over the reactor, {} delivered, {} mismatches",
+        report.queries, report.delivered, report.mismatches
+    );
+    println!(
+        "disjoint smoke: CDG {} back edges over {} vcs (max {} labels/link)",
+        report.back_edges, report.vcs, report.max_link_vcs
+    );
+    println!("disjoint smoke: k-disjoint serving + deadlock model OK");
+}
+
 fn run_example_sec3() {
     use ocp_core::prelude::*;
     let fx = ocp_workloads::fixtures::sec3_example();
@@ -670,6 +719,8 @@ fn main() {
         "durability-smoke" => run_durability_smoke(&args),
         "fleet" => run_fleet(&args),
         "fleet-smoke" => run_fleet_smoke(&args),
+        "disjoint" => run_disjoint(&args),
+        "disjoint-smoke" => run_disjoint_smoke(&args),
         // Internal: the out-of-process load driver the fleet sustain
         // exhibit re-execs (stdout carries exactly one JSON object).
         "fleet-driver" => {
@@ -695,6 +746,7 @@ fn main() {
             run_obs(&args);
             run_durability(&args);
             run_fleet(&args);
+            run_disjoint(&args);
             run_verify(&args);
             run_example_sec3();
         }

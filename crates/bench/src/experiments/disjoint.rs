@@ -1,0 +1,520 @@
+//! E21: k-disjoint route serving, adversarially verified end to end.
+//!
+//! The tentpole consumer of `route_disjoint`: an **all-to-all open-loop
+//! generator** drives the serve stack over real TCP — every enabled
+//! `(src, dst)` pair at `k = 2`, plus an adversarial sweep that aims
+//! `k` past the min-cut from fault-ring cells — and checks **every
+//! reply** against an in-process cold oracle:
+//!
+//! * delivered path sets must match the oracle **bit for bit** (the flow
+//!   decomposition is deterministic, so replays are exact),
+//! * every delivered set must be pairwise vertex-disjoint away from the
+//!   endpoints and within the API's own length bound,
+//! * failures must carry exactly the error the oracle's `route` returns.
+//!
+//! Arrivals are scheduled (open loop), so reported latency includes
+//! queueing delay — no coordinated omission. Each scenario runs over
+//! both the blocking and the reactor transport.
+//!
+//! The same scenarios then pass through the virtual-channel deadlock
+//! prover ([`ocp_routing::deadlock`]): the channel-dependency graph over
+//! all-pairs production routes must be acyclic under the detour VC
+//! model. A single mismatch or a single CDG back edge fails the run.
+
+use super::Settings;
+use ocp_analysis::{Percentiles, Table};
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use ocp_routing::deadlock::{prove_router_all_pairs, prove_router_sampled};
+use ocp_routing::{EnabledMap, FaultTolerantRouter};
+use ocp_serve::{
+    MeshService, PipelinedApiClient, RouteDisjointOutcome, RouteDisjointReply, ServeConfig,
+    TcpFront, Transport,
+};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workers (connections) per measured cell.
+const WORKERS: usize = 4;
+/// Open-loop arrival interval per worker: 4 workers x 2 kHz = 8 k/s
+/// offered, comfortably under the measured ~10-14 k/s service capacity
+/// so the schedule stays feasible and the tail reflects service jitter,
+/// not a standing queue.
+const ARRIVAL: Duration = Duration::from_micros(500);
+
+/// One scenario of the sweep: a fixed labeled machine.
+struct Scenario {
+    name: &'static str,
+    topology: Topology,
+    faults: &'static [(i32, i32)],
+}
+
+/// The two acceptance fixtures: the same fault patterns the routing
+/// crate's disjoint/deadlock suites pin down.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "mesh-12x12",
+            topology: Topology::mesh(12, 12),
+            faults: &[(5, 4), (6, 5), (9, 9), (3, 9), (2, 2)],
+        },
+        Scenario {
+            name: "torus-10x10",
+            topology: Topology::torus(10, 10),
+            faults: &[(0, 5), (9, 0), (5, 9), (4, 4), (5, 5)],
+        },
+    ]
+}
+
+/// One measured (scenario, transport) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct DisjointRow {
+    /// Scenario name (`mesh-12x12`, `torus-10x10`).
+    pub scenario: String,
+    /// `"blocking"` or `"reactor"`.
+    pub transport: String,
+    /// Queries issued (all-to-all k=2 plus the adversarial k-sweep).
+    pub queries: u64,
+    /// Replies that delivered a route set.
+    pub delivered: u64,
+    /// Replies that failed (verified to match the oracle's error).
+    pub failed: u64,
+    /// Replies differing from the cold oracle in any field.
+    pub mismatches: u64,
+    /// Worst stretch over all delivered sets.
+    pub max_stretch: f64,
+    /// Queries per second over the measurement window.
+    pub throughput: f64,
+    /// Latency from *scheduled arrival*, microseconds.
+    pub latency_us: Percentiles,
+}
+
+/// Deadlock-prover verdict for one scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeadlockRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Production routes the CDG was built from.
+    pub paths: usize,
+    /// Distinct (link, vc) channels observed.
+    pub channels: usize,
+    /// CDG edges.
+    pub dependencies: usize,
+    /// Dependency edges closing a cycle — 0 proves deadlock freedom.
+    pub back_edges: usize,
+    /// Label-space size of the VC model (27 mesh / 81 torus).
+    pub vcs: u8,
+    /// Worst-case distinct labels on any one physical link.
+    pub max_link_vcs: usize,
+    /// `back_edges == 0`.
+    pub free: bool,
+}
+
+/// The full E21 report, serialized to `results/disjoint.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct DisjointReport {
+    /// Per-(scenario, transport) load + verification rows.
+    pub rows: Vec<DisjointRow>,
+    /// Per-scenario CDG acyclicity results.
+    pub deadlock: Vec<DeadlockRow>,
+    /// Sum of mismatches over all rows (acceptance bar: 0).
+    pub total_mismatches: u64,
+}
+
+/// Builds the in-process cold oracle for a scenario — the exact
+/// construction `ocp-serve` performs per epoch, minus the serving layer.
+fn oracle_router(topology: Topology, faults: &[(i32, i32)]) -> FaultTolerantRouter {
+    let map = FaultMap::new(topology, faults.iter().map(|&(x, y)| Coord::new(x, y)));
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+    FaultTolerantRouter::new(enabled, &regions)
+}
+
+/// The query list: exhaustive all-to-all at `k = 2`, then the adversarial
+/// sweep — from every fault-ring cell to the four extreme corners with
+/// `k` in `{1, 3, 4}`, deliberately crossing the min-cut so the partial
+/// (fewer-than-k) and `k = 1` byte-identity contracts are exercised over
+/// the wire too.
+fn query_list(router: &FaultTolerantRouter, seed: u64) -> Vec<(Coord, Coord, usize)> {
+    let cells = router.enabled().enabled_coords();
+    let mut queries = Vec::new();
+    for &src in &cells {
+        for &dst in &cells {
+            if src != dst {
+                queries.push((src, dst, 2));
+            }
+        }
+    }
+    let corners: Vec<Coord> = {
+        let t = router.topology();
+        let (w, h) = (t.width() as i32 - 1, t.height() as i32 - 1);
+        [(0, 0), (w, 0), (0, h), (w, h)]
+            .into_iter()
+            .map(|(x, y)| Coord::new(x, y))
+            .filter(|&c| router.enabled().is_enabled(c))
+            .collect()
+    };
+    for ring in router.rings() {
+        for &cell in ring.cells() {
+            for &corner in &corners {
+                if cell == corner {
+                    continue;
+                }
+                for k in [1usize, 3, 4] {
+                    queries.push((cell, corner, k));
+                }
+            }
+        }
+    }
+    queries.shuffle(&mut SmallRng::seed_from_u64(seed));
+    queries
+}
+
+/// Checks one wire reply against the oracle. Returns `Err` with a
+/// description on any divergence; `Ok(true)` when a set was delivered.
+fn verify_reply(
+    router: &FaultTolerantRouter,
+    src: Coord,
+    dst: Coord,
+    k: usize,
+    reply: &RouteDisjointReply,
+) -> Result<Option<f64>, String> {
+    if reply.epoch != 0 {
+        return Err(format!(
+            "reply tagged epoch {} on a static machine",
+            reply.epoch
+        ));
+    }
+    match (router.route_disjoint(src, dst, k), &reply.outcome) {
+        (Ok(routes), RouteDisjointOutcome::Delivered { paths, stretch }) => {
+            let want: Vec<Vec<Coord>> = routes.paths.iter().map(|p| p.hops.clone()).collect();
+            if &want != paths {
+                return Err(format!("{src}->{dst} k={k}: path set differs from oracle"));
+            }
+            if routes.stretch != *stretch {
+                return Err(format!(
+                    "{src}->{dst} k={k}: stretch {} vs oracle {}",
+                    stretch, routes.stretch
+                ));
+            }
+            if !routes.pairwise_disjoint() {
+                return Err(format!("{src}->{dst} k={k}: paths share an interior cell"));
+            }
+            let bound = router.disjoint_len_bound(src, dst, k);
+            if routes.paths.iter().any(|p| p.len() > bound) {
+                return Err(format!(
+                    "{src}->{dst} k={k}: a path exceeds the length bound"
+                ));
+            }
+            if k == 1 {
+                let single = router
+                    .route(src, dst)
+                    .map_err(|e| format!("{src}->{dst}: oracle route failed: {e}"))?;
+                if paths[0] != single.hops {
+                    return Err(format!("{src}->{dst} k=1: not the production route"));
+                }
+            }
+            Ok(Some(*stretch))
+        }
+        (Err(expected), RouteDisjointOutcome::Failed { error }) => {
+            if &expected != error {
+                return Err(format!(
+                    "{src}->{dst} k={k}: error {error:?} vs oracle {expected:?}"
+                ));
+            }
+            Ok(None)
+        }
+        (oracle_says, served) => Err(format!(
+            "{src}->{dst} k={k}: oracle {oracle_says:?} vs served {served:?}"
+        )),
+    }
+}
+
+/// Per-worker tallies, merged into a [`DisjointRow`].
+struct WorkerTally {
+    samples: Vec<f64>,
+    delivered: u64,
+    failed: u64,
+    mismatches: u64,
+    max_stretch: f64,
+}
+
+/// Drives one (scenario, transport) cell: open-loop all-to-all over TCP,
+/// every reply oracle-verified in the worker that received it.
+fn run_cell(
+    scenario: &Scenario,
+    transport: Transport,
+    oracle: &Arc<FaultTolerantRouter>,
+    seed: u64,
+) -> DisjointRow {
+    let faults: Vec<Coord> = scenario
+        .faults
+        .iter()
+        .map(|&(x, y)| Coord::new(x, y))
+        .collect();
+    let service = MeshService::start(scenario.topology, faults, ServeConfig::default())
+        .expect("service starts");
+    let front = TcpFront::start(&service, "127.0.0.1:0", transport).expect("transport binds");
+    let addr = front.local_addr();
+
+    let queries = query_list(oracle, seed);
+    let total = queries.len() as u64;
+    let reported = Arc::new(AtomicU64::new(0));
+    let begun = Instant::now();
+    let workers: Vec<_> = queries
+        .chunks(queries.len().div_ceil(WORKERS))
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            let oracle = oracle.clone();
+            let reported = reported.clone();
+            std::thread::spawn(move || {
+                // One wire client per worker, matching the transport.
+                let mut blocking = None;
+                let mut pipelined = None;
+                match transport {
+                    Transport::Blocking => {
+                        blocking = Some(ocp_serve::Client::connect(addr).expect("client connects"));
+                    }
+                    Transport::Reactor => {
+                        pipelined =
+                            Some(PipelinedApiClient::connect(addr).expect("client connects"));
+                    }
+                }
+                let mut tally = WorkerTally {
+                    samples: Vec::with_capacity(chunk.len()),
+                    delivered: 0,
+                    failed: 0,
+                    mismatches: 0,
+                    max_stretch: 0.0,
+                };
+                let mut next_arrival = Instant::now();
+                for (src, dst, k) in chunk {
+                    // Open loop: the query arrives at the scheduled
+                    // instant whether or not the pipe is ready; latency is
+                    // measured from that instant (no coordinated omission).
+                    let now = Instant::now();
+                    if now < next_arrival {
+                        std::thread::sleep(next_arrival - now);
+                    }
+                    let arrival = next_arrival;
+                    next_arrival += ARRIVAL;
+                    let reply = match (&mut blocking, &mut pipelined) {
+                        (Some(c), _) => c.route_disjoint(src, dst, k).expect("blocking rpc"),
+                        (_, Some(c)) => c.route_disjoint(src, dst, k).expect("reactor rpc"),
+                        _ => unreachable!(),
+                    };
+                    tally
+                        .samples
+                        .push(arrival.elapsed().as_nanos() as f64 / 1_000.0);
+                    match verify_reply(&oracle, src, dst, k, &reply) {
+                        Ok(Some(stretch)) => {
+                            tally.delivered += 1;
+                            tally.max_stretch = tally.max_stretch.max(stretch);
+                        }
+                        Ok(None) => tally.failed += 1,
+                        Err(message) => {
+                            tally.mismatches += 1;
+                            if reported.fetch_add(1, Ordering::Relaxed) < 5 {
+                                eprintln!("  MISMATCH[{}]: {message}", transport_name(transport));
+                            }
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut samples = Vec::new();
+    let (mut delivered, mut failed, mut mismatches) = (0u64, 0u64, 0u64);
+    let mut max_stretch = 0.0f64;
+    for w in workers {
+        let tally = w.join().expect("load worker panicked");
+        samples.extend(tally.samples);
+        delivered += tally.delivered;
+        failed += tally.failed;
+        mismatches += tally.mismatches;
+        max_stretch = max_stretch.max(tally.max_stretch);
+    }
+    let elapsed = begun.elapsed();
+    front.shutdown();
+    service.quiesce(Duration::from_secs(10));
+    service.shutdown();
+
+    DisjointRow {
+        scenario: scenario.name.to_string(),
+        transport: transport_name(transport).to_string(),
+        queries: total,
+        delivered,
+        failed,
+        mismatches,
+        max_stretch,
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        latency_us: Percentiles::of(&samples),
+    }
+}
+
+fn transport_name(transport: Transport) -> &'static str {
+    match transport {
+        Transport::Blocking => "blocking",
+        Transport::Reactor => "reactor",
+    }
+}
+
+fn deadlock_row(name: &str, proof: ocp_routing::DeadlockProof) -> DeadlockRow {
+    DeadlockRow {
+        scenario: name.to_string(),
+        paths: proof.paths,
+        channels: proof.channels,
+        dependencies: proof.dependencies,
+        back_edges: proof.back_edges,
+        vcs: proof.vcs,
+        max_link_vcs: proof.max_link_vcs,
+        free: proof.is_free(),
+    }
+}
+
+/// Runs the full E21 sweep: both scenarios x both transports, then the
+/// deadlock prover over each scenario's all-pairs production routes.
+pub fn run(settings: &Settings) -> DisjointReport {
+    let mut rows = Vec::new();
+    let mut deadlock = Vec::new();
+    for scenario in scenarios() {
+        let oracle = Arc::new(oracle_router(scenario.topology, scenario.faults));
+        for transport in [Transport::Blocking, Transport::Reactor] {
+            rows.push(run_cell(&scenario, transport, &oracle, settings.seed));
+        }
+        deadlock.push(deadlock_row(scenario.name, prove_router_all_pairs(&oracle)));
+    }
+    let total_mismatches = rows.iter().map(|r| r.mismatches).sum();
+    DisjointReport {
+        rows,
+        deadlock,
+        total_mismatches,
+    }
+}
+
+/// Renders the load/verification sweep as a table.
+pub fn table(report: &DisjointReport) -> Table {
+    let mut t = Table::new([
+        "scenario",
+        "transport",
+        "queries",
+        "delivered",
+        "failed",
+        "mismatch",
+        "max stretch",
+        "req/s",
+        "p50 us",
+        "p99 us",
+    ]);
+    for r in &report.rows {
+        t.push_row([
+            r.scenario.clone(),
+            r.transport.clone(),
+            r.queries.to_string(),
+            r.delivered.to_string(),
+            r.failed.to_string(),
+            r.mismatches.to_string(),
+            format!("{:.3}", r.max_stretch),
+            format!("{:.0}", r.throughput),
+            format!("{:.1}", r.latency_us.p50),
+            format!("{:.1}", r.latency_us.p99),
+        ]);
+    }
+    t
+}
+
+/// Renders the deadlock-prover verdicts as a table.
+pub fn deadlock_table(report: &DisjointReport) -> Table {
+    let mut t = Table::new([
+        "scenario",
+        "paths",
+        "channels",
+        "deps",
+        "back edges",
+        "vcs",
+        "max link vcs",
+        "free",
+    ]);
+    for r in &report.deadlock {
+        t.push_row([
+            r.scenario.clone(),
+            r.paths.to_string(),
+            r.channels.to_string(),
+            r.dependencies.to_string(),
+            r.back_edges.to_string(),
+            r.vcs.to_string(),
+            r.max_link_vcs.to_string(),
+            r.free.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The CI smoke gate: one small mesh over the reactor transport, all
+/// pairs at `k = 2`, every reply oracle-verified, plus a sampled CDG
+/// acyclicity check — a few seconds end to end.
+#[derive(Clone, Debug, Serialize)]
+pub struct SmokeReport {
+    /// Queries issued (all-to-all k=2).
+    pub queries: u64,
+    /// Delivered route sets.
+    pub delivered: u64,
+    /// Oracle mismatches (bar: 0).
+    pub mismatches: u64,
+    /// CDG back edges over sampled all-pairs routes (bar: 0).
+    pub back_edges: usize,
+    /// VC label-space size of the model.
+    pub vcs: u8,
+    /// Worst-case distinct labels on one physical link.
+    pub max_link_vcs: usize,
+}
+
+/// Runs the smoke gate. Panics on any oracle mismatch or CDG back edge.
+pub fn smoke(seed: u64) -> SmokeReport {
+    let scenario = Scenario {
+        name: "smoke-mesh-10x10",
+        topology: Topology::mesh(10, 10),
+        faults: &[(3, 3), (6, 6), (6, 7)],
+    };
+    let oracle = Arc::new(oracle_router(scenario.topology, scenario.faults));
+    let row = run_cell(&scenario, Transport::Reactor, &oracle, seed);
+    let proof = prove_router_sampled(&oracle, 2_000);
+    assert_eq!(row.mismatches, 0, "wire replies diverged from the oracle");
+    assert!(
+        proof.is_free(),
+        "CDG has {} back edges on the smoke snapshot",
+        proof.back_edges
+    );
+    SmokeReport {
+        queries: row.queries,
+        delivered: row.delivered,
+        mismatches: row.mismatches,
+        back_edges: proof.back_edges,
+        vcs: proof.vcs,
+        max_link_vcs: proof.max_link_vcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_verifies_all_pairs_and_cdg() {
+        let report = smoke(9);
+        assert!(report.queries > 1_000, "all-to-all ran too few queries");
+        assert!(report.delivered > 0);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.back_edges, 0);
+        assert_eq!(report.vcs, 27u8);
+        assert!((1..=12).contains(&report.max_link_vcs));
+    }
+}

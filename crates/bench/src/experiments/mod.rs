@@ -2,6 +2,7 @@
 
 pub mod asynchrony;
 pub mod chaos;
+pub mod disjoint;
 pub mod durability;
 pub mod fig5;
 pub mod fleet;

@@ -1,0 +1,311 @@
+//! Virtual-channel deadlock-freedom model for ring-detour routing.
+//!
+//! Wormhole switching deadlocks when worms hold channels in a cycle;
+//! Dally & Seitz reduce freedom from deadlock to acyclicity of the
+//! channel dependency graph (CDG). This module fixes the virtual-channel
+//! discipline the detour router is modeled under and packages a *prover*:
+//! given any labeled snapshot, build the CDG of the snapshot's concrete
+//! route set and check it acyclic with [`crate::cdg::DependencyGraph`].
+//!
+//! # The discipline
+//!
+//! Every hop of a route is labeled with a channel index composed of three
+//! coordinates ([`DetourVcModel::assign`]):
+//!
+//! * **Quadrant message class** (`3·(sgn dx + 1) + (sgn dy + 1)`, from the
+//!   wrap-aware src→dst offset). Dependency edges only ever connect
+//!   channels of the *same* message, so per-message class labels confine
+//!   any CDG cycle to one class layer. f-cube4 (Boppana–Chalasani) uses
+//!   four classes (EW/WE/NS/SN); that is not enough here because our
+//!   router picks each ring walk's orientation by the shorter side, so an
+//!   EW message's y-phase can run in either direction and the walks supply
+//!   the reversal turns a cycle needs. Splitting by the y sign as well —
+//!   eight quadrant classes — restores per-layer monotonicity.
+//! * **Walk sub-channel with a per-ring dateline.** Ring-walk hops
+//!   (consecutive cells of one ring's cycle order) use a detour channel
+//!   separate from the dimension-ordered spine; a walk that crosses the
+//!   ring's **dateline** (the edge between its last and first stored cell,
+//!   in either rotation) moves to the high detour copy for the rest of
+//!   that walk, so neither copy can chain into a full loop around the
+//!   ring. Keeping even pre-dateline walk hops off the base channel
+//!   matters: a walk step shared with the spine layer re-introduces
+//!   reversal turns into the e-cube argument.
+//! * **Wrap layer** (torus): the number of wrap-seam crossings — in
+//!   *either* dimension — at or before the hop, capped at 2. The count is
+//!   monotone along a path, so every CDG cycle lies within a single
+//!   layer; and because a seam hop itself is counted, layer 0 contains no
+//!   seam links at all and is a pure-mesh sub-network. A per-dimension
+//!   dateline bit (the textbook construction for fault-free e-cube tori)
+//!   is *not* enough once rings exist: a message that wrapped x keeps
+//!   using low y-channels, so the layers interleave and composite cycles
+//!   that wrap both dimensions through ring walks survive it.
+//!
+//! The label space is `27` on a mesh (9 classes × 3 sub-channels, one
+//! class unused) and `81` on a torus (× 3 wrap layers). That is the size
+//! of the *name space*, not the hardware cost: a physical link only
+//! carries the labels of messages that actually traverse it, and
+//! [`DeadlockProof::max_link_vcs`] reports the worst per-link count —
+//! 3–12 across this repo's suite snapshots.
+//!
+//! # What the prover does and does not prove
+//!
+//! The prover is deliberately *empirical*: the CDG is built from the
+//! concrete routes of a snapshot, not from a symbolic routing relation,
+//! and acyclicity is certified per snapshot. The discipline is **not** a
+//! universal theorem for every fault pattern — e.g. a pocket cell wedged
+//! between two diagonal-contact faults makes the spine enter and back out
+//! (a genuine U-turn), and a matched pair of such U-turns can close a
+//! net-zero-rotation cycle around one ring inside a single class, which
+//! no bounded per-class labeling can break without also fixing each
+//! class's walk orientation — a change the byte-identical production
+//! router rules out. That is exactly why the checker runs on every suite
+//! snapshot and in the experiment harness: mutation-negative cases (drop
+//! the wrap layer, fold the quadrant classes, drop a ring dateline,
+//! collapse to one VC) show up as concrete cycles the same checker
+//! rejects.
+//!
+//! Scope: the model covers the router's operational route set (the
+//! single-path detour routes every query traverses). The `k ≥ 2`
+//! alternates of [`crate::disjoint`] are path-diversity candidates — a
+//! caller injects one of them, not all simultaneously — so each reply's
+//! chosen path is covered by the same discipline.
+
+use crate::cdg::DependencyGraph;
+use crate::path::Path;
+use crate::router::FaultTolerantRouter;
+use crate::xy::wrap_delta;
+use ocp_mesh::{Coord, TopologyKind};
+use std::collections::{HashMap, HashSet};
+
+/// Channel-label layout constants for [`DetourVcModel::assign`]:
+/// `label = 27·layer + 3·class + sub`.
+pub mod vc {
+    /// Sub-channel of dimension-ordered spine hops.
+    pub const SUB_BASE: u8 = 0;
+    /// Sub-channel of ring-walk hops before the ring's dateline.
+    pub const SUB_WALK: u8 = 1;
+    /// Sub-channel of ring-walk hops at or after the dateline crossing.
+    pub const SUB_WALK_HIGH: u8 = 2;
+    /// Sub-channels per (class, layer).
+    pub const SUBS: u8 = 3;
+    /// Quadrant message classes (index 4, `dx == dy == 0`, is unused).
+    pub const CLASSES: u8 = 9;
+    /// Wrap layers on a torus (a mesh only ever uses layer 0).
+    pub const LAYERS: u8 = 3;
+}
+
+/// The virtual-channel assignment the detour router is modeled under:
+/// quadrant message class × walk sub-channel (per-ring dateline) × sticky
+/// wrap layer. See the module docs for the discipline and its scope.
+#[derive(Clone, Copy)]
+pub struct DetourVcModel<'a> {
+    router: &'a FaultTolerantRouter,
+}
+
+impl<'a> DetourVcModel<'a> {
+    /// Model for the routes of `router`'s snapshot.
+    pub fn new(router: &'a FaultTolerantRouter) -> Self {
+        Self { router }
+    }
+
+    /// Size of the label space the discipline draws from: 27 on a mesh,
+    /// 81 on a torus. Per-link hardware cost is far lower — see
+    /// [`DeadlockProof::max_link_vcs`].
+    pub fn vcs(&self) -> u8 {
+        match self.router.topology().kind() {
+            TopologyKind::Mesh => vc::CLASSES * vc::SUBS,
+            TopologyKind::Torus => vc::LAYERS * vc::CLASSES * vc::SUBS,
+        }
+    }
+
+    /// Quadrant message class of `path`: `3·(sgn dx + 1) + (sgn dy + 1)`
+    /// over the wrap-aware src→dst offset (ties wrap positive, matching
+    /// the router's own direction choice).
+    pub fn message_class(&self, path: &Path) -> u8 {
+        let t = self.router.topology();
+        let dx = wrap_delta(t, path.src().x, path.dst().x, t.width());
+        let dy = wrap_delta(t, path.src().y, path.dst().y, t.height());
+        (3 * (dx.signum() + 1) + (dy.signum() + 1)) as u8
+    }
+
+    /// Wrap layer of hop `hop`: seam crossings (either dimension) at or
+    /// before the hop, capped at `LAYERS - 1`. Always 0 on a mesh.
+    pub fn wrap_layer(&self, path: &Path, hop: usize) -> u8 {
+        if self.router.topology().kind() == TopologyKind::Mesh {
+            return 0;
+        }
+        (0..=hop)
+            .filter(|&j| {
+                let (u, v) = (path.hops[j], path.hops[j + 1]);
+                u.x.abs_diff(v.x) > 1 || u.y.abs_diff(v.y) > 1
+            })
+            .count()
+            .min(usize::from(vc::LAYERS - 1)) as u8
+    }
+
+    /// The ring index whose cycle order makes `a → b` a ring-walk step,
+    /// if any: both cells on the ring at rotationally adjacent positions.
+    fn ring_step(&self, a: Coord, b: Coord) -> Option<usize> {
+        self.router.rings().iter().enumerate().find_map(|(i, r)| {
+            if !r.is_cycle() {
+                return None;
+            }
+            let m = r.cells().len();
+            match (r.position_of(a), r.position_of(b)) {
+                (Some(pa), Some(pb)) if (pa + 1) % m == pb || (pb + 1) % m == pa => Some(i),
+                _ => None,
+            }
+        })
+    }
+
+    /// True when step `pa → pb` crosses the ring's dateline (the edge
+    /// between stored positions `m-1` and `0`), in either rotation.
+    fn crosses_dateline(pa: usize, pb: usize, m: usize) -> bool {
+        (pa == m - 1 && pb == 0) || (pa == 0 && pb == m - 1)
+    }
+
+    /// Walk sub-channel of hop `hop`: [`vc::SUB_BASE`] for spine hops,
+    /// [`vc::SUB_WALK`]/[`vc::SUB_WALK_HIGH`] for ring-walk hops before /
+    /// after the current walk crossed the ring's dateline.
+    pub fn walk_sub(&self, path: &Path, hop: usize) -> u8 {
+        let (a, b) = (path.hops[hop], path.hops[hop + 1]);
+        let Some(ri) = self.ring_step(a, b) else {
+            return vc::SUB_BASE;
+        };
+        // Find the start of the current contiguous walk on this ring,
+        // then check whether it crossed the dateline at or before `hop`.
+        let mut start = hop;
+        while start > 0 && self.ring_step(path.hops[start - 1], path.hops[start]) == Some(ri) {
+            start -= 1;
+        }
+        let ring = &self.router.rings()[ri];
+        let m = ring.cells().len();
+        let crossed = (start..=hop).any(|j| {
+            let pa = ring.position_of(path.hops[j]).expect("walk cell on ring");
+            let pb = ring
+                .position_of(path.hops[j + 1])
+                .expect("walk cell on ring");
+            Self::crosses_dateline(pa, pb, m)
+        });
+        if crossed {
+            vc::SUB_WALK_HIGH
+        } else {
+            vc::SUB_WALK
+        }
+    }
+
+    /// Channel label of hop `hop` of `path` (0 = first link):
+    /// `27·layer + 3·class + sub`.
+    pub fn assign(&self, path: &Path, hop: usize) -> u8 {
+        27 * self.wrap_layer(path, hop) + 3 * self.message_class(path) + self.walk_sub(path, hop)
+    }
+
+    /// The assignment as a [`crate::cdg::VcAssignment`] closure, for
+    /// [`DependencyGraph::from_paths`] and the wormhole simulator.
+    pub fn assignment(&self) -> impl Fn(&Path, usize) -> u8 + '_ {
+        move |path, hop| self.assign(path, hop)
+    }
+}
+
+/// Outcome of a deadlock-freedom check over a concrete path set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlockProof {
+    /// Paths the CDG was built from.
+    pub paths: usize,
+    /// Distinct (link, vc) channels observed.
+    pub channels: usize,
+    /// Dependency edges between channels.
+    pub dependencies: usize,
+    /// Back edges found by DFS; 0 proves the observed dependencies
+    /// deadlock-free (Dally–Seitz).
+    pub back_edges: usize,
+    /// Size of the label space the model draws from (27 mesh, 81 torus).
+    pub vcs: u8,
+    /// Largest number of distinct labels observed on any one physical
+    /// link — the per-link virtual-channel count the discipline actually
+    /// costs on this snapshot.
+    pub max_link_vcs: usize,
+}
+
+impl DeadlockProof {
+    /// True when the dependency graph is acyclic.
+    pub fn is_free(&self) -> bool {
+        self.back_edges == 0
+    }
+}
+
+/// Builds the CDG of `paths` under the [`DetourVcModel`] of `router`'s
+/// snapshot and checks it for cycles.
+pub fn prove_paths(router: &FaultTolerantRouter, paths: &[Path]) -> DeadlockProof {
+    let model = DetourVcModel::new(router);
+    let assign = model.assignment();
+    let graph = DependencyGraph::from_paths(paths.iter(), &assign);
+    let mut per_link: HashMap<(Coord, Coord), HashSet<u8>> = HashMap::new();
+    for p in paths {
+        for (i, w) in p.hops.windows(2).enumerate() {
+            per_link
+                .entry((w[0], w[1]))
+                .or_default()
+                .insert(assign(p, i));
+        }
+    }
+    DeadlockProof {
+        paths: paths.len(),
+        channels: graph.channel_count(),
+        dependencies: graph.edge_count(),
+        back_edges: graph.count_back_edges(),
+        vcs: model.vcs(),
+        max_link_vcs: per_link.values().map(HashSet::len).max().unwrap_or(0),
+    }
+}
+
+/// Routes **every** ordered enabled pair of the snapshot and proves the
+/// full route set deadlock-free under the [`DetourVcModel`]. This is the
+/// exhaustive prover the acceptance suites run on 12×12-class fixtures;
+/// for larger snapshots prefer [`prove_router_sampled`].
+pub fn prove_router_all_pairs(router: &FaultTolerantRouter) -> DeadlockProof {
+    let coords = router.enabled().enabled_coords();
+    let mut paths = Vec::new();
+    for &src in &coords {
+        for &dst in &coords {
+            if src == dst {
+                continue;
+            }
+            if let Ok(p) = router.route(src, dst) {
+                paths.push(p);
+            }
+        }
+    }
+    prove_paths(router, &paths)
+}
+
+/// Like [`prove_router_all_pairs`] but over a deterministic stride-sample
+/// of ordered pairs, capped at `max_paths` routes — the form the
+/// experiment harness uses on production-sized snapshots.
+pub fn prove_router_sampled(router: &FaultTolerantRouter, max_paths: usize) -> DeadlockProof {
+    let coords = router.enabled().enabled_coords();
+    let n = coords.len();
+    let total = n.saturating_mul(n.saturating_sub(1));
+    let stride = (total / max_paths.max(1)).max(1);
+    let mut paths = Vec::new();
+    let mut next = 0usize;
+    let mut seen = 0usize;
+    'outer: for &src in &coords {
+        for &dst in &coords {
+            if src == dst {
+                continue;
+            }
+            if seen == next {
+                next += stride;
+                if let Ok(p) = router.route(src, dst) {
+                    paths.push(p);
+                }
+                if paths.len() >= max_paths {
+                    break 'outer;
+                }
+            }
+            seen += 1;
+        }
+    }
+    prove_paths(router, &paths)
+}

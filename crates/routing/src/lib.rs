@@ -34,6 +34,13 @@
 //!   link-to-link dependencies the router actually exercises and check for
 //!   cycles (Dally–Seitz criterion) under a chosen virtual-channel
 //!   assignment.
+//! * [`disjoint`] — k pairwise vertex-disjoint routes per query
+//!   (`FaultTolerantRouter::route_disjoint`): the CW/CCW ring-detour
+//!   split generalized to the vertex min-cut via unit-capacity flow
+//!   seeded with the production route.
+//! * [`deadlock`] — the virtual-channel discipline the detour routes are
+//!   modeled under (XY base + ring-detour channel, torus dateline) and a
+//!   CDG-based prover that checks any labeled snapshot deadlock-free.
 //! * [`wormhole`] — a flit-level wormhole network simulator (per-link
 //!   virtual-channel buffers, credit flow, cycle-accurate worm advancement,
 //!   deadlock watchdog) for latency/throughput measurements under faults.
@@ -48,6 +55,8 @@
 
 pub mod adaptive;
 pub mod cdg;
+pub mod deadlock;
+pub mod disjoint;
 pub mod fault_ring;
 pub mod index;
 mod layout;
@@ -61,6 +70,8 @@ pub mod wormhole;
 pub mod xy;
 
 pub use adaptive::adaptive_minimal_route;
+pub use deadlock::{DeadlockProof, DetourVcModel};
+pub use disjoint::DisjointRoutes;
 pub use fault_ring::{build_rings, FaultRing, RingShape};
 pub use index::RouteScratch;
 pub use metrics::{compare_models, ModelComparison};

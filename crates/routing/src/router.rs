@@ -337,6 +337,33 @@ impl FaultTolerantRouter {
         crate::wide::route_len_batch_wide(self, pairs, scratch, out);
     }
 
+    /// Up to `k` pairwise vertex-disjoint routes `src → dst` (disjoint
+    /// except at the endpoints). See [`crate::disjoint`] for the
+    /// construction and the stretch bound the result asserts; path 1 of a
+    /// `k = 1` query is byte-identical to
+    /// [`route`](FaultTolerantRouter::route).
+    pub fn route_disjoint(
+        &self,
+        src: Coord,
+        dst: Coord,
+        k: usize,
+    ) -> Result<crate::disjoint::DisjointRoutes, RoutingError> {
+        SCRATCH.with(|s| crate::disjoint::compute(self, src, dst, k, &mut s.borrow_mut()))
+    }
+
+    /// [`route_disjoint`](FaultTolerantRouter::route_disjoint) with a
+    /// caller-owned scratch (the serve handles reuse theirs across
+    /// queries, as with the other `_with` entry points).
+    pub fn route_disjoint_with(
+        &self,
+        src: Coord,
+        dst: Coord,
+        k: usize,
+        scratch: &mut RouteScratch,
+    ) -> Result<crate::disjoint::DisjointRoutes, RoutingError> {
+        crate::disjoint::compute(self, src, dst, k, scratch)
+    }
+
     /// The pre-index per-hop algorithm, preserved verbatim: the oracle for
     /// the equivalence suite and the "old" side of the E17 `routeperf`
     /// comparison. Behaviorally identical to
@@ -365,7 +392,7 @@ impl FaultTolerantRouter {
     /// [`traverse_reference`](FaultTolerantRouter::traverse_reference) —
     /// same paths, hop counts and errors — which `tests/equivalence.rs`
     /// enforces on random mesh and torus maps.
-    fn traverse_indexed(
+    pub(crate) fn traverse_indexed(
         &self,
         src: Coord,
         dst: Coord,

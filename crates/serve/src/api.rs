@@ -31,6 +31,18 @@ pub enum Request {
         /// Destination node.
         dst: Coord,
     },
+    /// Up to `k` pairwise vertex-disjoint routes between two enabled
+    /// nodes (`FaultTolerantRouter::route_disjoint`): the CW/CCW detour
+    /// split generalized to the vertex min-cut.
+    RouteDisjoint {
+        /// Source node.
+        src: Coord,
+        /// Destination node.
+        dst: Coord,
+        /// Requested number of routes; the reply carries
+        /// `min(k, min-cut)` paths.
+        k: usize,
+    },
     /// Many hop-count queries answered against **one** snapshot: the
     /// batched read fast path. One frame, one snapshot refresh, one epoch
     /// tag, one shared router scratch, and amortized metrics for the whole
@@ -91,6 +103,7 @@ impl Request {
         match self {
             Request::Route { .. } => "route",
             Request::RouteLen { .. } => "route_len",
+            Request::RouteDisjoint { .. } => "route_disjoint",
             Request::RouteLenBatch { .. } => "route_len_batch",
             Request::Batch { .. } => "batch",
             Request::Status { .. } => "status",
@@ -115,6 +128,8 @@ pub enum Response {
     Route(RouteReply),
     /// Reply to [`Request::RouteLen`].
     RouteLen(RouteLenReply),
+    /// Reply to [`Request::RouteDisjoint`].
+    RouteDisjoint(RouteDisjointReply),
     /// Reply to [`Request::RouteLenBatch`].
     RouteLenBatch(RouteLenBatchReply),
     /// Reply to [`Request::Batch`]: one response per inner request, in
@@ -168,6 +183,36 @@ pub enum RouteOutcome {
         hops: Vec<Coord>,
     },
     /// Routing failed.
+    Failed {
+        /// The router's error.
+        error: RoutingError,
+    },
+}
+
+/// A k-disjoint route set answered against one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteDisjointReply {
+    /// Epoch of the snapshot that served the query.
+    pub epoch: u64,
+    /// The routes, or why none were produced.
+    pub outcome: RouteDisjointOutcome,
+}
+
+/// Result of a k-disjoint route query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RouteDisjointOutcome {
+    /// `min(k, min-cut)` pairwise vertex-disjoint routes were found.
+    Delivered {
+        /// The routes, each source first and destination last. For
+        /// `k == 1` the single path is byte-identical to what
+        /// [`Request::Route`] would return; for larger `k` the set is
+        /// seeded from that route but flow augmentation may reroute it.
+        paths: Vec<Vec<Coord>>,
+        /// `max hop count / topology distance` (1.0 when src == dst).
+        stretch: f64,
+    },
+    /// Routing failed — exactly when [`Request::Route`] would fail, with
+    /// the same error.
     Failed {
         /// The router's error.
         error: RoutingError,
@@ -285,6 +330,11 @@ mod tests {
                 src: c(1, 1),
                 dst: c(2, 2),
             },
+            Request::RouteDisjoint {
+                src: c(0, 2),
+                dst: c(4, 4),
+                k: 2,
+            },
             Request::RouteLenBatch {
                 pairs: vec![(c(0, 0), c(3, 3)), (c(1, 1), c(2, 0))],
             },
@@ -328,6 +378,22 @@ mod tests {
                 epoch: 4,
                 outcome: RouteOutcome::Failed {
                     error: RoutingError::EndpointDisabled { node: c(9, 9) },
+                },
+            }),
+            Response::RouteDisjoint(RouteDisjointReply {
+                epoch: 5,
+                outcome: RouteDisjointOutcome::Delivered {
+                    paths: vec![
+                        vec![c(0, 0), c(1, 0), c(1, 1)],
+                        vec![c(0, 0), c(0, 1), c(1, 1)],
+                    ],
+                    stretch: 1.0,
+                },
+            }),
+            Response::RouteDisjoint(RouteDisjointReply {
+                epoch: 5,
+                outcome: RouteDisjointOutcome::Failed {
+                    error: RoutingError::EndpointDisabled { node: c(2, 2) },
                 },
             }),
             Response::RouteLenBatch(RouteLenBatchReply {
@@ -386,6 +452,15 @@ mod tests {
         assert_eq!(
             Request::RouteLenBatch { pairs: vec![] }.endpoint(),
             "route_len_batch"
+        );
+        assert_eq!(
+            Request::RouteDisjoint {
+                src: c(0, 0),
+                dst: c(1, 1),
+                k: 2
+            }
+            .endpoint(),
+            "route_disjoint"
         );
         assert_eq!(Request::Batch { requests: vec![] }.endpoint(), "batch");
         assert_eq!(

@@ -48,8 +48,8 @@ pub mod transport;
 pub mod wal;
 
 pub use api::{
-    CertificateReply, InjectReply, NodeState, Request, Response, RouteLenOutcome, RouteLenReply,
-    RouteOutcome, RouteReply, StatusReply,
+    CertificateReply, InjectReply, NodeState, Request, Response, RouteDisjointOutcome,
+    RouteDisjointReply, RouteLenOutcome, RouteLenReply, RouteOutcome, RouteReply, StatusReply,
 };
 pub use metrics::{
     prometheus_text, EndpointReport, LatencyHistogram, Metrics, ObsReport, StatsReport,

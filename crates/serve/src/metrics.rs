@@ -77,6 +77,8 @@ pub struct Metrics {
     pub route: EndpointMetrics,
     /// Hop-count queries.
     pub route_len: EndpointMetrics,
+    /// k-disjoint route queries.
+    pub route_disjoint: EndpointMetrics,
     /// Pairs-per-call histogram of the batched hop-count endpoint — how
     /// wide callers actually drive `route_len_batch`, and therefore how
     /// much lane-level parallelism the wide engine gets to use. One
@@ -174,6 +176,8 @@ pub struct StatsReport {
     pub route: EndpointReport,
     /// Hop-count endpoint counters.
     pub route_len: EndpointReport,
+    /// k-disjoint route endpoint counters.
+    pub route_disjoint: EndpointReport,
     /// Batch-width percentiles of the batched hop-count endpoint
     /// (pairs per `route_len_batch` call; `n` counts batch calls).
     pub batch_width: Percentiles,
@@ -201,9 +205,13 @@ pub struct StatsReport {
 }
 
 impl StatsReport {
-    /// Total read queries served across route/route_len/status.
+    /// Total read queries served across route/route_len/route_disjoint/
+    /// status.
     pub fn reads_served(&self) -> u64 {
-        self.route.requests + self.route_len.requests + self.status.requests
+        self.route.requests
+            + self.route_len.requests
+            + self.route_disjoint.requests
+            + self.status.requests
     }
 }
 
@@ -304,6 +312,7 @@ pub fn prometheus_text(stats: &StatsReport) -> String {
     let endpoints = [
         ("route", &stats.route),
         ("route_len", &stats.route_len),
+        ("route_disjoint", &stats.route_disjoint),
         ("status", &stats.status),
     ];
     for (name, ep) in &endpoints {
@@ -543,6 +552,11 @@ mod tests {
                 errors: 0,
                 latency_ns: Percentiles::of(&[]),
             },
+            route_disjoint: EndpointReport {
+                requests: 5,
+                errors: 1,
+                latency_ns: Percentiles::of(&[400.0]),
+            },
             batch_width: Percentiles::of(&[8.0, 64.0]),
             status: EndpointReport {
                 requests: 7,
@@ -561,7 +575,7 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
-        assert_eq!(r.reads_served(), 49);
+        assert_eq!(r.reads_served(), 54);
     }
 
     #[test]
@@ -583,6 +597,7 @@ mod tests {
             queue_capacity: 64,
             route: m.route.report(),
             route_len: m.route_len.report(),
+            route_disjoint: m.route_disjoint.report(),
             batch_width: m.batch_width.percentiles(),
             status: m.status.report(),
             staleness_mean_epochs: 0.5,
@@ -603,6 +618,7 @@ mod tests {
             "# TYPE ocp_serve_errors_total counter",
             "ocp_serve_errors_total{endpoint=\"route\"} 1",
             "ocp_serve_errors_total{endpoint=\"route_len\"} 0",
+            "ocp_serve_requests_total{endpoint=\"route_disjoint\"} 0",
             "ocp_serve_latency_ns{endpoint=\"route\",quantile=\"0.5\"}",
             "ocp_serve_latency_ns_count{endpoint=\"route\"} 1",
             "# TYPE ocp_serve_publish_lag_ns summary",

@@ -304,6 +304,22 @@ impl Client {
         })
     }
 
+    /// k-disjoint route convenience: one frame out, one typed reply back.
+    pub fn route_disjoint(
+        &mut self,
+        src: ocp_mesh::Coord,
+        dst: ocp_mesh::Coord,
+        k: usize,
+    ) -> Result<crate::api::RouteDisjointReply, ClientError> {
+        match self.request(&Request::RouteDisjoint { src, dst, k })? {
+            Response::RouteDisjoint(reply) => Ok(reply),
+            other => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to RouteDisjoint: {other:?}"),
+            ))),
+        }
+    }
+
     /// Batched hop-count convenience: one frame out, one snapshot and one
     /// frame back for the whole batch.
     pub fn route_len_batch(

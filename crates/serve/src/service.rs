@@ -23,8 +23,8 @@
 
 use crate::api::CertificateReply;
 use crate::api::{
-    InjectReply, Request, Response, RouteLenBatchReply, RouteLenOutcome, RouteLenReply,
-    RouteOutcome, RouteReply, StatusReply,
+    InjectReply, Request, Response, RouteDisjointOutcome, RouteDisjointReply, RouteLenBatchReply,
+    RouteLenOutcome, RouteLenReply, RouteOutcome, RouteReply, StatusReply,
 };
 use crate::metrics::{prometheus_text, Metrics, ObsReport, StatsReport};
 use crate::queue::{BoundedQueue, PushError};
@@ -801,6 +801,43 @@ impl ServiceHandle {
         reply
     }
 
+    /// Up to `k` pairwise vertex-disjoint routes between two nodes,
+    /// answered against one snapshot with the handle's persistent
+    /// scratch. At `k == 1` the reply is byte-identical to what
+    /// [`route`](ServiceHandle::route) returns, and the query fails
+    /// exactly when `route` fails, with the same error.
+    pub fn route_disjoint(&mut self, src: Coord, dst: Coord, k: usize) -> RouteDisjointReply {
+        let start = Instant::now();
+        self.refresh();
+        let outcome = match self
+            .cached
+            .router
+            .route_disjoint_with(src, dst, k, &mut self.scratch)
+        {
+            Ok(routes) => RouteDisjointOutcome::Delivered {
+                paths: routes.paths.into_iter().map(|p| p.hops).collect(),
+                stretch: routes.stretch,
+            },
+            Err(error) => RouteDisjointOutcome::Failed { error },
+        };
+        match &outcome {
+            RouteDisjointOutcome::Delivered { .. } => self
+                .shared
+                .metrics
+                .route_disjoint
+                .record(start.elapsed().as_nanos() as u64),
+            RouteDisjointOutcome::Failed { .. } => {
+                self.shared.metrics.route_disjoint.record_error()
+            }
+        }
+        let reply = RouteDisjointReply {
+            epoch: self.cached.epoch,
+            outcome,
+        };
+        self.note_staleness(reply.epoch);
+        reply
+    }
+
     /// Hop count only (no path allocation).
     pub fn route_len(&mut self, src: Coord, dst: Coord) -> RouteLenReply {
         let start = Instant::now();
@@ -944,6 +981,7 @@ impl ServiceHandle {
             queue_capacity: self.shared.queue.capacity(),
             route: m.route.report(),
             route_len: m.route_len.report(),
+            route_disjoint: m.route_disjoint.report(),
             batch_width: m.batch_width.percentiles(),
             status: m.status.report(),
             staleness_mean_epochs: if samples == 0 {
@@ -1003,6 +1041,9 @@ impl ServiceHandle {
         match request {
             Request::Route { src, dst } => Response::Route(self.route(src, dst)),
             Request::RouteLen { src, dst } => Response::RouteLen(self.route_len(src, dst)),
+            Request::RouteDisjoint { src, dst, k } => {
+                Response::RouteDisjoint(self.route_disjoint(src, dst, k))
+            }
             Request::RouteLenBatch { pairs } => {
                 Response::RouteLenBatch(self.route_len_batch(&pairs))
             }
@@ -1136,6 +1177,11 @@ mod tests {
             Request::RouteLen {
                 src: c(0, 0),
                 dst: c(5, 5),
+            },
+            Request::RouteDisjoint {
+                src: c(0, 0),
+                dst: c(5, 5),
+                k: 2,
             },
             Request::RouteLenBatch {
                 pairs: vec![(c(0, 0), c(5, 5)), (c(1, 0), c(0, 1))],

@@ -14,7 +14,7 @@
 //! cannot tell them apart, which is exactly what lets the blocking transport
 //! serve as the correctness oracle for the reactor in experiment E19.
 
-use crate::api::{Request, Response, RouteLenBatchReply};
+use crate::api::{Request, Response, RouteDisjointReply, RouteLenBatchReply};
 use crate::net::TcpServer;
 use crate::service::{MeshService, ServiceHandle};
 use ocp_mesh::Coord;
@@ -75,6 +75,32 @@ impl PipelinedApiClient {
         let response = serde_json::from_slice(&payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         Ok((id, response))
+    }
+
+    /// Round-trips one k-disjoint route query. The connection must have
+    /// no other replies outstanding (drain pipelined traffic first).
+    pub fn route_disjoint(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        k: usize,
+    ) -> io::Result<RouteDisjointReply> {
+        let id = self.send(&Request::RouteDisjoint { src, dst, k })?;
+        let (got_id, response) = self.recv()?;
+        if got_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply for correlation id {got_id}, expected {id}"),
+            ));
+        }
+        match response {
+            Response::RouteDisjoint(reply) => Ok(reply),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to RouteDisjoint: {other:?}"),
+            )),
+        }
     }
 
     /// Round-trips one batched hop-count query — the wide read path over

@@ -285,6 +285,126 @@ fn batched_reads_match_singletons_under_churn() {
     );
 }
 
+/// k-disjoint reads under epoch churn: every served route set must be
+/// bit-for-bit what a cold per-epoch oracle answers for the same query —
+/// the flow decomposition is deterministic, so replays are exact — and
+/// every delivered set must satisfy the endpoint's own guarantees
+/// (pairwise vertex-disjoint, first path identical to `route`).
+#[test]
+fn disjoint_reads_match_cold_oracle_under_churn() {
+    let initial = vec![c(3, 3), c(10, 4)];
+    let service = MeshService::start(
+        Topology::mesh(SIDE, SIDE),
+        initial.iter().copied(),
+        ServeConfig {
+            batch_max: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|worker| {
+            let mut handle = service.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xd15 + worker);
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let src = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                    let dst = c(rng.gen_range(0..SIDE as i32), rng.gen_range(0..SIDE as i32));
+                    let k = rng.gen_range(1..=3);
+                    let reply = handle.route_disjoint(src, dst, k);
+                    observed.push((reply.epoch, src, dst, k, reply.outcome));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(44);
+    let schedule = FaultSchedule::random(Topology::mesh(SIDE, SIDE), 10, 5, &mut rng);
+    let injector = service.handle();
+    for (_, nodes) in schedule.grouped_by_time() {
+        let ack = injector.inject_faults(&nodes);
+        assert_eq!(ack.rejected, 0, "default queue must absorb the schedule");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(service.quiesce(Duration::from_secs(60)), "writer drained");
+    stop.store(true, Ordering::Release);
+
+    let observations: Vec<_> = readers
+        .into_iter()
+        .flat_map(|r| r.join().expect("reader panicked"))
+        .collect();
+    assert!(
+        observations.len() >= 50,
+        "readers only got {} queries in",
+        observations.len()
+    );
+
+    let log = service.epoch_log();
+    assert!(!log.is_empty(), "injection published no epochs");
+    service.shutdown();
+
+    let config = PipelineConfig::default();
+    let oracles: Vec<Snapshot> = fault_sets_per_epoch(&initial, &log)
+        .into_iter()
+        .enumerate()
+        .map(|(epoch, faults)| {
+            Snapshot::cold(
+                epoch as u64,
+                FaultMap::new(Topology::mesh(SIDE, SIDE), faults),
+                &config,
+            )
+            .expect("cold oracle converges")
+        })
+        .collect();
+
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for (epoch, src, dst, k, outcome) in &observations {
+        let oracle = oracles
+            .get(*epoch as usize)
+            .unwrap_or_else(|| panic!("reply tagged with unpublished epoch {epoch}"));
+        epochs_seen.insert(*epoch);
+        match (oracle.router.route_disjoint(*src, *dst, *k), outcome) {
+            (Ok(routes), ocp_serve::RouteDisjointOutcome::Delivered { paths, stretch }) => {
+                let want: Vec<Vec<Coord>> = routes.paths.iter().map(|p| p.hops.clone()).collect();
+                assert_eq!(
+                    &want, paths,
+                    "epoch {epoch}: disjoint set {src:?}->{dst:?} k={k} differs from oracle"
+                );
+                assert_eq!(routes.stretch, *stretch, "epoch {epoch}: stretch");
+                assert!(
+                    routes.pairwise_disjoint(),
+                    "epoch {epoch}: disjointness {src:?}->{dst:?} k={k} paths={paths:?}"
+                );
+                if *k == 1 {
+                    let single = oracle.router.route(*src, *dst).expect("route succeeds");
+                    assert_eq!(
+                        paths[0], single.hops,
+                        "epoch {epoch}: k=1 must be the production route, byte-identical"
+                    );
+                }
+            }
+            (Err(expected), ocp_serve::RouteDisjointOutcome::Failed { error }) => {
+                assert_eq!(
+                    &expected, error,
+                    "epoch {epoch}: failure kind differs for {src:?}->{dst:?}"
+                );
+            }
+            (oracle_says, served) => panic!(
+                "epoch {epoch}: {src:?}->{dst:?} k={k} oracle {oracle_says:?} vs served {served:?}"
+            ),
+        }
+    }
+    assert!(
+        epochs_seen.len() >= 2,
+        "reads only ever saw epochs {epochs_seen:?}; injection raced past the readers"
+    );
+}
+
 /// Staleness accounting on failed publishes (PR-6 satellite): while the
 /// certificate gate chaos-rejects every third batch, readers hammering the
 /// epoch counter must never observe it move backwards or skip a number,

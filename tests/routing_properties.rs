@@ -94,6 +94,55 @@ proptest! {
         }
     }
 
+    /// k-disjoint routes over random fault maps: every delivered set is
+    /// pairwise vertex-disjoint away from the endpoints, each path is
+    /// valid under the traversal rules, `k = 1` is byte-identical to the
+    /// production `route`, every path honors the API's own length bound,
+    /// and `route_disjoint` fails exactly when `route` fails.
+    #[test]
+    fn route_disjoint_properties((side, faults, seed) in interior_pattern()) {
+        let topology = Topology::new(TopologyKind::Mesh, side, side);
+        let map = FaultMap::new(topology, faults);
+        let out = run_pipeline(&map, &PipelineConfig::default());
+        let enabled = EnabledMap::from_outcome(&out);
+        let regions: Vec<_> = out.regions.iter().map(|r| r.cells.clone()).collect();
+        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        let nodes = enabled.enabled_coords();
+        let pick = |k: u64| nodes[(seed.wrapping_mul(k + 5) % nodes.len() as u64) as usize];
+        for i in 0..8u64 {
+            let (src, dst) = (pick(2 * i), pick(2 * i + 1));
+            for k in 1..=3usize {
+                match (router.route_disjoint(src, dst, k), router.route(src, dst)) {
+                    (Ok(routes), Ok(single)) => {
+                        prop_assert!(routes.pairwise_disjoint(), "{src}->{dst} k={k}");
+                        prop_assert!(!routes.paths.is_empty());
+                        prop_assert!(routes.paths.len() <= k.max(1));
+                        let bound = router.disjoint_len_bound(src, dst, k);
+                        for p in &routes.paths {
+                            prop_assert!(p.validate(&enabled).is_ok());
+                            prop_assert_eq!(p.src(), src);
+                            prop_assert_eq!(p.dst(), dst);
+                            prop_assert!(
+                                p.len() <= bound,
+                                "{src}->{dst} k={k}: len {} > bound {bound}",
+                                p.len()
+                            );
+                        }
+                        if k == 1 {
+                            prop_assert_eq!(&routes.paths[0].hops, &single.hops);
+                        }
+                    }
+                    (Err(e), Err(f)) => prop_assert_eq!(e, f),
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "{src}->{dst} k={k}: route_disjoint {got:?} vs route {want:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
     /// Asynchronous execution of both labeling phases reaches the
     /// synchronous fixpoint for arbitrary fault patterns, delays and seeds.
     #[test]
