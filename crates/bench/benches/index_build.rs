@@ -1,0 +1,99 @@
+//! B12: epoch build paths — the cold single-thread
+//! `FaultTolerantRouter::new`, the row-band-threaded cold build at the
+//! machine's core count, and the incremental `rebuild_from` patching the
+//! previous epoch after one correlated fault batch.
+//!
+//! All three produce digest-identical routers (pinned by the incremental
+//! equivalence suites); the spread is pure construction cost, the number
+//! the serve writer pays once per published snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocp_core::prelude::*;
+use ocp_mesh::{Coord, Topology};
+use ocp_routing::{EnabledMap, FaultTolerantRouter};
+use ocp_workloads::clustered_faults;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// `(enabled, regions)` of the labeled machine for a fault set.
+fn labeled(map: &FaultMap) -> (EnabledMap, Vec<ocp_geometry::Region>) {
+    let out = run_pipeline(map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions = out.regions.iter().map(|r| r.cells.clone()).collect();
+    (enabled, regions)
+}
+
+fn index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    // Same machine shape as B9/B10: 48² at ~10% clustered faults.
+    let topology = Topology::mesh(48, 48);
+    let mut rng = SmallRng::seed_from_u64(0xB12);
+    let faults = clustered_faults(topology, 230, 230 / 24, &mut rng);
+    let base_map = FaultMap::new(topology, faults);
+    let (base_enabled, base_regions) = labeled(&base_map);
+    let prev = FaultTolerantRouter::new(base_enabled.clone(), &base_regions);
+
+    // One correlated 8-cell fault batch next to a random enabled anchor —
+    // the epoch delta the incremental path patches over.
+    let anchor = *base_enabled
+        .enabled_coords()
+        .choose(&mut rng)
+        .expect("enabled cells");
+    let mut map = base_map.clone();
+    let mut added = 0;
+    'grow: for dy in 0..4i32 {
+        for dx in 0..4i32 {
+            let c = Coord::new(anchor.x + dx, anchor.y + dy);
+            if topology.contains(c) && base_enabled.is_enabled(c) {
+                map = map.with_additional_fault(c);
+                added += 1;
+                if added == 8 {
+                    break 'grow;
+                }
+            }
+        }
+    }
+    let (enabled, regions) = labeled(&map);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold"),
+        &(&enabled, &regions),
+        |b, (enabled, regions)| {
+            b.iter(|| black_box(FaultTolerantRouter::new((*enabled).clone(), regions)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_par"),
+        &(&enabled, &regions),
+        |b, (enabled, regions)| {
+            b.iter(|| {
+                black_box(FaultTolerantRouter::new_with_threads(
+                    (*enabled).clone(),
+                    regions,
+                    threads,
+                ))
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("incremental"),
+        &(&enabled, &regions),
+        |b, (enabled, regions)| {
+            b.iter(|| {
+                black_box(FaultTolerantRouter::rebuild_from(
+                    &prev,
+                    (*enabled).clone(),
+                    regions,
+                ))
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, index_build);
+criterion_main!(benches);

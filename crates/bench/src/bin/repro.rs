@@ -20,6 +20,8 @@
 //!   scaling       labeling-engine speedups: size x density x engine (E15)
 //!   routeperf     wide/indexed vs reference route_len throughput (E17)
 //!   routeperf-smoke  quick E17 sweep with a relaxed speedup bar (CI gate)
+//!   rebuild       incremental vs cold epoch builds, digest-pinned (E22)
+//!   rebuild-smoke quick E22 sweep: digest-identical + modest speedup (CI gate)
 //!   obs           observability overhead sweep, on vs off (E16)
 //!   obs-smoke     TCP scrape of the metrics/obs endpoints (CI gate)
 //!   durability    publish-path cost of certificates + WAL, on vs off (E18)
@@ -39,7 +41,7 @@
 use ocp_analysis::to_json;
 use ocp_bench::experiments::{
     self, asynchrony, chaos, disjoint, durability, fig5, fleet, maintenance, models, observability,
-    partition_gap, routeperf, routing_eval, scaling, serve_load, verification, Settings,
+    partition_gap, rebuild, routeperf, routing_eval, scaling, serve_load, verification, Settings,
 };
 use std::path::PathBuf;
 
@@ -85,7 +87,7 @@ fn parse_args() -> Args {
                 assert!(in_file.is_some(), "--in needs a path");
             }
             "--help" | "-h" => {
-                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|obs|obs-smoke|durability|durability-smoke|fleet|fleet-smoke|disjoint|disjoint-smoke|bench-check|example-sec3|all>");
+                println!("see module docs: repro [--quick] [--trials N] [--seed S] [--side N] [--out DIR] [--in FILE] <fig5a|fig5b|fig5c|fig5d|models|routing|verify|maintenance|partition|async|chaos|serve|serve-smoke|scaling|routeperf|routeperf-smoke|rebuild|rebuild-smoke|obs|obs-smoke|durability|durability-smoke|fleet|fleet-smoke|disjoint|disjoint-smoke|bench-check|example-sec3|all>");
                 std::process::exit(0);
             }
             other => command = other.to_string(),
@@ -320,7 +322,7 @@ fn run_routeperf(args: &Args) {
     println!(
         "{}",
         experiments::render_section(
-            "E17: router + index construction cost (paid once per epoch)",
+            "E17: cold-baseline router + index construction cost (E22 patches it incrementally)",
             &routeperf::build_table(&report)
         )
     );
@@ -367,6 +369,109 @@ fn run_routeperf_smoke(args: &Args) {
         flagship.speedup
     );
     println!("routeperf smoke: wide engine clears the 3x smoke bar");
+}
+
+fn run_rebuild(args: &Args) {
+    let report = rebuild::run(&args.settings);
+    println!(
+        "{}",
+        experiments::render_section(
+            "E22: incremental vs cold epoch builds (digest-pinned)",
+            &rebuild::table(&report)
+        )
+    );
+    save(&args.out_dir, "rebuild", to_json(&report));
+    for r in &report.rows {
+        if !r.digest_match {
+            eprintln!(
+                "FAIL: incremental rebuild diverged from the cold build at \
+                 {}x{} d={:.2} batch={}",
+                r.side, r.side, r.density, r.batch
+            );
+            std::process::exit(1);
+        }
+    }
+    let flagship = rebuild::flagship(&report).expect("rebuild rows");
+    println!(
+        "flagship: {}x{} d={:.2} batch={} incremental {:.1}x, parallel cold {:.2}x ({} threads)",
+        flagship.side,
+        flagship.side,
+        flagship.density,
+        flagship.batch,
+        flagship.speedup_incremental,
+        flagship.speedup_parallel,
+        report.threads
+    );
+    // Acceptance bars apply to the full shape (256² / 10% clustered,
+    // batch <= 64): the incremental rebuild must beat the cold build by
+    // >= 5x, and the banded cold build must reach >= 2x when the machine
+    // actually has cores to band over.
+    if args.settings.side >= 100 && flagship.speedup_incremental < 5.0 {
+        eprintln!(
+            "FAIL: flagship incremental speedup {:.2}x below the 5x acceptance bar",
+            flagship.speedup_incremental
+        );
+        std::process::exit(1);
+    }
+    if args.settings.side >= 100 && report.threads >= 2 && flagship.speedup_parallel < 2.0 {
+        eprintln!(
+            "FAIL: parallel cold-build speedup {:.2}x below the 2x acceptance bar \
+             at {} threads",
+            flagship.speedup_parallel, report.threads
+        );
+        std::process::exit(1);
+    }
+    if report.threads < 2 {
+        println!(
+            "parallel cold-build bar skipped: only {} core available",
+            report.threads
+        );
+    }
+}
+
+fn run_rebuild_smoke(args: &Args) {
+    let mut settings = args.settings;
+    if settings.side >= 100 {
+        settings = Settings::quick();
+    }
+    let report = rebuild::run(&settings);
+    // On the quick machines a 16-fault batch is a large fraction of the
+    // mesh, so the speedup bar gates on the single-fault flagship; the
+    // full-shape bars live in the full `rebuild` run.
+    let flagship = report
+        .rows
+        .iter()
+        .filter(|r| r.batch == 1)
+        .max_by(|a, b| {
+            (a.side, a.density)
+                .partial_cmp(&(b.side, b.density))
+                .expect("finite densities")
+        })
+        .expect("batch=1 rows");
+    println!(
+        "rebuild smoke: {} cells, flagship {}x{} d={:.2} batch={} incremental {:.1}x reuse {:.2}",
+        report.rows.len(),
+        flagship.side,
+        flagship.side,
+        flagship.density,
+        flagship.batch,
+        flagship.speedup_incremental,
+        flagship.reuse_ratio
+    );
+    // Digest equality is the hard gate at every size.
+    for r in &report.rows {
+        assert!(
+            r.digest_match,
+            "incremental rebuild diverged from cold at {}x{} d={:.2} batch={}",
+            r.side, r.side, r.density, r.batch
+        );
+    }
+    assert!(
+        flagship.speedup_incremental >= 1.5,
+        "smoke incremental speedup {:.2}x below the 1.5x smoke bar",
+        flagship.speedup_incremental
+    );
+    println!("rebuild smoke: digest-identical everywhere, clears the 1.5x smoke bar");
 }
 
 fn run_obs(args: &Args) {
@@ -713,6 +818,8 @@ fn main() {
         "scaling" => run_scaling(&args),
         "routeperf" => run_routeperf(&args),
         "routeperf-smoke" => run_routeperf_smoke(&args),
+        "rebuild" => run_rebuild(&args),
+        "rebuild-smoke" => run_rebuild_smoke(&args),
         "obs" => run_obs(&args),
         "obs-smoke" => run_obs_smoke(&args),
         "durability" => run_durability(&args),
@@ -743,6 +850,7 @@ fn main() {
             run_serve(&args);
             run_scaling(&args);
             run_routeperf(&args);
+            run_rebuild(&args);
             run_obs(&args);
             run_durability(&args);
             run_fleet(&args);

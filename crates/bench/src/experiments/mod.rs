@@ -10,6 +10,7 @@ pub mod maintenance;
 pub mod models;
 pub mod observability;
 pub mod partition_gap;
+pub mod rebuild;
 pub mod routeperf;
 pub mod routing_eval;
 pub mod scaling;

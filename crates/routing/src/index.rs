@@ -25,8 +25,10 @@
 //! this property on random mesh and torus fault maps.
 
 use crate::fault_ring::{FaultRing, RingShape};
+use crate::incremental::{BuildBreakdown, Fnv};
 use crate::path::EnabledMap;
 use ocp_mesh::{Coord, Direction, Grid, Topology, TopologyKind, DIRECTIONS};
+use std::sync::Arc;
 
 /// Marker entry in [`RouteIndex::position`]'s grid for cells on no
 /// (encodable) ring. Unambiguous: a real entry would need ring index and
@@ -88,30 +90,122 @@ fn flatten_lines(lines: Vec<Vec<(i32, u32)>>) -> (Vec<u32>, Vec<(i32, u32)>) {
     (off, data)
 }
 
+/// The sorted `(coordinate, region code)` entries of one row (`is_row`)
+/// or column line, produced by an ascending scan — identical to the
+/// collect-then-sort the original cold build ran, since coordinates are
+/// unique per line.
+fn scan_line(
+    enabled: &EnabledMap,
+    region_of: &Grid<Option<usize>>,
+    is_row: bool,
+    li: usize,
+) -> Vec<(i32, u32)> {
+    let t = enabled.topology();
+    let extent = if is_row { t.width() } else { t.height() } as i32;
+    let mut line = Vec::new();
+    for v in 0..extent {
+        let c = if is_row {
+            Coord::new(v, li as i32)
+        } else {
+            Coord::new(li as i32, v)
+        };
+        if !enabled.is_enabled(c) {
+            line.push((v, region_of.get(c).map_or(NO_REGION, |r| r as u32)));
+        }
+    }
+    line
+}
+
 impl SegmentIndex {
-    /// Builds the tables from the enabled view and region membership.
-    pub fn build(enabled: &EnabledMap, region_of: &Grid<Option<usize>>) -> Self {
+    /// Builds the tables from the enabled view and region membership,
+    /// with the per-line scans spread over `threads` row and column
+    /// bands. Lines are produced independently and concatenated in line
+    /// order, so the output is identical for every thread count.
+    pub fn build_par(
+        enabled: &EnabledMap,
+        region_of: &Grid<Option<usize>>,
+        threads: usize,
+    ) -> Self {
         let t = enabled.topology();
-        let mut rows = vec![Vec::new(); t.height() as usize];
-        let mut cols = vec![Vec::new(); t.width() as usize];
-        for c in t.coords() {
-            if !enabled.is_enabled(c) {
-                let code = region_of.get(c).map_or(NO_REGION, |r| r as u32);
-                rows[c.y as usize].push((c.x, code));
-                cols[c.x as usize].push((c.y, code));
-            }
-        }
-        for line in rows.iter_mut().chain(cols.iter_mut()) {
-            line.sort_unstable();
-        }
-        let (row_off, rows) = flatten_lines(rows);
-        let (col_off, cols) = flatten_lines(cols);
+        let row_lines = crate::incremental::par_map(t.height() as usize, threads, |y| {
+            scan_line(enabled, region_of, true, y)
+        });
+        let col_lines = crate::incremental::par_map(t.width() as usize, threads, |x| {
+            scan_line(enabled, region_of, false, x)
+        });
+        let (row_off, rows) = flatten_lines(row_lines);
+        let (col_off, cols) = flatten_lines(col_lines);
         Self {
             topology: t,
             row_off,
             rows,
             col_off,
             cols,
+        }
+    }
+
+    /// Incremental rebuild: rescans lines marked touched, copies lines
+    /// marked renumbered with their region codes mapped through
+    /// `code_map` (previous group index → new group index — the cells on
+    /// such lines are unchanged, only the embedded code moved), and
+    /// copies everything else verbatim. Byte-identical to a cold
+    /// [`Self::build_par`] under the line contract [`crate::incremental`]
+    /// derives from the epoch delta.
+    #[allow(clippy::too_many_arguments)]
+    pub fn patch(
+        prev: &Self,
+        enabled: &EnabledMap,
+        region_of: &Grid<Option<usize>>,
+        touched_rows: &[bool],
+        touched_cols: &[bool],
+        renum_rows: &[bool],
+        renum_cols: &[bool],
+        code_map: &[u32],
+    ) -> Self {
+        let t = enabled.topology();
+        let side =
+            |off: &[u32], data: &[(i32, u32)], touched: &[bool], renum: &[bool], is_row: bool| {
+                let mut out_off = Vec::with_capacity(off.len());
+                out_off.push(0u32);
+                let mut out = Vec::with_capacity(data.len());
+                for (li, w) in off.windows(2).enumerate() {
+                    let slice = &data[w[0] as usize..w[1] as usize];
+                    if touched[li] {
+                        out.extend(scan_line(enabled, region_of, is_row, li));
+                    } else if renum[li] {
+                        out.extend(slice.iter().map(|&(v, code)| {
+                            let code = if code == NO_REGION {
+                                NO_REGION
+                            } else {
+                                code_map[code as usize]
+                            };
+                            (v, code)
+                        }));
+                    } else {
+                        out.extend_from_slice(slice);
+                    }
+                    out_off.push(out.len() as u32);
+                }
+                (out_off, out)
+            };
+        let (row_off, rows) = side(&prev.row_off, &prev.rows, touched_rows, renum_rows, true);
+        let (col_off, cols) = side(&prev.col_off, &prev.cols, touched_cols, renum_cols, false);
+        Self {
+            topology: t,
+            row_off,
+            rows,
+            col_off,
+            cols,
+        }
+    }
+
+    /// Feeds every table into the router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        h.u32s(&self.row_off);
+        h.u32s(&self.col_off);
+        h.u64(self.rows.len() as u64);
+        for &(v, code) in self.rows.iter().chain(self.cols.iter()) {
+            h.u64(((v as u32 as u64) << 32) | u64::from(code));
         }
     }
 
@@ -416,6 +510,28 @@ impl RingIndex {
         self.row_off[y as usize] as usize..self.row_off[y as usize + 1] as usize
     }
 
+    /// Feeds the whole ring index into the router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        h.u64(self.sorted.len() as u64);
+        for &(k, p) in &self.sorted {
+            h.u64(k);
+            h.u64(u64::from(p));
+        }
+        let cands = |h: &mut Fnv, c: &CandidateColumns| {
+            h.u64(c.len() as u64);
+            for i in 0..c.len() {
+                h.coord(Coord::new(c.xs[i], c.ys[i]));
+                h.u64((u64::from(c.masks[i]) << 32) | u64::from(c.poss[i]));
+            }
+        };
+        cands(h, &self.static_candidates);
+        h.u32s(&self.col_off);
+        cands(h, &self.cols);
+        h.u32s(&self.row_off);
+        cands(h, &self.rows);
+        h.u64(u64::from(self.compact));
+    }
+
     /// Calls `f` on every `(columns, range)` slice holding a cycle
     /// position where the exit objective (feasibility predicate + distance
     /// to `dst`) can attain its minimum: the static candidates plus cells
@@ -459,8 +575,10 @@ fn dir_between(t: Topology, a: Coord, b: Coord) -> Option<Direction> {
 pub(crate) struct RouteIndex {
     /// Row/column disabled-interval tables for segment-jump XY.
     pub segments: SegmentIndex,
-    /// One [`RingIndex`] per fault ring, in ring order.
-    pub rings: Vec<RingIndex>,
+    /// One [`RingIndex`] per fault ring, in ring order. `Arc`-held so an
+    /// incremental epoch build shares unchanged rings with its
+    /// predecessor instead of recomputing them.
+    pub rings: Vec<Arc<RingIndex>>,
     /// Cache-packed SoA repack of `segments` for the wide engine.
     pub wide_segments: crate::layout::WideSegments,
     /// Cache-packed per-ring exit-candidate words for the wide engine.
@@ -473,41 +591,71 @@ pub(crate) struct RouteIndex {
     /// almost every `position_of`. Cells sitting on a *second* ring as
     /// well (two non-merged regions two apart) fall back to that ring's
     /// sorted-key search.
-    ring_pos: Grid<u32>,
+    pub ring_pos: Grid<u32>,
+}
+
+/// The `ring << 16 | position` grid (see [`RouteIndex::ring_pos`]) —
+/// linear in ring cells, so both cold and incremental builds regenerate
+/// it fresh.
+pub(crate) fn build_ring_pos(t: Topology, rings: &[FaultRing]) -> Grid<u32> {
+    let mut ring_pos = Grid::filled(t, NO_RING_POS);
+    for (r, ring) in rings.iter().enumerate() {
+        let RingShape::Cycle(cells) = &ring.shape else {
+            continue;
+        };
+        // Rings or positions past 16 bits stay unencoded and resolve
+        // through the per-ring fallback.
+        if r >= usize::from(u16::MAX) || cells.len() > usize::from(u16::MAX) {
+            continue;
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            if *ring_pos.get(c) == NO_RING_POS {
+                ring_pos.set(c, ((r as u32) << 16) | i as u32);
+            }
+        }
+    }
+    ring_pos
 }
 
 impl RouteIndex {
-    /// Builds all indexes for the given labeled view.
+    /// Builds all indexes for the given labeled view, spreading the
+    /// per-line and per-ring phases over `threads` bands and recording
+    /// the phase timings into `stats`.
     pub fn build(
         enabled: &EnabledMap,
         rings: &[FaultRing],
         region_of: &Grid<Option<usize>>,
+        threads: usize,
+        stats: &mut BuildBreakdown,
     ) -> Self {
+        use std::time::Instant;
         let t = enabled.topology();
-        let mut ring_pos = Grid::filled(t, NO_RING_POS);
-        for (r, ring) in rings.iter().enumerate() {
-            let RingShape::Cycle(cells) = &ring.shape else {
-                continue;
-            };
-            // Rings or positions past 16 bits stay unencoded and resolve
-            // through the per-ring fallback.
-            if r >= usize::from(u16::MAX) || cells.len() > usize::from(u16::MAX) {
-                continue;
-            }
-            for (i, &c) in cells.iter().enumerate() {
-                if *ring_pos.get(c) == NO_RING_POS {
-                    ring_pos.set(c, ((r as u32) << 16) | i as u32);
-                }
-            }
-        }
-        let segments = SegmentIndex::build(enabled, region_of);
-        let ring_indexes: Vec<RingIndex> = rings
-            .iter()
-            .map(|r| RingIndex::build(t, r, region_of))
-            .collect();
-        let wide_segments = crate::layout::WideSegments::build(&segments, rings, &ring_indexes, t);
+        let pos_start = Instant::now();
+        let ring_pos = build_ring_pos(t, rings);
+        let mut ring_ns = pos_start.elapsed().as_nanos() as u64;
+
+        let seg_start = Instant::now();
+        let segments = SegmentIndex::build_par(enabled, region_of, threads);
+        stats.segment_ns += seg_start.elapsed().as_nanos() as u64;
+
+        let ring_start = Instant::now();
+        let ring_indexes: Vec<Arc<RingIndex>> =
+            crate::incremental::par_map(rings.len(), threads, |i| {
+                Arc::new(RingIndex::build(t, &rings[i], region_of))
+            });
+        ring_ns += ring_start.elapsed().as_nanos() as u64;
+        stats.ring_ns += ring_ns;
+
+        let wide_start = Instant::now();
+        let wide_segments =
+            crate::layout::WideSegments::build(&segments, rings, &ring_indexes, t, threads);
         let wide_rings = crate::layout::WideRings::build(&ring_indexes);
-        let exit_dir = crate::layout::ExitDirectory::build(t, rings, &ring_indexes, &wide_rings);
+        stats.wide_ns += wide_start.elapsed().as_nanos() as u64;
+
+        let exit_start = Instant::now();
+        let exit_dir =
+            crate::layout::ExitDirectory::build(t, rings, &ring_indexes, &wide_rings, threads);
+        stats.exit_ns += exit_start.elapsed().as_nanos() as u64;
         Self {
             segments,
             rings: ring_indexes,
@@ -515,6 +663,21 @@ impl RouteIndex {
             wide_rings,
             exit_dir,
             ring_pos,
+        }
+    }
+
+    /// Feeds every index table into the router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        self.segments.digest(h);
+        h.u64(self.rings.len() as u64);
+        for ring in &self.rings {
+            ring.digest(h);
+        }
+        self.wide_segments.digest(h);
+        self.wide_rings.digest(h);
+        self.exit_dir.digest(h);
+        for (_, &v) in self.ring_pos.iter() {
+            h.u64(u64::from(v));
         }
     }
 
@@ -652,7 +815,7 @@ mod tests {
             for seed in 0..4u64 {
                 let enabled = random_map(t, 0.25, seed);
                 let region_of = fake_regions(&enabled);
-                let index = SegmentIndex::build(&enabled, &region_of);
+                let index = SegmentIndex::build_par(&enabled, &region_of, 1);
                 for from in t.coords() {
                     for dir in DIRECTIONS {
                         let max = match dir {
@@ -692,7 +855,7 @@ mod tests {
         let enabled = EnabledMap::from_grid(grid);
         let mut region_of = Grid::filled(t, None);
         region_of.set(Coord::new(1, 0), Some(3));
-        let index = SegmentIndex::build(&enabled, &region_of);
+        let index = SegmentIndex::build_par(&enabled, &region_of, 1);
         // Eastward from x=6: wraps the seam and hits x=1 after 3 hops.
         let seg = index.probe(Coord::new(6, 0), Direction::East, 4);
         assert_eq!(seg.advance, 2);

@@ -32,8 +32,10 @@
 //! tables stay untouched as the equivalence oracle.
 
 use crate::fault_ring::{FaultRing, RingShape};
+use crate::incremental::Fnv;
 use crate::index::{CandidateColumns, RingIndex, SegmentIndex, NO_REGION};
 use ocp_mesh::{Coord, Direction, Topology, TopologyKind};
+use std::sync::Arc;
 
 /// The cache-line size every arena base and table block aligns to.
 pub(crate) const CACHE_LINE: usize = 64;
@@ -160,35 +162,172 @@ fn pack_next(dist: u32, idx: u32) -> u64 {
 /// 0xFFFE` on a mesh and `extent / 2` on a torus).
 const NEXT_NONE: u64 = 0xFFFF;
 
+/// One entry-position field of a hit word (see [`WideSegments`]): the
+/// cycle position of `entry` on the ring of region `code`, or a sentinel.
+/// `None` entries (off the mesh) belong to keys a probe can never hit
+/// from that side.
+fn entry_pos(
+    fault_rings: &[FaultRing],
+    ring_indexes: &[Arc<RingIndex>],
+    code: u32,
+    entry: Option<Coord>,
+) -> u64 {
+    let Some(entry) = entry else {
+        return u64::from(ENTRY_UNPACKED);
+    };
+    if code == NO_REGION {
+        return u64::from(ENTRY_UNPACKED);
+    }
+    if !fault_rings[code as usize].is_cycle() {
+        return u64::from(ENTRY_CHAIN);
+    }
+    match ring_indexes[code as usize].position(entry) {
+        Some(p) if p < ENTRY_CHAIN as usize => p as u64,
+        _ => u64::from(ENTRY_UNPACKED),
+    }
+}
+
+/// Appends one line's keys and hit words (no padding — the caller pads
+/// both arenas to the cache line together).
+#[allow(clippy::too_many_arguments)]
+fn pack_line(
+    keys: &mut Vec<i32>,
+    hits: &mut Vec<u64>,
+    slice: &[(i32, u32)],
+    is_row: bool,
+    li: usize,
+    extent: i32,
+    torus: bool,
+    fault_rings: &[FaultRing],
+    ring_indexes: &[Arc<RingIndex>],
+) {
+    for &(k, code) in slice {
+        // The cell one step before the key from either probe direction,
+        // on this line.
+        let cell = |v: i32| -> Option<Coord> {
+            let v = if torus { v.rem_euclid(extent) } else { v };
+            (0..extent).contains(&v).then(|| {
+                if is_row {
+                    Coord::new(v, li as i32)
+                } else {
+                    Coord::new(li as i32, v)
+                }
+            })
+        };
+        keys.push(k);
+        hits.push(
+            u64::from(code)
+                | (entry_pos(fault_rings, ring_indexes, code, cell(k - 1)) << 32)
+                | (entry_pos(fault_rings, ring_indexes, code, cell(k + 1)) << 48),
+        );
+    }
+}
+
+/// Two-pointer next-blocked sweep of one line: fills the positive- and
+/// negative-direction entries of its `extent` cells. `le` counts keys
+/// ≤ v, `lt` keys < v.
+fn sweep_line(
+    line: &[i32],
+    start: u32,
+    extent: i32,
+    torus: bool,
+    fwd: &mut [u64],
+    bwd: &mut [u64],
+) {
+    let n = line.len();
+    let (mut le, mut lt) = (0usize, 0usize);
+    for v in 0..extent {
+        while le < n && line[le] <= v {
+            le += 1;
+        }
+        while lt < n && line[lt] < v {
+            lt += 1;
+        }
+        fwd[v as usize] = if le < n {
+            pack_next((line[le] - v) as u32, start + le as u32)
+        } else if torus && n > 0 {
+            pack_next((line[0] + extent - v) as u32, start)
+        } else {
+            NEXT_NONE
+        };
+        bwd[v as usize] = if lt > 0 {
+            pack_next((v - line[lt - 1]) as u32, start + lt as u32 - 1)
+        } else if torus && n > 0 {
+            pack_next((v + extent - line[n - 1]) as u32, start + n as u32 - 1)
+        } else {
+            NEXT_NONE
+        };
+    }
+}
+
+/// Sweeps every line of one orientation into its slots of the forward
+/// and backward direction blocks, banded over `threads` scoped workers.
+/// Each line owns a disjoint `extent`-entry window at `line_index ×
+/// extent`, so bands write disjoint slices and the result is identical
+/// for every thread count.
+fn sweep_block(
+    keys: &[i32],
+    lines: &[(u32, u32)],
+    extent: i32,
+    torus: bool,
+    threads: usize,
+    fwd: &mut [u64],
+    bwd: &mut [u64],
+) {
+    let e = extent as usize;
+    let run = |li: usize, fwd: &mut [u64], bwd: &mut [u64]| {
+        let (start, len) = lines[li];
+        let line = &keys[start as usize..(start + len) as usize];
+        sweep_line(line, start, extent, torus, fwd, bwd);
+    };
+    let n = lines.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        for li in 0..n {
+            let (f, b) = (
+                &mut fwd[li * e..(li + 1) * e],
+                &mut bwd[li * e..(li + 1) * e],
+            );
+            run(li, f, b);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let (mut fw, mut bw) = (fwd, bwd);
+        for band in 0..threads {
+            let lo = band * chunk;
+            let hi = n.min(lo + chunk);
+            if lo >= hi {
+                break;
+            }
+            let (f1, f2) = fw.split_at_mut((hi - lo) * e);
+            let (b1, b2) = bw.split_at_mut((hi - lo) * e);
+            (fw, bw) = (f2, b2);
+            let run = &run;
+            s.spawn(move || {
+                for (k, li) in (lo..hi).enumerate() {
+                    run(li, &mut f1[k * e..(k + 1) * e], &mut b1[k * e..(k + 1) * e]);
+                }
+            });
+        }
+    });
+}
+
 impl WideSegments {
     /// Repacks the scalar segment tables, resolving each disabled key's
     /// two possible ring-entry positions at build time (see the hit-word
-    /// layout on [`WideSegments`]).
+    /// layout on [`WideSegments`]). The next-blocked sweeps are banded
+    /// over `threads` scoped workers; output is identical for every
+    /// thread count.
     pub fn build(
         index: &SegmentIndex,
         fault_rings: &[FaultRing],
-        ring_indexes: &[RingIndex],
+        ring_indexes: &[Arc<RingIndex>],
         t: Topology,
+        threads: usize,
     ) -> Self {
         let torus = t.kind() == TopologyKind::Torus;
-        // One entry-position field: the cycle position of `entry` on the
-        // key's ring, or a sentinel. `None` entries (off the mesh) belong
-        // to keys a probe can never hit from that side.
-        let epos = |code: u32, entry: Option<Coord>| -> u64 {
-            let Some(entry) = entry else {
-                return u64::from(ENTRY_UNPACKED);
-            };
-            if code == NO_REGION {
-                return u64::from(ENTRY_UNPACKED);
-            }
-            if !fault_rings[code as usize].is_cycle() {
-                return u64::from(ENTRY_CHAIN);
-            }
-            match ring_indexes[code as usize].position(entry) {
-                Some(p) if p < ENTRY_CHAIN as usize => p as u64,
-                _ => u64::from(ENTRY_UNPACKED),
-            }
-        };
         let mut keys: Vec<i32> = Vec::new();
         let mut hits: Vec<u64> = Vec::new();
         let mut pack = |off: &[u32], data: &[(i32, u32)], is_row: bool, extent: i32| {
@@ -196,26 +335,17 @@ impl WideSegments {
             for (li, w) in off.windows(2).enumerate() {
                 let slice = &data[w[0] as usize..w[1] as usize];
                 lines.push((keys.len() as u32, slice.len() as u32));
-                for &(k, code) in slice {
-                    // The cell one step before the key from either probe
-                    // direction, on this line.
-                    let cell = |v: i32| -> Option<Coord> {
-                        let v = if torus { v.rem_euclid(extent) } else { v };
-                        (0..extent).contains(&v).then(|| {
-                            if is_row {
-                                Coord::new(v, li as i32)
-                            } else {
-                                Coord::new(li as i32, v)
-                            }
-                        })
-                    };
-                    keys.push(k);
-                    hits.push(
-                        u64::from(code)
-                            | (epos(code, cell(k - 1)) << 32)
-                            | (epos(code, cell(k + 1)) << 48),
-                    );
-                }
+                pack_line(
+                    &mut keys,
+                    &mut hits,
+                    slice,
+                    is_row,
+                    li,
+                    extent,
+                    torus,
+                    fault_rings,
+                    ring_indexes,
+                );
                 // Keys the padding exposes are never searched; i32::MAX
                 // keeps an out-of-window load harmless either way. The
                 // hit arena pads to the same element count so the two
@@ -232,52 +362,25 @@ impl WideSegments {
         let have_next = width < u32::from(u16::MAX)
             && height < u32::from(u16::MAX)
             && u64::from(width) * u64::from(height) <= NEXT_CELL_CAP;
-        // Two-pointer sweep producing, for every cell of every line, the
-        // positive- and negative-direction next-blocked entries.
-        let sweep = |lines: &[(u32, u32)], extent: i32| -> (Vec<u64>, Vec<u64>) {
-            let mut fwd = Vec::with_capacity(lines.len() * extent as usize);
-            let mut bwd = Vec::with_capacity(lines.len() * extent as usize);
-            for &(start, len) in lines {
-                let line = &keys[start as usize..(start + len) as usize];
-                let n = line.len();
-                // `le` counts keys ≤ v, `lt` keys < v.
-                let (mut le, mut lt) = (0usize, 0usize);
-                for v in 0..extent {
-                    while le < n && line[le] <= v {
-                        le += 1;
-                    }
-                    while lt < n && line[lt] < v {
-                        lt += 1;
-                    }
-                    fwd.push(if le < n {
-                        pack_next((line[le] - v) as u32, start + le as u32)
-                    } else if torus && n > 0 {
-                        pack_next((line[0] + extent - v) as u32, start)
-                    } else {
-                        NEXT_NONE
-                    });
-                    bwd.push(if lt > 0 {
-                        pack_next((v - line[lt - 1]) as u32, start + lt as u32 - 1)
-                    } else if torus && n > 0 {
-                        pack_next((v + extent - line[n - 1]) as u32, start + n as u32 - 1)
-                    } else {
-                        NEXT_NONE
-                    });
-                }
-            }
-            (fwd, bwd)
-        };
         let mut next = Vec::new();
         let mut next_base = [0u32; 4];
         if have_next {
-            let (east, west) = sweep(&rows, t.width() as i32);
-            let (north, south) = sweep(&cols, t.height() as i32);
-            let block = east.len() as u32;
-            next_base = [0, block, 2 * block, 3 * block];
-            next = east;
-            next.extend(west);
-            next.extend(north);
-            next.extend(south);
+            let block = width as usize * height as usize;
+            next = vec![0u64; 4 * block];
+            next_base = [0, block as u32, 2 * block as u32, 3 * block as u32];
+            let (ew, ns) = next.split_at_mut(2 * block);
+            let (east, west) = ew.split_at_mut(block);
+            let (north, south) = ns.split_at_mut(block);
+            sweep_block(&keys, &rows, t.width() as i32, torus, threads, east, west);
+            sweep_block(
+                &keys,
+                &cols,
+                t.height() as i32,
+                torus,
+                threads,
+                north,
+                south,
+            );
         }
         Self {
             rows,
@@ -288,6 +391,203 @@ impl WideSegments {
             hits: AlignedArena::from_slice(&hits),
             have_next,
         }
+    }
+
+    /// Incremental rebuild: untouched lines copy their key/hit slabs and
+    /// rebase their next-blocked entries by the line's new arena start
+    /// (the entries' distance fields are start-independent; [`NEXT_NONE`]
+    /// carries no index and is copied as-is); renumbered lines do the
+    /// same but remap each hit word's low-32-bit region code through
+    /// `code_map` (keys, entry positions, and next entries depend only on
+    /// cell geometry and ring content, which a renumbered group keeps);
+    /// touched lines re-run the same per-line pack and sweep the cold
+    /// build uses. Byte-identical to [`Self::build`] under the
+    /// [`crate::incremental`] line contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn patch(
+        prev: &Self,
+        index: &SegmentIndex,
+        fault_rings: &[FaultRing],
+        ring_indexes: &[Arc<RingIndex>],
+        t: Topology,
+        touched_rows: &[bool],
+        touched_cols: &[bool],
+        renum_rows: &[bool],
+        renum_cols: &[bool],
+        code_map: &[u32],
+    ) -> Self {
+        let torus = t.kind() == TopologyKind::Torus;
+        let (pkeys, phits) = (prev.keys.as_slice(), prev.hits.as_slice());
+        let mut keys: Vec<i32> = Vec::with_capacity(pkeys.len());
+        let mut hits: Vec<u64> = Vec::with_capacity(phits.len());
+        let mut pack = |off: &[u32],
+                        data: &[(i32, u32)],
+                        prev_lines: &[(u32, u32)],
+                        touched: &[bool],
+                        renum: &[bool],
+                        is_row: bool,
+                        extent: i32| {
+            let mut lines = Vec::with_capacity(off.len() - 1);
+            for (li, w) in off.windows(2).enumerate() {
+                let start = keys.len() as u32;
+                if touched[li] {
+                    let slice = &data[w[0] as usize..w[1] as usize];
+                    lines.push((start, slice.len() as u32));
+                    pack_line(
+                        &mut keys,
+                        &mut hits,
+                        slice,
+                        is_row,
+                        li,
+                        extent,
+                        torus,
+                        fault_rings,
+                        ring_indexes,
+                    );
+                } else {
+                    let (ps, pl) = prev_lines[li];
+                    lines.push((start, pl));
+                    keys.extend_from_slice(&pkeys[ps as usize..(ps + pl) as usize]);
+                    let slab = &phits[ps as usize..(ps + pl) as usize];
+                    if renum[li] {
+                        hits.extend(slab.iter().map(|&hit| {
+                            let code = hit as u32;
+                            if code == NO_REGION {
+                                hit
+                            } else {
+                                (hit & 0xFFFF_FFFF_0000_0000) | u64::from(code_map[code as usize])
+                            }
+                        }));
+                    } else {
+                        hits.extend_from_slice(slab);
+                    }
+                }
+                keys.resize(pad_to_line::<i32>(keys.len()), i32::MAX);
+                hits.resize(keys.len(), 0);
+            }
+            lines
+        };
+        let rows = pack(
+            &index.row_off,
+            &index.rows,
+            &prev.rows,
+            touched_rows,
+            renum_rows,
+            true,
+            t.width() as i32,
+        );
+        let cols = pack(
+            &index.col_off,
+            &index.cols,
+            &prev.cols,
+            touched_cols,
+            renum_cols,
+            false,
+            t.height() as i32,
+        );
+        let width = (index.col_off.len() - 1) as u32;
+        let height = (index.row_off.len() - 1) as u32;
+        let have_next = width < u32::from(u16::MAX)
+            && height < u32::from(u16::MAX)
+            && u64::from(width) * u64::from(height) <= NEXT_CELL_CAP;
+        let mut next = Vec::new();
+        let mut next_base = [0u32; 4];
+        if have_next {
+            let block = width as usize * height as usize;
+            next = vec![0u64; 4 * block];
+            next_base = [0, block as u32, 2 * block as u32, 3 * block as u32];
+            let (ew, ns) = next.split_at_mut(2 * block);
+            let (east, west) = ew.split_at_mut(block);
+            let (north, south) = ns.split_at_mut(block);
+            let patch_block = |lines: &[(u32, u32)],
+                               prev_lines: &[(u32, u32)],
+                               touched: &[bool],
+                               prev_fwd_base: usize,
+                               prev_bwd_base: usize,
+                               extent: i32,
+                               fwd: &mut [u64],
+                               bwd: &mut [u64]| {
+                let e = extent as usize;
+                let prev_next = prev.next.as_slice();
+                for (li, &(start, len)) in lines.iter().enumerate() {
+                    let o = li * e;
+                    if touched[li] || !prev.have_next {
+                        let line = &keys[start as usize..(start + len) as usize];
+                        sweep_line(
+                            line,
+                            start,
+                            extent,
+                            torus,
+                            &mut fwd[o..o + e],
+                            &mut bwd[o..o + e],
+                        );
+                    } else {
+                        // The previous entries with the hit-word index
+                        // shifted to the line's new start.
+                        let shift = (i64::from(start) - i64::from(prev_lines[li].0)) << 16;
+                        for v in 0..e {
+                            let f = prev_next[prev_fwd_base + o + v];
+                            fwd[o + v] = if f == NEXT_NONE {
+                                f
+                            } else {
+                                (f as i64 + shift) as u64
+                            };
+                            let b = prev_next[prev_bwd_base + o + v];
+                            bwd[o + v] = if b == NEXT_NONE {
+                                b
+                            } else {
+                                (b as i64 + shift) as u64
+                            };
+                        }
+                    }
+                }
+            };
+            patch_block(
+                &rows,
+                &prev.rows,
+                touched_rows,
+                prev.next_base[0] as usize,
+                prev.next_base[1] as usize,
+                t.width() as i32,
+                east,
+                west,
+            );
+            patch_block(
+                &cols,
+                &prev.cols,
+                touched_cols,
+                prev.next_base[2] as usize,
+                prev.next_base[3] as usize,
+                t.height() as i32,
+                north,
+                south,
+            );
+        }
+        Self {
+            rows,
+            cols,
+            next: AlignedArena::from_slice(&next),
+            next_base,
+            keys: AlignedArena::from_slice(&keys),
+            hits: AlignedArena::from_slice(&hits),
+            have_next,
+        }
+    }
+
+    /// Feeds every arena (including the next-blocked tables) into the
+    /// router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        for &(s, l) in self.rows.iter().chain(self.cols.iter()) {
+            h.u64((u64::from(s) << 32) | u64::from(l));
+        }
+        h.u64(self.keys.as_slice().len() as u64);
+        for &k in self.keys.as_slice() {
+            h.u64(u64::from(k as u32));
+        }
+        h.u64s(self.hits.as_slice());
+        h.u64s(self.next.as_slice());
+        h.u32s(&self.next_base);
+        h.u64(u64::from(self.have_next));
     }
 
     /// Whether the next-blocked tables exist (see [`Self::next`]).
@@ -376,7 +676,7 @@ pub(crate) struct WideRings {
 
 impl WideRings {
     /// Packs every compact cycle ring of `rings`.
-    pub fn build(rings: &[RingIndex]) -> Self {
+    pub fn build(rings: &[Arc<RingIndex>]) -> Self {
         let mut words: Vec<u64> = Vec::new();
         let append = |words: &mut Vec<u64>, c: &CandidateColumns| -> (u32, u32) {
             let start = words.len() as u32;
@@ -415,6 +715,17 @@ impl WideRings {
     #[inline(always)]
     pub fn words(&self) -> &[u64] {
         self.words.as_slice()
+    }
+
+    /// Feeds the directory and word arena into the router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        h.u64(self.meta.len() as u64);
+        for m in &self.meta {
+            h.u64((u64::from(m.static_start) << 32) | u64::from(m.static_len));
+            h.u64((u64::from(m.cols_start) << 32) | u64::from(m.rows_start));
+            h.u64(u64::from(m.packed));
+        }
+        h.u64s(self.words.as_slice());
     }
 
     /// Calls `f` on every packed word range holding a candidate the exit
@@ -514,96 +825,199 @@ pub(crate) struct ExitDirectory {
     table: Vec<u64>,
 }
 
+/// Builds one ring's directory entry and its four side tables, with side
+/// offsets relative to the returned table segment (the caller rebases
+/// them by the segment's position in the shared table).
+fn ring_exit_tables(
+    t: Topology,
+    cells: &[Coord],
+    index: &RingIndex,
+    meta: &WideRingMeta,
+    words: &[u64],
+) -> (ExitDirMeta, Vec<u64>) {
+    let (w, h) = (t.width() as i32, t.height() as i32);
+    let (mut minx, mut maxx, mut miny, mut maxy) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+    for c in cells {
+        minx = minx.min(c.x);
+        maxx = maxx.max(c.x);
+        miny = miny.min(c.y);
+        maxy = maxy.max(c.y);
+    }
+    let encode = |dst: Coord| -> u64 {
+        match crate::wide::exit_scan(t, index, meta, words, dst) {
+            None => NO_EXIT_WORD,
+            Some(pos) => {
+                let c = cells[pos as usize];
+                (c.x as u64) | ((c.y as u64) << 15) | (u64::from(pos) << 32)
+            }
+        }
+    };
+    let mut seg: Vec<u64> = Vec::new();
+    let mut side = |rep: Option<Coord>, by_y: bool| -> u32 {
+        let start = seg.len() as u32;
+        if let Some(rep) = rep {
+            if by_y {
+                seg.extend((0..h).map(|y| encode(Coord::new(rep.x, y))));
+            } else {
+                seg.extend((0..w).map(|x| encode(Coord::new(x, rep.y))));
+            }
+        }
+        start
+    };
+    let east = side((maxx + 1 < w).then(|| Coord::new(maxx + 1, 0)), true);
+    let west = side((minx > 0).then(|| Coord::new(minx - 1, 0)), true);
+    let north = side((maxy + 1 < h).then(|| Coord::new(0, maxy + 1)), false);
+    let south = side((miny > 0).then(|| Coord::new(0, miny - 1)), false);
+    (
+        ExitDirMeta {
+            minx,
+            maxx,
+            miny,
+            maxy,
+            east,
+            west,
+            north,
+            south,
+            ring_len: cells.len() as u32,
+            valid: true,
+        },
+        seg,
+    )
+}
+
+/// Length of the table segment a valid entry owns: its four side tables
+/// sit contiguously starting at `meta.east`.
+fn segment_len(m: &ExitDirMeta, w: i32, h: i32) -> usize {
+    (usize::from(m.maxx + 1 < w) + usize::from(m.minx > 0)) * h as usize
+        + (usize::from(m.maxy + 1 < h) + usize::from(m.miny > 0)) * w as usize
+}
+
+/// Shifts an entry's side offsets to the segment's absolute base.
+fn rebase(mut m: ExitDirMeta, base: u32) -> ExitDirMeta {
+    m.east += base;
+    m.west += base;
+    m.north += base;
+    m.south += base;
+    m
+}
+
 impl ExitDirectory {
-    /// Builds the directory for every cycle ring of a mesh snapshot.
+    /// Whether the directory covers this topology at all (mesh with
+    /// packable coordinates — larger extents would not fit the table
+    /// word, and tori wrap so no half-plane is ever strict).
+    fn covers(t: Topology) -> bool {
+        t.kind() == TopologyKind::Mesh && t.width() <= 0x7FFF && t.height() <= 0x7FFF
+    }
+
+    /// Builds the directory for every cycle ring of a mesh snapshot. The
+    /// per-ring side scans are banded over `threads` scoped workers and
+    /// concatenated in ring order, so output is identical for every
+    /// thread count.
     pub fn build(
         t: Topology,
         fault_rings: &[crate::fault_ring::FaultRing],
-        indexes: &[RingIndex],
+        indexes: &[Arc<RingIndex>],
         wide: &WideRings,
+        threads: usize,
     ) -> Self {
         let mut dir = Self {
             meta: vec![ExitDirMeta::default(); indexes.len()],
             table: Vec::new(),
         };
-        if t.kind() == TopologyKind::Torus {
-            return dir;
-        }
-        let (w, h) = (t.width() as i32, t.height() as i32);
-        if w > 0x7FFF || h > 0x7FFF {
-            // Coordinates would not fit the packed table word; such
-            // meshes always take the scan fallback.
+        if !Self::covers(t) {
             return dir;
         }
         let words = wide.words();
-        for (r, ring) in fault_rings.iter().enumerate() {
-            let RingShape::Cycle(cells) = &ring.shape else {
-                continue;
+        let per_ring = crate::incremental::par_map(fault_rings.len(), threads, |r| {
+            let RingShape::Cycle(cells) = &fault_rings[r].shape else {
+                return None;
             };
             if indexes[r].is_empty() {
-                continue;
+                return None;
             }
-            let (mut minx, mut maxx, mut miny, mut maxy) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
-            for c in cells {
-                minx = minx.min(c.x);
-                maxx = maxx.max(c.x);
-                miny = miny.min(c.y);
-                maxy = maxy.max(c.y);
+            Some(ring_exit_tables(
+                t,
+                cells,
+                &indexes[r],
+                &wide.meta[r],
+                words,
+            ))
+        });
+        for (r, item) in per_ring.into_iter().enumerate() {
+            if let Some((meta, seg)) = item {
+                let base = dir.table.len() as u32;
+                dir.meta[r] = rebase(meta, base);
+                dir.table.extend(seg);
             }
-            let encode = |dst: Coord| -> u64 {
-                match crate::wide::exit_scan(t, &indexes[r], &wide.meta[r], words, dst) {
-                    None => NO_EXIT_WORD,
-                    Some(pos) => {
-                        let c = cells[pos as usize];
-                        (c.x as u64) | ((c.y as u64) << 15) | (u64::from(pos) << 32)
-                    }
-                }
-            };
-            let side = |table: &mut Vec<u64>, rep: Option<Coord>, by_y: bool| -> u32 {
-                let start = table.len() as u32;
-                if let Some(rep) = rep {
-                    if by_y {
-                        table.extend((0..h).map(|y| encode(Coord::new(rep.x, y))));
-                    } else {
-                        table.extend((0..w).map(|x| encode(Coord::new(x, rep.y))));
-                    }
-                }
-                start
-            };
-            let east = side(
-                &mut dir.table,
-                (maxx + 1 < w).then(|| Coord::new(maxx + 1, 0)),
-                true,
-            );
-            let west = side(
-                &mut dir.table,
-                (minx > 0).then(|| Coord::new(minx - 1, 0)),
-                true,
-            );
-            let north = side(
-                &mut dir.table,
-                (maxy + 1 < h).then(|| Coord::new(0, maxy + 1)),
-                false,
-            );
-            let south = side(
-                &mut dir.table,
-                (miny > 0).then(|| Coord::new(0, miny - 1)),
-                false,
-            );
-            dir.meta[r] = ExitDirMeta {
-                minx,
-                maxx,
-                miny,
-                maxy,
-                east,
-                west,
-                north,
-                south,
-                ring_len: cells.len() as u32,
-                valid: true,
-            };
         }
         dir
+    }
+
+    /// Incremental rebuild: a ring matched to a previous ring with the
+    /// same cell set copies its table segment verbatim (entries depend
+    /// only on ring content — `exit_scan` sees the same candidates and
+    /// cycle positions) with the side offsets rebased to the segment's
+    /// new position; unmatched rings scan fresh. Byte-identical to
+    /// [`Self::build`].
+    pub fn patch(
+        prev: &Self,
+        t: Topology,
+        fault_rings: &[crate::fault_ring::FaultRing],
+        indexes: &[Arc<RingIndex>],
+        wide: &WideRings,
+        matched: &[Option<usize>],
+    ) -> Self {
+        let mut dir = Self {
+            meta: vec![ExitDirMeta::default(); indexes.len()],
+            table: Vec::new(),
+        };
+        if !Self::covers(t) {
+            return dir;
+        }
+        let (w, h) = (t.width() as i32, t.height() as i32);
+        let words = wide.words();
+        for (r, ring) in fault_rings.iter().enumerate() {
+            if let Some(pm) = matched[r].map(|j| prev.meta[j]).filter(|pm| pm.valid) {
+                let base = dir.table.len() as u32;
+                let start = pm.east as usize;
+                dir.table
+                    .extend_from_slice(&prev.table[start..start + segment_len(&pm, w, h)]);
+                // Rebase from the old segment base to the new one.
+                let delta = base.wrapping_sub(pm.east);
+                dir.meta[r] = ExitDirMeta {
+                    east: pm.east.wrapping_add(delta),
+                    west: pm.west.wrapping_add(delta),
+                    north: pm.north.wrapping_add(delta),
+                    south: pm.south.wrapping_add(delta),
+                    ..pm
+                };
+            } else if matched[r].is_none() {
+                let RingShape::Cycle(cells) = &ring.shape else {
+                    continue;
+                };
+                if indexes[r].is_empty() {
+                    continue;
+                }
+                let base = dir.table.len() as u32;
+                let (meta, seg) = ring_exit_tables(t, cells, &indexes[r], &wide.meta[r], words);
+                dir.meta[r] = rebase(meta, base);
+                dir.table.extend(seg);
+            }
+        }
+        dir
+    }
+
+    /// Feeds the directory and table into the router digest.
+    pub fn digest(&self, h: &mut Fnv) {
+        h.u64(self.meta.len() as u64);
+        for m in &self.meta {
+            h.coord(Coord::new(m.minx, m.miny));
+            h.coord(Coord::new(m.maxx, m.maxy));
+            h.u64((u64::from(m.east) << 32) | u64::from(m.west));
+            h.u64((u64::from(m.north) << 32) | u64::from(m.south));
+            h.u64((u64::from(m.ring_len) << 32) | u64::from(m.valid));
+        }
+        h.u64s(&self.table);
     }
 
     /// The precomputed exit of ring `region` for `dst` as `(packed exit

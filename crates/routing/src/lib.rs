@@ -28,6 +28,13 @@
 //!   SoA repacks of the index tables and lockstep branch-free lane
 //!   kernels that move 4–8 queries through the index together,
 //!   byte-identical to the scalar path.
+//! * [`incremental`] — delta-driven epoch builds: `rebuild_from` patches
+//!   the previous epoch's tables (untouched CSR/wide lines copied,
+//!   unchanged ring indexes `Arc`-shared, matched exit-directory
+//!   segments memcpy'd) instead of rebuilding from scratch, and the cold
+//!   path itself is banded over scoped threads — both byte-identical to
+//!   a single-threaded cold `FaultTolerantRouter::new`, pinned by
+//!   `table_digest` equivalence suites.
 //! * [`oracle`] — BFS shortest paths over enabled nodes: ground truth for
 //!   reachability and minimal hop counts.
 //! * [`cdg`] — empirical channel-dependency-graph analysis: collect the
@@ -58,6 +65,7 @@ pub mod cdg;
 pub mod deadlock;
 pub mod disjoint;
 pub mod fault_ring;
+pub mod incremental;
 pub mod index;
 mod layout;
 pub mod metrics;
@@ -73,6 +81,7 @@ pub use adaptive::adaptive_minimal_route;
 pub use deadlock::{DeadlockProof, DetourVcModel};
 pub use disjoint::DisjointRoutes;
 pub use fault_ring::{build_rings, FaultRing, RingShape};
+pub use incremental::BuildBreakdown;
 pub use index::RouteScratch;
 pub use metrics::{compare_models, ModelComparison};
 pub use minimal::{minimal_routability, minimal_route};

@@ -10,7 +10,7 @@
 //! is what guarantees such an exit exists and the traversal never has to
 //! enter the region's row/column "pockets".
 
-use crate::fault_ring::{build_rings, FaultRing};
+use crate::fault_ring::FaultRing;
 use crate::index::{CandidateColumns, RouteIndex, RouteScratch};
 use crate::path::{EnabledMap, Path, RoutingError};
 use crate::xy::{preferred_direction, wrap_delta};
@@ -28,10 +28,12 @@ thread_local! {
 
 /// A router instance bound to one labeled machine state.
 ///
-/// Cloning is a deep copy of the labeled view (enabled map, rings, region
-/// index) and is how `ocp-serve` shares a router per epoch snapshot; the
-/// router itself is immutable after construction, so a clone — or an
-/// `Arc`-shared instance — answers queries from any number of threads.
+/// Cloning copies the labeled view (enabled map, rings, region index) and
+/// is how `ocp-serve` shares a router per epoch snapshot; per-ring query
+/// indexes are `Arc`-held and shared between clones (and between
+/// incremental epochs, see [`crate::incremental`]). The router is
+/// immutable after construction, so a clone — or an `Arc`-shared
+/// instance — answers queries from any number of threads.
 ///
 /// Construction also builds the query indexes (segment-jump tables and
 /// per-ring exit-candidate indexes, see [`crate::index`]) so that per-query
@@ -46,9 +48,9 @@ pub struct FaultTolerantRouter {
     pub(crate) enabled: EnabledMap,
     pub(crate) rings: Vec<FaultRing>,
     /// For each node: index of the ring group containing it, if disabled.
-    region_of: Grid<Option<usize>>,
+    pub(crate) region_of: Grid<Option<usize>>,
     /// Ring groups: fault regions merged when diagonally adjacent.
-    groups: Vec<Region>,
+    pub(crate) groups: Vec<Region>,
     /// Precomputed query indexes (built once per router).
     pub(crate) index: RouteIndex,
 }
@@ -178,13 +180,40 @@ fn topo_chebyshev(t: Topology, a: Coord, b: Coord) -> u32 {
     }
 }
 
+/// Lower bound on the Chebyshev gap between two coordinate intervals
+/// along one axis (wraparound-aware). Zero when they overlap.
+fn axis_gap(a0: i32, a1: i32, b0: i32, b1: i32, extent: i32, torus: bool) -> i32 {
+    if b0 <= a1 && a0 <= b1 {
+        return 0;
+    }
+    if torus {
+        // Cyclic gap in either direction around the ring of coordinates.
+        (b0 - a1)
+            .rem_euclid(extent)
+            .min((a0 - b1).rem_euclid(extent))
+    } else if b0 > a1 {
+        b0 - a1
+    } else {
+        a0 - b1
+    }
+}
+
 /// Merges fault regions that touch (Chebyshev distance ≤ 1) into ring
 /// groups. Regions two apart in Manhattan distance can still be diagonal
 /// neighbors, in which case their fault rings would interleave; merging is
 /// the standard fix (extended fault regions).
+///
+/// A bounding-box prefilter skips cell-pair scans for region pairs whose
+/// boxes are provably more than one apart on some axis — the per-axis
+/// interval gap lower-bounds every pairwise Chebyshev distance, so the
+/// filter never separates touching regions and the output is identical to
+/// the unfiltered scan.
 #[allow(clippy::needless_range_loop)]
-fn merge_touching(t: Topology, regions: &[Region]) -> Vec<Region> {
+pub(crate) fn merge_touching(t: Topology, regions: &[Region]) -> Vec<Region> {
     let n = regions.len();
+    let torus = t.kind() == ocp_mesh::TopologyKind::Torus;
+    let (w, h) = (t.width() as i32, t.height() as i32);
+    let boxes: Vec<Option<ocp_geometry::Rect>> = regions.iter().map(Region::bbox).collect();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
         if parent[i] != i {
@@ -195,6 +224,14 @@ fn merge_touching(t: Topology, regions: &[Region]) -> Vec<Region> {
     }
     for i in 0..n {
         for j in i + 1..n {
+            let (Some(bi), Some(bj)) = (&boxes[i], &boxes[j]) else {
+                continue;
+            };
+            let gx = axis_gap(bi.min.x, bi.max.x, bj.min.x, bj.max.x, w, torus);
+            let gy = axis_gap(bi.min.y, bi.max.y, bj.min.y, bj.max.y, h, torus);
+            if gx.max(gy) > 1 {
+                continue;
+            }
             let touching = regions[i]
                 .iter()
                 .any(|a| regions[j].iter().any(|b| topo_chebyshev(t, a, b) <= 1));
@@ -225,27 +262,47 @@ impl FaultTolerantRouter {
     /// Panics if a region cell is enabled, or region grids mismatch the
     /// topology.
     pub fn new(enabled: EnabledMap, regions: &[Region]) -> Self {
-        let topology = enabled.topology();
-        let groups = merge_touching(topology, regions);
-        let mut region_of = Grid::filled(topology, None);
-        for (i, group) in groups.iter().enumerate() {
-            for cell in group.iter() {
-                assert!(
-                    !enabled.is_enabled(cell),
-                    "fault-region cell {cell} is enabled"
-                );
-                region_of.set(cell, Some(i));
-            }
-        }
-        let rings = build_rings(&enabled, &groups);
-        let index = RouteIndex::build(&enabled, &rings, &region_of);
-        Self {
-            enabled,
-            rings,
-            region_of,
-            groups,
-            index,
-        }
+        crate::incremental::build_cold(enabled, regions, 1).0
+    }
+
+    /// [`new`](Self::new) with the cold-build pipeline banded over
+    /// `threads` scoped workers, returning the per-phase
+    /// [`BuildBreakdown`](crate::BuildBreakdown) alongside. Output is
+    /// byte-identical for every thread count.
+    pub fn new_with_threads(
+        enabled: EnabledMap,
+        regions: &[Region],
+        threads: usize,
+    ) -> (Self, crate::BuildBreakdown) {
+        crate::incremental::build_cold(enabled, regions, threads)
+    }
+
+    /// Rebuilds a router for the epoch `(enabled, regions)` by patching
+    /// `prev`'s tables instead of constructing from scratch: untouched
+    /// segment/wide lines copy their slabs, unchanged rings `Arc`-share
+    /// their indexes, and matched exit-directory segments are copied (see
+    /// [`crate::incremental`]). The result is byte-identical to
+    /// `Self::new(enabled, regions)` — pinned by
+    /// [`table_digest`](Self::table_digest) equivalence suites — so
+    /// callers may use it wherever a cold build is correct.
+    ///
+    /// # Panics
+    /// Panics if `prev` was built for a different topology, or on the
+    /// same region-grid violations as [`new`](Self::new).
+    pub fn rebuild_from(
+        prev: &Self,
+        enabled: EnabledMap,
+        regions: &[Region],
+    ) -> (Self, crate::BuildBreakdown) {
+        crate::incremental::rebuild(prev, enabled, regions)
+    }
+
+    /// FNV-1a digest of every routing table and grid this router answers
+    /// queries from. Two routers with equal digests are byte-identical
+    /// for routing purposes; the incremental-vs-cold equivalence suites
+    /// pin on it.
+    pub fn table_digest(&self) -> u64 {
+        crate::incremental::digest(self)
     }
 
     /// The merged ring groups the router navigates around.

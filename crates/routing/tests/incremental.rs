@@ -1,0 +1,191 @@
+//! Incremental ≡ cold equivalence of the delta-driven epoch build.
+//!
+//! `FaultTolerantRouter::rebuild_from` must produce a router whose every
+//! table is byte-identical to a cold `FaultTolerantRouter::new` of the
+//! same labeled machine — pinned here by `table_digest` equality across
+//! scripted and randomized fault/repair churn sequences, on meshes and
+//! tori, chaining warm rebuilds epoch over epoch (so copy-then-patch
+//! errors compound instead of washing out). Spot route checks confirm the
+//! digest is standing in for real query behavior.
+
+use ocp_core::prelude::*;
+use ocp_geometry::Region;
+use ocp_mesh::{Coord, Topology, TopologyKind};
+use ocp_routing::{EnabledMap, FaultTolerantRouter};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn c(x: i32, y: i32) -> Coord {
+    Coord::new(x, y)
+}
+
+/// `(enabled, regions)` of the pipeline-labeled machine for a fault set.
+fn labeled(t: Topology, faults: &BTreeSet<Coord>) -> (EnabledMap, Vec<Region>) {
+    let map = FaultMap::new(t, faults.iter().copied());
+    let out = run_pipeline(&map, &PipelineConfig::default());
+    let enabled = EnabledMap::from_outcome(&out);
+    let regions = out.regions.iter().map(|r| r.cells.clone()).collect();
+    (enabled, regions)
+}
+
+/// Runs a churn sequence: epoch 0 is a cold build, every later epoch is a
+/// warm `rebuild_from` of the previous *warm* router, checked
+/// digest-identical to an independent cold build of the same machine.
+/// Returns the final warm router.
+fn check_churn(t: Topology, epochs: &[BTreeSet<Coord>]) -> FaultTolerantRouter {
+    let (e0, r0) = labeled(t, &epochs[0]);
+    let mut warm = FaultTolerantRouter::new(e0, &r0);
+    for (i, faults) in epochs.iter().enumerate().skip(1) {
+        let (enabled, regions) = labeled(t, faults);
+        let (next, stats) = FaultTolerantRouter::rebuild_from(&warm, enabled.clone(), &regions);
+        let cold = FaultTolerantRouter::new(enabled, &regions);
+        assert_eq!(
+            next.table_digest(),
+            cold.table_digest(),
+            "epoch {i} warm rebuild diverged from cold (faults {faults:?})"
+        );
+        assert!(stats.incremental, "epoch {i} must report incremental");
+        assert!(
+            stats.phase_ns() <= stats.total_ns,
+            "epoch {i} phase accounting"
+        );
+        warm = next;
+    }
+    warm
+}
+
+/// Routes a handful of deterministic pairs on the warm router and a cold
+/// rebuild of the same machine and compares outcomes — the digest's claim
+/// made concrete at the query level.
+fn spot_check_routes(warm: &FaultTolerantRouter, seed: u64) {
+    let (enabled, regions) = (warm.enabled().clone(), warm.groups().to_vec());
+    let cold = FaultTolerantRouter::new(enabled, &regions);
+    let nodes = warm.enabled().enabled_coords();
+    if nodes.is_empty() {
+        return;
+    }
+    let pick = |k: u64| nodes[(seed.wrapping_mul(k + 1) % nodes.len() as u64) as usize];
+    for k in 0..16u64 {
+        let (src, dst) = (pick(2 * k), pick(2 * k + 1));
+        assert_eq!(
+            warm.route(src, dst),
+            cold.route(src, dst),
+            "route {src}->{dst}"
+        );
+        assert_eq!(
+            warm.route_len(src, dst),
+            cold.route_len(src, dst),
+            "route_len {src}->{dst}"
+        );
+    }
+}
+
+/// Scripted mesh churn covering the reuse-analysis edge cases: grow a
+/// region (touched lines), add an isolated fault far away (ring reuse),
+/// merge two regions diagonally (group identity changes), repair cells
+/// (regions shrink and vanish), and drain back to fault-free.
+#[test]
+fn scripted_mesh_churn_stays_digest_identical() {
+    let t = Topology::mesh(16, 16);
+    let epochs: Vec<BTreeSet<Coord>> = vec![
+        [c(4, 4), c(10, 11)].into(),
+        [c(4, 4), c(4, 5), c(10, 11)].into(),
+        [c(4, 4), c(4, 5), c(10, 11), c(13, 2)].into(),
+        // Diagonal contact: (5, 6) bridges the (4, 4) group toward (6, 7).
+        [c(4, 4), c(4, 5), c(5, 6), c(6, 7), c(10, 11), c(13, 2)].into(),
+        // Repair the bridge; the merged group splits again.
+        [c(4, 4), c(4, 5), c(6, 7), c(10, 11), c(13, 2)].into(),
+        [c(10, 11)].into(),
+        BTreeSet::new(),
+        [c(0, 0), c(15, 15)].into(),
+    ];
+    let warm = check_churn(t, &epochs);
+    spot_check_routes(&warm, 0x9E37_79B9_7F4A_7C15);
+}
+
+/// Scripted torus churn: seam-hugging regions exercise the wraparound
+/// prefilter, wrap-aware halos, and the no-exit-directory path.
+#[test]
+fn scripted_torus_churn_stays_digest_identical() {
+    let t = Topology::torus(14, 12);
+    let epochs: Vec<BTreeSet<Coord>> = vec![
+        [c(0, 0), c(13, 11)].into(),
+        [c(0, 0), c(13, 11), c(6, 5)].into(),
+        [c(0, 0), c(13, 0), c(13, 11), c(6, 5)].into(),
+        [c(13, 11), c(6, 5), c(6, 6), c(7, 5)].into(),
+        [c(6, 5), c(6, 6), c(7, 5)].into(),
+        BTreeSet::new(),
+    ];
+    let warm = check_churn(t, &epochs);
+    spot_check_routes(&warm, 0xC2B2_AE3D_27D4_EB4F);
+}
+
+/// A fault-free previous epoch has nothing to reuse; the rebuild must
+/// still be exact (everything is "touched" from the group diff side).
+#[test]
+fn rebuild_from_fault_free_previous_epoch() {
+    let t = Topology::mesh(10, 10);
+    let (e0, r0) = labeled(t, &BTreeSet::new());
+    let prev = FaultTolerantRouter::new(e0, &r0);
+    let faults: BTreeSet<Coord> = [c(3, 3), c(3, 4), c(7, 7)].into();
+    let (e1, r1) = labeled(t, &faults);
+    let (warm, _) = FaultTolerantRouter::rebuild_from(&prev, e1.clone(), &r1);
+    let cold = FaultTolerantRouter::new(e1, &r1);
+    assert_eq!(warm.table_digest(), cold.table_digest());
+}
+
+/// Random churn: an initial fault set plus a sequence of toggle batches
+/// (a toggled cell flips between faulty and repaired), applied
+/// cumulatively.
+fn churn_pattern() -> impl Strategy<Value = (u32, Vec<Coord>, Vec<Vec<Coord>>, u64)> {
+    (8u32..=16).prop_flat_map(|side| {
+        let cell = move || (0..side as i32, 0..side as i32).prop_map(|(x, y)| Coord::new(x, y));
+        let initial = proptest::collection::btree_set(cell(), 0..10)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+        let batches = proptest::collection::vec(proptest::collection::vec(cell(), 0..6), 1..5);
+        (Just(side), initial, batches, any::<u64>())
+    })
+}
+
+fn check_random_churn(
+    kind: TopologyKind,
+    side: u32,
+    initial: Vec<Coord>,
+    batches: Vec<Vec<Coord>>,
+    seed: u64,
+) {
+    let t = Topology::new(kind, side, side);
+    let mut faults: BTreeSet<Coord> = initial.into_iter().collect();
+    let mut epochs = vec![faults.clone()];
+    for batch in batches {
+        for cell in batch {
+            if !faults.remove(&cell) {
+                faults.insert(cell);
+            }
+        }
+        epochs.push(faults.clone());
+    }
+    let warm = check_churn(t, &epochs);
+    spot_check_routes(&warm, seed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Warm chains == cold on random mesh churn (boundary chains,
+    /// merges, and repairs included).
+    #[test]
+    fn random_mesh_churn_matches_cold(
+        (side, initial, batches, seed) in churn_pattern()
+    ) {
+        check_random_churn(TopologyKind::Mesh, side, initial, batches, seed);
+    }
+
+    /// Warm chains == cold on random torus churn (seam wraps included).
+    #[test]
+    fn random_torus_churn_matches_cold(
+        (side, initial, batches, seed) in churn_pattern()
+    ) {
+        check_random_churn(TopologyKind::Torus, side, initial, batches, seed);
+    }
+}

@@ -125,6 +125,22 @@ pub struct Metrics {
     pub wal_append_ns: LatencyHistogram,
     /// WAL fsync time, nanoseconds — the dominant durability cost.
     pub wal_fsync_ns: LatencyHistogram,
+    /// Router/index build time of published snapshots, segment-CSR phase,
+    /// nanoseconds (one sample per publish, warm and cold alike).
+    pub index_build_segment_ns: LatencyHistogram,
+    /// Build time, ring construction + per-ring index phase, nanoseconds.
+    pub index_build_ring_ns: LatencyHistogram,
+    /// Build time, wide SoA table phase, nanoseconds.
+    pub index_build_wide_ns: LatencyHistogram,
+    /// Build time, exit-directory phase, nanoseconds.
+    pub index_build_exit_ns: LatencyHistogram,
+    /// Whole router/index build wall clock, nanoseconds (≥ the sum of the
+    /// phases; the remainder is region merge + grid assembly).
+    pub index_build_total_ns: LatencyHistogram,
+    /// Reuse ratio of the most recently published build (`f64` bits):
+    /// fraction of rings, rows, and columns carried over from the
+    /// previous epoch's tables. Zero for cold builds.
+    pub index_reuse_ratio_bits: AtomicU64,
 }
 
 impl Metrics {
@@ -135,6 +151,22 @@ impl Metrics {
         self.staleness_max
             .fetch_max(epochs_behind, Ordering::Relaxed);
         self.staleness_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one published snapshot's router/index build breakdown.
+    pub fn record_index_build(&self, b: &ocp_routing::BuildBreakdown) {
+        self.index_build_segment_ns.record(b.segment_ns);
+        self.index_build_ring_ns.record(b.ring_ns);
+        self.index_build_wide_ns.record(b.wide_ns);
+        self.index_build_exit_ns.record(b.exit_ns);
+        self.index_build_total_ns.record(b.total_ns);
+        self.index_reuse_ratio_bits
+            .store(b.reuse_ratio().to_bits(), Ordering::Relaxed);
+    }
+
+    /// The latest published build's reuse ratio.
+    pub fn index_reuse_ratio(&self) -> f64 {
+        f64::from_bits(self.index_reuse_ratio_bits.load(Ordering::Relaxed))
     }
 }
 
@@ -202,6 +234,21 @@ pub struct StatsReport {
     pub wal_append_ns: Percentiles,
     /// WAL fsync-time percentiles, nanoseconds.
     pub wal_fsync_ns: Percentiles,
+    /// Router/index build-time percentiles per phase, nanoseconds, one
+    /// sample per published snapshot (warm and cold): segment CSR, ring
+    /// indexes, wide tables, exit directory, and whole-build wall clock.
+    pub index_build_segment_ns: Percentiles,
+    /// Ring-phase build percentiles, nanoseconds.
+    pub index_build_ring_ns: Percentiles,
+    /// Wide-table-phase build percentiles, nanoseconds.
+    pub index_build_wide_ns: Percentiles,
+    /// Exit-directory-phase build percentiles, nanoseconds.
+    pub index_build_exit_ns: Percentiles,
+    /// Whole-build wall-clock percentiles, nanoseconds.
+    pub index_build_total_ns: Percentiles,
+    /// Fraction of rings/rows/columns the most recently published build
+    /// reused from the previous epoch (zero for cold builds).
+    pub index_reuse_ratio: f64,
 }
 
 impl StatsReport {
@@ -426,6 +473,48 @@ pub fn prometheus_text(stats: &StatsReport) -> String {
     );
     let _ = writeln!(out, "# TYPE ocp_serve_wal_fsync_ns summary");
     render_summary(&mut out, "ocp_serve_wal_fsync_ns", "", &stats.wal_fsync_ns);
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_index_build_seconds Router/index build time per phase, seconds \
+         (one sample per published snapshot)."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_index_build_seconds summary");
+    for (phase, p) in [
+        ("segment", &stats.index_build_segment_ns),
+        ("ring", &stats.index_build_ring_ns),
+        ("wide", &stats.index_build_wide_ns),
+        ("exit", &stats.index_build_exit_ns),
+        ("total", &stats.index_build_total_ns),
+    ] {
+        // Histograms record nanoseconds; the exported unit is seconds.
+        let scaled = Percentiles {
+            n: p.n,
+            p50: p.p50 / 1e9,
+            p90: p.p90 / 1e9,
+            p95: p.p95 / 1e9,
+            p99: p.p99 / 1e9,
+            max: p.max / 1e9,
+        };
+        render_summary(
+            &mut out,
+            "ocp_serve_index_build_seconds",
+            &format!("phase=\"{phase}\""),
+            &scaled,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ocp_serve_index_reuse_ratio Fraction of rings/rows/columns the latest \
+         published build reused from the previous epoch."
+    );
+    let _ = writeln!(out, "# TYPE ocp_serve_index_reuse_ratio gauge");
+    let _ = writeln!(
+        out,
+        "ocp_serve_index_reuse_ratio {}",
+        stats.index_reuse_ratio
+    );
     out
 }
 
@@ -571,11 +660,43 @@ mod tests {
             publishes_overloaded: 0,
             wal_append_ns: Percentiles::of(&[300.0]),
             wal_fsync_ns: Percentiles::of(&[9000.0]),
+            index_build_segment_ns: Percentiles::of(&[10_000.0]),
+            index_build_ring_ns: Percentiles::of(&[20_000.0]),
+            index_build_wide_ns: Percentiles::of(&[30_000.0]),
+            index_build_exit_ns: Percentiles::of(&[40_000.0]),
+            index_build_total_ns: Percentiles::of(&[120_000.0]),
+            index_reuse_ratio: 0.75,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
         assert_eq!(r.reads_served(), 54);
+    }
+
+    #[test]
+    fn index_build_recording_tracks_phases_and_reuse() {
+        let m = Metrics::default();
+        assert_eq!(m.index_reuse_ratio(), 0.0);
+        let b = ocp_routing::BuildBreakdown {
+            segment_ns: 1_000,
+            ring_ns: 2_000,
+            wide_ns: 3_000,
+            exit_ns: 4_000,
+            total_ns: 11_000,
+            rings_total: 4,
+            rings_reused: 3,
+            rows_total: 16,
+            rows_reused: 12,
+            cols_total: 16,
+            cols_reused: 12,
+            incremental: true,
+            threads: 1,
+        };
+        m.record_index_build(&b);
+        assert_eq!(m.index_build_segment_ns.count(), 1);
+        assert_eq!(m.index_build_total_ns.count(), 1);
+        assert_eq!(m.index_reuse_ratio(), b.reuse_ratio());
+        assert!(m.index_reuse_ratio() > 0.7);
     }
 
     #[test]
@@ -585,6 +706,21 @@ mod tests {
         m.route.record_error();
         m.epoch_publish_lag.record(5000);
         m.wal_append_ns.record(300);
+        m.record_index_build(&ocp_routing::BuildBreakdown {
+            segment_ns: 1_000,
+            ring_ns: 2_000,
+            wide_ns: 3_000,
+            exit_ns: 4_000,
+            total_ns: 11_000,
+            rings_total: 2,
+            rings_reused: 1,
+            rows_total: 8,
+            rows_reused: 4,
+            cols_total: 8,
+            cols_reused: 4,
+            incremental: true,
+            threads: 1,
+        });
         let r = StatsReport {
             epoch: 2,
             epochs_published: 2,
@@ -608,6 +744,12 @@ mod tests {
             publishes_overloaded: 1,
             wal_append_ns: m.wal_append_ns.percentiles(),
             wal_fsync_ns: m.wal_fsync_ns.percentiles(),
+            index_build_segment_ns: m.index_build_segment_ns.percentiles(),
+            index_build_ring_ns: m.index_build_ring_ns.percentiles(),
+            index_build_wide_ns: m.index_build_wide_ns.percentiles(),
+            index_build_exit_ns: m.index_build_exit_ns.percentiles(),
+            index_build_total_ns: m.index_build_total_ns.percentiles(),
+            index_reuse_ratio: m.index_reuse_ratio(),
         };
         let text = prometheus_text(&r);
         for needle in [
@@ -635,6 +777,12 @@ mod tests {
             "ocp_serve_wal_append_ns_count 1",
             "# TYPE ocp_serve_wal_fsync_ns summary",
             "ocp_serve_wal_fsync_ns_count 0",
+            "# TYPE ocp_serve_index_build_seconds summary",
+            "ocp_serve_index_build_seconds{phase=\"segment\",quantile=\"0.5\"}",
+            "ocp_serve_index_build_seconds{phase=\"total\",quantile=\"0.99\"}",
+            "ocp_serve_index_build_seconds_count{phase=\"exit\"} 1",
+            "# TYPE ocp_serve_index_reuse_ratio gauge",
+            "ocp_serve_index_reuse_ratio 0.5",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -623,6 +623,7 @@ fn writer_loop(
                             .metrics
                             .epoch_publish_lag
                             .record(publish_start.elapsed().as_nanos() as u64);
+                        shared.metrics.record_index_build(&next.build);
                         shared
                             .metrics
                             .events_applied
@@ -996,6 +997,12 @@ impl ServiceHandle {
             publishes_overloaded: m.publishes_overloaded.load(Ordering::Relaxed),
             wal_append_ns: m.wal_append_ns.percentiles(),
             wal_fsync_ns: m.wal_fsync_ns.percentiles(),
+            index_build_segment_ns: m.index_build_segment_ns.percentiles(),
+            index_build_ring_ns: m.index_build_ring_ns.percentiles(),
+            index_build_wide_ns: m.index_build_wide_ns.percentiles(),
+            index_build_exit_ns: m.index_build_exit_ns.percentiles(),
+            index_build_total_ns: m.index_build_total_ns.percentiles(),
+            index_reuse_ratio: m.index_reuse_ratio(),
         }
     }
 

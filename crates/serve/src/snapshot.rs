@@ -18,7 +18,7 @@ use ocp_core::maintenance::try_relabel_after_faults;
 use ocp_core::prelude::*;
 use ocp_geometry::Region;
 use ocp_mesh::Coord;
-use ocp_routing::{EnabledMap, FaultTolerantRouter};
+use ocp_routing::{BuildBreakdown, EnabledMap, FaultTolerantRouter};
 
 /// One batch of coalesced fault/repair events, the unit of epoch
 /// advancement.
@@ -55,6 +55,9 @@ pub struct Snapshot {
     pub enabled: EnabledMap,
     /// Router built over the disabled regions, ready to answer queries.
     pub router: FaultTolerantRouter,
+    /// Phase breakdown of this snapshot's router/index construction
+    /// (cold banded build or incremental patch of the previous epoch).
+    pub build: BuildBreakdown,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -79,10 +82,33 @@ impl Snapshot {
         Ok(Self::from_outcome(epoch, map, outcome))
     }
 
-    /// Wraps an already-converged outcome into a snapshot, building the
-    /// enabled view and the router (including its per-snapshot query
-    /// indexes; build time lands in the global obs registry when enabled).
+    /// Wraps an already-converged outcome into a snapshot, cold-building
+    /// the enabled view and the router (including its per-snapshot query
+    /// indexes, banded over the machine's cores; build time lands in the
+    /// global obs registry when enabled).
     pub fn from_outcome(epoch: u64, map: FaultMap, outcome: PipelineOutcome) -> Self {
+        Self::build_with(epoch, map, outcome, None)
+    }
+
+    /// [`from_outcome`](Self::from_outcome), but patching `prev`'s router
+    /// tables incrementally instead of cold-building — byte-identical
+    /// output (pinned by `FaultTolerantRouter::table_digest` suites), at
+    /// a cost proportional to the epoch delta rather than the machine.
+    pub fn from_outcome_after(
+        prev: &Snapshot,
+        epoch: u64,
+        map: FaultMap,
+        outcome: PipelineOutcome,
+    ) -> Self {
+        Self::build_with(epoch, map, outcome, Some(prev))
+    }
+
+    fn build_with(
+        epoch: u64,
+        map: FaultMap,
+        outcome: PipelineOutcome,
+        prev: Option<&Snapshot>,
+    ) -> Self {
         let enabled = EnabledMap::from_outcome(&outcome);
         let regions: Vec<Region> = outcome.regions.iter().map(|r| r.cells.clone()).collect();
         let build_obs = ocp_obs::enabled().then(|| {
@@ -102,7 +128,13 @@ impl Snapshot {
                 std::time::Instant::now(),
             )
         });
-        let router = FaultTolerantRouter::new(enabled.clone(), &regions);
+        let (router, build) = match prev {
+            Some(p) => FaultTolerantRouter::rebuild_from(&p.router, enabled.clone(), &regions),
+            None => {
+                let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                FaultTolerantRouter::new_with_threads(enabled.clone(), &regions, threads)
+            }
+        };
         if let Some((builds, build_ns, start)) = build_obs {
             builds.inc();
             build_ns.record(start.elapsed().as_nanos() as u64);
@@ -113,13 +145,16 @@ impl Snapshot {
             outcome,
             enabled,
             router,
+            build,
         }
     }
 
     /// Derives the next epoch's snapshot after `batch`. Pure-fault batches
-    /// take the warm-start relabeling path; any repair forces a cold rerun
+    /// take the warm-start relabeling path and patch the router's tables
+    /// incrementally from this snapshot's; any repair forces a cold rerun
     /// (warm-starting across repairs is unsound — see
-    /// `ocp-core::maintenance::relabel_after_repair`).
+    /// `ocp-core::maintenance::relabel_after_repair`), which also
+    /// cold-builds the router and so serves as the pinned fallback.
     pub fn apply(
         &self,
         batch: &EventBatch,
@@ -129,7 +164,7 @@ impl Snapshot {
         if batch.repairs.is_empty() {
             let (map, m) =
                 try_relabel_after_faults(&self.map, &batch.faults, &self.outcome, config)?;
-            Ok(Self::from_outcome(epoch, map, m.outcome))
+            Ok(Self::from_outcome_after(self, epoch, map, m.outcome))
         } else {
             let mut map = self.map.clone();
             for &r in &batch.repairs {

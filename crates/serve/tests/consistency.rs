@@ -578,3 +578,75 @@ fn repairs_interleaved_with_reads_stay_consistent() {
         }
     }
 }
+
+/// Metrics oracle for the incremental-build instrumentation: every
+/// published epoch must record exactly one sample into each
+/// `index_build_*` phase histogram, every recorded build time must sit
+/// inside the measured wall-clock span of the run (histogram buckets
+/// report geometric midpoints, at most 1.5× the true sample), and a
+/// pure-fault churn must take the warm patch path (nonzero reuse ratio,
+/// router still digest-identical to a cold oracle of the terminal state).
+#[test]
+fn index_build_metrics_pin_to_wall_clock_spans() {
+    let t0 = std::time::Instant::now();
+    let service = MeshService::start(
+        Topology::mesh(SIDE, SIDE),
+        [c(2, 2)],
+        ServeConfig {
+            batch_max: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let mut handle = service.handle();
+    for node in [c(8, 8), c(9, 9), c(11, 3), c(4, 11)] {
+        assert_eq!(handle.inject_faults(&[node]).accepted, 1);
+        assert!(service.quiesce(Duration::from_secs(30)));
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64;
+    let stats = handle.stats();
+    assert_eq!(stats.epochs_published, 4);
+    for (phase, p) in [
+        ("segment", &stats.index_build_segment_ns),
+        ("ring", &stats.index_build_ring_ns),
+        ("wide", &stats.index_build_wide_ns),
+        ("exit", &stats.index_build_exit_ns),
+        ("total", &stats.index_build_total_ns),
+    ] {
+        assert_eq!(
+            p.n, 4,
+            "{phase}: one sample per published epoch, got {}",
+            p.n
+        );
+        assert!(
+            p.max <= 1.5 * span_ns,
+            "{phase}: recorded build time {} ns exceeds the run's wall span {span_ns} ns",
+            p.max
+        );
+    }
+    assert!(
+        stats.index_reuse_ratio > 0.0 && stats.index_reuse_ratio <= 1.0,
+        "pure-fault churn must take the warm patch path (reuse {})",
+        stats.index_reuse_ratio
+    );
+
+    // The warm-built head must be digest-identical to a cold oracle of
+    // the same terminal fault set — the serving-layer form of the
+    // incremental ≡ cold pin.
+    let head = handle.snapshot();
+    let oracle = Snapshot::cold(
+        head.epoch,
+        FaultMap::new(
+            Topology::mesh(SIDE, SIDE),
+            [c(2, 2), c(8, 8), c(9, 9), c(11, 3), c(4, 11)],
+        ),
+        &PipelineConfig::default(),
+    )
+    .expect("cold oracle converges");
+    assert_eq!(
+        head.router.table_digest(),
+        oracle.router.table_digest(),
+        "published warm router diverged from the cold oracle"
+    );
+    service.shutdown();
+}
